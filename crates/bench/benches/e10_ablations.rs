@@ -1,0 +1,48 @@
+//! E10 — ablations: query latency per retrieval model and per analyzer
+//! configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use coupling::CollectionSetup;
+use coupling_bench::workload::{build_corpus_system, with_para_collection, WorkloadConfig};
+use irs::{Bm25Model, InferenceModel, ModelKind, VectorModel};
+use sgml::gen::topic_term;
+
+fn bench_models(c: &mut Criterion) {
+    let kinds: Vec<(&str, ModelKind)> = vec![
+        ("inference", ModelKind::Inference(InferenceModel::default())),
+        ("bm25", ModelKind::Bm25(Bm25Model::default())),
+        ("vector", ModelKind::Vector(VectorModel::default())),
+        ("boolean", ModelKind::Boolean),
+    ];
+    let mut group = c.benchmark_group("e10_model_query_latency");
+    group.sample_size(20);
+    for (label, kind) in kinds {
+        let mut cs = build_corpus_system(&WorkloadConfig::small());
+        with_para_collection(
+            &mut cs,
+            "m",
+            CollectionSetup {
+                irs: irs::CollectionConfig {
+                    model: kind,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let query = format!("#and({} {})", topic_term(0), topic_term(1));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &query, |b, query| {
+            b.iter(|| {
+                cs.sys
+                    .with_collection("m", |coll| {
+                        coll.evaluate_uncached(query).expect("evaluates").len()
+                    })
+                    .expect("collection exists")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

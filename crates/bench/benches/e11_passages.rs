@@ -1,0 +1,50 @@
+//! E11 — passage retrieval: indexing and best-passage query cost per
+//! window/stride configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use coupling::{Collection, CollectionSetup};
+use coupling_bench::workload::{build_corpus_system, WorkloadConfig};
+use sgml::gen::topic_term;
+
+fn bench(c: &mut Criterion) {
+    let cs = build_corpus_system(&WorkloadConfig::small());
+    let roots = cs.roots();
+    let configs: Vec<(&str, usize, usize)> = vec![
+        ("50w-stride25", 50, 25),
+        ("30w-stride15", 30, 15),
+        ("30w-no-overlap", 30, 30),
+    ];
+
+    let mut group = c.benchmark_group("e11_passage_indexing");
+    group.sample_size(10);
+    for (label, window, stride) in &configs {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &(*window, *stride),
+            |b, &(window, stride)| {
+                b.iter(|| {
+                    let mut coll = Collection::new("bench", CollectionSetup::default());
+                    coll.index_passages(cs.sys.db(), &roots, window, stride)
+                        .expect("passages index")
+                });
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e11_best_passage_query");
+    for (label, window, stride) in &configs {
+        let mut coll = Collection::new("bench", CollectionSetup::default());
+        coll.index_passages(cs.sys.db(), &roots, *window, *stride)
+            .expect("passages index");
+        let query = topic_term(0);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &query, |b, query| {
+            b.iter(|| coll.evaluate_uncached(query).expect("evaluates").len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

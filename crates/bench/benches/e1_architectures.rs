@@ -1,0 +1,54 @@
+//! E1 — Figure 1: latency of the same mixed query under the three
+//! coupling architectures. Regenerates the architecture comparison; the
+//! printable companion is `--bin experiments -- e1`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use coupling::architecture::{evaluate, ArchitectureKind};
+use coupling::CollectionSetup;
+use coupling_bench::workload::{build_corpus_system, with_para_collection, WorkloadConfig};
+use oodb::{Database, Oid, Value};
+use sgml::gen::topic_term;
+
+fn year_is_1994(db: &Database, oid: Oid) -> bool {
+    let ctx = db.method_ctx();
+    let Ok(Value::Oid(doc)) = db
+        .methods()
+        .invoke(&ctx, "getContaining", oid, &[Value::from("MMFDOC")])
+    else {
+        return false;
+    };
+    matches!(db.get_attr(doc, "YEAR"), Ok(Value::Str(y)) if y == "1994")
+}
+
+fn bench(c: &mut Criterion) {
+    let mut cs = build_corpus_system(&WorkloadConfig::small());
+    with_para_collection(&mut cs, "coll", CollectionSetup::default());
+    let query = topic_term(0);
+
+    let mut group = c.benchmark_group("e1_architectures");
+    for kind in [
+        ArchitectureKind::DbmsControl,
+        ArchitectureKind::ControlModule,
+        ArchitectureKind::IrsControl,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    cs.sys
+                        .with_collection_and_db("coll", |db, coll| {
+                            evaluate(kind, db, coll, "PARA", &year_is_1994, &query, 0.45)
+                                .expect("evaluates")
+                        })
+                        .expect("collection exists")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E2 — Section 4.3: indexing cost per granularity policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use coupling::{Collection, CollectionSetup, GranularityPolicy};
+use coupling_bench::workload::{build_corpus_system, WorkloadConfig};
+
+fn bench(c: &mut Criterion) {
+    let cs = build_corpus_system(&WorkloadConfig::small());
+    let policies = vec![
+        ("per-document", GranularityPolicy::PerDocument { root_class: "MMFDOC".into() }),
+        ("per-element", GranularityPolicy::PerElementType { class: "PARA".into() }),
+        ("leaves", GranularityPolicy::Leaves { base_class: "IRSObject".into() }),
+        ("equal-size-30", GranularityPolicy::EqualSize { root_class: "MMFDOC".into(), words: 30 }),
+        ("all-elements", GranularityPolicy::AllElements { base_class: "IRSObject".into() }),
+    ];
+
+    let mut group = c.benchmark_group("e2_indexing");
+    group.sample_size(10);
+    for (label, policy) in policies {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &policy, |b, policy| {
+            b.iter(|| {
+                let mut coll = Collection::new("bench", CollectionSetup::default());
+                policy.apply(cs.sys.db(), &mut coll).expect("applies");
+                coll.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! E3 — Figure 4: cost of deriveIRSValue per scheme (buffered term
+//! results; the comparison of *quality* lives in the experiments binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use coupling_bench::exp::e3_derivation::{build_figure4, schemes};
+use coupling_bench::workload::{and_query, build_corpus_system, with_para_collection, WorkloadConfig};
+use coupling::CollectionSetup;
+
+fn bench_figure4(c: &mut Criterion) {
+    let (sys, roots) = build_figure4();
+    let mut group = c.benchmark_group("e3_figure4_derive");
+    for (label, scheme) in schemes() {
+        group.bench_with_input(BenchmarkId::from_parameter(&label), &scheme, |b, scheme| {
+            b.iter(|| {
+                sys.with_collection_and_db("collPara", |db, coll| {
+                    coll.set_derivation(scheme.clone());
+                    let ctx = db.method_ctx();
+                    let mut total = 0.0;
+                    for &root in &roots {
+                        total += coll
+                            .get_irs_value(&ctx, "#and(www nii)", root)
+                            .expect("derives");
+                    }
+                    total
+                })
+                .expect("collection exists")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_corpus(c: &mut Criterion) {
+    let mut cs = build_corpus_system(&WorkloadConfig::small());
+    with_para_collection(&mut cs, "collPara", CollectionSetup::default());
+    let roots = cs.roots();
+    let q = and_query(0, 1);
+    let mut group = c.benchmark_group("e3_corpus_derive");
+    group.sample_size(20);
+    for (label, scheme) in schemes() {
+        group.bench_with_input(BenchmarkId::from_parameter(&label), &scheme, |b, scheme| {
+            b.iter(|| {
+                cs.sys
+                    .with_collection_and_db("collPara", |db, coll| {
+                        coll.set_derivation(scheme.clone());
+                        let ctx = db.method_ctx();
+                        roots
+                            .iter()
+                            .map(|&r| coll.get_irs_value(&ctx, &q, r).expect("derives"))
+                            .sum::<f64>()
+                    })
+                    .expect("collection exists")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure4, bench_corpus);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! E4 — Figure 3: buffered vs unbuffered getIRSValue probes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use coupling::CollectionSetup;
+use coupling_bench::workload::{build_corpus_system, with_para_collection, WorkloadConfig};
+use sgml::gen::topic_term;
+
+fn bench(c: &mut Criterion) {
+    let mut cs = build_corpus_system(&WorkloadConfig::small());
+    with_para_collection(&mut cs, "coll", CollectionSetup::default());
+    let oids: Vec<oodb::Oid> = cs.para_truth.keys().copied().take(50).collect();
+    let query = topic_term(0);
+
+    let mut group = c.benchmark_group("e4_buffering");
+    group.bench_function("unbuffered_50_probes", |b| {
+        b.iter(|| {
+            cs.sys
+                .with_collection("coll", |coll| {
+                    let mut acc = 0.0;
+                    for &oid in &oids {
+                        let result = coll.evaluate_uncached(&query).expect("evaluates");
+                        acc += result.get(&oid).copied().unwrap_or(0.0);
+                    }
+                    acc
+                })
+                .expect("collection exists")
+        });
+    });
+    group.bench_function("buffered_50_probes", |b| {
+        b.iter(|| {
+            cs.sys
+                .with_collection_and_db("coll", |db, coll| {
+                    let ctx = db.method_ctx();
+                    let mut acc = 0.0;
+                    for &oid in &oids {
+                        acc += coll.get_irs_value(&ctx, &query, oid).expect("value");
+                    }
+                    acc
+                })
+                .expect("collection exists")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E6 — Section 4.5.4: IRS-side vs OODBMS-side operator evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use coupling::ops::{irs_and, irs_or};
+use coupling::CollectionSetup;
+use coupling_bench::workload::{build_corpus_system, with_para_collection, WorkloadConfig};
+use sgml::gen::topic_term;
+
+fn bench(c: &mut Criterion) {
+    let mut cs = build_corpus_system(&WorkloadConfig::small());
+    with_para_collection(&mut cs, "coll", CollectionSetup::default());
+    let (a, b) = (topic_term(0), topic_term(1));
+    let composite = format!("#and({a} {b})");
+
+    // Pre-buffer per-term results for the OODBMS-side variant.
+    let (ra, rb) = cs
+        .sys
+        .with_collection("coll", |coll| {
+            (
+                coll.get_irs_result(&a).expect("term a"),
+                coll.get_irs_result(&b).expect("term b"),
+            )
+        })
+        .expect("collection exists");
+
+    let mut group = c.benchmark_group("e6_operators");
+    group.bench_function("irs_side_and_uncached", |b_| {
+        b_.iter(|| {
+            cs.sys
+                .with_collection("coll", |coll| {
+                    coll.evaluate_uncached(&composite).expect("evaluates").len()
+                })
+                .expect("collection exists")
+        });
+    });
+    group.bench_function("oodbms_side_and_buffered", |b_| {
+        b_.iter(|| irs_and(&[&ra, &rb]).len());
+    });
+    group.bench_function("oodbms_side_or_buffered", |b_| {
+        b_.iter(|| irs_or(&[&ra, &rb]).len());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

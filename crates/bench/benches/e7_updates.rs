@@ -1,0 +1,64 @@
+//! E7 — Section 4.6: propagation strategy cost per update burst.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use coupling::propagate::{PendingOp, PropagationStrategy, Propagator};
+use coupling::CollectionSetup;
+use coupling_bench::workload::{build_corpus_system, with_para_collection, WorkloadConfig};
+use oodb::Value;
+use sgml::gen::topic_term;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_updates");
+    group.sample_size(10);
+    for strategy in [PropagationStrategy::Eager, PropagationStrategy::Deferred] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{strategy:?}")),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| {
+                    // One burst of 16 churn updates followed by a query.
+                    let mut cs = build_corpus_system(&WorkloadConfig::small());
+                    with_para_collection(&mut cs, "coll", CollectionSetup::default());
+                    let para = cs.sys.db().schema().class_id("PARA").expect("exists");
+                    let mut prop = Propagator::new(strategy);
+                    for i in 0..16 {
+                        let mut txn = cs.sys.db_mut().begin();
+                        let oid = cs.sys.db_mut().create_object(&mut txn, para).expect("create");
+                        cs.sys
+                            .db_mut()
+                            .set_attr(&mut txn, oid, "text", Value::from(format!("burst {i}").as_str()))
+                            .expect("set");
+                        cs.sys.db_mut().commit(txn).expect("commit");
+                        cs.sys
+                            .with_collection_and_db("coll", |db, coll| {
+                                let ctx = db.method_ctx();
+                                prop.record(&ctx, coll, PendingOp::Insert(oid)).expect("record");
+                            })
+                            .expect("collection");
+                        let mut txn = cs.sys.db_mut().begin();
+                        cs.sys.db_mut().delete_object(&mut txn, oid).expect("delete");
+                        cs.sys.db_mut().commit(txn).expect("commit");
+                        cs.sys
+                            .with_collection_and_db("coll", |db, coll| {
+                                let ctx = db.method_ctx();
+                                prop.record(&ctx, coll, PendingOp::Delete(oid)).expect("record");
+                            })
+                            .expect("collection");
+                    }
+                    cs.sys
+                        .with_collection_and_db("coll", |db, coll| {
+                            let ctx = db.method_ctx();
+                            prop.before_query(&ctx, coll).expect("flush");
+                            coll.get_irs_result(&topic_term(0)).expect("query").len()
+                        })
+                        .expect("collection")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E8 — [SAZ94]: indexing cost of multi-level redundancy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use coupling::{Collection, CollectionSetup};
+use coupling_bench::workload::{build_corpus_system, WorkloadConfig};
+
+fn bench(c: &mut Criterion) {
+    let cs = build_corpus_system(&WorkloadConfig::small());
+    let configs: Vec<(&str, Vec<&str>)> = vec![
+        ("1-level", vec!["PARA"]),
+        ("2-level", vec!["PARA", "MMFDOC"]),
+        ("3-level", vec!["PARA", "SECTION", "MMFDOC"]),
+    ];
+
+    let mut group = c.benchmark_group("e8_redundancy_indexing");
+    group.sample_size(10);
+    for (label, classes) in configs {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &classes, |b, classes| {
+            b.iter(|| {
+                let mut coll = Collection::new("bench", CollectionSetup::default());
+                for class in classes {
+                    coll.index_objects(cs.sys.db(), &format!("ACCESS o FROM o IN {class}"))
+                        .expect("indexes");
+                }
+                coll.irs().index_stats().postings_bytes
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

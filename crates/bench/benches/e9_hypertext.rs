@@ -1,0 +1,47 @@
+//! E9 — Section 5: cost of link-augmented text extraction vs plain.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use coupling::{Collection, CollectionSetup, TextMode};
+use coupling_bench::workload::{build_corpus_system, WorkloadConfig};
+use oodb::Value;
+
+fn bench(c: &mut Criterion) {
+    let mut cs = build_corpus_system(&WorkloadConfig::small());
+    // Wire a few implies-links so augmentation has work to do.
+    let paras: Vec<oodb::Oid> = cs.para_truth.keys().copied().collect();
+    {
+        let db = cs.sys.db_mut();
+        let mut txn = db.begin();
+        for pair in paras.chunks(2) {
+            if let [a, b] = pair {
+                db.set_attr(&mut txn, *a, "implies", Value::List(vec![Value::Oid(*b)]))
+                    .expect("set link");
+            }
+        }
+        db.commit(txn).expect("commit");
+    }
+
+    let modes: Vec<(&str, TextMode)> = vec![
+        ("plain", TextMode::FullSubtree),
+        ("augmented", TextMode::LinkAugmented { link_attr: "implies".into() }),
+    ];
+
+    let mut group = c.benchmark_group("e9_hypertext_indexing");
+    group.sample_size(10);
+    for (label, mode) in modes {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, mode| {
+            b.iter(|| {
+                let mut coll =
+                    Collection::new("bench", CollectionSetup::with_text_mode(mode.clone()));
+                coll.index_objects(cs.sys.db(), "ACCESS p FROM p IN PARA")
+                    .expect("indexes");
+                coll.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Printable experiment harness: regenerates every figure/claim
+//! reproduction from DESIGN.md's experiment index and prints the
+//! paper-style summary tables recorded in EXPERIMENTS.md.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p coupling-bench --release --bin experiments           # all
+//! cargo run -p coupling-bench --release --bin experiments -- e3 e7  # some
+//! cargo run -p coupling-bench --release --bin experiments -- --small
+//! ```
+
+use coupling_bench::exp;
+use coupling_bench::workload::WorkloadConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let small = args.iter().any(|a| a == "--small");
+    let config = if small {
+        WorkloadConfig::small()
+    } else {
+        WorkloadConfig::standard()
+    };
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let want = |name: &str| selected.is_empty() || selected.contains(&name);
+
+    println!(
+        "OODBMS-IRS coupling reproduction — experiment harness ({} corpus)\n",
+        if small { "small" } else { "standard" }
+    );
+
+    if want("e1") {
+        println!("{}\n", exp::e1_architectures::run(&config));
+    }
+    if want("e2") {
+        println!("{}\n", exp::e2_granularity::run(&config));
+    }
+    if want("e3") {
+        println!("{}\n", exp::e3_derivation::run(&config));
+    }
+    if want("e4") {
+        println!("{}\n", exp::e4_buffering::run(&config));
+    }
+    if want("e5") {
+        println!("{}\n", exp::e5_mixed::run(&config));
+    }
+    if want("e6") {
+        println!("{}\n", exp::e6_operators::run(&config));
+    }
+    if want("e7") {
+        println!("{}\n", exp::e7_updates::run(&config));
+    }
+    if want("e8") {
+        println!("{}\n", exp::e8_redundancy::run(&config));
+    }
+    if want("e9") {
+        println!("{}\n", exp::e9_hypertext::run(&config));
+    }
+    if want("e10") {
+        println!("{}\n", exp::e10_ablations::run(&config));
+    }
+    if want("e11") {
+        println!("{}\n", exp::e11_passages::run(&config));
+    }
+}

@@ -1,0 +1,149 @@
+//! E1 — Figure 1: the three loose-coupling architectures.
+//!
+//! The same mixed query ("paragraphs of 1994 documents relevant to a
+//! topic") runs under control-module, IRS-control and DBMS-control
+//! coordination. Metrics: interface crossings, result files exchanged,
+//! wall-clock latency. Expected shape (paper Section 3): DBMS-control
+//! needs the fewest crossings and no file exchange — the other
+//! alternatives "will not be considered any more".
+
+use std::time::Instant;
+
+use coupling::architecture::{evaluate, ArchitectureKind};
+use coupling::CollectionSetup;
+use oodb::{Database, Oid, Value};
+use sgml::gen::topic_term;
+
+use crate::workload::{build_corpus_system, with_para_collection, WorkloadConfig};
+
+/// One architecture's measurements.
+#[derive(Debug, Clone)]
+pub struct ArchRow {
+    /// Which architecture.
+    pub kind: ArchitectureKind,
+    /// Matching objects found.
+    pub results: usize,
+    /// Cross-system interface crossings.
+    pub crossings: u64,
+    /// Result files written/parsed.
+    pub files: u64,
+    /// Wall-clock latency (cold IRS buffer), microseconds.
+    pub cold_us: u128,
+    /// Wall-clock latency (warm IRS buffer), microseconds.
+    pub warm_us: u128,
+}
+
+/// Full E1 report.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// One row per architecture.
+    pub rows: Vec<ArchRow>,
+}
+
+/// The structural predicate: the containing document's YEAR is 1994.
+fn year_is_1994(db: &Database, oid: Oid) -> bool {
+    let ctx = db.method_ctx();
+    let Ok(Value::Oid(doc)) = db
+        .methods()
+        .invoke(&ctx, "getContaining", oid, &[Value::from("MMFDOC")])
+    else {
+        return false;
+    };
+    matches!(db.get_attr(doc, "YEAR"), Ok(Value::Str(y)) if y == "1994")
+}
+
+/// Run E1.
+pub fn run(config: &WorkloadConfig) -> Report {
+    let mut rows = Vec::new();
+    let query = topic_term(0);
+    for kind in [
+        ArchitectureKind::DbmsControl,
+        ArchitectureKind::ControlModule,
+        ArchitectureKind::IrsControl,
+    ] {
+        // Fresh system per architecture so buffers don't leak across.
+        let mut cs = build_corpus_system(config);
+        with_para_collection(&mut cs, "coll", CollectionSetup::default());
+        let outcome = cs
+            .sys
+            .with_collection_and_db("coll", |db, coll| {
+                let t0 = Instant::now();
+                let out = evaluate(kind, db, coll, "PARA", &year_is_1994, &query, 0.45)
+                    .expect("architecture evaluation succeeds");
+                let cold_us = t0.elapsed().as_micros();
+                let t1 = Instant::now();
+                let warm = evaluate(kind, db, coll, "PARA", &year_is_1994, &query, 0.45)
+                    .expect("warm evaluation succeeds");
+                let warm_us = t1.elapsed().as_micros();
+                assert_eq!(out.oids, warm.oids);
+                (out, cold_us, warm_us)
+            })
+            .expect("collection exists");
+        let (out, cold_us, warm_us) = outcome;
+        rows.push(ArchRow {
+            kind,
+            results: out.oids.len(),
+            crossings: out.interface_crossings,
+            files: out.files_exchanged,
+            cold_us,
+            warm_us,
+        });
+    }
+    Report { rows }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "E1 — Figure 1: coupling architectures (same mixed query)")?;
+        writeln!(
+            f,
+            "{:<16} {:>8} {:>10} {:>6} {:>10} {:>10}",
+            "architecture", "results", "crossings", "files", "cold(us)", "warm(us)"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<16} {:>8} {:>10} {:>6} {:>10} {:>10}",
+                format!("{:?}", r.kind),
+                r.results,
+                r.crossings,
+                r.files,
+                r.cold_us,
+                r.warm_us
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_dbms_control_fewest_crossings() {
+        let report = run(&WorkloadConfig::small());
+        assert_eq!(report.rows.len(), 3);
+        let by_kind = |k: ArchitectureKind| {
+            report
+                .rows
+                .iter()
+                .find(|r| r.kind == k)
+                .expect("row present")
+                .clone()
+        };
+        let dbms = by_kind(ArchitectureKind::DbmsControl);
+        let module = by_kind(ArchitectureKind::ControlModule);
+        let irsctl = by_kind(ArchitectureKind::IrsControl);
+        // All agree on result count.
+        assert_eq!(dbms.results, module.results);
+        assert_eq!(dbms.results, irsctl.results);
+        // The paper's argument: DBMS-control wins on coordination cost.
+        assert!(dbms.crossings < module.crossings);
+        assert!(module.crossings <= irsctl.crossings);
+        assert_eq!(dbms.files, 0);
+        assert_eq!(module.files, 1);
+        let text = report.to_string();
+        assert!(text.contains("DbmsControl"));
+    }
+}

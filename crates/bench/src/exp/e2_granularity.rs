@@ -1,0 +1,210 @@
+//! E2 — Section 4.3: IRS-document granularity strategies.
+//!
+//! Five policies index the same corpus: per-document, per-element-type
+//! (PARA), per-leaf, 30-word equal segments ([HeP93]/[Cal94]) and
+//! all-elements (full multi-level redundancy). Metrics: IRS documents,
+//! indexed tokens (text redundancy), compressed postings bytes, indexing
+//! time, and paragraph-retrieval quality (mean average precision over
+//! topic queries) for the policies that can answer paragraph queries at
+//! all. Expected shape: finer granularity costs index space but enables
+//! element-level retrieval; all-elements maximises redundancy.
+
+use std::time::Instant;
+
+use coupling::{Collection, CollectionSetup, GranularityPolicy};
+use sgml::gen::topic_term;
+
+use crate::metrics::{average_precision, rank};
+use crate::workload::{build_corpus_system, CorpusSystem, WorkloadConfig};
+
+/// One policy's measurements.
+#[derive(Debug, Clone)]
+pub struct GranularityRow {
+    /// Policy label.
+    pub policy: String,
+    /// IRS documents created.
+    pub irs_docs: u32,
+    /// Total indexed tokens (text redundancy measure).
+    pub tokens: u64,
+    /// Compressed postings bytes.
+    pub postings_bytes: usize,
+    /// Indexing wall time, microseconds.
+    pub index_us: u128,
+    /// Paragraph-retrieval MAP over topic queries; `None` when the
+    /// policy cannot answer paragraph-level queries.
+    pub para_map: Option<f64>,
+}
+
+/// Full E2 report.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// One row per policy.
+    pub rows: Vec<GranularityRow>,
+    /// Raw corpus tokens (the no-redundancy floor).
+    pub corpus_tokens: u64,
+}
+
+fn policies() -> Vec<(String, GranularityPolicy, bool)> {
+    vec![
+        (
+            "per-document".into(),
+            GranularityPolicy::PerDocument { root_class: "MMFDOC".into() },
+            false,
+        ),
+        (
+            "per-element(PARA)".into(),
+            GranularityPolicy::PerElementType { class: "PARA".into() },
+            true,
+        ),
+        (
+            "leaves".into(),
+            GranularityPolicy::Leaves { base_class: "IRSObject".into() },
+            true,
+        ),
+        (
+            "equal-size(30w)".into(),
+            GranularityPolicy::EqualSize { root_class: "MMFDOC".into(), words: 30 },
+            false,
+        ),
+        (
+            "all-elements".into(),
+            GranularityPolicy::AllElements { base_class: "IRSObject".into() },
+            true,
+        ),
+    ]
+}
+
+/// Paragraph-retrieval MAP over the first few topics: rank every indexed
+/// paragraph by its IRS value for the topic term; relevance = the
+/// paragraph carries the topic.
+fn para_map(cs: &CorpusSystem, coll: &mut Collection) -> f64 {
+    let topics = cs.topics.min(5);
+    let mut sum = 0.0;
+    for t in 0..topics {
+        let result = coll
+            .get_irs_result(&topic_term(t))
+            .expect("query evaluates");
+        let ranked = rank(
+            cs.para_truth
+                .iter()
+                .map(|(&oid, _)| {
+                    let score = result.get(&oid).copied().unwrap_or(0.0);
+                    (cs.para_relevant(oid, t), score)
+                })
+                .collect(),
+        );
+        sum += average_precision(&ranked);
+    }
+    sum / topics as f64
+}
+
+/// Run E2.
+pub fn run(config: &WorkloadConfig) -> Report {
+    // The no-redundancy floor: tokens under per-document indexing equal
+    // the raw corpus text.
+    let mut rows = Vec::new();
+    let mut corpus_tokens = 0u64;
+    for (label, policy, para_capable) in policies() {
+        let mut cs = build_corpus_system(config);
+        cs.sys
+            .create_collection("g", CollectionSetup::default())
+            .expect("fresh collection");
+        let (index_us, stats) = cs
+            .sys
+            .with_collection_and_db("g", |db, coll| {
+                let t0 = Instant::now();
+                policy.apply(db, coll).expect("policy applies");
+                let index_us = t0.elapsed().as_micros();
+                let stats = coll.irs().index_stats();
+                (index_us, stats)
+            })
+            .expect("collection exists");
+        let pmap = if para_capable {
+            Some(
+                cs.sys
+                    .with_collection("g", |coll| para_map(&cs, coll))
+                    .expect("collection exists"),
+            )
+        } else {
+            None
+        };
+        if label == "per-document" {
+            corpus_tokens = stats.total_tokens;
+        }
+        rows.push(GranularityRow {
+            policy: label,
+            irs_docs: stats.doc_count,
+            tokens: stats.total_tokens,
+            postings_bytes: stats.postings_bytes,
+            index_us,
+            para_map: pmap,
+        });
+    }
+    Report { rows, corpus_tokens }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "E2 — Section 4.3: granularity strategies")?;
+        writeln!(
+            f,
+            "{:<18} {:>9} {:>10} {:>12} {:>11} {:>10} {:>9}",
+            "policy", "irs-docs", "tokens", "redundancy", "bytes", "index(us)", "paraMAP"
+        )?;
+        for r in &self.rows {
+            let redundancy = if self.corpus_tokens > 0 {
+                r.tokens as f64 / self.corpus_tokens as f64
+            } else {
+                0.0
+            };
+            writeln!(
+                f,
+                "{:<18} {:>9} {:>10} {:>11.2}x {:>11} {:>10} {:>9}",
+                r.policy,
+                r.irs_docs,
+                r.tokens,
+                redundancy,
+                r.postings_bytes,
+                r.index_us,
+                r.para_map.map_or("n/a".to_string(), |m| format!("{m:.3}")),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_finer_granularity_more_docs_and_redundancy() {
+        let report = run(&WorkloadConfig::small());
+        let get = |label: &str| {
+            report
+                .rows
+                .iter()
+                .find(|r| r.policy.starts_with(label))
+                .expect("row present")
+                .clone()
+        };
+        let per_doc = get("per-document");
+        let per_para = get("per-element");
+        let leaves = get("leaves");
+        let all = get("all-elements");
+        // More, smaller IRS documents as granularity refines.
+        assert!(per_para.irs_docs > per_doc.irs_docs);
+        assert!(leaves.irs_docs >= per_para.irs_docs);
+        assert!(all.irs_docs > leaves.irs_docs);
+        // All-elements stores text redundantly (every level re-indexes
+        // the leaves below it).
+        assert!(all.tokens > per_doc.tokens);
+        // Paragraph retrieval works at paragraph granularity and is
+        // decent against ground truth.
+        let pmap = per_para.para_map.expect("para capable");
+        assert!(pmap > 0.5, "paragraph MAP {pmap} too low");
+        assert!(per_doc.para_map.is_none());
+        // Display renders.
+        assert!(report.to_string().contains("paraMAP"));
+    }
+}

@@ -1,0 +1,150 @@
+//! E4 — Figure 3: persistent buffering of IRS results.
+//!
+//! "IRS results are buffered to avoid IRS query processing for the same
+//! IRS query for different IRSObject instances." The experiment issues
+//! `getIRSValue` for every paragraph (intra-query reuse) and repeats the
+//! query set (inter-query reuse), with and without the buffer. Expected
+//! shape: the unbuffered variant performs one IRS evaluation per object;
+//! the buffered variant performs one per distinct query.
+
+use std::time::Instant;
+
+use coupling::CollectionSetup;
+use sgml::gen::topic_term;
+
+use crate::workload::{build_corpus_system, with_para_collection, WorkloadConfig};
+
+/// E4 measurements.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Objects probed per query.
+    pub objects: usize,
+    /// Distinct queries probed.
+    pub queries: usize,
+    /// IRS evaluations without buffering.
+    pub unbuffered_irs_calls: u64,
+    /// Wall time without buffering, microseconds.
+    pub unbuffered_us: u128,
+    /// IRS evaluations with buffering.
+    pub buffered_irs_calls: u64,
+    /// Wall time with buffering, microseconds.
+    pub buffered_us: u128,
+    /// Buffer hits recorded.
+    pub buffer_hits: u64,
+}
+
+/// Run E4.
+pub fn run(config: &WorkloadConfig) -> Report {
+    let mut cs = build_corpus_system(config);
+    with_para_collection(&mut cs, "coll", CollectionSetup::default());
+    let para_oids: Vec<oodb::Oid> = cs.para_truth.keys().copied().collect();
+    let queries: Vec<String> = (0..cs.topics.min(4)).map(topic_term).collect();
+
+    // Unbuffered: every object probe re-evaluates the query in the IRS —
+    // what the coupling would do without Figure 3's buffer.
+    let (unbuffered_calls, unbuffered_us) = cs
+        .sys
+        .with_collection("coll", |coll| {
+            let before = coll.stats().irs_calls;
+            let t0 = Instant::now();
+            for q in &queries {
+                for &oid in &para_oids {
+                    let result = coll.evaluate_uncached(q).expect("query evaluates");
+                    let _v = result.get(&oid).copied().unwrap_or(0.0);
+                }
+            }
+            (coll.stats().irs_calls - before, t0.elapsed().as_micros())
+        })
+        .expect("collection exists");
+
+    // Buffered: getIRSValue through the persistent buffer.
+    let (buffered_calls, buffered_us, hits) = cs
+        .sys
+        .with_collection_and_db("coll", |db, coll| {
+            let before = coll.stats().irs_calls;
+            let hits_before = coll.buffer_stats().hits;
+            let ctx = db.method_ctx();
+            let t0 = Instant::now();
+            // Two passes over the query set: intra- and inter-query reuse.
+            for _ in 0..2 {
+                for q in &queries {
+                    for &oid in &para_oids {
+                        let _v = coll.get_irs_value(&ctx, q, oid).expect("value");
+                    }
+                }
+            }
+            (
+                coll.stats().irs_calls - before,
+                t0.elapsed().as_micros(),
+                coll.buffer_stats().hits - hits_before,
+            )
+        })
+        .expect("collection exists");
+
+    Report {
+        objects: para_oids.len(),
+        queries: queries.len(),
+        unbuffered_irs_calls: unbuffered_calls,
+        unbuffered_us,
+        buffered_irs_calls: buffered_calls,
+        buffered_us,
+        buffer_hits: hits,
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "E4 — Figure 3: IRS-result buffering")?;
+        writeln!(
+            f,
+            "{} objects x {} queries (buffered run does 2 passes)",
+            self.objects, self.queries
+        )?;
+        writeln!(
+            f,
+            "{:<12} {:>10} {:>12}",
+            "variant", "irs-calls", "time(us)"
+        )?;
+        writeln!(
+            f,
+            "{:<12} {:>10} {:>12}",
+            "unbuffered", self.unbuffered_irs_calls, self.unbuffered_us
+        )?;
+        writeln!(
+            f,
+            "{:<12} {:>10} {:>12}   ({} buffer hits)",
+            "buffered", self.buffered_irs_calls, self.buffered_us, self.buffer_hits
+        )?;
+        let speedup = self.unbuffered_us as f64 / self.buffered_us.max(1) as f64;
+        writeln!(f, "speedup: {speedup:.1}x (per probe)")?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_buffer_collapses_irs_calls() {
+        let report = run(&WorkloadConfig::small());
+        // Unbuffered: one IRS evaluation per (query, object) probe.
+        assert_eq!(
+            report.unbuffered_irs_calls,
+            (report.objects * report.queries) as u64
+        );
+        // Buffered: one IRS evaluation per distinct query, over 2 passes.
+        assert_eq!(report.buffered_irs_calls, report.queries as u64);
+        assert_eq!(
+            report.buffer_hits,
+            (2 * report.objects * report.queries) as u64 - report.queries as u64
+        );
+        assert!(
+            report.unbuffered_us > report.buffered_us,
+            "buffering must be faster ({} vs {})",
+            report.unbuffered_us,
+            report.buffered_us
+        );
+        assert!(report.to_string().contains("speedup"));
+    }
+}

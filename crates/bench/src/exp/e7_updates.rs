@@ -1,0 +1,214 @@
+//! E7 — Section 4.6: update propagation strategies.
+//!
+//! "The first alternative [eager] is costly if the number of updates is
+//! high as compared to the number of information-need queries." The
+//! experiment runs workloads with varying update:query ratios under
+//! eager and deferred propagation (the deferred log cancels inverse
+//! operations; queries force a flush). A share of the updates is *churn*
+//! — transient paragraphs inserted and deleted before any query — which
+//! cancellation eliminates entirely. Expected shape: eager and deferred
+//! tie at low ratios; deferred wins increasingly at high ratios.
+
+use std::time::Instant;
+
+use coupling::propagate::{PendingOp, PropagationStrategy, Propagator};
+use coupling::CollectionSetup;
+use oodb::Value;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sgml::gen::topic_term;
+
+use crate::workload::{build_corpus_system, with_para_collection, WorkloadConfig};
+
+/// One ratio point.
+#[derive(Debug, Clone)]
+pub struct RatioRow {
+    /// Updates per query.
+    pub updates_per_query: usize,
+    /// IRS operations applied under eager propagation.
+    pub eager_applied: u64,
+    /// Wall time, eager, microseconds.
+    pub eager_us: u128,
+    /// IRS operations applied under deferred propagation.
+    pub deferred_applied: u64,
+    /// Operations removed by cancellation.
+    pub deferred_cancelled: u64,
+    /// Wall time, deferred, microseconds.
+    pub deferred_us: u128,
+}
+
+/// Full E7 report.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// One row per update:query ratio.
+    pub rows: Vec<RatioRow>,
+    /// Queries issued per ratio point.
+    pub queries: usize,
+}
+
+/// Run one workload under `strategy`, returning (applied, cancelled,
+/// micros).
+fn run_workload(
+    config: &WorkloadConfig,
+    strategy: PropagationStrategy,
+    updates_per_query: usize,
+    queries: usize,
+) -> (u64, u64, u128) {
+    let mut cs = build_corpus_system(config);
+    with_para_collection(&mut cs, "coll", CollectionSetup::default());
+    let para_class = cs
+        .sys
+        .db()
+        .schema()
+        .class_id("PARA")
+        .expect("PARA exists");
+    let existing: Vec<oodb::Oid> = cs.para_truth.keys().copied().collect();
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut prop = Propagator::new(strategy);
+
+    let t0 = Instant::now();
+    for q in 0..queries {
+        for u in 0..updates_per_query {
+            if rng.gen_bool(0.5) {
+                // Churn: transient paragraph, inserted then deleted.
+                let mut txn = cs.sys.db_mut().begin();
+                let oid = cs
+                    .sys
+                    .db_mut()
+                    .create_object(&mut txn, para_class)
+                    .expect("create");
+                cs.sys
+                    .db_mut()
+                    .set_attr(&mut txn, oid, "text", Value::from(format!("transient {q} {u}").as_str()))
+                    .expect("set");
+                cs.sys.db_mut().commit(txn).expect("commit");
+                cs.sys
+                    .with_collection_and_db("coll", |db, coll| {
+                        let ctx = db.method_ctx();
+                        prop.record(&ctx, coll, PendingOp::Insert(oid)).expect("record");
+                    })
+                    .expect("collection");
+                let mut txn = cs.sys.db_mut().begin();
+                cs.sys.db_mut().delete_object(&mut txn, oid).expect("delete");
+                cs.sys.db_mut().commit(txn).expect("commit");
+                cs.sys
+                    .with_collection_and_db("coll", |db, coll| {
+                        let ctx = db.method_ctx();
+                        prop.record(&ctx, coll, PendingOp::Delete(oid)).expect("record");
+                    })
+                    .expect("collection");
+            } else {
+                // In-place modification of an existing paragraph.
+                let oid = existing[rng.gen_range(0..existing.len())];
+                let mut txn = cs.sys.db_mut().begin();
+                cs.sys
+                    .db_mut()
+                    .set_attr(
+                        &mut txn,
+                        oid,
+                        "text",
+                        Value::from(format!("revised text {q} {u} {}", topic_term(0)).as_str()),
+                    )
+                    .expect("set");
+                cs.sys.db_mut().commit(txn).expect("commit");
+                cs.sys
+                    .with_collection_and_db("coll", |db, coll| {
+                        let ctx = db.method_ctx();
+                        prop.record(&ctx, coll, PendingOp::Modify(oid)).expect("record");
+                    })
+                    .expect("collection");
+            }
+        }
+        // The information-need query forces pending propagation.
+        cs.sys
+            .with_collection_and_db("coll", |db, coll| {
+                let ctx = db.method_ctx();
+                prop.before_query(&ctx, coll).expect("flush");
+                coll.get_irs_result(&topic_term(q % cs.topics)).expect("query");
+            })
+            .expect("collection");
+    }
+    let elapsed = t0.elapsed().as_micros();
+    let stats = prop.stats();
+    (stats.applied, stats.cancelled, elapsed)
+}
+
+/// Run E7.
+pub fn run(config: &WorkloadConfig) -> Report {
+    let queries = 8;
+    let mut rows = Vec::new();
+    for updates_per_query in [1usize, 4, 16, 64] {
+        let (eager_applied, _, eager_us) =
+            run_workload(config, PropagationStrategy::Eager, updates_per_query, queries);
+        let (deferred_applied, deferred_cancelled, deferred_us) = run_workload(
+            config,
+            PropagationStrategy::Deferred,
+            updates_per_query,
+            queries,
+        );
+        rows.push(RatioRow {
+            updates_per_query,
+            eager_applied,
+            eager_us,
+            deferred_applied,
+            deferred_cancelled,
+            deferred_us,
+        });
+    }
+    Report { rows, queries }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "E7 — Section 4.6: update propagation ({} queries per point, ~50% churn)",
+            self.queries
+        )?;
+        writeln!(
+            f,
+            "{:<10} {:>12} {:>10} {:>14} {:>12} {:>12}",
+            "upd/query", "eager-apply", "eager(us)", "deferred-apply", "cancelled", "deferred(us)"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<10} {:>12} {:>10} {:>14} {:>12} {:>12}",
+                r.updates_per_query,
+                r.eager_applied,
+                r.eager_us,
+                r.deferred_applied,
+                r.deferred_cancelled,
+                r.deferred_us
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_deferred_applies_fewer_ops_under_churn() {
+        let report = run(&WorkloadConfig::small());
+        for r in &report.rows {
+            assert!(
+                r.deferred_applied < r.eager_applied,
+                "ratio {}: deferred {} !< eager {}",
+                r.updates_per_query,
+                r.deferred_applied,
+                r.eager_applied
+            );
+            assert!(r.deferred_cancelled > 0, "churn must cancel");
+        }
+        // The gap grows with the update ratio.
+        let first = &report.rows[0];
+        let last = report.rows.last().unwrap();
+        let gap_first = first.eager_applied - first.deferred_applied;
+        let gap_last = last.eager_applied - last.deferred_applied;
+        assert!(gap_last > gap_first, "cancellation benefit grows with churn");
+        assert!(report.to_string().contains("upd/query"));
+    }
+}

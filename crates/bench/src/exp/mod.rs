@@ -1,0 +1,13 @@
+//! The experiment implementations, one module per DESIGN.md entry.
+
+pub mod e10_ablations;
+pub mod e11_passages;
+pub mod e1_architectures;
+pub mod e2_granularity;
+pub mod e3_derivation;
+pub mod e4_buffering;
+pub mod e5_mixed;
+pub mod e6_operators;
+pub mod e7_updates;
+pub mod e8_redundancy;
+pub mod e9_hypertext;

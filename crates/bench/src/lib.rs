@@ -1,0 +1,13 @@
+//! Benchmark harness for the reproduction.
+//!
+//! One module per experiment (see DESIGN.md's experiment index); each
+//! exposes a `run` function returning a printable report so that both
+//! the Criterion benches (`benches/e*.rs`) and the summary binary
+//! (`cargo run -p coupling-bench --bin experiments --release`) share the
+//! same implementation.
+
+pub mod exp;
+pub mod metrics;
+pub mod workload;
+
+pub use workload::{build_corpus_system, CorpusSystem, WorkloadConfig};

@@ -1,0 +1,102 @@
+//! Retrieval-quality metrics against generator ground truth.
+
+/// Precision at cutoff `k`: fraction of the top-`k` ranked items that are
+/// relevant. `ranked` must be sorted by descending score.
+pub fn precision_at_k(ranked: &[(bool, f64)], k: usize) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let top = &ranked[..k.min(ranked.len())];
+    if top.is_empty() {
+        return 0.0;
+    }
+    top.iter().filter(|(rel, _)| *rel).count() as f64 / top.len() as f64
+}
+
+/// Average precision: mean of precision at each relevant rank. 0.0 when
+/// nothing is relevant.
+pub fn average_precision(ranked: &[(bool, f64)]) -> f64 {
+    let total_relevant = ranked.iter().filter(|(rel, _)| *rel).count();
+    if total_relevant == 0 {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let mut sum = 0.0;
+    for (i, (rel, _)) in ranked.iter().enumerate() {
+        if *rel {
+            hits += 1;
+            sum += hits as f64 / (i + 1) as f64;
+        }
+    }
+    sum / total_relevant as f64
+}
+
+/// Normalised discounted cumulative gain at cutoff `k` with binary
+/// relevance.
+pub fn ndcg_at_k(ranked: &[(bool, f64)], k: usize) -> f64 {
+    let k = k.min(ranked.len());
+    let dcg: f64 = ranked[..k]
+        .iter()
+        .enumerate()
+        .map(|(i, (rel, _))| if *rel { 1.0 / ((i + 2) as f64).log2() } else { 0.0 })
+        .sum();
+    let total_relevant = ranked.iter().filter(|(rel, _)| *rel).count();
+    let ideal: f64 = (0..total_relevant.min(k))
+        .map(|i| 1.0 / ((i + 2) as f64).log2())
+        .sum();
+    if ideal == 0.0 {
+        0.0
+    } else {
+        dcg / ideal
+    }
+}
+
+/// Sort `(relevant, score)` pairs by descending score (ties: relevant
+/// last, to avoid flattering the metric).
+pub fn rank(mut items: Vec<(bool, f64)>) -> Vec<(bool, f64)> {
+    items.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_at_k_basics() {
+        let ranked = vec![(true, 0.9), (false, 0.8), (true, 0.7), (false, 0.6)];
+        assert_eq!(precision_at_k(&ranked, 1), 1.0);
+        assert_eq!(precision_at_k(&ranked, 2), 0.5);
+        assert_eq!(precision_at_k(&ranked, 4), 0.5);
+        assert_eq!(precision_at_k(&ranked, 10), 0.5, "k beyond length uses all");
+        assert_eq!(precision_at_k(&ranked, 0), 0.0);
+        assert_eq!(precision_at_k(&[], 5), 0.0);
+    }
+
+    #[test]
+    fn average_precision_perfect_and_worst() {
+        let perfect = vec![(true, 0.9), (true, 0.8), (false, 0.1)];
+        assert!((average_precision(&perfect) - 1.0).abs() < 1e-12);
+        let worst = vec![(false, 0.9), (false, 0.8), (true, 0.1)];
+        assert!((average_precision(&worst) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(average_precision(&[(false, 0.5)]), 0.0);
+    }
+
+    #[test]
+    fn ndcg_rewards_early_relevance() {
+        let good = vec![(true, 0.9), (false, 0.8)];
+        let bad = vec![(false, 0.9), (true, 0.8)];
+        assert!(ndcg_at_k(&good, 2) > ndcg_at_k(&bad, 2));
+        assert!((ndcg_at_k(&good, 2) - 1.0).abs() < 1e-12);
+        assert_eq!(ndcg_at_k(&[(false, 0.5)], 2), 0.0);
+    }
+
+    #[test]
+    fn rank_sorts_descending_with_pessimistic_ties() {
+        let ranked = rank(vec![(true, 0.5), (false, 0.9), (false, 0.5)]);
+        assert_eq!(ranked[0], (false, 0.9));
+        // Ties put non-relevant first (pessimistic for the metric).
+        assert_eq!(ranked[1], (false, 0.5));
+        assert_eq!(ranked[2], (true, 0.5));
+    }
+}

@@ -1,0 +1,221 @@
+//! The three loose-coupling architectures of the paper's Figure 1.
+//!
+//! All three evaluate the same mixed query; they differ in who
+//! coordinates and how results cross system boundaries:
+//!
+//! 1. **Control module** — a third component drives both systems
+//!    (COINS [CST92], HYDRA [GTZ93]). The IRS ships its result through a
+//!    file that the module parses (the paper's own prototype did this:
+//!    "Currently the IRS writes the result to a file which is parsed
+//!    afterwards"), the OODBMS ships its structural result, and the
+//!    module intersects.
+//! 2. **IRS as control component** — the application talks to the IRS;
+//!    structural verification requires one narrow call into the DBMS
+//!    *per content hit*.
+//! 3. **DBMS as control component** — the paper's choice. The query
+//!    runs inside the OODBMS; the IRS is consulted once through the
+//!    coupling's buffered API.
+//!
+//! Experiment E1 compares interface crossings, files exchanged and
+//! wall-clock latency — reproducing Section 3's argument that
+//! alternative (3) gets query processing "for free".
+
+use std::path::PathBuf;
+
+use irs::persist::result_file;
+use oodb::{Database, Oid};
+
+use crate::collection::Collection;
+use crate::error::Result;
+
+/// Which Figure-1 architecture to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArchitectureKind {
+    /// Alternative (1): a separate control module coordinates.
+    ControlModule,
+    /// Alternative (2): the IRS is the control component.
+    IrsControl,
+    /// Alternative (3): the DBMS is the control component (the paper's
+    /// and this crate's architecture).
+    DbmsControl,
+}
+
+/// Outcome of one architectural evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchOutcome {
+    /// Matching objects, ascending by OID.
+    pub oids: Vec<Oid>,
+    /// Cross-system interface crossings performed.
+    pub interface_crossings: u64,
+    /// Result files written and parsed.
+    pub files_exchanged: u64,
+}
+
+/// Evaluate "objects of `class` where `structural` holds AND IRS value
+/// of `irs_query` > `threshold`" under the given architecture.
+pub fn evaluate(
+    kind: ArchitectureKind,
+    db: &Database,
+    coll: &mut Collection,
+    class: &str,
+    structural: &dyn Fn(&Database, Oid) -> bool,
+    irs_query: &str,
+    threshold: f64,
+) -> Result<ArchOutcome> {
+    let class_id = db.schema().class_id(class)?;
+    let mut crossings = 0u64;
+    let mut files = 0u64;
+    let mut oids: Vec<Oid>;
+
+    match kind {
+        ArchitectureKind::DbmsControl => {
+            // One buffered call into the IRS; everything else stays in
+            // the DBMS process.
+            crossings += 1;
+            let content = coll.get_irs_result(irs_query)?;
+            oids = db
+                .extent(class_id, true)
+                .into_iter()
+                .filter(|&oid| {
+                    content.get(&oid).copied().unwrap_or(0.0) > threshold && structural(db, oid)
+                })
+                .collect();
+        }
+        ArchitectureKind::ControlModule => {
+            // Module → DBMS: structural result set.
+            crossings += 1;
+            let structural_hits: Vec<Oid> = db
+                .extent(class_id, true)
+                .into_iter()
+                .filter(|&oid| structural(db, oid))
+                .collect();
+            // Module → IRS: content query; result returned via file.
+            crossings += 1;
+            let content = coll.get_irs_result(irs_query)?;
+            let path = temp_result_file();
+            let as_pairs: Vec<(String, f64)> = content
+                .iter()
+                .map(|(oid, v)| (oid.to_string(), *v))
+                .collect();
+            result_file::write(&path, &as_pairs)?;
+            files += 1;
+            // Module parses the file and intersects.
+            let parsed = result_file::read(&path)?;
+            let _ = std::fs::remove_file(&path);
+            let above: std::collections::HashSet<Oid> = parsed
+                .into_iter()
+                .filter(|(_, v)| *v > threshold)
+                .filter_map(|(k, _)| Oid::parse(&k))
+                .collect();
+            oids = structural_hits
+                .into_iter()
+                .filter(|oid| above.contains(oid))
+                .collect();
+        }
+        ArchitectureKind::IrsControl => {
+            // App → IRS: content result.
+            crossings += 1;
+            let content = coll.get_irs_result(irs_query)?;
+            let mut candidates: Vec<Oid> = content
+                .iter()
+                .filter(|(_, &v)| v > threshold)
+                .map(|(&oid, _)| oid)
+                .collect();
+            candidates.sort();
+            // IRS has no database functionality: each structural check is
+            // a separate narrow call into the DBMS.
+            oids = Vec::new();
+            for oid in candidates {
+                crossings += 1;
+                let Ok(obj) = db.object(oid) else { continue };
+                if db.schema().is_subclass(obj.class, class_id) && structural(db, oid) {
+                    oids.push(oid);
+                }
+            }
+        }
+    }
+
+    oids.sort();
+    Ok(ArchOutcome {
+        oids,
+        interface_crossings: crossings,
+        files_exchanged: files,
+    })
+}
+
+fn temp_result_file() -> PathBuf {
+    let dir = std::env::temp_dir().join("coupling-arch");
+    let _ = std::fs::create_dir_all(&dir);
+    // Process-unique, collision-free within a process run.
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    dir.join(format!("result-{}-{}.txt", std::process::id(), n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection::CollectionSetup;
+    use oodb::Value;
+    use sgml::{load_document, parse_document};
+
+    fn setup() -> (Database, Collection) {
+        let mut db = Database::in_memory();
+        db.define_class("IRSObject", None).unwrap();
+        for i in 0..8 {
+            let topic = if i < 4 { "telnet" } else { "www" };
+            let tree = parse_document(&format!(
+                "<MMFDOC><PARA>paragraph {i} about {topic} usage</PARA></MMFDOC>"
+            ))
+            .unwrap();
+            let mut txn = db.begin();
+            let l = load_document(&mut db, &mut txn, &tree, "IRSObject").unwrap();
+            db.set_attr(&mut txn, l.elements[1].1, "pos", Value::Int(i)).unwrap();
+            db.commit(txn).unwrap();
+        }
+        let mut coll = Collection::new("c", CollectionSetup::default());
+        coll.index_objects(&db, "ACCESS p FROM p IN PARA").unwrap();
+        (db, coll)
+    }
+
+    fn even_pos(db: &Database, oid: Oid) -> bool {
+        db.get_attr(oid, "pos")
+            .ok()
+            .and_then(|v| v.as_f64())
+            .is_some_and(|p| (p as i64) % 2 == 0)
+    }
+
+    #[test]
+    fn all_architectures_agree_on_results() {
+        let (db, mut coll) = setup();
+        let mut results = Vec::new();
+        for kind in [
+            ArchitectureKind::DbmsControl,
+            ArchitectureKind::ControlModule,
+            ArchitectureKind::IrsControl,
+        ] {
+            let out = evaluate(kind, &db, &mut coll, "PARA", &even_pos, "telnet", 0.4).unwrap();
+            results.push(out.oids);
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[1], results[2]);
+        assert_eq!(results[0].len(), 2, "paras 0 and 2");
+    }
+
+    #[test]
+    fn dbms_control_minimises_crossings() {
+        let (db, mut coll) = setup();
+        let dbms = evaluate(ArchitectureKind::DbmsControl, &db, &mut coll, "PARA", &even_pos, "telnet", 0.4).unwrap();
+        let module = evaluate(ArchitectureKind::ControlModule, &db, &mut coll, "PARA", &even_pos, "telnet", 0.4).unwrap();
+        let irsctl = evaluate(ArchitectureKind::IrsControl, &db, &mut coll, "PARA", &even_pos, "telnet", 0.4).unwrap();
+        assert_eq!(dbms.interface_crossings, 1);
+        assert_eq!(dbms.files_exchanged, 0);
+        assert_eq!(module.interface_crossings, 2);
+        assert_eq!(module.files_exchanged, 1);
+        // IRS-control pays one crossing per content hit (4 telnet paras).
+        assert_eq!(irsctl.interface_crossings, 1 + 4);
+        assert!(dbms.interface_crossings < module.interface_crossings);
+        assert!(module.interface_crossings < irsctl.interface_crossings);
+    }
+}

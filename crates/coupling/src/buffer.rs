@@ -1,0 +1,294 @@
+//! Persistent buffering of IRS results (paper Figure 3).
+//!
+//! "For both intra- and inter-query optimization, the results of IRS
+//! calls are buffered persistently in a dictionary of type
+//! `||STRING → ||IRSObjects → REAL|| ||`. Its keys are IRS queries"
+//! (Section 4.2). The buffer is LRU-bounded, counts hits and misses (the
+//! E4 experiment's metrics), is invalidated wholesale when update
+//! propagation changes the underlying IRS collection, and can be saved
+//! to / loaded from disk.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use oodb::Oid;
+
+use crate::error::{CouplingError, Result};
+
+/// One buffered IRS result: OID → IRS value.
+pub type ResultMap = HashMap<Oid, f64>;
+
+/// Buffer statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Lookups answered from the buffer.
+    pub hits: u64,
+    /// Lookups that had to call the IRS.
+    pub misses: u64,
+    /// Entries dropped by LRU eviction.
+    pub evictions: u64,
+    /// Whole-buffer invalidations (update propagation).
+    pub invalidations: u64,
+}
+
+/// The IRS-result buffer.
+#[derive(Debug, Clone)]
+pub struct ResultBuffer {
+    entries: HashMap<String, ResultMap>,
+    /// Keys in LRU order (front = least recently used).
+    lru: Vec<String>,
+    capacity: usize,
+    stats: BufferStats,
+}
+
+impl Default for ResultBuffer {
+    fn default() -> Self {
+        Self::new(256)
+    }
+}
+
+impl ResultBuffer {
+    /// Create a buffer holding at most `capacity` query results.
+    pub fn new(capacity: usize) -> Self {
+        ResultBuffer {
+            entries: HashMap::new(),
+            lru: Vec::new(),
+            capacity: capacity.max(1),
+            stats: BufferStats::default(),
+        }
+    }
+
+    /// Number of buffered queries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> BufferStats {
+        self.stats
+    }
+
+    fn touch(&mut self, query: &str) {
+        if let Some(pos) = self.lru.iter().position(|q| q == query) {
+            let q = self.lru.remove(pos);
+            self.lru.push(q);
+        }
+    }
+
+    /// Look up the buffered result of `query`, updating hit/miss counters
+    /// and recency.
+    pub fn get(&mut self, query: &str) -> Option<&ResultMap> {
+        if self.entries.contains_key(query) {
+            self.stats.hits += 1;
+            self.touch(query);
+            self.entries.get(query)
+        } else {
+            self.stats.misses += 1;
+            None
+        }
+    }
+
+    /// Check presence without touching counters or recency (planning).
+    pub fn contains(&self, query: &str) -> bool {
+        self.entries.contains_key(query)
+    }
+
+    /// Buffer the result of `query`, evicting the least recently used
+    /// entry if at capacity.
+    pub fn insert(&mut self, query: &str, result: ResultMap) {
+        if !self.entries.contains_key(query)
+            && self.entries.len() >= self.capacity
+            && !self.lru.is_empty()
+        {
+            let victim = self.lru.remove(0);
+            self.entries.remove(&victim);
+            self.stats.evictions += 1;
+        }
+        if !self.entries.contains_key(query) {
+            self.lru.push(query.to_string());
+        } else {
+            self.touch(query);
+        }
+        self.entries.insert(query.to_string(), result);
+    }
+
+    /// Drop everything — called after the IRS collection changed.
+    pub fn invalidate_all(&mut self) {
+        if !self.entries.is_empty() {
+            self.entries.clear();
+            self.lru.clear();
+        }
+        self.stats.invalidations += 1;
+    }
+
+    /// Persist the buffer to `path` (the paper buffers *persistently*).
+    pub fn save(&self, path: &Path) -> Result<()> {
+        let mut w = BufWriter::new(File::create(path).map_err(irs_io)?);
+        let write_u64 =
+            |w: &mut BufWriter<File>, v: u64| w.write_all(&v.to_le_bytes()).map_err(irs_io);
+        write_u64(&mut w, self.entries.len() as u64)?;
+        // Deterministic order for reproducible files.
+        let mut keys: Vec<&String> = self.entries.keys().collect();
+        keys.sort();
+        for key in keys {
+            let map = &self.entries[key];
+            write_u64(&mut w, key.len() as u64)?;
+            w.write_all(key.as_bytes()).map_err(irs_io)?;
+            write_u64(&mut w, map.len() as u64)?;
+            let mut oids: Vec<(&Oid, &f64)> = map.iter().collect();
+            oids.sort_by_key(|(o, _)| **o);
+            for (oid, val) in oids {
+                write_u64(&mut w, oid.0)?;
+                write_u64(&mut w, val.to_bits())?;
+            }
+        }
+        w.flush().map_err(irs_io)?;
+        Ok(())
+    }
+
+    /// Load a buffer previously written by [`ResultBuffer::save`].
+    /// Capacity and statistics start fresh.
+    pub fn load(path: &Path, capacity: usize) -> Result<Self> {
+        let mut bytes = Vec::new();
+        BufReader::new(File::open(path).map_err(irs_io)?)
+            .read_to_end(&mut bytes)
+            .map_err(irs_io)?;
+        let mut pos = 0usize;
+        let take_u64 = |bytes: &[u8], pos: &mut usize| -> Result<u64> {
+            if *pos + 8 > bytes.len() {
+                return Err(CouplingError::Irs(irs::IrsError::CorruptIndex(
+                    "truncated buffer file".into(),
+                )));
+            }
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&bytes[*pos..*pos + 8]);
+            *pos += 8;
+            Ok(u64::from_le_bytes(b))
+        };
+        let n = take_u64(&bytes, &mut pos)? as usize;
+        let mut out = ResultBuffer::new(capacity);
+        for _ in 0..n {
+            let klen = take_u64(&bytes, &mut pos)? as usize;
+            if pos + klen > bytes.len() {
+                return Err(CouplingError::Irs(irs::IrsError::CorruptIndex(
+                    "truncated buffer key".into(),
+                )));
+            }
+            let key = String::from_utf8(bytes[pos..pos + klen].to_vec()).map_err(|_| {
+                CouplingError::Irs(irs::IrsError::CorruptIndex("non-utf8 buffer key".into()))
+            })?;
+            pos += klen;
+            let m = take_u64(&bytes, &mut pos)? as usize;
+            let mut map = ResultMap::with_capacity(m);
+            for _ in 0..m {
+                let oid = Oid(take_u64(&bytes, &mut pos)?);
+                let val = f64::from_bits(take_u64(&bytes, &mut pos)?);
+                map.insert(oid, val);
+            }
+            out.insert(&key, map);
+        }
+        out.stats = BufferStats::default();
+        Ok(out)
+    }
+}
+
+fn irs_io(e: std::io::Error) -> CouplingError {
+    CouplingError::Irs(irs::IrsError::Io(e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(pairs: &[(u64, f64)]) -> ResultMap {
+        pairs.iter().map(|&(o, v)| (Oid(o), v)).collect()
+    }
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let mut b = ResultBuffer::new(8);
+        assert!(b.get("q1").is_none());
+        b.insert("q1", map(&[(1, 0.7)]));
+        assert_eq!(b.get("q1").unwrap()[&Oid(1)], 0.7);
+        let s = b.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_drops_oldest() {
+        let mut b = ResultBuffer::new(2);
+        b.insert("q1", map(&[(1, 0.1)]));
+        b.insert("q2", map(&[(2, 0.2)]));
+        // Touch q1 so q2 becomes LRU.
+        b.get("q1");
+        b.insert("q3", map(&[(3, 0.3)]));
+        assert!(b.contains("q1"));
+        assert!(!b.contains("q2"));
+        assert!(b.contains("q3"));
+        assert_eq!(b.stats().evictions, 1);
+    }
+
+    #[test]
+    fn invalidation_clears_everything() {
+        let mut b = ResultBuffer::new(8);
+        b.insert("q1", map(&[(1, 0.5)]));
+        b.invalidate_all();
+        assert!(b.is_empty());
+        assert!(b.get("q1").is_none());
+        assert_eq!(b.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn reinsert_updates_value_without_eviction() {
+        let mut b = ResultBuffer::new(2);
+        b.insert("q1", map(&[(1, 0.1)]));
+        b.insert("q1", map(&[(1, 0.9)]));
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.get("q1").unwrap()[&Oid(1)], 0.9);
+        assert_eq!(b.stats().evictions, 0);
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = std::env::temp_dir().join("coupling-buffer-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("buf.bin");
+        let mut b = ResultBuffer::new(8);
+        b.insert("#and(www nii)", map(&[(1, 0.75), (2, 0.5)]));
+        b.insert("telnet", map(&[(3, 0.9)]));
+        b.save(&path).unwrap();
+        let mut loaded = ResultBuffer::load(&path, 8).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded.get("#and(www nii)").unwrap()[&Oid(2)], 0.5);
+        assert_eq!(loaded.get("telnet").unwrap()[&Oid(3)], 0.9);
+    }
+
+    #[test]
+    fn load_rejects_truncated_files() {
+        let dir = std::env::temp_dir().join("coupling-buffer-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trunc.bin");
+        let mut b = ResultBuffer::new(8);
+        b.insert("q", map(&[(1, 0.5)]));
+        b.save(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 4]).unwrap();
+        assert!(ResultBuffer::load(&path, 8).is_err());
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let mut b = ResultBuffer::new(0);
+        b.insert("q1", map(&[(1, 0.1)]));
+        b.insert("q2", map(&[(2, 0.2)]));
+        assert_eq!(b.len(), 1);
+    }
+}

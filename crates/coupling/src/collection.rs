@@ -1,0 +1,653 @@
+//! The `COLLECTION` coupling class (paper Section 4.2).
+//!
+//! "Instances of database class COLLECTION encapsulate exactly one IRS
+//! collection. The number of IRS collections in use is arbitrary."
+//! A [`Collection`] owns one [`irs::IrsCollection`], remembers its
+//! specification query and text mode, buffers IRS results persistently
+//! (Figure 3), and implements `findIRSValue` with automatic fall-through
+//! to `deriveIRSValue` for unrepresented objects.
+
+use std::collections::{HashMap, HashSet};
+
+use irs::{CollectionConfig, IrsCollection};
+use oodb::{Database, MethodCtx, Oid};
+
+use crate::buffer::{ResultBuffer, ResultMap};
+use crate::derive::{DerivationScheme, IrsAccess};
+use crate::error::{CouplingError, Result};
+use crate::textmode::TextMode;
+
+/// Configuration of a coupling collection.
+#[derive(Debug, Clone, Default)]
+pub struct CollectionSetup {
+    /// IRS-side configuration (analysis pipeline + retrieval model).
+    pub irs: CollectionConfig,
+    /// How `getText` extracts an object's text (the `textMode` parameter
+    /// of `indexObjects`).
+    pub text_mode: TextMode,
+    /// How unrepresented objects derive their IRS values.
+    pub derivation: DerivationScheme,
+    /// Capacity of the IRS-result buffer (queries).
+    pub buffer_capacity: usize,
+}
+
+impl CollectionSetup {
+    /// Setup with a given text mode and otherwise default parameters.
+    pub fn with_text_mode(text_mode: TextMode) -> Self {
+        CollectionSetup {
+            text_mode,
+            ..CollectionSetup::default()
+        }
+    }
+}
+
+/// Work counters of the coupling layer (consumed by E4/E7).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CouplingStats {
+    /// Queries actually submitted to the IRS (buffer misses).
+    pub irs_calls: u64,
+    /// Values answered via `deriveIRSValue`.
+    pub derivations: u64,
+    /// Objects (re-)indexed into the IRS collection.
+    pub indexed_objects: u64,
+}
+
+/// A coupled document collection.
+#[derive(Debug)]
+pub struct Collection {
+    name: String,
+    irs: IrsCollection,
+    text_mode: TextMode,
+    derivation: DerivationScheme,
+    buffer: ResultBuffer,
+    represented: HashSet<Oid>,
+    /// Root objects indexed in equal-size segments (their IRS documents
+    /// are `oid:N#k` keys).
+    segmented: HashSet<Oid>,
+    /// `(window, stride)` used for segment/passage indexing.
+    segment_config: Option<(usize, usize)>,
+    /// IRS documents currently held per segmented root (for stale-tail
+    /// deletion on re-index).
+    segment_counts: HashMap<Oid, usize>,
+    spec_query: Option<String>,
+    stats: CouplingStats,
+}
+
+impl Collection {
+    /// Create an empty collection.
+    pub fn new(name: &str, setup: CollectionSetup) -> Self {
+        let cap = if setup.buffer_capacity == 0 {
+            256
+        } else {
+            setup.buffer_capacity
+        };
+        Collection {
+            name: name.to_string(),
+            irs: IrsCollection::new(setup.irs),
+            text_mode: setup.text_mode,
+            derivation: setup.derivation,
+            buffer: ResultBuffer::new(cap),
+            represented: HashSet::new(),
+            segmented: HashSet::new(),
+            segment_config: None,
+            segment_counts: HashMap::new(),
+            spec_query: None,
+            stats: CouplingStats::default(),
+        }
+    }
+
+    /// Collection name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The specification query used by the last [`Collection::index_objects`].
+    pub fn spec_query(&self) -> Option<&str> {
+        self.spec_query.as_deref()
+    }
+
+    /// The derivation scheme in use.
+    pub fn derivation(&self) -> &DerivationScheme {
+        &self.derivation
+    }
+
+    /// The text mode in use.
+    pub fn text_mode(&self) -> &TextMode {
+        &self.text_mode
+    }
+
+    /// Rebuild a collection from persisted parts (see
+    /// [`crate::persist`]). The represented/segmented sets are
+    /// reconstructed from the IRS document keys (`oid:N` vs `oid:N#k`).
+    pub fn from_saved(
+        name: &str,
+        irs: IrsCollection,
+        text_mode: TextMode,
+        derivation: DerivationScheme,
+        spec_query: Option<String>,
+        buffer: ResultBuffer,
+        segment_config: Option<(usize, usize)>,
+    ) -> Self {
+        let mut represented = HashSet::new();
+        let mut segmented = HashSet::new();
+        let mut segment_counts: HashMap<Oid, usize> = HashMap::new();
+        for (_, entry) in irs.index().store().iter_live() {
+            match entry.key.split_once('#') {
+                Some((prefix, k)) => {
+                    if let Some(oid) = Oid::parse(prefix) {
+                        segmented.insert(oid);
+                        if let Ok(k) = k.parse::<usize>() {
+                            let c = segment_counts.entry(oid).or_default();
+                            *c = (*c).max(k + 1);
+                        }
+                    }
+                }
+                None => {
+                    if let Some(oid) = Oid::parse(&entry.key) {
+                        represented.insert(oid);
+                    }
+                }
+            }
+        }
+        Collection {
+            name: name.to_string(),
+            irs,
+            text_mode,
+            derivation,
+            buffer,
+            represented,
+            segmented,
+            segment_config,
+            segment_counts,
+            spec_query,
+            stats: CouplingStats::default(),
+        }
+    }
+
+    /// The `(window, stride)` of segment/passage indexing, if any.
+    pub fn segment_config(&self) -> Option<(usize, usize)> {
+        self.segment_config
+    }
+
+    /// Borrow the result buffer (persistence).
+    pub fn buffer(&self) -> &ResultBuffer {
+        &self.buffer
+    }
+
+    /// Replace the derivation scheme (e.g. to compare schemes in E3).
+    pub fn set_derivation(&mut self, scheme: DerivationScheme) {
+        self.derivation = scheme;
+    }
+
+    /// Coupling work counters.
+    pub fn stats(&self) -> CouplingStats {
+        self.stats
+    }
+
+    /// Buffer statistics.
+    pub fn buffer_stats(&self) -> crate::buffer::BufferStats {
+        self.buffer.stats()
+    }
+
+    /// Direct access to the underlying IRS collection (index statistics,
+    /// experiments).
+    pub fn irs(&self) -> &IrsCollection {
+        &self.irs
+    }
+
+    /// Number of represented objects.
+    pub fn len(&self) -> usize {
+        self.represented.len() + self.segmented.len()
+    }
+
+    /// True if nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    // ------------------------------------------------------------------
+    // indexObjects (paper Section 4.2)
+    // ------------------------------------------------------------------
+
+    /// Evaluate `spec_query` against the database and index every
+    /// returned object: "indexObjects evaluates the specification query
+    /// specQuery. The result is a set of IRSObjects. For each of these
+    /// the method getText is invoked." Returns the number of objects
+    /// indexed.
+    pub fn index_objects(&mut self, db: &Database, spec_query: &str) -> Result<usize> {
+        let rows = db.query(spec_query)?;
+        let mut oids = Vec::with_capacity(rows.len());
+        for row in &rows {
+            let oid = row.oid().ok_or_else(|| {
+                CouplingError::BadSpecQuery(format!(
+                    "specification query {spec_query:?} returned a non-object row"
+                ))
+            })?;
+            oids.push(oid);
+        }
+        self.spec_query = Some(spec_query.to_string());
+        let ctx = db.method_ctx();
+        for oid in &oids {
+            self.index_one(&ctx, *oid)?;
+        }
+        self.buffer.invalidate_all();
+        Ok(oids.len())
+    }
+
+    /// Index (or re-index) a single object.
+    fn index_one(&mut self, ctx: &MethodCtx<'_>, oid: Oid) -> Result<()> {
+        let text = self.text_mode.get_text(ctx, oid);
+        let key = oid.to_string();
+        if self.represented.contains(&oid) {
+            self.irs.update_document(&key, &text)?;
+        } else {
+            self.irs.add_document(&key, &text)?;
+            self.represented.insert(oid);
+        }
+        self.stats.indexed_objects += 1;
+        Ok(())
+    }
+
+    /// Index `roots` in fixed-size segments of `words` tokens — the
+    /// [HeP93]/[Cal94] equal-length strategy ("IRS documents of
+    /// approximately the same size", paper Section 4.3). Segment hits
+    /// are combined back into per-object values in
+    /// [`Collection::get_irs_result`].
+    pub fn index_segments(&mut self, db: &Database, roots: &[Oid], words: usize) -> Result<usize> {
+        self.index_passages(db, roots, words, words)
+    }
+
+    /// Index `roots` as **overlapping passages** of `window` tokens
+    /// advancing by `stride` — the [SAB93] passage retrieval the paper
+    /// names as "an interesting candidate" for deriving IRS values
+    /// (Section 6). With a bounded model, [`Collection::get_irs_result`]
+    /// folds passage hits by maximum, i.e. each object's IRS value is its
+    /// *best passage* — exactly [SAB93]'s document score.
+    pub fn index_passages(
+        &mut self,
+        db: &Database,
+        roots: &[Oid],
+        window: usize,
+        stride: usize,
+    ) -> Result<usize> {
+        let window = window.max(1);
+        let stride = stride.clamp(1, window);
+        self.segment_config = Some((window, stride));
+        let ctx = db.method_ctx();
+        let mut passages = 0usize;
+        for &root in roots {
+            passages += self.reindex_segmented(&ctx, root)?;
+        }
+        self.buffer.invalidate_all();
+        Ok(passages)
+    }
+
+    /// (Re-)chunk one segmented root with the current segment config,
+    /// updating existing IRS documents and deleting stale tail segments
+    /// when the text shrank. Returns the number of live segments.
+    fn reindex_segmented(&mut self, ctx: &MethodCtx<'_>, root: Oid) -> Result<usize> {
+        let (window, stride) = self.segment_config.unwrap_or((30, 30));
+        let text = self.text_mode.get_text(ctx, root);
+        let tokens: Vec<&str> = text.split_whitespace().collect();
+        let mut count = 0usize;
+        let starts = (0..tokens.len().max(1)).step_by(stride);
+        for (k, start) in starts.enumerate() {
+            let end = (start + window).min(tokens.len());
+            let chunk = tokens.get(start..end).unwrap_or(&[]).join(" ");
+            let key = format!("{root}#{k}");
+            if self.irs.contains(&key) {
+                self.irs.update_document(&key, &chunk)?;
+            } else {
+                self.irs.add_document(&key, &chunk)?;
+            }
+            count += 1;
+            // The final window covers the tail; further starts would
+            // only produce sub-windows of it.
+            if end == tokens.len() {
+                break;
+            }
+        }
+        // Drop stale tail segments from a previous, longer text.
+        let old = self.segment_counts.insert(root, count).unwrap_or(0);
+        for k in count..old {
+            let key = format!("{root}#{k}");
+            if self.irs.contains(&key) {
+                self.irs.delete_document(&key)?;
+            }
+        }
+        self.segmented.insert(root);
+        self.stats.indexed_objects += 1;
+        Ok(count)
+    }
+
+    /// True if `oid` has an IRS document (directly or via segments).
+    pub fn is_represented(&self, oid: Oid) -> bool {
+        self.represented.contains(&oid) || self.segmented.contains(&oid)
+    }
+
+    // ------------------------------------------------------------------
+    // getIRSResult (paper Section 4.2, Figure 3)
+    // ------------------------------------------------------------------
+
+    /// Submit `query` to the IRS (through the persistent buffer) and
+    /// return `OID → IRS value` for every matching object. Segment hits
+    /// are folded into their root object (beliefs combine by max;
+    /// unbounded scores sum, following [HeP93]).
+    pub fn get_irs_result(&mut self, query: &str) -> Result<ResultMap> {
+        if let Some(hit) = self.buffer.get(query) {
+            return Ok(hit.clone());
+        }
+        let map = self.evaluate_uncached(query)?;
+        self.buffer.insert(query, map.clone());
+        Ok(map)
+    }
+
+    /// Evaluate against the IRS without touching the buffer (used by E4's
+    /// unbuffered baseline).
+    pub fn evaluate_uncached(&mut self, query: &str) -> Result<ResultMap> {
+        self.stats.irs_calls += 1;
+        let bounded = self.irs.config().model.as_model().bounded();
+        let hits = self.irs.search(query)?;
+        let mut map = ResultMap::new();
+        for hit in hits {
+            let (oid_part, _segment) = match hit.key.split_once('#') {
+                Some((o, s)) => (o, Some(s)),
+                None => (hit.key.as_str(), None),
+            };
+            let Some(oid) = Oid::parse(oid_part) else {
+                continue;
+            };
+            let entry = map.entry(oid).or_insert(0.0);
+            if bounded {
+                *entry = entry.max(hit.score);
+            } else {
+                *entry += hit.score;
+            }
+        }
+        Ok(map)
+    }
+
+    // ------------------------------------------------------------------
+    // findIRSValue / deriveIRSValue (paper Section 4.2, Figure 3)
+    // ------------------------------------------------------------------
+
+    /// The IRS value of `oid` for `query`. "If the object is represented
+    /// in the IRS collection, the IRS directly calculates the value,
+    /// otherwise deriveIRSValue is invoked."
+    pub fn get_irs_value(&mut self, ctx: &MethodCtx<'_>, query: &str, oid: Oid) -> Result<f64> {
+        if self.is_represented(oid) {
+            let result = self.get_irs_result(query)?;
+            Ok(result.get(&oid).copied().unwrap_or(0.0))
+        } else {
+            self.stats.derivations += 1;
+            let scheme = self.derivation.clone();
+            Ok(scheme.derive(ctx, self, query, oid))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Update methods (paper Section 4.2: "One out of three update
+    // methods – for insertions, modifications and deletions – has to be
+    // invoked whenever a relevant update occurs.")
+    // ------------------------------------------------------------------
+
+    /// Propagate an object insertion into the IRS collection.
+    pub fn on_insert(&mut self, ctx: &MethodCtx<'_>, oid: Oid) -> Result<()> {
+        self.index_one(ctx, oid)?;
+        self.buffer.invalidate_all();
+        Ok(())
+    }
+
+    /// Propagate a text modification. Directly represented objects are
+    /// re-indexed; segmented roots are re-chunked (stale tail segments
+    /// are deleted).
+    pub fn on_modify(&mut self, ctx: &MethodCtx<'_>, oid: Oid) -> Result<()> {
+        if self.represented.contains(&oid) {
+            let text = self.text_mode.get_text(ctx, oid);
+            self.irs.update_document(&oid.to_string(), &text)?;
+            self.stats.indexed_objects += 1;
+            self.buffer.invalidate_all();
+        }
+        if self.segmented.contains(&oid) {
+            self.reindex_segmented(ctx, oid)?;
+            self.buffer.invalidate_all();
+        }
+        Ok(())
+    }
+
+    /// The represented objects whose IRS documents contain `oid`'s text:
+    /// `oid` itself plus every represented ancestor (subtree text modes
+    /// embed descendants' text, so a paragraph edit stales the enclosing
+    /// section and document representations too).
+    pub fn affected_by_text_change(&self, ctx: &MethodCtx<'_>, oid: Oid) -> Vec<Oid> {
+        let mut out = Vec::new();
+        let mut cur = Some(oid);
+        while let Some(o) = cur {
+            if self.is_represented(o) {
+                out.push(o);
+            }
+            cur = ctx
+                .store
+                .get(o)
+                .ok()
+                .and_then(|obj| obj.attr("parent").as_oid());
+        }
+        out
+    }
+
+    /// Propagate an object deletion.
+    pub fn on_delete(&mut self, oid: Oid) -> Result<()> {
+        if self.represented.remove(&oid) {
+            self.irs.delete_document(&oid.to_string())?;
+            self.buffer.invalidate_all();
+        }
+        Ok(())
+    }
+
+    /// Compact the IRS index if worthwhile (tombstone ratio).
+    pub fn commit_irs(&mut self) {
+        self.irs.commit();
+    }
+}
+
+impl IrsAccess for Collection {
+    fn is_represented(&self, oid: Oid) -> bool {
+        Collection::is_represented(self, oid)
+    }
+
+    fn value_of(&mut self, _ctx: &MethodCtx<'_>, query: &str, oid: Oid) -> f64 {
+        match self.get_irs_result(query) {
+            Ok(map) => map.get(&oid).copied().unwrap_or(0.0),
+            Err(_) => 0.0,
+        }
+    }
+
+    fn default_score(&self) -> f64 {
+        self.irs.config().model.as_model().default_score()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oodb::{Database, Value};
+    use sgml::{load_document, parse_document};
+
+    fn db_with_docs() -> (Database, Vec<sgml::LoadedDoc>) {
+        let mut db = Database::in_memory();
+        db.define_class("IRSObject", None).unwrap();
+        let docs = [
+            "<MMFDOC><DOCTITLE>Telnet</DOCTITLE><PARA>telnet is a protocol</PARA>\
+             <PARA>telnet enables remote login</PARA></MMFDOC>",
+            "<MMFDOC><DOCTITLE>Web</DOCTITLE><PARA>the www connects documents</PARA>\
+             <PARA>the nii is an information highway</PARA></MMFDOC>",
+        ];
+        let mut loaded = Vec::new();
+        for d in docs {
+            let tree = parse_document(d).unwrap();
+            let mut txn = db.begin();
+            loaded.push(load_document(&mut db, &mut txn, &tree, "IRSObject").unwrap());
+            db.commit(txn).unwrap();
+        }
+        (db, loaded)
+    }
+
+    #[test]
+    fn index_objects_via_spec_query() {
+        let (db, _) = db_with_docs();
+        let mut coll = Collection::new("collPara", CollectionSetup::default());
+        let n = coll.index_objects(&db, "ACCESS p FROM p IN PARA").unwrap();
+        assert_eq!(n, 4);
+        assert_eq!(coll.len(), 4);
+        assert_eq!(coll.spec_query(), Some("ACCESS p FROM p IN PARA"));
+        assert_eq!(coll.stats().indexed_objects, 4);
+    }
+
+    #[test]
+    fn bad_spec_query_rejected() {
+        let (db, _) = db_with_docs();
+        let mut coll = Collection::new("c", CollectionSetup::default());
+        // Returns strings, not objects.
+        let err = coll.index_objects(&db, "ACCESS p -> getAttributeValue('text') FROM p IN PARA");
+        assert!(matches!(err, Err(CouplingError::BadSpecQuery(_))));
+        assert!(matches!(
+            coll.index_objects(&db, "ACCESS FROM"),
+            Err(CouplingError::Db(_))
+        ));
+    }
+
+    #[test]
+    fn get_irs_result_maps_oids() {
+        let (db, loaded) = db_with_docs();
+        let mut coll = Collection::new("c", CollectionSetup::default());
+        coll.index_objects(&db, "ACCESS p FROM p IN PARA").unwrap();
+        let result = coll.get_irs_result("telnet").unwrap();
+        assert_eq!(result.len(), 2, "both telnet paragraphs match");
+        // All hits belong to the first document's paragraphs.
+        for oid in result.keys() {
+            assert!(loaded[0].elements.iter().any(|(_, o)| o == oid));
+        }
+    }
+
+    #[test]
+    fn buffering_avoids_repeat_irs_calls() {
+        let (db, _) = db_with_docs();
+        let mut coll = Collection::new("c", CollectionSetup::default());
+        coll.index_objects(&db, "ACCESS p FROM p IN PARA").unwrap();
+        coll.get_irs_result("telnet").unwrap();
+        coll.get_irs_result("telnet").unwrap();
+        coll.get_irs_result("telnet").unwrap();
+        assert_eq!(coll.stats().irs_calls, 1, "one miss, two hits");
+        assert_eq!(coll.buffer_stats().hits, 2);
+    }
+
+    #[test]
+    fn represented_value_vs_derived_value() {
+        let (db, loaded) = db_with_docs();
+        let mut coll = Collection::new("c", CollectionSetup::default());
+        coll.index_objects(&db, "ACCESS p FROM p IN PARA").unwrap();
+        let ctx = db.method_ctx();
+        // A paragraph is represented → direct value.
+        let para = loaded[0].elements.iter().find(|(_, o)| {
+            coll.is_represented(*o)
+        }).unwrap().1;
+        let v = coll.get_irs_value(&ctx, "telnet", para).unwrap();
+        assert!(v > 0.0);
+        assert_eq!(coll.stats().derivations, 0);
+        // The document root is NOT represented → derivation kicks in.
+        let root = loaded[0].root;
+        assert!(!coll.is_represented(root));
+        let dv = coll.get_irs_value(&ctx, "telnet", root).unwrap();
+        assert!(dv > 0.0, "derived from paragraph values");
+        assert_eq!(coll.stats().derivations, 1);
+    }
+
+    #[test]
+    fn update_methods_keep_irs_in_sync() {
+        let (mut db, loaded) = db_with_docs();
+        let mut coll = Collection::new("c", CollectionSetup::default());
+        coll.index_objects(&db, "ACCESS p FROM p IN PARA").unwrap();
+        let para = loaded[0].elements[2].1; // second PARA? index 0 is MMFDOC
+        // Modify its text in the database, then propagate.
+        let mut txn = db.begin();
+        db.set_attr(&mut txn, para, "text", Value::from("gopher menus everywhere")).unwrap();
+        db.commit(txn).unwrap();
+        let ctx = db.method_ctx();
+        coll.on_modify(&ctx, para).unwrap();
+        let gopher = coll.get_irs_result("gopher").unwrap();
+        assert_eq!(gopher.len(), 1);
+        // Delete it.
+        coll.on_delete(para).unwrap();
+        assert!(coll.get_irs_result("gopher").unwrap().is_empty());
+        // Deleting an unrepresented object is a no-op.
+        coll.on_delete(Oid(99999)).unwrap();
+    }
+
+    #[test]
+    fn updates_invalidate_the_buffer() {
+        let (db, loaded) = db_with_docs();
+        let mut coll = Collection::new("c", CollectionSetup::default());
+        coll.index_objects(&db, "ACCESS p FROM p IN PARA").unwrap();
+        coll.get_irs_result("telnet").unwrap();
+        let inval_before = coll.buffer_stats().invalidations;
+        // elements[2] is the first PARA (0 = MMFDOC, 1 = DOCTITLE).
+        coll.on_delete(loaded[0].elements[2].1).unwrap();
+        assert!(coll.buffer_stats().invalidations > inval_before);
+        // Next query is a miss again.
+        let calls_before = coll.stats().irs_calls;
+        coll.get_irs_result("telnet").unwrap();
+        assert_eq!(coll.stats().irs_calls, calls_before + 1);
+    }
+
+    #[test]
+    fn segment_indexing_folds_hits_to_roots() {
+        let (db, loaded) = db_with_docs();
+        let mut coll = Collection::new("seg", CollectionSetup::default());
+        let roots: Vec<Oid> = loaded.iter().map(|l| l.root).collect();
+        let segments = coll.index_segments(&db, &roots, 4).unwrap();
+        assert!(segments >= 2, "documents split into multiple segments");
+        let result = coll.get_irs_result("telnet").unwrap();
+        assert_eq!(result.len(), 1);
+        assert!(result.contains_key(&roots[0]));
+        assert!(coll.is_represented(roots[0]));
+    }
+
+    #[test]
+    fn passages_overlap_and_fold_to_best_passage() {
+        let (db, loaded) = db_with_docs();
+        let mut coll = Collection::new("pass", CollectionSetup::default());
+        let roots: Vec<Oid> = loaded.iter().map(|l| l.root).collect();
+        // Window 6, stride 3 → consecutive passages share 3 tokens.
+        let n = coll.index_passages(&db, &roots, 6, 3).unwrap();
+        assert!(n > roots.len(), "overlap yields more passages than documents");
+        let result = coll.get_irs_result("telnet").unwrap();
+        assert_eq!(result.len(), 1);
+        let (oid, score) = result.iter().next().unwrap();
+        assert_eq!(*oid, roots[0]);
+        assert!((0.0..=1.0).contains(score), "best-passage score is a belief");
+        assert!(coll.is_represented(roots[0]));
+    }
+
+    #[test]
+    fn passage_stride_larger_than_window_is_clamped() {
+        let (db, loaded) = db_with_docs();
+        let mut coll = Collection::new("pass", CollectionSetup::default());
+        let roots = vec![loaded[0].root];
+        // stride > window would skip text; the API clamps it to window.
+        let n_clamped = coll.index_passages(&db, &roots, 4, 100).unwrap();
+        let mut coll2 = Collection::new("seg", CollectionSetup::default());
+        let n_exact = coll2.index_segments(&db, &roots, 4).unwrap();
+        assert_eq!(n_clamped, n_exact, "clamped passages tile like segments");
+    }
+
+    #[test]
+    fn reindex_same_object_updates() {
+        let (db, _) = db_with_docs();
+        let mut coll = Collection::new("c", CollectionSetup::default());
+        coll.index_objects(&db, "ACCESS p FROM p IN PARA").unwrap();
+        // Second indexObjects run with the same spec query must not fail.
+        let n = coll.index_objects(&db, "ACCESS p FROM p IN PARA").unwrap();
+        assert_eq!(n, 4);
+        assert_eq!(coll.len(), 4);
+    }
+}

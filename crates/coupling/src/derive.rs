@@ -1,0 +1,439 @@
+//! `deriveIRSValue` — computing IRS values for objects that are *not*
+//! represented in an IRS collection, from the values of related objects.
+//!
+//! This is the paper's central answer to redundancy in hierarchical
+//! documents (Section 4.3.1 alternative (4), Section 4.5.2): index only
+//! the paragraphs, and *derive* document-level IRS values from paragraph
+//! values. "With our framework the computation is left open to the
+//! application" — the built-in schemes cover everything Section 4.5.2
+//! discusses:
+//!
+//! * [`DerivationScheme::Max`] / [`DerivationScheme::Avg`] — the
+//!   [CST92] suggestions ("compute the average or maximum of IRS values
+//!   of all components"). The paper's own tests used Max.
+//! * [`DerivationScheme::WeightedByType`] — weighting by component
+//!   element type ([Wil94]).
+//! * [`DerivationScheme::LengthWeighted`] — taking component length into
+//!   account, as INQUERY itself does.
+//! * [`DerivationScheme::SubqueryAware`] — the paper's Figure 4
+//!   argument: "the information how relevant elements are to the
+//!   subqueries must be exploited. Hence, first of all, the subqueries
+//!   need to be identified." The scheme decomposes the query into leaf
+//!   subqueries, derives a per-subquery value (max over components), and
+//!   recombines them through the query's own operator tree. This is what
+//!   ranks M3 (both terms present, in different paragraphs) above M4
+//!   (only one term present twice).
+
+use std::collections::HashMap;
+
+use irs::query::QueryNode;
+use irs::parse_query;
+use oodb::{MethodCtx, Oid, Value};
+
+use crate::textmode::subtree_text;
+
+/// Access to a collection's per-object IRS values, as derivation needs
+/// it. Implemented by [`crate::Collection`]; test doubles implement it
+/// directly.
+pub trait IrsAccess {
+    /// True if `oid` has an IRS document in the collection.
+    fn is_represented(&self, oid: Oid) -> bool;
+
+    /// IRS value of a *represented* object for `query` (0.0 when the
+    /// object is not part of the IRS result).
+    fn value_of(&mut self, ctx: &MethodCtx<'_>, query: &str, oid: Oid) -> f64;
+
+    /// The retrieval model's score for a document with *no* evidence —
+    /// the inference network's default belief (0.4), 0.0 for set- and
+    /// similarity-oriented models. Subquery-aware derivation floors
+    /// per-subquery evidence here so missing terms behave as they would
+    /// for represented objects.
+    fn default_score(&self) -> f64 {
+        0.0
+    }
+}
+
+/// How an unrepresented object's IRS value is computed from its
+/// components' values.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum DerivationScheme {
+    /// Maximum component value (the paper's own test implementation:
+    /// "iterating through the elements components and determining the
+    /// maximal IRS value").
+    #[default]
+    Max,
+    /// Mean component value.
+    Avg,
+    /// Sum of component values, clamped to 1.0.
+    Sum,
+    /// Weighted mean with per-element-type weights; unlisted types weigh
+    /// 1.0.
+    WeightedByType(HashMap<String, f64>),
+    /// Mean weighted by component text length.
+    LengthWeighted,
+    /// Per-subquery maxima recombined through the query operator tree.
+    SubqueryAware,
+}
+
+/// Find the *nearest represented descendants* of `oid`: depth-first, stop
+/// descending at the first represented object on each path. These are
+/// the "components" whose IRS values derivation combines.
+pub fn represented_components(
+    ctx: &MethodCtx<'_>,
+    access: &impl IrsAccess,
+    oid: Oid,
+) -> Vec<Oid> {
+    let mut out = Vec::new();
+    let Ok(obj) = ctx.store.get(oid) else {
+        return out;
+    };
+    let Some(children) = obj.attr_ref("children").and_then(Value::as_list) else {
+        return out;
+    };
+    for c in children {
+        let Some(child) = c.as_oid() else { continue };
+        if access.is_represented(child) {
+            out.push(child);
+        } else {
+            out.extend(represented_components(ctx, access, child));
+        }
+    }
+    out
+}
+
+impl DerivationScheme {
+    /// Derive the IRS value of `oid` for `query`.
+    pub fn derive(
+        &self,
+        ctx: &MethodCtx<'_>,
+        access: &mut impl IrsAccess,
+        query: &str,
+        oid: Oid,
+    ) -> f64 {
+        let components = represented_components(ctx, access, oid);
+        if components.is_empty() {
+            return 0.0;
+        }
+        match self {
+            DerivationScheme::Max => components
+                .iter()
+                .map(|&c| access.value_of(ctx, query, c))
+                .fold(0.0, f64::max),
+            DerivationScheme::Avg => {
+                let sum: f64 = components.iter().map(|&c| access.value_of(ctx, query, c)).sum();
+                sum / components.len() as f64
+            }
+            DerivationScheme::Sum => {
+                let sum: f64 = components.iter().map(|&c| access.value_of(ctx, query, c)).sum();
+                sum.min(1.0)
+            }
+            DerivationScheme::WeightedByType(weights) => {
+                let mut num = 0.0;
+                let mut den = 0.0;
+                for &c in &components {
+                    let w = ctx
+                        .store
+                        .get(c)
+                        .ok()
+                        .map(|obj| ctx.schema.name(obj.class))
+                        .and_then(|name| weights.get(name).copied())
+                        .unwrap_or(1.0);
+                    num += w * access.value_of(ctx, query, c);
+                    den += w;
+                }
+                if den == 0.0 {
+                    0.0
+                } else {
+                    num / den
+                }
+            }
+            DerivationScheme::LengthWeighted => {
+                let mut num = 0.0;
+                let mut den = 0.0;
+                for &c in &components {
+                    let w = subtree_text(ctx, c).chars().count().max(1) as f64;
+                    num += w * access.value_of(ctx, query, c);
+                    den += w;
+                }
+                num / den
+            }
+            DerivationScheme::SubqueryAware => {
+                let Ok(node) = parse_query(query) else {
+                    // Unparseable query: fall back to whole-query max.
+                    return DerivationScheme::Max.derive(ctx, access, query, oid);
+                };
+                let floor = access.default_score();
+                eval_subqueries(&node, &mut |leaf| {
+                    let sub = leaf.to_string();
+                    components
+                        .iter()
+                        .map(|&c| access.value_of(ctx, &sub, c))
+                        .fold(floor, f64::max)
+                })
+            }
+        }
+    }
+}
+
+/// Evaluate a query operator tree bottom-up, obtaining leaf (term or
+/// phrase) beliefs from `leaf_value` and combining with the
+/// inference-network algebra (the coupling knows "half a dozen operators'
+/// exact semantics", paper Section 4.5.4).
+fn eval_subqueries(node: &QueryNode, leaf_value: &mut impl FnMut(&QueryNode) -> f64) -> f64 {
+    match node {
+        QueryNode::Term(_) | QueryNode::Phrase(_) | QueryNode::Near { .. } => leaf_value(node),
+        QueryNode::And(cs) => cs.iter().map(|c| eval_subqueries(c, leaf_value)).product(),
+        QueryNode::Or(cs) => {
+            1.0 - cs
+                .iter()
+                .map(|c| 1.0 - eval_subqueries(c, leaf_value))
+                .product::<f64>()
+        }
+        QueryNode::Not(c) => 1.0 - eval_subqueries(c, leaf_value),
+        QueryNode::Sum(cs) => {
+            if cs.is_empty() {
+                0.0
+            } else {
+                cs.iter().map(|c| eval_subqueries(c, leaf_value)).sum::<f64>() / cs.len() as f64
+            }
+        }
+        QueryNode::WSum(ws) => {
+            let total: f64 = ws.iter().map(|(w, _)| w).sum();
+            if total == 0.0 {
+                0.0
+            } else {
+                ws.iter()
+                    .map(|(w, c)| w * eval_subqueries(c, leaf_value))
+                    .sum::<f64>()
+                    / total
+            }
+        }
+        QueryNode::Max(cs) => cs
+            .iter()
+            .map(|c| eval_subqueries(c, leaf_value))
+            .fold(f64::NEG_INFINITY, f64::max),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oodb::Database;
+
+    /// Test double: fixed per-(query, oid) values; everything in `values`
+    /// counts as represented.
+    struct Fixed {
+        values: HashMap<(String, Oid), f64>,
+        represented: Vec<Oid>,
+    }
+
+    impl IrsAccess for Fixed {
+        fn is_represented(&self, oid: Oid) -> bool {
+            self.represented.contains(&oid)
+        }
+        fn value_of(&mut self, _ctx: &MethodCtx<'_>, query: &str, oid: Oid) -> f64 {
+            *self.values.get(&(query.to_string(), oid)).unwrap_or(&0.0)
+        }
+    }
+
+    /// Build the paper's Figure 4 fragment: documents with paragraph
+    /// children; paragraphs carry `text` and are the represented level.
+    fn figure4_db() -> (Database, HashMap<&'static str, Oid>) {
+        let mut db = Database::in_memory();
+        db.define_class("IRSObject", None).unwrap();
+        db.define_class("MMFDOC", Some("IRSObject")).unwrap();
+        db.define_class("PARA", Some("IRSObject")).unwrap();
+        let doc_c = db.schema().class_id("MMFDOC").unwrap();
+        let para_c = db.schema().class_id("PARA").unwrap();
+        let mut txn = db.begin();
+        let mut oids = HashMap::new();
+        // M2 has P3 (www) and P4 (www+nii); M3 has P5 (www) and P6 (nii);
+        // M4 has P7 (nii) and P8 (nii). (Subset of Figure 4 sufficient for
+        // the ranking claims.)
+        for (doc, paras) in [("M2", vec!["P3", "P4"]), ("M3", vec!["P5", "P6"]), ("M4", vec!["P7", "P8"])] {
+            let d = db.create_object(&mut txn, doc_c).unwrap();
+            let mut kids = Vec::new();
+            for p in &paras {
+                let po = db.create_object(&mut txn, para_c).unwrap();
+                db.set_attr(&mut txn, po, "parent", Value::Oid(d)).unwrap();
+                db.set_attr(&mut txn, po, "text", Value::from(format!("text of {p}").as_str()))
+                    .unwrap();
+                kids.push(Value::Oid(po));
+                oids.insert(*p, po);
+            }
+            db.set_attr(&mut txn, d, "children", Value::List(kids)).unwrap();
+            oids.insert(doc, d);
+        }
+        db.commit(txn).unwrap();
+        (db, oids)
+    }
+
+    /// Beliefs mirroring Figure 4: P4 relevant to both terms, P5 to www,
+    /// P6/P7/P8 to nii-or-www as labelled.
+    fn figure4_access(oids: &HashMap<&'static str, Oid>) -> Fixed {
+        let mut values = HashMap::new();
+        let rel = 0.8;
+        let irr = 0.1;
+        let set = |m: &mut HashMap<(String, Oid), f64>, q: &str, p: &str, v: f64, oids: &HashMap<&str, Oid>| {
+            m.insert((q.to_string(), oids[p]), v);
+        };
+        for p in ["P3", "P4", "P5", "P6", "P7", "P8"] {
+            set(&mut values, "www", p, irr, oids);
+            set(&mut values, "nii", p, irr, oids);
+            // Whole-query values for the non-subquery-aware schemes: the
+            // IRS ranks P4 highest since it alone matches both terms.
+            set(&mut values, "#and(www nii)", p, irr, oids);
+        }
+        set(&mut values, "www", "P3", rel, oids);
+        set(&mut values, "www", "P4", rel, oids);
+        set(&mut values, "nii", "P4", rel, oids);
+        set(&mut values, "www", "P5", rel, oids);
+        set(&mut values, "nii", "P6", rel, oids);
+        set(&mut values, "nii", "P7", rel, oids);
+        set(&mut values, "nii", "P8", rel, oids);
+        // Whole-query #and values (what a real IRS would return for the
+        // conjunction evaluated on paragraphs): high only for P4.
+        set(&mut values, "#and(www nii)", "P4", 0.64, oids);
+        set(&mut values, "#and(www nii)", "P3", 0.3, oids);
+        set(&mut values, "#and(www nii)", "P5", 0.3, oids);
+        set(&mut values, "#and(www nii)", "P6", 0.3, oids);
+        set(&mut values, "#and(www nii)", "P7", 0.3, oids);
+        set(&mut values, "#and(www nii)", "P8", 0.3, oids);
+        let represented = ["P3", "P4", "P5", "P6", "P7", "P8"]
+            .iter()
+            .map(|p| oids[p])
+            .collect();
+        Fixed { values, represented }
+    }
+
+    #[test]
+    fn components_stop_at_represented_level() {
+        let (db, oids) = figure4_db();
+        let access = figure4_access(&oids);
+        let ctx = db.method_ctx();
+        let comps = represented_components(&ctx, &access, oids["M2"]);
+        assert_eq!(comps, vec![oids["P3"], oids["P4"]]);
+        // A represented object itself has no components above it.
+        assert!(represented_components(&ctx, &access, oids["P4"]).is_empty());
+    }
+
+    #[test]
+    fn figure4_max_scheme_misses_m3() {
+        // The paper: "the answer will be document M2, although M3 is
+        // relevant, too" — Max over whole-query paragraph values cannot
+        // distinguish M3 from M4.
+        let (db, oids) = figure4_db();
+        let mut access = figure4_access(&oids);
+        let ctx = db.method_ctx();
+        let q = "#and(www nii)";
+        let m2 = DerivationScheme::Max.derive(&ctx, &mut access, q, oids["M2"]);
+        let m3 = DerivationScheme::Max.derive(&ctx, &mut access, q, oids["M3"]);
+        let m4 = DerivationScheme::Max.derive(&ctx, &mut access, q, oids["M4"]);
+        assert!(m2 > m3, "Max ranks M2 first ({m2} vs {m3})");
+        assert_eq!(m3, m4, "Max cannot separate M3 from M4");
+    }
+
+    #[test]
+    fn figure4_subquery_aware_recovers_m3() {
+        // "MMF documents M3 and M4 both contain two 'semi'-relevant
+        // paragraphs. Their IRS values, however, should be different,
+        // because only M3 is relevant for both terms."
+        let (db, oids) = figure4_db();
+        let mut access = figure4_access(&oids);
+        let ctx = db.method_ctx();
+        let q = "#and(www nii)";
+        let scheme = DerivationScheme::SubqueryAware;
+        let m2 = scheme.derive(&ctx, &mut access, q, oids["M2"]);
+        let m3 = scheme.derive(&ctx, &mut access, q, oids["M3"]);
+        let m4 = scheme.derive(&ctx, &mut access, q, oids["M4"]);
+        assert!(m3 > m4, "SubqueryAware separates M3 ({m3}) from M4 ({m4})");
+        assert!(m2 >= m3, "M2 (co-occurring) still ranks at least as high");
+        // M3's both-term evidence: 0.8 * 0.8 = 0.64; M4: 0.8 * 0.1 = 0.08.
+        assert!((m3 - 0.64).abs() < 1e-9);
+        assert!((m4 - 0.08).abs() < 1e-9);
+    }
+
+    #[test]
+    fn avg_and_sum_schemes() {
+        let (db, oids) = figure4_db();
+        let mut access = figure4_access(&oids);
+        let ctx = db.method_ctx();
+        let avg = DerivationScheme::Avg.derive(&ctx, &mut access, "www", oids["M2"]);
+        assert!((avg - 0.8).abs() < 1e-9, "both P3, P4 are www-relevant");
+        let sum = DerivationScheme::Sum.derive(&ctx, &mut access, "www", oids["M2"]);
+        assert_eq!(sum, 1.0, "0.8 + 0.8 clamps to 1.0");
+    }
+
+    #[test]
+    fn weighted_by_type_prefers_weighted_classes() {
+        let (db, oids) = figure4_db();
+        let mut access = figure4_access(&oids);
+        let ctx = db.method_ctx();
+        // Weight PARA low: derived values shrink toward the unweighted
+        // components (none here), i.e. stay the mean.
+        let mut weights = HashMap::new();
+        weights.insert("PARA".to_string(), 2.0);
+        let w = DerivationScheme::WeightedByType(weights).derive(&ctx, &mut access, "www", oids["M3"]);
+        // M3: P5 = 0.8, P6 = 0.1 → weighted mean with equal weights = 0.45.
+        assert!((w - 0.45).abs() < 1e-9);
+    }
+
+    #[test]
+    fn length_weighted_uses_text_length() {
+        let (mut db, oids) = figure4_db();
+        // Make P5's text much longer than P6's.
+        let mut txn = db.begin();
+        db.set_attr(&mut txn, oids["P5"], "text", Value::from("x".repeat(1000).as_str()))
+            .unwrap();
+        db.set_attr(&mut txn, oids["P6"], "text", Value::from("y")).unwrap();
+        db.commit(txn).unwrap();
+        let mut access = figure4_access(&oids);
+        let ctx = db.method_ctx();
+        let v = DerivationScheme::LengthWeighted.derive(&ctx, &mut access, "www", oids["M3"]);
+        // P5 (www-relevant, 0.8) dominates by length.
+        assert!(v > 0.75, "length weighting favours the long relevant paragraph, got {v}");
+    }
+
+    #[test]
+    fn unrepresented_leafless_object_derives_zero() {
+        let (db, oids) = figure4_db();
+        let mut access = Fixed {
+            values: HashMap::new(),
+            represented: vec![],
+        };
+        let ctx = db.method_ctx();
+        assert_eq!(
+            DerivationScheme::Max.derive(&ctx, &mut access, "www", oids["M2"]),
+            0.0
+        );
+    }
+
+    #[test]
+    fn subquery_aware_falls_back_on_unparseable_queries() {
+        let (db, oids) = figure4_db();
+        let mut access = figure4_access(&oids);
+        let ctx = db.method_ctx();
+        let v = DerivationScheme::SubqueryAware.derive(&ctx, &mut access, "#and(", oids["M2"]);
+        // Falls back to Max over the (unparseable) whole query: 0.0.
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn operator_tree_evaluation() {
+        let mut leaf = |n: &QueryNode| match n {
+            QueryNode::Term(t) if t == "a" => 0.8,
+            QueryNode::Term(t) if t == "b" => 0.5,
+            _ => 0.0,
+        };
+        let and = parse_query("#and(a b)").unwrap();
+        assert!((eval_subqueries(&and, &mut leaf) - 0.4).abs() < 1e-12);
+        let or = parse_query("#or(a b)").unwrap();
+        assert!((eval_subqueries(&or, &mut leaf) - 0.9).abs() < 1e-12);
+        let not = parse_query("#not(a)").unwrap();
+        assert!((eval_subqueries(&not, &mut leaf) - 0.2).abs() < 1e-12);
+        let wsum = parse_query("#wsum(3 a 1 b)").unwrap();
+        assert!((eval_subqueries(&wsum, &mut leaf) - 0.725).abs() < 1e-12);
+        let max = parse_query("#max(a b)").unwrap();
+        assert!((eval_subqueries(&max, &mut leaf) - 0.8).abs() < 1e-12);
+    }
+}

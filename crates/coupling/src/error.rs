@@ -1,0 +1,88 @@
+//! Error type spanning both coupled systems.
+
+use std::fmt;
+
+/// Convenient alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, CouplingError>;
+
+/// Errors raised by the coupling.
+#[derive(Debug)]
+pub enum CouplingError {
+    /// The IRS side failed.
+    Irs(irs::IrsError),
+    /// The OODBMS side failed.
+    Db(oodb::DbError),
+    /// SGML processing failed.
+    Sgml(sgml::SgmlError),
+    /// A collection name is not registered.
+    UnknownCollection(String),
+    /// A collection name is already registered.
+    DuplicateCollection(String),
+    /// A specification query returned something other than objects.
+    BadSpecQuery(String),
+    /// A configuration cannot be serialised (e.g. a custom `getText`
+    /// closure).
+    NotPersistable(String),
+}
+
+impl fmt::Display for CouplingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CouplingError::Irs(e) => write!(f, "IRS error: {e}"),
+            CouplingError::Db(e) => write!(f, "OODBMS error: {e}"),
+            CouplingError::Sgml(e) => write!(f, "SGML error: {e}"),
+            CouplingError::UnknownCollection(n) => write!(f, "unknown collection {n:?}"),
+            CouplingError::DuplicateCollection(n) => write!(f, "duplicate collection {n:?}"),
+            CouplingError::BadSpecQuery(why) => write!(f, "bad specification query: {why}"),
+            CouplingError::NotPersistable(what) => {
+                write!(f, "configuration cannot be persisted: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CouplingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CouplingError::Irs(e) => Some(e),
+            CouplingError::Db(e) => Some(e),
+            CouplingError::Sgml(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<irs::IrsError> for CouplingError {
+    fn from(e: irs::IrsError) -> Self {
+        CouplingError::Irs(e)
+    }
+}
+
+impl From<oodb::DbError> for CouplingError {
+    fn from(e: oodb::DbError) -> Self {
+        CouplingError::Db(e)
+    }
+}
+
+impl From<sgml::SgmlError> for CouplingError {
+    fn from(e: sgml::SgmlError) -> Self {
+        CouplingError::Sgml(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CouplingError = oodb::DbError::UnknownClass("X".into()).into();
+        assert!(e.to_string().contains("OODBMS"));
+        let e: CouplingError = irs::IrsError::UnknownDocument("k".into()).into();
+        assert!(e.to_string().contains("IRS"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = CouplingError::UnknownCollection("coll".into());
+        assert!(e.to_string().contains("coll"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,240 @@
+//! IRS-document granularity policies (paper Section 4.3).
+//!
+//! "The question discussed in the following is how to define the
+//! granularity of IRS documents." Each policy produces the specification
+//! query (or segmentation) realising one of the paper's listed
+//! possibilities; experiment E2 compares their index size, redundancy
+//! and retrieval capability.
+
+use oodb::{Database, Oid};
+
+use crate::collection::Collection;
+use crate::error::Result;
+
+/// A granularity strategy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GranularityPolicy {
+    /// "Each SGML document becomes an IRS document" — coarse; no
+    /// element-level relevance.
+    PerDocument {
+        /// Class of document roots (e.g. `MMFDOC`).
+        root_class: String,
+    },
+    /// "Each document element of a specified element type … becomes an
+    /// IRS document" — the strategy of most couplings ([CST92], [GTZ93]).
+    PerElementType {
+        /// The element-type class (e.g. `PARA`).
+        class: String,
+    },
+    /// "Each leaf node becomes an IRS document (finest granularity)" —
+    /// objects with no element children.
+    Leaves {
+        /// Root of the class hierarchy to scan (e.g. `IRSObject`).
+        base_class: String,
+    },
+    /// "One might want to have IRS documents of approximately the same
+    /// size [Cal94]" — fixed segments of `words` tokens, cut from each
+    /// root document.
+    EqualSize {
+        /// Class of document roots.
+        root_class: String,
+        /// Segment size in tokens (30 in [HeP93]).
+        words: usize,
+    },
+    /// Every element of every type — full redundancy across all levels
+    /// ([SAZ94]'s multiple-indexes case, used by E8).
+    AllElements {
+        /// Root of the class hierarchy (e.g. `IRSObject`).
+        base_class: String,
+    },
+    /// Overlapping passages per root document ([SAB93]; experiment E11) —
+    /// best-passage scores stand in for whole-document scores.
+    Passages {
+        /// Class of document roots.
+        root_class: String,
+        /// Window size in tokens.
+        window: usize,
+        /// Step between window starts (≤ window; smaller = more overlap).
+        stride: usize,
+    },
+}
+
+impl GranularityPolicy {
+    /// The specification query realising this policy, if it is
+    /// expressible as one (everything except [`GranularityPolicy::EqualSize`]).
+    pub fn spec_query(&self) -> Option<String> {
+        match self {
+            GranularityPolicy::PerDocument { root_class } => {
+                Some(format!("ACCESS d FROM d IN {root_class}"))
+            }
+            GranularityPolicy::PerElementType { class } => {
+                Some(format!("ACCESS p FROM p IN {class}"))
+            }
+            GranularityPolicy::Leaves { base_class } => Some(format!(
+                "ACCESS o FROM o IN {base_class} WHERE o -> getChildren() = NULL"
+            )),
+            GranularityPolicy::AllElements { base_class } => {
+                Some(format!("ACCESS o FROM o IN {base_class}"))
+            }
+            GranularityPolicy::EqualSize { .. } | GranularityPolicy::Passages { .. } => None,
+        }
+    }
+
+    /// Apply the policy: index the appropriate objects of `db` into
+    /// `coll`. Returns the number of IRS documents created.
+    pub fn apply(&self, db: &Database, coll: &mut Collection) -> Result<usize> {
+        match self {
+            GranularityPolicy::EqualSize { root_class, words } => {
+                let rows = db.query(&format!("ACCESS d FROM d IN {root_class}"))?;
+                let roots: Vec<Oid> = rows.iter().filter_map(|r| r.oid()).collect();
+                coll.index_segments(db, &roots, *words)
+            }
+            GranularityPolicy::Passages { root_class, window, stride } => {
+                let rows = db.query(&format!("ACCESS d FROM d IN {root_class}"))?;
+                let roots: Vec<Oid> = rows.iter().filter_map(|r| r.oid()).collect();
+                coll.index_passages(db, &roots, *window, *stride)
+            }
+            _ => {
+                let q = self.spec_query().expect("non-segment policies have one");
+                coll.index_objects(db, &q)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection::CollectionSetup;
+    use oodb::Database;
+    use sgml::{load_document, parse_document};
+
+    fn db() -> Database {
+        let mut db = Database::in_memory();
+        db.define_class("IRSObject", None).unwrap();
+        let doc = "<MMFDOC><DOCTITLE>Telnet</DOCTITLE>\
+                   <SECTION><SECTITLE>History</SECTITLE><PARA>telnet history notes</PARA></SECTION>\
+                   <PARA>telnet details and more details</PARA></MMFDOC>";
+        let tree = parse_document(doc).unwrap();
+        let mut txn = db.begin();
+        load_document(&mut db, &mut txn, &tree, "IRSObject").unwrap();
+        db.commit(txn).unwrap();
+        db
+    }
+
+    fn fresh() -> Collection {
+        Collection::new("g", CollectionSetup::default())
+    }
+
+    #[test]
+    fn per_document_indexes_roots_only() {
+        let db = db();
+        let mut c = fresh();
+        let n = GranularityPolicy::PerDocument {
+            root_class: "MMFDOC".into(),
+        }
+        .apply(&db, &mut c)
+        .unwrap();
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn per_element_type_indexes_that_type() {
+        let db = db();
+        let mut c = fresh();
+        let n = GranularityPolicy::PerElementType { class: "PARA".into() }
+            .apply(&db, &mut c)
+            .unwrap();
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn leaves_are_childless_elements() {
+        let db = db();
+        let mut c = fresh();
+        let n = GranularityPolicy::Leaves {
+            base_class: "IRSObject".into(),
+        }
+        .apply(&db, &mut c)
+        .unwrap();
+        // DOCTITLE, SECTITLE, both PARAs = 4 leaves (MMFDOC and SECTION
+        // have children).
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn all_elements_indexes_every_level() {
+        let db = db();
+        let mut c = fresh();
+        let n = GranularityPolicy::AllElements {
+            base_class: "IRSObject".into(),
+        }
+        .apply(&db, &mut c)
+        .unwrap();
+        assert_eq!(n, 6, "MMFDOC, DOCTITLE, SECTION, SECTITLE, 2 PARA");
+    }
+
+    #[test]
+    fn equal_size_produces_segments() {
+        let db = db();
+        let mut c = fresh();
+        let n = GranularityPolicy::EqualSize {
+            root_class: "MMFDOC".into(),
+            words: 3,
+        }
+        .apply(&db, &mut c)
+        .unwrap();
+        assert!(n >= 3, "document text split into >=3 segments, got {n}");
+        assert!(GranularityPolicy::EqualSize {
+            root_class: "MMFDOC".into(),
+            words: 3
+        }
+        .spec_query()
+        .is_none());
+    }
+
+    #[test]
+    fn passages_policy_overlaps() {
+        let db = db();
+        let mut segments = fresh();
+        let n_seg = GranularityPolicy::EqualSize { root_class: "MMFDOC".into(), words: 4 }
+            .apply(&db, &mut segments)
+            .unwrap();
+        let mut passages = fresh();
+        let n_pass = GranularityPolicy::Passages {
+            root_class: "MMFDOC".into(),
+            window: 4,
+            stride: 2,
+        }
+        .apply(&db, &mut passages)
+        .unwrap();
+        assert!(n_pass > n_seg, "stride < window yields more IRS docs ({n_pass} vs {n_seg})");
+        assert!(GranularityPolicy::Passages {
+            root_class: "MMFDOC".into(),
+            window: 4,
+            stride: 2
+        }
+        .spec_query()
+        .is_none());
+    }
+
+    #[test]
+    fn redundancy_ordering_holds() {
+        // Index size grows with redundancy: document-level <= all-levels.
+        let db = db();
+        let mut per_doc = fresh();
+        GranularityPolicy::PerDocument { root_class: "MMFDOC".into() }
+            .apply(&db, &mut per_doc)
+            .unwrap();
+        let mut all = fresh();
+        GranularityPolicy::AllElements { base_class: "IRSObject".into() }
+            .apply(&db, &mut all)
+            .unwrap();
+        let doc_tokens = per_doc.irs().index_stats().total_tokens;
+        let all_tokens = all.irs().index_stats().total_tokens;
+        assert!(
+            all_tokens > doc_tokens,
+            "all-levels stores text redundantly ({all_tokens} vs {doc_tokens} tokens)"
+        );
+    }
+}

@@ -1,0 +1,74 @@
+#![warn(missing_docs)]
+
+//! `coupling` — the paper's contribution: a flexible OODBMS–IRS coupling
+//! for structured document handling.
+//!
+//! Reproduces Volz, Aberer, Böhm: *"Applying a Flexible OODBMS-IRS-
+//! Coupling to Structured Document Handling"* (ICDE 1996). The design is
+//! the paper's architecture alternative (3): a **loose coupling with the
+//! OODBMS as control component** (Section 3). All application queries —
+//! including mixed structure/content queries — are expressed in the
+//! OODBMS query language; the IRS stays an unmodified external system.
+//!
+//! The coupling's flexibility rests on three mechanisms (paper Section 6):
+//!
+//! 1. **Specification queries** ([`Collection::index_objects`]) — an
+//!    OODBMS query decides exactly which objects an IRS collection
+//!    represents;
+//! 2. **`getText` text modes** ([`TextMode`]) — each object's textual
+//!    representation per collection is freely determined;
+//! 3. **`deriveIRSValue`** ([`DerivationScheme`]) — objects *not*
+//!    represented in a collection derive their IRS value from the values
+//!    of related (sub-)objects, avoiding redundant indexing of
+//!    hierarchical documents.
+//!
+//! Plus the supporting machinery the paper describes: persistent
+//! buffering of IRS results (Figure 3, [`buffer`]), update propagation
+//! strategies with operation cancellation (Section 4.6, [`propagate`]),
+//! mixed-query evaluation strategies (Section 4.5.3, [`mixed`]), IRS
+//! operators duplicated as collection methods (Section 4.5.4, [`ops`]),
+//! and the three coupling architectures of Figure 1 ([`architecture`])
+//! for comparison.
+//!
+//! # Quick start
+//!
+//! ```
+//! use coupling::DocumentSystem;
+//!
+//! let mut sys = DocumentSystem::new();
+//! sys.load_sgml("<MMFDOC><DOCTITLE>Telnet</DOCTITLE>\
+//!                <PARA>Telnet is a protocol for remote login</PARA>\
+//!                <PARA>The WWW needs no telnet</PARA></MMFDOC>").unwrap();
+//! sys.create_collection("collPara", Default::default()).unwrap();
+//! sys.index_collection("collPara", "ACCESS p FROM p IN PARA").unwrap();
+//!
+//! // The paper's first example query (Section 4.4), almost verbatim:
+//! let rows = sys.query(
+//!     "ACCESS p, p -> length() FROM p IN PARA \
+//!      WHERE p -> getIRSValue(collPara, 'login') > 0.5").unwrap();
+//! assert!(!rows.is_empty());
+//! ```
+
+pub mod architecture;
+pub mod buffer;
+pub mod collection;
+pub mod derive;
+pub mod error;
+pub mod granularity;
+pub mod mixed;
+pub mod ops;
+pub mod persist;
+pub mod propagate;
+pub mod system;
+pub mod textmode;
+
+pub use buffer::ResultBuffer;
+pub use collection::{Collection, CollectionSetup, CouplingStats};
+pub use derive::DerivationScheme;
+pub use error::{CouplingError, Result};
+pub use granularity::GranularityPolicy;
+pub use mixed::{MixedOutcome, MixedStrategy};
+pub use persist::{open_system, save_system};
+pub use propagate::{PendingOp, PropagationStrategy, Propagator};
+pub use system::DocumentSystem;
+pub use textmode::TextMode;

@@ -1,0 +1,192 @@
+//! Mixed-query evaluation strategies (paper Section 4.5.3).
+//!
+//! A mixed query conjoins a structural condition with a content
+//! condition. Two evaluation orders are conceivable:
+//!
+//! 1. **Independent** — "the query portions are processed independently
+//!    by the corresponding system, and the results are combined (e.g.,
+//!    they would be intersected)". Every candidate object is examined
+//!    structurally.
+//! 2. **IRS-first** — "the IRS selects all IRS documents fulfilling the
+//!    conditions on the content. The structure conditions are only
+//!    verified for the text objects identified in this first step"
+//!    ([GTZ93], [HaW92]). (The opposite restriction is "not feasible
+//!    because most IRSs can only search entire collections".)
+//!
+//! Experiment E5 sweeps content/structure selectivity to locate the
+//! crossover between the two.
+
+use oodb::{Database, Oid};
+
+use crate::collection::Collection;
+use crate::error::Result;
+
+/// Which evaluation order to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MixedStrategy {
+    /// Evaluate both parts over the full candidate set and intersect.
+    Independent,
+    /// Let the IRS restrict the candidates, verify structure on the rest.
+    IrsFirst,
+}
+
+/// Outcome of a mixed-query evaluation, with the work counters E5 plots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixedOutcome {
+    /// Matching objects, ascending by OID.
+    pub oids: Vec<Oid>,
+    /// Structural predicate evaluations performed.
+    pub structural_checks: usize,
+    /// IRS calls performed (buffer misses).
+    pub irs_calls: u64,
+    /// Strategy used.
+    pub strategy: MixedStrategy,
+}
+
+/// Evaluate the mixed query "objects of `class` where `structural(oid)`
+/// AND IRS value of `irs_query` > `threshold`" under `strategy`.
+pub fn evaluate_mixed(
+    db: &Database,
+    coll: &mut Collection,
+    class: &str,
+    structural: &dyn Fn(&Database, Oid) -> bool,
+    irs_query: &str,
+    threshold: f64,
+    strategy: MixedStrategy,
+) -> Result<MixedOutcome> {
+    let calls_before = coll.stats().irs_calls;
+    let class_id = db.schema().class_id(class)?;
+    let mut structural_checks = 0usize;
+    let mut oids = Vec::new();
+
+    match strategy {
+        MixedStrategy::Independent => {
+            // Structural pass over the full extent.
+            let extent = db.extent(class_id, true);
+            let mut structural_hits = Vec::new();
+            for oid in extent {
+                structural_checks += 1;
+                if structural(db, oid) {
+                    structural_hits.push(oid);
+                }
+            }
+            // Content pass over the full collection, then intersect.
+            let content = coll.get_irs_result(irs_query)?;
+            for oid in structural_hits {
+                if content.get(&oid).copied().unwrap_or(0.0) > threshold {
+                    oids.push(oid);
+                }
+            }
+        }
+        MixedStrategy::IrsFirst => {
+            let content = coll.get_irs_result(irs_query)?;
+            let mut candidates: Vec<Oid> = content
+                .iter()
+                .filter(|(_, &v)| v > threshold)
+                .map(|(&oid, _)| oid)
+                .collect();
+            candidates.sort();
+            for oid in candidates {
+                // Only objects of the requested class qualify.
+                let Ok(obj) = db.object(oid) else { continue };
+                if !db.schema().is_subclass(obj.class, class_id) {
+                    continue;
+                }
+                structural_checks += 1;
+                if structural(db, oid) {
+                    oids.push(oid);
+                }
+            }
+        }
+    }
+
+    oids.sort();
+    Ok(MixedOutcome {
+        oids,
+        structural_checks,
+        irs_calls: coll.stats().irs_calls - calls_before,
+        strategy,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection::CollectionSetup;
+    use oodb::Value;
+    use sgml::{load_document, parse_document};
+
+    fn setup() -> (Database, Collection) {
+        let mut db = Database::in_memory();
+        db.define_class("IRSObject", None).unwrap();
+        for i in 0..6 {
+            let text = if i % 2 == 0 {
+                format!("paragraph {i} about telnet sessions")
+            } else {
+                format!("paragraph {i} about www growth")
+            };
+            let tree = parse_document(&format!("<MMFDOC><PARA>{text}</PARA></MMFDOC>")).unwrap();
+            let mut txn = db.begin();
+            let l = load_document(&mut db, &mut txn, &tree, "IRSObject").unwrap();
+            // Tag paragraphs with a position attribute for the structural
+            // predicate.
+            let para = l.elements[1].1;
+            db.set_attr(&mut txn, para, "pos", Value::Int(i)).unwrap();
+            db.commit(txn).unwrap();
+        }
+        let mut coll = Collection::new("c", CollectionSetup::default());
+        coll.index_objects(&db, "ACCESS p FROM p IN PARA").unwrap();
+        (db, coll)
+    }
+
+    fn pos_lt(limit: i64) -> impl Fn(&Database, Oid) -> bool {
+        move |db, oid| {
+            db.get_attr(oid, "pos")
+                .ok()
+                .and_then(|v| v.as_f64())
+                .is_some_and(|p| (p as i64) < limit)
+        }
+    }
+
+    #[test]
+    fn both_strategies_agree_on_results() {
+        let (db, mut coll) = setup();
+        let a = evaluate_mixed(&db, &mut coll, "PARA", &pos_lt(4), "telnet", 0.4, MixedStrategy::Independent).unwrap();
+        let b = evaluate_mixed(&db, &mut coll, "PARA", &pos_lt(4), "telnet", 0.4, MixedStrategy::IrsFirst).unwrap();
+        assert_eq!(a.oids, b.oids);
+        assert_eq!(a.oids.len(), 2, "paras 0 and 2 are telnet with pos<4");
+    }
+
+    #[test]
+    fn irs_first_examines_fewer_objects_when_content_is_selective() {
+        let (db, mut coll) = setup();
+        let indep = evaluate_mixed(&db, &mut coll, "PARA", &pos_lt(100), "telnet", 0.4, MixedStrategy::Independent).unwrap();
+        let first = evaluate_mixed(&db, &mut coll, "PARA", &pos_lt(100), "telnet", 0.4, MixedStrategy::IrsFirst).unwrap();
+        assert_eq!(indep.structural_checks, 6, "full extent");
+        assert_eq!(first.structural_checks, 3, "only telnet hits");
+        assert_eq!(indep.oids, first.oids);
+    }
+
+    #[test]
+    fn irs_calls_are_buffered_across_strategies() {
+        let (db, mut coll) = setup();
+        let a = evaluate_mixed(&db, &mut coll, "PARA", &pos_lt(4), "telnet", 0.4, MixedStrategy::Independent).unwrap();
+        assert_eq!(a.irs_calls, 1);
+        // Second evaluation of the same content query hits the buffer.
+        let b = evaluate_mixed(&db, &mut coll, "PARA", &pos_lt(2), "telnet", 0.4, MixedStrategy::IrsFirst).unwrap();
+        assert_eq!(b.irs_calls, 0);
+    }
+
+    #[test]
+    fn threshold_filters_results() {
+        let (db, mut coll) = setup();
+        let none = evaluate_mixed(&db, &mut coll, "PARA", &pos_lt(100), "telnet", 0.999, MixedStrategy::IrsFirst).unwrap();
+        assert!(none.oids.is_empty());
+    }
+
+    #[test]
+    fn unknown_class_errors() {
+        let (db, mut coll) = setup();
+        assert!(evaluate_mixed(&db, &mut coll, "NOPE", &pos_lt(1), "x", 0.5, MixedStrategy::Independent).is_err());
+    }
+}

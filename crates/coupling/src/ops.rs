@@ -1,0 +1,191 @@
+//! IRS operators duplicated as collection methods (paper Section 4.5.4).
+//!
+//! "IRS-operators can be duplicated as methods of the collection objects.
+//! INQUERY's AND-operator, to give an example, corresponds to a method
+//! IRSOperatorAND in our implementation. Its parameters are results of
+//! IRS queries. Hence, it is possible to calculate conjunction both in
+//! the IRS or the OODBMS. Consider the case that the corresponding
+//! collection object already knows intermediate results because they
+//! have been buffered … Then the second alternative is particularly
+//! appealing."
+//!
+//! The functions here combine buffered [`ResultMap`]s with the
+//! inference-network algebra. Documents missing from an operand map
+//! contribute `default_belief` (they had no evidence for that
+//! subquery). Experiment E6 compares these OODBMS-side combinations
+//! against submitting the composite query to the IRS.
+
+use std::collections::HashSet;
+
+use oodb::Oid;
+
+use crate::buffer::ResultMap;
+
+/// INQUERY's default belief for missing evidence.
+pub const DEFAULT_BELIEF: f64 = 0.4;
+
+fn union_keys(operands: &[&ResultMap]) -> HashSet<Oid> {
+    let mut keys = HashSet::new();
+    for m in operands {
+        keys.extend(m.keys().copied());
+    }
+    keys
+}
+
+fn combine(operands: &[&ResultMap], f: impl Fn(&[f64]) -> f64) -> ResultMap {
+    let mut out = ResultMap::new();
+    let mut buf = Vec::with_capacity(operands.len());
+    for oid in union_keys(operands) {
+        buf.clear();
+        for m in operands {
+            buf.push(m.get(&oid).copied().unwrap_or(DEFAULT_BELIEF));
+        }
+        out.insert(oid, f(&buf));
+    }
+    out
+}
+
+/// `IRSOperatorAND`: product of beliefs.
+pub fn irs_and(operands: &[&ResultMap]) -> ResultMap {
+    combine(operands, |bs| bs.iter().product())
+}
+
+/// `IRSOperatorOR`: noisy-or of beliefs.
+pub fn irs_or(operands: &[&ResultMap]) -> ResultMap {
+    combine(operands, |bs| 1.0 - bs.iter().map(|b| 1.0 - b).product::<f64>())
+}
+
+/// `IRSOperatorSUM`: mean belief.
+pub fn irs_sum(operands: &[&ResultMap]) -> ResultMap {
+    combine(operands, |bs| {
+        if bs.is_empty() {
+            0.0
+        } else {
+            bs.iter().sum::<f64>() / bs.len() as f64
+        }
+    })
+}
+
+/// `IRSOperatorWSUM`: weighted mean belief. `weights` must parallel
+/// `operands`.
+pub fn irs_wsum(weights: &[f64], operands: &[&ResultMap]) -> ResultMap {
+    assert_eq!(weights.len(), operands.len(), "one weight per operand");
+    let total: f64 = weights.iter().sum();
+    combine(operands, |bs| {
+        if total == 0.0 {
+            0.0
+        } else {
+            bs.iter().zip(weights).map(|(b, w)| b * w).sum::<f64>() / total
+        }
+    })
+}
+
+/// `IRSOperatorMAX`: maximum belief.
+pub fn irs_max(operands: &[&ResultMap]) -> ResultMap {
+    combine(operands, |bs| bs.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+}
+
+/// `IRSOperatorNOT`: complement, over the set of documents present in
+/// the operand (a full-collection complement needs the collection — the
+/// paper's open "closed world" issue, Section 6).
+pub fn irs_not(operand: &ResultMap) -> ResultMap {
+    operand.iter().map(|(&oid, &b)| (oid, 1.0 - b)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(pairs: &[(u64, f64)]) -> ResultMap {
+        pairs.iter().map(|&(o, v)| (Oid(o), v)).collect()
+    }
+
+    #[test]
+    fn and_multiplies_with_default_for_missing() {
+        let a = map(&[(1, 0.8), (2, 0.6)]);
+        let b = map(&[(1, 0.5)]);
+        let r = irs_and(&[&a, &b]);
+        assert!((r[&Oid(1)] - 0.4).abs() < 1e-12);
+        assert!((r[&Oid(2)] - 0.6 * DEFAULT_BELIEF).abs() < 1e-12);
+    }
+
+    #[test]
+    fn or_is_noisy_or() {
+        let a = map(&[(1, 0.5)]);
+        let b = map(&[(1, 0.5)]);
+        let r = irs_or(&[&a, &b]);
+        assert!((r[&Oid(1)] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_and_wsum() {
+        let a = map(&[(1, 0.2)]);
+        let b = map(&[(1, 0.8)]);
+        assert!((irs_sum(&[&a, &b])[&Oid(1)] - 0.5).abs() < 1e-12);
+        let w = irs_wsum(&[3.0, 1.0], &[&a, &b]);
+        assert!((w[&Oid(1)] - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per operand")]
+    fn wsum_weight_mismatch_panics() {
+        let a = map(&[(1, 0.2)]);
+        irs_wsum(&[1.0], &[&a, &a]);
+    }
+
+    #[test]
+    fn max_and_not() {
+        let a = map(&[(1, 0.2), (2, 0.9)]);
+        let b = map(&[(1, 0.7)]);
+        let r = irs_max(&[&a, &b]);
+        assert!((r[&Oid(1)] - 0.7).abs() < 1e-12);
+        assert!((r[&Oid(2)] - 0.9).abs() < 1e-12);
+        let n = irs_not(&a);
+        assert!((n[&Oid(1)] - 0.8).abs() < 1e-12);
+        assert_eq!(n.len(), 2);
+    }
+
+    #[test]
+    fn empty_operands_yield_empty_results() {
+        let empty = ResultMap::new();
+        assert!(irs_and(&[&empty, &empty]).is_empty());
+        assert!(irs_or(&[&empty]).is_empty());
+    }
+
+    /// The equivalence E6 relies on: combining per-term results in the
+    /// OODBMS matches evaluating the composite query in the IRS (same
+    /// algebra on both sides).
+    #[test]
+    fn oodbms_side_and_matches_irs_side() {
+        use crate::collection::{Collection, CollectionSetup};
+        use oodb::Database;
+        use sgml::{load_document, parse_document};
+
+        let mut db = Database::in_memory();
+        db.define_class("IRSObject", None).unwrap();
+        let tree = parse_document(
+            "<MMFDOC><PARA>www and nii together here</PARA>\
+             <PARA>only www in this one</PARA>\
+             <PARA>only nii in this one</PARA></MMFDOC>",
+        )
+        .unwrap();
+        let mut txn = db.begin();
+        load_document(&mut db, &mut txn, &tree, "IRSObject").unwrap();
+        db.commit(txn).unwrap();
+
+        let mut coll = Collection::new("c", CollectionSetup::default());
+        coll.index_objects(&db, "ACCESS p FROM p IN PARA").unwrap();
+
+        let www = coll.get_irs_result("www").unwrap();
+        let nii = coll.get_irs_result("nii").unwrap();
+        let combined = irs_and(&[&www, &nii]);
+        let direct = coll.get_irs_result("#and(www nii)").unwrap();
+        for (oid, v) in &direct {
+            let c = combined.get(oid).copied().unwrap_or(0.0);
+            assert!(
+                (c - v).abs() < 1e-9,
+                "oid {oid}: oodbms {c} vs irs {v}"
+            );
+        }
+    }
+}

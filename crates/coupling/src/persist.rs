@@ -1,0 +1,408 @@
+//! Whole-system persistence: saving and reopening a [`DocumentSystem`].
+//!
+//! The paper's systems persist independently — VODAK's database and
+//! INQUERY's index files ("inverted lists, which are stored in a file
+//! system", Section 1.1), plus the persistent result buffer (Section
+//! 4.2). This module ties the three layers together under one
+//! directory:
+//!
+//! ```text
+//! <dir>/db/                 OODBMS snapshot + WAL (crash-safe)
+//! <dir>/collections/<name>.idx   IRS index per collection
+//! <dir>/collections/<name>.buf   result buffer per collection
+//! <dir>/collections/<name>.meta  text mode / derivation / spec query
+//! ```
+//!
+//! Custom `getText` closures and custom derivation closures cannot be
+//! serialised; saving a system that uses [`TextMode::Custom`] fails with
+//! [`CouplingError::NotPersistable`] — the application re-registers such
+//! collections after [`open_system`].
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use crate::collection::Collection;
+use crate::derive::DerivationScheme;
+use crate::error::{CouplingError, Result};
+use crate::system::DocumentSystem;
+use crate::textmode::TextMode;
+
+const META_VERSION: &str = "coupling-meta-v1";
+
+fn mode_to_meta(mode: &TextMode) -> Result<String> {
+    Ok(match mode {
+        TextMode::FullSubtree => "full_subtree".to_string(),
+        TextMode::DirectText => "direct_text".to_string(),
+        TextMode::TitlesOnly => "titles_only".to_string(),
+        TextMode::AbstractOnly => "abstract_only".to_string(),
+        TextMode::LinkAugmented { link_attr } => format!("link_augmented {link_attr}"),
+        TextMode::Custom(_) => {
+            return Err(CouplingError::NotPersistable(
+                "TextMode::Custom closures".to_string(),
+            ))
+        }
+    })
+}
+
+fn mode_from_meta(line: &str) -> Result<TextMode> {
+    let mut parts = line.splitn(2, ' ');
+    Ok(match (parts.next(), parts.next()) {
+        (Some("full_subtree"), _) => TextMode::FullSubtree,
+        (Some("direct_text"), _) => TextMode::DirectText,
+        (Some("titles_only"), _) => TextMode::TitlesOnly,
+        (Some("abstract_only"), _) => TextMode::AbstractOnly,
+        (Some("link_augmented"), Some(attr)) => TextMode::LinkAugmented {
+            link_attr: attr.to_string(),
+        },
+        _ => {
+            return Err(CouplingError::Irs(irs::IrsError::CorruptIndex(format!(
+                "unknown text mode {line:?}"
+            ))))
+        }
+    })
+}
+
+fn derivation_to_meta(scheme: &DerivationScheme) -> String {
+    match scheme {
+        DerivationScheme::Max => "max".to_string(),
+        DerivationScheme::Avg => "avg".to_string(),
+        DerivationScheme::Sum => "sum".to_string(),
+        DerivationScheme::LengthWeighted => "length_weighted".to_string(),
+        DerivationScheme::SubqueryAware => "subquery_aware".to_string(),
+        DerivationScheme::WeightedByType(weights) => {
+            let mut entries: Vec<String> = weights
+                .iter()
+                .map(|(class, w)| format!("{class}={w}"))
+                .collect();
+            entries.sort();
+            format!("weighted_by_type {}", entries.join(","))
+        }
+    }
+}
+
+fn derivation_from_meta(line: &str) -> Result<DerivationScheme> {
+    let mut parts = line.splitn(2, ' ');
+    Ok(match (parts.next(), parts.next()) {
+        (Some("max"), _) => DerivationScheme::Max,
+        (Some("avg"), _) => DerivationScheme::Avg,
+        (Some("sum"), _) => DerivationScheme::Sum,
+        (Some("length_weighted"), _) => DerivationScheme::LengthWeighted,
+        (Some("subquery_aware"), _) => DerivationScheme::SubqueryAware,
+        (Some("weighted_by_type"), rest) => {
+            let mut weights = HashMap::new();
+            for entry in rest.unwrap_or("").split(',').filter(|e| !e.is_empty()) {
+                let (class, w) = entry.split_once('=').ok_or_else(|| {
+                    CouplingError::Irs(irs::IrsError::CorruptIndex(format!(
+                        "bad weight entry {entry:?}"
+                    )))
+                })?;
+                let w: f64 = w.parse().map_err(|_| {
+                    CouplingError::Irs(irs::IrsError::CorruptIndex(format!(
+                        "bad weight value {entry:?}"
+                    )))
+                })?;
+                weights.insert(class.to_string(), w);
+            }
+            DerivationScheme::WeightedByType(weights)
+        }
+        _ => {
+            return Err(CouplingError::Irs(irs::IrsError::CorruptIndex(format!(
+                "unknown derivation scheme {line:?}"
+            ))))
+        }
+    })
+}
+
+/// Escape a spec query into one metadata line.
+fn escape_line(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn unescape_line(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Save the entire system under `dir`. The database is checkpointed;
+/// each collection's index, buffer and metadata are written.
+pub fn save_system(sys: &mut DocumentSystem, dir: &Path) -> Result<()> {
+    let coll_dir = dir.join("collections");
+    std::fs::create_dir_all(&coll_dir).map_err(|e| CouplingError::Irs(irs::IrsError::Io(e)))?;
+
+    // Database: persist_to handles snapshot + WAL under dir/db.
+    sys.persist_db_to(&dir.join("db"))?;
+
+    for name in sys.collection_names() {
+        sys.with_collection(&name, |coll| -> Result<()> {
+            let segments = match coll.segment_config() {
+                Some((w, st)) => format!("segments {w} {st}"),
+                None => "segments none".to_string(),
+            };
+            let meta = format!(
+                "{META_VERSION}\n{}\n{}\n{}\n{segments}\n",
+                mode_to_meta(coll.text_mode())?,
+                derivation_to_meta(coll.derivation()),
+                coll.spec_query().map(escape_line).unwrap_or_default(),
+            );
+            std::fs::write(coll_dir.join(format!("{name}.meta")), meta)
+                .map_err(|e| CouplingError::Irs(irs::IrsError::Io(e)))?;
+            irs::persist::save_collection(coll.irs(), &coll_dir.join(format!("{name}.idx")))?;
+            coll.buffer().save(&coll_dir.join(format!("{name}.buf")))?;
+            Ok(())
+        })??;
+    }
+    Ok(())
+}
+
+/// Reopen a system previously written by [`save_system`].
+pub fn open_system(dir: &Path) -> Result<DocumentSystem> {
+    let db = oodb::Database::open(&dir.join("db"))?;
+    let mut sys = DocumentSystem::from_database(db)?;
+
+    let coll_dir = dir.join("collections");
+    if !coll_dir.exists() {
+        return Ok(sys);
+    }
+    let mut names: Vec<String> = std::fs::read_dir(&coll_dir)
+        .map_err(|e| CouplingError::Irs(irs::IrsError::Io(e)))?
+        .filter_map(|e| e.ok())
+        .filter_map(|e| {
+            let name = e.file_name().to_string_lossy().to_string();
+            name.strip_suffix(".meta").map(str::to_string)
+        })
+        .collect();
+    names.sort();
+
+    for name in names {
+        let meta = std::fs::read_to_string(coll_dir.join(format!("{name}.meta")))
+            .map_err(|e| CouplingError::Irs(irs::IrsError::Io(e)))?;
+        let mut lines = meta.lines();
+        let version = lines.next().unwrap_or_default();
+        if version != META_VERSION {
+            return Err(CouplingError::Irs(irs::IrsError::CorruptIndex(format!(
+                "collection {name}: unsupported metadata version {version:?}"
+            ))));
+        }
+        let text_mode = mode_from_meta(lines.next().unwrap_or_default())?;
+        let derivation = derivation_from_meta(lines.next().unwrap_or_default())?;
+        let spec_line = lines.next().unwrap_or_default();
+        let spec_query = if spec_line.is_empty() {
+            None
+        } else {
+            Some(unescape_line(spec_line))
+        };
+        let segment_config = match lines.next().unwrap_or("segments none") {
+            "segments none" | "" => None,
+            other => {
+                let parts: Vec<&str> = other.split_whitespace().collect();
+                match parts.as_slice() {
+                    ["segments", w, st] => Some((
+                        w.parse().map_err(|_| {
+                            CouplingError::Irs(irs::IrsError::CorruptIndex(format!(
+                                "bad segment window {other:?}"
+                            )))
+                        })?,
+                        st.parse().map_err(|_| {
+                            CouplingError::Irs(irs::IrsError::CorruptIndex(format!(
+                                "bad segment stride {other:?}"
+                            )))
+                        })?,
+                    )),
+                    _ => {
+                        return Err(CouplingError::Irs(irs::IrsError::CorruptIndex(format!(
+                            "bad segment line {other:?}"
+                        ))))
+                    }
+                }
+            }
+        };
+
+        let irs_coll = irs::persist::load_collection(&coll_dir.join(format!("{name}.idx")))?;
+        let buffer = crate::buffer::ResultBuffer::load(&coll_dir.join(format!("{name}.buf")), 256)?;
+        let coll = Collection::from_saved(
+            &name,
+            irs_coll,
+            text_mode,
+            derivation,
+            spec_query,
+            buffer,
+            segment_config,
+        );
+        sys.adopt_collection(coll)?;
+    }
+    Ok(sys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection::CollectionSetup;
+    use crate::derive::DerivationScheme;
+    use std::sync::Arc;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("coupling-system-persist").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn build() -> DocumentSystem {
+        let mut sys = DocumentSystem::new();
+        sys.load_sgml(
+            "<MMFDOC YEAR=\"1994\"><DOCTITLE>Telnet</DOCTITLE>\
+             <PARA>telnet is a protocol</PARA><PARA>the www grows</PARA></MMFDOC>",
+        )
+        .unwrap();
+        sys.create_collection("collPara", CollectionSetup::default()).unwrap();
+        sys.index_collection("collPara", "ACCESS p FROM p IN PARA").unwrap();
+        sys.with_collection("collPara", |c| {
+            c.set_derivation(DerivationScheme::SubqueryAware);
+            c.get_irs_result("telnet").unwrap();
+        })
+        .unwrap();
+        sys
+    }
+
+    #[test]
+    fn save_open_round_trip_preserves_everything() {
+        let dir = tmp("round_trip");
+        let mut sys = build();
+        let before = sys
+            .query("ACCESS p FROM p IN PARA WHERE p -> getIRSValue(collPara, 'telnet') > 0.45")
+            .unwrap();
+        save_system(&mut sys, &dir).unwrap();
+        drop(sys);
+
+        let reopened = open_system(&dir).unwrap();
+        // Same mixed query, same result — constants, methods, index and
+        // derivation all came back.
+        let after = reopened
+            .query("ACCESS p FROM p IN PARA WHERE p -> getIRSValue(collPara, 'telnet') > 0.45")
+            .unwrap();
+        assert_eq!(before, after);
+        // Derivation over documents also works (scheme restored).
+        let docs = reopened
+            .query("ACCESS d FROM d IN MMFDOC WHERE d -> getIRSValue(collPara, 'telnet') > 0.4")
+            .unwrap();
+        assert_eq!(docs.len(), 1);
+        assert_eq!(
+            reopened
+                .with_collection("collPara", |c| c.derivation().clone())
+                .unwrap(),
+            DerivationScheme::SubqueryAware
+        );
+        assert_eq!(
+            reopened
+                .with_collection("collPara", |c| c.spec_query().map(str::to_string))
+                .unwrap()
+                .as_deref(),
+            Some("ACCESS p FROM p IN PARA")
+        );
+    }
+
+    #[test]
+    fn buffers_are_persisted_and_rehydrated() {
+        let dir = tmp("buffers");
+        let mut sys = build();
+        save_system(&mut sys, &dir).unwrap();
+        let reopened = open_system(&dir).unwrap();
+        // The telnet result was buffered before saving; the reopened
+        // collection answers it without touching the IRS.
+        let calls = reopened
+            .with_collection("collPara", |c| {
+                c.get_irs_result("telnet").unwrap();
+                c.stats().irs_calls
+            })
+            .unwrap();
+        assert_eq!(calls, 0, "buffered result survived the restart");
+    }
+
+    #[test]
+    fn updates_after_reopen_work() {
+        let dir = tmp("updates");
+        let mut sys = build();
+        save_system(&mut sys, &dir).unwrap();
+        let mut reopened = open_system(&dir).unwrap();
+        // Re-index after new content arrives.
+        reopened
+            .load_sgml("<MMFDOC><DOCTITLE>Gopher</DOCTITLE><PARA>gopher menus</PARA></MMFDOC>")
+            .unwrap();
+        reopened
+            .index_collection("collPara", "ACCESS p FROM p IN PARA")
+            .unwrap();
+        let rows = reopened
+            .query("ACCESS p FROM p IN PARA WHERE p -> getIRSValue(collPara, 'gopher') > 0.4")
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn custom_text_mode_refuses_to_persist() {
+        let dir = tmp("custom");
+        let mut sys = DocumentSystem::new();
+        sys.load_sgml("<MMFDOC><PARA>x</PARA></MMFDOC>").unwrap();
+        sys.create_collection(
+            "weird",
+            CollectionSetup::with_text_mode(TextMode::Custom(Arc::new(|_, _| "x".into()))),
+        )
+        .unwrap();
+        assert!(matches!(
+            save_system(&mut sys, &dir),
+            Err(CouplingError::NotPersistable(_))
+        ));
+    }
+
+    #[test]
+    fn meta_round_trips() {
+        for mode in [
+            TextMode::FullSubtree,
+            TextMode::DirectText,
+            TextMode::TitlesOnly,
+            TextMode::AbstractOnly,
+            TextMode::LinkAugmented { link_attr: "implies".into() },
+        ] {
+            let meta = mode_to_meta(&mode).unwrap();
+            let back = mode_from_meta(&meta).unwrap();
+            assert_eq!(format!("{back:?}"), format!("{mode:?}"));
+        }
+        let mut weights = HashMap::new();
+        weights.insert("PARA".to_string(), 2.5);
+        weights.insert("SECTION".to_string(), 0.5);
+        for scheme in [
+            DerivationScheme::Max,
+            DerivationScheme::Avg,
+            DerivationScheme::Sum,
+            DerivationScheme::LengthWeighted,
+            DerivationScheme::SubqueryAware,
+            DerivationScheme::WeightedByType(weights),
+        ] {
+            let meta = derivation_to_meta(&scheme);
+            let back = derivation_from_meta(&meta).unwrap();
+            assert_eq!(back, scheme);
+        }
+        assert!(mode_from_meta("bogus").is_err());
+        assert!(derivation_from_meta("bogus").is_err());
+    }
+
+    #[test]
+    fn spec_query_escaping() {
+        let original = "ACCESS p FROM p IN PARA\nWHERE x\\y";
+        assert_eq!(unescape_line(&escape_line(original)), original);
+    }
+}

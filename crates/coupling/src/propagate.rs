@@ -1,0 +1,336 @@
+//! Update propagation from the OODBMS to the IRS (paper Section 4.6).
+//!
+//! "The point of propagation time can freely be chosen within the
+//! following bounds: (1) After each database update the corresponding
+//! IRS-index structures are updated. (2) After a query is issued the
+//! index structures are updated before the query's evaluation."
+//!
+//! [`PropagationStrategy::Eager`] is bound (1); [`PropagationStrategy::Deferred`]
+//! batches updates in an operation log and flushes on demand; queries
+//! force a flush ("If, however, an information-need query is issued with
+//! update propagation pending, propagation is enforced"). The log
+//! performs the paper's cancellation optimisation: "with some operation
+//! sequences, operations cancel out each other's effect. For instance,
+//! consider the deletion of a text object that has just been generated."
+
+use oodb::{MethodCtx, Oid};
+
+use crate::collection::Collection;
+use crate::error::Result;
+
+/// When updates reach the IRS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PropagationStrategy {
+    /// Apply each update to the IRS immediately.
+    Eager,
+    /// Record updates; apply on explicit [`Propagator::flush`] or forced
+    /// by [`Propagator::before_query`].
+    Deferred,
+}
+
+/// A pending update operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PendingOp {
+    /// The object was inserted (and selected by the collection's
+    /// specification).
+    Insert(Oid),
+    /// The object's text changed.
+    Modify(Oid),
+    /// The object was deleted.
+    Delete(Oid),
+}
+
+impl PendingOp {
+    /// The object the operation concerns.
+    pub fn oid(&self) -> Oid {
+        match self {
+            PendingOp::Insert(o) | PendingOp::Modify(o) | PendingOp::Delete(o) => *o,
+        }
+    }
+}
+
+/// Propagation statistics (experiment E7's metrics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PropagationStats {
+    /// Operations recorded by the application.
+    pub recorded: u64,
+    /// Operations actually applied to the IRS.
+    pub applied: u64,
+    /// Operations eliminated by cancellation before reaching the IRS.
+    pub cancelled: u64,
+    /// Flushes forced by queries.
+    pub forced_flushes: u64,
+}
+
+/// The update propagator for one collection.
+#[derive(Debug)]
+pub struct Propagator {
+    strategy: PropagationStrategy,
+    /// Net pending state per object, in arrival order of first touch.
+    log: Vec<PendingOp>,
+    stats: PropagationStats,
+}
+
+impl Propagator {
+    /// Create a propagator with the given strategy.
+    pub fn new(strategy: PropagationStrategy) -> Self {
+        Propagator {
+            strategy,
+            log: Vec::new(),
+            stats: PropagationStats::default(),
+        }
+    }
+
+    /// The strategy in use.
+    pub fn strategy(&self) -> PropagationStrategy {
+        self.strategy
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> PropagationStats {
+        self.stats
+    }
+
+    /// Pending (not yet applied) operations.
+    pub fn pending(&self) -> &[PendingOp] {
+        &self.log
+    }
+
+    /// Record an update. Under [`PropagationStrategy::Eager`] it is
+    /// applied to `coll` immediately; under deferred it enters the log
+    /// with cancellation folding.
+    pub fn record(
+        &mut self,
+        ctx: &MethodCtx<'_>,
+        coll: &mut Collection,
+        op: PendingOp,
+    ) -> Result<()> {
+        self.stats.recorded += 1;
+        match self.strategy {
+            PropagationStrategy::Eager => {
+                self.apply_one(ctx, coll, op)?;
+                Ok(())
+            }
+            PropagationStrategy::Deferred => {
+                self.fold(op);
+                Ok(())
+            }
+        }
+    }
+
+    /// Fold `op` into the log, cancelling inverse pairs:
+    ///
+    /// * `Insert` then `Delete` of the same object → both vanish;
+    /// * `Insert` then `Modify` → stays a single `Insert` (the insert
+    ///   will pick up the newest text anyway);
+    /// * `Modify` then `Modify` → one `Modify`;
+    /// * `Modify` then `Delete` → one `Delete`.
+    fn fold(&mut self, op: PendingOp) {
+        let oid = op.oid();
+        let existing = self.log.iter().position(|p| p.oid() == oid);
+        match (existing.map(|i| self.log[i]), op) {
+            (None, _) => self.log.push(op),
+            (Some(PendingOp::Insert(_)), PendingOp::Delete(_)) => {
+                let i = existing.expect("position found");
+                self.log.remove(i);
+                // Both the pending insert and this delete are no-ops.
+                self.stats.cancelled += 2;
+            }
+            (Some(PendingOp::Insert(_)), PendingOp::Modify(_)) => {
+                // Keep the Insert; the modify is absorbed.
+                self.stats.cancelled += 1;
+            }
+            (Some(PendingOp::Modify(_)), PendingOp::Modify(_)) => {
+                self.stats.cancelled += 1;
+            }
+            (Some(PendingOp::Modify(_)), PendingOp::Delete(_)) => {
+                let i = existing.expect("position found");
+                self.log[i] = op;
+                self.stats.cancelled += 1;
+            }
+            (Some(prev), next) => {
+                // Remaining combinations (Delete then anything, Insert
+                // then Insert) indicate application misuse; keep both
+                // and let the collection surface the error at flush.
+                debug_assert!(
+                    !matches!((prev, next), (PendingOp::Delete(_), PendingOp::Insert(_))),
+                    "OIDs are never reused; delete-then-insert cannot occur"
+                );
+                self.log.push(next);
+            }
+        }
+    }
+
+    fn apply_one(&mut self, ctx: &MethodCtx<'_>, coll: &mut Collection, op: PendingOp) -> Result<()> {
+        self.stats.applied += 1;
+        match op {
+            PendingOp::Insert(oid) => coll.on_insert(ctx, oid),
+            PendingOp::Modify(oid) => coll.on_modify(ctx, oid),
+            PendingOp::Delete(oid) => coll.on_delete(oid),
+        }
+    }
+
+    /// Apply every pending operation ("a good strategy might be to detect
+    /// low load periods"). Returns the number applied.
+    pub fn flush(&mut self, ctx: &MethodCtx<'_>, coll: &mut Collection) -> Result<usize> {
+        let ops = std::mem::take(&mut self.log);
+        let n = ops.len();
+        for op in ops {
+            self.apply_one(ctx, coll, op)?;
+        }
+        Ok(n)
+    }
+
+    /// Called before every information-need query: forces pending
+    /// propagation so queries never see a stale index.
+    pub fn before_query(&mut self, ctx: &MethodCtx<'_>, coll: &mut Collection) -> Result<()> {
+        if !self.log.is_empty() {
+            self.stats.forced_flushes += 1;
+            self.flush(ctx, coll)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection::CollectionSetup;
+    use oodb::{Database, Value};
+    use sgml::{load_document, parse_document};
+
+    fn setup() -> (Database, Collection, Vec<Oid>) {
+        let mut db = Database::in_memory();
+        db.define_class("IRSObject", None).unwrap();
+        let tree = parse_document(
+            "<MMFDOC><PARA>telnet paragraph</PARA><PARA>www paragraph</PARA></MMFDOC>",
+        )
+        .unwrap();
+        let mut txn = db.begin();
+        let loaded = load_document(&mut db, &mut txn, &tree, "IRSObject").unwrap();
+        db.commit(txn).unwrap();
+        let mut coll = Collection::new("c", CollectionSetup::default());
+        coll.index_objects(&db, "ACCESS p FROM p IN PARA").unwrap();
+        let paras: Vec<Oid> = loaded.elements[1..].iter().map(|(_, o)| *o).collect();
+        (db, coll, paras)
+    }
+
+    /// Create a new PARA object (not yet in the collection).
+    fn new_para(db: &mut Database, text: &str) -> Oid {
+        let class = db.schema().class_id("PARA").unwrap();
+        let mut txn = db.begin();
+        let oid = db.create_object(&mut txn, class).unwrap();
+        db.set_attr(&mut txn, oid, "text", Value::from(text)).unwrap();
+        db.commit(txn).unwrap();
+        oid
+    }
+
+    #[test]
+    fn eager_applies_immediately() {
+        let (mut db, mut coll, _) = setup();
+        let fresh = new_para(&mut db, "gopher text");
+        let mut prop = Propagator::new(PropagationStrategy::Eager);
+        let ctx = db.method_ctx();
+        prop.record(&ctx, &mut coll, PendingOp::Insert(fresh)).unwrap();
+        assert_eq!(coll.get_irs_result("gopher").unwrap().len(), 1);
+        assert_eq!(prop.stats().applied, 1);
+        assert!(prop.pending().is_empty());
+    }
+
+    #[test]
+    fn deferred_applies_only_on_flush() {
+        let (mut db, mut coll, _) = setup();
+        let fresh = new_para(&mut db, "gopher text");
+        let mut prop = Propagator::new(PropagationStrategy::Deferred);
+        let ctx = db.method_ctx();
+        prop.record(&ctx, &mut coll, PendingOp::Insert(fresh)).unwrap();
+        assert!(coll.get_irs_result("gopher").unwrap().is_empty(), "not yet visible");
+        assert_eq!(prop.pending().len(), 1);
+        let applied = prop.flush(&ctx, &mut coll).unwrap();
+        assert_eq!(applied, 1);
+        assert_eq!(coll.get_irs_result("gopher").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn insert_then_delete_cancels() {
+        let (mut db, mut coll, _) = setup();
+        let fresh = new_para(&mut db, "ephemeral");
+        let mut prop = Propagator::new(PropagationStrategy::Deferred);
+        let ctx = db.method_ctx();
+        prop.record(&ctx, &mut coll, PendingOp::Insert(fresh)).unwrap();
+        prop.record(&ctx, &mut coll, PendingOp::Delete(fresh)).unwrap();
+        assert!(prop.pending().is_empty(), "pair cancelled");
+        assert_eq!(prop.stats().cancelled, 2);
+        let applied = prop.flush(&ctx, &mut coll).unwrap();
+        assert_eq!(applied, 0, "nothing reaches the IRS");
+    }
+
+    #[test]
+    fn modify_sequences_fold() {
+        let (db, mut coll, paras) = setup();
+        let mut prop = Propagator::new(PropagationStrategy::Deferred);
+        let ctx = db.method_ctx();
+        prop.record(&ctx, &mut coll, PendingOp::Modify(paras[0])).unwrap();
+        prop.record(&ctx, &mut coll, PendingOp::Modify(paras[0])).unwrap();
+        prop.record(&ctx, &mut coll, PendingOp::Modify(paras[0])).unwrap();
+        assert_eq!(prop.pending().len(), 1);
+        assert_eq!(prop.stats().cancelled, 2);
+        // Modify then delete becomes a single delete.
+        prop.record(&ctx, &mut coll, PendingOp::Delete(paras[0])).unwrap();
+        assert_eq!(prop.pending(), &[PendingOp::Delete(paras[0])]);
+    }
+
+    #[test]
+    fn insert_then_modify_absorbed() {
+        let (mut db, mut coll, _) = setup();
+        let fresh = new_para(&mut db, "first text");
+        let mut prop = Propagator::new(PropagationStrategy::Deferred);
+        let ctx = db.method_ctx();
+        prop.record(&ctx, &mut coll, PendingOp::Insert(fresh)).unwrap();
+        prop.record(&ctx, &mut coll, PendingOp::Modify(fresh)).unwrap();
+        assert_eq!(prop.pending(), &[PendingOp::Insert(fresh)]);
+        assert_eq!(prop.stats().cancelled, 1);
+    }
+
+    #[test]
+    fn queries_force_pending_propagation() {
+        let (mut db, mut coll, _) = setup();
+        let fresh = new_para(&mut db, "gopher text");
+        let mut prop = Propagator::new(PropagationStrategy::Deferred);
+        let ctx = db.method_ctx();
+        prop.record(&ctx, &mut coll, PendingOp::Insert(fresh)).unwrap();
+        // The application calls before_query prior to evaluating.
+        prop.before_query(&ctx, &mut coll).unwrap();
+        assert_eq!(coll.get_irs_result("gopher").unwrap().len(), 1);
+        assert_eq!(prop.stats().forced_flushes, 1);
+        // No pending work → no forced flush.
+        prop.before_query(&ctx, &mut coll).unwrap();
+        assert_eq!(prop.stats().forced_flushes, 1);
+    }
+
+    #[test]
+    fn eager_beats_deferred_in_applied_ops_for_churn() {
+        // The quantitative claim behind E7: under churn (insert+delete of
+        // the same objects), deferred-with-cancellation applies strictly
+        // fewer IRS operations.
+        let (mut db, mut coll_eager, _) = setup();
+        let mut coll_deferred = Collection::new("d", CollectionSetup::default());
+        coll_deferred.index_objects(&db, "ACCESS p FROM p IN PARA").unwrap();
+
+        let mut eager = Propagator::new(PropagationStrategy::Eager);
+        let mut deferred = Propagator::new(PropagationStrategy::Deferred);
+        for i in 0..10 {
+            let oid = new_para(&mut db, &format!("transient text {i}"));
+            let ctx = db.method_ctx();
+            eager.record(&ctx, &mut coll_eager, PendingOp::Insert(oid)).unwrap();
+            eager.record(&ctx, &mut coll_eager, PendingOp::Delete(oid)).unwrap();
+            deferred.record(&ctx, &mut coll_deferred, PendingOp::Insert(oid)).unwrap();
+            deferred.record(&ctx, &mut coll_deferred, PendingOp::Delete(oid)).unwrap();
+        }
+        let ctx = db.method_ctx();
+        deferred.flush(&ctx, &mut coll_deferred).unwrap();
+        assert_eq!(eager.stats().applied, 20);
+        assert_eq!(deferred.stats().applied, 0);
+        assert_eq!(deferred.stats().cancelled, 20);
+    }
+}

@@ -1,0 +1,270 @@
+//! `getText` — an object's textual representation for an IRS collection.
+//!
+//! "Each IRSObject instance provides the method getText. It is the
+//! application programmer's responsibility to implement this method. In
+//! this way, arbitrary text fragments can be associated to each database
+//! object" (paper Section 4.3.2). The `textMode` parameter of
+//! `indexObjects` selects among representations so "different
+//! representations of the same IRSObject in different collections"
+//! coexist (Section 4.2).
+//!
+//! Built-in modes cover the paper's cases; [`TextMode::Custom`] is the
+//! fully general application hook.
+
+use std::sync::Arc;
+
+use oodb::{MethodCtx, Oid, Value};
+
+/// Signature of an application-supplied text extractor.
+pub type TextFn = Arc<dyn Fn(&MethodCtx<'_>, Oid) -> String + Send + Sync>;
+
+/// How an object's text is obtained.
+#[derive(Clone, Default)]
+pub enum TextMode {
+    /// All leaf text of the subtree rooted at the object — the paper's
+    /// SGML default ("by inspecting the leaves of the subtree rooted at
+    /// an element", Section 4.3.2).
+    #[default]
+    FullSubtree,
+    /// Only the object's own direct text (fine granularity, no
+    /// redundancy between parent and child representations).
+    DirectText,
+    /// A generated abstract: the text of title-like descendants
+    /// (DOCTITLE / SECTITLE / TITLE / CAPTION) — alternative (1) of
+    /// Section 4.3.1, "generated automatically (e.g., from the titles of
+    /// all subobjects)".
+    TitlesOnly,
+    /// A user-supplied abstract: the text of ABSTRACT children —
+    /// alternative (1), "user-defined (e.g. an introduction …)".
+    AbstractOnly,
+    /// The object's subtree text plus the direct text of every object
+    /// whose `link_attr` list references it — the hypertext extension of
+    /// Section 5 (an `implies`-link source contributes its text to the
+    /// target's IRS document).
+    LinkAugmented {
+        /// Attribute holding outgoing link OIDs (e.g. `"implies"`).
+        link_attr: String,
+    },
+    /// Application-defined extraction.
+    Custom(TextFn),
+}
+
+impl std::fmt::Debug for TextMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TextMode::FullSubtree => write!(f, "FullSubtree"),
+            TextMode::DirectText => write!(f, "DirectText"),
+            TextMode::TitlesOnly => write!(f, "TitlesOnly"),
+            TextMode::AbstractOnly => write!(f, "AbstractOnly"),
+            TextMode::LinkAugmented { link_attr } => {
+                write!(f, "LinkAugmented({link_attr})")
+            }
+            TextMode::Custom(_) => write!(f, "Custom(..)"),
+        }
+    }
+}
+
+impl TextMode {
+    /// Compute the text of `oid` under this mode.
+    pub fn get_text(&self, ctx: &MethodCtx<'_>, oid: Oid) -> String {
+        match self {
+            TextMode::FullSubtree => subtree_text(ctx, oid),
+            TextMode::DirectText => direct_text(ctx, oid),
+            TextMode::TitlesOnly => {
+                let mut parts = Vec::new();
+                collect_by_class(ctx, oid, &["DOCTITLE", "SECTITLE", "TITLE", "CAPTION"], &mut parts);
+                parts.join(" ")
+            }
+            TextMode::AbstractOnly => {
+                let mut parts = Vec::new();
+                collect_by_class(ctx, oid, &["ABSTRACT"], &mut parts);
+                parts.join(" ")
+            }
+            TextMode::LinkAugmented { link_attr } => {
+                let mut text = subtree_text(ctx, oid);
+                // Scan all objects for links pointing at `oid`. A real
+                // deployment would maintain a reverse-link index; the
+                // linear scan keeps the semantics obvious.
+                let me = Value::Oid(oid);
+                for obj in ctx.store.iter_ordered() {
+                    if let Some(links) = obj.attr_ref(link_attr).and_then(Value::as_list) {
+                        if links.contains(&me) {
+                            let contributed = direct_text(ctx, obj.oid);
+                            if !contributed.is_empty() {
+                                text.push(' ');
+                                text.push_str(&contributed);
+                            }
+                        }
+                    }
+                }
+                text
+            }
+            TextMode::Custom(f) => f(ctx, oid),
+        }
+    }
+}
+
+/// The object's own `text` attribute.
+pub fn direct_text(ctx: &MethodCtx<'_>, oid: Oid) -> String {
+    match ctx.store.get(oid) {
+        Ok(obj) => obj
+            .attr_ref("text")
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .to_string(),
+        Err(_) => String::new(),
+    }
+}
+
+/// Concatenated `text` of the whole subtree (depth-first, document
+/// order).
+pub fn subtree_text(ctx: &MethodCtx<'_>, oid: Oid) -> String {
+    let mut parts = Vec::new();
+    collect_subtree(ctx, oid, &mut parts);
+    parts.join(" ")
+}
+
+fn collect_subtree(ctx: &MethodCtx<'_>, oid: Oid, out: &mut Vec<String>) {
+    let Ok(obj) = ctx.store.get(oid) else { return };
+    let own = obj.attr_ref("text").and_then(Value::as_str).unwrap_or("");
+    if !own.is_empty() {
+        out.push(own.to_string());
+    }
+    if let Some(children) = obj.attr_ref("children").and_then(Value::as_list) {
+        for c in children {
+            if let Some(child) = c.as_oid() {
+                collect_subtree(ctx, child, out);
+            }
+        }
+    }
+}
+
+/// Collect subtree text of descendants whose class name is in `classes`
+/// (the receiver itself included if it matches).
+fn collect_by_class(ctx: &MethodCtx<'_>, oid: Oid, classes: &[&str], out: &mut Vec<String>) {
+    let Ok(obj) = ctx.store.get(oid) else { return };
+    let class_name = ctx.schema.name(obj.class);
+    if classes.iter().any(|c| c.eq_ignore_ascii_case(class_name)) {
+        let t = subtree_text(ctx, oid);
+        if !t.is_empty() {
+            out.push(t);
+        }
+        return; // a title's descendants are already covered
+    }
+    if let Some(children) = obj.attr_ref("children").and_then(Value::as_list) {
+        for c in children {
+            if let Some(child) = c.as_oid() {
+                collect_by_class(ctx, child, classes, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oodb::Database;
+    use sgml::{load_document, parse_document};
+
+    fn loaded(doc: &str) -> (Database, sgml::LoadedDoc) {
+        let mut db = Database::in_memory();
+        db.define_class("IRSObject", None).unwrap();
+        let tree = parse_document(doc).unwrap();
+        let mut txn = db.begin();
+        let l = load_document(&mut db, &mut txn, &tree, "IRSObject").unwrap();
+        db.commit(txn).unwrap();
+        (db, l)
+    }
+
+    const DOC: &str = "<MMFDOC><DOCTITLE>Telnet</DOCTITLE><ABSTRACT>about remote login</ABSTRACT>\
+                       <SECTION><SECTITLE>History</SECTITLE><PARA>early networks</PARA></SECTION>\
+                       <PARA>telnet details</PARA></MMFDOC>";
+
+    #[test]
+    fn full_subtree_concatenates_everything() {
+        let (db, l) = loaded(DOC);
+        let ctx = db.method_ctx();
+        let t = TextMode::FullSubtree.get_text(&ctx, l.root);
+        assert_eq!(t, "Telnet about remote login History early networks telnet details");
+    }
+
+    #[test]
+    fn direct_text_is_own_text_only() {
+        let (db, l) = loaded(DOC);
+        let ctx = db.method_ctx();
+        assert_eq!(TextMode::DirectText.get_text(&ctx, l.root), "");
+        // The last PARA has direct text.
+        let para = l.elements.last().unwrap().1;
+        assert_eq!(TextMode::DirectText.get_text(&ctx, para), "telnet details");
+    }
+
+    #[test]
+    fn titles_only_builds_an_abstract() {
+        let (db, l) = loaded(DOC);
+        let ctx = db.method_ctx();
+        assert_eq!(TextMode::TitlesOnly.get_text(&ctx, l.root), "Telnet History");
+    }
+
+    #[test]
+    fn abstract_only_uses_user_abstract() {
+        let (db, l) = loaded(DOC);
+        let ctx = db.method_ctx();
+        assert_eq!(TextMode::AbstractOnly.get_text(&ctx, l.root), "about remote login");
+    }
+
+    #[test]
+    fn link_augmented_pulls_in_linking_text() {
+        let (mut db, l) = loaded(DOC);
+        // Build a second node with an implies-link to the first PARA.
+        let (_, l2) = {
+            let tree = parse_document("<MMFDOC><PARA>gopher implies telnet</PARA></MMFDOC>").unwrap();
+            let mut txn = db.begin();
+            let l2 = load_document(&mut db, &mut txn, &tree, "IRSObject").unwrap();
+            db.commit(txn).unwrap();
+            ((), l2)
+        };
+        let target = l.elements.last().unwrap().1;
+        let source_para = l2.elements[1].1;
+        let mut txn = db.begin();
+        db.set_attr(&mut txn, source_para, "implies", Value::List(vec![Value::Oid(target)]))
+            .unwrap();
+        db.commit(txn).unwrap();
+
+        let ctx = db.method_ctx();
+        let mode = TextMode::LinkAugmented {
+            link_attr: "implies".into(),
+        };
+        let t = mode.get_text(&ctx, target);
+        assert!(t.contains("telnet details"), "own text present");
+        assert!(t.contains("gopher implies telnet"), "link source text present");
+        // Non-targets are unaffected.
+        let other = l.elements[1].1;
+        assert!(!mode.get_text(&ctx, other).contains("gopher"));
+    }
+
+    #[test]
+    fn custom_mode_runs_closure() {
+        let (db, l) = loaded(DOC);
+        let ctx = db.method_ctx();
+        let mode = TextMode::Custom(Arc::new(|ctx, oid| {
+            format!("custom:{}", subtree_text(ctx, oid).len())
+        }));
+        assert!(mode.get_text(&ctx, l.root).starts_with("custom:"));
+    }
+
+    #[test]
+    fn missing_object_yields_empty_text() {
+        let (db, _) = loaded(DOC);
+        let ctx = db.method_ctx();
+        assert_eq!(TextMode::FullSubtree.get_text(&ctx, Oid(9999)), "");
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", TextMode::FullSubtree), "FullSubtree");
+        assert_eq!(
+            format!("{:?}", TextMode::LinkAugmented { link_attr: "implies".into() }),
+            "LinkAugmented(implies)"
+        );
+    }
+}

@@ -1,0 +1,249 @@
+//! Text analysis: turning raw document text into an indexable token stream.
+//!
+//! The pipeline is tokenise → lowercase → stopword filter → stem, each stage
+//! individually switchable through [`AnalyzerConfig`]. The paper's IRS
+//! (INQUERY) used the same classical pipeline; keeping the stages
+//! configurable lets the coupling give different collections different
+//! text representations of the same object (the `textMode` mechanism of
+//! Section 4.2).
+
+mod stemmer;
+mod stopwords;
+mod tokenizer;
+
+pub use stemmer::porter_stem;
+pub use stopwords::{is_stopword, STOPWORDS};
+pub use tokenizer::{tokenize, Token};
+
+/// Configuration for an [`Analyzer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalyzerConfig {
+    /// Lowercase all tokens before further processing.
+    pub lowercase: bool,
+    /// Drop common function words (see [`STOPWORDS`]).
+    pub remove_stopwords: bool,
+    /// Apply the Porter stemming algorithm.
+    pub stem: bool,
+    /// Tokens shorter than this (in chars) are dropped.
+    pub min_token_len: usize,
+    /// Tokens longer than this (in chars) are dropped.
+    pub max_token_len: usize,
+}
+
+impl Default for AnalyzerConfig {
+    fn default() -> Self {
+        AnalyzerConfig {
+            lowercase: true,
+            remove_stopwords: true,
+            stem: true,
+            min_token_len: 1,
+            max_token_len: 64,
+        }
+    }
+}
+
+impl AnalyzerConfig {
+    /// A pipeline that only tokenises and lowercases — useful for exact
+    /// (boolean / regular-expression-like) matching experiments.
+    pub fn exact() -> Self {
+        AnalyzerConfig {
+            lowercase: true,
+            remove_stopwords: false,
+            stem: false,
+            ..AnalyzerConfig::default()
+        }
+    }
+}
+
+/// An analysed term: the processed text plus the token position it came
+/// from. Positions count *all* tokens (including removed stopwords) so that
+/// phrase queries keep realistic gaps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalyzedTerm {
+    /// Processed (lowercased/stemmed) term text.
+    pub text: String,
+    /// Zero-based token position within the document.
+    pub position: u32,
+}
+
+/// The analysis pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct Analyzer {
+    config: AnalyzerConfig,
+}
+
+impl Analyzer {
+    /// Create an analyzer with the given configuration.
+    pub fn new(config: AnalyzerConfig) -> Self {
+        Analyzer { config }
+    }
+
+    /// Access the configuration.
+    pub fn config(&self) -> &AnalyzerConfig {
+        &self.config
+    }
+
+    /// Run the full pipeline over `text`.
+    pub fn analyze(&self, text: &str) -> Vec<AnalyzedTerm> {
+        let mut out = Vec::new();
+        for (position, token) in tokenize(text).into_iter().enumerate() {
+            let position = position as u32;
+            let mut t = token.text;
+            if self.config.lowercase {
+                t = t.to_lowercase();
+            }
+            let char_len = t.chars().count();
+            if char_len < self.config.min_token_len || char_len > self.config.max_token_len {
+                continue;
+            }
+            if self.config.remove_stopwords && is_stopword(&t) {
+                continue;
+            }
+            if self.config.stem {
+                t = porter_stem(&t);
+            }
+            if t.is_empty() {
+                continue;
+            }
+            out.push(AnalyzedTerm { text: t, position });
+        }
+        out
+    }
+
+    /// Analyse a single query term (no positional bookkeeping). Stopwords
+    /// are *kept* for query terms: a user explicitly asking for a term
+    /// should not receive an empty query.
+    pub fn analyze_term(&self, term: &str) -> String {
+        let mut t = term.to_string();
+        if self.config.lowercase {
+            t = t.to_lowercase();
+        }
+        if self.config.stem {
+            t = porter_stem(&t);
+        }
+        t
+    }
+
+    /// Count the tokens of `text` without allocating term strings — used by
+    /// equal-size segmentation (the 30-word segments of [HeP93]/[Cal94]).
+    pub fn token_count(&self, text: &str) -> usize {
+        tokenize(text).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_pipeline_lowercases_stems_and_removes_stopwords() {
+        let a = Analyzer::new(AnalyzerConfig::default());
+        let terms = a.analyze("The Networks are CONNECTING quickly");
+        let texts: Vec<&str> = terms.iter().map(|t| t.text.as_str()).collect();
+        // "The" and "are" are stopwords; "Networks" stems to "network",
+        // "CONNECTING" to "connect", "quickly" to "quickli".
+        assert_eq!(texts, vec!["network", "connect", "quickli"]);
+    }
+
+    #[test]
+    fn positions_account_for_removed_stopwords() {
+        let a = Analyzer::new(AnalyzerConfig::default());
+        let terms = a.analyze("the protocol of the internet");
+        // positions: the=0 protocol=1 of=2 the=3 internet=4
+        assert_eq!(terms.len(), 2);
+        assert_eq!(terms[0].position, 1);
+        assert_eq!(terms[1].position, 4);
+    }
+
+    #[test]
+    fn exact_config_preserves_stopwords_and_inflection() {
+        let a = Analyzer::new(AnalyzerConfig::exact());
+        let terms = a.analyze("The Networks");
+        let texts: Vec<&str> = terms.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["the", "networks"]);
+    }
+
+    #[test]
+    fn token_length_bounds_filter() {
+        let cfg = AnalyzerConfig {
+            min_token_len: 3,
+            max_token_len: 6,
+            remove_stopwords: false,
+            stem: false,
+            ..AnalyzerConfig::default()
+        };
+        let a = Analyzer::new(cfg);
+        let terms = a.analyze("go tiny elephantine word");
+        let texts: Vec<&str> = terms.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["tiny", "word"]);
+    }
+
+    #[test]
+    fn analyze_term_keeps_stopwords() {
+        let a = Analyzer::new(AnalyzerConfig::default());
+        assert_eq!(a.analyze_term("The"), "the");
+        assert_eq!(a.analyze_term("Connections"), "connect");
+    }
+
+    #[test]
+    fn empty_text_yields_no_terms() {
+        let a = Analyzer::new(AnalyzerConfig::default());
+        assert!(a.analyze("").is_empty());
+        assert!(a.analyze("   \n\t  ").is_empty());
+    }
+
+    #[test]
+    fn token_count_counts_raw_tokens() {
+        let a = Analyzer::new(AnalyzerConfig::default());
+        assert_eq!(a.token_count("the quick brown fox"), 4);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Tokeniser offsets always slice back to the token text, on any
+        /// input.
+        #[test]
+        fn token_offsets_are_valid(input in "\\PC{0,120}") {
+            for t in tokenize(&input) {
+                prop_assert!(t.start < t.end);
+                prop_assert_eq!(&input[t.start..t.end], t.text.as_str());
+            }
+        }
+
+        /// Analysed term positions are strictly increasing and never
+        /// exceed the raw token count.
+        #[test]
+        fn positions_strictly_increase(input in "[a-zA-Z ]{0,160}") {
+            let a = Analyzer::new(AnalyzerConfig::default());
+            let terms = a.analyze(&input);
+            let raw = a.token_count(&input) as u32;
+            for w in terms.windows(2) {
+                prop_assert!(w[0].position < w[1].position);
+            }
+            for t in &terms {
+                prop_assert!(t.position < raw.max(1));
+            }
+        }
+
+        /// The stemmer never panics and never produces a longer word.
+        #[test]
+        fn stemmer_never_grows_words(word in "[a-z]{1,24}") {
+            let stem = porter_stem(&word);
+            prop_assert!(!stem.is_empty());
+            prop_assert!(stem.len() <= word.len(), "{} -> {}", word, stem);
+        }
+
+        /// The stemmer passes non-lowercase-ASCII input through.
+        #[test]
+        fn stemmer_is_identity_on_non_ascii(word in "\\PC{1,16}") {
+            if !word.bytes().all(|b| b.is_ascii_lowercase()) {
+                prop_assert_eq!(porter_stem(&word), word);
+            }
+        }
+    }
+}

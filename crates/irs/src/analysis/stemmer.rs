@@ -1,0 +1,439 @@
+//! The Porter stemming algorithm (M.F. Porter, 1980), implemented in full:
+//! steps 1a, 1b (+cleanup), 1c, 2, 3, 4, 5a, 5b.
+//!
+//! The implementation operates on lowercase ASCII; words containing
+//! non-ASCII characters are returned unchanged (classical IR systems of the
+//! paper's era were ASCII-only, and stemming umlauted German would be wrong
+//! anyway).
+
+/// True if byte `i` of `w` is a consonant under Porter's definition:
+/// a letter other than a/e/i/o/u, where `y` counts as a consonant only
+/// when preceded by a vowel-position... precisely: `y` is a consonant when
+/// it is the first letter or follows a vowel; otherwise it is a vowel.
+fn is_consonant(w: &[u8], i: usize) -> bool {
+    match w[i] {
+        b'a' | b'e' | b'i' | b'o' | b'u' => false,
+        b'y' => {
+            if i == 0 {
+                true
+            } else {
+                !is_consonant(w, i - 1)
+            }
+        }
+        _ => true,
+    }
+}
+
+/// Porter's *measure* m of the stem `w[..len]`: the number of
+/// vowel-consonant sequences, i.e. `[C](VC){m}[V]`.
+fn measure(w: &[u8], len: usize) -> usize {
+    let mut m = 0;
+    let mut i = 0;
+    // Skip initial consonants.
+    while i < len && is_consonant(w, i) {
+        i += 1;
+    }
+    loop {
+        // Skip vowels.
+        while i < len && !is_consonant(w, i) {
+            i += 1;
+        }
+        if i >= len {
+            return m;
+        }
+        // Skip consonants — completes one VC.
+        while i < len && is_consonant(w, i) {
+            i += 1;
+        }
+        m += 1;
+    }
+}
+
+/// True if the stem `w[..len]` contains a vowel.
+fn has_vowel(w: &[u8], len: usize) -> bool {
+    (0..len).any(|i| !is_consonant(w, i))
+}
+
+/// True if the stem ends in a double consonant (e.g. `-tt`, `-ss`).
+fn ends_double_consonant(w: &[u8], len: usize) -> bool {
+    len >= 2 && w[len - 1] == w[len - 2] && is_consonant(w, len - 1)
+}
+
+/// True if the stem `w[..len]` ends consonant-vowel-consonant where the
+/// final consonant is not w, x or y (Porter's *o condition).
+fn ends_cvc(w: &[u8], len: usize) -> bool {
+    if len < 3 {
+        return false;
+    }
+    let c = w[len - 1];
+    is_consonant(w, len - 3)
+        && !is_consonant(w, len - 2)
+        && is_consonant(w, len - 1)
+        && c != b'w'
+        && c != b'x'
+        && c != b'y'
+}
+
+/// True if `w[..len]` ends with `suffix`.
+fn ends_with(w: &[u8], len: usize, suffix: &[u8]) -> bool {
+    len >= suffix.len() && &w[len - suffix.len()..len] == suffix
+}
+
+/// Working buffer: the word bytes plus a logical length (truncation is just
+/// shrinking `len`; replacement rewrites the tail).
+struct Stem {
+    w: Vec<u8>,
+    len: usize,
+}
+
+impl Stem {
+    fn stem_len_for(&self, suffix: &[u8]) -> usize {
+        self.len - suffix.len()
+    }
+
+    /// If the word ends in `suffix` and the measure of the remaining stem
+    /// satisfies `cond`, replace the suffix with `repl` and return true.
+    fn replace_if<F>(&mut self, suffix: &[u8], repl: &[u8], cond: F) -> bool
+    where
+        F: Fn(&[u8], usize) -> bool,
+    {
+        if ends_with(&self.w, self.len, suffix) {
+            let stem_len = self.stem_len_for(suffix);
+            if cond(&self.w, stem_len) {
+                self.w.truncate(stem_len);
+                self.w.extend_from_slice(repl);
+                self.len = self.w.len();
+            }
+            // Porter: once a matching suffix is found the rule list for the
+            // step stops, whether or not the condition held.
+            return true;
+        }
+        false
+    }
+}
+
+/// Apply the Porter stemmer to `word`, returning the stem.
+///
+/// ```
+/// use irs::analysis::porter_stem;
+/// assert_eq!(porter_stem("connections"), "connect");
+/// assert_eq!(porter_stem("relational"), "relat");
+/// ```
+pub fn porter_stem(word: &str) -> String {
+    if word.len() <= 2 || !word.bytes().all(|b| b.is_ascii_lowercase()) {
+        return word.to_string();
+    }
+    let mut s = Stem {
+        w: word.as_bytes().to_vec(),
+        len: word.len(),
+    };
+
+    step_1a(&mut s);
+    step_1b(&mut s);
+    step_1c(&mut s);
+    step_2(&mut s);
+    step_3(&mut s);
+    step_4(&mut s);
+    step_5a(&mut s);
+    step_5b(&mut s);
+
+    String::from_utf8(s.w).expect("stemmer operates on ASCII")
+}
+
+fn step_1a(s: &mut Stem) {
+    // SSES -> SS, IES -> I, SS -> SS, S -> ""
+    // SSES -> SS and IES -> I both drop the last two bytes.
+    if ends_with(&s.w, s.len, b"sses") || ends_with(&s.w, s.len, b"ies") {
+        s.w.truncate(s.len - 2);
+    } else if ends_with(&s.w, s.len, b"ss") {
+        // unchanged
+    } else if ends_with(&s.w, s.len, b"s") {
+        s.w.truncate(s.len - 1);
+    }
+    s.len = s.w.len();
+}
+
+fn step_1b(s: &mut Stem) {
+    // (m>0) EED -> EE, else (*v*) ED -> "", (*v*) ING -> ""
+    if ends_with(&s.w, s.len, b"eed") {
+        if measure(&s.w, s.len - 3) > 0 {
+            s.w.truncate(s.len - 1);
+            s.len = s.w.len();
+        }
+        return;
+    }
+    let removed = if ends_with(&s.w, s.len, b"ed") && has_vowel(&s.w, s.len - 2) {
+        s.w.truncate(s.len - 2);
+        true
+    } else if ends_with(&s.w, s.len, b"ing") && has_vowel(&s.w, s.len - 3) {
+        s.w.truncate(s.len - 3);
+        true
+    } else {
+        false
+    };
+    s.len = s.w.len();
+    if !removed {
+        return;
+    }
+    // Cleanup: AT -> ATE, BL -> BLE, IZ -> IZE; double consonant (not
+    // l/s/z) -> single; (m=1 and *o) -> add E.
+    if ends_with(&s.w, s.len, b"at") || ends_with(&s.w, s.len, b"bl") || ends_with(&s.w, s.len, b"iz")
+    {
+        s.w.push(b'e');
+    } else if ends_double_consonant(&s.w, s.len) {
+        let c = s.w[s.len - 1];
+        if c != b'l' && c != b's' && c != b'z' {
+            s.w.truncate(s.len - 1);
+        }
+    } else if measure(&s.w, s.len) == 1 && ends_cvc(&s.w, s.len) {
+        s.w.push(b'e');
+    }
+    s.len = s.w.len();
+}
+
+fn step_1c(s: &mut Stem) {
+    // (*v*) Y -> I
+    if ends_with(&s.w, s.len, b"y") && has_vowel(&s.w, s.len - 1) {
+        s.w[s.len - 1] = b'i';
+    }
+}
+
+fn step_2(s: &mut Stem) {
+    let m_gt_0 = |w: &[u8], l: usize| measure(w, l) > 0;
+    let rules: &[(&[u8], &[u8])] = &[
+        (b"ational", b"ate"),
+        (b"tional", b"tion"),
+        (b"enci", b"ence"),
+        (b"anci", b"ance"),
+        (b"izer", b"ize"),
+        (b"abli", b"able"),
+        (b"alli", b"al"),
+        (b"entli", b"ent"),
+        (b"eli", b"e"),
+        (b"ousli", b"ous"),
+        (b"ization", b"ize"),
+        (b"ation", b"ate"),
+        (b"ator", b"ate"),
+        (b"alism", b"al"),
+        (b"iveness", b"ive"),
+        (b"fulness", b"ful"),
+        (b"ousness", b"ous"),
+        (b"aliti", b"al"),
+        (b"iviti", b"ive"),
+        (b"biliti", b"ble"),
+    ];
+    for (suffix, repl) in rules {
+        if s.replace_if(suffix, repl, m_gt_0) {
+            return;
+        }
+    }
+}
+
+fn step_3(s: &mut Stem) {
+    let m_gt_0 = |w: &[u8], l: usize| measure(w, l) > 0;
+    let rules: &[(&[u8], &[u8])] = &[
+        (b"icate", b"ic"),
+        (b"ative", b""),
+        (b"alize", b"al"),
+        (b"iciti", b"ic"),
+        (b"ical", b"ic"),
+        (b"ful", b""),
+        (b"ness", b""),
+    ];
+    for (suffix, repl) in rules {
+        if s.replace_if(suffix, repl, m_gt_0) {
+            return;
+        }
+    }
+}
+
+fn step_4(s: &mut Stem) {
+    let m_gt_1 = |w: &[u8], l: usize| measure(w, l) > 1;
+    let rules: &[&[u8]] = &[
+        b"al", b"ance", b"ence", b"er", b"ic", b"able", b"ible", b"ant", b"ement", b"ment",
+        b"ent",
+    ];
+    for suffix in rules {
+        if ends_with(&s.w, s.len, suffix) {
+            let stem_len = s.len - suffix.len();
+            if m_gt_1(&s.w, stem_len) {
+                s.w.truncate(stem_len);
+                s.len = stem_len;
+            }
+            return;
+        }
+    }
+    // (m>1 and (*S or *T)) ION -> ""
+    if ends_with(&s.w, s.len, b"ion") {
+        let stem_len = s.len - 3;
+        if stem_len > 0
+            && (s.w[stem_len - 1] == b's' || s.w[stem_len - 1] == b't')
+            && measure(&s.w, stem_len) > 1
+        {
+            s.w.truncate(stem_len);
+            s.len = stem_len;
+        }
+        return;
+    }
+    let rules2: &[&[u8]] = &[b"ou", b"ism", b"ate", b"iti", b"ous", b"ive", b"ize"];
+    for suffix in rules2 {
+        if ends_with(&s.w, s.len, suffix) {
+            let stem_len = s.len - suffix.len();
+            if m_gt_1(&s.w, stem_len) {
+                s.w.truncate(stem_len);
+                s.len = stem_len;
+            }
+            return;
+        }
+    }
+}
+
+fn step_5a(s: &mut Stem) {
+    // (m>1) E -> "", (m=1 and not *o) E -> ""
+    if ends_with(&s.w, s.len, b"e") {
+        let stem_len = s.len - 1;
+        let m = measure(&s.w, stem_len);
+        if m > 1 || (m == 1 && !ends_cvc(&s.w, stem_len)) {
+            s.w.truncate(stem_len);
+            s.len = stem_len;
+        }
+    }
+}
+
+fn step_5b(s: &mut Stem) {
+    // (m>1 and *d and *L) -> single letter
+    if measure(&s.w, s.len) > 1 && ends_double_consonant(&s.w, s.len) && s.w[s.len - 1] == b'l' {
+        s.w.truncate(s.len - 1);
+        s.len = s.w.len();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Classic vocabulary → stem pairs from Porter's paper and the
+    /// reference implementation's test set.
+    #[test]
+    fn reference_pairs() {
+        let pairs = [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("hesitanci", "hesit"),
+            ("digitizer", "digit"),
+            ("conformabli", "conform"),
+            ("radicalli", "radic"),
+            ("differentli", "differ"),
+            ("vileli", "vile"),
+            ("analogousli", "analog"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("homologou", "homolog"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ];
+        for (word, want) in pairs {
+            assert_eq!(porter_stem(word), want, "stem({word})");
+        }
+    }
+
+    #[test]
+    fn retrieval_vocabulary_conflates() {
+        // The property IR cares about: inflectional variants share a stem.
+        assert_eq!(porter_stem("retrieval"), porter_stem("retrieval"));
+        assert_eq!(porter_stem("connection"), porter_stem("connections"));
+        assert_eq!(porter_stem("connecting"), porter_stem("connected"));
+        assert_eq!(porter_stem("databases"), porter_stem("database"));
+    }
+
+    #[test]
+    fn short_words_unchanged() {
+        assert_eq!(porter_stem("is"), "is");
+        assert_eq!(porter_stem("a"), "a");
+        assert_eq!(porter_stem("go"), "go");
+    }
+
+    #[test]
+    fn non_ascii_unchanged() {
+        assert_eq!(porter_stem("straße"), "straße");
+        assert_eq!(porter_stem("naïve"), "naïve");
+    }
+
+    #[test]
+    fn uppercase_input_unchanged_by_contract() {
+        // Callers lowercase first; mixed-case input is passed through.
+        assert_eq!(porter_stem("Connections"), "Connections");
+    }
+
+    #[test]
+    fn stemming_is_idempotent_on_common_words() {
+        for w in [
+            "connect", "relat", "gener", "oper", "hope", "adjust", "formal", "telnet",
+            "protocol", "network",
+        ] {
+            let once = porter_stem(w);
+            assert_eq!(porter_stem(&once), once, "idempotence for {w}");
+        }
+    }
+}

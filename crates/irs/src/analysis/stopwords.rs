@@ -1,0 +1,58 @@
+//! A classical English stopword list.
+//!
+//! Derived from the short stopword lists used by early IR systems (van
+//! Rijsbergen's list trimmed to the highest-frequency function words).
+//! Lookup is a binary search over a sorted static table — the list is
+//! small and this avoids any allocation or lazy initialisation.
+
+/// The stopword table, sorted ascending so [`is_stopword`] can binary-search.
+pub static STOPWORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any", "are",
+    "as", "at", "be", "because", "been", "before", "being", "below", "between", "both", "but",
+    "by", "can", "cannot", "could", "did", "do", "does", "doing", "down", "during", "each",
+    "few", "for", "from", "further", "had", "has", "have", "having", "he", "her", "here",
+    "hers", "him", "his", "how", "i", "if", "in", "into", "is", "it", "its", "itself", "just",
+    "me", "more", "most", "my", "myself", "no", "nor", "not", "now", "of", "off", "on", "once",
+    "only", "or", "other", "our", "ours", "out", "over", "own", "same", "she", "should", "so",
+    "some", "such", "than", "that", "the", "their", "theirs", "them", "then", "there", "these",
+    "they", "this", "those", "through", "to", "too", "under", "until", "up", "very", "was",
+    "we", "were", "what", "when", "where", "which", "while", "who", "whom", "why", "will",
+    "with", "would", "you", "your", "yours", "yourself",
+];
+
+/// True if `word` (already lowercased) is a stopword.
+pub fn is_stopword(word: &str) -> bool {
+    STOPWORDS.binary_search(&word).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_sorted_and_unique() {
+        for w in STOPWORDS.windows(2) {
+            assert!(w[0] < w[1], "{} !< {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn common_function_words_are_stopwords() {
+        for w in ["the", "and", "of", "is", "a"] {
+            assert!(is_stopword(w), "{w} should be a stopword");
+        }
+    }
+
+    #[test]
+    fn content_words_are_not_stopwords() {
+        for w in ["protocol", "telnet", "www", "retrieval", "document"] {
+            assert!(!is_stopword(w), "{w} should not be a stopword");
+        }
+    }
+
+    #[test]
+    fn lookup_is_case_sensitive_by_contract() {
+        // Callers lowercase first; uppercase input is not matched.
+        assert!(!is_stopword("The"));
+    }
+}

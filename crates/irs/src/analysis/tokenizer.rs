@@ -1,0 +1,115 @@
+//! Tokeniser: splits raw text into word tokens.
+//!
+//! A token is a maximal run of alphanumeric characters; embedded
+//! apostrophes and hyphens are kept when both neighbours are alphanumeric
+//! (`don't`, `object-oriented`), matching the behaviour of classical IR
+//! tokenisers. Byte offsets into the original text are retained so callers
+//! can map hits back to source fragments.
+
+/// A raw token produced by [`tokenize`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token text, exactly as it appears in the input.
+    pub text: String,
+    /// Byte offset of the first byte of the token in the input.
+    pub start: usize,
+    /// Byte offset one past the last byte of the token.
+    pub end: usize,
+}
+
+fn is_word_char(c: char) -> bool {
+    c.is_alphanumeric()
+}
+
+/// Split `text` into tokens.
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut chars = text.char_indices().peekable();
+    while let Some((start, c)) = chars.next() {
+        if !is_word_char(c) {
+            continue;
+        }
+        let mut end = start + c.len_utf8();
+        while let Some(&(i, next)) = chars.peek() {
+            if is_word_char(next) {
+                end = i + next.len_utf8();
+                chars.next();
+            } else if next == '\'' || next == '-' {
+                // Keep the joiner only if the following char is a word char.
+                let mut ahead = chars.clone();
+                ahead.next();
+                match ahead.peek() {
+                    Some(&(_, after)) if is_word_char(after) => {
+                        end = i + next.len_utf8();
+                        chars.next();
+                    }
+                    _ => break,
+                }
+            } else {
+                break;
+            }
+        }
+        tokens.push(Token {
+            text: text[start..end].to_string(),
+            start,
+            end,
+        });
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(input: &str) -> Vec<String> {
+        tokenize(input).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn splits_on_whitespace_and_punctuation() {
+        assert_eq!(texts("Hello, world! Foo."), vec!["Hello", "world", "Foo"]);
+    }
+
+    #[test]
+    fn keeps_internal_hyphens_and_apostrophes() {
+        assert_eq!(
+            texts("object-oriented systems don't fail"),
+            vec!["object-oriented", "systems", "don't", "fail"]
+        );
+    }
+
+    #[test]
+    fn trailing_hyphen_is_not_included() {
+        assert_eq!(texts("pre- and post-war"), vec!["pre", "and", "post-war"]);
+    }
+
+    #[test]
+    fn numbers_are_tokens() {
+        assert_eq!(texts("TCP port 23 in 1994"), vec!["TCP", "port", "23", "in", "1994"]);
+    }
+
+    #[test]
+    fn offsets_map_back_to_source() {
+        let input = "ab  cd";
+        let toks = tokenize(input);
+        assert_eq!(&input[toks[0].start..toks[0].end], "ab");
+        assert_eq!(&input[toks[1].start..toks[1].end], "cd");
+    }
+
+    #[test]
+    fn non_ascii_words_tokenise() {
+        assert_eq!(texts("Dolivostraße 15, Darmstadt"), vec!["Dolivostraße", "15", "Darmstadt"]);
+    }
+
+    #[test]
+    fn empty_and_punct_only_inputs() {
+        assert!(texts("").is_empty());
+        assert!(texts("... --- !!!").is_empty());
+    }
+
+    #[test]
+    fn apostrophe_at_end_of_word_excluded() {
+        assert_eq!(texts("the authors' view"), vec!["the", "authors", "view"]);
+    }
+}

@@ -1,0 +1,321 @@
+//! IRS collections — the unit the paper couples against.
+//!
+//! "Each document set is called 'collection'. … IRS-queries are given by
+//! terms (words) and are against the IRS-documents within an
+//! IRS-collection. The result is a set of documents … together with an IRS
+//! value which indicates the supposed relevance" (Section 1.1).
+//!
+//! [`IrsCollection`] owns one inverted index, one analyzer and one
+//! retrieval model, exposes add/update/delete plus ranked search, and
+//! tracks the indexing-cost counters the update-propagation experiment
+//! (E7) reports.
+
+use crate::analysis::{Analyzer, AnalyzerConfig};
+use crate::error::Result;
+use crate::index::{DocId, IndexStatistics, InvertedIndex, MergeStats};
+use crate::model::ModelKind;
+use crate::query::{evaluate, parse_query, QueryNode};
+
+/// Configuration of a collection: its analysis pipeline and model.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CollectionConfig {
+    /// Text analysis settings.
+    pub analyzer: AnalyzerConfig,
+    /// Retrieval paradigm.
+    pub model: ModelKind,
+}
+
+/// One ranked search result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hit {
+    /// External document key (the OID of the represented object in the
+    /// coupling).
+    pub key: String,
+    /// The IRS value.
+    pub score: f64,
+}
+
+/// Counters of work a collection has performed — consumed by the update
+/// propagation and buffering experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CollectionStatistics {
+    /// Documents added since creation.
+    pub adds: u64,
+    /// Documents deleted since creation.
+    pub deletes: u64,
+    /// Queries evaluated against the index.
+    pub queries: u64,
+    /// Merges performed.
+    pub merges: u64,
+}
+
+/// A named set of IRS documents with ranked retrieval.
+#[derive(Debug, Clone)]
+pub struct IrsCollection {
+    config: CollectionConfig,
+    index: InvertedIndex,
+    stats: CollectionStatistics,
+}
+
+impl IrsCollection {
+    /// Create an empty collection.
+    pub fn new(config: CollectionConfig) -> Self {
+        let index = InvertedIndex::new(Analyzer::new(config.analyzer.clone()));
+        IrsCollection {
+            config,
+            index,
+            stats: CollectionStatistics::default(),
+        }
+    }
+
+    /// The configuration the collection was created with.
+    pub fn config(&self) -> &CollectionConfig {
+        &self.config
+    }
+
+    /// Work counters.
+    pub fn work_stats(&self) -> CollectionStatistics {
+        self.stats
+    }
+
+    /// Index statistics of the underlying inverted index.
+    pub fn index_stats(&self) -> IndexStatistics {
+        self.index.statistics()
+    }
+
+    /// Direct (read-only) access to the index, used by evaluation-strategy
+    /// experiments that need raw postings.
+    pub fn index(&self) -> &InvertedIndex {
+        &self.index
+    }
+
+    /// Add a document under `key` (in the coupling: the object's OID).
+    pub fn add_document(&mut self, key: &str, text: &str) -> Result<DocId> {
+        self.stats.adds += 1;
+        self.index.add_document(key, text)
+    }
+
+    /// Delete the document stored under `key`.
+    pub fn delete_document(&mut self, key: &str) -> Result<DocId> {
+        self.stats.deletes += 1;
+        self.index.delete_document(key)
+    }
+
+    /// Replace the document stored under `key`.
+    pub fn update_document(&mut self, key: &str, text: &str) -> Result<DocId> {
+        self.stats.deletes += 1;
+        self.stats.adds += 1;
+        self.index.update_document(key, text)
+    }
+
+    /// True if `key` currently has a live IRS document.
+    pub fn contains(&self, key: &str) -> bool {
+        self.index.store().id_of(key).is_some()
+    }
+
+    /// Number of live documents.
+    pub fn len(&self) -> usize {
+        self.index.store().live_count() as usize
+    }
+
+    /// True if the collection holds no live documents.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Compact tombstones when more than 20% of slots are dead; called by
+    /// [`IrsCollection::commit`].
+    pub fn maybe_merge(&mut self) -> Option<MergeStats> {
+        if self.index.store().tombstone_ratio() > 0.2 {
+            self.stats.merges += 1;
+            Some(self.index.merge())
+        } else {
+            None
+        }
+    }
+
+    /// Make pending changes durable-ready: compacts if worthwhile. The
+    /// incremental index is always queryable; `commit` only optimises.
+    pub fn commit(&mut self) -> Option<MergeStats> {
+        self.maybe_merge()
+    }
+
+    /// Force a full compaction regardless of tombstone ratio.
+    pub fn force_merge(&mut self) -> MergeStats {
+        self.stats.merges += 1;
+        self.index.merge()
+    }
+
+    /// Parse and evaluate `query`, returning hits sorted by descending IRS
+    /// value (ties broken by key for determinism).
+    pub fn search(&mut self, query: &str) -> Result<Vec<Hit>> {
+        let node = parse_query(query)?;
+        Ok(self.search_node(&node))
+    }
+
+    /// Parse and evaluate `query`, returning only the `k` best hits
+    /// (partial selection instead of a full sort — the hot path for
+    /// ranked retrieval UIs).
+    pub fn search_top_k(&mut self, query: &str, k: usize) -> Result<Vec<Hit>> {
+        let node = parse_query(query)?;
+        self.stats.queries += 1;
+        let scores = evaluate(&self.index, self.config.model.as_model(), &node);
+        let store = self.index.store();
+        let mut hits: Vec<Hit> = scores
+            .into_iter()
+            .map(|(doc, score)| Hit {
+                key: store.entry(doc).key.clone(),
+                score,
+            })
+            .collect();
+        if k < hits.len() {
+            hits.select_nth_unstable_by(k, |a, b| {
+                b.score.total_cmp(&a.score).then_with(|| a.key.cmp(&b.key))
+            });
+            hits.truncate(k);
+        }
+        hits.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.key.cmp(&b.key)));
+        Ok(hits)
+    }
+
+    /// Evaluate an already-parsed query.
+    pub fn search_node(&mut self, node: &QueryNode) -> Vec<Hit> {
+        self.stats.queries += 1;
+        let scores = evaluate(&self.index, self.config.model.as_model(), node);
+        let store = self.index.store();
+        let mut hits: Vec<Hit> = scores
+            .into_iter()
+            .map(|(doc, score)| Hit {
+                key: store.entry(doc).key.clone(),
+                score,
+            })
+            .collect();
+        hits.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.key.cmp(&b.key)));
+        hits
+    }
+
+    /// Internal constructor used by persistence.
+    pub(crate) fn from_parts(config: CollectionConfig, index: InvertedIndex) -> Self {
+        IrsCollection {
+            config,
+            index,
+            stats: CollectionStatistics::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Bm25Model, InferenceModel, VectorModel};
+
+    fn populated(model: ModelKind) -> IrsCollection {
+        let mut c = IrsCollection::new(CollectionConfig {
+            model,
+            ..CollectionConfig::default()
+        });
+        c.add_document("p1", "telnet is a protocol for remote login").unwrap();
+        c.add_document("p2", "the www is a hypertext system").unwrap();
+        c.add_document("p3", "the www and the nii together").unwrap();
+        c
+    }
+
+    #[test]
+    fn search_returns_sorted_hits() {
+        let mut c = populated(ModelKind::Inference(InferenceModel::default()));
+        let hits = c.search("www").unwrap();
+        assert_eq!(hits.len(), 2);
+        assert!(hits[0].score >= hits[1].score);
+    }
+
+    #[test]
+    fn ties_break_by_key_for_determinism() {
+        let mut c = IrsCollection::new(CollectionConfig::default());
+        c.add_document("b", "zebra").unwrap();
+        c.add_document("a", "zebra").unwrap();
+        let hits = c.search("zebra").unwrap();
+        assert_eq!(hits[0].key, "a");
+        assert_eq!(hits[1].key, "b");
+    }
+
+    #[test]
+    fn every_model_kind_searches() {
+        for model in [
+            ModelKind::Boolean,
+            ModelKind::Vector(VectorModel::default()),
+            ModelKind::Bm25(Bm25Model::default()),
+            ModelKind::Inference(InferenceModel::default()),
+        ] {
+            let mut c = populated(model.clone());
+            let hits = c.search("#and(www nii)").unwrap();
+            assert!(!hits.is_empty(), "{model:?}");
+            assert_eq!(hits[0].key, "p3", "{model:?} top hit");
+        }
+    }
+
+    #[test]
+    fn update_changes_search_results() {
+        let mut c = populated(ModelKind::default());
+        c.update_document("p1", "gopher replaces telnet menus entirely").unwrap();
+        let telnet = c.search("telnet").unwrap();
+        // p1 still matches (text mentions telnet) but via the new text.
+        assert_eq!(telnet.len(), 1);
+        let gopher = c.search("gopher").unwrap();
+        assert_eq!(gopher[0].key, "p1");
+    }
+
+    #[test]
+    fn work_stats_count_operations() {
+        let mut c = populated(ModelKind::default());
+        c.search("www").unwrap();
+        c.search("nii").unwrap();
+        c.delete_document("p1").unwrap();
+        let s = c.work_stats();
+        assert_eq!(s.adds, 3);
+        assert_eq!(s.deletes, 1);
+        assert_eq!(s.queries, 2);
+    }
+
+    #[test]
+    fn commit_merges_only_when_dirty_enough() {
+        let mut c = populated(ModelKind::default());
+        assert!(c.commit().is_none(), "no tombstones yet");
+        c.delete_document("p1").unwrap();
+        let merged = c.commit().expect("1/3 dead > 20%");
+        assert_eq!(merged.docs_purged, 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn len_and_contains() {
+        let mut c = populated(ModelKind::default());
+        assert_eq!(c.len(), 3);
+        assert!(c.contains("p1"));
+        c.delete_document("p1").unwrap();
+        assert!(!c.contains("p1"));
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn bad_query_surfaces_parse_error() {
+        let mut c = populated(ModelKind::default());
+        assert!(c.search("#and(").is_err());
+    }
+
+    #[test]
+    fn top_k_matches_full_search_prefix() {
+        let mut c = IrsCollection::new(CollectionConfig::default());
+        for i in 0..30 {
+            let reps = (i % 5) + 1;
+            let text = format!("{} padding words here", "zebra ".repeat(reps));
+            c.add_document(&format!("d{i:02}"), &text).unwrap();
+        }
+        let full = c.search("zebra").unwrap();
+        for k in [0usize, 1, 3, 10, 30, 100] {
+            let top = c.search_top_k("zebra", k).unwrap();
+            assert_eq!(top.len(), k.min(full.len()), "k={k}");
+            assert_eq!(&top[..], &full[..top.len()], "k={k} prefix equality");
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type shared by all IRS operations.
+
+use std::fmt;
+
+/// Convenient alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, IrsError>;
+
+/// Errors raised by the IRS.
+#[derive(Debug)]
+pub enum IrsError {
+    /// A query string could not be parsed; carries a human-readable reason
+    /// and the byte offset at which parsing failed.
+    QueryParse {
+        /// Human-readable reason.
+        reason: String,
+        /// Byte offset in the query text.
+        offset: usize,
+    },
+    /// An external document key was not found in the collection.
+    UnknownDocument(String),
+    /// A document key was added twice without an intervening delete.
+    DuplicateDocument(String),
+    /// The on-disk index file is corrupt or from an incompatible version.
+    CorruptIndex(String),
+    /// Underlying I/O failure during persistence.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for IrsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrsError::QueryParse { reason, offset } => {
+                write!(f, "query parse error at byte {offset}: {reason}")
+            }
+            IrsError::UnknownDocument(key) => write!(f, "unknown document key {key:?}"),
+            IrsError::DuplicateDocument(key) => write!(f, "duplicate document key {key:?}"),
+            IrsError::CorruptIndex(why) => write!(f, "corrupt index: {why}"),
+            IrsError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IrsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IrsError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IrsError {
+    fn from(e: std::io::Error) -> Self {
+        IrsError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_offset_and_reason() {
+        let e = IrsError::QueryParse {
+            reason: "unbalanced parenthesis".into(),
+            offset: 7,
+        };
+        let s = e.to_string();
+        assert!(s.contains("byte 7"));
+        assert!(s.contains("unbalanced parenthesis"));
+    }
+
+    #[test]
+    fn io_error_source_is_preserved() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = IrsError::from(io);
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn unknown_and_duplicate_display_key() {
+        assert!(IrsError::UnknownDocument("k1".into()).to_string().contains("k1"));
+        assert!(IrsError::DuplicateDocument("k2".into()).to_string().contains("k2"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Term dictionary: interns term strings to dense [`TermId`]s.
+
+use std::collections::HashMap;
+
+/// Dense identifier of an interned term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub u32);
+
+/// Bidirectional term ↔ id mapping.
+#[derive(Debug, Default, Clone)]
+pub struct Dictionary {
+    by_text: HashMap<String, TermId>,
+    by_id: Vec<String>,
+}
+
+impl Dictionary {
+    /// Create an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// True if no terms are interned.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Intern `term`, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, term: &str) -> TermId {
+        if let Some(&id) = self.by_text.get(term) {
+            return id;
+        }
+        let id = TermId(self.by_id.len() as u32);
+        self.by_id.push(term.to_string());
+        self.by_text.insert(term.to_string(), id);
+        id
+    }
+
+    /// Look up the id of an existing term.
+    pub fn get(&self, term: &str) -> Option<TermId> {
+        self.by_text.get(term).copied()
+    }
+
+    /// The text of `id`. Panics if `id` was not produced by this dictionary.
+    pub fn text(&self, id: TermId) -> &str {
+        &self.by_id[id.0 as usize]
+    }
+
+    /// Iterate over `(TermId, &str)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &str)> {
+        self.by_id
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (TermId(i as u32), s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern("www");
+        let b = d.intern("www");
+        assert_eq!(a, b);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered_by_first_appearance() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.intern("alpha"), TermId(0));
+        assert_eq!(d.intern("beta"), TermId(1));
+        assert_eq!(d.intern("alpha"), TermId(0));
+        assert_eq!(d.intern("gamma"), TermId(2));
+    }
+
+    #[test]
+    fn text_round_trips() {
+        let mut d = Dictionary::new();
+        let id = d.intern("telnet");
+        assert_eq!(d.text(id), "telnet");
+        assert_eq!(d.get("telnet"), Some(id));
+        assert_eq!(d.get("absent"), None);
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let mut d = Dictionary::new();
+        d.intern("b");
+        d.intern("a");
+        let pairs: Vec<(TermId, &str)> = d.iter().collect();
+        assert_eq!(pairs, vec![(TermId(0), "b"), (TermId(1), "a")]);
+    }
+}

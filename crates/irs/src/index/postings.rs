@@ -1,0 +1,312 @@
+//! Compressed postings lists.
+//!
+//! A postings list stores, for one term, the sequence of documents the term
+//! occurs in, with per-document term frequency and token positions. Doc ids
+//! and positions are delta-encoded and written as LEB128 varints — the
+//! classical inverted-file layout the paper's IRS generation used (inverted
+//! lists stored in a file system, Section 1.1).
+
+/// Append `v` to `buf` as an unsigned LEB128 varint.
+pub fn write_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Read a varint from `buf` starting at `*pos`, advancing `*pos`.
+/// Returns `None` on truncated input or overlong encodings (> 10 bytes).
+pub fn read_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos)?;
+        *pos += 1;
+        if shift >= 64 {
+            return None;
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+/// One term occurrence record during decoding: document + positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Posting {
+    /// Internal document id.
+    pub doc: u32,
+    /// Token positions of the term within the document, ascending.
+    pub positions: Vec<u32>,
+}
+
+impl Posting {
+    /// Term frequency in this document.
+    pub fn tf(&self) -> u32 {
+        self.positions.len() as u32
+    }
+}
+
+/// A compressed, append-only postings list for a single term.
+///
+/// Layout per entry: `doc_delta, tf, pos_delta*` — all varints. Documents
+/// must be appended in ascending doc-id order (enforced by debug assertion
+/// and by the single writer, [`super::InvertedIndex`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PostingsList {
+    bytes: Vec<u8>,
+    doc_count: u32,
+    last_doc: u32,
+    total_tf: u64,
+}
+
+impl PostingsList {
+    /// Create an empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of documents in the list (document frequency of the term).
+    pub fn doc_count(&self) -> u32 {
+        self.doc_count
+    }
+
+    /// Sum of term frequencies across all documents (collection frequency).
+    pub fn total_tf(&self) -> u64 {
+        self.total_tf
+    }
+
+    /// Size of the compressed representation in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Append an occurrence record. `positions` must be ascending and
+    /// non-empty; `doc` must exceed every previously appended doc id.
+    pub fn push(&mut self, doc: u32, positions: &[u32]) {
+        debug_assert!(!positions.is_empty(), "a posting must have >= 1 position");
+        debug_assert!(
+            self.doc_count == 0 || doc > self.last_doc,
+            "doc ids must be appended in ascending order"
+        );
+        debug_assert!(positions.windows(2).all(|w| w[0] < w[1]));
+        let delta = if self.doc_count == 0 {
+            doc
+        } else {
+            doc - self.last_doc
+        };
+        write_varint(&mut self.bytes, u64::from(delta));
+        write_varint(&mut self.bytes, positions.len() as u64);
+        let mut prev = 0u32;
+        for (i, &p) in positions.iter().enumerate() {
+            let d = if i == 0 { p } else { p - prev };
+            write_varint(&mut self.bytes, u64::from(d));
+            prev = p;
+        }
+        self.last_doc = doc;
+        self.doc_count += 1;
+        self.total_tf += positions.len() as u64;
+    }
+
+    /// Iterate over the postings in doc-id order.
+    pub fn iter(&self) -> PostingsIter<'_> {
+        PostingsIter {
+            bytes: &self.bytes,
+            pos: 0,
+            remaining: self.doc_count,
+            prev_doc: 0,
+            first: true,
+        }
+    }
+
+    /// Raw compressed bytes (for persistence).
+    pub fn raw(&self) -> (&[u8], u32, u32, u64) {
+        (&self.bytes, self.doc_count, self.last_doc, self.total_tf)
+    }
+
+    /// Rebuild from persisted raw parts. The caller is responsible for the
+    /// integrity of `bytes` (validated lazily during iteration).
+    pub fn from_raw(bytes: Vec<u8>, doc_count: u32, last_doc: u32, total_tf: u64) -> Self {
+        PostingsList {
+            bytes,
+            doc_count,
+            last_doc,
+            total_tf,
+        }
+    }
+}
+
+/// Decoding iterator over a [`PostingsList`].
+pub struct PostingsIter<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    remaining: u32,
+    prev_doc: u32,
+    first: bool,
+}
+
+impl Iterator for PostingsIter<'_> {
+    type Item = Posting;
+
+    fn next(&mut self) -> Option<Posting> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let delta = read_varint(self.bytes, &mut self.pos)? as u32;
+        let doc = if self.first {
+            delta
+        } else {
+            self.prev_doc + delta
+        };
+        self.first = false;
+        self.prev_doc = doc;
+        let tf = read_varint(self.bytes, &mut self.pos)? as usize;
+        let mut positions = Vec::with_capacity(tf);
+        let mut prev = 0u32;
+        for i in 0..tf {
+            let d = read_varint(self.bytes, &mut self.pos)? as u32;
+            let p = if i == 0 { d } else { prev + d };
+            positions.push(p);
+            prev = p;
+        }
+        self.remaining -= 1;
+        Some(Posting { doc, positions })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining as usize, Some(self.remaining as usize))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trip_edge_values() {
+        for v in [0u64, 1, 127, 128, 255, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_truncated_input_is_none() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 300);
+        buf.pop();
+        let mut pos = 0;
+        assert_eq!(read_varint(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn varint_overlong_is_rejected() {
+        let buf = vec![0x80u8; 11];
+        let mut pos = 0;
+        assert_eq!(read_varint(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn postings_round_trip() {
+        let mut pl = PostingsList::new();
+        pl.push(0, &[3, 7, 21]);
+        pl.push(5, &[0]);
+        pl.push(6, &[1, 2]);
+        let decoded: Vec<Posting> = pl.iter().collect();
+        assert_eq!(decoded.len(), 3);
+        assert_eq!(decoded[0], Posting { doc: 0, positions: vec![3, 7, 21] });
+        assert_eq!(decoded[1], Posting { doc: 5, positions: vec![0] });
+        assert_eq!(decoded[2], Posting { doc: 6, positions: vec![1, 2] });
+        assert_eq!(pl.doc_count(), 3);
+        assert_eq!(pl.total_tf(), 6);
+    }
+
+    #[test]
+    fn delta_encoding_is_compact_for_dense_lists() {
+        let mut pl = PostingsList::new();
+        for doc in 0..1000u32 {
+            pl.push(doc, &[0]);
+        }
+        // doc_delta=1|0, tf=1, pos=0 → 3 bytes per entry.
+        assert!(pl.byte_size() <= 3 * 1000, "got {}", pl.byte_size());
+    }
+
+    #[test]
+    fn raw_round_trip() {
+        let mut pl = PostingsList::new();
+        pl.push(2, &[1, 5]);
+        pl.push(9, &[0]);
+        let (bytes, dc, last, tf) = pl.raw();
+        let rebuilt = PostingsList::from_raw(bytes.to_vec(), dc, last, tf);
+        assert_eq!(rebuilt, pl);
+        assert_eq!(rebuilt.iter().count(), 2);
+    }
+
+    #[test]
+    fn iterator_size_hint_is_exact() {
+        let mut pl = PostingsList::new();
+        pl.push(1, &[0]);
+        pl.push(2, &[0]);
+        let it = pl.iter();
+        assert_eq!(it.size_hint(), (2, Some(2)));
+    }
+
+    #[test]
+    fn empty_list_iterates_nothing() {
+        let pl = PostingsList::new();
+        assert_eq!(pl.iter().count(), 0);
+        assert_eq!(pl.doc_count(), 0);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn release_mode_marker() {}
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn varint_round_trips(v in any::<u64>()) {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let mut pos = 0;
+            prop_assert_eq!(read_varint(&buf, &mut pos), Some(v));
+            prop_assert_eq!(pos, buf.len());
+        }
+
+        #[test]
+        fn postings_round_trip_arbitrary(
+            entries in prop::collection::vec(
+                (1u32..1000, prop::collection::btree_set(0u32..10_000, 1..20)),
+                0..50,
+            )
+        ) {
+            // Build strictly ascending doc ids from the random gaps.
+            let mut pl = PostingsList::new();
+            let mut expected = Vec::new();
+            let mut doc = 0u32;
+            for (gap, posset) in &entries {
+                doc += gap;
+                let positions: Vec<u32> = posset.iter().copied().collect();
+                pl.push(doc, &positions);
+                expected.push(Posting { doc, positions });
+            }
+            let decoded: Vec<Posting> = pl.iter().collect();
+            prop_assert_eq!(decoded, expected);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Vector-space retrieval: TF-IDF with pivoted length normalisation.
+
+use super::{RetrievalModel, TermStats};
+
+/// TF-IDF vector model. Scores are unbounded similarities; operator
+/// combination degrades to summation (the vector model has no native
+/// boolean algebra), and `#not` contributes nothing — documented behaviour
+/// the coupling surfaces when an application pairs structural negation
+/// with a vector collection (the paper's open "Open World vs. Closed
+/// World" issue, Section 6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VectorModel {
+    /// Pivot slope for length normalisation (0 = none, 1 = full).
+    pub slope: f64,
+}
+
+impl Default for VectorModel {
+    fn default() -> Self {
+        VectorModel { slope: 0.25 }
+    }
+}
+
+impl RetrievalModel for VectorModel {
+    fn name(&self) -> &'static str {
+        "vector"
+    }
+
+    fn term_score(&self, s: TermStats) -> f64 {
+        if s.tf == 0 || s.df == 0 || s.n_docs == 0 {
+            return 0.0;
+        }
+        let tf = 1.0 + f64::from(s.tf).ln();
+        let idf = (1.0 + f64::from(s.n_docs) / f64::from(s.df)).ln();
+        let pivot = if s.avg_doc_len > 0.0 {
+            (1.0 - self.slope) + self.slope * f64::from(s.doc_len.max(1)) / s.avg_doc_len
+        } else {
+            1.0
+        };
+        tf * idf / pivot
+    }
+
+    fn combine_and(&self, scores: &[f64]) -> f64 {
+        scores.iter().sum()
+    }
+
+    fn combine_or(&self, scores: &[f64]) -> f64 {
+        scores.iter().sum()
+    }
+
+    fn combine_sum(&self, scores: &[f64]) -> f64 {
+        scores.iter().sum()
+    }
+
+    fn combine_wsum(&self, weighted: &[(f64, f64)]) -> f64 {
+        weighted.iter().map(|(w, s)| w * s).sum()
+    }
+
+    fn combine_not(&self, _score: f64) -> f64 {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(tf: u32, df: u32, doc_len: u32) -> TermStats {
+        TermStats {
+            tf,
+            df,
+            n_docs: 1000,
+            doc_len,
+            avg_doc_len: 100.0,
+        }
+    }
+
+    #[test]
+    fn zero_tf_scores_zero() {
+        assert_eq!(VectorModel::default().term_score(stats(0, 10, 100)), 0.0);
+    }
+
+    #[test]
+    fn longer_documents_are_penalised() {
+        let m = VectorModel::default();
+        assert!(m.term_score(stats(3, 10, 50)) > m.term_score(stats(3, 10, 500)));
+    }
+
+    #[test]
+    fn slope_zero_disables_length_normalisation() {
+        let m = VectorModel { slope: 0.0 };
+        assert_eq!(m.term_score(stats(3, 10, 50)), m.term_score(stats(3, 10, 500)));
+    }
+
+    #[test]
+    fn operators_sum() {
+        let m = VectorModel::default();
+        assert_eq!(m.combine_and(&[1.0, 2.0]), 3.0);
+        assert_eq!(m.combine_or(&[1.0, 2.0]), 3.0);
+        assert_eq!(m.combine_wsum(&[(2.0, 1.5)]), 3.0);
+        assert_eq!(m.combine_not(5.0), 0.0);
+    }
+}

@@ -1,0 +1,425 @@
+//! Persistence: saving and loading collections, and the 1996-style result
+//! file exchange.
+//!
+//! The paper's IRS stores its inverted lists "in a file system"
+//! (Section 1.1), and its prototype exchanged query results through a file
+//! that the OODBMS parsed ("Currently the IRS writes the result to a file
+//! which is parsed afterwards", Section 4.5). Both are implemented here:
+//! a compact binary index format, and [`result_file`] for the file-based
+//! exchange that the architecture experiment (E1) uses to model the
+//! historical interface cost.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::analysis::{Analyzer, AnalyzerConfig};
+use crate::collection::{CollectionConfig, IrsCollection};
+use crate::error::{IrsError, Result};
+use crate::index::{read_varint, write_varint, Dictionary, DocStore, InvertedIndex, PostingsList};
+use crate::model::{Bm25Model, InferenceModel, ModelKind, VectorModel};
+
+const MAGIC: &[u8; 4] = b"IRSX";
+const VERSION: u8 = 1;
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    write_varint(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64> {
+    read_varint(buf, pos).ok_or_else(|| IrsError::CorruptIndex("truncated varint".into()))
+}
+
+fn get_bytes<'a>(buf: &'a [u8], pos: &mut usize) -> Result<&'a [u8]> {
+    let len = get_varint(buf, pos)? as usize;
+    let end = pos
+        .checked_add(len)
+        .filter(|&e| e <= buf.len())
+        .ok_or_else(|| IrsError::CorruptIndex("truncated byte string".into()))?;
+    let out = &buf[*pos..end];
+    *pos = end;
+    Ok(out)
+}
+
+fn get_f64(buf: &[u8], pos: &mut usize) -> Result<f64> {
+    if *pos + 8 > buf.len() {
+        return Err(IrsError::CorruptIndex("truncated f64".into()));
+    }
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[*pos..*pos + 8]);
+    *pos += 8;
+    Ok(f64::from_bits(u64::from_le_bytes(b)))
+}
+
+/// Serialise `coll` to `path`.
+pub fn save_collection(coll: &IrsCollection, path: &Path) -> Result<()> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+
+    // Analyzer config.
+    let a = &coll.config().analyzer;
+    out.push(a.lowercase as u8);
+    out.push(a.remove_stopwords as u8);
+    out.push(a.stem as u8);
+    write_varint(&mut out, a.min_token_len as u64);
+    write_varint(&mut out, a.max_token_len as u64);
+
+    // Model with parameters.
+    let model = &coll.config().model;
+    out.push(model.tag());
+    match model {
+        ModelKind::Boolean => {}
+        ModelKind::Vector(m) => put_f64(&mut out, m.slope),
+        ModelKind::Bm25(m) => {
+            put_f64(&mut out, m.k1);
+            put_f64(&mut out, m.b);
+        }
+        ModelKind::Inference(m) => put_f64(&mut out, m.default_belief),
+    }
+
+    let (dict, postings, store) = coll.index().parts();
+
+    // Dictionary in id order.
+    write_varint(&mut out, dict.len() as u64);
+    for (_, text) in dict.iter() {
+        put_bytes(&mut out, text.as_bytes());
+    }
+
+    // Postings lists, one per term id.
+    write_varint(&mut out, postings.len() as u64);
+    for pl in postings {
+        let (bytes, doc_count, last_doc, total_tf) = pl.raw();
+        write_varint(&mut out, u64::from(doc_count));
+        write_varint(&mut out, u64::from(last_doc));
+        write_varint(&mut out, total_tf);
+        put_bytes(&mut out, bytes);
+    }
+
+    // Doc store in slot order (tombstones preserved so doc ids survive).
+    write_varint(&mut out, u64::from(store.slot_count()));
+    for slot in 0..store.slot_count() {
+        let e = store.entry(crate::index::DocId(slot));
+        put_bytes(&mut out, e.key.as_bytes());
+        write_varint(&mut out, u64::from(e.len));
+        out.push(e.deleted as u8);
+    }
+
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(&out)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Load a collection previously written by [`save_collection`].
+pub fn load_collection(path: &Path) -> Result<IrsCollection> {
+    let mut buf = Vec::new();
+    BufReader::new(File::open(path)?).read_to_end(&mut buf)?;
+    let mut pos = 0usize;
+
+    if buf.len() < 5 || &buf[0..4] != MAGIC {
+        return Err(IrsError::CorruptIndex("bad magic".into()));
+    }
+    pos += 4;
+    let version = buf[pos];
+    pos += 1;
+    if version != VERSION {
+        return Err(IrsError::CorruptIndex(format!("unsupported version {version}")));
+    }
+
+    let flag = |b: u8| -> Result<bool> {
+        match b {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(IrsError::CorruptIndex("bad boolean flag".into())),
+        }
+    };
+    if pos + 3 > buf.len() {
+        return Err(IrsError::CorruptIndex("truncated header".into()));
+    }
+    let lowercase = flag(buf[pos])?;
+    let remove_stopwords = flag(buf[pos + 1])?;
+    let stem = flag(buf[pos + 2])?;
+    pos += 3;
+    let min_token_len = get_varint(&buf, &mut pos)? as usize;
+    let max_token_len = get_varint(&buf, &mut pos)? as usize;
+    let analyzer_cfg = AnalyzerConfig {
+        lowercase,
+        remove_stopwords,
+        stem,
+        min_token_len,
+        max_token_len,
+    };
+
+    if pos >= buf.len() {
+        return Err(IrsError::CorruptIndex("truncated model tag".into()));
+    }
+    let tag = buf[pos];
+    pos += 1;
+    let model = match ModelKind::from_tag(tag)
+        .ok_or_else(|| IrsError::CorruptIndex(format!("unknown model tag {tag}")))?
+    {
+        ModelKind::Boolean => ModelKind::Boolean,
+        ModelKind::Vector(_) => ModelKind::Vector(VectorModel {
+            slope: get_f64(&buf, &mut pos)?,
+        }),
+        ModelKind::Bm25(_) => ModelKind::Bm25(Bm25Model {
+            k1: get_f64(&buf, &mut pos)?,
+            b: get_f64(&buf, &mut pos)?,
+        }),
+        ModelKind::Inference(_) => ModelKind::Inference(InferenceModel {
+            default_belief: get_f64(&buf, &mut pos)?,
+        }),
+    };
+
+    // Dictionary.
+    let term_count = get_varint(&buf, &mut pos)? as usize;
+    let mut dict = Dictionary::new();
+    for _ in 0..term_count {
+        let bytes = get_bytes(&buf, &mut pos)?;
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| IrsError::CorruptIndex("non-utf8 term".into()))?;
+        dict.intern(text);
+    }
+
+    // Postings.
+    let pl_count = get_varint(&buf, &mut pos)? as usize;
+    let mut postings = Vec::with_capacity(pl_count);
+    for _ in 0..pl_count {
+        let doc_count = get_varint(&buf, &mut pos)? as u32;
+        let last_doc = get_varint(&buf, &mut pos)? as u32;
+        let total_tf = get_varint(&buf, &mut pos)?;
+        let bytes = get_bytes(&buf, &mut pos)?.to_vec();
+        postings.push(PostingsList::from_raw(bytes, doc_count, last_doc, total_tf));
+    }
+
+    // Doc store: replay inserts (and deletes for tombstones) in slot order
+    // so internal ids are reproduced exactly.
+    let slots = get_varint(&buf, &mut pos)? as usize;
+    let mut store = DocStore::new();
+    for _ in 0..slots {
+        let key = std::str::from_utf8(get_bytes(&buf, &mut pos)?)
+            .map_err(|_| IrsError::CorruptIndex("non-utf8 key".into()))?
+            .to_string();
+        let len = get_varint(&buf, &mut pos)? as u32;
+        if pos >= buf.len() {
+            return Err(IrsError::CorruptIndex("truncated tombstone flag".into()));
+        }
+        let deleted = flag(buf[pos])?;
+        pos += 1;
+        store
+            .insert(&key, len)
+            .ok_or_else(|| IrsError::CorruptIndex(format!("duplicate live key {key}")))?;
+        if deleted {
+            store.delete(&key);
+        }
+    }
+
+    if pos != buf.len() {
+        return Err(IrsError::CorruptIndex("trailing bytes".into()));
+    }
+
+    let config = CollectionConfig {
+        analyzer: analyzer_cfg.clone(),
+        model,
+    };
+    let index = InvertedIndex::from_parts(Analyzer::new(analyzer_cfg), dict, postings, store);
+    Ok(IrsCollection::from_parts(config, index))
+}
+
+/// The file-based result exchange of the paper's prototype.
+pub mod result_file {
+    use super::*;
+
+    /// Write `(key, score)` pairs as tab-separated lines.
+    pub fn write(path: &Path, results: &[(String, f64)]) -> Result<()> {
+        let mut w = BufWriter::new(File::create(path)?);
+        for (key, score) in results {
+            writeln!(w, "{key}\t{score:.10}")?;
+        }
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Parse a result file back into `(key, score)` pairs — the
+    /// "parsed afterwards to extract the OID-relevance value pairs" step
+    /// of the paper's Section 4.5.
+    pub fn read(path: &Path) -> Result<Vec<(String, f64)>> {
+        let mut text = String::new();
+        BufReader::new(File::open(path)?).read_to_string(&mut text)?;
+        let mut out = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let (key, score) = line.split_once('\t').ok_or_else(|| {
+                IrsError::CorruptIndex(format!("result file line {} lacks a tab", lineno + 1))
+            })?;
+            let score: f64 = score.parse().map_err(|_| {
+                IrsError::CorruptIndex(format!("result file line {} bad score", lineno + 1))
+            })?;
+            out.push((key.to_string(), score));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection::CollectionConfig;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("irs-persist-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample() -> IrsCollection {
+        let mut c = IrsCollection::new(CollectionConfig::default());
+        c.add_document("p1", "telnet is a protocol").unwrap();
+        c.add_document("p2", "the www and the nii").unwrap();
+        c.add_document("p3", "information retrieval systems").unwrap();
+        c.delete_document("p2").unwrap();
+        c
+    }
+
+    #[test]
+    fn save_load_round_trip_preserves_search() {
+        let mut orig = sample();
+        let path = tmp("round_trip.idx");
+        save_collection(&orig, &path).unwrap();
+        let mut loaded = load_collection(&path).unwrap();
+
+        for q in ["telnet", "protocol", "www", "retrieval", "#and(information retrieval)"] {
+            let a = orig.search(q).unwrap();
+            let b = loaded.search(q).unwrap();
+            assert_eq!(a, b, "query {q}");
+        }
+        assert_eq!(orig.len(), loaded.len());
+        assert_eq!(orig.config(), loaded.config());
+    }
+
+    #[test]
+    fn tombstones_survive_round_trip() {
+        let orig = sample();
+        let path = tmp("tombstones.idx");
+        save_collection(&orig, &path).unwrap();
+        let loaded = load_collection(&path).unwrap();
+        assert!(!loaded.contains("p2"));
+        assert_eq!(loaded.index().store().slot_count(), 3);
+        assert_eq!(loaded.index().store().live_count(), 2);
+    }
+
+    #[test]
+    fn model_parameters_survive() {
+        let mut c = IrsCollection::new(CollectionConfig {
+            model: ModelKind::Bm25(Bm25Model { k1: 2.5, b: 0.1 }),
+            ..CollectionConfig::default()
+        });
+        c.add_document("x", "hello world").unwrap();
+        let path = tmp("params.idx");
+        save_collection(&c, &path).unwrap();
+        let loaded = load_collection(&path).unwrap();
+        assert_eq!(
+            loaded.config().model,
+            ModelKind::Bm25(Bm25Model { k1: 2.5, b: 0.1 })
+        );
+    }
+
+    #[test]
+    fn corrupt_files_are_rejected() {
+        let path = tmp("corrupt.idx");
+        std::fs::write(&path, b"NOPE").unwrap();
+        assert!(matches!(load_collection(&path), Err(IrsError::CorruptIndex(_))));
+
+        // Truncation after a valid save must also fail cleanly.
+        let good = tmp("truncate.idx");
+        save_collection(&sample(), &good).unwrap();
+        let bytes = std::fs::read(&good).unwrap();
+        std::fs::write(&good, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(load_collection(&good).is_err());
+    }
+
+    #[test]
+    fn result_file_round_trip() {
+        let path = tmp("results.txt");
+        let results = vec![
+            ("oid:42".to_string(), 0.875),
+            ("oid:7".to_string(), 0.25),
+        ];
+        result_file::write(&path, &results).unwrap();
+        let back = result_file::read(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].0, "oid:42");
+        assert!((back[0].1 - 0.875).abs() < 1e-9);
+    }
+
+    #[test]
+    fn result_file_rejects_malformed_lines() {
+        let path = tmp("bad_results.txt");
+        std::fs::write(&path, "no-tab-here\n").unwrap();
+        assert!(result_file::read(&path).is_err());
+        std::fs::write(&path, "key\tnot-a-number\n").unwrap();
+        assert!(result_file::read(&path).is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::collection::CollectionConfig;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Arbitrary collections (random docs, deletes, any model) search
+        /// identically after a save/load round trip.
+        #[test]
+        fn arbitrary_collections_round_trip(
+            docs in prop::collection::vec(
+                prop::collection::vec("[a-z]{2,8}", 1..15),
+                1..12,
+            ),
+            deletes in prop::collection::vec(any::<bool>(), 1..12),
+            model_tag in 0u8..4,
+            case in 0u32..1_000_000,
+        ) {
+            // `mut` for add/delete now and search later.
+            let mut coll = IrsCollection::new(CollectionConfig {
+                model: ModelKind::from_tag(model_tag).expect("tag in range"),
+                ..CollectionConfig::default()
+            });
+            for (i, words) in docs.iter().enumerate() {
+                coll.add_document(&format!("d{i}"), &words.join(" ")).unwrap();
+            }
+            for (i, &del) in deletes.iter().enumerate() {
+                if del && i < docs.len() {
+                    coll.delete_document(&format!("d{i}")).unwrap();
+                }
+            }
+            let dir = std::env::temp_dir().join("irs-persist-prop");
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join(format!("case_{case}.idx"));
+            save_collection(&coll, &path).unwrap();
+            let mut loaded = load_collection(&path).unwrap();
+            let _ = std::fs::remove_file(&path);
+
+            // Every term of every (original) document searches the same.
+            for words in &docs {
+                for w in words {
+                    let a = coll.search(w).unwrap();
+                    let b = loaded.search(w).unwrap();
+                    prop_assert_eq!(&a, &b, "term {}", w);
+                }
+            }
+            prop_assert_eq!(coll.len(), loaded.len());
+        }
+    }
+}

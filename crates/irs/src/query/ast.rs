@@ -1,0 +1,171 @@
+//! Query abstract syntax tree.
+
+use std::fmt;
+
+/// A node of a parsed IRS query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryNode {
+    /// A single term (analysed at evaluation time).
+    Term(String),
+    /// An exact phrase: terms must occur with the same relative token
+    /// distances as in the query text.
+    Phrase(Vec<String>),
+    /// `#near/N(t1 t2 …)` — the terms must occur in order, each within
+    /// `N` tokens of its predecessor (INQUERY's proximity operator).
+    Near {
+        /// Maximum token distance between consecutive terms.
+        window: u32,
+        /// Terms in required order.
+        terms: Vec<String>,
+    },
+    /// `#and(e1 e2 …)` — conjunctive evidence combination.
+    And(Vec<QueryNode>),
+    /// `#or(e1 e2 …)` — disjunctive evidence combination.
+    Or(Vec<QueryNode>),
+    /// `#not(e)` — negated evidence.
+    Not(Box<QueryNode>),
+    /// `#sum(e1 e2 …)` — average of beliefs (INQUERY's default).
+    Sum(Vec<QueryNode>),
+    /// `#wsum(w1 e1 w2 e2 …)` — weighted average of beliefs.
+    WSum(Vec<(f64, QueryNode)>),
+    /// `#max(e1 e2 …)` — maximum belief.
+    Max(Vec<QueryNode>),
+}
+
+impl QueryNode {
+    /// Collect the distinct term texts mentioned anywhere in the query, in
+    /// first-appearance order. The coupling's subquery-aware derivation
+    /// scheme (Section 4.5.2: "first of all, the subqueries need to be
+    /// identified") uses this to split a query into per-term subqueries.
+    pub fn terms(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_terms(&mut out);
+        out
+    }
+
+    fn collect_terms<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            QueryNode::Term(t) => {
+                if !out.contains(&t.as_str()) {
+                    out.push(t);
+                }
+            }
+            QueryNode::Phrase(ts) | QueryNode::Near { terms: ts, .. } => {
+                for t in ts {
+                    if !out.contains(&t.as_str()) {
+                        out.push(t);
+                    }
+                }
+            }
+            QueryNode::And(cs) | QueryNode::Or(cs) | QueryNode::Sum(cs) | QueryNode::Max(cs) => {
+                for c in cs {
+                    c.collect_terms(out);
+                }
+            }
+            QueryNode::Not(c) => c.collect_terms(out),
+            QueryNode::WSum(ws) => {
+                for (_, c) in ws {
+                    c.collect_terms(out);
+                }
+            }
+        }
+    }
+
+    /// Depth of the operator tree (a bare term has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            QueryNode::Term(_) | QueryNode::Phrase(_) | QueryNode::Near { .. } => 1,
+            QueryNode::Not(c) => 1 + c.depth(),
+            QueryNode::And(cs) | QueryNode::Or(cs) | QueryNode::Sum(cs) | QueryNode::Max(cs) => {
+                1 + cs.iter().map(QueryNode::depth).max().unwrap_or(0)
+            }
+            QueryNode::WSum(ws) => 1 + ws.iter().map(|(_, c)| c.depth()).max().unwrap_or(0),
+        }
+    }
+}
+
+impl fmt::Display for QueryNode {
+    /// Render back to parseable query syntax.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn join(f: &mut fmt::Formatter<'_>, cs: &[QueryNode]) -> fmt::Result {
+            for (i, c) in cs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{c}")?;
+            }
+            Ok(())
+        }
+        match self {
+            QueryNode::Term(t) => write!(f, "{t}"),
+            QueryNode::Phrase(ts) => write!(f, "\"{}\"", ts.join(" ")),
+            QueryNode::Near { window, terms } => {
+                write!(f, "#near/{window}({})", terms.join(" "))
+            }
+            QueryNode::And(cs) => {
+                write!(f, "#and(")?;
+                join(f, cs)?;
+                write!(f, ")")
+            }
+            QueryNode::Or(cs) => {
+                write!(f, "#or(")?;
+                join(f, cs)?;
+                write!(f, ")")
+            }
+            QueryNode::Not(c) => write!(f, "#not({c})"),
+            QueryNode::Sum(cs) => {
+                write!(f, "#sum(")?;
+                join(f, cs)?;
+                write!(f, ")")
+            }
+            QueryNode::WSum(ws) => {
+                write!(f, "#wsum(")?;
+                for (i, (w, c)) in ws.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{w} {c}")?;
+                }
+                write!(f, ")")
+            }
+            QueryNode::Max(cs) => {
+                write!(f, "#max(")?;
+                join(f, cs)?;
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terms_are_deduplicated_in_order() {
+        let q = QueryNode::And(vec![
+            QueryNode::Term("www".into()),
+            QueryNode::Or(vec![
+                QueryNode::Term("nii".into()),
+                QueryNode::Term("www".into()),
+            ]),
+        ]);
+        assert_eq!(q.terms(), vec!["www", "nii"]);
+    }
+
+    #[test]
+    fn depth_counts_nesting() {
+        let q = QueryNode::And(vec![QueryNode::Not(Box::new(QueryNode::Term("a".into())))]);
+        assert_eq!(q.depth(), 3);
+        assert_eq!(QueryNode::Term("a".into()).depth(), 1);
+    }
+
+    #[test]
+    fn display_round_trips_syntax() {
+        let q = QueryNode::WSum(vec![
+            (2.0, QueryNode::Term("www".into())),
+            (1.0, QueryNode::Phrase(vec!["information".into(), "retrieval".into()])),
+        ]);
+        assert_eq!(q.to_string(), "#wsum(2 www 1 \"information retrieval\")");
+    }
+}

@@ -1,0 +1,516 @@
+//! An arena-based B+tree.
+//!
+//! Keys live in the leaves; internal nodes hold separator keys. Leaves are
+//! chained for range scans. Deletion is *lazy*: entries are removed from
+//! their leaf but underfull leaves are not eagerly rebalanced (the
+//! standard trade-off in write-heavy stores); a [`BPlusTree::rebuild`]
+//! compaction restores minimal height, and the store invokes it from
+//! snapshot checkpoints.
+
+const ORDER: usize = 16; // max children of an internal node
+const MAX_KEYS: usize = ORDER - 1;
+
+#[derive(Debug, Clone)]
+enum Node<K, V> {
+    Internal { keys: Vec<K>, children: Vec<usize> },
+    Leaf { keys: Vec<K>, vals: Vec<V>, next: Option<usize> },
+}
+
+/// A B+tree mapping ordered keys to values.
+#[derive(Debug, Clone)]
+pub struct BPlusTree<K, V> {
+    arena: Vec<Node<K, V>>,
+    root: usize,
+    len: usize,
+}
+
+impl<K: Ord + Clone, V: Clone> Default for BPlusTree<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> BPlusTree<K, V> {
+    /// Create an empty tree.
+    pub fn new() -> Self {
+        BPlusTree {
+            arena: vec![Node::Leaf {
+                keys: Vec::new(),
+                vals: Vec::new(),
+                next: None,
+            }],
+            root: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert `key → value`. Returns the previous value if the key existed.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        match self.insert_rec(self.root, key, value) {
+            InsertResult::Replaced(old) => Some(old),
+            InsertResult::Inserted => {
+                self.len += 1;
+                None
+            }
+            InsertResult::Split(sep, right) => {
+                self.len += 1;
+                let old_root = self.root;
+                self.arena.push(Node::Internal {
+                    keys: vec![sep],
+                    children: vec![old_root, right],
+                });
+                self.root = self.arena.len() - 1;
+                None
+            }
+        }
+    }
+
+    fn insert_rec(&mut self, node: usize, key: K, value: V) -> InsertResult<K, V> {
+        match &mut self.arena[node] {
+            Node::Leaf { keys, vals, .. } => {
+                match keys.binary_search(&key) {
+                    Ok(i) => {
+                        let old = std::mem::replace(&mut vals[i], value);
+                        return InsertResult::Replaced(old);
+                    }
+                    Err(i) => {
+                        keys.insert(i, key);
+                        vals.insert(i, value);
+                    }
+                }
+                if keys.len() <= MAX_KEYS {
+                    return InsertResult::Inserted;
+                }
+                // Split the leaf.
+                let mid = keys.len() / 2;
+                let right_keys = keys.split_off(mid);
+                let right_vals = vals.split_off(mid);
+                let sep = right_keys[0].clone();
+                let next = match &self.arena[node] {
+                    Node::Leaf { next, .. } => *next,
+                    _ => unreachable!(),
+                };
+                let right_idx = self.arena.len();
+                self.arena.push(Node::Leaf {
+                    keys: right_keys,
+                    vals: right_vals,
+                    next,
+                });
+                if let Node::Leaf { next, .. } = &mut self.arena[node] {
+                    *next = Some(right_idx);
+                }
+                InsertResult::Split(sep, right_idx)
+            }
+            Node::Internal { keys, .. } => {
+                let idx = match keys.binary_search(&key) {
+                    Ok(i) => i + 1,
+                    Err(i) => i,
+                };
+                let child = match &self.arena[node] {
+                    Node::Internal { children, .. } => children[idx],
+                    _ => unreachable!(),
+                };
+                match self.insert_rec(child, key, value) {
+                    InsertResult::Split(sep, right) => {
+                        let (keys, children) = match &mut self.arena[node] {
+                            Node::Internal { keys, children } => (keys, children),
+                            _ => unreachable!(),
+                        };
+                        keys.insert(idx, sep);
+                        children.insert(idx + 1, right);
+                        if keys.len() <= MAX_KEYS {
+                            return InsertResult::Inserted;
+                        }
+                        // Split the internal node.
+                        let mid = keys.len() / 2;
+                        let sep_up = keys[mid].clone();
+                        let right_keys = keys.split_off(mid + 1);
+                        keys.pop(); // remove sep_up from the left node
+                        let right_children = children.split_off(mid + 1);
+                        let right_idx = self.arena.len();
+                        self.arena.push(Node::Internal {
+                            keys: right_keys,
+                            children: right_children,
+                        });
+                        InsertResult::Split(sep_up, right_idx)
+                    }
+                    other => other,
+                }
+            }
+        }
+    }
+
+    /// Look up `key`.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let mut node = self.root;
+        loop {
+            match &self.arena[node] {
+                Node::Internal { keys, children } => {
+                    let idx = match keys.binary_search(key) {
+                        Ok(i) => i + 1,
+                        Err(i) => i,
+                    };
+                    node = children[idx];
+                }
+                Node::Leaf { keys, vals, .. } => {
+                    return keys.binary_search(key).ok().map(|i| &vals[i]);
+                }
+            }
+        }
+    }
+
+    /// Remove `key`, returning its value. Lazy: no rebalancing.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let mut node = self.root;
+        while let Node::Internal { keys, children } = &self.arena[node] {
+            let idx = match keys.binary_search(key) {
+                Ok(i) => i + 1,
+                Err(i) => i,
+            };
+            node = children[idx];
+        }
+        match &mut self.arena[node] {
+            Node::Leaf { keys, vals, .. } => match keys.binary_search(key) {
+                Ok(i) => {
+                    keys.remove(i);
+                    let v = vals.remove(i);
+                    self.len -= 1;
+                    Some(v)
+                }
+                Err(_) => None,
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    fn first_leaf(&self) -> usize {
+        let mut node = self.root;
+        loop {
+            match &self.arena[node] {
+                Node::Internal { children, .. } => node = children[0],
+                Node::Leaf { .. } => return node,
+            }
+        }
+    }
+
+    /// Leaf that may contain `key` (or the first key above it).
+    fn seek_leaf(&self, key: &K) -> usize {
+        let mut node = self.root;
+        loop {
+            match &self.arena[node] {
+                Node::Internal { keys, children } => {
+                    let idx = match keys.binary_search(key) {
+                        Ok(i) => i + 1,
+                        Err(i) => i,
+                    };
+                    node = children[idx];
+                }
+                Node::Leaf { .. } => return node,
+            }
+        }
+    }
+
+    /// Iterate over all entries in key order.
+    pub fn iter(&self) -> Iter<'_, K, V> {
+        Iter {
+            tree: self,
+            leaf: Some(self.first_leaf()),
+            idx: 0,
+            upper: None,
+        }
+    }
+
+    /// Iterate over entries with `lo <= key <= hi`.
+    pub fn range(&self, lo: &K, hi: &K) -> Iter<'_, K, V> {
+        let leaf = self.seek_leaf(lo);
+        let idx = match &self.arena[leaf] {
+            Node::Leaf { keys, .. } => match keys.binary_search(lo) {
+                Ok(i) => i,
+                Err(i) => i,
+            },
+            _ => unreachable!(),
+        };
+        Iter {
+            tree: self,
+            leaf: Some(leaf),
+            idx,
+            upper: Some(hi.clone()),
+        }
+    }
+
+    /// Iterate over entries with `key >= lo` (no upper bound).
+    pub fn range_from(&self, lo: &K) -> Iter<'_, K, V> {
+        let leaf = self.seek_leaf(lo);
+        let idx = match &self.arena[leaf] {
+            Node::Leaf { keys, .. } => match keys.binary_search(lo) {
+                Ok(i) => i,
+                Err(i) => i,
+            },
+            _ => unreachable!(),
+        };
+        Iter {
+            tree: self,
+            leaf: Some(leaf),
+            idx,
+            upper: None,
+        }
+    }
+
+    /// Rebuild the tree compactly (drops tombstoned arena slots and
+    /// restores balance after many lazy deletions).
+    pub fn rebuild(&mut self) {
+        let entries: Vec<(K, V)> = self.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        let mut fresh = BPlusTree::new();
+        for (k, v) in entries {
+            fresh.insert(k, v);
+        }
+        *self = fresh;
+    }
+
+    /// Height of the tree (1 = single leaf).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut node = self.root;
+        loop {
+            match &self.arena[node] {
+                Node::Internal { children, .. } => {
+                    h += 1;
+                    node = children[0];
+                }
+                Node::Leaf { .. } => return h,
+            }
+        }
+    }
+}
+
+enum InsertResult<K, V> {
+    Inserted,
+    Replaced(V),
+    Split(K, usize),
+}
+
+/// In-order iterator over a [`BPlusTree`].
+pub struct Iter<'a, K, V> {
+    tree: &'a BPlusTree<K, V>,
+    leaf: Option<usize>,
+    idx: usize,
+    upper: Option<K>,
+}
+
+impl<'a, K: Ord + Clone, V: Clone> Iterator for Iter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let leaf = self.leaf?;
+            match &self.tree.arena[leaf] {
+                Node::Leaf { keys, vals, next } => {
+                    if self.idx < keys.len() {
+                        let k = &keys[self.idx];
+                        if let Some(hi) = &self.upper {
+                            if k > hi {
+                                self.leaf = None;
+                                return None;
+                            }
+                        }
+                        let v = &vals[self.idx];
+                        self.idx += 1;
+                        return Some((k, v));
+                    }
+                    self.leaf = *next;
+                    self.idx = 0;
+                }
+                _ => unreachable!("leaf chain contains only leaves"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_small() {
+        let mut t = BPlusTree::new();
+        assert_eq!(t.insert(5, "five"), None);
+        assert_eq!(t.insert(1, "one"), None);
+        assert_eq!(t.insert(9, "nine"), None);
+        assert_eq!(t.get(&5), Some(&"five"));
+        assert_eq!(t.get(&2), None);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn insert_replaces_existing() {
+        let mut t = BPlusTree::new();
+        t.insert(1, "a");
+        assert_eq!(t.insert(1, "b"), Some("a"));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&1), Some(&"b"));
+    }
+
+    #[test]
+    fn splits_produce_sorted_iteration() {
+        let mut t = BPlusTree::new();
+        // Insert descending to force splits on the left edge.
+        for i in (0..500).rev() {
+            t.insert(i, i * 2);
+        }
+        assert_eq!(t.len(), 500);
+        assert!(t.height() > 1, "tree must actually split");
+        let keys: Vec<i32> = t.iter().map(|(k, _)| *k).collect();
+        let expect: Vec<i32> = (0..500).collect();
+        assert_eq!(keys, expect);
+    }
+
+    #[test]
+    fn range_is_inclusive_both_ends() {
+        let mut t = BPlusTree::new();
+        for i in 0..100 {
+            t.insert(i, ());
+        }
+        let got: Vec<i32> = t.range(&10, &20).map(|(k, _)| *k).collect();
+        let expect: Vec<i32> = (10..=20).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn range_with_absent_bounds() {
+        let mut t = BPlusTree::new();
+        for i in (0..100).step_by(10) {
+            t.insert(i, ());
+        }
+        let got: Vec<i32> = t.range(&15, &45).map(|(k, _)| *k).collect();
+        assert_eq!(got, vec![20, 30, 40]);
+        let empty: Vec<i32> = t.range(&101, &200).map(|(k, _)| *k).collect();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn remove_then_get_misses() {
+        let mut t = BPlusTree::new();
+        for i in 0..200 {
+            t.insert(i, i);
+        }
+        for i in (0..200).step_by(2) {
+            assert_eq!(t.remove(&i), Some(i));
+        }
+        assert_eq!(t.len(), 100);
+        assert_eq!(t.get(&4), None);
+        assert_eq!(t.get(&5), Some(&5));
+        assert_eq!(t.remove(&4), None, "double remove");
+        let keys: Vec<i32> = t.iter().map(|(k, _)| *k).collect();
+        let expect: Vec<i32> = (0..200).filter(|i| i % 2 == 1).collect();
+        assert_eq!(keys, expect);
+    }
+
+    #[test]
+    fn rebuild_preserves_entries_and_reduces_height() {
+        let mut t = BPlusTree::new();
+        for i in 0..1000 {
+            t.insert(i, i);
+        }
+        for i in 0..990 {
+            t.remove(&i);
+        }
+        let before: Vec<(i32, i32)> = t.iter().map(|(k, v)| (*k, *v)).collect();
+        let h_before = t.height();
+        t.rebuild();
+        let after: Vec<(i32, i32)> = t.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(before, after);
+        assert!(t.height() <= h_before);
+        assert_eq!(t.len(), 10);
+    }
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let t: BPlusTree<i32, ()> = BPlusTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.get(&1), None);
+        assert_eq!(t.iter().count(), 0);
+        assert_eq!(t.height(), 1);
+    }
+
+    #[test]
+    fn string_keys_work() {
+        let mut t = BPlusTree::new();
+        for w in ["pear", "apple", "quince", "banana"] {
+            t.insert(w.to_string(), w.len());
+        }
+        let keys: Vec<&str> = t.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["apple", "banana", "pear", "quince"]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Insert(u16, u16),
+        Remove(u16),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (any::<u16>(), any::<u16>()).prop_map(|(k, v)| Op::Insert(k % 512, v)),
+            any::<u16>().prop_map(|k| Op::Remove(k % 512)),
+        ]
+    }
+
+    proptest! {
+        /// The B+tree behaves identically to the standard-library model
+        /// under arbitrary insert/remove interleavings.
+        #[test]
+        fn matches_btreemap_model(ops in prop::collection::vec(op_strategy(), 1..400)) {
+            let mut tree = BPlusTree::new();
+            let mut model = BTreeMap::new();
+            for op in ops {
+                match op {
+                    Op::Insert(k, v) => {
+                        prop_assert_eq!(tree.insert(k, v), model.insert(k, v));
+                    }
+                    Op::Remove(k) => {
+                        prop_assert_eq!(tree.remove(&k), model.remove(&k));
+                    }
+                }
+            }
+            prop_assert_eq!(tree.len(), model.len());
+            let tree_entries: Vec<(u16, u16)> = tree.iter().map(|(k, v)| (*k, *v)).collect();
+            let model_entries: Vec<(u16, u16)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+            prop_assert_eq!(tree_entries, model_entries);
+        }
+
+        /// Range scans agree with the model for arbitrary bounds.
+        #[test]
+        fn range_matches_model(
+            entries in prop::collection::btree_map(any::<u16>(), any::<u16>(), 0..200),
+            lo in any::<u16>(),
+            hi in any::<u16>(),
+        ) {
+            let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+            let mut tree = BPlusTree::new();
+            for (&k, &v) in &entries {
+                tree.insert(k, v);
+            }
+            let got: Vec<(u16, u16)> = tree.range(&lo, &hi).map(|(k, v)| (*k, *v)).collect();
+            let expect: Vec<(u16, u16)> =
+                entries.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Hash index: equality-only access path.
+//!
+//! Keys are the binary encoding of the attribute [`Value`] (values such as
+//! `f64` have no `Hash` impl; the encoded form is canonical and hashable).
+
+use std::collections::HashMap;
+
+use crate::oid::Oid;
+use crate::value::Value;
+
+/// Equality index from attribute value to the set of OIDs holding it.
+#[derive(Debug, Default, Clone)]
+pub struct HashIndex {
+    map: HashMap<Vec<u8>, Vec<Oid>>,
+    len: usize,
+}
+
+fn encode(value: &Value) -> Vec<u8> {
+    let mut buf = Vec::new();
+    value.encode(&mut buf);
+    buf
+}
+
+impl HashIndex {
+    /// Create an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of `(value, oid)` entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Add an entry. Duplicate `(value, oid)` pairs are ignored.
+    pub fn insert(&mut self, value: &Value, oid: Oid) {
+        let bucket = self.map.entry(encode(value)).or_default();
+        if let Err(i) = bucket.binary_search(&oid) {
+            bucket.insert(i, oid);
+            self.len += 1;
+        }
+    }
+
+    /// Remove an entry. Returns true if it existed.
+    pub fn remove(&mut self, value: &Value, oid: Oid) -> bool {
+        let key = encode(value);
+        if let Some(bucket) = self.map.get_mut(&key) {
+            if let Ok(i) = bucket.binary_search(&oid) {
+                bucket.remove(i);
+                self.len -= 1;
+                if bucket.is_empty() {
+                    self.map.remove(&key);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// OIDs whose indexed attribute equals `value`, in OID order.
+    pub fn lookup(&self, value: &Value) -> &[Oid] {
+        self.map.get(&encode(value)).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut ix = HashIndex::new();
+        ix.insert(&Value::from("1994"), Oid(1));
+        ix.insert(&Value::from("1994"), Oid(2));
+        ix.insert(&Value::from("1995"), Oid(3));
+        assert_eq!(ix.lookup(&Value::from("1994")), &[Oid(1), Oid(2)]);
+        assert_eq!(ix.lookup(&Value::from("1996")), &[] as &[Oid]);
+        assert!(ix.remove(&Value::from("1994"), Oid(1)));
+        assert!(!ix.remove(&Value::from("1994"), Oid(1)));
+        assert_eq!(ix.lookup(&Value::from("1994")), &[Oid(2)]);
+        assert_eq!(ix.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_insert_ignored() {
+        let mut ix = HashIndex::new();
+        ix.insert(&Value::Int(5), Oid(1));
+        ix.insert(&Value::Int(5), Oid(1));
+        assert_eq!(ix.len(), 1);
+    }
+
+    #[test]
+    fn distinct_types_do_not_collide() {
+        let mut ix = HashIndex::new();
+        ix.insert(&Value::Int(1), Oid(1));
+        ix.insert(&Value::Str("1".into()), Oid(2));
+        assert_eq!(ix.lookup(&Value::Int(1)), &[Oid(1)]);
+        assert_eq!(ix.lookup(&Value::Str("1".into())), &[Oid(2)]);
+    }
+
+    #[test]
+    fn empty_bucket_is_pruned() {
+        let mut ix = HashIndex::new();
+        ix.insert(&Value::Int(1), Oid(1));
+        ix.remove(&Value::Int(1), Oid(1));
+        assert!(ix.is_empty());
+        assert_eq!(ix.lookup(&Value::Int(1)), &[] as &[Oid]);
+    }
+}

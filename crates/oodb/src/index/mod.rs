@@ -1,0 +1,333 @@
+//! Secondary indexes over object attributes.
+//!
+//! Two access structures — a [`BPlusTree`] for ordered/range predicates
+//! and a [`HashIndex`] for pure equality — plus the [`IndexManager`] that
+//! keeps per-(class, attribute) indexes in sync with object mutations and
+//! answers the optimizer's access-path questions.
+
+mod btree;
+mod hash;
+
+pub use btree::BPlusTree;
+pub use hash::HashIndex;
+
+use std::collections::HashMap;
+
+use crate::oid::Oid;
+use crate::schema::ClassId;
+use crate::value::Value;
+
+/// Which structure backs an index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// Ordered B+tree — supports equality and range lookups.
+    BTree,
+    /// Hash — equality only, cheaper maintenance.
+    Hash,
+}
+
+/// B+tree key: attribute value plus OID for uniqueness. Ordering uses the
+/// value's total order, then the OID.
+#[derive(Debug, Clone, PartialEq)]
+struct TreeKey(Value, Oid);
+
+impl Eq for TreeKey {}
+
+impl PartialOrd for TreeKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TreeKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Backing {
+    Tree(BPlusTree<TreeKey, ()>),
+    Hash(HashIndex),
+}
+
+/// All secondary indexes of a database.
+#[derive(Debug, Default, Clone)]
+pub struct IndexManager {
+    indexes: HashMap<(ClassId, String), Backing>,
+}
+
+impl IndexManager {
+    /// Create an empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare an index on `(class, attr)`. Replaces any existing index on
+    /// the same pair. The caller backfills via [`IndexManager::on_set`].
+    pub fn create(&mut self, class: ClassId, attr: &str, kind: IndexKind) {
+        let backing = match kind {
+            IndexKind::BTree => Backing::Tree(BPlusTree::new()),
+            IndexKind::Hash => Backing::Hash(HashIndex::new()),
+        };
+        self.indexes.insert((class, attr.to_string()), backing);
+    }
+
+    /// True if `(class, attr)` has an index.
+    pub fn has_index(&self, class: ClassId, attr: &str) -> bool {
+        self.indexes.contains_key(&(class, attr.to_string()))
+    }
+
+    /// True if `(class, attr)` has an *ordered* index (supports ranges).
+    pub fn has_ordered_index(&self, class: ClassId, attr: &str) -> bool {
+        matches!(
+            self.indexes.get(&(class, attr.to_string())),
+            Some(Backing::Tree(_))
+        )
+    }
+
+    /// Maintain indexes after an attribute change on `oid` of `class`.
+    /// `old`/`new` of `Value::Null` mean absent.
+    pub fn on_set(&mut self, class: ClassId, attr: &str, oid: Oid, old: &Value, new: &Value) {
+        let Some(backing) = self.indexes.get_mut(&(class, attr.to_string())) else {
+            return;
+        };
+        match backing {
+            Backing::Tree(t) => {
+                if !matches!(old, Value::Null) {
+                    t.remove(&TreeKey(old.clone(), oid));
+                }
+                if !matches!(new, Value::Null) {
+                    t.insert(TreeKey(new.clone(), oid), ());
+                }
+            }
+            Backing::Hash(h) => {
+                if !matches!(old, Value::Null) {
+                    h.remove(old, oid);
+                }
+                if !matches!(new, Value::Null) {
+                    h.insert(new, oid);
+                }
+            }
+        }
+    }
+
+    /// Equality lookup: OIDs in `class` whose `attr` equals `value`.
+    /// `None` when no index exists.
+    pub fn lookup_eq(&self, class: ClassId, attr: &str, value: &Value) -> Option<Vec<Oid>> {
+        match self.indexes.get(&(class, attr.to_string()))? {
+            Backing::Hash(h) => Some(h.lookup(value).to_vec()),
+            Backing::Tree(t) => {
+                let lo = TreeKey(value.clone(), Oid(0));
+                let hi = TreeKey(value.clone(), Oid(u64::MAX));
+                Some(t.range(&lo, &hi).map(|(k, _)| k.1).collect())
+            }
+        }
+    }
+
+    /// Range lookup over an ordered index: `lo <= attr <= hi`.
+    /// `None` when no ordered index exists.
+    pub fn lookup_range(
+        &self,
+        class: ClassId,
+        attr: &str,
+        lo: &Value,
+        hi: &Value,
+    ) -> Option<Vec<Oid>> {
+        match self.indexes.get(&(class, attr.to_string()))? {
+            Backing::Tree(t) => {
+                let lo = TreeKey(lo.clone(), Oid(0));
+                let hi = TreeKey(hi.clone(), Oid(u64::MAX));
+                Some(t.range(&lo, &hi).map(|(k, _)| k.1).collect())
+            }
+            Backing::Hash(_) => None,
+        }
+    }
+
+    /// Range lookup with optional bounds (both inclusive when present).
+    /// `None` when no ordered index exists on `(class, attr)`.
+    pub fn lookup_range_opt(
+        &self,
+        class: ClassId,
+        attr: &str,
+        lo: Option<&Value>,
+        hi: Option<&Value>,
+    ) -> Option<Vec<Oid>> {
+        let Backing::Tree(t) = self.indexes.get(&(class, attr.to_string()))? else {
+            return None;
+        };
+        // `Value::Null` has the lowest type rank and is never indexed, so
+        // it serves as the -infinity sentinel.
+        let lo_key = TreeKey(lo.cloned().unwrap_or(Value::Null), Oid(0));
+        Some(match hi {
+            Some(h) => {
+                let hi_key = TreeKey(h.clone(), Oid(u64::MAX));
+                t.range(&lo_key, &hi_key).map(|(k, _)| k.1).collect()
+            }
+            None => t.range_from(&lo_key).map(|(k, _)| k.1).collect(),
+        })
+    }
+
+    /// Rebuild lazy-deleted trees (called from snapshot checkpoints).
+    pub fn compact(&mut self) {
+        for backing in self.indexes.values_mut() {
+            if let Backing::Tree(t) = backing {
+                t.rebuild();
+            }
+        }
+    }
+
+    /// Names of indexed `(class, attr)` pairs, for introspection.
+    pub fn list(&self) -> Vec<(ClassId, String)> {
+        let mut out: Vec<(ClassId, String)> = self.indexes.keys().cloned().collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CLASS: ClassId = ClassId(0);
+
+    #[test]
+    fn tree_index_equality_and_range() {
+        let mut m = IndexManager::new();
+        m.create(CLASS, "year", IndexKind::BTree);
+        for (i, y) in [1993i64, 1994, 1994, 1995].iter().enumerate() {
+            m.on_set(CLASS, "year", Oid(i as u64), &Value::Null, &Value::Int(*y));
+        }
+        assert_eq!(
+            m.lookup_eq(CLASS, "year", &Value::Int(1994)).unwrap(),
+            vec![Oid(1), Oid(2)]
+        );
+        assert_eq!(
+            m.lookup_range(CLASS, "year", &Value::Int(1994), &Value::Int(1995)).unwrap(),
+            vec![Oid(1), Oid(2), Oid(3)]
+        );
+    }
+
+    #[test]
+    fn hash_index_equality_only() {
+        let mut m = IndexManager::new();
+        m.create(CLASS, "title", IndexKind::Hash);
+        m.on_set(CLASS, "title", Oid(1), &Value::Null, &Value::from("Telnet"));
+        assert_eq!(
+            m.lookup_eq(CLASS, "title", &Value::from("Telnet")).unwrap(),
+            vec![Oid(1)]
+        );
+        assert!(m.lookup_range(CLASS, "title", &Value::Null, &Value::Null).is_none());
+        assert!(m.has_index(CLASS, "title"));
+        assert!(!m.has_ordered_index(CLASS, "title"));
+    }
+
+    #[test]
+    fn updates_move_entries() {
+        let mut m = IndexManager::new();
+        m.create(CLASS, "year", IndexKind::BTree);
+        m.on_set(CLASS, "year", Oid(1), &Value::Null, &Value::Int(1994));
+        m.on_set(CLASS, "year", Oid(1), &Value::Int(1994), &Value::Int(1995));
+        assert!(m.lookup_eq(CLASS, "year", &Value::Int(1994)).unwrap().is_empty());
+        assert_eq!(m.lookup_eq(CLASS, "year", &Value::Int(1995)).unwrap(), vec![Oid(1)]);
+        // Clearing removes entirely.
+        m.on_set(CLASS, "year", Oid(1), &Value::Int(1995), &Value::Null);
+        assert!(m.lookup_eq(CLASS, "year", &Value::Int(1995)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unindexed_lookup_is_none() {
+        let m = IndexManager::new();
+        assert!(m.lookup_eq(CLASS, "x", &Value::Int(1)).is_none());
+    }
+
+    #[test]
+    fn separate_classes_have_separate_indexes() {
+        let mut m = IndexManager::new();
+        m.create(ClassId(0), "a", IndexKind::Hash);
+        m.create(ClassId(1), "a", IndexKind::Hash);
+        m.on_set(ClassId(0), "a", Oid(1), &Value::Null, &Value::Int(1));
+        assert!(m.lookup_eq(ClassId(1), "a", &Value::Int(1)).unwrap().is_empty());
+        assert_eq!(m.list().len(), 2);
+    }
+
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    const CLASS: ClassId = ClassId(0);
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Set(u8, i16),
+        Clear(u8),
+    }
+
+    fn ops() -> impl Strategy<Value = Vec<Op>> {
+        prop::collection::vec(
+            prop_oneof![
+                (any::<u8>(), any::<i16>()).prop_map(|(o, v)| Op::Set(o, v)),
+                any::<u8>().prop_map(Op::Clear),
+            ],
+            1..80,
+        )
+    }
+
+    proptest! {
+        /// B+tree and hash indexes always agree with a model map on
+        /// equality lookups, under arbitrary attribute-mutation traces.
+        #[test]
+        fn both_index_kinds_match_the_model(trace in ops()) {
+            let mut m = IndexManager::new();
+            m.create(CLASS, "tree", IndexKind::BTree);
+            m.create(CLASS, "hash", IndexKind::Hash);
+            // Model: oid → current value.
+            let mut model: BTreeMap<u8, i16> = BTreeMap::new();
+            for op in &trace {
+                match op {
+                    Op::Set(o, v) => {
+                        let old = model
+                            .insert(*o, *v)
+                            .map(|x| Value::Int(i64::from(x)))
+                            .unwrap_or(Value::Null);
+                        let new = Value::Int(i64::from(*v));
+                        m.on_set(CLASS, "tree", Oid(u64::from(*o)), &old, &new);
+                        m.on_set(CLASS, "hash", Oid(u64::from(*o)), &old, &new);
+                    }
+                    Op::Clear(o) => {
+                        let old = model
+                            .remove(o)
+                            .map(|x| Value::Int(i64::from(x)))
+                            .unwrap_or(Value::Null);
+                        m.on_set(CLASS, "tree", Oid(u64::from(*o)), &old, &Value::Null);
+                        m.on_set(CLASS, "hash", Oid(u64::from(*o)), &old, &Value::Null);
+                    }
+                }
+            }
+            // Every value present in the model is found by both indexes,
+            // exactly.
+            let mut by_value: BTreeMap<i16, Vec<Oid>> = BTreeMap::new();
+            for (&o, &v) in &model {
+                by_value.entry(v).or_default().push(Oid(u64::from(o)));
+            }
+            for (v, expected) in &by_value {
+                let value = Value::Int(i64::from(*v));
+                prop_assert_eq!(&m.lookup_eq(CLASS, "tree", &value).unwrap(), expected);
+                prop_assert_eq!(&m.lookup_eq(CLASS, "hash", &value).unwrap(), expected);
+            }
+            // Range over everything equals the model's full ordering.
+            let all: Vec<Oid> = m
+                .lookup_range_opt(CLASS, "tree", None, None)
+                .unwrap();
+            let expected: Vec<Oid> = by_value
+                .values()
+                .flat_map(|v| v.iter().copied())
+                .collect();
+            prop_assert_eq!(all, expected);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! The method registry — the OODBMS's extensibility hook.
+//!
+//! The paper's coupling works precisely because the OODBMS can evaluate
+//! application-defined methods inside queries (`p -> getIRSValue(coll,
+//! 'WWW') > 0.6`). The registry maps method names to closures; each
+//! closure receives a read-only [`MethodCtx`], the receiver OID and the
+//! argument values.
+//!
+//! Methods carry a [`MethodCost`] annotation consumed by the query
+//! optimizer: *expensive* methods (IRS calls!) are evaluated after all
+//! cheap predicates — the "method-based query-optimization features
+//! [AbF95]" the paper names as a prerequisite for mixed-query
+//! optimization (Section 4.5.4).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::error::{DbError, Result};
+use crate::oid::Oid;
+use crate::schema::Schema;
+use crate::store::ObjectStore;
+use crate::value::Value;
+
+/// Optimizer cost class of a method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MethodCost {
+    /// In-memory navigation or attribute access.
+    Cheap,
+    /// Crosses into an external system (e.g. the IRS); evaluate last.
+    Expensive,
+}
+
+/// Read-only view of the database handed to method implementations.
+pub struct MethodCtx<'a> {
+    /// The object store.
+    pub store: &'a ObjectStore,
+    /// The schema.
+    pub schema: &'a Schema,
+}
+
+/// Signature of a registered method.
+pub type MethodFn = Arc<dyn Fn(&MethodCtx<'_>, Oid, &[Value]) -> Result<Value> + Send + Sync>;
+
+/// Named methods callable from queries.
+#[derive(Clone, Default)]
+pub struct MethodRegistry {
+    methods: HashMap<String, (MethodFn, MethodCost)>,
+}
+
+impl std::fmt::Debug for MethodRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut names: Vec<&String> = self.methods.keys().collect();
+        names.sort();
+        f.debug_struct("MethodRegistry").field("methods", &names).finish()
+    }
+}
+
+impl MethodRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `name` with an implementation and cost class. Replaces
+    /// any previous registration of the same name.
+    pub fn register<F>(&mut self, name: &str, cost: MethodCost, f: F)
+    where
+        F: Fn(&MethodCtx<'_>, Oid, &[Value]) -> Result<Value> + Send + Sync + 'static,
+    {
+        self.methods.insert(name.to_string(), (Arc::new(f), cost));
+    }
+
+    /// Look up a method.
+    pub fn get(&self, name: &str) -> Option<&(MethodFn, MethodCost)> {
+        self.methods.get(name)
+    }
+
+    /// Cost of `name`, if registered.
+    pub fn cost(&self, name: &str) -> Option<MethodCost> {
+        self.methods.get(name).map(|(_, c)| *c)
+    }
+
+    /// Invoke `name` on `receiver`.
+    pub fn invoke(
+        &self,
+        ctx: &MethodCtx<'_>,
+        name: &str,
+        receiver: Oid,
+        args: &[Value],
+    ) -> Result<Value> {
+        let (f, _) = self
+            .methods
+            .get(name)
+            .ok_or_else(|| DbError::UnknownMethod(name.to_string()))?;
+        f(ctx, receiver, args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::Object;
+    use crate::schema::ClassId;
+
+    fn ctx_parts() -> (ObjectStore, Schema) {
+        let mut schema = Schema::new();
+        schema.define("A", None).unwrap();
+        let mut store = ObjectStore::new();
+        let oid = store.allocate_oid();
+        let mut obj = Object::new(oid, ClassId(0));
+        obj.set_attr("n", Value::Int(21));
+        store.put(obj);
+        (store, schema)
+    }
+
+    #[test]
+    fn register_and_invoke() {
+        let (store, schema) = ctx_parts();
+        let mut reg = MethodRegistry::new();
+        reg.register("double", MethodCost::Cheap, |ctx, oid, _args| {
+            let n = ctx.store.attr(oid, "n")?;
+            Ok(Value::Int(n.as_f64().unwrap_or(0.0) as i64 * 2))
+        });
+        let ctx = MethodCtx {
+            store: &store,
+            schema: &schema,
+        };
+        let v = reg.invoke(&ctx, "double", Oid(1), &[]).unwrap();
+        assert_eq!(v, Value::Int(42));
+        assert_eq!(reg.cost("double"), Some(MethodCost::Cheap));
+    }
+
+    #[test]
+    fn unknown_method_errors() {
+        let (store, schema) = ctx_parts();
+        let reg = MethodRegistry::new();
+        let ctx = MethodCtx {
+            store: &store,
+            schema: &schema,
+        };
+        assert!(matches!(
+            reg.invoke(&ctx, "nope", Oid(1), &[]),
+            Err(DbError::UnknownMethod(_))
+        ));
+        assert_eq!(reg.cost("nope"), None);
+    }
+
+    #[test]
+    fn registration_replaces() {
+        let mut reg = MethodRegistry::new();
+        reg.register("m", MethodCost::Cheap, |_, _, _| Ok(Value::Int(1)));
+        reg.register("m", MethodCost::Expensive, |_, _, _| Ok(Value::Int(2)));
+        assert_eq!(reg.cost("m"), Some(MethodCost::Expensive));
+    }
+
+    #[test]
+    fn debug_lists_method_names() {
+        let mut reg = MethodRegistry::new();
+        reg.register("b", MethodCost::Cheap, |_, _, _| Ok(Value::Null));
+        reg.register("a", MethodCost::Cheap, |_, _, _| Ok(Value::Null));
+        let s = format!("{reg:?}");
+        assert!(s.contains('a') && s.contains('b'));
+    }
+}

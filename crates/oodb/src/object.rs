@@ -1,0 +1,79 @@
+//! Database objects: identity, class membership, attributes.
+
+use std::collections::BTreeMap;
+
+use crate::oid::Oid;
+use crate::schema::ClassId;
+use crate::value::Value;
+
+/// A stored object. Attributes are a sorted map so serialisation and
+/// iteration are deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Object {
+    /// Object identity.
+    pub oid: Oid,
+    /// The class the object is a direct instance of.
+    pub class: ClassId,
+    /// Attribute values.
+    pub attrs: BTreeMap<String, Value>,
+}
+
+impl Object {
+    /// Create an object with no attributes.
+    pub fn new(oid: Oid, class: ClassId) -> Self {
+        Object {
+            oid,
+            class,
+            attrs: BTreeMap::new(),
+        }
+    }
+
+    /// Attribute value, or [`Value::Null`] when absent (the query language
+    /// treats missing attributes as NULL).
+    pub fn attr(&self, name: &str) -> Value {
+        self.attrs.get(name).cloned().unwrap_or(Value::Null)
+    }
+
+    /// Borrowing variant of [`Object::attr`].
+    pub fn attr_ref(&self, name: &str) -> Option<&Value> {
+        self.attrs.get(name)
+    }
+
+    /// Set (or clear with `Value::Null`) an attribute, returning the
+    /// previous value.
+    pub fn set_attr(&mut self, name: &str, value: Value) -> Value {
+        if matches!(value, Value::Null) {
+            self.attrs.remove(name).unwrap_or(Value::Null)
+        } else {
+            self.attrs.insert(name.to_string(), value).unwrap_or(Value::Null)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_attr_is_null() {
+        let o = Object::new(Oid(1), ClassId(0));
+        assert_eq!(o.attr("x"), Value::Null);
+        assert_eq!(o.attr_ref("x"), None);
+    }
+
+    #[test]
+    fn set_attr_returns_previous() {
+        let mut o = Object::new(Oid(1), ClassId(0));
+        assert_eq!(o.set_attr("x", Value::Int(1)), Value::Null);
+        assert_eq!(o.set_attr("x", Value::Int(2)), Value::Int(1));
+        assert_eq!(o.attr("x"), Value::Int(2));
+    }
+
+    #[test]
+    fn setting_null_clears() {
+        let mut o = Object::new(Oid(1), ClassId(0));
+        o.set_attr("x", Value::Int(1));
+        assert_eq!(o.set_attr("x", Value::Null), Value::Int(1));
+        assert_eq!(o.attr_ref("x"), None);
+    }
+}

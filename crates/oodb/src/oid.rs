@@ -1,0 +1,42 @@
+//! Object identity.
+
+use std::fmt;
+
+/// An object identifier — stable for the lifetime of the database,
+/// never reused after deletion (the paper's coupling stores OIDs as IRS
+/// document metadata, so reuse would corrupt IRS results).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Oid(pub u64);
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "oid:{}", self.0)
+    }
+}
+
+impl Oid {
+    /// Parse the `oid:N` display form back into an `Oid` — the inverse of
+    /// `Display`, used when IRS results carry OIDs as external keys.
+    pub fn parse(s: &str) -> Option<Oid> {
+        s.strip_prefix("oid:")?.parse().ok().map(Oid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        let oid = Oid(42);
+        assert_eq!(oid.to_string(), "oid:42");
+        assert_eq!(Oid::parse("oid:42"), Some(oid));
+        assert_eq!(Oid::parse("42"), None);
+        assert_eq!(Oid::parse("oid:x"), None);
+    }
+
+    #[test]
+    fn ordering_follows_numeric_value() {
+        assert!(Oid(2) < Oid(10));
+    }
+}

@@ -1,0 +1,240 @@
+//! Query AST.
+
+use crate::value::Value;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=` / `==`
+    Eq,
+    /// `!=` / `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Mirror of the operator with sides swapped (`a < b` ⇔ `b > a`).
+    pub fn flipped(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+}
+
+/// Aggregate functions usable in the ACCESS list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// Number of result tuples (the argument is evaluated but only
+    /// non-NULL values are counted, SQL-style).
+    Count,
+    /// Sum of numeric values.
+    Sum,
+    /// Mean of numeric values.
+    Avg,
+    /// Minimum by the value total order.
+    Min,
+    /// Maximum by the value total order.
+    Max,
+}
+
+impl AggFunc {
+    /// Parse a (case-insensitive) function name.
+    pub fn from_name(name: &str) -> Option<AggFunc> {
+        match name.to_ascii_uppercase().as_str() {
+            "COUNT" => Some(AggFunc::Count),
+            "SUM" => Some(AggFunc::Sum),
+            "AVG" => Some(AggFunc::Avg),
+            "MIN" => Some(AggFunc::Min),
+            "MAX" => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal value.
+    Literal(Value),
+    /// A FROM-bound variable.
+    Var(String),
+    /// `recv -> method(args)`.
+    MethodCall {
+        /// Receiver expression (must evaluate to an OID).
+        recv: Box<Expr>,
+        /// Method name.
+        method: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// Comparison.
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left side.
+        lhs: Box<Expr>,
+        /// Right side.
+        rhs: Box<Expr>,
+    },
+    /// Conjunction.
+    And(Vec<Expr>),
+    /// Disjunction.
+    Or(Vec<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+    /// Aggregate over all result tuples — ACCESS list only.
+    Aggregate {
+        /// The aggregate function.
+        func: AggFunc,
+        /// Per-tuple argument expression.
+        arg: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Collect the FROM variables referenced anywhere in the expression.
+    pub fn vars(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Literal(_) => {}
+            Expr::Var(v) => {
+                if !out.contains(&v.as_str()) {
+                    out.push(v);
+                }
+            }
+            Expr::MethodCall { recv, args, .. } => {
+                recv.collect_vars(out);
+                for a in args {
+                    a.collect_vars(out);
+                }
+            }
+            Expr::Cmp { lhs, rhs, .. } => {
+                lhs.collect_vars(out);
+                rhs.collect_vars(out);
+            }
+            Expr::And(es) | Expr::Or(es) => {
+                for e in es {
+                    e.collect_vars(out);
+                }
+            }
+            Expr::Not(e) => e.collect_vars(out),
+            Expr::Aggregate { arg, .. } => arg.collect_vars(out),
+        }
+    }
+
+    /// True if the expression contains an aggregate anywhere.
+    pub fn has_aggregate(&self) -> bool {
+        match self {
+            Expr::Aggregate { .. } => true,
+            Expr::Literal(_) | Expr::Var(_) => false,
+            Expr::MethodCall { recv, args, .. } => {
+                recv.has_aggregate() || args.iter().any(Expr::has_aggregate)
+            }
+            Expr::Cmp { lhs, rhs, .. } => lhs.has_aggregate() || rhs.has_aggregate(),
+            Expr::And(es) | Expr::Or(es) => es.iter().any(Expr::has_aggregate),
+            Expr::Not(e) => e.has_aggregate(),
+        }
+    }
+
+    /// Collect the names of every method called in the expression.
+    pub fn methods(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_methods(&mut out);
+        out
+    }
+
+    fn collect_methods<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Literal(_) | Expr::Var(_) => {}
+            Expr::MethodCall { recv, method, args } => {
+                out.push(method);
+                recv.collect_methods(out);
+                for a in args {
+                    a.collect_methods(out);
+                }
+            }
+            Expr::Cmp { lhs, rhs, .. } => {
+                lhs.collect_methods(out);
+                rhs.collect_methods(out);
+            }
+            Expr::And(es) | Expr::Or(es) => {
+                for e in es {
+                    e.collect_methods(out);
+                }
+            }
+            Expr::Not(e) => e.collect_methods(out),
+            Expr::Aggregate { arg, .. } => arg.collect_methods(out),
+        }
+    }
+}
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Projection expressions (the ACCESS list).
+    pub select: Vec<Expr>,
+    /// `(variable, class)` bindings in source order.
+    pub from: Vec<(String, String)>,
+    /// Optional WHERE predicate.
+    pub where_clause: Option<Expr>,
+    /// Optional `ORDER BY expr` with direction (`true` = descending).
+    pub order_by: Option<(Expr, bool)>,
+    /// Optional `LIMIT n`.
+    pub limit: Option<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vars_are_collected_once() {
+        let e = Expr::And(vec![
+            Expr::Var("p".into()),
+            Expr::Cmp {
+                op: CmpOp::Eq,
+                lhs: Box::new(Expr::Var("p".into())),
+                rhs: Box::new(Expr::Var("d".into())),
+            },
+        ]);
+        assert_eq!(e.vars(), vec!["p", "d"]);
+    }
+
+    #[test]
+    fn methods_collected_recursively() {
+        let e = Expr::MethodCall {
+            recv: Box::new(Expr::MethodCall {
+                recv: Box::new(Expr::Var("p".into())),
+                method: "getParent".into(),
+                args: vec![],
+            }),
+            method: "length".into(),
+            args: vec![],
+        };
+        assert_eq!(e.methods(), vec!["length", "getParent"]);
+    }
+
+    #[test]
+    fn flipped_ops() {
+        assert_eq!(CmpOp::Lt.flipped(), CmpOp::Gt);
+        assert_eq!(CmpOp::Le.flipped(), CmpOp::Ge);
+        assert_eq!(CmpOp::Eq.flipped(), CmpOp::Eq);
+    }
+}

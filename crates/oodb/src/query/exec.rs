@@ -1,0 +1,649 @@
+//! Plan execution: nested-loop binding with predicate evaluation.
+
+use std::collections::HashMap;
+
+use crate::database::Database;
+use crate::error::{DbError, Result};
+use crate::oid::Oid;
+use crate::query::ast::{CmpOp, Expr};
+use crate::query::parser::parse;
+use crate::query::plan::{plan, Access, Plan};
+use crate::value::Value;
+
+/// One result row: the evaluated ACCESS expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row(pub Vec<Value>);
+
+impl Row {
+    /// First column as an OID, the common case for `ACCESS v FROM …`.
+    pub fn oid(&self) -> Option<Oid> {
+        self.0.first().and_then(Value::as_oid)
+    }
+
+    /// Column `i`.
+    pub fn col(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+}
+
+/// Variable bindings during execution.
+type Env = HashMap<String, Oid>;
+
+/// Parse, plan and execute `text`.
+pub fn run(db: &Database, text: &str) -> Result<Vec<Row>> {
+    let q = parse(text)?;
+    let p = plan(db, &q)?;
+    execute(db, &p)
+}
+
+/// Like [`run`] but also returns the plan description.
+pub fn run_explain(db: &Database, text: &str) -> Result<(Vec<Row>, String)> {
+    let q = parse(text)?;
+    let p = plan(db, &q)?;
+    let desc = p.describe(db);
+    Ok((execute(db, &p)?, desc))
+}
+
+/// Plan `text` and describe it without executing (the `EXPLAIN` path).
+pub fn explain_only(db: &Database, text: &str) -> Result<String> {
+    let q = parse(text)?;
+    let p = plan(db, &q)?;
+    Ok(p.describe(db))
+}
+
+/// Execute a prepared plan.
+pub fn execute(db: &Database, p: &Plan) -> Result<Vec<Row>> {
+    // Aggregate queries collapse all tuples into one row.
+    let any_agg = p.select.iter().any(Expr::has_aggregate);
+    if any_agg {
+        if !p.select.iter().all(Expr::has_aggregate) {
+            return Err(DbError::QueryEval(
+                "cannot mix aggregate and per-tuple ACCESS expressions".into(),
+            ));
+        }
+        if p.order_by.is_some() {
+            return Err(DbError::QueryEval("ORDER BY is meaningless with aggregates".into()));
+        }
+        return execute_aggregates(db, p);
+    }
+    let mut rows = Vec::new();
+    let mut env = Env::new();
+    bind_step(db, p, 0, &mut env, &mut rows)?;
+    if let Some((_, desc)) = &p.order_by {
+        // Sort keys were computed per row in bind_step.
+        rows.sort_by(|a, b| {
+            let ord = a.0.total_cmp(&b.0);
+            if *desc {
+                ord.reverse()
+            } else {
+                ord
+            }
+        });
+    }
+    if let Some(limit) = p.limit {
+        rows.truncate(limit);
+    }
+    Ok(rows.into_iter().map(|(_, row)| row).collect())
+}
+
+/// Run the binding loop collecting per-tuple aggregate arguments, then
+/// fold them.
+fn execute_aggregates(db: &Database, p: &Plan) -> Result<Vec<Row>> {
+    // Collect the distinct aggregate nodes per select position.
+    let mut per_tuple: Vec<Vec<Value>> = vec![Vec::new(); p.select.len()];
+    let mut env = Env::new();
+    collect_agg_tuples(db, p, 0, &mut env, &mut per_tuple)?;
+    let mut cols = Vec::with_capacity(p.select.len());
+    for (i, sel) in p.select.iter().enumerate() {
+        let Expr::Aggregate { func, .. } = sel else {
+            return Err(DbError::QueryEval(
+                "aggregates cannot be nested inside other expressions".into(),
+            ));
+        };
+        cols.push(fold_aggregate(*func, &per_tuple[i]));
+    }
+    Ok(vec![Row(cols)])
+}
+
+fn collect_agg_tuples(
+    db: &Database,
+    p: &Plan,
+    depth: usize,
+    env: &mut Env,
+    per_tuple: &mut [Vec<Value>],
+) -> Result<()> {
+    if depth == p.steps.len() {
+        for (i, sel) in p.select.iter().enumerate() {
+            if let Expr::Aggregate { arg, .. } = sel {
+                per_tuple[i].push(eval(db, env, arg)?);
+            }
+        }
+        return Ok(());
+    }
+    let step = &p.steps[depth];
+    for oid in step_candidates(db, step) {
+        match db.object(oid) {
+            Ok(obj) if db.schema().is_subclass(obj.class, step.class) => {}
+            _ => continue,
+        }
+        env.insert(step.var.clone(), oid);
+        let mut pass = true;
+        for f in &step.filters {
+            if !eval(db, env, f)?.truthy() {
+                pass = false;
+                break;
+            }
+        }
+        if pass {
+            collect_agg_tuples(db, p, depth + 1, env, per_tuple)?;
+        }
+    }
+    env.remove(&step.var);
+    Ok(())
+}
+
+fn fold_aggregate(func: crate::query::ast::AggFunc, values: &[Value]) -> Value {
+    use crate::query::ast::AggFunc;
+    let non_null: Vec<&Value> = values.iter().filter(|v| !matches!(v, Value::Null)).collect();
+    match func {
+        AggFunc::Count => Value::Int(non_null.len() as i64),
+        AggFunc::Sum => Value::Real(non_null.iter().filter_map(|v| v.as_f64()).sum()),
+        AggFunc::Avg => {
+            let nums: Vec<f64> = non_null.iter().filter_map(|v| v.as_f64()).collect();
+            if nums.is_empty() {
+                Value::Null
+            } else {
+                Value::Real(nums.iter().sum::<f64>() / nums.len() as f64)
+            }
+        }
+        AggFunc::Min => non_null
+            .iter()
+            .min_by(|a, b| a.total_cmp(b))
+            .map(|v| (*v).clone())
+            .unwrap_or(Value::Null),
+        AggFunc::Max => non_null
+            .iter()
+            .max_by(|a, b| a.total_cmp(b))
+            .map(|v| (*v).clone())
+            .unwrap_or(Value::Null),
+    }
+}
+
+/// Candidate OIDs of one step (shared by the row and aggregate paths).
+fn step_candidates(db: &Database, step: &crate::query::plan::Step) -> Vec<Oid> {
+    match &step.access {
+        Access::Extent => db.extent(step.class, true),
+        Access::IndexEq {
+            indexed_class,
+            attr,
+            value,
+        } => db
+            .indexes()
+            .lookup_eq(*indexed_class, attr, value)
+            .unwrap_or_default(),
+        Access::IndexRange {
+            indexed_class,
+            attr,
+            lo,
+            hi,
+        } => db
+            .indexes()
+            .lookup_range_opt(*indexed_class, attr, lo.as_ref(), hi.as_ref())
+            .unwrap_or_default(),
+    }
+}
+
+fn bind_step(
+    db: &Database,
+    p: &Plan,
+    depth: usize,
+    env: &mut Env,
+    rows: &mut Vec<(Value, Row)>,
+) -> Result<()> {
+    if depth == p.steps.len() {
+        let mut cols = Vec::with_capacity(p.select.len());
+        for e in &p.select {
+            cols.push(eval(db, env, e)?);
+        }
+        let key = match &p.order_by {
+            Some((e, _)) => eval(db, env, e)?,
+            None => Value::Null,
+        };
+        rows.push((key, Row(cols)));
+        return Ok(());
+    }
+    let step = &p.steps[depth];
+    'cand: for oid in step_candidates(db, step) {
+        // Index lookups on an ancestor class may return objects outside
+        // this binding's class: re-check membership.
+        match db.object(oid) {
+            Ok(obj) => {
+                if !db.schema().is_subclass(obj.class, step.class) {
+                    continue;
+                }
+            }
+            Err(_) => continue,
+        }
+        env.insert(step.var.clone(), oid);
+        for f in &step.filters {
+            if !eval(db, env, f)?.truthy() {
+                continue 'cand;
+            }
+        }
+        bind_step(db, p, depth + 1, env, rows)?;
+    }
+    env.remove(&step.var);
+    Ok(())
+}
+
+/// Evaluate an expression under `env`.
+pub fn eval(db: &Database, env: &Env, e: &Expr) -> Result<Value> {
+    match e {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Var(name) => env
+            .get(name)
+            .map(|&oid| Value::Oid(oid))
+            .or_else(|| db.constant(name).cloned())
+            .ok_or_else(|| DbError::QueryEval(format!("unbound variable {name}"))),
+        Expr::MethodCall { recv, method, args } => {
+            let recv_val = eval(db, env, recv)?;
+            // Method call on NULL propagates NULL (optional navigation).
+            let Some(oid) = recv_val.as_oid() else {
+                return if matches!(recv_val, Value::Null) {
+                    Ok(Value::Null)
+                } else {
+                    Err(DbError::QueryEval(format!(
+                        "method {method} called on non-object {recv_val}"
+                    )))
+                };
+            };
+            let mut arg_vals = Vec::with_capacity(args.len());
+            for a in args {
+                arg_vals.push(eval(db, env, a)?);
+            }
+            db.methods().invoke(&db.method_ctx(), method, oid, &arg_vals)
+        }
+        Expr::Cmp { op, lhs, rhs } => {
+            let l = eval(db, env, lhs)?;
+            let r = eval(db, env, rhs)?;
+            Ok(Value::Bool(compare(*op, &l, &r)))
+        }
+        Expr::And(terms) => {
+            for t in terms {
+                if !eval(db, env, t)?.truthy() {
+                    return Ok(Value::Bool(false));
+                }
+            }
+            Ok(Value::Bool(true))
+        }
+        Expr::Or(terms) => {
+            for t in terms {
+                if eval(db, env, t)?.truthy() {
+                    return Ok(Value::Bool(true));
+                }
+            }
+            Ok(Value::Bool(false))
+        }
+        Expr::Not(t) => Ok(Value::Bool(!eval(db, env, t)?.truthy())),
+        Expr::Aggregate { .. } => Err(DbError::QueryEval(
+            "aggregates are only allowed at the top of the ACCESS list".into(),
+        )),
+    }
+}
+
+/// Comparison semantics: `=`/`!=` use loose equality (numeric coercion);
+/// ordering requires both sides numeric, both strings, or both OIDs —
+/// anything else (including NULL) compares false.
+fn compare(op: CmpOp, l: &Value, r: &Value) -> bool {
+    match op {
+        CmpOp::Eq => l.loose_eq(r),
+        CmpOp::Ne => !l.loose_eq(r),
+        _ => {
+            let ord = match (l, r) {
+                (Value::Str(a), Value::Str(b)) => a.cmp(b),
+                (Value::Oid(a), Value::Oid(b)) => a.cmp(b),
+                _ => match (l.as_f64(), r.as_f64()) {
+                    (Some(a), Some(b)) => match a.partial_cmp(&b) {
+                        Some(o) => o,
+                        None => return false, // NaN
+                    },
+                    _ => return false,
+                },
+            };
+            matches!(
+                (op, ord),
+                (CmpOp::Lt, std::cmp::Ordering::Less)
+                    | (CmpOp::Le, std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+                    | (CmpOp::Gt, std::cmp::Ordering::Greater)
+                    | (CmpOp::Ge, std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexKind;
+    use crate::method::MethodCost;
+
+    /// A small document base: two MMFDOCs each with two PARAs.
+    fn doc_db() -> (Database, Vec<Oid>) {
+        let mut db = Database::in_memory();
+        db.define_class("IRSObject", None).unwrap();
+        let doc = db.define_class("MMFDOC", Some("IRSObject")).unwrap();
+        let para = db.define_class("PARA", Some("IRSObject")).unwrap();
+        let mut oids = Vec::new();
+        let mut txn = db.begin();
+        for (year, texts) in [("1994", ["telnet protocol", "www growth"]),
+                              ("1995", ["nii plans", "www and nii"])] {
+            let d = db.create_object(&mut txn, doc).unwrap();
+            db.set_attr(&mut txn, d, "YEAR", Value::from(year)).unwrap();
+            db.set_attr(&mut txn, d, "TITLE", Value::from(format!("Issue {year}"))).unwrap();
+            let mut kids = Vec::new();
+            for t in texts {
+                let p = db.create_object(&mut txn, para).unwrap();
+                db.set_attr(&mut txn, p, "text", Value::from(t)).unwrap();
+                db.set_attr(&mut txn, p, "parent", Value::Oid(d)).unwrap();
+                kids.push(Value::Oid(p));
+                oids.push(p);
+            }
+            db.set_attr(&mut txn, d, "children", Value::List(kids)).unwrap();
+            oids.push(d);
+        }
+        db.commit(txn).unwrap();
+        (db, oids)
+    }
+
+    #[test]
+    fn select_all_of_class() {
+        let (db, _) = doc_db();
+        let rows = db.query("ACCESS p FROM p IN PARA").unwrap();
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|r| r.oid().is_some()));
+    }
+
+    #[test]
+    fn superclass_extent_includes_subclasses() {
+        let (db, _) = doc_db();
+        let rows = db.query("ACCESS o FROM o IN IRSObject").unwrap();
+        assert_eq!(rows.len(), 6);
+    }
+
+    #[test]
+    fn where_on_attribute() {
+        let (db, _) = doc_db();
+        let rows = db
+            .query("ACCESS d -> getAttributeValue('TITLE') FROM d IN MMFDOC WHERE d -> getAttributeValue('YEAR') = '1994'")
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].col(0), &Value::from("Issue 1994"));
+    }
+
+    #[test]
+    fn join_via_navigation() {
+        let (db, _) = doc_db();
+        // Paragraph pairs that are adjacent siblings.
+        let rows = db
+            .query("ACCESS p1, p2 FROM p1 IN PARA, p2 IN PARA WHERE p1 -> getNext() == p2")
+            .unwrap();
+        assert_eq!(rows.len(), 2, "one adjacent pair per document");
+    }
+
+    #[test]
+    fn containing_document_join() {
+        let (db, _) = doc_db();
+        let rows = db
+            .query(
+                "ACCESS d -> getAttributeValue('TITLE') FROM d IN MMFDOC, p IN PARA \
+                 WHERE p -> getContaining('MMFDOC') == d AND \
+                 d -> getAttributeValue('YEAR') = '1995'",
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 2, "two paragraphs in the 1995 issue");
+    }
+
+    #[test]
+    fn index_access_path_is_chosen_and_correct() {
+        let (mut db, _) = doc_db();
+        db.create_index("MMFDOC", "YEAR", IndexKind::Hash).unwrap();
+        let (rows, explain) = db
+            .query_explain("ACCESS d FROM d IN MMFDOC WHERE d -> getAttributeValue('YEAR') = '1994'")
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert!(explain.contains("index eq"), "plan was: {explain}");
+    }
+
+    #[test]
+    fn range_index_access_path() {
+        let (mut db, _) = doc_db();
+        // Numeric year attribute for range queries.
+        let docs: Vec<Oid> = db
+            .query("ACCESS d FROM d IN MMFDOC")
+            .unwrap()
+            .iter()
+            .map(|r| r.oid().unwrap())
+            .collect();
+        let mut txn = db.begin();
+        for (i, d) in docs.iter().enumerate() {
+            db.set_attr(&mut txn, *d, "num_year", Value::Int(1994 + i as i64)).unwrap();
+        }
+        db.commit(txn).unwrap();
+        db.create_index("MMFDOC", "num_year", IndexKind::BTree).unwrap();
+        let (rows, explain) = db
+            .query_explain("ACCESS d FROM d IN MMFDOC WHERE d -> getAttributeValue('num_year') >= 1995")
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert!(explain.contains("index range"), "plan was: {explain}");
+    }
+
+    #[test]
+    fn expensive_methods_are_ordered_last() {
+        let (mut db, _) = doc_db();
+        db.methods_mut().register("slowPredicate", MethodCost::Expensive, |_, _, _| {
+            Ok(Value::Bool(true))
+        });
+        let (_, explain) = db
+            .query_explain(
+                "ACCESS p FROM p IN PARA WHERE \
+                 p -> slowPredicate() = TRUE AND p -> getAttributeValue('text') != NULL",
+            )
+            .unwrap();
+        assert!(explain.contains("1 expensive"), "plan was: {explain}");
+    }
+
+    #[test]
+    fn null_navigation_propagates() {
+        let (db, _) = doc_db();
+        // Documents have no parent; getParent() -> length() must yield NULL
+        // rather than erroring, and the comparison is then false.
+        let rows = db
+            .query("ACCESS d FROM d IN MMFDOC WHERE d -> getParent() -> length() > 0")
+            .unwrap();
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let (db, _) = doc_db();
+        let rows = db
+            .query(
+                "ACCESS d FROM d IN MMFDOC WHERE \
+                 d -> getAttributeValue('YEAR') = '1994' OR d -> getAttributeValue('YEAR') = '1995'",
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+        let rows = db
+            .query("ACCESS d FROM d IN MMFDOC WHERE NOT d -> getAttributeValue('YEAR') = '1994'")
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn unknown_class_and_unbound_variable_error() {
+        let (db, _) = doc_db();
+        assert!(matches!(
+            db.query("ACCESS x FROM x IN NOPE"),
+            Err(DbError::UnknownClass(_))
+        ));
+        assert!(matches!(
+            db.query("ACCESS y FROM x IN PARA"),
+            Err(DbError::QueryEval(_))
+        ));
+        assert!(matches!(
+            db.query("ACCESS x FROM x IN PARA WHERE y = 1"),
+            Err(DbError::QueryEval(_))
+        ));
+        assert!(matches!(
+            db.query("ACCESS x FROM x IN PARA, x IN PARA"),
+            Err(DbError::QueryEval(_))
+        ));
+    }
+
+    #[test]
+    fn method_on_non_object_errors() {
+        let (db, _) = doc_db();
+        let err = db.query("ACCESS p FROM p IN PARA WHERE 1 -> length() > 0");
+        assert!(matches!(err, Err(DbError::QueryEval(_))));
+    }
+
+    #[test]
+    fn count_aggregate() {
+        let (db, _) = doc_db();
+        let rows = db.query("ACCESS COUNT(p) FROM p IN PARA").unwrap();
+        assert_eq!(rows, vec![Row(vec![Value::Int(4)])]);
+        // COUNT respects WHERE.
+        let rows = db
+            .query(
+                "ACCESS COUNT(p) FROM p IN PARA, d IN MMFDOC WHERE \
+                 p -> getContaining('MMFDOC') == d AND d -> getAttributeValue('YEAR') = '1994'",
+            )
+            .unwrap();
+        assert_eq!(rows[0].col(0), &Value::Int(2));
+        // COUNT skips NULL arguments (documents have no 'text').
+        let rows = db
+            .query("ACCESS COUNT(d -> getAttributeValue('text')) FROM d IN MMFDOC")
+            .unwrap();
+        assert_eq!(rows[0].col(0), &Value::Int(0));
+    }
+
+    #[test]
+    fn numeric_aggregates() {
+        let (db, _) = doc_db();
+        let rows = db
+            .query("ACCESS MIN(p -> length()), MAX(p -> length()), AVG(p -> length()), SUM(p -> length()) FROM p IN PARA")
+            .unwrap();
+        let min = rows[0].col(0).as_f64().unwrap();
+        let max = rows[0].col(1).as_f64().unwrap();
+        let avg = rows[0].col(2).as_f64().unwrap();
+        let sum = rows[0].col(3).as_f64().unwrap();
+        assert!(min <= avg && avg <= max);
+        assert!((sum - avg * 4.0).abs() < 1e-9);
+        // Empty result set: COUNT 0, AVG NULL.
+        let rows = db
+            .query(
+                "ACCESS COUNT(p), AVG(p -> length()) FROM p IN PARA \
+                 WHERE p -> getAttributeValue('text') = 'absent'",
+            )
+            .unwrap();
+        assert_eq!(rows[0].col(0), &Value::Int(0));
+        assert_eq!(rows[0].col(1), &Value::Null);
+    }
+
+    #[test]
+    fn aggregate_errors() {
+        let (db, _) = doc_db();
+        assert!(matches!(
+            db.query("ACCESS p, COUNT(p) FROM p IN PARA"),
+            Err(DbError::QueryEval(_))
+        ));
+        assert!(matches!(
+            db.query("ACCESS COUNT(p) FROM p IN PARA ORDER BY p"),
+            Err(DbError::QueryEval(_))
+        ));
+        assert!(matches!(
+            db.query("ACCESS BOGUS(p) FROM p IN PARA"),
+            Err(DbError::QueryParse { .. })
+        ));
+        assert!(matches!(
+            db.query("ACCESS p FROM p IN PARA WHERE COUNT(p) > 1"),
+            Err(DbError::QueryEval(_))
+        ));
+    }
+
+    #[test]
+    fn order_by_sorts_ascending_and_descending() {
+        let (db, _) = doc_db();
+        let asc = db
+            .query("ACCESS p -> getAttributeValue('text'), p FROM p IN PARA ORDER BY p -> getAttributeValue('text')")
+            .unwrap();
+        let texts: Vec<&str> = asc.iter().map(|r| r.col(0).as_str().unwrap()).collect();
+        let mut sorted = texts.clone();
+        sorted.sort();
+        assert_eq!(texts, sorted);
+
+        let desc = db
+            .query("ACCESS p -> getAttributeValue('text') FROM p IN PARA ORDER BY p -> getAttributeValue('text') DESC")
+            .unwrap();
+        let desc_texts: Vec<&str> = desc.iter().map(|r| r.col(0).as_str().unwrap()).collect();
+        let mut rev = sorted.clone();
+        rev.reverse();
+        assert_eq!(desc_texts, rev);
+    }
+
+    #[test]
+    fn limit_caps_results() {
+        let (db, _) = doc_db();
+        let rows = db.query("ACCESS p FROM p IN PARA LIMIT 2").unwrap();
+        assert_eq!(rows.len(), 2);
+        let rows = db.query("ACCESS p FROM p IN PARA LIMIT 0").unwrap();
+        assert!(rows.is_empty());
+        // Larger than the result set: no-op.
+        let rows = db.query("ACCESS p FROM p IN PARA LIMIT 100").unwrap();
+        assert_eq!(rows.len(), 4);
+    }
+
+    #[test]
+    fn order_by_with_limit_gives_top_k() {
+        let (db, _) = doc_db();
+        // Top-1 paragraph by text, descending: "www growth" is the last
+        // alphabetically.
+        let rows = db
+            .query(
+                "ACCESS p -> getAttributeValue('text') FROM p IN PARA \
+                 ORDER BY p -> getAttributeValue('text') DESC LIMIT 1",
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].col(0).as_str().unwrap(), "www growth");
+    }
+
+    #[test]
+    fn order_by_errors() {
+        let (db, _) = doc_db();
+        assert!(matches!(
+            db.query("ACCESS p FROM p IN PARA ORDER BY q -> length()"),
+            Err(DbError::QueryEval(_))
+        ));
+        assert!(matches!(
+            db.query("ACCESS p FROM p IN PARA LIMIT -1"),
+            Err(DbError::QueryParse { .. })
+        ));
+        assert!(matches!(
+            db.query("ACCESS p FROM p IN PARA ORDER p"),
+            Err(DbError::QueryParse { .. })
+        ));
+    }
+
+    #[test]
+    fn compare_semantics() {
+        assert!(compare(CmpOp::Eq, &Value::Int(2), &Value::Real(2.0)));
+        assert!(compare(CmpOp::Lt, &Value::Int(1), &Value::Real(1.5)));
+        assert!(compare(CmpOp::Ge, &Value::from("b"), &Value::from("a")));
+        assert!(!compare(CmpOp::Lt, &Value::Null, &Value::Int(1)));
+        assert!(!compare(CmpOp::Gt, &Value::from("a"), &Value::Int(1)));
+        assert!(compare(CmpOp::Eq, &Value::Null, &Value::Null));
+        assert!(compare(CmpOp::Ne, &Value::Null, &Value::Int(0)));
+        assert!(!compare(CmpOp::Lt, &Value::Real(f64::NAN), &Value::Real(1.0)));
+    }
+}

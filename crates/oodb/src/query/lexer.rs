@@ -1,0 +1,329 @@
+//! Tokeniser for the VQL grammar.
+
+use crate::error::{DbError, Result};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// `ACCESS` keyword.
+    Access,
+    /// `FROM` keyword.
+    From,
+    /// `IN` keyword.
+    In,
+    /// `WHERE` keyword.
+    Where,
+    /// `AND` keyword.
+    And,
+    /// `OR` keyword.
+    Or,
+    /// `NOT` keyword.
+    Not,
+    /// `NULL` literal.
+    Null,
+    /// `TRUE` literal.
+    True,
+    /// `FALSE` literal.
+    False,
+    /// `ORDER` keyword.
+    Order,
+    /// `BY` keyword.
+    By,
+    /// `ASC` keyword.
+    Asc,
+    /// `DESC` keyword.
+    Desc,
+    /// `LIMIT` keyword.
+    Limit,
+    /// Identifier (variable, class or method name).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// String literal (single-quoted).
+    Str(String),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `->`
+    Arrow,
+    /// `=` or `==`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// A token plus its byte offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Byte offset in the query text.
+    pub offset: usize,
+}
+
+/// Tokenise `input`.
+pub fn lex(input: &str) -> Result<Vec<Spanned>> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let err = |offset: usize, reason: &str| DbError::QueryParse {
+        reason: reason.to_string(),
+        offset,
+    };
+    while i < bytes.len() {
+        let c = input[i..].chars().next().expect("i is on a char boundary");
+        if c.is_whitespace() {
+            i += c.len_utf8();
+            continue;
+        }
+        let start = i;
+        let tok = match c {
+            ',' => {
+                i += 1;
+                Tok::Comma
+            }
+            '(' => {
+                i += 1;
+                Tok::LParen
+            }
+            ')' => {
+                i += 1;
+                Tok::RParen
+            }
+            '-' if bytes.get(i + 1) == Some(&b'>') => {
+                i += 2;
+                Tok::Arrow
+            }
+            '=' => {
+                i += if bytes.get(i + 1) == Some(&b'=') { 2 } else { 1 };
+                Tok::Eq
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                i += 2;
+                Tok::Ne
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(&b'>') => {
+                    i += 2;
+                    Tok::Ne
+                }
+                Some(&b'=') => {
+                    i += 2;
+                    Tok::Le
+                }
+                _ => {
+                    i += 1;
+                    Tok::Lt
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    Tok::Ge
+                } else {
+                    i += 1;
+                    Tok::Gt
+                }
+            }
+            '\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        Some(&b'\'') => {
+                            // Doubled quote is an escaped quote.
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&b) => {
+                            // Multi-byte chars are copied verbatim.
+                            let ch_len = utf8_len(b);
+                            s.push_str(
+                                std::str::from_utf8(&bytes[i..i + ch_len])
+                                    .map_err(|_| err(i, "invalid utf-8 in string"))?,
+                            );
+                            i += ch_len;
+                        }
+                        None => return Err(err(start, "unterminated string literal")),
+                    }
+                }
+                Tok::Str(s)
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)) =>
+            {
+                let mut j = i + 1;
+                let mut is_real = false;
+                while j < bytes.len() {
+                    let d = bytes[j] as char;
+                    if d.is_ascii_digit() {
+                        j += 1;
+                    } else if d == '.' && !is_real {
+                        is_real = true;
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &input[i..j];
+                i = j;
+                if is_real {
+                    Tok::Real(text.parse().map_err(|_| err(start, "bad real literal"))?)
+                } else {
+                    Tok::Int(text.parse().map_err(|_| err(start, "bad integer literal"))?)
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                for (off, d) in input[i..].char_indices() {
+                    if d.is_alphanumeric() || d == '_' {
+                        j = i + off + d.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                let word = &input[i..j];
+                i = j;
+                match word.to_ascii_uppercase().as_str() {
+                    "ACCESS" => Tok::Access,
+                    "FROM" => Tok::From,
+                    "IN" => Tok::In,
+                    "WHERE" => Tok::Where,
+                    "AND" => Tok::And,
+                    "OR" => Tok::Or,
+                    "NOT" => Tok::Not,
+                    "NULL" => Tok::Null,
+                    "TRUE" => Tok::True,
+                    "FALSE" => Tok::False,
+                    "ORDER" => Tok::Order,
+                    "BY" => Tok::By,
+                    "ASC" => Tok::Asc,
+                    "DESC" => Tok::Desc,
+                    "LIMIT" => Tok::Limit,
+                    _ => Tok::Ident(word.to_string()),
+                }
+            }
+            other => return Err(err(i, &format!("unexpected character {other:?}"))),
+        };
+        out.push(Spanned { tok, offset: start });
+    }
+    Ok(out)
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        b if b < 0x80 => 1,
+        b if b < 0xe0 => 2,
+        b if b < 0xf0 => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(input: &str) -> Vec<Tok> {
+        lex(input).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(toks("access From WHERE"), vec![Tok::Access, Tok::From, Tok::Where]);
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("-> = == != <> < <= > >="),
+            vec![
+                Tok::Arrow,
+                Tok::Eq,
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Ne,
+                Tok::Lt,
+                Tok::Le,
+                Tok::Gt,
+                Tok::Ge
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_negatives() {
+        assert_eq!(toks("42 -7 0.6 -1.5"), vec![
+            Tok::Int(42),
+            Tok::Int(-7),
+            Tok::Real(0.6),
+            Tok::Real(-1.5)
+        ]);
+    }
+
+    #[test]
+    fn strings_with_escaped_quotes() {
+        assert_eq!(toks("'WWW'"), vec![Tok::Str("WWW".into())]);
+        assert_eq!(toks("'it''s'"), vec![Tok::Str("it's".into())]);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("'oops").is_err());
+    }
+
+    #[test]
+    fn paper_query_lexes() {
+        let q = "ACCESS p, p -> length() FROM p IN PARA WHERE p -> getIRSValue (collPara, 'WWW') > 0.6";
+        let ts = toks(q);
+        assert!(ts.contains(&Tok::Ident("getIRSValue".into())));
+        assert!(ts.contains(&Tok::Str("WWW".into())));
+        assert!(ts.contains(&Tok::Real(0.6)));
+    }
+
+    #[test]
+    fn offsets_point_at_tokens() {
+        let sp = lex("a  ->").unwrap();
+        assert_eq!(sp[0].offset, 0);
+        assert_eq!(sp[1].offset, 3);
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(toks("'Straße'"), vec![Tok::Str("Straße".into())]);
+    }
+
+    #[test]
+    fn unicode_identifiers_lex_whole_chars() {
+        // Regression: byte-wise scanning used to slice mid-codepoint.
+        assert_eq!(toks("Straße"), vec![Tok::Ident("Straße".into())]);
+        assert_eq!(
+            toks("日本語 x"),
+            vec![Tok::Ident("日本語".into()), Tok::Ident("x".into())]
+        );
+        // Non-identifier unicode is a clean error, not a panic.
+        assert!(lex("🛨").is_err());
+        // Unicode whitespace (em-space) is skipped.
+        assert_eq!(
+            toks("a\u{2003}b"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into())]
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! The VQL-like query language.
+//!
+//! "As the query syntax of VODAK is very similar to SQL, we do not
+//! describe it in detail" (paper, Section 4.4). The concrete grammar here
+//! covers everything the paper's example queries use:
+//!
+//! ```text
+//! ACCESS p, p -> length()
+//! FROM p IN PARA
+//! WHERE p -> getIRSValue(collPara, 'WWW') > 0.6
+//! ```
+//!
+//! * `ACCESS` — projection expressions (variables, literals, method calls);
+//! * `FROM v IN Class` — variables range over class extents including
+//!   subclasses;
+//! * `WHERE` — boolean combinations (`AND`, `OR`, `NOT`) of comparisons
+//!   (`=`/`==`, `!=`/`<>`, `<`, `<=`, `>`, `>=`) over expressions;
+//! * method calls `v -> name(args)` dispatch through the database's
+//!   [`crate::MethodRegistry`], with chaining (`v -> getParent() ->
+//!   length()`).
+//!
+//! Queries are optimized before execution: conjuncts are classified by
+//! referenced variables and method cost, index access paths replace full
+//! extent scans where possible, and expensive (external-system) methods
+//! are evaluated last — the paper's Section 4.5.4 prerequisite.
+
+pub mod ast;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+pub mod plan;
+
+pub use ast::{CmpOp, Expr, Query};
+pub use exec::{run, run_explain, Row};
+pub use parser::parse;
+pub use plan::{plan, Access, Plan, Step};

@@ -1,0 +1,167 @@
+//! Class schema with single inheritance.
+//!
+//! The paper's framework creates one *element-type class* per element-type
+//! definition in a DTD (Section 4.1), all inheriting from the coupling
+//! class `IRSObject` (Figure 2's `isA` edge). The schema here supports
+//! exactly that: named classes, an optional parent, and subclass queries
+//! used when a `FROM x IN Class` clause must range over a class extent
+//! including subclasses.
+
+use std::collections::HashMap;
+
+use crate::error::{DbError, Result};
+
+/// Dense class identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassId(pub u32);
+
+/// Definition of one class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassDef {
+    /// Class name, unique within the schema.
+    pub name: String,
+    /// Direct superclass, if any.
+    pub parent: Option<ClassId>,
+}
+
+/// The database schema: a forest of classes.
+#[derive(Debug, Default, Clone)]
+pub struct Schema {
+    classes: Vec<ClassDef>,
+    by_name: HashMap<String, ClassId>,
+}
+
+impl Schema {
+    /// Create an empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Define a class. `parent` must already exist.
+    pub fn define(&mut self, name: &str, parent: Option<ClassId>) -> Result<ClassId> {
+        if self.by_name.contains_key(name) {
+            return Err(DbError::DuplicateClass(name.to_string()));
+        }
+        if let Some(p) = parent {
+            if p.0 as usize >= self.classes.len() {
+                return Err(DbError::UnknownClass(format!("classid {}", p.0)));
+            }
+        }
+        let id = ClassId(self.classes.len() as u32);
+        self.classes.push(ClassDef {
+            name: name.to_string(),
+            parent,
+        });
+        self.by_name.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Look up a class by name.
+    pub fn class_id(&self, name: &str) -> Result<ClassId> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| DbError::UnknownClass(name.to_string()))
+    }
+
+    /// Definition of `id`. Panics on a foreign id.
+    pub fn class(&self, id: ClassId) -> &ClassDef {
+        &self.classes[id.0 as usize]
+    }
+
+    /// Name of `id`.
+    pub fn name(&self, id: ClassId) -> &str {
+        &self.class(id).name
+    }
+
+    /// True if `sub` equals `ancestor` or transitively inherits from it.
+    pub fn is_subclass(&self, sub: ClassId, ancestor: ClassId) -> bool {
+        let mut cur = Some(sub);
+        while let Some(c) = cur {
+            if c == ancestor {
+                return true;
+            }
+            cur = self.class(c).parent;
+        }
+        false
+    }
+
+    /// All classes that are `ancestor` or below it, in id order.
+    pub fn subclasses(&self, ancestor: ClassId) -> Vec<ClassId> {
+        (0..self.classes.len() as u32)
+            .map(ClassId)
+            .filter(|&c| self.is_subclass(c, ancestor))
+            .collect()
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// True if no classes are defined.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Iterate over `(ClassId, &ClassDef)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ClassId, &ClassDef)> {
+        self.classes
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (ClassId(i as u32), d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn define_and_lookup() {
+        let mut s = Schema::new();
+        let root = s.define("IRSObject", None).unwrap();
+        let para = s.define("PARA", Some(root)).unwrap();
+        assert_eq!(s.class_id("PARA").unwrap(), para);
+        assert_eq!(s.name(para), "PARA");
+        assert!(matches!(s.class_id("NOPE"), Err(DbError::UnknownClass(_))));
+    }
+
+    #[test]
+    fn duplicate_class_rejected() {
+        let mut s = Schema::new();
+        s.define("A", None).unwrap();
+        assert!(matches!(s.define("A", None), Err(DbError::DuplicateClass(_))));
+    }
+
+    #[test]
+    fn unknown_parent_rejected() {
+        let mut s = Schema::new();
+        assert!(s.define("A", Some(ClassId(5))).is_err());
+    }
+
+    #[test]
+    fn subclass_transitivity() {
+        let mut s = Schema::new();
+        let a = s.define("A", None).unwrap();
+        let b = s.define("B", Some(a)).unwrap();
+        let c = s.define("C", Some(b)).unwrap();
+        let x = s.define("X", None).unwrap();
+        assert!(s.is_subclass(c, a));
+        assert!(s.is_subclass(b, a));
+        assert!(s.is_subclass(a, a));
+        assert!(!s.is_subclass(a, b));
+        assert!(!s.is_subclass(x, a));
+        assert_eq!(s.subclasses(a), vec![a, b, c]);
+        assert_eq!(s.subclasses(x), vec![x]);
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut s = Schema::new();
+        s.define("B", None).unwrap();
+        s.define("A", None).unwrap();
+        let names: Vec<&str> = s.iter().map(|(_, d)| d.name.as_str()).collect();
+        assert_eq!(names, vec!["B", "A"]);
+    }
+}

@@ -1,0 +1,185 @@
+//! The in-memory object store: objects, class extents, OID allocation.
+//!
+//! Durability lives one layer up ([`wal`], [`snapshot`]); the store itself
+//! is a plain, fast structure the [`crate::Database`] mutates under
+//! transaction control.
+
+pub mod snapshot;
+pub mod wal;
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::error::{DbError, Result};
+use crate::object::Object;
+use crate::oid::Oid;
+use crate::schema::ClassId;
+use crate::value::Value;
+
+/// Objects plus per-class extents.
+#[derive(Debug, Default, Clone)]
+pub struct ObjectStore {
+    objects: HashMap<Oid, Object>,
+    extents: HashMap<ClassId, BTreeSet<Oid>>,
+    next_oid: u64,
+}
+
+impl ObjectStore {
+    /// Create an empty store. OIDs start at 1 (0 is reserved as a
+    /// sentinel in index range scans).
+    pub fn new() -> Self {
+        ObjectStore {
+            objects: HashMap::new(),
+            extents: HashMap::new(),
+            next_oid: 1,
+        }
+    }
+
+    /// Allocate a fresh OID. Never reused.
+    pub fn allocate_oid(&mut self) -> Oid {
+        let oid = Oid(self.next_oid);
+        self.next_oid += 1;
+        oid
+    }
+
+    /// Advance the allocator to at least `floor` (used by WAL replay so
+    /// recovered OIDs are not re-allocated).
+    pub fn bump_oid_floor(&mut self, floor: u64) {
+        self.next_oid = self.next_oid.max(floor);
+    }
+
+    /// Next OID that would be allocated.
+    pub fn next_oid(&self) -> u64 {
+        self.next_oid
+    }
+
+    /// Insert a fully-formed object (used by create, replay and undo).
+    pub fn put(&mut self, obj: Object) {
+        self.extents.entry(obj.class).or_default().insert(obj.oid);
+        self.objects.insert(obj.oid, obj);
+    }
+
+    /// Remove an object, returning it.
+    pub fn take(&mut self, oid: Oid) -> Result<Object> {
+        let obj = self
+            .objects
+            .remove(&oid)
+            .ok_or(DbError::UnknownObject(oid))?;
+        if let Some(ext) = self.extents.get_mut(&obj.class) {
+            ext.remove(&oid);
+        }
+        Ok(obj)
+    }
+
+    /// Borrow an object.
+    pub fn get(&self, oid: Oid) -> Result<&Object> {
+        self.objects.get(&oid).ok_or(DbError::UnknownObject(oid))
+    }
+
+    /// Mutably borrow an object.
+    pub fn get_mut(&mut self, oid: Oid) -> Result<&mut Object> {
+        self.objects
+            .get_mut(&oid)
+            .ok_or(DbError::UnknownObject(oid))
+    }
+
+    /// True if `oid` is live.
+    pub fn contains(&self, oid: Oid) -> bool {
+        self.objects.contains_key(&oid)
+    }
+
+    /// The direct extent of `class` (no subclasses), in OID order.
+    pub fn extent(&self, class: ClassId) -> impl Iterator<Item = Oid> + '_ {
+        self.extents
+            .get(&class)
+            .into_iter()
+            .flat_map(|s| s.iter().copied())
+    }
+
+    /// Size of the direct extent.
+    pub fn extent_size(&self, class: ClassId) -> usize {
+        self.extents.get(&class).map_or(0, BTreeSet::len)
+    }
+
+    /// Total number of live objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True if the store holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Iterate over all objects in OID order (deterministic for
+    /// snapshots).
+    pub fn iter_ordered(&self) -> impl Iterator<Item = &Object> {
+        let mut oids: Vec<Oid> = self.objects.keys().copied().collect();
+        oids.sort();
+        oids.into_iter().map(move |oid| &self.objects[&oid])
+    }
+
+    /// Convenience: attribute of an object (`Null` when absent).
+    pub fn attr(&self, oid: Oid, name: &str) -> Result<Value> {
+        Ok(self.get(oid)?.attr(name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oids_are_never_reused() {
+        let mut s = ObjectStore::new();
+        let a = s.allocate_oid();
+        let b = s.allocate_oid();
+        assert_ne!(a, b);
+        s.put(Object::new(a, ClassId(0)));
+        s.take(a).unwrap();
+        let c = s.allocate_oid();
+        assert!(c > b);
+    }
+
+    #[test]
+    fn extents_track_membership() {
+        let mut s = ObjectStore::new();
+        let a = s.allocate_oid();
+        let b = s.allocate_oid();
+        s.put(Object::new(a, ClassId(0)));
+        s.put(Object::new(b, ClassId(1)));
+        assert_eq!(s.extent(ClassId(0)).collect::<Vec<_>>(), vec![a]);
+        assert_eq!(s.extent_size(ClassId(1)), 1);
+        s.take(a).unwrap();
+        assert_eq!(s.extent_size(ClassId(0)), 0);
+    }
+
+    #[test]
+    fn unknown_object_errors() {
+        let mut s = ObjectStore::new();
+        assert!(matches!(s.get(Oid(9)), Err(DbError::UnknownObject(_))));
+        assert!(s.take(Oid(9)).is_err());
+        assert!(s.attr(Oid(9), "x").is_err());
+    }
+
+    #[test]
+    fn bump_floor_prevents_replay_collisions() {
+        let mut s = ObjectStore::new();
+        s.bump_oid_floor(100);
+        assert_eq!(s.allocate_oid(), Oid(100));
+        s.bump_oid_floor(50); // never moves backwards
+        assert_eq!(s.allocate_oid(), Oid(101));
+    }
+
+    #[test]
+    fn iter_ordered_is_sorted() {
+        let mut s = ObjectStore::new();
+        for _ in 0..10 {
+            let oid = s.allocate_oid();
+            s.put(Object::new(oid, ClassId(0)));
+        }
+        let oids: Vec<Oid> = s.iter_ordered().map(|o| o.oid).collect();
+        let mut sorted = oids.clone();
+        sorted.sort();
+        assert_eq!(oids, sorted);
+    }
+}

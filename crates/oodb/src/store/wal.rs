@@ -1,0 +1,319 @@
+//! Write-ahead log.
+//!
+//! Redo-only logging: a transaction's records are buffered in memory and
+//! appended as one batch terminated by a commit marker. Recovery replays
+//! complete batches and discards a trailing partial batch (torn write).
+//! DDL (class and index definitions) is logged the same way as its own
+//! single-record batch.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::error::{DbError, Result};
+use crate::oid::Oid;
+use crate::util::{read_str, read_varint, write_str, write_varint};
+use crate::value::Value;
+
+/// One redo record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// A class definition (`parent` by name, resolved at replay).
+    DefineClass {
+        /// Class name.
+        name: String,
+        /// Optional superclass name.
+        parent: Option<String>,
+    },
+    /// An index creation; `kind` is 0 = B+tree, 1 = hash.
+    CreateIndex {
+        /// Indexed class name.
+        class: String,
+        /// Indexed attribute.
+        attr: String,
+        /// 0 = B+tree, 1 = hash.
+        kind: u8,
+    },
+    /// Object creation.
+    Create {
+        /// The created object's OID.
+        oid: Oid,
+        /// Its class name.
+        class: String,
+    },
+    /// Attribute assignment (including `Null` = clear).
+    SetAttr {
+        /// Target object.
+        oid: Oid,
+        /// Attribute name.
+        attr: String,
+        /// New value.
+        value: Value,
+    },
+    /// Object deletion.
+    Delete {
+        /// The deleted object's OID.
+        oid: Oid,
+    },
+    /// Terminates a batch; everything since the previous marker is atomic.
+    Commit,
+}
+
+impl Record {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Record::DefineClass { name, parent } => {
+                out.push(1);
+                write_str(out, name);
+                match parent {
+                    Some(p) => {
+                        out.push(1);
+                        write_str(out, p);
+                    }
+                    None => out.push(0),
+                }
+            }
+            Record::CreateIndex { class, attr, kind } => {
+                out.push(2);
+                write_str(out, class);
+                write_str(out, attr);
+                out.push(*kind);
+            }
+            Record::Create { oid, class } => {
+                out.push(3);
+                write_varint(out, oid.0);
+                write_str(out, class);
+            }
+            Record::SetAttr { oid, attr, value } => {
+                out.push(4);
+                write_varint(out, oid.0);
+                write_str(out, attr);
+                value.encode(out);
+            }
+            Record::Delete { oid } => {
+                out.push(5);
+                write_varint(out, oid.0);
+            }
+            Record::Commit => out.push(6),
+        }
+    }
+
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<Record> {
+        let tag = *buf.get(*pos)?;
+        *pos += 1;
+        Some(match tag {
+            1 => {
+                let name = read_str(buf, pos)?;
+                let has_parent = *buf.get(*pos)?;
+                *pos += 1;
+                let parent = match has_parent {
+                    0 => None,
+                    1 => Some(read_str(buf, pos)?),
+                    _ => return None,
+                };
+                Record::DefineClass { name, parent }
+            }
+            2 => {
+                let class = read_str(buf, pos)?;
+                let attr = read_str(buf, pos)?;
+                let kind = *buf.get(*pos)?;
+                *pos += 1;
+                Record::CreateIndex { class, attr, kind }
+            }
+            3 => Record::Create {
+                oid: Oid(read_varint(buf, pos)?),
+                class: read_str(buf, pos)?,
+            },
+            4 => Record::SetAttr {
+                oid: Oid(read_varint(buf, pos)?),
+                attr: read_str(buf, pos)?,
+                value: Value::decode(buf, pos)?,
+            },
+            5 => Record::Delete {
+                oid: Oid(read_varint(buf, pos)?),
+            },
+            6 => Record::Commit,
+            _ => return None,
+        })
+    }
+}
+
+/// Appender for the WAL file.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: BufWriter<File>,
+}
+
+impl WalWriter {
+    /// Open (creating or appending to) the WAL at `path`.
+    pub fn open(path: &Path) -> Result<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(WalWriter {
+            file: BufWriter::new(file),
+        })
+    }
+
+    /// Append `records` followed by a commit marker, then flush. The batch
+    /// is atomic with respect to recovery.
+    pub fn append_batch(&mut self, records: &[Record]) -> Result<()> {
+        let mut payload = Vec::new();
+        for r in records {
+            r.encode(&mut payload);
+        }
+        Record::Commit.encode(&mut payload);
+        // Frame: length prefix lets recovery detect torn tails cheaply.
+        let mut framed = Vec::with_capacity(payload.len() + 10);
+        write_varint(&mut framed, payload.len() as u64);
+        framed.extend_from_slice(&payload);
+        self.file.write_all(&framed)?;
+        self.file.flush()?;
+        self.file.get_ref().sync_data()?;
+        Ok(())
+    }
+}
+
+/// Read every complete batch from the WAL at `path`. A truncated trailing
+/// frame (crash mid-write) is silently discarded; corruption *within* a
+/// complete frame is an error.
+pub fn replay(path: &Path) -> Result<Vec<Record>> {
+    let mut buf = Vec::new();
+    File::open(path)?.read_to_end(&mut buf)?;
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while pos < buf.len() {
+        let frame_start = pos;
+        let Some(len) = read_varint(&buf, &mut pos) else {
+            break; // torn length prefix
+        };
+        let len = len as usize;
+        if pos + len > buf.len() {
+            let _ = frame_start;
+            break; // torn payload
+        }
+        let frame = &buf[pos..pos + len];
+        pos += len;
+        let mut fpos = 0usize;
+        let mut batch = Vec::new();
+        let mut committed = false;
+        while fpos < frame.len() {
+            match Record::decode(frame, &mut fpos) {
+                Some(Record::Commit) => {
+                    committed = true;
+                    break;
+                }
+                Some(r) => batch.push(r),
+                None => {
+                    return Err(DbError::Corrupt(format!(
+                        "undecodable record at wal byte {}",
+                        frame_start
+                    )))
+                }
+            }
+        }
+        if !committed {
+            return Err(DbError::Corrupt(format!(
+                "frame at wal byte {frame_start} lacks commit marker"
+            )));
+        }
+        records.extend(batch);
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("oodb-wal-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(name);
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn sample_batch() -> Vec<Record> {
+        vec![
+            Record::DefineClass {
+                name: "PARA".into(),
+                parent: Some("IRSObject".into()),
+            },
+            Record::Create {
+                oid: Oid(7),
+                class: "PARA".into(),
+            },
+            Record::SetAttr {
+                oid: Oid(7),
+                attr: "content".into(),
+                value: Value::from("Telnet is a protocol"),
+            },
+            Record::Delete { oid: Oid(3) },
+            Record::CreateIndex {
+                class: "PARA".into(),
+                attr: "year".into(),
+                kind: 0,
+            },
+        ]
+    }
+
+    #[test]
+    fn batches_round_trip() {
+        let path = tmp("round_trip.wal");
+        let batch = sample_batch();
+        {
+            let mut w = WalWriter::open(&path).unwrap();
+            w.append_batch(&batch).unwrap();
+            w.append_batch(&[Record::Delete { oid: Oid(7) }]).unwrap();
+        }
+        let records = replay(&path).unwrap();
+        let mut expect = batch;
+        expect.push(Record::Delete { oid: Oid(7) });
+        assert_eq!(records, expect);
+    }
+
+    #[test]
+    fn torn_tail_is_discarded() {
+        let path = tmp("torn.wal");
+        {
+            let mut w = WalWriter::open(&path).unwrap();
+            w.append_batch(&sample_batch()).unwrap();
+            w.append_batch(&[Record::Delete { oid: Oid(9) }]).unwrap();
+        }
+        // Chop off the last few bytes to simulate a crash mid-write.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let records = replay(&path).unwrap();
+        assert_eq!(records.len(), sample_batch().len(), "partial batch dropped");
+    }
+
+    #[test]
+    fn frame_without_commit_marker_is_corrupt() {
+        let path = tmp("nocommit.wal");
+        // Hand-craft a frame holding one record but no marker.
+        let mut payload = Vec::new();
+        Record::Delete { oid: Oid(1) }.encode(&mut payload);
+        let mut framed = Vec::new();
+        write_varint(&mut framed, payload.len() as u64);
+        framed.extend_from_slice(&payload);
+        std::fs::write(&path, &framed).unwrap();
+        assert!(matches!(replay(&path), Err(DbError::Corrupt(_))));
+    }
+
+    #[test]
+    fn garbage_within_frame_is_corrupt() {
+        let path = tmp("garbage.wal");
+        let payload = vec![99u8, 1, 2, 3];
+        let mut framed = Vec::new();
+        write_varint(&mut framed, payload.len() as u64);
+        framed.extend_from_slice(&payload);
+        std::fs::write(&path, &framed).unwrap();
+        assert!(matches!(replay(&path), Err(DbError::Corrupt(_))));
+    }
+
+    #[test]
+    fn empty_wal_is_fine() {
+        let path = tmp("empty.wal");
+        std::fs::write(&path, b"").unwrap();
+        assert!(replay(&path).unwrap().is_empty());
+    }
+}

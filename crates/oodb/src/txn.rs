@@ -1,0 +1,71 @@
+//! Transactions: redo buffering for the WAL, undo for in-memory abort.
+
+use crate::object::Object;
+use crate::oid::Oid;
+use crate::store::wal::Record;
+use crate::value::Value;
+
+/// How to reverse one applied operation.
+#[allow(clippy::enum_variant_names)] // names mirror the operations they reverse
+#[derive(Debug, Clone)]
+pub(crate) enum UndoOp {
+    /// Reverse a create: remove the object again.
+    UnCreate(Oid),
+    /// Reverse an attribute set: restore the previous value.
+    UnSetAttr { oid: Oid, attr: String, old: Value },
+    /// Reverse a delete: re-insert the removed object.
+    UnDelete(Box<Object>),
+}
+
+/// A transaction handle. Obtained from [`crate::Database::begin`]; every
+/// mutating database call takes one. Dropping an uncommitted handle
+/// without calling `commit`/`abort` leaves its effects in memory but not
+/// in the WAL — the next recovery discards them, so callers should always
+/// finish a transaction explicitly.
+#[derive(Debug)]
+pub struct Txn {
+    pub(crate) id: u64,
+    pub(crate) active: bool,
+    pub(crate) redo: Vec<Record>,
+    pub(crate) undo: Vec<UndoOp>,
+}
+
+impl Txn {
+    pub(crate) fn new(id: u64) -> Self {
+        Txn {
+            id,
+            active: true,
+            redo: Vec::new(),
+            undo: Vec::new(),
+        }
+    }
+
+    /// The transaction id (diagnostic only).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// True until commit or abort.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Number of buffered redo records (diagnostic, used in tests and by
+    /// the update-propagation experiment to count write amplification).
+    pub fn pending_records(&self) -> usize {
+        self.redo.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_txn_is_active_and_empty() {
+        let t = Txn::new(7);
+        assert_eq!(t.id(), 7);
+        assert!(t.is_active());
+        assert_eq!(t.pending_records(), 0);
+    }
+}

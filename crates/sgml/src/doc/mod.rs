@@ -1,0 +1,7 @@
+//! SGML document instances: tree model and parser.
+
+mod parser;
+mod tree;
+
+pub use parser::parse_document;
+pub use tree::{DocTree, Node, NodeContent, NodeId};

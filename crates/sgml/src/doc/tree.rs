@@ -1,0 +1,275 @@
+//! The document tree: arena of element and text nodes.
+
+/// Index of a node within its [`DocTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub u32);
+
+/// What a node is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeContent {
+    /// An element with a generic identifier (tag name, uppercase).
+    Element {
+        /// Tag name.
+        name: String,
+        /// `(name, value)` attribute pairs in source order.
+        attributes: Vec<(String, String)>,
+    },
+    /// A text run.
+    Text(String),
+}
+
+/// One node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// Content.
+    pub content: NodeContent,
+    /// Parent (None for the root).
+    pub parent: Option<NodeId>,
+    /// Children in document order (empty for text nodes).
+    pub children: Vec<NodeId>,
+}
+
+impl Node {
+    /// Element name, if this is an element.
+    pub fn name(&self) -> Option<&str> {
+        match &self.content {
+            NodeContent::Element { name, .. } => Some(name),
+            NodeContent::Text(_) => None,
+        }
+    }
+
+    /// Text content, if this is a text node.
+    pub fn text(&self) -> Option<&str> {
+        match &self.content {
+            NodeContent::Text(t) => Some(t),
+            NodeContent::Element { .. } => None,
+        }
+    }
+
+    /// Attribute value by (case-insensitive) name.
+    pub fn attribute(&self, name: &str) -> Option<&str> {
+        match &self.content {
+            NodeContent::Element { attributes, .. } => attributes
+                .iter()
+                .find(|(n, _)| n.eq_ignore_ascii_case(name))
+                .map(|(_, v)| v.as_str()),
+            NodeContent::Text(_) => None,
+        }
+    }
+}
+
+/// An SGML document as an arena tree.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DocTree {
+    nodes: Vec<Node>,
+}
+
+impl DocTree {
+    /// Create an empty tree.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The root node id (the first allocated node), if any.
+    pub fn root(&self) -> Option<NodeId> {
+        if self.nodes.is_empty() {
+            None
+        } else {
+            Some(NodeId(0))
+        }
+    }
+
+    /// Allocate an element node under `parent` (None = root).
+    pub fn add_element(
+        &mut self,
+        parent: Option<NodeId>,
+        name: &str,
+        attributes: Vec<(String, String)>,
+    ) -> NodeId {
+        self.push(
+            NodeContent::Element {
+                name: name.to_uppercase(),
+                attributes,
+            },
+            parent,
+        )
+    }
+
+    /// Allocate a text node under `parent`.
+    pub fn add_text(&mut self, parent: NodeId, text: &str) -> NodeId {
+        self.push(NodeContent::Text(text.to_string()), Some(parent))
+    }
+
+    fn push(&mut self, content: NodeContent, parent: Option<NodeId>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            content,
+            parent,
+            children: Vec::new(),
+        });
+        if let Some(p) = parent {
+            self.nodes[p.0 as usize].children.push(id);
+        }
+        id
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Number of nodes (elements + text runs).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the tree has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterate ids in document (allocation) order — parents before
+    /// children, siblings left to right.
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Concatenated text of the subtree rooted at `id` (leaf text joined
+    /// with single spaces) — the default `getText` of the paper's SGML
+    /// framework: "by inspecting the leaves of the subtree rooted at an
+    /// element, getText identifies its representation" (Section 4.3.2).
+    pub fn subtree_text(&self, id: NodeId) -> String {
+        let mut parts = Vec::new();
+        self.collect_text(id, &mut parts);
+        parts.join(" ")
+    }
+
+    fn collect_text<'a>(&'a self, id: NodeId, out: &mut Vec<&'a str>) {
+        let node = self.node(id);
+        if let NodeContent::Text(t) = &node.content {
+            let trimmed = t.trim();
+            if !trimmed.is_empty() {
+                out.push(trimmed);
+            }
+        }
+        for &c in &node.children {
+            self.collect_text(c, out);
+        }
+    }
+
+    /// Element ids (no text nodes) in document order.
+    pub fn element_ids(&self) -> Vec<NodeId> {
+        self.ids()
+            .filter(|&id| self.node(id).name().is_some())
+            .collect()
+    }
+
+    /// Serialise the subtree at `id` back to SGML text.
+    pub fn serialize(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        self.serialize_into(id, &mut out);
+        out
+    }
+
+    fn serialize_into(&self, id: NodeId, out: &mut String) {
+        let node = self.node(id);
+        match &node.content {
+            NodeContent::Text(t) => out.push_str(&escape(t)),
+            NodeContent::Element { name, attributes } => {
+                out.push('<');
+                out.push_str(name);
+                for (n, v) in attributes {
+                    out.push(' ');
+                    out.push_str(n);
+                    out.push_str("=\"");
+                    out.push_str(&escape(v));
+                    out.push('"');
+                }
+                out.push('>');
+                for &c in &node.children {
+                    self.serialize_into(c, out);
+                }
+                out.push_str("</");
+                out.push_str(name);
+                out.push('>');
+            }
+        }
+    }
+}
+
+fn escape(t: &str) -> String {
+    t.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (DocTree, NodeId, NodeId, NodeId) {
+        let mut t = DocTree::new();
+        let doc = t.add_element(None, "doc", vec![("YEAR".into(), "1994".into())]);
+        let p1 = t.add_element(Some(doc), "PARA", vec![]);
+        t.add_text(p1, "Telnet is a protocol");
+        let p2 = t.add_element(Some(doc), "PARA", vec![]);
+        t.add_text(p2, "Telnet enables remote login");
+        (t, doc, p1, p2)
+    }
+
+    #[test]
+    fn structure_links() {
+        let (t, doc, p1, p2) = sample();
+        assert_eq!(t.root(), Some(doc));
+        assert_eq!(t.node(doc).children, vec![p1, p2]);
+        assert_eq!(t.node(p1).parent, Some(doc));
+        assert_eq!(t.node(doc).name(), Some("DOC"), "names uppercased");
+    }
+
+    #[test]
+    fn attributes_case_insensitive() {
+        let (t, doc, ..) = sample();
+        assert_eq!(t.node(doc).attribute("year"), Some("1994"));
+        assert_eq!(t.node(doc).attribute("YEAR"), Some("1994"));
+        assert_eq!(t.node(doc).attribute("missing"), None);
+    }
+
+    #[test]
+    fn subtree_text_concatenates_leaves() {
+        let (t, doc, p1, _) = sample();
+        assert_eq!(t.subtree_text(p1), "Telnet is a protocol");
+        assert_eq!(
+            t.subtree_text(doc),
+            "Telnet is a protocol Telnet enables remote login"
+        );
+    }
+
+    #[test]
+    fn element_ids_skip_text() {
+        let (t, ..) = sample();
+        assert_eq!(t.element_ids().len(), 3);
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn serialize_round_trips_structure() {
+        let (t, doc, ..) = sample();
+        let s = t.serialize(doc);
+        assert!(s.starts_with("<DOC YEAR=\"1994\">"));
+        assert!(s.contains("<PARA>Telnet is a protocol</PARA>"));
+        assert!(s.ends_with("</DOC>"));
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = DocTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.root(), None);
+    }
+
+    #[test]
+    fn escaping_in_serialization() {
+        let mut t = DocTree::new();
+        let e = t.add_element(None, "P", vec![]);
+        t.add_text(e, "a < b & c");
+        assert_eq!(t.serialize(e), "<P>a &lt; b &amp; c</P>");
+    }
+}

@@ -1,0 +1,7 @@
+//! DTD model and parser.
+
+mod model;
+mod parser;
+
+pub use model::{AttDecl, AttDefault, ContentSpec, Cp, CpKind, Dtd, ElementDecl, Occurrence};
+pub use parser::parse_dtd;

@@ -1,0 +1,212 @@
+//! The DTD object model: element declarations with content models.
+//!
+//! The subset covers what structured-document work of the paper's era
+//! actually used: element declarations with sequence/choice groups,
+//! occurrence indicators (`?`, `*`, `+`), `#PCDATA` (also in mixed
+//! content), `EMPTY` and `ANY`, plus attribute-list declarations with
+//! `CDATA` attributes and `#REQUIRED`/`#IMPLIED`/default values.
+
+use std::collections::HashMap;
+
+/// Occurrence indicator on a content particle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Occurrence {
+    /// Exactly once (no indicator).
+    One,
+    /// `?` — zero or one.
+    Opt,
+    /// `*` — zero or more.
+    Star,
+    /// `+` — one or more.
+    Plus,
+}
+
+impl Occurrence {
+    /// Minimum repetitions.
+    pub fn min(self) -> usize {
+        match self {
+            Occurrence::One | Occurrence::Plus => 1,
+            Occurrence::Opt | Occurrence::Star => 0,
+        }
+    }
+
+    /// True if more than one repetition is allowed.
+    pub fn many(self) -> bool {
+        matches!(self, Occurrence::Star | Occurrence::Plus)
+    }
+}
+
+/// A content particle without its occurrence indicator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CpKind {
+    /// Reference to an element type.
+    Element(String),
+    /// `#PCDATA` — character data.
+    PcData,
+    /// `(a, b, c)` — ordered sequence.
+    Seq(Vec<Cp>),
+    /// `(a | b | c)` — alternatives.
+    Choice(Vec<Cp>),
+}
+
+/// A content particle with occurrence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cp {
+    /// The particle.
+    pub kind: CpKind,
+    /// Its occurrence indicator.
+    pub occ: Occurrence,
+}
+
+impl Cp {
+    /// Convenience constructor.
+    pub fn new(kind: CpKind, occ: Occurrence) -> Self {
+        Cp { kind, occ }
+    }
+
+    /// A single-element particle occurring once.
+    pub fn elem(name: &str) -> Self {
+        Cp::new(CpKind::Element(name.to_string()), Occurrence::One)
+    }
+}
+
+/// The content specification of an element declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContentSpec {
+    /// `EMPTY` — no content allowed.
+    Empty,
+    /// `ANY` — any mix of declared elements and text.
+    Any,
+    /// A content model.
+    Model(Cp),
+}
+
+/// Default specification of an attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttDefault {
+    /// `#REQUIRED`.
+    Required,
+    /// `#IMPLIED`.
+    Implied,
+    /// A literal default value.
+    Value(String),
+}
+
+/// One attribute declaration (all attributes are CDATA in this subset).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttDecl {
+    /// Attribute name.
+    pub name: String,
+    /// Default spec.
+    pub default: AttDefault,
+}
+
+/// One element-type declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElementDecl {
+    /// Element (generic identifier) name, stored uppercase.
+    pub name: String,
+    /// Allowed content.
+    pub content: ContentSpec,
+    /// Declared attributes.
+    pub attributes: Vec<AttDecl>,
+}
+
+/// A parsed DTD.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Dtd {
+    elements: HashMap<String, ElementDecl>,
+    /// Declaration order, for deterministic iteration.
+    order: Vec<String>,
+}
+
+impl Dtd {
+    /// Create an empty DTD.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add (or extend) an element declaration. Returns false if an element
+    /// of that name already had a content declaration.
+    pub fn declare_element(&mut self, decl: ElementDecl) -> bool {
+        let name = decl.name.clone();
+        if let Some(existing) = self.elements.get_mut(&name) {
+            // Merging an ATTLIST into a prior ELEMENT declaration.
+            existing.attributes.extend(decl.attributes);
+            false
+        } else {
+            self.order.push(name.clone());
+            self.elements.insert(name, decl);
+            true
+        }
+    }
+
+    /// Look up an element declaration (names are case-insensitive).
+    pub fn element(&self, name: &str) -> Option<&ElementDecl> {
+        self.elements.get(&name.to_uppercase())
+    }
+
+    /// Declared element names in declaration order.
+    pub fn element_names(&self) -> &[String] {
+        &self.order
+    }
+
+    /// Number of declared elements.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True if nothing is declared.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occurrence_bounds() {
+        assert_eq!(Occurrence::One.min(), 1);
+        assert_eq!(Occurrence::Plus.min(), 1);
+        assert_eq!(Occurrence::Opt.min(), 0);
+        assert!(Occurrence::Star.many());
+        assert!(!Occurrence::Opt.many());
+    }
+
+    #[test]
+    fn declare_and_lookup_case_insensitive() {
+        let mut dtd = Dtd::new();
+        dtd.declare_element(ElementDecl {
+            name: "PARA".into(),
+            content: ContentSpec::Model(Cp::new(CpKind::PcData, Occurrence::Star)),
+            attributes: vec![],
+        });
+        assert!(dtd.element("para").is_some());
+        assert!(dtd.element("PARA").is_some());
+        assert!(dtd.element("SEC").is_none());
+        assert_eq!(dtd.element_names(), &["PARA".to_string()]);
+    }
+
+    #[test]
+    fn attlist_merges_into_existing_declaration() {
+        let mut dtd = Dtd::new();
+        dtd.declare_element(ElementDecl {
+            name: "DOC".into(),
+            content: ContentSpec::Any,
+            attributes: vec![],
+        });
+        let fresh = dtd.declare_element(ElementDecl {
+            name: "DOC".into(),
+            content: ContentSpec::Any,
+            attributes: vec![AttDecl {
+                name: "YEAR".into(),
+                default: AttDefault::Implied,
+            }],
+        });
+        assert!(!fresh);
+        assert_eq!(dtd.len(), 1);
+        assert_eq!(dtd.element("DOC").unwrap().attributes.len(), 1);
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type for SGML processing.
+
+use std::fmt;
+
+/// Convenient alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, SgmlError>;
+
+/// Errors raised by DTD/document parsing and validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SgmlError {
+    /// DTD text failed to parse.
+    DtdParse {
+        /// Human-readable reason.
+        reason: String,
+        /// Byte offset in the DTD text.
+        offset: usize,
+    },
+    /// Document text failed to parse.
+    DocParse {
+        /// Human-readable reason.
+        reason: String,
+        /// Byte offset in the document text.
+        offset: usize,
+    },
+    /// The document violates the DTD.
+    Invalid {
+        /// The element whose content or attributes violate the DTD.
+        element: String,
+        /// What was violated.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SgmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SgmlError::DtdParse { reason, offset } => {
+                write!(f, "DTD parse error at byte {offset}: {reason}")
+            }
+            SgmlError::DocParse { reason, offset } => {
+                write!(f, "document parse error at byte {offset}: {reason}")
+            }
+            SgmlError::Invalid { element, reason } => {
+                write!(f, "invalid document at element <{element}>: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SgmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_location() {
+        let e = SgmlError::DocParse {
+            reason: "unclosed tag".into(),
+            offset: 12,
+        };
+        assert!(e.to_string().contains("byte 12"));
+        let e = SgmlError::Invalid {
+            element: "PARA".into(),
+            reason: "unexpected child".into(),
+        };
+        assert!(e.to_string().contains("<PARA>"));
+    }
+}

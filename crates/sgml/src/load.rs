@@ -1,0 +1,226 @@
+//! Loading document trees into the OODBMS.
+//!
+//! Implements the paper's Section 4.1: "documents are fragmented in
+//! accordance with their logical structure, i.e., for each element …
+//! there essentially is a corresponding database object. … So-called
+//! element-type classes corresponding to the element-type definitions
+//! from the DTDs contain elements of that particular type." Classes are
+//! created on demand (the framework manages "documents of arbitrary
+//! types, i.e., not … a rigid set of SGML DTDs").
+//!
+//! Object conventions (consumed by `oodb`'s built-in navigation methods
+//! and by the coupling's `getText` implementations):
+//!
+//! * `parent` — OID of the parent element (absent on roots);
+//! * `children` — list of child-element OIDs in document order;
+//! * `text` — concatenated *direct* text content of the element;
+//! * every SGML attribute becomes an object attribute under its
+//!   (uppercase) name.
+
+use std::collections::HashMap;
+
+use oodb::{ClassId, Database, DbError, Oid, Txn, Value};
+
+use crate::doc::{DocTree, NodeContent, NodeId};
+
+/// Result of loading one document.
+#[derive(Debug, Clone)]
+pub struct LoadedDoc {
+    /// OID of the root element object.
+    pub root: Oid,
+    /// `(tree node, object)` pairs for every element, in document order.
+    pub elements: Vec<(NodeId, Oid)>,
+}
+
+impl LoadedDoc {
+    /// OID of a given tree node, if it was an element.
+    pub fn oid_of(&self, node: NodeId) -> Option<Oid> {
+        self.elements.iter().find(|(n, _)| *n == node).map(|(_, o)| *o)
+    }
+}
+
+/// Ensure `name` exists as a class (inheriting from `base`), returning
+/// its id.
+fn ensure_class(db: &mut Database, name: &str, base: &str) -> Result<ClassId, DbError> {
+    match db.schema().class_id(name) {
+        Ok(id) => Ok(id),
+        Err(_) => db.define_class(name, Some(base)),
+    }
+}
+
+/// Load `tree` into `db` within `txn`. Element-type classes are created
+/// as subclasses of `base_class` (typically the coupling's `IRSObject`),
+/// which must already exist.
+pub fn load_document(
+    db: &mut Database,
+    txn: &mut Txn,
+    tree: &DocTree,
+    base_class: &str,
+) -> Result<LoadedDoc, DbError> {
+    // Verify the base class exists up front.
+    db.schema().class_id(base_class)?;
+
+    let mut oid_by_node: HashMap<NodeId, Oid> = HashMap::new();
+    let mut elements = Vec::new();
+
+    // Pass 1: create one object per element (document order = parents
+    // first, so the parent OID is always available).
+    for id in tree.ids() {
+        let node = tree.node(id);
+        let NodeContent::Element { name, attributes } = &node.content else {
+            continue;
+        };
+        let class = ensure_class(db, name, base_class)?;
+        let oid = db.create_object(txn, class)?;
+        oid_by_node.insert(id, oid);
+        elements.push((id, oid));
+
+        if let Some(parent) = node.parent {
+            let parent_oid = oid_by_node[&parent];
+            db.set_attr(txn, oid, "parent", Value::Oid(parent_oid))?;
+        }
+        for (att, val) in attributes {
+            db.set_attr(txn, oid, att, Value::from(val.as_str()))?;
+        }
+    }
+
+    // Pass 2: children lists and direct text.
+    for &(id, oid) in &elements {
+        let node = tree.node(id);
+        let mut child_oids = Vec::new();
+        let mut direct_text: Vec<&str> = Vec::new();
+        for &c in &node.children {
+            match &tree.node(c).content {
+                NodeContent::Element { .. } => {
+                    child_oids.push(Value::Oid(oid_by_node[&c]));
+                }
+                NodeContent::Text(t) => {
+                    let trimmed = t.trim();
+                    if !trimmed.is_empty() {
+                        direct_text.push(trimmed);
+                    }
+                }
+            }
+        }
+        if !child_oids.is_empty() {
+            db.set_attr(txn, oid, "children", Value::List(child_oids))?;
+        }
+        if !direct_text.is_empty() {
+            db.set_attr(txn, oid, "text", Value::from(direct_text.join(" ")))?;
+        }
+    }
+
+    let root_node = tree.root().expect("loaded trees are non-empty");
+    let root = *oid_by_node
+        .get(&root_node)
+        .expect("root is an element in parsed documents");
+    Ok(LoadedDoc { root, elements })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc::parse_document;
+    use crate::mmf::telnet_example;
+
+    fn setup() -> Database {
+        let mut db = Database::in_memory();
+        db.define_class("IRSObject", None).unwrap();
+        db
+    }
+
+    #[test]
+    fn elements_become_objects_with_classes() {
+        let mut db = setup();
+        let tree = parse_document(telnet_example()).unwrap();
+        let mut txn = db.begin();
+        let loaded = load_document(&mut db, &mut txn, &tree, "IRSObject").unwrap();
+        db.commit(txn).unwrap();
+
+        // MMFDOC, LOGBOOK, DOCTITLE, ABSTRACT, PARA, PARA = 6 elements.
+        assert_eq!(loaded.elements.len(), 6);
+        let schema = db.schema();
+        for name in ["MMFDOC", "LOGBOOK", "DOCTITLE", "ABSTRACT", "PARA"] {
+            let id = schema.class_id(name).unwrap();
+            assert!(
+                schema.is_subclass(id, schema.class_id("IRSObject").unwrap()),
+                "{name} isA IRSObject"
+            );
+        }
+        // Both PARA objects are in the PARA extent.
+        let para = schema.class_id("PARA").unwrap();
+        assert_eq!(db.extent(para, false).len(), 2);
+    }
+
+    #[test]
+    fn structure_attributes_are_set() {
+        let mut db = setup();
+        let tree = parse_document(telnet_example()).unwrap();
+        let mut txn = db.begin();
+        let loaded = load_document(&mut db, &mut txn, &tree, "IRSObject").unwrap();
+        db.commit(txn).unwrap();
+
+        let kids = db.get_attr(loaded.root, "children").unwrap();
+        assert_eq!(kids.as_list().unwrap().len(), 5);
+        // First paragraph: parent points at root, text holds the content.
+        let rows = db
+            .query("ACCESS p FROM p IN PARA WHERE p -> getParent() == p -> getContaining('MMFDOC')")
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+        let rows = db
+            .query("ACCESS p -> getAttributeValue('text') FROM p IN PARA")
+            .unwrap();
+        let texts: Vec<String> = rows
+            .iter()
+            .map(|r| r.col(0).as_str().unwrap().to_string())
+            .collect();
+        assert!(texts.iter().any(|t| t.contains("Telnet is a protocol")));
+    }
+
+    #[test]
+    fn sgml_attributes_become_object_attributes() {
+        let mut db = setup();
+        let tree = parse_document("<MMFDOC YEAR=\"1994\"><PARA>x</PARA></MMFDOC>").unwrap();
+        let mut txn = db.begin();
+        let loaded = load_document(&mut db, &mut txn, &tree, "IRSObject").unwrap();
+        db.commit(txn).unwrap();
+        assert_eq!(db.get_attr(loaded.root, "YEAR").unwrap(), Value::from("1994"));
+    }
+
+    #[test]
+    fn sibling_navigation_follows_document_order() {
+        let mut db = setup();
+        let tree = parse_document(telnet_example()).unwrap();
+        let mut txn = db.begin();
+        load_document(&mut db, &mut txn, &tree, "IRSObject").unwrap();
+        db.commit(txn).unwrap();
+        // The two PARAs are adjacent siblings.
+        let rows = db
+            .query("ACCESS p1, p2 FROM p1 IN PARA, p2 IN PARA WHERE p1 -> getNext() == p2")
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn unknown_base_class_errors() {
+        let mut db = Database::in_memory();
+        let tree = parse_document("<A>x</A>").unwrap();
+        let mut txn = db.begin();
+        assert!(load_document(&mut db, &mut txn, &tree, "MISSING").is_err());
+        db.abort(txn).unwrap();
+    }
+
+    #[test]
+    fn oid_of_maps_nodes() {
+        let mut db = setup();
+        let tree = parse_document("<A><B>x</B></A>").unwrap();
+        let mut txn = db.begin();
+        let loaded = load_document(&mut db, &mut txn, &tree, "IRSObject").unwrap();
+        db.commit(txn).unwrap();
+        let root_node = tree.root().unwrap();
+        assert_eq!(loaded.oid_of(root_node), Some(loaded.root));
+        let b_node = tree.node(root_node).children[0];
+        let b_oid = loaded.oid_of(b_node).unwrap();
+        assert_eq!(db.get_attr(b_oid, "parent").unwrap(), Value::Oid(loaded.root));
+    }
+}

@@ -1,0 +1,153 @@
+//! The MultiMedia Forum (MMF) document type.
+//!
+//! MMF is the paper's motivating application: "an interactive online
+//! journal developed at GMD-IPSI … MMF-documents are SGML documents
+//! conformant to a proprietary document type definition" (Section 1).
+//! The original DTD is not published; this reconstruction covers every
+//! element the paper mentions (MMFDOC, LOGBOOK, DOCTITLE, ABSTRACT,
+//! PARA) plus the sections and figures any journal DTD needs.
+
+use crate::doc::{DocTree, NodeId};
+use crate::dtd::{parse_dtd, Dtd};
+
+/// The MMF DTD source text.
+pub const MMF_DTD_TEXT: &str = "\
+<!-- MultiMedia Forum document type (reconstruction) -->\n\
+<!ELEMENT MMFDOC (LOGBOOK?, DOCTITLE, ABSTRACT?, (PARA | SECTION | FIGURE)*)>\n\
+<!ATTLIST MMFDOC YEAR CDATA #IMPLIED\n\
+                 CATEGORY CDATA #IMPLIED\n\
+                 ISSUE CDATA #IMPLIED>\n\
+<!ELEMENT LOGBOOK (#PCDATA)>\n\
+<!ELEMENT DOCTITLE (#PCDATA)>\n\
+<!ELEMENT ABSTRACT (#PCDATA)>\n\
+<!ELEMENT SECTION (SECTITLE?, (PARA | SECTION | FIGURE)*)>\n\
+<!ELEMENT SECTITLE (#PCDATA)>\n\
+<!ELEMENT PARA (#PCDATA)>\n\
+<!ELEMENT FIGURE (CAPTION?)>\n\
+<!ATTLIST FIGURE SRC CDATA #REQUIRED>\n\
+<!ELEMENT CAPTION (#PCDATA)>\n";
+
+/// Parse the MMF DTD.
+pub fn mmf_dtd() -> Dtd {
+    parse_dtd(MMF_DTD_TEXT).expect("the bundled MMF DTD parses")
+}
+
+/// The Telnet fragment from the paper's Section 4.3, as source text.
+pub fn telnet_example() -> &'static str {
+    "<MMFDOC>\
+     <LOGBOOK>created 1994 by the editorial team</LOGBOOK>\
+     <DOCTITLE>Telnet</DOCTITLE>\
+     <ABSTRACT></ABSTRACT>\
+     <PARA>Telnet is a protocol for remote terminal sessions</PARA>\
+     <PARA>Telnet enables interactive login across the network</PARA>\
+     </MMFDOC>"
+}
+
+/// Incremental builder for MMF document trees, used by tests and the
+/// corpus generator.
+#[derive(Debug)]
+pub struct MmfBuilder {
+    tree: DocTree,
+    root: NodeId,
+}
+
+impl MmfBuilder {
+    /// Start a document with the given title and document attributes.
+    pub fn new(title: &str, attributes: Vec<(String, String)>) -> Self {
+        let mut tree = DocTree::new();
+        let root = tree.add_element(None, "MMFDOC", attributes);
+        let t = tree.add_element(Some(root), "DOCTITLE", vec![]);
+        tree.add_text(t, title);
+        MmfBuilder { tree, root }
+    }
+
+    /// Add an abstract.
+    pub fn abstract_text(&mut self, text: &str) -> &mut Self {
+        let a = self.tree.add_element(Some(self.root), "ABSTRACT", vec![]);
+        self.tree.add_text(a, text);
+        self
+    }
+
+    /// Add a top-level paragraph; returns its node id.
+    pub fn para(&mut self, text: &str) -> NodeId {
+        Self::para_under(&mut self.tree, self.root, text)
+    }
+
+    /// Open a section (optionally titled) under `parent` (None = root);
+    /// returns the section's node id for nesting.
+    pub fn section(&mut self, parent: Option<NodeId>, title: Option<&str>) -> NodeId {
+        let p = parent.unwrap_or(self.root);
+        let sec = self.tree.add_element(Some(p), "SECTION", vec![]);
+        if let Some(t) = title {
+            let st = self.tree.add_element(Some(sec), "SECTITLE", vec![]);
+            self.tree.add_text(st, t);
+        }
+        sec
+    }
+
+    /// Add a paragraph under a section.
+    pub fn para_in(&mut self, section: NodeId, text: &str) -> NodeId {
+        Self::para_under(&mut self.tree, section, text)
+    }
+
+    fn para_under(tree: &mut DocTree, parent: NodeId, text: &str) -> NodeId {
+        let p = tree.add_element(Some(parent), "PARA", vec![]);
+        tree.add_text(p, text);
+        p
+    }
+
+    /// Finish, returning the tree.
+    pub fn build(self) -> DocTree {
+        self.tree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc::parse_document;
+    use crate::validate::validate;
+
+    #[test]
+    fn dtd_parses_and_covers_paper_elements() {
+        let dtd = mmf_dtd();
+        for name in ["MMFDOC", "LOGBOOK", "DOCTITLE", "ABSTRACT", "PARA"] {
+            assert!(dtd.element(name).is_some(), "{name} declared");
+        }
+    }
+
+    #[test]
+    fn telnet_example_is_valid_mmf() {
+        let tree = parse_document(telnet_example()).unwrap();
+        validate(&mmf_dtd(), &tree).unwrap();
+        let root = tree.root().unwrap();
+        assert!(tree.subtree_text(root).contains("Telnet is a protocol"));
+    }
+
+    #[test]
+    fn builder_produces_valid_documents() {
+        let mut b = MmfBuilder::new("WWW Special", vec![("YEAR".into(), "1994".into())]);
+        b.abstract_text("All about the web");
+        b.para("The WWW grows quickly");
+        let sec = b.section(None, Some("Background"));
+        b.para_in(sec, "Hypertext systems predate the web");
+        let nested = b.section(Some(sec), None);
+        b.para_in(nested, "Deeply nested content");
+        let tree = b.build();
+        validate(&mmf_dtd(), &tree).unwrap();
+        let root = tree.root().unwrap();
+        assert_eq!(tree.node(root).attribute("YEAR"), Some("1994"));
+        assert!(tree.subtree_text(root).contains("Deeply nested"));
+    }
+
+    #[test]
+    fn builder_round_trips_through_serialization() {
+        let mut b = MmfBuilder::new("T", vec![]);
+        b.para("hello world");
+        let tree = b.build();
+        let text = tree.serialize(tree.root().unwrap());
+        let reparsed = parse_document(&text).unwrap();
+        assert_eq!(tree, reparsed);
+        validate(&mmf_dtd(), &reparsed).unwrap();
+    }
+}

@@ -1,0 +1,304 @@
+//! Content-model validation of document trees against a DTD.
+//!
+//! The matcher computes, for a content particle and a child sequence, the
+//! set of positions the particle can end at (Glushkov-style NFA
+//! simulation over position sets) — correct for ambiguous models and
+//! immune to the exponential blowups of naive backtracking.
+
+use std::collections::BTreeSet;
+
+use crate::doc::{DocTree, NodeContent, NodeId};
+use crate::dtd::{AttDefault, ContentSpec, Cp, CpKind, Dtd, Occurrence};
+use crate::error::{Result, SgmlError};
+
+/// One item of an element's content, as seen by the matcher.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Item {
+    Elem(String),
+    Text,
+}
+
+/// Validate `tree` against `dtd`: every element must be declared, its
+/// children must match its content model, and its attributes must be
+/// declared (with `#REQUIRED` ones present).
+pub fn validate(dtd: &Dtd, tree: &DocTree) -> Result<()> {
+    for id in tree.element_ids() {
+        validate_element(dtd, tree, id)?;
+    }
+    Ok(())
+}
+
+fn validate_element(dtd: &Dtd, tree: &DocTree, id: NodeId) -> Result<()> {
+    let node = tree.node(id);
+    let name = node.name().expect("element_ids yields elements");
+    let decl = dtd.element(name).ok_or_else(|| SgmlError::Invalid {
+        element: name.to_string(),
+        reason: "element type not declared in the DTD".to_string(),
+    })?;
+
+    // Attributes.
+    if let NodeContent::Element { attributes, .. } = &node.content {
+        for (att, _) in attributes {
+            if !decl.attributes.iter().any(|d| d.name.eq_ignore_ascii_case(att)) {
+                return Err(SgmlError::Invalid {
+                    element: name.to_string(),
+                    reason: format!("undeclared attribute {att}"),
+                });
+            }
+        }
+        for d in &decl.attributes {
+            if matches!(d.default, AttDefault::Required)
+                && !attributes.iter().any(|(a, _)| a.eq_ignore_ascii_case(&d.name))
+            {
+                return Err(SgmlError::Invalid {
+                    element: name.to_string(),
+                    reason: format!("missing required attribute {}", d.name),
+                });
+            }
+        }
+    }
+
+    // Content.
+    let items: Vec<Item> = node
+        .children
+        .iter()
+        .map(|&c| match &tree.node(c).content {
+            NodeContent::Element { name, .. } => Item::Elem(name.clone()),
+            NodeContent::Text(_) => Item::Text,
+        })
+        .collect();
+
+    match &decl.content {
+        ContentSpec::Any => {
+            // Any mix, but element children must still be declared types.
+            for item in &items {
+                if let Item::Elem(child) = item {
+                    if dtd.element(child).is_none() {
+                        return Err(SgmlError::Invalid {
+                            element: name.to_string(),
+                            reason: format!("undeclared child element {child}"),
+                        });
+                    }
+                }
+            }
+            Ok(())
+        }
+        ContentSpec::Empty => {
+            if items.is_empty() {
+                Ok(())
+            } else {
+                Err(SgmlError::Invalid {
+                    element: name.to_string(),
+                    reason: "declared EMPTY but has content".to_string(),
+                })
+            }
+        }
+        ContentSpec::Model(cp) => {
+            let ends = match_cp(cp, &items, &BTreeSet::from([0usize]));
+            if ends.contains(&items.len()) {
+                Ok(())
+            } else {
+                Err(SgmlError::Invalid {
+                    element: name.to_string(),
+                    reason: format!(
+                        "children {:?} do not match the content model",
+                        items
+                            .iter()
+                            .map(|i| match i {
+                                Item::Elem(n) => n.as_str(),
+                                Item::Text => "#PCDATA",
+                            })
+                            .collect::<Vec<_>>()
+                    ),
+                })
+            }
+        }
+    }
+}
+
+/// Positions reachable after matching `cp` (with its occurrence) starting
+/// from any position in `starts`.
+fn match_cp(cp: &Cp, items: &[Item], starts: &BTreeSet<usize>) -> BTreeSet<usize> {
+    // `#PCDATA` is always optional and repeatable per SGML semantics,
+    // whatever indicator the model carries.
+    let occ = if matches!(cp.kind, CpKind::PcData) {
+        Occurrence::Star
+    } else {
+        cp.occ
+    };
+    let step = |from: &BTreeSet<usize>| -> BTreeSet<usize> { match_once(&cp.kind, items, from) };
+    match occ {
+        Occurrence::One => step(starts),
+        Occurrence::Opt => {
+            let mut out = starts.clone();
+            out.extend(step(starts));
+            out
+        }
+        Occurrence::Star | Occurrence::Plus => {
+            let mut out: BTreeSet<usize> = if occ == Occurrence::Star {
+                starts.clone()
+            } else {
+                BTreeSet::new()
+            };
+            let mut frontier = step(starts);
+            while !frontier.is_subset(&out) {
+                out.extend(frontier.iter().copied());
+                frontier = step(&frontier);
+            }
+            out
+        }
+    }
+}
+
+/// One application of the particle kind (ignoring its occurrence).
+fn match_once(kind: &CpKind, items: &[Item], starts: &BTreeSet<usize>) -> BTreeSet<usize> {
+    let mut out = BTreeSet::new();
+    match kind {
+        CpKind::Element(name) => {
+            for &s in starts {
+                if matches!(items.get(s), Some(Item::Elem(n)) if n == name) {
+                    out.insert(s + 1);
+                }
+            }
+        }
+        CpKind::PcData => {
+            for &s in starts {
+                if matches!(items.get(s), Some(Item::Text)) {
+                    out.insert(s + 1);
+                }
+            }
+        }
+        CpKind::Seq(parts) => {
+            let mut positions = starts.clone();
+            for p in parts {
+                positions = match_cp(p, items, &positions);
+                if positions.is_empty() {
+                    break;
+                }
+            }
+            out = positions;
+        }
+        CpKind::Choice(parts) => {
+            for p in parts {
+                out.extend(match_cp(p, items, starts));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc::parse_document;
+    use crate::dtd::parse_dtd;
+
+    fn dtd() -> Dtd {
+        parse_dtd(
+            "<!ELEMENT DOC (TITLE, ABSTRACT?, (PARA | SEC)+)>\
+             <!ATTLIST DOC YEAR CDATA #REQUIRED>\
+             <!ELEMENT TITLE (#PCDATA)>\
+             <!ELEMENT ABSTRACT (#PCDATA)>\
+             <!ELEMENT SEC (TITLE, PARA*)>\
+             <!ELEMENT PARA (#PCDATA)>\
+             <!ELEMENT BR EMPTY>",
+        )
+        .unwrap()
+    }
+
+    fn check(doc: &str) -> Result<()> {
+        validate(&dtd(), &parse_document(doc).unwrap())
+    }
+
+    #[test]
+    fn valid_document_passes() {
+        check(
+            "<DOC YEAR=\"1994\"><TITLE>T</TITLE><ABSTRACT>A</ABSTRACT>\
+             <PARA>one</PARA><SEC><TITLE>s</TITLE><PARA>two</PARA></SEC></DOC>",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn optional_elements_may_be_absent() {
+        check("<DOC YEAR=\"1994\"><TITLE>T</TITLE><PARA>x</PARA></DOC>").unwrap();
+    }
+
+    #[test]
+    fn missing_required_child_fails() {
+        let e = check("<DOC YEAR=\"1994\"><PARA>x</PARA></DOC>").unwrap_err();
+        assert!(matches!(e, SgmlError::Invalid { .. }));
+    }
+
+    #[test]
+    fn wrong_order_fails() {
+        assert!(check("<DOC YEAR=\"1994\"><PARA>x</PARA><TITLE>T</TITLE></DOC>").is_err());
+    }
+
+    #[test]
+    fn plus_requires_at_least_one() {
+        assert!(check("<DOC YEAR=\"1994\"><TITLE>T</TITLE></DOC>").is_err());
+    }
+
+    #[test]
+    fn undeclared_element_fails() {
+        assert!(check("<DOC YEAR=\"1994\"><TITLE>T</TITLE><NOPE>x</NOPE></DOC>").is_err());
+    }
+
+    #[test]
+    fn required_attribute_enforced() {
+        assert!(check("<DOC><TITLE>T</TITLE><PARA>x</PARA></DOC>").is_err());
+        assert!(check("<DOC BOGUS=\"y\" YEAR=\"1994\"><TITLE>T</TITLE><PARA>x</PARA></DOC>").is_err());
+    }
+
+    #[test]
+    fn empty_element_must_be_empty() {
+        let d = parse_dtd("<!ELEMENT A (BR)> <!ELEMENT BR EMPTY>").unwrap();
+        let t = parse_document("<A><BR></BR></A>").unwrap();
+        validate(&d, &t).unwrap();
+        let t = parse_document("<A><BR>text</BR></A>").unwrap();
+        assert!(validate(&d, &t).is_err());
+    }
+
+    #[test]
+    fn pcdata_is_optional_and_repeatable() {
+        let d = parse_dtd("<!ELEMENT P (#PCDATA)>").unwrap();
+        validate(&d, &parse_document("<P></P>").unwrap()).unwrap();
+        validate(&d, &parse_document("<P>some text</P>").unwrap()).unwrap();
+    }
+
+    #[test]
+    fn mixed_content() {
+        let d = parse_dtd("<!ELEMENT P (#PCDATA | EM)*> <!ELEMENT EM (#PCDATA)>").unwrap();
+        validate(&d, &parse_document("<P>a <EM>b</EM> c</P>").unwrap()).unwrap();
+    }
+
+    #[test]
+    fn any_allows_declared_mix_only() {
+        let d = parse_dtd("<!ELEMENT A ANY> <!ELEMENT B (#PCDATA)>").unwrap();
+        validate(&d, &parse_document("<A>x<B>y</B>z</A>").unwrap()).unwrap();
+        // C is not declared anywhere: both as child of ANY and on its own.
+        assert!(validate(&d, &parse_document("<A><C>y</C></A>").unwrap()).is_err());
+    }
+
+    #[test]
+    fn ambiguous_model_matches_correctly() {
+        // (A?, A) requires one or two A's — naive greedy matching of A?
+        // would wrongly reject a single A.
+        let d = parse_dtd("<!ELEMENT R (A?, A)> <!ELEMENT A EMPTY>").unwrap();
+        validate(&d, &parse_document("<R><A></A></R>").unwrap()).unwrap();
+        validate(&d, &parse_document("<R><A></A><A></A></R>").unwrap()).unwrap();
+        assert!(validate(&d, &parse_document("<R></R>").unwrap()).is_err());
+        assert!(
+            validate(&d, &parse_document("<R><A></A><A></A><A></A></R>").unwrap()).is_err()
+        );
+    }
+
+    #[test]
+    fn nested_star_terminates() {
+        // ((A*)*)* must not loop forever on the empty-match fixpoint.
+        let d = parse_dtd("<!ELEMENT R (((A*)*)*)> <!ELEMENT A EMPTY>").unwrap();
+        validate(&d, &parse_document("<R></R>").unwrap()).unwrap();
+        validate(&d, &parse_document("<R><A></A><A></A></R>").unwrap()).unwrap();
+    }
+}

@@ -1,0 +1,80 @@
+//! Derivation-scheme tuning: reconstructs the paper's Figure 4 example
+//! and shows how the choice of deriveIRSValue implementation changes
+//! which documents a content query returns.
+//!
+//! ```text
+//! cargo run -p coupling-examples --example derivation_tuning
+//! ```
+
+use coupling::{CollectionSetup, DerivationScheme, DocumentSystem};
+
+/// Equal-length paragraph with the given topical terms injected.
+fn para(terms: &[&str]) -> String {
+    let mut words: Vec<String> = (0..20).map(|i| format!("filler{i:02}")).collect();
+    for (i, t) in terms.iter().enumerate() {
+        words[3 + 5 * i] = (*t).to_string();
+    }
+    format!("<PARA>{}</PARA>", words.join(" "))
+}
+
+fn main() {
+    let mut sys = DocumentSystem::new();
+
+    // Figure 4's documents: M2 contains the only paragraph relevant to
+    // both WWW and NII; M3 carries the terms in separate paragraphs; M4
+    // carries one term twice; M1 only WWW.
+    let m_bodies = [
+        format!("{}{}{}", para(&["www"]), para(&["www"]), para(&[])),
+        format!("{}{}{}", para(&["www", "nii"]), para(&[]), para(&[])),
+        format!("{}{}", para(&["www"]), para(&["nii"])),
+        format!("{}{}{}", para(&["nii"]), para(&["nii"]), para(&[])),
+    ];
+    let mut roots = Vec::new();
+    for (i, body) in m_bodies.iter().enumerate() {
+        let doc = format!("<MMFDOC><DOCTITLE>M{}</DOCTITLE>{}</MMFDOC>", i + 1, body);
+        roots.push(sys.load_sgml(&doc).expect("figure 4 doc loads").root);
+    }
+
+    // Only paragraphs are represented in the IRS collection; documents
+    // must derive their values.
+    sys.create_collection("collPara", CollectionSetup::default())
+        .expect("fresh");
+    sys.index_collection("collPara", "ACCESS p FROM p IN PARA")
+        .expect("indexed");
+
+    let query = "#and(www nii)";
+    println!("query: {query}\n");
+    println!(
+        "{:<18} {:>7} {:>7} {:>7} {:>7}",
+        "scheme", "M1", "M2", "M3", "M4"
+    );
+    let schemes = [
+        ("max [CST92]", DerivationScheme::Max),
+        ("avg [CST92]", DerivationScheme::Avg),
+        ("sum", DerivationScheme::Sum),
+        ("length-weighted", DerivationScheme::LengthWeighted),
+        ("subquery-aware", DerivationScheme::SubqueryAware),
+    ];
+    for (label, scheme) in schemes {
+        let values = sys
+            .with_collection_and_db("collPara", |db, coll| {
+                coll.set_derivation(scheme.clone());
+                let ctx = db.method_ctx();
+                roots
+                    .iter()
+                    .map(|&r| coll.get_irs_value(&ctx, query, r).expect("derives"))
+                    .collect::<Vec<f64>>()
+            })
+            .expect("collection exists");
+        println!(
+            "{:<18} {:>7.3} {:>7.3} {:>7.3} {:>7.3}",
+            label, values[0], values[1], values[2], values[3]
+        );
+    }
+
+    println!(
+        "\nthe paper's point (Section 4.5.2): max cannot separate M3 (relevant to \
+         \nboth terms, in different paragraphs) from M4 (one term twice); the \
+         \nsubquery-aware scheme identifies the per-term subqueries and recovers M3."
+    );
+}

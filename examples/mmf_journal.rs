@@ -1,0 +1,126 @@
+//! The MultiMedia Forum scenario: a generated journal corpus with
+//! overlapping collections, different text modes, derived document
+//! ranking, and deferred update propagation — the paper's full workflow.
+//!
+//! ```text
+//! cargo run -p coupling-examples --example mmf_journal
+//! ```
+
+use coupling::propagate::{PendingOp, PropagationStrategy, Propagator};
+use coupling::{CollectionSetup, DerivationScheme, DocumentSystem, TextMode};
+use coupling_examples::title_of;
+use oodb::Value;
+use sgml::gen::topic_term;
+use sgml::{CorpusConfig, CorpusGenerator};
+
+fn main() {
+    // Generate a small journal (the stand-in for the proprietary MMF
+    // corpus; see DESIGN.md).
+    let mut generator = CorpusGenerator::new(CorpusConfig {
+        docs: 20,
+        topics: 6,
+        vocabulary: 600,
+        ..CorpusConfig::default()
+    });
+    let corpus = generator.generate_corpus();
+
+    let mut sys = DocumentSystem::new();
+    for doc in &corpus {
+        sys.load_generated(doc).expect("documents load");
+    }
+    println!(
+        "loaded {} documents, {} objects total",
+        corpus.len(),
+        sys.db().store().len()
+    );
+
+    // Overlapping collections with different text representations
+    // (paper Section 4.2: the textMode parameter).
+    sys.create_collection("collPara", CollectionSetup::default())
+        .expect("fresh");
+    sys.index_collection("collPara", "ACCESS p FROM p IN PARA")
+        .expect("paragraphs indexed");
+    sys.create_collection(
+        "collTitles",
+        CollectionSetup::with_text_mode(TextMode::TitlesOnly),
+    )
+    .expect("fresh");
+    sys.index_collection("collTitles", "ACCESS d FROM d IN MMFDOC")
+        .expect("titles indexed");
+    println!("collections: {:?}\n", sys.collection_names());
+
+    // Content search over titles vs full paragraphs.
+    let topic = topic_term(0);
+    for coll in ["collPara", "collTitles"] {
+        let n = sys
+            .with_collection(coll, |c| {
+                c.get_irs_result(&topic).expect("query evaluates").len()
+            })
+            .expect("collection exists");
+        println!("'{topic}' matches {n} IRS documents in {coll}");
+    }
+
+    // Derived document ranking with the subquery-aware scheme.
+    sys.with_collection("collPara", |c| {
+        c.set_derivation(DerivationScheme::SubqueryAware)
+    })
+    .expect("collection exists");
+    let query = format!("#and({} {})", topic_term(0), topic_term(1));
+    // Ranking straight from the query language: ORDER BY a derived IRS
+    // value, LIMIT to the top five.
+    let ranking = sys
+        .query(&format!(
+            "ACCESS d, d -> getIRSValue(collPara, '{query}') FROM d IN MMFDOC \
+             ORDER BY d -> getIRSValue(collPara, '{query}') DESC LIMIT 5"
+        ))
+        .expect("ranking query runs");
+    println!("\ntop documents for {query} (derived from paragraph values):");
+    for row in &ranking {
+        let oid = row.oid().expect("object row");
+        let score = row.col(1).as_f64().unwrap_or(0.0);
+        println!("  {:.3}  {}", score, title_of(sys.db(), oid));
+    }
+
+    // The editorial team updates a paragraph; propagation is deferred
+    // and forced before the next query (paper Section 4.6).
+    let some_para = sys.query("ACCESS p FROM p IN PARA").expect("query runs")[0]
+        .oid()
+        .expect("object row");
+    let mut txn = sys.db_mut().begin();
+    sys.db_mut()
+        .set_attr(
+            &mut txn,
+            some_para,
+            "text",
+            Value::from(format!("editorial correction mentioning {}", topic_term(5)).as_str()),
+        )
+        .expect("update applies");
+    sys.db_mut().commit(txn).expect("commit");
+
+    let mut propagator = Propagator::new(PropagationStrategy::Deferred);
+    sys.with_collection_and_db("collPara", |db, coll| {
+        let ctx = db.method_ctx();
+        propagator
+            .record(&ctx, coll, PendingOp::Modify(some_para))
+            .expect("recorded");
+        println!(
+            "\nrecorded 1 deferred update (pending: {})",
+            propagator.pending().len()
+        );
+        // The next information-need query forces the flush.
+        propagator.before_query(&ctx, coll).expect("flushed");
+        let hits = coll.get_irs_result(&topic_term(5)).expect("query evaluates");
+        println!(
+            "after forced propagation, '{}' also matches the corrected paragraph: {}",
+            topic_term(5),
+            hits.contains_key(&some_para)
+        );
+    })
+    .expect("collection exists");
+
+    let (stats, buf) = sys
+        .with_collection("collPara", |c| (c.stats(), c.buffer_stats()))
+        .expect("collection exists");
+    println!("\ncoupling stats: {stats:?}");
+    println!("buffer stats:   {buf:?}");
+}

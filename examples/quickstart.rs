@@ -1,0 +1,89 @@
+//! Quickstart: load SGML documents, couple an IRS collection, and run
+//! the paper's mixed structure/content queries.
+//!
+//! ```text
+//! cargo run -p coupling-examples --example quickstart
+//! ```
+
+use coupling::{CollectionSetup, DocumentSystem};
+use sgml::mmf::telnet_example;
+
+fn main() {
+    // 1. A fresh integrated system: OODBMS + coupling classes.
+    let mut sys = DocumentSystem::new();
+
+    // 2. Load SGML documents. Every element becomes a database object;
+    //    element-type classes (MMFDOC, PARA, …) appear automatically.
+    sys.load_sgml(telnet_example()).expect("telnet document loads");
+    sys.load_sgml(
+        "<MMFDOC YEAR=\"1994\"><DOCTITLE>Networking special</DOCTITLE>\
+         <PARA>The WWW is growing explosively across the internet</PARA>\
+         <PARA>The NII initiative will connect the WWW to every home</PARA>\
+         </MMFDOC>",
+    )
+    .expect("networking document loads");
+
+    // 3. Create an IRS collection whose members are chosen by a
+    //    specification query — here: every paragraph.
+    sys.create_collection("collPara", CollectionSetup::default())
+        .expect("collection created");
+    let indexed = sys
+        .index_collection("collPara", "ACCESS p FROM p IN PARA")
+        .expect("indexing succeeds");
+    println!("indexed {indexed} paragraphs into collPara\n");
+
+    // 4. The paper's first example query (Section 4.4): content-based
+    //    selection inside the OODBMS query language.
+    let rows = sys
+        .query(
+            "ACCESS p, p -> getText(1), p -> getIRSValue(collPara, 'WWW') \
+             FROM p IN PARA \
+             WHERE p -> getIRSValue(collPara, 'WWW') > 0.45",
+        )
+        .expect("mixed query runs");
+    println!("paragraphs relevant to 'WWW':");
+    for row in &rows {
+        println!(
+            "  {} (IRS value {:.3}): {}",
+            row.col(0),
+            row.col(2).as_f64().unwrap_or(0.0),
+            row.col(1).as_str().unwrap_or("")
+        );
+    }
+
+    // 5. The paper's second example: structure + content join.
+    let rows = sys
+        .query(
+            "ACCESS d \
+             FROM d IN MMFDOC, p1 IN PARA, p2 IN PARA \
+             WHERE d -> getAttributeValue('YEAR') = '1994' AND \
+             p1 -> getNext() == p2 AND \
+             p1 -> getContaining('MMFDOC') == d AND \
+             p1 -> getIRSValue(collPara, 'WWW') > 0.4 AND \
+             p2 -> getIRSValue(collPara, 'NII') > 0.4",
+        )
+        .expect("join query runs");
+    println!("\n1994 documents with a WWW paragraph followed by an NII paragraph:");
+    for row in &rows {
+        let root = row.oid().expect("object row");
+        println!("  {}", coupling_examples::title_of(sys.db(), root));
+    }
+
+    // 6. Documents are NOT in collPara — getIRSValue derives their value
+    //    from paragraph values (deriveIRSValue, paper Section 4.5.2).
+    let rows = sys
+        .query(
+            "ACCESS d, d -> getIRSValue(collPara, 'telnet') \
+             FROM d IN MMFDOC",
+        )
+        .expect("derivation query runs");
+    println!("\nderived document-level relevance to 'telnet':");
+    for row in &rows {
+        let root = row.oid().expect("object row");
+        println!(
+            "  {} -> {:.3}",
+            coupling_examples::title_of(sys.db(), root),
+            row.col(1).as_f64().unwrap_or(0.0)
+        );
+    }
+}

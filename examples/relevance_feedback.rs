@@ -1,0 +1,84 @@
+//! Relevance feedback (paper Section 6 open issue): the user marks
+//! results as relevant; the query is expanded Rocchio-style and re-run —
+//! entirely through the ordinary query path, because expanded queries
+//! are just IRS query strings.
+//!
+//! ```text
+//! cargo run -p coupling-examples --example relevance_feedback
+//! ```
+
+use coupling::{CollectionSetup, DocumentSystem};
+use irs::feedback::{expand_query, FeedbackConfig};
+
+fn main() {
+    let mut sys = DocumentSystem::new();
+    let docs = [
+        ("Remote access", "telnet gives terminal access to remote hosts"),
+        ("Unix tools", "telnet terminal emulation for unix systems"),
+        ("Multiplexers", "terminal multiplexers improve programmer productivity"),
+        ("Web", "the www links hypertext documents across the planet"),
+        ("Databases", "database transactions need recovery logs"),
+        ("Gopher", "gopher menus predate the web by years"),
+    ];
+    for (title, text) in docs {
+        sys.load_sgml(&format!(
+            "<MMFDOC><DOCTITLE>{title}</DOCTITLE><PARA>{text}</PARA></MMFDOC>"
+        ))
+        .expect("document loads");
+    }
+    sys.create_collection("collPara", CollectionSetup::default())
+        .expect("collection created");
+    sys.index_collection("collPara", "ACCESS p FROM p IN PARA")
+        .expect("indexed");
+
+    // Initial query.
+    let initial = "telnet";
+    let hits = sys
+        .with_collection("collPara", |c| c.get_irs_result(initial).expect("query"))
+        .expect("collection exists");
+    println!("initial query {initial:?}: {} hits", hits.len());
+
+    // The user marks the two telnet paragraphs as relevant. Feedback
+    // needs the IRS-level document keys — the OIDs of those paragraphs.
+    let mut relevant: Vec<String> = hits.keys().map(|oid| oid.to_string()).collect();
+    relevant.sort();
+    let relevant_refs: Vec<&str> = relevant.iter().map(String::as_str).collect();
+
+    let expanded = sys
+        .with_collection("collPara", |c| {
+            expand_query(c.irs(), initial, &relevant_refs, &FeedbackConfig::default())
+                .expect("expansion succeeds")
+        })
+        .expect("collection exists");
+    println!("expanded query: {expanded}");
+
+    // Re-run through the coupling: the terminal-multiplexer paragraph —
+    // unreachable by the literal query — now surfaces.
+    let before = sys
+        .query(&format!(
+            "ACCESS p -> getText(1) FROM p IN PARA \
+             WHERE p -> getIRSValue(collPara, '{initial}') > 0.4"
+        ))
+        .expect("query runs");
+    let after = sys
+        .query(&format!(
+            "ACCESS p -> getText(1), p -> getIRSValue(collPara, '{q}') FROM p IN PARA \
+             WHERE p -> getIRSValue(collPara, '{q}') > 0.4 \
+             ORDER BY p -> getIRSValue(collPara, '{q}') DESC",
+            q = expanded.replace('\'', "''")
+        ))
+        .expect("expanded query runs");
+
+    println!("\nbefore feedback ({} paragraphs):", before.len());
+    for row in &before {
+        println!("  {}", row.col(0).as_str().unwrap_or(""));
+    }
+    println!("\nafter feedback ({} paragraphs):", after.len());
+    for row in &after {
+        println!(
+            "  {:.3}  {}",
+            row.col(1).as_f64().unwrap_or(0.0),
+            row.col(0).as_str().unwrap_or("")
+        );
+    }
+}

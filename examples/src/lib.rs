@@ -1,0 +1,44 @@
+//! Shared helpers for the runnable examples.
+
+use oodb::{Database, Oid, Value};
+
+/// The DOCTITLE text of a document root, for display.
+pub fn title_of(db: &Database, root: Oid) -> String {
+    let Ok(children) = db.get_attr(root, "children") else {
+        return root.to_string();
+    };
+    let Some(kids) = children.as_list() else {
+        return root.to_string();
+    };
+    for kid in kids {
+        let Some(oid) = kid.as_oid() else { continue };
+        let Ok(obj) = db.object(oid) else { continue };
+        if db.schema().name(obj.class) == "DOCTITLE" {
+            if let Some(Value::Str(t)) = obj.attr_ref("text") {
+                return t.clone();
+            }
+        }
+    }
+    root.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn title_of_finds_doctitle() {
+        let mut sys = coupling::DocumentSystem::new();
+        let loaded = sys
+            .load_sgml("<MMFDOC><DOCTITLE>Telnet</DOCTITLE><PARA>x</PARA></MMFDOC>")
+            .unwrap();
+        assert_eq!(title_of(sys.db(), loaded.root), "Telnet");
+    }
+
+    #[test]
+    fn title_of_falls_back_to_oid() {
+        let mut sys = coupling::DocumentSystem::new();
+        let loaded = sys.load_sgml("<MMFDOC><PARA>x</PARA></MMFDOC>").unwrap();
+        assert_eq!(title_of(sys.db(), loaded.root), loaded.root.to_string());
+    }
+}

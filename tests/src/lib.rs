@@ -1,0 +1,26 @@
+//! Helpers shared by the cross-crate integration tests.
+
+use coupling::{CollectionSetup, DocumentSystem};
+
+/// A small two-issue journal with a paragraph collection, used by several
+/// integration tests.
+pub fn two_issue_system() -> DocumentSystem {
+    let mut sys = DocumentSystem::new();
+    sys.load_sgml(
+        "<MMFDOC YEAR=\"1994\"><DOCTITLE>Telnet</DOCTITLE>\
+         <PARA>telnet is a protocol for remote terminal sessions</PARA>\
+         <PARA>telnet enables interactive login across networks</PARA></MMFDOC>",
+    )
+    .expect("issue one loads");
+    sys.load_sgml(
+        "<MMFDOC YEAR=\"1995\"><DOCTITLE>Information highways</DOCTITLE>\
+         <PARA>the www connects hypertext documents worldwide</PARA>\
+         <PARA>the nii will bring the www into every home</PARA></MMFDOC>",
+    )
+    .expect("issue two loads");
+    sys.create_collection("collPara", CollectionSetup::default())
+        .expect("collection created");
+    sys.index_collection("collPara", "ACCESS p FROM p IN PARA")
+        .expect("indexing succeeds");
+    sys
+}

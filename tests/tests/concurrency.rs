@@ -1,0 +1,115 @@
+//! Multi-user access: the paper's requirement (2) includes "managing
+//! structured data in multi-user environments". Queries take `&self`;
+//! the coupling's collection state (buffers) sits behind an `RwLock`, so
+//! concurrent readers are safe — these tests exercise that under real
+//! threads.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use coupling::{CollectionSetup, DocumentSystem};
+use sgml::gen::topic_term;
+use sgml::{CorpusConfig, CorpusGenerator};
+
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn system_is_send_and_sync() {
+    assert_send_sync::<DocumentSystem>();
+    assert_send_sync::<oodb::Database>();
+    assert_send_sync::<irs::IrsCollection>();
+    assert_send_sync::<coupling::Collection>();
+}
+
+fn corpus_system() -> DocumentSystem {
+    let mut generator = CorpusGenerator::new(CorpusConfig {
+        docs: 12,
+        topics: 6,
+        vocabulary: 400,
+        ..CorpusConfig::default()
+    });
+    let mut sys = DocumentSystem::new();
+    for doc in generator.generate_corpus() {
+        sys.load_generated(&doc).unwrap();
+    }
+    sys.create_collection("coll", CollectionSetup::default()).unwrap();
+    sys.index_collection("coll", "ACCESS p FROM p IN PARA").unwrap();
+    sys
+}
+
+#[test]
+fn concurrent_mixed_queries_agree_with_serial_execution() {
+    let sys = corpus_system();
+
+    // Serial baseline.
+    let serial: Vec<usize> = (0..6)
+        .map(|t| {
+            sys.query(&format!(
+                "ACCESS p FROM p IN PARA WHERE p -> getIRSValue(coll, '{}') > 0.45",
+                topic_term(t)
+            ))
+            .unwrap()
+            .len()
+        })
+        .collect();
+
+    // Concurrent: 6 threads, each hammering one topic query 10 times.
+    let failures = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for (t, &expected) in serial.iter().enumerate() {
+            let sys = &sys;
+            let failures = &failures;
+            scope.spawn(move || {
+                for _ in 0..10 {
+                    let got = sys
+                        .query(&format!(
+                            "ACCESS p FROM p IN PARA WHERE p -> getIRSValue(coll, '{}') > 0.45",
+                            topic_term(t)
+                        ))
+                        .unwrap()
+                        .len();
+                    if got != expected {
+                        failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(failures.load(Ordering::Relaxed), 0);
+
+    // The buffer served the repeats: at most one IRS call per topic.
+    let calls = sys.with_collection("coll", |c| c.stats().irs_calls).unwrap();
+    assert!(calls <= 6 + 6, "60 probes per topic collapse to ~1 IRS call each, got {calls}");
+}
+
+#[test]
+fn concurrent_reads_on_different_collections_do_not_interfere() {
+    let mut sys = corpus_system();
+    sys.create_collection("collDoc", CollectionSetup::default()).unwrap();
+    sys.index_collection("collDoc", "ACCESS d FROM d IN MMFDOC").unwrap();
+    let sys = &sys;
+
+    std::thread::scope(|scope| {
+        let a = scope.spawn(move || {
+            (0..20)
+                .map(|i| {
+                    sys.with_collection("coll", |c| {
+                        c.get_irs_result(&topic_term(i % 6)).unwrap().len()
+                    })
+                    .unwrap()
+                })
+                .sum::<usize>()
+        });
+        let b = scope.spawn(move || {
+            (0..20)
+                .map(|i| {
+                    sys.with_collection("collDoc", |c| {
+                        c.get_irs_result(&topic_term(i % 6)).unwrap().len()
+                    })
+                    .unwrap()
+                })
+                .sum::<usize>()
+        });
+        assert!(a.join().unwrap() > 0);
+        assert!(b.join().unwrap() > 0);
+    });
+}

@@ -1,0 +1,143 @@
+//! End-to-end integration: SGML text → DTD validation → OODBMS objects →
+//! IRS indexing → mixed queries — the complete pipeline of the paper's
+//! Figure 2.
+
+use coupling::{CollectionSetup, DocumentSystem, TextMode};
+use oodb::Value;
+use sgml::mmf::{mmf_dtd, telnet_example};
+use system_tests::two_issue_system;
+
+#[test]
+fn sgml_to_mixed_query_pipeline() {
+    let sys = two_issue_system();
+
+    // Structural query only.
+    let rows = sys
+        .query("ACCESS d FROM d IN MMFDOC WHERE d -> getAttributeValue('YEAR') = '1994'")
+        .unwrap();
+    assert_eq!(rows.len(), 1);
+
+    // Content query only (through the coupling collection).
+    let telnet_paras = sys
+        .with_collection("collPara", |c| {
+            c.get_irs_result("telnet").unwrap().len()
+        })
+        .unwrap();
+    assert_eq!(telnet_paras, 2);
+
+    // Mixed query combining both, in the OODBMS query language.
+    let rows = sys
+        .query(
+            "ACCESS p FROM p IN PARA, d IN MMFDOC WHERE \
+             p -> getContaining('MMFDOC') == d AND \
+             d -> getAttributeValue('YEAR') = '1994' AND \
+             p -> getIRSValue(collPara, 'telnet') > 0.45",
+        )
+        .unwrap();
+    assert_eq!(rows.len(), 2, "both telnet paragraphs are in the 1994 issue");
+}
+
+#[test]
+fn validated_pipeline_with_mmf_dtd() {
+    let mut sys = DocumentSystem::new();
+    let dtd = mmf_dtd();
+    let loaded = sys.load_sgml_validated(telnet_example(), &dtd).unwrap();
+    sys.create_collection("c", CollectionSetup::default()).unwrap();
+    sys.index_collection("c", "ACCESS p FROM p IN PARA").unwrap();
+    // Document-level derivation works right after loading.
+    let value = sys
+        .with_collection_and_db("c", |db, coll| {
+            let ctx = db.method_ctx();
+            coll.get_irs_value(&ctx, "telnet", loaded.root).unwrap()
+        })
+        .unwrap();
+    assert!(value > 0.4, "derived document value {value}");
+}
+
+#[test]
+fn multiple_text_modes_give_different_collections() {
+    let mut sys = two_issue_system();
+    sys.create_collection("titles", CollectionSetup::with_text_mode(TextMode::TitlesOnly))
+        .unwrap();
+    sys.index_collection("titles", "ACCESS d FROM d IN MMFDOC").unwrap();
+
+    // 'telnet' appears in a DOCTITLE, so the titles collection finds the
+    // document; 'protocol' appears only in paragraph text.
+    let by_title = sys
+        .with_collection("titles", |c| c.get_irs_result("telnet").unwrap().len())
+        .unwrap();
+    assert_eq!(by_title, 1);
+    let by_title = sys
+        .with_collection("titles", |c| c.get_irs_result("protocol").unwrap().len())
+        .unwrap();
+    assert_eq!(by_title, 0, "titles collection does not see body text");
+}
+
+#[test]
+fn index_access_path_combines_with_irs_predicate() {
+    let mut sys = two_issue_system();
+    sys.db_mut()
+        .create_index("MMFDOC", "YEAR", oodb::index::IndexKind::Hash)
+        .unwrap();
+    let (rows, plan) = sys
+        .query_explain(
+            "ACCESS d FROM d IN MMFDOC WHERE \
+             d -> getAttributeValue('YEAR') = '1994' AND \
+             d -> getIRSValue(collPara, 'telnet') > 0.45",
+        )
+        .unwrap();
+    assert_eq!(rows.len(), 1);
+    assert!(plan.contains("index eq"), "plan uses the index: {plan}");
+    assert!(plan.contains("expensive"), "IRS predicate deferred: {plan}");
+}
+
+#[test]
+fn updates_flow_through_to_queries() {
+    let mut sys = two_issue_system();
+    // Add a brand-new paragraph about gopher to the 1994 issue.
+    let doc = sys
+        .query("ACCESS d FROM d IN MMFDOC WHERE d -> getAttributeValue('YEAR') = '1994'")
+        .unwrap()[0]
+        .oid()
+        .unwrap();
+    let para_class = sys.db().schema().class_id("PARA").unwrap();
+    let mut txn = sys.db_mut().begin();
+    let fresh = sys.db_mut().create_object(&mut txn, para_class).unwrap();
+    sys.db_mut()
+        .set_attr(&mut txn, fresh, "text", Value::from("gopher menus predate the web"))
+        .unwrap();
+    sys.db_mut().set_attr(&mut txn, fresh, "parent", Value::Oid(doc)).unwrap();
+    sys.db_mut().commit(txn).unwrap();
+
+    // Propagate eagerly via the collection's update method.
+    sys.with_collection_and_db("collPara", |db, coll| {
+        let ctx = db.method_ctx();
+        coll.on_insert(&ctx, fresh).unwrap();
+    })
+    .unwrap();
+
+    let rows = sys
+        .query("ACCESS p FROM p IN PARA WHERE p -> getIRSValue(collPara, 'gopher') > 0.4")
+        .unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].oid().unwrap(), fresh);
+}
+
+#[test]
+fn deleting_an_object_removes_it_from_results() {
+    let mut sys = two_issue_system();
+    let victim = sys
+        .query("ACCESS p FROM p IN PARA WHERE p -> getIRSValue(collPara, 'nii') > 0.45")
+        .unwrap()[0]
+        .oid()
+        .unwrap();
+    let mut txn = sys.db_mut().begin();
+    sys.db_mut().delete_object(&mut txn, victim).unwrap();
+    sys.db_mut().commit(txn).unwrap();
+    sys.with_collection("collPara", |c| c.on_delete(victim).unwrap()).unwrap();
+
+    let rows = sys
+        .query("ACCESS p FROM p IN PARA WHERE p -> getIRSValue(collPara, 'nii') > 0.45")
+        .unwrap();
+    assert!(rows.iter().all(|r| r.oid() != Some(victim)));
+}

@@ -1,0 +1,104 @@
+//! Cross-crate property-based tests: system-level invariants over random
+//! corpora and operation sequences.
+
+use coupling::{CollectionSetup, DerivationScheme, DocumentSystem};
+use proptest::prelude::*;
+use sgml::{CorpusConfig, CorpusGenerator};
+
+/// Build a system from a generated corpus with the given seed.
+fn seeded_system(seed: u64, docs: usize) -> (DocumentSystem, Vec<oodb::Oid>) {
+    let mut generator = CorpusGenerator::new(CorpusConfig {
+        docs,
+        topics: 5,
+        vocabulary: 300,
+        seed,
+        ..CorpusConfig::default()
+    });
+    let mut sys = DocumentSystem::new();
+    let mut roots = Vec::new();
+    for doc in generator.generate_corpus() {
+        roots.push(sys.load_generated(&doc).expect("loads").root);
+    }
+    sys.create_collection("c", CollectionSetup::default()).expect("fresh");
+    sys.index_collection("c", "ACCESS p FROM p IN PARA").expect("indexes");
+    (sys, roots)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Derived document values are beliefs: bounded to [0, 1] for every
+    /// scheme except Sum (clamped anyway) on every random corpus.
+    #[test]
+    fn derived_values_are_bounded(seed in 0u64..500, topic in 0usize..5) {
+        let (sys, roots) = seeded_system(seed, 6);
+        let query = sgml::gen::topic_term(topic);
+        for scheme in [
+            DerivationScheme::Max,
+            DerivationScheme::Avg,
+            DerivationScheme::Sum,
+            DerivationScheme::LengthWeighted,
+            DerivationScheme::SubqueryAware,
+        ] {
+            sys.with_collection_and_db("c", |db, coll| {
+                coll.set_derivation(scheme.clone());
+                let ctx = db.method_ctx();
+                for &root in &roots {
+                    let v = coll.get_irs_value(&ctx, &query, root).expect("derives");
+                    prop_assert!((0.0..=1.0).contains(&v), "{scheme:?}: {v}");
+                }
+                Ok(())
+            }).expect("collection exists")?;
+        }
+    }
+
+    /// The buffer never changes results: buffered and unbuffered
+    /// evaluation agree exactly.
+    #[test]
+    fn buffering_is_transparent(seed in 0u64..500, topic in 0usize..5) {
+        let (sys, _) = seeded_system(seed, 5);
+        let query = sgml::gen::topic_term(topic);
+        sys.with_collection("c", |coll| {
+            let direct = coll.evaluate_uncached(&query).expect("evaluates");
+            let buffered = coll.get_irs_result(&query).expect("evaluates");
+            let again = coll.get_irs_result(&query).expect("buffer hit");
+            prop_assert_eq!(&direct, &buffered);
+            prop_assert_eq!(&buffered, &again);
+            Ok(())
+        }).expect("collection exists")?;
+    }
+
+    /// Mixed-query strategies agree on arbitrary thresholds.
+    #[test]
+    fn mixed_strategies_agree(seed in 0u64..200, threshold in 0.40f64..0.7) {
+        use coupling::mixed::{evaluate_mixed, MixedStrategy};
+        let (sys, _) = seeded_system(seed, 5);
+        let query = sgml::gen::topic_term(0);
+        let structural = |_: &oodb::Database, oid: oodb::Oid| oid.0.is_multiple_of(2);
+        sys.with_collection_and_db("c", |db, coll| {
+            let a = evaluate_mixed(db, coll, "PARA", &structural, &query, threshold,
+                MixedStrategy::Independent).expect("independent");
+            let b = evaluate_mixed(db, coll, "PARA", &structural, &query, threshold,
+                MixedStrategy::IrsFirst).expect("irs-first");
+            prop_assert_eq!(a.oids, b.oids);
+            Ok(())
+        }).expect("collection exists")?;
+    }
+
+    /// Re-indexing the same specification query is idempotent for search.
+    #[test]
+    fn reindexing_is_idempotent(seed in 0u64..200) {
+        let (mut sys, _) = seeded_system(seed, 4);
+        let query = sgml::gen::topic_term(1);
+        let before = sys.with_collection("c", |c| c.get_irs_result(&query).expect("evaluates"))
+            .expect("collection exists");
+        sys.index_collection("c", "ACCESS p FROM p IN PARA").expect("reindex");
+        let after = sys.with_collection("c", |c| c.get_irs_result(&query).expect("evaluates"))
+            .expect("collection exists");
+        prop_assert_eq!(before.len(), after.len());
+        for (oid, v) in &before {
+            let w = after.get(oid).copied().unwrap_or(-1.0);
+            prop_assert!((v - w).abs() < 1e-9, "{oid}: {v} vs {w}");
+        }
+    }
+}
