@@ -8,11 +8,37 @@ use coupling_bench::workload::{build_corpus_system, WorkloadConfig};
 fn bench(c: &mut Criterion) {
     let cs = build_corpus_system(&WorkloadConfig::small());
     let policies = vec![
-        ("per-document", GranularityPolicy::PerDocument { root_class: "MMFDOC".into() }),
-        ("per-element", GranularityPolicy::PerElementType { class: "PARA".into() }),
-        ("leaves", GranularityPolicy::Leaves { base_class: "IRSObject".into() }),
-        ("equal-size-30", GranularityPolicy::EqualSize { root_class: "MMFDOC".into(), words: 30 }),
-        ("all-elements", GranularityPolicy::AllElements { base_class: "IRSObject".into() }),
+        (
+            "per-document",
+            GranularityPolicy::PerDocument {
+                root_class: "MMFDOC".into(),
+            },
+        ),
+        (
+            "per-element",
+            GranularityPolicy::PerElementType {
+                class: "PARA".into(),
+            },
+        ),
+        (
+            "leaves",
+            GranularityPolicy::Leaves {
+                base_class: "IRSObject".into(),
+            },
+        ),
+        (
+            "equal-size-30",
+            GranularityPolicy::EqualSize {
+                root_class: "MMFDOC".into(),
+                words: 30,
+            },
+        ),
+        (
+            "all-elements",
+            GranularityPolicy::AllElements {
+                base_class: "IRSObject".into(),
+            },
+        ),
     ];
 
     let mut group = c.benchmark_group("e2_indexing");

@@ -3,9 +3,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use coupling_bench::exp::e3_derivation::{build_figure4, schemes};
-use coupling_bench::workload::{and_query, build_corpus_system, with_para_collection, WorkloadConfig};
 use coupling::CollectionSetup;
+use coupling_bench::exp::e3_derivation::{build_figure4, schemes};
+use coupling_bench::workload::{
+    and_query, build_corpus_system, with_para_collection, WorkloadConfig,
+};
 
 fn bench_figure4(c: &mut Criterion) {
     let (sys, roots) = build_figure4();

@@ -11,9 +11,9 @@ use sgml::gen::topic_term;
 
 fn year_pred(db: &Database, oid: Oid) -> bool {
     let ctx = db.method_ctx();
-    let Ok(Value::Oid(doc)) = db
-        .methods()
-        .invoke(&ctx, "getContaining", oid, &[Value::from("MMFDOC")])
+    let Ok(Value::Oid(doc)) =
+        db.methods()
+            .invoke(&ctx, "getContaining", oid, &[Value::from("MMFDOC")])
     else {
         return false;
     };

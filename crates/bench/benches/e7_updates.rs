@@ -24,25 +24,39 @@ fn bench(c: &mut Criterion) {
                     let mut prop = Propagator::new(strategy);
                     for i in 0..16 {
                         let mut txn = cs.sys.db_mut().begin();
-                        let oid = cs.sys.db_mut().create_object(&mut txn, para).expect("create");
+                        let oid = cs
+                            .sys
+                            .db_mut()
+                            .create_object(&mut txn, para)
+                            .expect("create");
                         cs.sys
                             .db_mut()
-                            .set_attr(&mut txn, oid, "text", Value::from(format!("burst {i}").as_str()))
+                            .set_attr(
+                                &mut txn,
+                                oid,
+                                "text",
+                                Value::from(format!("burst {i}").as_str()),
+                            )
                             .expect("set");
                         cs.sys.db_mut().commit(txn).expect("commit");
                         cs.sys
                             .with_collection_and_db("coll", |db, coll| {
                                 let ctx = db.method_ctx();
-                                prop.record(&ctx, coll, PendingOp::Insert(oid)).expect("record");
+                                prop.record(&ctx, coll, PendingOp::Insert(oid))
+                                    .expect("record");
                             })
                             .expect("collection");
                         let mut txn = cs.sys.db_mut().begin();
-                        cs.sys.db_mut().delete_object(&mut txn, oid).expect("delete");
+                        cs.sys
+                            .db_mut()
+                            .delete_object(&mut txn, oid)
+                            .expect("delete");
                         cs.sys.db_mut().commit(txn).expect("commit");
                         cs.sys
                             .with_collection_and_db("coll", |db, coll| {
                                 let ctx = db.method_ctx();
-                                prop.record(&ctx, coll, PendingOp::Delete(oid)).expect("record");
+                                prop.record(&ctx, coll, PendingOp::Delete(oid))
+                                    .expect("record");
                             })
                             .expect("collection");
                     }

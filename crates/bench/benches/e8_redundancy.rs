@@ -16,16 +16,20 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e8_redundancy_indexing");
     group.sample_size(10);
     for (label, classes) in configs {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &classes, |b, classes| {
-            b.iter(|| {
-                let mut coll = Collection::new("bench", CollectionSetup::default());
-                for class in classes {
-                    coll.index_objects(cs.sys.db(), &format!("ACCESS o FROM o IN {class}"))
-                        .expect("indexes");
-                }
-                coll.irs().index_stats().postings_bytes
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &classes,
+            |b, classes| {
+                b.iter(|| {
+                    let mut coll = Collection::new("bench", CollectionSetup::default());
+                    for class in classes {
+                        coll.index_objects(cs.sys.db(), &format!("ACCESS o FROM o IN {class}"))
+                            .expect("indexes");
+                    }
+                    coll.irs().index_stats().postings_bytes
+                });
+            },
+        );
     }
     group.finish();
 }

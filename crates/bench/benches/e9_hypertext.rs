@@ -24,7 +24,12 @@ fn bench(c: &mut Criterion) {
 
     let modes: Vec<(&str, TextMode)> = vec![
         ("plain", TextMode::FullSubtree),
-        ("augmented", TextMode::LinkAugmented { link_attr: "implies".into() }),
+        (
+            "augmented",
+            TextMode::LinkAugmented {
+                link_attr: "implies".into(),
+            },
+        ),
     ];
 
     let mut group = c.benchmark_group("e9_hypertext_indexing");

@@ -66,4 +66,7 @@ fn main() {
     if want("e11") {
         println!("{}\n", exp::e11_passages::run(&config));
     }
+    if want("e12") {
+        println!("{}\n", exp::e12_concurrency::run(&config));
+    }
 }

@@ -89,7 +89,10 @@ fn analyzer_configs() -> Vec<(String, AnalyzerConfig)> {
 
 fn model_kinds() -> Vec<(String, ModelKind)> {
     vec![
-        ("inference (INQUERY)".into(), ModelKind::Inference(InferenceModel::default())),
+        (
+            "inference (INQUERY)".into(),
+            ModelKind::Inference(InferenceModel::default()),
+        ),
         ("bm25".into(), ModelKind::Bm25(Bm25Model::default())),
         ("vector".into(), ModelKind::Vector(VectorModel::default())),
         ("boolean".into(), ModelKind::Boolean),
@@ -188,8 +191,7 @@ pub fn run(config: &WorkloadConfig) -> Report {
                 for (i, &(a, b)) in pairs.iter().enumerate() {
                     let result = coll.get_irs_result(&and_query(a, b)).expect("query");
                     if i == 0 {
-                        let mut scores: Vec<u64> =
-                            result.values().map(|v| v.to_bits()).collect();
+                        let mut scores: Vec<u64> = result.values().map(|v| v.to_bits()).collect();
                         scores.sort_unstable();
                         scores.dedup();
                         levels = scores.len();
@@ -208,7 +210,11 @@ pub fn run(config: &WorkloadConfig) -> Report {
                 (sum / pairs.len().max(1) as f64, levels)
             })
             .expect("collection exists");
-        models.push(ModelRow { model: label, map, score_levels });
+        models.push(ModelRow {
+            model: label,
+            map,
+            score_levels,
+        });
     }
 
     // 3. Buffer capacity sweep: a round-robin workload over N distinct
@@ -258,7 +264,11 @@ impl std::fmt::Display for Report {
         writeln!(f, "analysis pipeline (index cost):")?;
         writeln!(f, "  {:<28} {:>8} {:>12}", "config", "terms", "bytes")?;
         for r in &self.analyzer {
-            writeln!(f, "  {:<28} {:>8} {:>12}", r.config, r.terms, r.postings_bytes)?;
+            writeln!(
+                f,
+                "  {:<28} {:>8} {:>12}",
+                r.config, r.terms, r.postings_bytes
+            )?;
         }
         writeln!(f, "retrieval model (paragraph MAP, conjunctive queries):")?;
         writeln!(f, "  {:<28} {:>8} {:>14}", "model", "MAP", "score levels")?;
@@ -317,7 +327,11 @@ mod tests {
                 .expect("row")
                 .clone()
         };
-        assert!(row_of("boolean").score_levels <= 2, "{:?}", row_of("boolean"));
+        assert!(
+            row_of("boolean").score_levels <= 2,
+            "{:?}",
+            row_of("boolean")
+        );
         assert!(
             row_of("inference").score_levels > row_of("boolean").score_levels,
             "inference discriminates ({} levels)",
@@ -334,7 +348,11 @@ mod tests {
             assert!(w[1].hit_rate >= w[0].hit_rate - 1e-9);
         }
         let last = report.buffer.last().unwrap();
-        assert!(last.hit_rate > 0.45, "full working set ~50% hit rate, got {}", last.hit_rate);
+        assert!(
+            last.hit_rate > 0.45,
+            "full working set ~50% hit rate, got {}",
+            last.hit_rate
+        );
         assert!(report.to_string().contains("buffer capacity"));
     }
 }

@@ -53,9 +53,24 @@ enum Repr {
 /// Run E11.
 pub fn run(config: &WorkloadConfig) -> Report {
     let reprs: Vec<(String, Repr)> = vec![
-        ("paragraphs + subquery-aware".into(), Repr::ParagraphsDerived),
-        ("passages 50/25 (best passage)".into(), Repr::Passages { window: 50, stride: 25 }),
-        ("passages 30/15 (best passage)".into(), Repr::Passages { window: 30, stride: 15 }),
+        (
+            "paragraphs + subquery-aware".into(),
+            Repr::ParagraphsDerived,
+        ),
+        (
+            "passages 50/25 (best passage)".into(),
+            Repr::Passages {
+                window: 50,
+                stride: 25,
+            },
+        ),
+        (
+            "passages 30/15 (best passage)".into(),
+            Repr::Passages {
+                window: 30,
+                stride: 15,
+            },
+        ),
         ("whole documents (redundant)".into(), Repr::Documents),
     ];
 

@@ -1,0 +1,192 @@
+//! E12 — concurrent query serving and batched indexing.
+//!
+//! The paper's coupling architecture (Section 3.3) places the IRS
+//! functionality *inside* the OODBMS process, so several database
+//! sessions evaluate `getIRSValue` against the same collection at once.
+//! This experiment measures the two concurrency paths added for that:
+//!
+//! 1. **Query throughput** at 1/2/4/8 threads over ONE shared
+//!    collection. Every thread evaluates the query set against
+//!    `&Collection` — reads go through the sharded index's per-shard
+//!    read locks, so no global lock serializes whole queries.
+//! 2. **Batched vs. serial indexing** — `add_documents` analyzes
+//!    document batches on worker threads before merging postings per
+//!    shard, versus one-at-a-time `add_document`.
+//!
+//! On a single-core host the thread sweep degenerates gracefully (the
+//! batched indexer falls back to its serial path); the report prints
+//! the detected parallelism so results are interpretable.
+
+use std::time::Instant;
+
+use coupling::CollectionSetup;
+use irs::{CollectionConfig, IrsCollection};
+use sgml::gen::topic_term;
+
+use crate::workload::{build_corpus_system, with_para_collection, WorkloadConfig};
+
+/// Thread counts swept by the query-throughput half.
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Rounds each thread runs over the full query set.
+const ROUNDS: usize = 4;
+
+/// One point of the thread sweep.
+#[derive(Debug, Clone)]
+pub struct ThroughputPoint {
+    /// Threads sharing the collection.
+    pub threads: usize,
+    /// Queries evaluated in total (all threads).
+    pub queries: usize,
+    /// Wall time, microseconds.
+    pub us: u128,
+    /// Queries per second.
+    pub qps: f64,
+}
+
+/// E12 measurements.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Paragraphs in the shared collection.
+    pub objects: usize,
+    /// Distinct queries in the probe set.
+    pub query_set: usize,
+    /// Host parallelism detected at run time.
+    pub available_parallelism: usize,
+    /// Thread sweep, ascending thread count.
+    pub sweep: Vec<ThroughputPoint>,
+    /// Documents indexed in the batching comparison.
+    pub docs_indexed: usize,
+    /// Wall time for one-at-a-time `add_document`, microseconds.
+    pub serial_index_us: u128,
+    /// Wall time for batched `add_documents`, microseconds.
+    pub batched_index_us: u128,
+}
+
+/// Run E12.
+pub fn run(config: &WorkloadConfig) -> Report {
+    let mut cs = build_corpus_system(config);
+    with_para_collection(&mut cs, "coll", CollectionSetup::default());
+    let objects = cs.para_truth.len();
+    let queries: Vec<String> = (0..cs.topics.min(6)).map(topic_term).collect();
+
+    // --- Thread sweep: uncached evaluation against one &Collection. ---
+    // `evaluate_uncached` goes to the sharded index every time, so the
+    // sweep exercises concurrent index reads rather than buffer hits.
+    let mut sweep = Vec::new();
+    for &threads in &THREAD_COUNTS {
+        let (total, us) = cs
+            .sys
+            .read_collection("coll", |coll| {
+                let t0 = Instant::now();
+                std::thread::scope(|scope| {
+                    for _ in 0..threads {
+                        scope.spawn(|| {
+                            for _ in 0..ROUNDS {
+                                for q in &queries {
+                                    let result =
+                                        coll.evaluate_uncached(q).expect("query evaluates");
+                                    assert!(result.len() <= objects);
+                                }
+                            }
+                        });
+                    }
+                });
+                (threads * ROUNDS * queries.len(), t0.elapsed().as_micros())
+            })
+            .expect("collection exists");
+        let qps = total as f64 / (us.max(1) as f64 / 1e6);
+        sweep.push(ThroughputPoint {
+            threads,
+            queries: total,
+            us,
+            qps,
+        });
+    }
+
+    // --- Batched vs. serial indexing over identical documents. ---
+    let docs: Vec<(String, String)> = (0..config.corpus.docs * 4)
+        .map(|i| {
+            let words: Vec<String> = (0..40)
+                .map(|w| topic_term((i + w) % cs.topics.max(1)))
+                .collect();
+            (format!("doc{i:05}"), words.join(" "))
+        })
+        .collect();
+
+    let mut serial = IrsCollection::new(CollectionConfig::default());
+    let t0 = Instant::now();
+    for (key, text) in &docs {
+        serial.add_document(key, text).expect("document indexes");
+    }
+    let serial_index_us = t0.elapsed().as_micros();
+
+    let mut batched = IrsCollection::new(CollectionConfig::default());
+    let t0 = Instant::now();
+    let ids = batched.add_documents(&docs).expect("batch indexes");
+    let batched_index_us = t0.elapsed().as_micros();
+    assert_eq!(ids.len(), docs.len(), "batch indexed every document");
+
+    Report {
+        objects,
+        query_set: queries.len(),
+        available_parallelism: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        sweep,
+        docs_indexed: docs.len(),
+        serial_index_us,
+        batched_index_us,
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "E12 — concurrent query serving (sharded index)")?;
+        writeln!(
+            f,
+            "{} objects, {} distinct queries, host parallelism {}",
+            self.objects, self.query_set, self.available_parallelism
+        )?;
+        writeln!(
+            f,
+            "{:<8} {:>8} {:>12} {:>12}",
+            "threads", "queries", "time(us)", "qps"
+        )?;
+        for p in &self.sweep {
+            writeln!(
+                f,
+                "{:<8} {:>8} {:>12} {:>12.0}",
+                p.threads, p.queries, p.us, p.qps
+            )?;
+        }
+        writeln!(
+            f,
+            "indexing {} docs: serial {}us, batched {}us ({:.2}x)",
+            self.docs_indexed,
+            self.serial_index_us,
+            self.batched_index_us,
+            self.serial_index_us as f64 / self.batched_index_us.max(1) as f64
+        )?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_sweep_covers_thread_counts_and_batching_matches() {
+        let report = run(&WorkloadConfig::small());
+        assert_eq!(report.sweep.len(), THREAD_COUNTS.len());
+        for (point, &threads) in report.sweep.iter().zip(THREAD_COUNTS.iter()) {
+            assert_eq!(point.threads, threads);
+            assert_eq!(point.queries, threads * ROUNDS * report.query_set);
+            assert!(point.qps > 0.0);
+        }
+        assert!(report.available_parallelism >= 1);
+        assert_eq!(report.docs_indexed, WorkloadConfig::small().corpus.docs * 4);
+        assert!(report.to_string().contains("E12"));
+    }
+}

@@ -43,9 +43,9 @@ pub struct Report {
 /// The structural predicate: the containing document's YEAR is 1994.
 fn year_is_1994(db: &Database, oid: Oid) -> bool {
     let ctx = db.method_ctx();
-    let Ok(Value::Oid(doc)) = db
-        .methods()
-        .invoke(&ctx, "getContaining", oid, &[Value::from("MMFDOC")])
+    let Ok(Value::Oid(doc)) =
+        db.methods()
+            .invoke(&ctx, "getContaining", oid, &[Value::from("MMFDOC")])
     else {
         return false;
     };
@@ -94,7 +94,10 @@ pub fn run(config: &WorkloadConfig) -> Report {
 
 impl std::fmt::Display for Report {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "E1 — Figure 1: coupling architectures (same mixed query)")?;
+        writeln!(
+            f,
+            "E1 — Figure 1: coupling architectures (same mixed query)"
+        )?;
         writeln!(
             f,
             "{:<16} {:>8} {:>10} {:>6} {:>10} {:>10}",

@@ -48,27 +48,38 @@ fn policies() -> Vec<(String, GranularityPolicy, bool)> {
     vec![
         (
             "per-document".into(),
-            GranularityPolicy::PerDocument { root_class: "MMFDOC".into() },
+            GranularityPolicy::PerDocument {
+                root_class: "MMFDOC".into(),
+            },
             false,
         ),
         (
             "per-element(PARA)".into(),
-            GranularityPolicy::PerElementType { class: "PARA".into() },
+            GranularityPolicy::PerElementType {
+                class: "PARA".into(),
+            },
             true,
         ),
         (
             "leaves".into(),
-            GranularityPolicy::Leaves { base_class: "IRSObject".into() },
+            GranularityPolicy::Leaves {
+                base_class: "IRSObject".into(),
+            },
             true,
         ),
         (
             "equal-size(30w)".into(),
-            GranularityPolicy::EqualSize { root_class: "MMFDOC".into(), words: 30 },
+            GranularityPolicy::EqualSize {
+                root_class: "MMFDOC".into(),
+                words: 30,
+            },
             false,
         ),
         (
             "all-elements".into(),
-            GranularityPolicy::AllElements { base_class: "IRSObject".into() },
+            GranularityPolicy::AllElements {
+                base_class: "IRSObject".into(),
+            },
             true,
         ),
     ]
@@ -140,7 +151,10 @@ pub fn run(config: &WorkloadConfig) -> Report {
             para_map: pmap,
         });
     }
-    Report { rows, corpus_tokens }
+    Report {
+        rows,
+        corpus_tokens,
+    }
 }
 
 impl std::fmt::Display for Report {

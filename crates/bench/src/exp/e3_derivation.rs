@@ -72,10 +72,10 @@ pub fn build_figure4() -> (DocumentSystem, [Oid; 4]) {
     // the IRS" requires equal document frequencies: www and nii each
     // occur in exactly four paragraphs.
     let docs: [&[&[&str]]; 4] = [
-        &[&["www"], &["www"], &[]],     // M1: WWW-only paragraphs
-        &[&["www", "nii"], &[], &[]],   // M2: P4 relevant to both
-        &[&["www"], &["nii"]],          // M3: both terms, separate paras
-        &[&["nii"], &["nii"], &[]],     // M4: one term, twice
+        &[&["www"], &["www"], &[]],   // M1: WWW-only paragraphs
+        &[&["www", "nii"], &[], &[]], // M2: P4 relevant to both
+        &[&["www"], &["nii"]],        // M3: both terms, separate paras
+        &[&["nii"], &["nii"], &[]],   // M4: one term, twice
     ];
     let mut roots = Vec::with_capacity(4);
     for (i, paras) in docs.iter().enumerate() {
@@ -254,7 +254,10 @@ mod tests {
     fn figure4_shape_matches_the_paper() {
         let rows = run_figure4();
         let get = |name: &str| {
-            rows.iter().find(|r| r.scheme == name).expect("scheme row").values
+            rows.iter()
+                .find(|r| r.scheme == name)
+                .expect("scheme row")
+                .values
         };
         let max = get("max");
         // Max: M2 wins; M3 and M4 are indistinguishable (the paper's

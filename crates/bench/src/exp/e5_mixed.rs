@@ -50,9 +50,9 @@ pub struct Report {
 fn year_in_first(n: usize) -> impl Fn(&Database, Oid) -> bool {
     move |db, oid| {
         let ctx = db.method_ctx();
-        let Ok(Value::Oid(doc)) = db
-            .methods()
-            .invoke(&ctx, "getContaining", oid, &[Value::from("MMFDOC")])
+        let Ok(Value::Oid(doc)) =
+            db.methods()
+                .invoke(&ctx, "getContaining", oid, &[Value::from("MMFDOC")])
         else {
             return false;
         };
@@ -107,14 +107,27 @@ pub fn run(config: &WorkloadConfig) -> Report {
                 .with_collection_and_db("coll", |db, coll| {
                     let t0 = Instant::now();
                     let indep = evaluate_mixed(
-                        db, coll, "PARA", &pred, q, THRESHOLD, MixedStrategy::Independent,
+                        db,
+                        coll,
+                        "PARA",
+                        &pred,
+                        q,
+                        THRESHOLD,
+                        MixedStrategy::Independent,
                     )
                     .expect("independent evaluates");
                     let indep_us = t0.elapsed().as_micros();
                     let t1 = Instant::now();
-                    let first =
-                        evaluate_mixed(db, coll, "PARA", &pred, q, THRESHOLD, MixedStrategy::IrsFirst)
-                            .expect("irs-first evaluates");
+                    let first = evaluate_mixed(
+                        db,
+                        coll,
+                        "PARA",
+                        &pred,
+                        q,
+                        THRESHOLD,
+                        MixedStrategy::IrsFirst,
+                    )
+                    .expect("irs-first evaluates");
                     let first_us = t1.elapsed().as_micros();
                     ((indep, indep_us), (first, first_us))
                 })

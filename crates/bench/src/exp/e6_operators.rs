@@ -46,7 +46,9 @@ pub fn run(config: &WorkloadConfig) -> Report {
         .with_collection("coll", |coll| {
             // (1) Cold composite in the IRS.
             let t0 = Instant::now();
-            let direct = coll.get_irs_result(&composite).expect("composite evaluates");
+            let direct = coll
+                .get_irs_result(&composite)
+                .expect("composite evaluates");
             let irs_cold_us = t0.elapsed().as_micros();
 
             // (2) Warm composite (buffered).
@@ -84,7 +86,11 @@ impl std::fmt::Display for Report {
         writeln!(f, "E6 — Section 4.5.4: operator placement for #and(a b)")?;
         writeln!(f, "{:<34} {:>10}", "variant", "time(us)")?;
         writeln!(f, "{:<34} {:>10}", "IRS, cold", self.irs_cold_us)?;
-        writeln!(f, "{:<34} {:>10}", "IRS, warm (result buffered)", self.irs_warm_us)?;
+        writeln!(
+            f,
+            "{:<34} {:>10}",
+            "IRS, warm (result buffered)", self.irs_warm_us
+        )?;
         writeln!(
             f,
             "{:<34} {:>10}",

@@ -56,12 +56,7 @@ fn run_workload(
 ) -> (u64, u64, u128) {
     let mut cs = build_corpus_system(config);
     with_para_collection(&mut cs, "coll", CollectionSetup::default());
-    let para_class = cs
-        .sys
-        .db()
-        .schema()
-        .class_id("PARA")
-        .expect("PARA exists");
+    let para_class = cs.sys.db().schema().class_id("PARA").expect("PARA exists");
     let existing: Vec<oodb::Oid> = cs.para_truth.keys().copied().collect();
     let mut rng = SmallRng::seed_from_u64(7);
     let mut prop = Propagator::new(strategy);
@@ -79,22 +74,32 @@ fn run_workload(
                     .expect("create");
                 cs.sys
                     .db_mut()
-                    .set_attr(&mut txn, oid, "text", Value::from(format!("transient {q} {u}").as_str()))
+                    .set_attr(
+                        &mut txn,
+                        oid,
+                        "text",
+                        Value::from(format!("transient {q} {u}").as_str()),
+                    )
                     .expect("set");
                 cs.sys.db_mut().commit(txn).expect("commit");
                 cs.sys
                     .with_collection_and_db("coll", |db, coll| {
                         let ctx = db.method_ctx();
-                        prop.record(&ctx, coll, PendingOp::Insert(oid)).expect("record");
+                        prop.record(&ctx, coll, PendingOp::Insert(oid))
+                            .expect("record");
                     })
                     .expect("collection");
                 let mut txn = cs.sys.db_mut().begin();
-                cs.sys.db_mut().delete_object(&mut txn, oid).expect("delete");
+                cs.sys
+                    .db_mut()
+                    .delete_object(&mut txn, oid)
+                    .expect("delete");
                 cs.sys.db_mut().commit(txn).expect("commit");
                 cs.sys
                     .with_collection_and_db("coll", |db, coll| {
                         let ctx = db.method_ctx();
-                        prop.record(&ctx, coll, PendingOp::Delete(oid)).expect("record");
+                        prop.record(&ctx, coll, PendingOp::Delete(oid))
+                            .expect("record");
                     })
                     .expect("collection");
             } else {
@@ -114,7 +119,8 @@ fn run_workload(
                 cs.sys
                     .with_collection_and_db("coll", |db, coll| {
                         let ctx = db.method_ctx();
-                        prop.record(&ctx, coll, PendingOp::Modify(oid)).expect("record");
+                        prop.record(&ctx, coll, PendingOp::Modify(oid))
+                            .expect("record");
                     })
                     .expect("collection");
             }
@@ -124,7 +130,8 @@ fn run_workload(
             .with_collection_and_db("coll", |db, coll| {
                 let ctx = db.method_ctx();
                 prop.before_query(&ctx, coll).expect("flush");
-                coll.get_irs_result(&topic_term(q % cs.topics)).expect("query");
+                coll.get_irs_result(&topic_term(q % cs.topics))
+                    .expect("query");
             })
             .expect("collection");
     }
@@ -138,8 +145,12 @@ pub fn run(config: &WorkloadConfig) -> Report {
     let queries = 8;
     let mut rows = Vec::new();
     for updates_per_query in [1usize, 4, 16, 64] {
-        let (eager_applied, _, eager_us) =
-            run_workload(config, PropagationStrategy::Eager, updates_per_query, queries);
+        let (eager_applied, _, eager_us) = run_workload(
+            config,
+            PropagationStrategy::Eager,
+            updates_per_query,
+            queries,
+        );
         let (deferred_applied, deferred_cancelled, deferred_us) = run_workload(
             config,
             PropagationStrategy::Deferred,
@@ -208,7 +219,10 @@ mod tests {
         let last = report.rows.last().unwrap();
         let gap_first = first.eager_applied - first.deferred_applied;
         let gap_last = last.eager_applied - last.deferred_applied;
-        assert!(gap_last > gap_first, "cancellation benefit grows with churn");
+        assert!(
+            gap_last > gap_first,
+            "cancellation benefit grows with churn"
+        );
         assert!(report.to_string().contains("upd/query"));
     }
 }

@@ -113,7 +113,10 @@ pub fn run(config: &WorkloadConfig) -> Report {
 
 impl std::fmt::Display for Report {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "E8 — [SAZ94]: multi-level index redundancy vs derivation")?;
+        writeln!(
+            f,
+            "E8 — [SAZ94]: multi-level index redundancy vs derivation"
+        )?;
         writeln!(
             f,
             "{:<30} {:>9} {:>10} {:>11} {:>10} {:>8}",
@@ -149,7 +152,10 @@ mod tests {
         let report = run(&WorkloadConfig::small());
         assert_eq!(report.rows.len(), 3);
         assert_eq!(report.rows[0].overhead, 0.0, "floor");
-        assert!(report.rows[1].overhead > 0.3, "adding the document level costs real space");
+        assert!(
+            report.rows[1].overhead > 0.3,
+            "adding the document level costs real space"
+        );
         assert!(
             report.rows[2].overhead > report.rows[1].overhead,
             "each level adds overhead"

@@ -38,7 +38,13 @@ pub fn ndcg_at_k(ranked: &[(bool, f64)], k: usize) -> f64 {
     let dcg: f64 = ranked[..k]
         .iter()
         .enumerate()
-        .map(|(i, (rel, _))| if *rel { 1.0 / ((i + 2) as f64).log2() } else { 0.0 })
+        .map(|(i, (rel, _))| {
+            if *rel {
+                1.0 / ((i + 2) as f64).log2()
+            } else {
+                0.0
+            }
+        })
         .sum();
     let total_relevant = ranked.iter().filter(|(rel, _)| *rel).count();
     let ideal: f64 = (0..total_relevant.min(k))

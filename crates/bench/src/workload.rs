@@ -104,9 +104,7 @@ pub fn build_corpus_system(config: &WorkloadConfig) -> CorpusSystem {
         let loaded = sys.load_generated(gdoc).expect("generated documents load");
         let mut paras = Vec::new();
         for ParaTruth { node, topics } in &gdoc.paras {
-            let oid = loaded
-                .oid_of(*node)
-                .expect("paragraph nodes are elements");
+            let oid = loaded.oid_of(*node).expect("paragraph nodes are elements");
             paras.push((oid, topics.clone()));
             para_truth.insert(oid, (i, topics.clone()));
         }
@@ -148,7 +146,11 @@ pub fn relevant_topic_pairs(cs: &CorpusSystem) -> Vec<(usize, usize)> {
     let mut pairs = Vec::new();
     for a in 0..cs.topics {
         for b in (a + 1)..cs.topics {
-            if cs.docs.iter().any(|d| d.topics.contains(&a) && d.topics.contains(&b)) {
+            if cs
+                .docs
+                .iter()
+                .any(|d| d.topics.contains(&a) && d.topics.contains(&b))
+            {
                 pairs.push((a, b));
             }
         }
@@ -187,7 +189,10 @@ mod tests {
         let pairs = relevant_topic_pairs(&cs);
         assert!(!pairs.is_empty());
         for (a, b) in &pairs {
-            assert!(cs.docs.iter().any(|d| d.topics.contains(a) && d.topics.contains(b)));
+            assert!(cs
+                .docs
+                .iter()
+                .any(|d| d.topics.contains(a) && d.topics.contains(b)));
         }
     }
 

@@ -171,7 +171,8 @@ mod tests {
             .unwrap();
             let mut txn = db.begin();
             let l = load_document(&mut db, &mut txn, &tree, "IRSObject").unwrap();
-            db.set_attr(&mut txn, l.elements[1].1, "pos", Value::Int(i)).unwrap();
+            db.set_attr(&mut txn, l.elements[1].1, "pos", Value::Int(i))
+                .unwrap();
             db.commit(txn).unwrap();
         }
         let mut coll = Collection::new("c", CollectionSetup::default());
@@ -206,9 +207,36 @@ mod tests {
     #[test]
     fn dbms_control_minimises_crossings() {
         let (db, mut coll) = setup();
-        let dbms = evaluate(ArchitectureKind::DbmsControl, &db, &mut coll, "PARA", &even_pos, "telnet", 0.4).unwrap();
-        let module = evaluate(ArchitectureKind::ControlModule, &db, &mut coll, "PARA", &even_pos, "telnet", 0.4).unwrap();
-        let irsctl = evaluate(ArchitectureKind::IrsControl, &db, &mut coll, "PARA", &even_pos, "telnet", 0.4).unwrap();
+        let dbms = evaluate(
+            ArchitectureKind::DbmsControl,
+            &db,
+            &mut coll,
+            "PARA",
+            &even_pos,
+            "telnet",
+            0.4,
+        )
+        .unwrap();
+        let module = evaluate(
+            ArchitectureKind::ControlModule,
+            &db,
+            &mut coll,
+            "PARA",
+            &even_pos,
+            "telnet",
+            0.4,
+        )
+        .unwrap();
+        let irsctl = evaluate(
+            ArchitectureKind::IrsControl,
+            &db,
+            &mut coll,
+            "PARA",
+            &even_pos,
+            "telnet",
+            0.4,
+        )
+        .unwrap();
         assert_eq!(dbms.interface_crossings, 1);
         assert_eq!(dbms.files_exchanged, 0);
         assert_eq!(module.interface_crossings, 2);

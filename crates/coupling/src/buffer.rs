@@ -7,11 +7,22 @@
 //! E4 experiment's metrics), is invalidated wholesale when update
 //! propagation changes the underlying IRS collection, and can be saved
 //! to / loaded from disk.
+//!
+//! Internally the buffer is a set of independently locked LRU shards
+//! (query hashed to a shard), so concurrent query threads rarely contend;
+//! every operation — including `get`, which must update recency — takes
+//! `&self`. Each shard is an intrusive doubly linked list over a slab, so
+//! touch and eviction are O(1) instead of the previous O(n) `Vec` scan.
+//! Small capacities (below [`SHARDING_THRESHOLD`]) use a single shard so
+//! eviction order stays exact global LRU.
 
 use std::collections::HashMap;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
 
 use oodb::Oid;
 
@@ -33,14 +44,150 @@ pub struct BufferStats {
     pub invalidations: u64,
 }
 
-/// The IRS-result buffer.
+/// Buffers with capacity below this stay single-sharded: exact global LRU
+/// matters more than lock spreading when only a handful of entries fit.
+pub const SHARDING_THRESHOLD: usize = 64;
+
+/// Shards used for large buffers.
+const N_SHARDS: usize = 8;
+
+const NIL: usize = usize::MAX;
+
+/// Slab node of one shard's intrusive LRU list.
 #[derive(Debug, Clone)]
-pub struct ResultBuffer {
-    entries: HashMap<String, ResultMap>,
-    /// Keys in LRU order (front = least recently used).
-    lru: Vec<String>,
+struct Node {
+    key: String,
+    value: ResultMap,
+    prev: usize,
+    next: usize,
+}
+
+/// One LRU shard: key → slab slot, plus a doubly linked recency list
+/// (head = least recently used, tail = most recently used).
+#[derive(Debug, Clone)]
+struct LruShard {
+    map: HashMap<String, usize>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
     capacity: usize,
-    stats: BufferStats,
+}
+
+impl LruShard {
+    fn new(capacity: usize) -> Self {
+        LruShard {
+            map: HashMap::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Unlink `slot` from the recency list.
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.nodes[slot].prev, self.nodes[slot].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.nodes[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.nodes[n].prev = prev,
+        }
+    }
+
+    /// Append `slot` at the tail (most recently used).
+    fn push_tail(&mut self, slot: usize) {
+        self.nodes[slot].prev = self.tail;
+        self.nodes[slot].next = NIL;
+        match self.tail {
+            NIL => self.head = slot,
+            t => self.nodes[t].next = slot,
+        }
+        self.tail = slot;
+    }
+
+    fn touch(&mut self, slot: usize) {
+        if self.tail != slot {
+            self.unlink(slot);
+            self.push_tail(slot);
+        }
+    }
+
+    /// O(1) lookup + recency update. Returns a clone so no lock is held
+    /// by the caller.
+    fn get(&mut self, query: &str) -> Option<ResultMap> {
+        let slot = *self.map.get(query)?;
+        self.touch(slot);
+        Some(self.nodes[slot].value.clone())
+    }
+
+    /// Insert or update; returns the number of evictions performed (0/1).
+    fn insert(&mut self, query: &str, result: ResultMap) -> u64 {
+        if let Some(&slot) = self.map.get(query) {
+            self.nodes[slot].value = result;
+            self.touch(slot);
+            return 0;
+        }
+        let mut evictions = 0;
+        if self.map.len() >= self.capacity {
+            let victim = self.head;
+            self.unlink(victim);
+            let key = std::mem::take(&mut self.nodes[victim].key);
+            self.nodes[victim].value = ResultMap::new();
+            self.map.remove(&key);
+            self.free.push(victim);
+            evictions = 1;
+        }
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot].key = query.to_string();
+                self.nodes[slot].value = result;
+                slot
+            }
+            None => {
+                self.nodes.push(Node {
+                    key: query.to_string(),
+                    value: result,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.nodes.len() - 1
+            }
+        };
+        self.push_tail(slot);
+        self.map.insert(query.to_string(), slot);
+        evictions
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// `(key, value)` pairs in unspecified order.
+    fn entries(&self) -> impl Iterator<Item = (&String, &ResultMap)> {
+        self.map
+            .iter()
+            .map(|(k, &slot)| (k, &self.nodes[slot].value))
+    }
+}
+
+/// The IRS-result buffer. All operations take `&self`; shards are locked
+/// individually, counters are atomics.
+#[derive(Debug)]
+pub struct ResultBuffer {
+    shards: Box<[Mutex<LruShard>]>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 impl Default for ResultBuffer {
@@ -49,96 +196,137 @@ impl Default for ResultBuffer {
     }
 }
 
-impl ResultBuffer {
-    /// Create a buffer holding at most `capacity` query results.
-    pub fn new(capacity: usize) -> Self {
+impl Clone for ResultBuffer {
+    fn clone(&self) -> Self {
+        let stats = self.stats();
         ResultBuffer {
-            entries: HashMap::new(),
-            lru: Vec::new(),
-            capacity: capacity.max(1),
-            stats: BufferStats::default(),
+            shards: self
+                .shards
+                .iter()
+                .map(|s| Mutex::new(s.lock().clone()))
+                .collect(),
+            hits: AtomicU64::new(stats.hits),
+            misses: AtomicU64::new(stats.misses),
+            evictions: AtomicU64::new(stats.evictions),
+            invalidations: AtomicU64::new(stats.invalidations),
         }
+    }
+}
+
+/// FNV-1a — the same stable hash the sharded index uses for terms.
+fn shard_hash(query: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in query.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl ResultBuffer {
+    /// Create a buffer holding at most `capacity` query results in total
+    /// (floored at 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let n_shards = if capacity < SHARDING_THRESHOLD {
+            1
+        } else {
+            N_SHARDS
+        };
+        // Split capacity across shards, remainder to the first shards.
+        let base = capacity / n_shards;
+        let rem = capacity % n_shards;
+        let shards = (0..n_shards)
+            .map(|i| Mutex::new(LruShard::new(base + usize::from(i < rem))))
+            .collect();
+        ResultBuffer {
+            shards,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, query: &str) -> &Mutex<LruShard> {
+        &self.shards[(shard_hash(query) % self.shards.len() as u64) as usize]
     }
 
     /// Number of buffered queries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
     }
 
     /// True if nothing is buffered.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.shards.iter().all(|s| s.lock().map.is_empty())
     }
 
     /// Statistics so far.
     pub fn stats(&self) -> BufferStats {
-        self.stats
-    }
-
-    fn touch(&mut self, query: &str) {
-        if let Some(pos) = self.lru.iter().position(|q| q == query) {
-            let q = self.lru.remove(pos);
-            self.lru.push(q);
+        BufferStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
         }
     }
 
     /// Look up the buffered result of `query`, updating hit/miss counters
-    /// and recency.
-    pub fn get(&mut self, query: &str) -> Option<&ResultMap> {
-        if self.entries.contains_key(query) {
-            self.stats.hits += 1;
-            self.touch(query);
-            self.entries.get(query)
-        } else {
-            self.stats.misses += 1;
-            None
+    /// and recency. Returns a clone — callers hold no lock afterwards.
+    pub fn get(&self, query: &str) -> Option<ResultMap> {
+        match self.shard(query).lock().get(query) {
+            Some(map) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(map)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
         }
     }
 
     /// Check presence without touching counters or recency (planning).
     pub fn contains(&self, query: &str) -> bool {
-        self.entries.contains_key(query)
+        self.shard(query).lock().map.contains_key(query)
     }
 
     /// Buffer the result of `query`, evicting the least recently used
-    /// entry if at capacity.
-    pub fn insert(&mut self, query: &str, result: ResultMap) {
-        if !self.entries.contains_key(query)
-            && self.entries.len() >= self.capacity
-            && !self.lru.is_empty()
-        {
-            let victim = self.lru.remove(0);
-            self.entries.remove(&victim);
-            self.stats.evictions += 1;
+    /// entry of its shard if at capacity.
+    pub fn insert(&self, query: &str, result: ResultMap) {
+        let evicted = self.shard(query).lock().insert(query, result);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
         }
-        if !self.entries.contains_key(query) {
-            self.lru.push(query.to_string());
-        } else {
-            self.touch(query);
-        }
-        self.entries.insert(query.to_string(), result);
     }
 
     /// Drop everything — called after the IRS collection changed.
-    pub fn invalidate_all(&mut self) {
-        if !self.entries.is_empty() {
-            self.entries.clear();
-            self.lru.clear();
+    pub fn invalidate_all(&self) {
+        for shard in self.shards.iter() {
+            shard.lock().clear();
         }
-        self.stats.invalidations += 1;
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Persist the buffer to `path` (the paper buffers *persistently*).
     pub fn save(&self, path: &Path) -> Result<()> {
+        // Collect the union of all shards, sorted by key so the file is
+        // deterministic and independent of shard layout.
+        let mut entries: Vec<(String, ResultMap)> = Vec::new();
+        for shard in self.shards.iter() {
+            let shard = shard.lock();
+            for (k, v) in shard.entries() {
+                entries.push((k.clone(), v.clone()));
+            }
+        }
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+
         let mut w = BufWriter::new(File::create(path).map_err(irs_io)?);
         let write_u64 =
             |w: &mut BufWriter<File>, v: u64| w.write_all(&v.to_le_bytes()).map_err(irs_io);
-        write_u64(&mut w, self.entries.len() as u64)?;
-        // Deterministic order for reproducible files.
-        let mut keys: Vec<&String> = self.entries.keys().collect();
-        keys.sort();
-        for key in keys {
-            let map = &self.entries[key];
+        write_u64(&mut w, entries.len() as u64)?;
+        for (key, map) in &entries {
             write_u64(&mut w, key.len() as u64)?;
             w.write_all(key.as_bytes()).map_err(irs_io)?;
             write_u64(&mut w, map.len() as u64)?;
@@ -173,7 +361,7 @@ impl ResultBuffer {
             Ok(u64::from_le_bytes(b))
         };
         let n = take_u64(&bytes, &mut pos)? as usize;
-        let mut out = ResultBuffer::new(capacity);
+        let out = ResultBuffer::new(capacity);
         for _ in 0..n {
             let klen = take_u64(&bytes, &mut pos)? as usize;
             if pos + klen > bytes.len() {
@@ -194,7 +382,7 @@ impl ResultBuffer {
             }
             out.insert(&key, map);
         }
-        out.stats = BufferStats::default();
+        out.evictions.store(0, Ordering::Relaxed);
         Ok(out)
     }
 }
@@ -213,7 +401,7 @@ mod tests {
 
     #[test]
     fn hit_and_miss_counting() {
-        let mut b = ResultBuffer::new(8);
+        let b = ResultBuffer::new(8);
         assert!(b.get("q1").is_none());
         b.insert("q1", map(&[(1, 0.7)]));
         assert_eq!(b.get("q1").unwrap()[&Oid(1)], 0.7);
@@ -224,7 +412,7 @@ mod tests {
 
     #[test]
     fn lru_eviction_drops_oldest() {
-        let mut b = ResultBuffer::new(2);
+        let b = ResultBuffer::new(2);
         b.insert("q1", map(&[(1, 0.1)]));
         b.insert("q2", map(&[(2, 0.2)]));
         // Touch q1 so q2 becomes LRU.
@@ -237,8 +425,39 @@ mod tests {
     }
 
     #[test]
+    fn lru_order_follows_every_touch() {
+        let b = ResultBuffer::new(3);
+        b.insert("q1", map(&[(1, 0.1)]));
+        b.insert("q2", map(&[(2, 0.2)]));
+        b.insert("q3", map(&[(3, 0.3)]));
+        // Recency now q1 < q2 < q3; touch q1 then q2, leaving q3 oldest.
+        b.get("q1");
+        b.get("q2");
+        b.insert("q4", map(&[(4, 0.4)]));
+        assert!(!b.contains("q3"), "q3 was least recently used");
+        b.insert("q5", map(&[(5, 0.5)]));
+        assert!(!b.contains("q1"), "then q1");
+        assert!(b.contains("q2") && b.contains("q4") && b.contains("q5"));
+        assert_eq!(b.stats().evictions, 2);
+    }
+
+    #[test]
+    fn eviction_at_capacity_is_bounded() {
+        let b = ResultBuffer::new(4);
+        for i in 0..20 {
+            b.insert(&format!("q{i}"), map(&[(i, i as f64)]));
+        }
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.stats().evictions, 16);
+        // The four most recent survive under single-shard global LRU.
+        for i in 16..20 {
+            assert!(b.contains(&format!("q{i}")), "q{i}");
+        }
+    }
+
+    #[test]
     fn invalidation_clears_everything() {
-        let mut b = ResultBuffer::new(8);
+        let b = ResultBuffer::new(8);
         b.insert("q1", map(&[(1, 0.5)]));
         b.invalidate_all();
         assert!(b.is_empty());
@@ -247,8 +466,25 @@ mod tests {
     }
 
     #[test]
+    fn stats_after_invalidate_keep_history() {
+        let b = ResultBuffer::new(8);
+        b.insert("q1", map(&[(1, 0.5)]));
+        b.get("q1");
+        b.get("nope");
+        b.invalidate_all();
+        b.invalidate_all(); // counted even when already empty
+        let s = b.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.invalidations, 2);
+        // Post-invalidation lookups miss and are counted as misses.
+        assert!(b.get("q1").is_none());
+        assert_eq!(b.stats().misses, 2);
+    }
+
+    #[test]
     fn reinsert_updates_value_without_eviction() {
-        let mut b = ResultBuffer::new(2);
+        let b = ResultBuffer::new(2);
         b.insert("q1", map(&[(1, 0.1)]));
         b.insert("q1", map(&[(1, 0.9)]));
         assert_eq!(b.len(), 1);
@@ -261,14 +497,47 @@ mod tests {
         let dir = std::env::temp_dir().join("coupling-buffer-tests");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("buf.bin");
-        let mut b = ResultBuffer::new(8);
+        let b = ResultBuffer::new(8);
         b.insert("#and(www nii)", map(&[(1, 0.75), (2, 0.5)]));
         b.insert("telnet", map(&[(3, 0.9)]));
         b.save(&path).unwrap();
-        let mut loaded = ResultBuffer::load(&path, 8).unwrap();
+        let loaded = ResultBuffer::load(&path, 8).unwrap();
         assert_eq!(loaded.len(), 2);
         assert_eq!(loaded.get("#and(www nii)").unwrap()[&Oid(2)], 0.5);
         assert_eq!(loaded.get("telnet").unwrap()[&Oid(3)], 0.9);
+    }
+
+    #[test]
+    fn sharded_save_load_round_trip() {
+        // Above the sharding threshold entries spread across shards; the
+        // file and reload must still contain every entry.
+        let dir = std::env::temp_dir().join("coupling-buffer-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("buf_sharded.bin");
+        let b = ResultBuffer::new(SHARDING_THRESHOLD * 2);
+        for i in 0..40 {
+            b.insert(&format!("query-{i}"), map(&[(i, i as f64 / 40.0)]));
+        }
+        b.save(&path).unwrap();
+        let loaded = ResultBuffer::load(&path, SHARDING_THRESHOLD * 2).unwrap();
+        assert_eq!(loaded.len(), 40);
+        for i in 0..40 {
+            assert_eq!(
+                loaded.get(&format!("query-{i}")).unwrap()[&Oid(i)],
+                i as f64 / 40.0
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_buffer_bounds_total_size() {
+        let cap = SHARDING_THRESHOLD * 2;
+        let b = ResultBuffer::new(cap);
+        for i in 0..cap * 3 {
+            b.insert(&format!("q{i}"), map(&[(i as u64, 0.5)]));
+        }
+        assert!(b.len() <= cap, "len {} exceeds capacity {cap}", b.len());
+        assert!(b.stats().evictions >= (cap * 3 - cap) as u64 / 2);
     }
 
     #[test]
@@ -276,7 +545,7 @@ mod tests {
         let dir = std::env::temp_dir().join("coupling-buffer-tests");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("trunc.bin");
-        let mut b = ResultBuffer::new(8);
+        let b = ResultBuffer::new(8);
         b.insert("q", map(&[(1, 0.5)]));
         b.save(&path).unwrap();
         let bytes = std::fs::read(&path).unwrap();
@@ -286,9 +555,28 @@ mod tests {
 
     #[test]
     fn capacity_floor_is_one() {
-        let mut b = ResultBuffer::new(0);
+        let b = ResultBuffer::new(0);
         b.insert("q1", map(&[(1, 0.1)]));
         b.insert("q2", map(&[(2, 0.2)]));
         assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let b = ResultBuffer::new(SHARDING_THRESHOLD * 4);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let b = &b;
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        let q = format!("t{t}-q{i}");
+                        b.insert(&q, map(&[(i, 0.5)]));
+                        assert_eq!(b.get(&q).unwrap()[&Oid(i)], 0.5);
+                    }
+                });
+            }
+        });
+        assert_eq!(b.len(), 200);
+        assert_eq!(b.stats().hits, 200);
     }
 }

@@ -8,6 +8,7 @@
 //! to `deriveIRSValue` for unrepresented objects.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use irs::{CollectionConfig, IrsCollection};
 use oodb::{Database, MethodCtx, Oid};
@@ -52,6 +53,30 @@ pub struct CouplingStats {
     pub indexed_objects: u64,
 }
 
+/// Atomic work counters so the query path (`getIRSResult`,
+/// `findIRSValue`) can count work from `&self` while threads share one
+/// collection.
+#[derive(Debug, Default)]
+struct CouplingCounters {
+    irs_calls: AtomicU64,
+    derivations: AtomicU64,
+    indexed_objects: AtomicU64,
+}
+
+impl CouplingCounters {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> CouplingStats {
+        CouplingStats {
+            irs_calls: self.irs_calls.load(Ordering::Relaxed),
+            derivations: self.derivations.load(Ordering::Relaxed),
+            indexed_objects: self.indexed_objects.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// A coupled document collection.
 #[derive(Debug)]
 pub struct Collection {
@@ -70,7 +95,7 @@ pub struct Collection {
     /// deletion on re-index).
     segment_counts: HashMap<Oid, usize>,
     spec_query: Option<String>,
-    stats: CouplingStats,
+    stats: CouplingCounters,
 }
 
 impl Collection {
@@ -92,7 +117,7 @@ impl Collection {
             segment_config: None,
             segment_counts: HashMap::new(),
             spec_query: None,
-            stats: CouplingStats::default(),
+            stats: CouplingCounters::default(),
         }
     }
 
@@ -131,24 +156,26 @@ impl Collection {
         let mut represented = HashSet::new();
         let mut segmented = HashSet::new();
         let mut segment_counts: HashMap<Oid, usize> = HashMap::new();
-        for (_, entry) in irs.index().store().iter_live() {
-            match entry.key.split_once('#') {
-                Some((prefix, k)) => {
-                    if let Some(oid) = Oid::parse(prefix) {
-                        segmented.insert(oid);
-                        if let Ok(k) = k.parse::<usize>() {
-                            let c = segment_counts.entry(oid).or_default();
-                            *c = (*c).max(k + 1);
+        irs.with_store(|store| {
+            for (_, entry) in store.iter_live() {
+                match entry.key.split_once('#') {
+                    Some((prefix, k)) => {
+                        if let Some(oid) = Oid::parse(prefix) {
+                            segmented.insert(oid);
+                            if let Ok(k) = k.parse::<usize>() {
+                                let c = segment_counts.entry(oid).or_default();
+                                *c = (*c).max(k + 1);
+                            }
+                        }
+                    }
+                    None => {
+                        if let Some(oid) = Oid::parse(&entry.key) {
+                            represented.insert(oid);
                         }
                     }
                 }
-                None => {
-                    if let Some(oid) = Oid::parse(&entry.key) {
-                        represented.insert(oid);
-                    }
-                }
             }
-        }
+        });
         Collection {
             name: name.to_string(),
             irs,
@@ -160,7 +187,7 @@ impl Collection {
             segment_config,
             segment_counts,
             spec_query,
-            stats: CouplingStats::default(),
+            stats: CouplingCounters::default(),
         }
     }
 
@@ -181,7 +208,7 @@ impl Collection {
 
     /// Coupling work counters.
     pub fn stats(&self) -> CouplingStats {
-        self.stats
+        self.stats.snapshot()
     }
 
     /// Buffer statistics.
@@ -244,7 +271,7 @@ impl Collection {
             self.irs.add_document(&key, &text)?;
             self.represented.insert(oid);
         }
-        self.stats.indexed_objects += 1;
+        CouplingCounters::bump(&self.stats.indexed_objects);
         Ok(())
     }
 
@@ -316,7 +343,7 @@ impl Collection {
             }
         }
         self.segmented.insert(root);
-        self.stats.indexed_objects += 1;
+        CouplingCounters::bump(&self.stats.indexed_objects);
         Ok(count)
     }
 
@@ -332,10 +359,12 @@ impl Collection {
     /// Submit `query` to the IRS (through the persistent buffer) and
     /// return `OID → IRS value` for every matching object. Segment hits
     /// are folded into their root object (beliefs combine by max;
-    /// unbounded scores sum, following [HeP93]).
-    pub fn get_irs_result(&mut self, query: &str) -> Result<ResultMap> {
+    /// unbounded scores sum, following [HeP93]). Takes `&self`: any
+    /// number of threads can serve queries from one shared collection —
+    /// the buffer and the sharded IRS index synchronise internally.
+    pub fn get_irs_result(&self, query: &str) -> Result<ResultMap> {
         if let Some(hit) = self.buffer.get(query) {
-            return Ok(hit.clone());
+            return Ok(hit);
         }
         let map = self.evaluate_uncached(query)?;
         self.buffer.insert(query, map.clone());
@@ -344,8 +373,8 @@ impl Collection {
 
     /// Evaluate against the IRS without touching the buffer (used by E4's
     /// unbuffered baseline).
-    pub fn evaluate_uncached(&mut self, query: &str) -> Result<ResultMap> {
-        self.stats.irs_calls += 1;
+    pub fn evaluate_uncached(&self, query: &str) -> Result<ResultMap> {
+        CouplingCounters::bump(&self.stats.irs_calls);
         let bounded = self.irs.config().model.as_model().bounded();
         let hits = self.irs.search(query)?;
         let mut map = ResultMap::new();
@@ -374,14 +403,13 @@ impl Collection {
     /// The IRS value of `oid` for `query`. "If the object is represented
     /// in the IRS collection, the IRS directly calculates the value,
     /// otherwise deriveIRSValue is invoked."
-    pub fn get_irs_value(&mut self, ctx: &MethodCtx<'_>, query: &str, oid: Oid) -> Result<f64> {
+    pub fn get_irs_value(&self, ctx: &MethodCtx<'_>, query: &str, oid: Oid) -> Result<f64> {
         if self.is_represented(oid) {
             let result = self.get_irs_result(query)?;
             Ok(result.get(&oid).copied().unwrap_or(0.0))
         } else {
-            self.stats.derivations += 1;
-            let scheme = self.derivation.clone();
-            Ok(scheme.derive(ctx, self, query, oid))
+            CouplingCounters::bump(&self.stats.derivations);
+            Ok(self.derivation.derive(ctx, self, query, oid))
         }
     }
 
@@ -405,7 +433,7 @@ impl Collection {
         if self.represented.contains(&oid) {
             let text = self.text_mode.get_text(ctx, oid);
             self.irs.update_document(&oid.to_string(), &text)?;
-            self.stats.indexed_objects += 1;
+            CouplingCounters::bump(&self.stats.indexed_objects);
             self.buffer.invalidate_all();
         }
         if self.segmented.contains(&oid) {
@@ -455,7 +483,7 @@ impl IrsAccess for Collection {
         Collection::is_represented(self, oid)
     }
 
-    fn value_of(&mut self, _ctx: &MethodCtx<'_>, query: &str, oid: Oid) -> f64 {
+    fn value_of(&self, _ctx: &MethodCtx<'_>, query: &str, oid: Oid) -> f64 {
         match self.get_irs_result(query) {
             Ok(map) => map.get(&oid).copied().unwrap_or(0.0),
             Err(_) => 0.0,
@@ -548,9 +576,12 @@ mod tests {
         coll.index_objects(&db, "ACCESS p FROM p IN PARA").unwrap();
         let ctx = db.method_ctx();
         // A paragraph is represented → direct value.
-        let para = loaded[0].elements.iter().find(|(_, o)| {
-            coll.is_represented(*o)
-        }).unwrap().1;
+        let para = loaded[0]
+            .elements
+            .iter()
+            .find(|(_, o)| coll.is_represented(*o))
+            .unwrap()
+            .1;
         let v = coll.get_irs_value(&ctx, "telnet", para).unwrap();
         assert!(v > 0.0);
         assert_eq!(coll.stats().derivations, 0);
@@ -568,9 +599,15 @@ mod tests {
         let mut coll = Collection::new("c", CollectionSetup::default());
         coll.index_objects(&db, "ACCESS p FROM p IN PARA").unwrap();
         let para = loaded[0].elements[2].1; // second PARA? index 0 is MMFDOC
-        // Modify its text in the database, then propagate.
+                                            // Modify its text in the database, then propagate.
         let mut txn = db.begin();
-        db.set_attr(&mut txn, para, "text", Value::from("gopher menus everywhere")).unwrap();
+        db.set_attr(
+            &mut txn,
+            para,
+            "text",
+            Value::from("gopher menus everywhere"),
+        )
+        .unwrap();
         db.commit(txn).unwrap();
         let ctx = db.method_ctx();
         coll.on_modify(&ctx, para).unwrap();
@@ -619,12 +656,18 @@ mod tests {
         let roots: Vec<Oid> = loaded.iter().map(|l| l.root).collect();
         // Window 6, stride 3 → consecutive passages share 3 tokens.
         let n = coll.index_passages(&db, &roots, 6, 3).unwrap();
-        assert!(n > roots.len(), "overlap yields more passages than documents");
+        assert!(
+            n > roots.len(),
+            "overlap yields more passages than documents"
+        );
         let result = coll.get_irs_result("telnet").unwrap();
         assert_eq!(result.len(), 1);
         let (oid, score) = result.iter().next().unwrap();
         assert_eq!(*oid, roots[0]);
-        assert!((0.0..=1.0).contains(score), "best-passage score is a belief");
+        assert!(
+            (0.0..=1.0).contains(score),
+            "best-passage score is a belief"
+        );
         assert!(coll.is_represented(roots[0]));
     }
 

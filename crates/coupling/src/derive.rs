@@ -26,8 +26,8 @@
 
 use std::collections::HashMap;
 
-use irs::query::QueryNode;
 use irs::parse_query;
+use irs::query::QueryNode;
 use oodb::{MethodCtx, Oid, Value};
 
 use crate::textmode::subtree_text;
@@ -41,7 +41,7 @@ pub trait IrsAccess {
 
     /// IRS value of a *represented* object for `query` (0.0 when the
     /// object is not part of the IRS result).
-    fn value_of(&mut self, ctx: &MethodCtx<'_>, query: &str, oid: Oid) -> f64;
+    fn value_of(&self, ctx: &MethodCtx<'_>, query: &str, oid: Oid) -> f64;
 
     /// The retrieval model's score for a document with *no* evidence —
     /// the inference network's default belief (0.4), 0.0 for set- and
@@ -78,11 +78,7 @@ pub enum DerivationScheme {
 /// Find the *nearest represented descendants* of `oid`: depth-first, stop
 /// descending at the first represented object on each path. These are
 /// the "components" whose IRS values derivation combines.
-pub fn represented_components(
-    ctx: &MethodCtx<'_>,
-    access: &impl IrsAccess,
-    oid: Oid,
-) -> Vec<Oid> {
+pub fn represented_components(ctx: &MethodCtx<'_>, access: &impl IrsAccess, oid: Oid) -> Vec<Oid> {
     let mut out = Vec::new();
     let Ok(obj) = ctx.store.get(oid) else {
         return out;
@@ -106,7 +102,7 @@ impl DerivationScheme {
     pub fn derive(
         &self,
         ctx: &MethodCtx<'_>,
-        access: &mut impl IrsAccess,
+        access: &impl IrsAccess,
         query: &str,
         oid: Oid,
     ) -> f64 {
@@ -120,11 +116,17 @@ impl DerivationScheme {
                 .map(|&c| access.value_of(ctx, query, c))
                 .fold(0.0, f64::max),
             DerivationScheme::Avg => {
-                let sum: f64 = components.iter().map(|&c| access.value_of(ctx, query, c)).sum();
+                let sum: f64 = components
+                    .iter()
+                    .map(|&c| access.value_of(ctx, query, c))
+                    .sum();
                 sum / components.len() as f64
             }
             DerivationScheme::Sum => {
-                let sum: f64 = components.iter().map(|&c| access.value_of(ctx, query, c)).sum();
+                let sum: f64 = components
+                    .iter()
+                    .map(|&c| access.value_of(ctx, query, c))
+                    .sum();
                 sum.min(1.0)
             }
             DerivationScheme::WeightedByType(weights) => {
@@ -194,7 +196,10 @@ fn eval_subqueries(node: &QueryNode, leaf_value: &mut impl FnMut(&QueryNode) -> 
             if cs.is_empty() {
                 0.0
             } else {
-                cs.iter().map(|c| eval_subqueries(c, leaf_value)).sum::<f64>() / cs.len() as f64
+                cs.iter()
+                    .map(|c| eval_subqueries(c, leaf_value))
+                    .sum::<f64>()
+                    / cs.len() as f64
             }
         }
         QueryNode::WSum(ws) => {
@@ -231,7 +236,7 @@ mod tests {
         fn is_represented(&self, oid: Oid) -> bool {
             self.represented.contains(&oid)
         }
-        fn value_of(&mut self, _ctx: &MethodCtx<'_>, query: &str, oid: Oid) -> f64 {
+        fn value_of(&self, _ctx: &MethodCtx<'_>, query: &str, oid: Oid) -> f64 {
             *self.values.get(&(query.to_string(), oid)).unwrap_or(&0.0)
         }
     }
@@ -250,18 +255,28 @@ mod tests {
         // M2 has P3 (www) and P4 (www+nii); M3 has P5 (www) and P6 (nii);
         // M4 has P7 (nii) and P8 (nii). (Subset of Figure 4 sufficient for
         // the ranking claims.)
-        for (doc, paras) in [("M2", vec!["P3", "P4"]), ("M3", vec!["P5", "P6"]), ("M4", vec!["P7", "P8"])] {
+        for (doc, paras) in [
+            ("M2", vec!["P3", "P4"]),
+            ("M3", vec!["P5", "P6"]),
+            ("M4", vec!["P7", "P8"]),
+        ] {
             let d = db.create_object(&mut txn, doc_c).unwrap();
             let mut kids = Vec::new();
             for p in &paras {
                 let po = db.create_object(&mut txn, para_c).unwrap();
                 db.set_attr(&mut txn, po, "parent", Value::Oid(d)).unwrap();
-                db.set_attr(&mut txn, po, "text", Value::from(format!("text of {p}").as_str()))
-                    .unwrap();
+                db.set_attr(
+                    &mut txn,
+                    po,
+                    "text",
+                    Value::from(format!("text of {p}").as_str()),
+                )
+                .unwrap();
                 kids.push(Value::Oid(po));
                 oids.insert(*p, po);
             }
-            db.set_attr(&mut txn, d, "children", Value::List(kids)).unwrap();
+            db.set_attr(&mut txn, d, "children", Value::List(kids))
+                .unwrap();
             oids.insert(doc, d);
         }
         db.commit(txn).unwrap();
@@ -274,7 +289,11 @@ mod tests {
         let mut values = HashMap::new();
         let rel = 0.8;
         let irr = 0.1;
-        let set = |m: &mut HashMap<(String, Oid), f64>, q: &str, p: &str, v: f64, oids: &HashMap<&str, Oid>| {
+        let set = |m: &mut HashMap<(String, Oid), f64>,
+                   q: &str,
+                   p: &str,
+                   v: f64,
+                   oids: &HashMap<&str, Oid>| {
             m.insert((q.to_string(), oids[p]), v);
         };
         for p in ["P3", "P4", "P5", "P6", "P7", "P8"] {
@@ -303,7 +322,10 @@ mod tests {
             .iter()
             .map(|p| oids[p])
             .collect();
-        Fixed { values, represented }
+        Fixed {
+            values,
+            represented,
+        }
     }
 
     #[test]
@@ -323,12 +345,12 @@ mod tests {
         // relevant, too" — Max over whole-query paragraph values cannot
         // distinguish M3 from M4.
         let (db, oids) = figure4_db();
-        let mut access = figure4_access(&oids);
+        let access = figure4_access(&oids);
         let ctx = db.method_ctx();
         let q = "#and(www nii)";
-        let m2 = DerivationScheme::Max.derive(&ctx, &mut access, q, oids["M2"]);
-        let m3 = DerivationScheme::Max.derive(&ctx, &mut access, q, oids["M3"]);
-        let m4 = DerivationScheme::Max.derive(&ctx, &mut access, q, oids["M4"]);
+        let m2 = DerivationScheme::Max.derive(&ctx, &access, q, oids["M2"]);
+        let m3 = DerivationScheme::Max.derive(&ctx, &access, q, oids["M3"]);
+        let m4 = DerivationScheme::Max.derive(&ctx, &access, q, oids["M4"]);
         assert!(m2 > m3, "Max ranks M2 first ({m2} vs {m3})");
         assert_eq!(m3, m4, "Max cannot separate M3 from M4");
     }
@@ -339,13 +361,13 @@ mod tests {
         // paragraphs. Their IRS values, however, should be different,
         // because only M3 is relevant for both terms."
         let (db, oids) = figure4_db();
-        let mut access = figure4_access(&oids);
+        let access = figure4_access(&oids);
         let ctx = db.method_ctx();
         let q = "#and(www nii)";
         let scheme = DerivationScheme::SubqueryAware;
-        let m2 = scheme.derive(&ctx, &mut access, q, oids["M2"]);
-        let m3 = scheme.derive(&ctx, &mut access, q, oids["M3"]);
-        let m4 = scheme.derive(&ctx, &mut access, q, oids["M4"]);
+        let m2 = scheme.derive(&ctx, &access, q, oids["M2"]);
+        let m3 = scheme.derive(&ctx, &access, q, oids["M3"]);
+        let m4 = scheme.derive(&ctx, &access, q, oids["M4"]);
         assert!(m3 > m4, "SubqueryAware separates M3 ({m3}) from M4 ({m4})");
         assert!(m2 >= m3, "M2 (co-occurring) still ranks at least as high");
         // M3's both-term evidence: 0.8 * 0.8 = 0.64; M4: 0.8 * 0.1 = 0.08.
@@ -356,24 +378,24 @@ mod tests {
     #[test]
     fn avg_and_sum_schemes() {
         let (db, oids) = figure4_db();
-        let mut access = figure4_access(&oids);
+        let access = figure4_access(&oids);
         let ctx = db.method_ctx();
-        let avg = DerivationScheme::Avg.derive(&ctx, &mut access, "www", oids["M2"]);
+        let avg = DerivationScheme::Avg.derive(&ctx, &access, "www", oids["M2"]);
         assert!((avg - 0.8).abs() < 1e-9, "both P3, P4 are www-relevant");
-        let sum = DerivationScheme::Sum.derive(&ctx, &mut access, "www", oids["M2"]);
+        let sum = DerivationScheme::Sum.derive(&ctx, &access, "www", oids["M2"]);
         assert_eq!(sum, 1.0, "0.8 + 0.8 clamps to 1.0");
     }
 
     #[test]
     fn weighted_by_type_prefers_weighted_classes() {
         let (db, oids) = figure4_db();
-        let mut access = figure4_access(&oids);
+        let access = figure4_access(&oids);
         let ctx = db.method_ctx();
         // Weight PARA low: derived values shrink toward the unweighted
         // components (none here), i.e. stay the mean.
         let mut weights = HashMap::new();
         weights.insert("PARA".to_string(), 2.0);
-        let w = DerivationScheme::WeightedByType(weights).derive(&ctx, &mut access, "www", oids["M3"]);
+        let w = DerivationScheme::WeightedByType(weights).derive(&ctx, &access, "www", oids["M3"]);
         // M3: P5 = 0.8, P6 = 0.1 → weighted mean with equal weights = 0.45.
         assert!((w - 0.45).abs() < 1e-9);
     }
@@ -383,27 +405,36 @@ mod tests {
         let (mut db, oids) = figure4_db();
         // Make P5's text much longer than P6's.
         let mut txn = db.begin();
-        db.set_attr(&mut txn, oids["P5"], "text", Value::from("x".repeat(1000).as_str()))
+        db.set_attr(
+            &mut txn,
+            oids["P5"],
+            "text",
+            Value::from("x".repeat(1000).as_str()),
+        )
+        .unwrap();
+        db.set_attr(&mut txn, oids["P6"], "text", Value::from("y"))
             .unwrap();
-        db.set_attr(&mut txn, oids["P6"], "text", Value::from("y")).unwrap();
         db.commit(txn).unwrap();
-        let mut access = figure4_access(&oids);
+        let access = figure4_access(&oids);
         let ctx = db.method_ctx();
-        let v = DerivationScheme::LengthWeighted.derive(&ctx, &mut access, "www", oids["M3"]);
+        let v = DerivationScheme::LengthWeighted.derive(&ctx, &access, "www", oids["M3"]);
         // P5 (www-relevant, 0.8) dominates by length.
-        assert!(v > 0.75, "length weighting favours the long relevant paragraph, got {v}");
+        assert!(
+            v > 0.75,
+            "length weighting favours the long relevant paragraph, got {v}"
+        );
     }
 
     #[test]
     fn unrepresented_leafless_object_derives_zero() {
         let (db, oids) = figure4_db();
-        let mut access = Fixed {
+        let access = Fixed {
             values: HashMap::new(),
             represented: vec![],
         };
         let ctx = db.method_ctx();
         assert_eq!(
-            DerivationScheme::Max.derive(&ctx, &mut access, "www", oids["M2"]),
+            DerivationScheme::Max.derive(&ctx, &access, "www", oids["M2"]),
             0.0
         );
     }
@@ -411,9 +442,9 @@ mod tests {
     #[test]
     fn subquery_aware_falls_back_on_unparseable_queries() {
         let (db, oids) = figure4_db();
-        let mut access = figure4_access(&oids);
+        let access = figure4_access(&oids);
         let ctx = db.method_ctx();
-        let v = DerivationScheme::SubqueryAware.derive(&ctx, &mut access, "#and(", oids["M2"]);
+        let v = DerivationScheme::SubqueryAware.derive(&ctx, &access, "#and(", oids["M2"]);
         // Falls back to Max over the (unparseable) whole query: 0.0.
         assert_eq!(v, 0.0);
     }

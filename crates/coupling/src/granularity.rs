@@ -89,7 +89,11 @@ impl GranularityPolicy {
                 let roots: Vec<Oid> = rows.iter().filter_map(|r| r.oid()).collect();
                 coll.index_segments(db, &roots, *words)
             }
-            GranularityPolicy::Passages { root_class, window, stride } => {
+            GranularityPolicy::Passages {
+                root_class,
+                window,
+                stride,
+            } => {
                 let rows = db.query(&format!("ACCESS d FROM d IN {root_class}"))?;
                 let roots: Vec<Oid> = rows.iter().filter_map(|r| r.oid()).collect();
                 coll.index_passages(db, &roots, *window, *stride)
@@ -142,9 +146,11 @@ mod tests {
     fn per_element_type_indexes_that_type() {
         let db = db();
         let mut c = fresh();
-        let n = GranularityPolicy::PerElementType { class: "PARA".into() }
-            .apply(&db, &mut c)
-            .unwrap();
+        let n = GranularityPolicy::PerElementType {
+            class: "PARA".into(),
+        }
+        .apply(&db, &mut c)
+        .unwrap();
         assert_eq!(n, 2);
     }
 
@@ -197,9 +203,12 @@ mod tests {
     fn passages_policy_overlaps() {
         let db = db();
         let mut segments = fresh();
-        let n_seg = GranularityPolicy::EqualSize { root_class: "MMFDOC".into(), words: 4 }
-            .apply(&db, &mut segments)
-            .unwrap();
+        let n_seg = GranularityPolicy::EqualSize {
+            root_class: "MMFDOC".into(),
+            words: 4,
+        }
+        .apply(&db, &mut segments)
+        .unwrap();
         let mut passages = fresh();
         let n_pass = GranularityPolicy::Passages {
             root_class: "MMFDOC".into(),
@@ -208,7 +217,10 @@ mod tests {
         }
         .apply(&db, &mut passages)
         .unwrap();
-        assert!(n_pass > n_seg, "stride < window yields more IRS docs ({n_pass} vs {n_seg})");
+        assert!(
+            n_pass > n_seg,
+            "stride < window yields more IRS docs ({n_pass} vs {n_seg})"
+        );
         assert!(GranularityPolicy::Passages {
             root_class: "MMFDOC".into(),
             window: 4,
@@ -223,13 +235,17 @@ mod tests {
         // Index size grows with redundancy: document-level <= all-levels.
         let db = db();
         let mut per_doc = fresh();
-        GranularityPolicy::PerDocument { root_class: "MMFDOC".into() }
-            .apply(&db, &mut per_doc)
-            .unwrap();
+        GranularityPolicy::PerDocument {
+            root_class: "MMFDOC".into(),
+        }
+        .apply(&db, &mut per_doc)
+        .unwrap();
         let mut all = fresh();
-        GranularityPolicy::AllElements { base_class: "IRSObject".into() }
-            .apply(&db, &mut all)
-            .unwrap();
+        GranularityPolicy::AllElements {
+            base_class: "IRSObject".into(),
+        }
+        .apply(&db, &mut all)
+        .unwrap();
         let doc_tokens = per_doc.irs().index_stats().total_tokens;
         let all_tokens = all.irs().index_stats().total_tokens;
         assert!(

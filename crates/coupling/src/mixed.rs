@@ -47,7 +47,7 @@ pub struct MixedOutcome {
 /// AND IRS value of `irs_query` > `threshold`" under `strategy`.
 pub fn evaluate_mixed(
     db: &Database,
-    coll: &mut Collection,
+    coll: &Collection,
     class: &str,
     structural: &dyn Fn(&Database, Oid) -> bool,
     irs_query: &str,
@@ -150,18 +150,54 @@ mod tests {
 
     #[test]
     fn both_strategies_agree_on_results() {
-        let (db, mut coll) = setup();
-        let a = evaluate_mixed(&db, &mut coll, "PARA", &pos_lt(4), "telnet", 0.4, MixedStrategy::Independent).unwrap();
-        let b = evaluate_mixed(&db, &mut coll, "PARA", &pos_lt(4), "telnet", 0.4, MixedStrategy::IrsFirst).unwrap();
+        let (db, coll) = setup();
+        let a = evaluate_mixed(
+            &db,
+            &coll,
+            "PARA",
+            &pos_lt(4),
+            "telnet",
+            0.4,
+            MixedStrategy::Independent,
+        )
+        .unwrap();
+        let b = evaluate_mixed(
+            &db,
+            &coll,
+            "PARA",
+            &pos_lt(4),
+            "telnet",
+            0.4,
+            MixedStrategy::IrsFirst,
+        )
+        .unwrap();
         assert_eq!(a.oids, b.oids);
         assert_eq!(a.oids.len(), 2, "paras 0 and 2 are telnet with pos<4");
     }
 
     #[test]
     fn irs_first_examines_fewer_objects_when_content_is_selective() {
-        let (db, mut coll) = setup();
-        let indep = evaluate_mixed(&db, &mut coll, "PARA", &pos_lt(100), "telnet", 0.4, MixedStrategy::Independent).unwrap();
-        let first = evaluate_mixed(&db, &mut coll, "PARA", &pos_lt(100), "telnet", 0.4, MixedStrategy::IrsFirst).unwrap();
+        let (db, coll) = setup();
+        let indep = evaluate_mixed(
+            &db,
+            &coll,
+            "PARA",
+            &pos_lt(100),
+            "telnet",
+            0.4,
+            MixedStrategy::Independent,
+        )
+        .unwrap();
+        let first = evaluate_mixed(
+            &db,
+            &coll,
+            "PARA",
+            &pos_lt(100),
+            "telnet",
+            0.4,
+            MixedStrategy::IrsFirst,
+        )
+        .unwrap();
         assert_eq!(indep.structural_checks, 6, "full extent");
         assert_eq!(first.structural_checks, 3, "only telnet hits");
         assert_eq!(indep.oids, first.oids);
@@ -169,24 +205,80 @@ mod tests {
 
     #[test]
     fn irs_calls_are_buffered_across_strategies() {
-        let (db, mut coll) = setup();
-        let a = evaluate_mixed(&db, &mut coll, "PARA", &pos_lt(4), "telnet", 0.4, MixedStrategy::Independent).unwrap();
+        let (db, coll) = setup();
+        let a = evaluate_mixed(
+            &db,
+            &coll,
+            "PARA",
+            &pos_lt(4),
+            "telnet",
+            0.4,
+            MixedStrategy::Independent,
+        )
+        .unwrap();
         assert_eq!(a.irs_calls, 1);
         // Second evaluation of the same content query hits the buffer.
-        let b = evaluate_mixed(&db, &mut coll, "PARA", &pos_lt(2), "telnet", 0.4, MixedStrategy::IrsFirst).unwrap();
+        let b = evaluate_mixed(
+            &db,
+            &coll,
+            "PARA",
+            &pos_lt(2),
+            "telnet",
+            0.4,
+            MixedStrategy::IrsFirst,
+        )
+        .unwrap();
         assert_eq!(b.irs_calls, 0);
     }
 
     #[test]
     fn threshold_filters_results() {
-        let (db, mut coll) = setup();
-        let none = evaluate_mixed(&db, &mut coll, "PARA", &pos_lt(100), "telnet", 0.999, MixedStrategy::IrsFirst).unwrap();
+        let (db, coll) = setup();
+        let none = evaluate_mixed(
+            &db,
+            &coll,
+            "PARA",
+            &pos_lt(100),
+            "telnet",
+            0.999,
+            MixedStrategy::IrsFirst,
+        )
+        .unwrap();
         assert!(none.oids.is_empty());
     }
 
     #[test]
+    fn malformed_irs_query_surfaces_parse_error() {
+        let (db, coll) = setup();
+        for q in [
+            "",
+            "#and(",
+            "#bogus(x)",
+            "\"unterminated",
+            "#near(a b)",
+            "#wsum(x y)",
+        ] {
+            for strategy in [MixedStrategy::Independent, MixedStrategy::IrsFirst] {
+                assert!(
+                    evaluate_mixed(&db, &coll, "PARA", &pos_lt(100), q, 0.4, strategy).is_err(),
+                    "query {q:?} must fail under {strategy:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn unknown_class_errors() {
-        let (db, mut coll) = setup();
-        assert!(evaluate_mixed(&db, &mut coll, "NOPE", &pos_lt(1), "x", 0.5, MixedStrategy::Independent).is_err());
+        let (db, coll) = setup();
+        assert!(evaluate_mixed(
+            &db,
+            &coll,
+            "NOPE",
+            &pos_lt(1),
+            "x",
+            0.5,
+            MixedStrategy::Independent
+        )
+        .is_err());
     }
 }

@@ -52,7 +52,9 @@ pub fn irs_and(operands: &[&ResultMap]) -> ResultMap {
 
 /// `IRSOperatorOR`: noisy-or of beliefs.
 pub fn irs_or(operands: &[&ResultMap]) -> ResultMap {
-    combine(operands, |bs| 1.0 - bs.iter().map(|b| 1.0 - b).product::<f64>())
+    combine(operands, |bs| {
+        1.0 - bs.iter().map(|b| 1.0 - b).product::<f64>()
+    })
 }
 
 /// `IRSOperatorSUM`: mean belief.
@@ -82,7 +84,9 @@ pub fn irs_wsum(weights: &[f64], operands: &[&ResultMap]) -> ResultMap {
 
 /// `IRSOperatorMAX`: maximum belief.
 pub fn irs_max(operands: &[&ResultMap]) -> ResultMap {
-    combine(operands, |bs| bs.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+    combine(operands, |bs| {
+        bs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    })
 }
 
 /// `IRSOperatorNOT`: complement, over the set of documents present in
@@ -182,10 +186,7 @@ mod tests {
         let direct = coll.get_irs_result("#and(www nii)").unwrap();
         for (oid, v) in &direct {
             let c = combined.get(oid).copied().unwrap_or(0.0);
-            assert!(
-                (c - v).abs() < 1e-9,
-                "oid {oid}: oodbms {c} vs irs {v}"
-            );
+            assert!((c - v).abs() < 1e-9, "oid {oid}: oodbms {c} vs irs {v}");
         }
     }
 }

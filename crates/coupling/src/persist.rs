@@ -257,7 +257,9 @@ mod tests {
     use std::sync::Arc;
 
     fn tmp(name: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join("coupling-system-persist").join(name);
+        let dir = std::env::temp_dir()
+            .join("coupling-system-persist")
+            .join(name);
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
@@ -269,8 +271,10 @@ mod tests {
              <PARA>telnet is a protocol</PARA><PARA>the www grows</PARA></MMFDOC>",
         )
         .unwrap();
-        sys.create_collection("collPara", CollectionSetup::default()).unwrap();
-        sys.index_collection("collPara", "ACCESS p FROM p IN PARA").unwrap();
+        sys.create_collection("collPara", CollectionSetup::default())
+            .unwrap();
+        sys.index_collection("collPara", "ACCESS p FROM p IN PARA")
+            .unwrap();
         sys.with_collection("collPara", |c| {
             c.set_derivation(DerivationScheme::SubqueryAware);
             c.get_irs_result("telnet").unwrap();
@@ -375,7 +379,9 @@ mod tests {
             TextMode::DirectText,
             TextMode::TitlesOnly,
             TextMode::AbstractOnly,
-            TextMode::LinkAugmented { link_attr: "implies".into() },
+            TextMode::LinkAugmented {
+                link_attr: "implies".into(),
+            },
         ] {
             let meta = mode_to_meta(&mode).unwrap();
             let back = mode_from_meta(&meta).unwrap();

@@ -161,7 +161,12 @@ impl Propagator {
         }
     }
 
-    fn apply_one(&mut self, ctx: &MethodCtx<'_>, coll: &mut Collection, op: PendingOp) -> Result<()> {
+    fn apply_one(
+        &mut self,
+        ctx: &MethodCtx<'_>,
+        coll: &mut Collection,
+        op: PendingOp,
+    ) -> Result<()> {
         self.stats.applied += 1;
         match op {
             PendingOp::Insert(oid) => coll.on_insert(ctx, oid),
@@ -220,7 +225,8 @@ mod tests {
         let class = db.schema().class_id("PARA").unwrap();
         let mut txn = db.begin();
         let oid = db.create_object(&mut txn, class).unwrap();
-        db.set_attr(&mut txn, oid, "text", Value::from(text)).unwrap();
+        db.set_attr(&mut txn, oid, "text", Value::from(text))
+            .unwrap();
         db.commit(txn).unwrap();
         oid
     }
@@ -231,7 +237,8 @@ mod tests {
         let fresh = new_para(&mut db, "gopher text");
         let mut prop = Propagator::new(PropagationStrategy::Eager);
         let ctx = db.method_ctx();
-        prop.record(&ctx, &mut coll, PendingOp::Insert(fresh)).unwrap();
+        prop.record(&ctx, &mut coll, PendingOp::Insert(fresh))
+            .unwrap();
         assert_eq!(coll.get_irs_result("gopher").unwrap().len(), 1);
         assert_eq!(prop.stats().applied, 1);
         assert!(prop.pending().is_empty());
@@ -243,8 +250,12 @@ mod tests {
         let fresh = new_para(&mut db, "gopher text");
         let mut prop = Propagator::new(PropagationStrategy::Deferred);
         let ctx = db.method_ctx();
-        prop.record(&ctx, &mut coll, PendingOp::Insert(fresh)).unwrap();
-        assert!(coll.get_irs_result("gopher").unwrap().is_empty(), "not yet visible");
+        prop.record(&ctx, &mut coll, PendingOp::Insert(fresh))
+            .unwrap();
+        assert!(
+            coll.get_irs_result("gopher").unwrap().is_empty(),
+            "not yet visible"
+        );
         assert_eq!(prop.pending().len(), 1);
         let applied = prop.flush(&ctx, &mut coll).unwrap();
         assert_eq!(applied, 1);
@@ -257,8 +268,10 @@ mod tests {
         let fresh = new_para(&mut db, "ephemeral");
         let mut prop = Propagator::new(PropagationStrategy::Deferred);
         let ctx = db.method_ctx();
-        prop.record(&ctx, &mut coll, PendingOp::Insert(fresh)).unwrap();
-        prop.record(&ctx, &mut coll, PendingOp::Delete(fresh)).unwrap();
+        prop.record(&ctx, &mut coll, PendingOp::Insert(fresh))
+            .unwrap();
+        prop.record(&ctx, &mut coll, PendingOp::Delete(fresh))
+            .unwrap();
         assert!(prop.pending().is_empty(), "pair cancelled");
         assert_eq!(prop.stats().cancelled, 2);
         let applied = prop.flush(&ctx, &mut coll).unwrap();
@@ -270,13 +283,17 @@ mod tests {
         let (db, mut coll, paras) = setup();
         let mut prop = Propagator::new(PropagationStrategy::Deferred);
         let ctx = db.method_ctx();
-        prop.record(&ctx, &mut coll, PendingOp::Modify(paras[0])).unwrap();
-        prop.record(&ctx, &mut coll, PendingOp::Modify(paras[0])).unwrap();
-        prop.record(&ctx, &mut coll, PendingOp::Modify(paras[0])).unwrap();
+        prop.record(&ctx, &mut coll, PendingOp::Modify(paras[0]))
+            .unwrap();
+        prop.record(&ctx, &mut coll, PendingOp::Modify(paras[0]))
+            .unwrap();
+        prop.record(&ctx, &mut coll, PendingOp::Modify(paras[0]))
+            .unwrap();
         assert_eq!(prop.pending().len(), 1);
         assert_eq!(prop.stats().cancelled, 2);
         // Modify then delete becomes a single delete.
-        prop.record(&ctx, &mut coll, PendingOp::Delete(paras[0])).unwrap();
+        prop.record(&ctx, &mut coll, PendingOp::Delete(paras[0]))
+            .unwrap();
         assert_eq!(prop.pending(), &[PendingOp::Delete(paras[0])]);
     }
 
@@ -286,8 +303,10 @@ mod tests {
         let fresh = new_para(&mut db, "first text");
         let mut prop = Propagator::new(PropagationStrategy::Deferred);
         let ctx = db.method_ctx();
-        prop.record(&ctx, &mut coll, PendingOp::Insert(fresh)).unwrap();
-        prop.record(&ctx, &mut coll, PendingOp::Modify(fresh)).unwrap();
+        prop.record(&ctx, &mut coll, PendingOp::Insert(fresh))
+            .unwrap();
+        prop.record(&ctx, &mut coll, PendingOp::Modify(fresh))
+            .unwrap();
         assert_eq!(prop.pending(), &[PendingOp::Insert(fresh)]);
         assert_eq!(prop.stats().cancelled, 1);
     }
@@ -298,7 +317,8 @@ mod tests {
         let fresh = new_para(&mut db, "gopher text");
         let mut prop = Propagator::new(PropagationStrategy::Deferred);
         let ctx = db.method_ctx();
-        prop.record(&ctx, &mut coll, PendingOp::Insert(fresh)).unwrap();
+        prop.record(&ctx, &mut coll, PendingOp::Insert(fresh))
+            .unwrap();
         // The application calls before_query prior to evaluating.
         prop.before_query(&ctx, &mut coll).unwrap();
         assert_eq!(coll.get_irs_result("gopher").unwrap().len(), 1);
@@ -315,17 +335,27 @@ mod tests {
         // fewer IRS operations.
         let (mut db, mut coll_eager, _) = setup();
         let mut coll_deferred = Collection::new("d", CollectionSetup::default());
-        coll_deferred.index_objects(&db, "ACCESS p FROM p IN PARA").unwrap();
+        coll_deferred
+            .index_objects(&db, "ACCESS p FROM p IN PARA")
+            .unwrap();
 
         let mut eager = Propagator::new(PropagationStrategy::Eager);
         let mut deferred = Propagator::new(PropagationStrategy::Deferred);
         for i in 0..10 {
             let oid = new_para(&mut db, &format!("transient text {i}"));
             let ctx = db.method_ctx();
-            eager.record(&ctx, &mut coll_eager, PendingOp::Insert(oid)).unwrap();
-            eager.record(&ctx, &mut coll_eager, PendingOp::Delete(oid)).unwrap();
-            deferred.record(&ctx, &mut coll_deferred, PendingOp::Insert(oid)).unwrap();
-            deferred.record(&ctx, &mut coll_deferred, PendingOp::Delete(oid)).unwrap();
+            eager
+                .record(&ctx, &mut coll_eager, PendingOp::Insert(oid))
+                .unwrap();
+            eager
+                .record(&ctx, &mut coll_eager, PendingOp::Delete(oid))
+                .unwrap();
+            deferred
+                .record(&ctx, &mut coll_deferred, PendingOp::Insert(oid))
+                .unwrap();
+            deferred
+                .record(&ctx, &mut coll_deferred, PendingOp::Delete(oid))
+                .unwrap();
         }
         let ctx = db.method_ctx();
         deferred.flush(&ctx, &mut coll_deferred).unwrap();

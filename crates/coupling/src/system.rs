@@ -57,57 +57,68 @@ impl DocumentSystem {
         // getIRSValue(collection, query) — the paper's central method:
         // "with this method each object knows its IRS value" (4.2).
         let reg = Arc::clone(&collections);
-        db.methods_mut().register("getIRSValue", MethodCost::Expensive, move |ctx, oid, args| {
-            let (coll_arg, query) = match args {
-                [c, Value::Str(q)] => (c, q.as_str()),
-                _ => {
-                    return Err(oodb::DbError::BadMethodArgs {
-                        method: "getIRSValue".into(),
-                        reason: "expected (collection, query-string)".into(),
-                    })
-                }
-            };
-            // The collection argument is either the COLLECTION object's
-            // OID (the paper's style) or the collection name directly.
-            let name = match coll_arg {
-                Value::Oid(coid) => match ctx.store.attr(*coid, "name")? {
-                    Value::Str(n) => n,
+        db.methods_mut().register(
+            "getIRSValue",
+            MethodCost::Expensive,
+            move |ctx, oid, args| {
+                let (coll_arg, query) = match args {
+                    [c, Value::Str(q)] => (c, q.as_str()),
                     _ => {
                         return Err(oodb::DbError::BadMethodArgs {
                             method: "getIRSValue".into(),
-                            reason: "collection object lacks a name".into(),
+                            reason: "expected (collection, query-string)".into(),
                         })
                     }
-                },
-                Value::Str(n) => n.clone(),
-                other => {
-                    return Err(oodb::DbError::BadMethodArgs {
+                };
+                // The collection argument is either the COLLECTION object's
+                // OID (the paper's style) or the collection name directly.
+                let name = match coll_arg {
+                    Value::Oid(coid) => match ctx.store.attr(*coid, "name")? {
+                        Value::Str(n) => n,
+                        _ => {
+                            return Err(oodb::DbError::BadMethodArgs {
+                                method: "getIRSValue".into(),
+                                reason: "collection object lacks a name".into(),
+                            })
+                        }
+                    },
+                    Value::Str(n) => n.clone(),
+                    other => {
+                        return Err(oodb::DbError::BadMethodArgs {
+                            method: "getIRSValue".into(),
+                            reason: format!("bad collection argument {other}"),
+                        })
+                    }
+                };
+                // Read lock only: `get_irs_value` works through `&self`
+                // (sharded index + interior-mutable buffer), so concurrent
+                // query threads evaluate IRS predicates without serializing
+                // on the registry.
+                let colls = reg.read();
+                let coll = colls
+                    .get(&name)
+                    .ok_or_else(|| oodb::DbError::BadMethodArgs {
                         method: "getIRSValue".into(),
-                        reason: format!("bad collection argument {other}"),
-                    })
-                }
-            };
-            let mut colls = reg.write();
-            let coll = colls.get_mut(&name).ok_or_else(|| oodb::DbError::BadMethodArgs {
-                method: "getIRSValue".into(),
-                reason: format!("unknown collection {name:?}"),
-            })?;
-            let value = coll
-                .get_irs_value(ctx, query, oid)
-                .map_err(|e| oodb::DbError::QueryEval(format!("IRS failure: {e}")))?;
-            Ok(Value::Real(value))
-        });
+                        reason: format!("unknown collection {name:?}"),
+                    })?;
+                let value = coll
+                    .get_irs_value(ctx, query, oid)
+                    .map_err(|e| oodb::DbError::QueryEval(format!("IRS failure: {e}")))?;
+                Ok(Value::Real(value))
+            },
+        );
 
         // getText(mode) — full-subtree text (mode 0) or direct text
         // (mode 1), callable from queries.
-        db.methods_mut().register("getText", MethodCost::Cheap, |ctx, oid, args| {
-            let mode = args.first().and_then(Value::as_f64).unwrap_or(0.0) as i64;
-            let text = match mode {
-                1 => crate::textmode::direct_text(ctx, oid),
-                _ => crate::textmode::subtree_text(ctx, oid),
-            };
-            Ok(Value::from(text))
-        });
+        db.methods_mut()
+            .register("getText", MethodCost::Cheap, |ctx, oid, args| {
+                let mode = args.first().and_then(Value::as_f64).unwrap_or(0.0) as i64;
+                let text = match mode {
+                    1 => crate::textmode::direct_text(ctx, oid),
+                    _ => crate::textmode::subtree_text(ctx, oid),
+                };
+                Ok(Value::from(text))
+            });
 
         // Rebind query constants for collections already stored in the
         // database (constants are not persisted).
@@ -140,7 +151,8 @@ impl DocumentSystem {
             let class = self.db.schema().class_id("COLLECTION")?;
             let mut txn = self.db.begin();
             let oid = self.db.create_object(&mut txn, class)?;
-            self.db.set_attr(&mut txn, oid, "name", Value::from(name.as_str()))?;
+            self.db
+                .set_attr(&mut txn, oid, "name", Value::from(name.as_str()))?;
             self.db.commit(txn)?;
             self.db.define_constant(&name, Value::Oid(oid));
         }
@@ -168,7 +180,8 @@ impl DocumentSystem {
         targets: &mut [(&str, &mut crate::propagate::Propagator)],
     ) -> Result<()> {
         let mut txn = self.db.begin();
-        self.db.set_attr(&mut txn, oid, "text", Value::from(new_text))?;
+        self.db
+            .set_attr(&mut txn, oid, "text", Value::from(new_text))?;
         self.db.commit(txn)?;
         for (name, propagator) in targets.iter_mut() {
             self.with_collection_and_db(name, |db, coll| -> Result<()> {
@@ -248,7 +261,9 @@ impl DocumentSystem {
         self.db.set_attr(&mut txn, oid, "name", Value::from(name))?;
         self.db.commit(txn)?;
         self.db.define_constant(name, Value::Oid(oid));
-        self.collections.write().insert(name.to_string(), Collection::new(name, setup));
+        self.collections
+            .write()
+            .insert(name.to_string(), Collection::new(name, setup));
         Ok(oid)
     }
 
@@ -271,8 +286,23 @@ impl DocumentSystem {
         policy.apply(&self.db, coll)
     }
 
+    /// Run `f` with shared (read) access to a collection. Queries and
+    /// buffer lookups only need `&Collection`, so many threads can hold
+    /// this concurrently.
+    pub fn read_collection<R>(&self, name: &str, f: impl FnOnce(&Collection) -> R) -> Result<R> {
+        let colls = self.collections.read();
+        let coll = colls
+            .get(name)
+            .ok_or_else(|| CouplingError::UnknownCollection(name.to_string()))?;
+        Ok(f(coll))
+    }
+
     /// Run `f` with mutable access to a collection.
-    pub fn with_collection<R>(&self, name: &str, f: impl FnOnce(&mut Collection) -> R) -> Result<R> {
+    pub fn with_collection<R>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&mut Collection) -> R,
+    ) -> Result<R> {
         let mut colls = self.collections.write();
         let coll = colls
             .get_mut(name)
@@ -339,8 +369,10 @@ mod tests {
              <PARA>the nii will connect the www to everyone</PARA></MMFDOC>",
         )
         .unwrap();
-        sys.create_collection("collPara", CollectionSetup::default()).unwrap();
-        sys.index_collection("collPara", "ACCESS p FROM p IN PARA").unwrap();
+        sys.create_collection("collPara", CollectionSetup::default())
+            .unwrap();
+        sys.index_collection("collPara", "ACCESS p FROM p IN PARA")
+            .unwrap();
         sys
     }
 
@@ -409,7 +441,9 @@ mod tests {
             )
             .unwrap();
         assert_eq!(rows.len(), 1, "only the Telnet issue derives high");
-        let derivations = sys.with_collection("collPara", |c| c.stats().derivations).unwrap();
+        let derivations = sys
+            .with_collection("collPara", |c| c.stats().derivations)
+            .unwrap();
         assert!(derivations >= 2, "each document derived");
     }
 
@@ -465,11 +499,18 @@ mod tests {
         // "specification of arbitrary (potentially overlapping) document
         // collections" (Section 1.3).
         let mut sys = loaded_system();
-        sys.create_collection("collDoc", CollectionSetup::default()).unwrap();
-        sys.index_collection("collDoc", "ACCESS d FROM d IN MMFDOC").unwrap();
-        sys.create_collection("collAll", CollectionSetup::default()).unwrap();
-        sys.index_collection("collAll", "ACCESS o FROM o IN IRSObject").unwrap();
-        assert_eq!(sys.collection_names(), vec!["collAll", "collDoc", "collPara"]);
+        sys.create_collection("collDoc", CollectionSetup::default())
+            .unwrap();
+        sys.index_collection("collDoc", "ACCESS d FROM d IN MMFDOC")
+            .unwrap();
+        sys.create_collection("collAll", CollectionSetup::default())
+            .unwrap();
+        sys.index_collection("collAll", "ACCESS o FROM o IN IRSObject")
+            .unwrap();
+        assert_eq!(
+            sys.collection_names(),
+            vec!["collAll", "collDoc", "collPara"]
+        );
         // The same paragraph answers through different collections.
         let rows = sys
             .query(
@@ -485,9 +526,13 @@ mod tests {
     fn update_text_records_for_every_collection() {
         use crate::propagate::{PropagationStrategy, Propagator};
         let mut sys = loaded_system();
-        sys.create_collection("collAll", CollectionSetup::default()).unwrap();
-        sys.index_collection("collAll", "ACCESS o FROM o IN IRSObject").unwrap();
-        let para = sys.query("ACCESS p FROM p IN PARA").unwrap()[0].oid().unwrap();
+        sys.create_collection("collAll", CollectionSetup::default())
+            .unwrap();
+        sys.index_collection("collAll", "ACCESS o FROM o IN IRSObject")
+            .unwrap();
+        let para = sys.query("ACCESS p FROM p IN PARA").unwrap()[0]
+            .oid()
+            .unwrap();
 
         let mut prop_para = Propagator::new(PropagationStrategy::Deferred);
         let mut prop_all = Propagator::new(PropagationStrategy::Eager);
@@ -501,7 +546,11 @@ mod tests {
         // the paragraph AND its ancestors (DOCTITLE aside), so the
         // cascade re-indexed paragraph + document.
         assert_eq!(prop_para.pending().len(), 1);
-        assert_eq!(prop_all.stats().applied, 2, "paragraph + enclosing document");
+        assert_eq!(
+            prop_all.stats().applied,
+            2,
+            "paragraph + enclosing document"
+        );
         let visible_in_all = sys
             .with_collection("collAll", |c| c.get_irs_result("gopher").unwrap().len())
             .unwrap();

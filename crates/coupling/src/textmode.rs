@@ -72,7 +72,12 @@ impl TextMode {
             TextMode::DirectText => direct_text(ctx, oid),
             TextMode::TitlesOnly => {
                 let mut parts = Vec::new();
-                collect_by_class(ctx, oid, &["DOCTITLE", "SECTITLE", "TITLE", "CAPTION"], &mut parts);
+                collect_by_class(
+                    ctx,
+                    oid,
+                    &["DOCTITLE", "SECTITLE", "TITLE", "CAPTION"],
+                    &mut parts,
+                );
                 parts.join(" ")
             }
             TextMode::AbstractOnly => {
@@ -185,7 +190,10 @@ mod tests {
         let (db, l) = loaded(DOC);
         let ctx = db.method_ctx();
         let t = TextMode::FullSubtree.get_text(&ctx, l.root);
-        assert_eq!(t, "Telnet about remote login History early networks telnet details");
+        assert_eq!(
+            t,
+            "Telnet about remote login History early networks telnet details"
+        );
     }
 
     #[test]
@@ -202,14 +210,20 @@ mod tests {
     fn titles_only_builds_an_abstract() {
         let (db, l) = loaded(DOC);
         let ctx = db.method_ctx();
-        assert_eq!(TextMode::TitlesOnly.get_text(&ctx, l.root), "Telnet History");
+        assert_eq!(
+            TextMode::TitlesOnly.get_text(&ctx, l.root),
+            "Telnet History"
+        );
     }
 
     #[test]
     fn abstract_only_uses_user_abstract() {
         let (db, l) = loaded(DOC);
         let ctx = db.method_ctx();
-        assert_eq!(TextMode::AbstractOnly.get_text(&ctx, l.root), "about remote login");
+        assert_eq!(
+            TextMode::AbstractOnly.get_text(&ctx, l.root),
+            "about remote login"
+        );
     }
 
     #[test]
@@ -217,7 +231,8 @@ mod tests {
         let (mut db, l) = loaded(DOC);
         // Build a second node with an implies-link to the first PARA.
         let (_, l2) = {
-            let tree = parse_document("<MMFDOC><PARA>gopher implies telnet</PARA></MMFDOC>").unwrap();
+            let tree =
+                parse_document("<MMFDOC><PARA>gopher implies telnet</PARA></MMFDOC>").unwrap();
             let mut txn = db.begin();
             let l2 = load_document(&mut db, &mut txn, &tree, "IRSObject").unwrap();
             db.commit(txn).unwrap();
@@ -226,8 +241,13 @@ mod tests {
         let target = l.elements.last().unwrap().1;
         let source_para = l2.elements[1].1;
         let mut txn = db.begin();
-        db.set_attr(&mut txn, source_para, "implies", Value::List(vec![Value::Oid(target)]))
-            .unwrap();
+        db.set_attr(
+            &mut txn,
+            source_para,
+            "implies",
+            Value::List(vec![Value::Oid(target)]),
+        )
+        .unwrap();
         db.commit(txn).unwrap();
 
         let ctx = db.method_ctx();
@@ -236,7 +256,10 @@ mod tests {
         };
         let t = mode.get_text(&ctx, target);
         assert!(t.contains("telnet details"), "own text present");
-        assert!(t.contains("gopher implies telnet"), "link source text present");
+        assert!(
+            t.contains("gopher implies telnet"),
+            "link source text present"
+        );
         // Non-targets are unaffected.
         let other = l.elements[1].1;
         assert!(!mode.get_text(&ctx, other).contains("gopher"));
@@ -263,7 +286,12 @@ mod tests {
     fn debug_formats() {
         assert_eq!(format!("{:?}", TextMode::FullSubtree), "FullSubtree");
         assert_eq!(
-            format!("{:?}", TextMode::LinkAugmented { link_attr: "implies".into() }),
+            format!(
+                "{:?}",
+                TextMode::LinkAugmented {
+                    link_attr: "implies".into()
+                }
+            ),
             "LinkAugmented(implies)"
         );
     }

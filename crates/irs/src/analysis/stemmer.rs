@@ -177,7 +177,9 @@ fn step_1b(s: &mut Stem) {
     }
     // Cleanup: AT -> ATE, BL -> BLE, IZ -> IZE; double consonant (not
     // l/s/z) -> single; (m=1 and *o) -> add E.
-    if ends_with(&s.w, s.len, b"at") || ends_with(&s.w, s.len, b"bl") || ends_with(&s.w, s.len, b"iz")
+    if ends_with(&s.w, s.len, b"at")
+        || ends_with(&s.w, s.len, b"bl")
+        || ends_with(&s.w, s.len, b"iz")
     {
         s.w.push(b'e');
     } else if ends_double_consonant(&s.w, s.len) {
@@ -250,8 +252,7 @@ fn step_3(s: &mut Stem) {
 fn step_4(s: &mut Stem) {
     let m_gt_1 = |w: &[u8], l: usize| measure(w, l) > 1;
     let rules: &[&[u8]] = &[
-        b"al", b"ance", b"ence", b"er", b"ic", b"able", b"ible", b"ant", b"ement", b"ment",
-        b"ent",
+        b"al", b"ance", b"ence", b"er", b"ic", b"able", b"ible", b"ant", b"ement", b"ment", b"ent",
     ];
     for suffix in rules {
         if ends_with(&s.w, s.len, suffix) {
@@ -429,8 +430,8 @@ mod tests {
     #[test]
     fn stemming_is_idempotent_on_common_words() {
         for w in [
-            "connect", "relat", "gener", "oper", "hope", "adjust", "formal", "telnet",
-            "protocol", "network",
+            "connect", "relat", "gener", "oper", "hope", "adjust", "formal", "telnet", "protocol",
+            "network",
         ] {
             let once = porter_stem(w);
             assert_eq!(porter_stem(&once), once, "idempotence for {w}");

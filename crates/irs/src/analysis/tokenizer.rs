@@ -86,7 +86,10 @@ mod tests {
 
     #[test]
     fn numbers_are_tokens() {
-        assert_eq!(texts("TCP port 23 in 1994"), vec!["TCP", "port", "23", "in", "1994"]);
+        assert_eq!(
+            texts("TCP port 23 in 1994"),
+            vec!["TCP", "port", "23", "in", "1994"]
+        );
     }
 
     #[test]
@@ -99,7 +102,10 @@ mod tests {
 
     #[test]
     fn non_ascii_words_tokenise() {
-        assert_eq!(texts("Dolivostraße 15, Darmstadt"), vec!["Dolivostraße", "15", "Darmstadt"]);
+        assert_eq!(
+            texts("Dolivostraße 15, Darmstadt"),
+            vec!["Dolivostraße", "15", "Darmstadt"]
+        );
     }
 
     #[test]

@@ -10,9 +10,14 @@
 //! tracks the indexing-cost counters the update-propagation experiment
 //! (E7) reports.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use crate::analysis::{Analyzer, AnalyzerConfig};
 use crate::error::Result;
-use crate::index::{DocId, IndexStatistics, InvertedIndex, MergeStats};
+use crate::index::{
+    DocId, DocStore, IndexReader, IndexStatistics, InvertedIndex, MergeStats, ShardedIndex,
+    DEFAULT_SHARDS,
+};
 use crate::model::ModelKind;
 use crate::query::{evaluate, parse_query, QueryNode};
 
@@ -49,22 +54,65 @@ pub struct CollectionStatistics {
     pub merges: u64,
 }
 
+/// Lock-free work counters: queries are counted from `&self` so searches
+/// can run concurrently (relaxed ordering — counters only, no ordering
+/// requirements).
+#[derive(Debug, Default)]
+struct WorkCounters {
+    adds: AtomicU64,
+    deletes: AtomicU64,
+    queries: AtomicU64,
+    merges: AtomicU64,
+}
+
+impl WorkCounters {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> CollectionStatistics {
+        CollectionStatistics {
+            adds: self.adds.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            merges: self.merges.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Clone for WorkCounters {
+    fn clone(&self) -> Self {
+        let s = self.snapshot();
+        WorkCounters {
+            adds: AtomicU64::new(s.adds),
+            deletes: AtomicU64::new(s.deletes),
+            queries: AtomicU64::new(s.queries),
+            merges: AtomicU64::new(s.merges),
+        }
+    }
+}
+
 /// A named set of IRS documents with ranked retrieval.
+///
+/// Searches take `&self` — the underlying [`ShardedIndex`] serves reads
+/// under shard read-locks, so any number of threads can query one shared
+/// collection concurrently. Mutation keeps `&mut self` receivers to
+/// preserve the single-writer discipline of the update-propagation path.
 #[derive(Debug, Clone)]
 pub struct IrsCollection {
     config: CollectionConfig,
-    index: InvertedIndex,
-    stats: CollectionStatistics,
+    index: ShardedIndex,
+    stats: WorkCounters,
 }
 
 impl IrsCollection {
     /// Create an empty collection.
     pub fn new(config: CollectionConfig) -> Self {
-        let index = InvertedIndex::new(Analyzer::new(config.analyzer.clone()));
+        let index = ShardedIndex::new(Analyzer::new(config.analyzer.clone()));
         IrsCollection {
             config,
             index,
-            stats: CollectionStatistics::default(),
+            stats: WorkCounters::default(),
         }
     }
 
@@ -75,7 +123,7 @@ impl IrsCollection {
 
     /// Work counters.
     pub fn work_stats(&self) -> CollectionStatistics {
-        self.stats
+        self.stats.snapshot()
     }
 
     /// Index statistics of the underlying inverted index.
@@ -83,39 +131,56 @@ impl IrsCollection {
         self.index.statistics()
     }
 
-    /// Direct (read-only) access to the index, used by evaluation-strategy
-    /// experiments that need raw postings.
-    pub fn index(&self) -> &InvertedIndex {
-        &self.index
+    /// A merged single-dictionary snapshot of the index, used by
+    /// persistence and by evaluation-strategy experiments that need raw
+    /// postings. O(index size) — not a hot-path accessor.
+    pub fn index_snapshot(&self) -> InvertedIndex {
+        self.index.snapshot()
+    }
+
+    /// Run `f` against the document store under a read lock.
+    pub fn with_store<R>(&self, f: impl FnOnce(&DocStore) -> R) -> R {
+        self.index.with_store(f)
     }
 
     /// Add a document under `key` (in the coupling: the object's OID).
     pub fn add_document(&mut self, key: &str, text: &str) -> Result<DocId> {
-        self.stats.adds += 1;
+        WorkCounters::bump(&self.stats.adds);
         self.index.add_document(key, text)
+    }
+
+    /// Add a batch of `(key, text)` documents, analyzing them in parallel
+    /// across worker threads before merging into the index. All-or-nothing
+    /// on duplicate keys.
+    pub fn add_documents(&mut self, docs: &[(String, String)]) -> Result<Vec<DocId>> {
+        let ids = self.index.index_documents(docs)?;
+        self.stats
+            .adds
+            .fetch_add(ids.len() as u64, Ordering::Relaxed);
+        Ok(ids)
     }
 
     /// Delete the document stored under `key`.
     pub fn delete_document(&mut self, key: &str) -> Result<DocId> {
-        self.stats.deletes += 1;
+        WorkCounters::bump(&self.stats.deletes);
         self.index.delete_document(key)
     }
 
     /// Replace the document stored under `key`.
     pub fn update_document(&mut self, key: &str, text: &str) -> Result<DocId> {
-        self.stats.deletes += 1;
-        self.stats.adds += 1;
+        WorkCounters::bump(&self.stats.deletes);
+        WorkCounters::bump(&self.stats.adds);
         self.index.update_document(key, text)
     }
 
     /// True if `key` currently has a live IRS document.
     pub fn contains(&self, key: &str) -> bool {
-        self.index.store().id_of(key).is_some()
+        self.index.with_store(|s| s.id_of(key).is_some())
     }
 
     /// Number of live documents.
     pub fn len(&self) -> usize {
-        self.index.store().live_count() as usize
+        self.index.with_store(|s| s.live_count()) as usize
     }
 
     /// True if the collection holds no live documents.
@@ -126,8 +191,8 @@ impl IrsCollection {
     /// Compact tombstones when more than 20% of slots are dead; called by
     /// [`IrsCollection::commit`].
     pub fn maybe_merge(&mut self) -> Option<MergeStats> {
-        if self.index.store().tombstone_ratio() > 0.2 {
-            self.stats.merges += 1;
+        if self.index.with_store(|s| s.tombstone_ratio()) > 0.2 {
+            WorkCounters::bump(&self.stats.merges);
             Some(self.index.merge())
         } else {
             None
@@ -142,13 +207,13 @@ impl IrsCollection {
 
     /// Force a full compaction regardless of tombstone ratio.
     pub fn force_merge(&mut self) -> MergeStats {
-        self.stats.merges += 1;
+        WorkCounters::bump(&self.stats.merges);
         self.index.merge()
     }
 
     /// Parse and evaluate `query`, returning hits sorted by descending IRS
     /// value (ties broken by key for determinism).
-    pub fn search(&mut self, query: &str) -> Result<Vec<Hit>> {
+    pub fn search(&self, query: &str) -> Result<Vec<Hit>> {
         let node = parse_query(query)?;
         Ok(self.search_node(&node))
     }
@@ -156,15 +221,15 @@ impl IrsCollection {
     /// Parse and evaluate `query`, returning only the `k` best hits
     /// (partial selection instead of a full sort — the hot path for
     /// ranked retrieval UIs).
-    pub fn search_top_k(&mut self, query: &str, k: usize) -> Result<Vec<Hit>> {
+    pub fn search_top_k(&self, query: &str, k: usize) -> Result<Vec<Hit>> {
         let node = parse_query(query)?;
-        self.stats.queries += 1;
-        let scores = evaluate(&self.index, self.config.model.as_model(), &node);
-        let store = self.index.store();
+        WorkCounters::bump(&self.stats.queries);
+        let reader = self.index.reader();
+        let scores = evaluate(&reader, self.config.model.as_model(), &node);
         let mut hits: Vec<Hit> = scores
             .into_iter()
             .map(|(doc, score)| Hit {
-                key: store.entry(doc).key.clone(),
+                key: reader.doc_entry(doc).key.clone(),
                 score,
             })
             .collect();
@@ -179,14 +244,14 @@ impl IrsCollection {
     }
 
     /// Evaluate an already-parsed query.
-    pub fn search_node(&mut self, node: &QueryNode) -> Vec<Hit> {
-        self.stats.queries += 1;
-        let scores = evaluate(&self.index, self.config.model.as_model(), node);
-        let store = self.index.store();
+    pub fn search_node(&self, node: &QueryNode) -> Vec<Hit> {
+        WorkCounters::bump(&self.stats.queries);
+        let reader = self.index.reader();
+        let scores = evaluate(&reader, self.config.model.as_model(), node);
         let mut hits: Vec<Hit> = scores
             .into_iter()
             .map(|(doc, score)| Hit {
-                key: store.entry(doc).key.clone(),
+                key: reader.doc_entry(doc).key.clone(),
                 score,
             })
             .collect();
@@ -198,8 +263,8 @@ impl IrsCollection {
     pub(crate) fn from_parts(config: CollectionConfig, index: InvertedIndex) -> Self {
         IrsCollection {
             config,
-            index,
-            stats: CollectionStatistics::default(),
+            index: ShardedIndex::from_inverted(index, DEFAULT_SHARDS),
+            stats: WorkCounters::default(),
         }
     }
 }
@@ -214,15 +279,18 @@ mod tests {
             model,
             ..CollectionConfig::default()
         });
-        c.add_document("p1", "telnet is a protocol for remote login").unwrap();
-        c.add_document("p2", "the www is a hypertext system").unwrap();
-        c.add_document("p3", "the www and the nii together").unwrap();
+        c.add_document("p1", "telnet is a protocol for remote login")
+            .unwrap();
+        c.add_document("p2", "the www is a hypertext system")
+            .unwrap();
+        c.add_document("p3", "the www and the nii together")
+            .unwrap();
         c
     }
 
     #[test]
     fn search_returns_sorted_hits() {
-        let mut c = populated(ModelKind::Inference(InferenceModel::default()));
+        let c = populated(ModelKind::Inference(InferenceModel::default()));
         let hits = c.search("www").unwrap();
         assert_eq!(hits.len(), 2);
         assert!(hits[0].score >= hits[1].score);
@@ -246,7 +314,7 @@ mod tests {
             ModelKind::Bm25(Bm25Model::default()),
             ModelKind::Inference(InferenceModel::default()),
         ] {
-            let mut c = populated(model.clone());
+            let c = populated(model.clone());
             let hits = c.search("#and(www nii)").unwrap();
             assert!(!hits.is_empty(), "{model:?}");
             assert_eq!(hits[0].key, "p3", "{model:?} top hit");
@@ -256,7 +324,8 @@ mod tests {
     #[test]
     fn update_changes_search_results() {
         let mut c = populated(ModelKind::default());
-        c.update_document("p1", "gopher replaces telnet menus entirely").unwrap();
+        c.update_document("p1", "gopher replaces telnet menus entirely")
+            .unwrap();
         let telnet = c.search("telnet").unwrap();
         // p1 still matches (text mentions telnet) but via the new text.
         assert_eq!(telnet.len(), 1);
@@ -299,7 +368,7 @@ mod tests {
 
     #[test]
     fn bad_query_surfaces_parse_error() {
-        let mut c = populated(ModelKind::default());
+        let c = populated(ModelKind::default());
         assert!(c.search("#and(").is_err());
     }
 

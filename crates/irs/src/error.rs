@@ -79,7 +79,11 @@ mod tests {
 
     #[test]
     fn unknown_and_duplicate_display_key() {
-        assert!(IrsError::UnknownDocument("k1".into()).to_string().contains("k1"));
-        assert!(IrsError::DuplicateDocument("k2".into()).to_string().contains("k2"));
+        assert!(IrsError::UnknownDocument("k1".into())
+            .to_string()
+            .contains("k1"));
+        assert!(IrsError::DuplicateDocument("k2".into())
+            .to_string()
+            .contains("k2"));
     }
 }

@@ -62,7 +62,7 @@ pub fn expansion_candidates(
     relevant_keys: &[&str],
     config: &FeedbackConfig,
 ) -> Result<Vec<ExpansionTerm>> {
-    let index = coll.index();
+    let index = coll.index_snapshot();
     let store = index.store();
     let mut relevant_docs: HashSet<DocId> = HashSet::new();
     for key in relevant_keys {
@@ -159,36 +159,45 @@ mod tests {
     /// not "telnet".
     fn collection() -> IrsCollection {
         let mut c = IrsCollection::new(CollectionConfig::default());
-        c.add_document("r1", "telnet gives terminal access to remote hosts").unwrap();
-        c.add_document("r2", "telnet terminal emulation for unix systems").unwrap();
-        c.add_document("held_out", "terminal multiplexers improve productivity").unwrap();
-        c.add_document("noise1", "the www links hypertext documents").unwrap();
-        c.add_document("noise2", "database transactions need recovery logs").unwrap();
-        c.add_document("noise3", "gopher menus predate the web").unwrap();
+        c.add_document("r1", "telnet gives terminal access to remote hosts")
+            .unwrap();
+        c.add_document("r2", "telnet terminal emulation for unix systems")
+            .unwrap();
+        c.add_document("held_out", "terminal multiplexers improve productivity")
+            .unwrap();
+        c.add_document("noise1", "the www links hypertext documents")
+            .unwrap();
+        c.add_document("noise2", "database transactions need recovery logs")
+            .unwrap();
+        c.add_document("noise3", "gopher menus predate the web")
+            .unwrap();
         c
     }
 
     #[test]
     fn candidates_prefer_discriminative_coterms() {
         let c = collection();
-        let cands = expansion_candidates(&c, "telnet", &["r1", "r2"], &FeedbackConfig::default())
-            .unwrap();
+        let cands =
+            expansion_candidates(&c, "telnet", &["r1", "r2"], &FeedbackConfig::default()).unwrap();
         assert!(!cands.is_empty());
-        assert_eq!(cands[0].term, "termin", "stemmed 'terminal' ranks first: {cands:?}");
+        assert_eq!(
+            cands[0].term, "termin",
+            "stemmed 'terminal' ranks first: {cands:?}"
+        );
         // The original term itself is never an expansion candidate.
         assert!(cands.iter().all(|e| e.term != "telnet"));
     }
 
     #[test]
     fn expansion_improves_recall_of_held_out_document() {
-        let mut c = collection();
+        let c = collection();
         let before = c.search("telnet").unwrap();
         assert!(
             before.iter().all(|h| h.key != "held_out"),
             "held-out doc unreachable before feedback"
         );
-        let expanded = expand_query(&c, "telnet", &["r1", "r2"], &FeedbackConfig::default())
-            .unwrap();
+        let expanded =
+            expand_query(&c, "telnet", &["r1", "r2"], &FeedbackConfig::default()).unwrap();
         let after = c.search(&expanded).unwrap();
         assert!(
             after.iter().any(|h| h.key == "held_out"),
@@ -227,11 +236,17 @@ mod tests {
         let mut c = IrsCollection::new(CollectionConfig::default());
         // "shared" appears in every document → no discrimination.
         for i in 0..6 {
-            c.add_document(&format!("d{i}"), &format!("shared filler{i} telnet")).unwrap();
+            c.add_document(&format!("d{i}"), &format!("shared filler{i} telnet"))
+                .unwrap();
         }
         let cands =
             expansion_candidates(&c, "telnet", &["d0", "d1"], &FeedbackConfig::default()).unwrap();
-        assert!(cands.iter().all(|e| e.term != "share" && e.term != "shared"), "{cands:?}");
+        assert!(
+            cands
+                .iter()
+                .all(|e| e.term != "share" && e.term != "shared"),
+            "{cands:?}"
+        );
     }
 
     #[test]

@@ -8,14 +8,68 @@
 
 mod dictionary;
 mod postings;
+mod sharded;
 mod store;
 
 pub use dictionary::{Dictionary, TermId};
 pub use postings::{read_varint, write_varint, Posting, PostingsIter, PostingsList};
+pub use sharded::{ShardedIndex, ShardedReader, DEFAULT_SHARDS};
 pub use store::{DocEntry, DocStore};
 
 use crate::analysis::Analyzer;
 use crate::error::{IrsError, Result};
+
+/// Read access to an index, as query evaluation needs it. Implemented by
+/// the plain [`InvertedIndex`] and by [`ShardedReader`] (a lock-holding
+/// view over a [`ShardedIndex`]), so the evaluator is agnostic to whether
+/// the index is sharded for concurrency.
+pub trait IndexReader {
+    /// The analyzer used for documents and queries.
+    fn analyzer(&self) -> &Analyzer;
+    /// Postings of raw (already analysed) term text, cloned out so shard
+    /// locks need not be held across evaluation.
+    fn term_postings(&self, term: &str) -> Option<PostingsList>;
+    /// The store entry for `doc` (also valid for tombstoned docs).
+    fn doc_entry(&self, doc: DocId) -> &DocEntry;
+    /// Whether `doc` is live (not tombstoned).
+    fn is_live(&self, doc: DocId) -> bool;
+    /// Number of live documents.
+    fn live_count(&self) -> u32;
+    /// Average live document length in tokens.
+    fn avg_doc_len(&self) -> f64;
+    /// Ids of all live documents, ascending.
+    fn live_docs(&self) -> Vec<DocId>;
+}
+
+impl IndexReader for InvertedIndex {
+    fn analyzer(&self) -> &Analyzer {
+        &self.analyzer
+    }
+
+    fn term_postings(&self, term: &str) -> Option<PostingsList> {
+        self.postings(term).cloned()
+    }
+
+    fn doc_entry(&self, doc: DocId) -> &DocEntry {
+        self.store.entry(doc)
+    }
+
+    fn is_live(&self, doc: DocId) -> bool {
+        self.store.is_live(doc)
+    }
+
+    fn live_count(&self) -> u32 {
+        self.store.live_count()
+    }
+
+    fn avg_doc_len(&self) -> f64 {
+        self.store.avg_len()
+    }
+
+    fn live_docs(&self) -> Vec<DocId> {
+        self.store.iter_live().map(|(id, _)| id).collect()
+    }
+}
 
 /// Internal document identifier, dense within one index generation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -98,7 +152,8 @@ impl InvertedIndex {
         for (tid, mut positions) in entries {
             positions.sort_unstable();
             if self.postings.len() <= tid.0 as usize {
-                self.postings.resize_with(tid.0 as usize + 1, PostingsList::new);
+                self.postings
+                    .resize_with(tid.0 as usize + 1, PostingsList::new);
             }
             self.postings[tid.0 as usize].push(id.0, &positions);
         }
@@ -148,11 +203,7 @@ impl InvertedIndex {
     /// Aggregate statistics (live documents only).
     pub fn statistics(&self) -> IndexStatistics {
         let postings_bytes: usize = self.postings.iter().map(|p| p.byte_size()).sum();
-        let total_tokens: u64 = self
-            .store
-            .iter_live()
-            .map(|(_, e)| u64::from(e.len))
-            .sum();
+        let total_tokens: u64 = self.store.iter_live().map(|(_, e)| u64::from(e.len)).sum();
         IndexStatistics {
             doc_count: self.store.live_count(),
             term_count: self.dict.len() as u32,
@@ -218,6 +269,12 @@ impl InvertedIndex {
             store,
         }
     }
+
+    /// Decompose into parts, consumed when re-sharding
+    /// ([`ShardedIndex::from_inverted`]).
+    pub(crate) fn into_parts(self) -> (Analyzer, Dictionary, Vec<PostingsList>, DocStore) {
+        (self.analyzer, self.dict, self.postings, self.store)
+    }
 }
 
 #[cfg(test)]
@@ -232,7 +289,8 @@ mod tests {
     #[test]
     fn add_and_lookup() {
         let mut ix = index();
-        ix.add_document("o1", "telnet is a protocol for remote login").unwrap();
+        ix.add_document("o1", "telnet is a protocol for remote login")
+            .unwrap();
         ix.add_document("o2", "the www protocol family").unwrap();
         let pl = ix.postings("protocol").unwrap();
         assert_eq!(pl.doc_count(), 2);

@@ -191,7 +191,17 @@ mod tests {
 
     #[test]
     fn varint_round_trip_edge_values() {
-        for v in [0u64, 1, 127, 128, 255, 16383, 16384, u32::MAX as u64, u64::MAX] {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            255,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
             let mut buf = Vec::new();
             write_varint(&mut buf, v);
             let mut pos = 0;
@@ -224,9 +234,27 @@ mod tests {
         pl.push(6, &[1, 2]);
         let decoded: Vec<Posting> = pl.iter().collect();
         assert_eq!(decoded.len(), 3);
-        assert_eq!(decoded[0], Posting { doc: 0, positions: vec![3, 7, 21] });
-        assert_eq!(decoded[1], Posting { doc: 5, positions: vec![0] });
-        assert_eq!(decoded[2], Posting { doc: 6, positions: vec![1, 2] });
+        assert_eq!(
+            decoded[0],
+            Posting {
+                doc: 0,
+                positions: vec![3, 7, 21]
+            }
+        );
+        assert_eq!(
+            decoded[1],
+            Posting {
+                doc: 5,
+                positions: vec![0]
+            }
+        );
+        assert_eq!(
+            decoded[2],
+            Posting {
+                doc: 6,
+                positions: vec![1, 2]
+            }
+        );
         assert_eq!(pl.doc_count(), 3);
         assert_eq!(pl.total_tf(), 6);
     }

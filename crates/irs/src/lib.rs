@@ -51,6 +51,6 @@ pub mod query;
 pub use collection::{CollectionConfig, CollectionStatistics, Hit, IrsCollection};
 pub use error::{IrsError, Result};
 pub use feedback::{expand_query, FeedbackConfig};
-pub use index::{DocId, InvertedIndex};
+pub use index::{DocId, IndexReader, InvertedIndex, ShardedIndex, ShardedReader, DEFAULT_SHARDS};
 pub use model::{Bm25Model, BooleanModel, InferenceModel, ModelKind, RetrievalModel, VectorModel};
 pub use query::{parse_query, QueryNode};

@@ -29,7 +29,9 @@ pub struct InferenceModel {
 
 impl Default for InferenceModel {
     fn default() -> Self {
-        InferenceModel { default_belief: 0.4 }
+        InferenceModel {
+            default_belief: 0.4,
+        }
     }
 }
 

@@ -88,7 +88,10 @@ mod tests {
     #[test]
     fn slope_zero_disables_length_normalisation() {
         let m = VectorModel { slope: 0.0 };
-        assert_eq!(m.term_score(stats(3, 10, 50)), m.term_score(stats(3, 10, 500)));
+        assert_eq!(
+            m.term_score(stats(3, 10, 50)),
+            m.term_score(stats(3, 10, 500))
+        );
     }
 
     #[test]

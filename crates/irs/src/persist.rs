@@ -83,7 +83,10 @@ pub fn save_collection(coll: &IrsCollection, path: &Path) -> Result<()> {
         ModelKind::Inference(m) => put_f64(&mut out, m.default_belief),
     }
 
-    let (dict, postings, store) = coll.index().parts();
+    // Snapshot merges the sharded index back to one dictionary, so the
+    // on-disk format is unchanged and independent of shard count.
+    let index = coll.index_snapshot();
+    let (dict, postings, store) = index.parts();
 
     // Dictionary in id order.
     write_varint(&mut out, dict.len() as u64);
@@ -129,7 +132,9 @@ pub fn load_collection(path: &Path) -> Result<IrsCollection> {
     let version = buf[pos];
     pos += 1;
     if version != VERSION {
-        return Err(IrsError::CorruptIndex(format!("unsupported version {version}")));
+        return Err(IrsError::CorruptIndex(format!(
+            "unsupported version {version}"
+        )));
     }
 
     let flag = |b: u8| -> Result<bool> {
@@ -284,19 +289,26 @@ mod tests {
         let mut c = IrsCollection::new(CollectionConfig::default());
         c.add_document("p1", "telnet is a protocol").unwrap();
         c.add_document("p2", "the www and the nii").unwrap();
-        c.add_document("p3", "information retrieval systems").unwrap();
+        c.add_document("p3", "information retrieval systems")
+            .unwrap();
         c.delete_document("p2").unwrap();
         c
     }
 
     #[test]
     fn save_load_round_trip_preserves_search() {
-        let mut orig = sample();
+        let orig = sample();
         let path = tmp("round_trip.idx");
         save_collection(&orig, &path).unwrap();
-        let mut loaded = load_collection(&path).unwrap();
+        let loaded = load_collection(&path).unwrap();
 
-        for q in ["telnet", "protocol", "www", "retrieval", "#and(information retrieval)"] {
+        for q in [
+            "telnet",
+            "protocol",
+            "www",
+            "retrieval",
+            "#and(information retrieval)",
+        ] {
             let a = orig.search(q).unwrap();
             let b = loaded.search(q).unwrap();
             assert_eq!(a, b, "query {q}");
@@ -312,8 +324,8 @@ mod tests {
         save_collection(&orig, &path).unwrap();
         let loaded = load_collection(&path).unwrap();
         assert!(!loaded.contains("p2"));
-        assert_eq!(loaded.index().store().slot_count(), 3);
-        assert_eq!(loaded.index().store().live_count(), 2);
+        assert_eq!(loaded.with_store(|s| s.slot_count()), 3);
+        assert_eq!(loaded.with_store(|s| s.live_count()), 2);
     }
 
     #[test]
@@ -336,7 +348,10 @@ mod tests {
     fn corrupt_files_are_rejected() {
         let path = tmp("corrupt.idx");
         std::fs::write(&path, b"NOPE").unwrap();
-        assert!(matches!(load_collection(&path), Err(IrsError::CorruptIndex(_))));
+        assert!(matches!(
+            load_collection(&path),
+            Err(IrsError::CorruptIndex(_))
+        ));
 
         // Truncation after a valid save must also fail cleanly.
         let good = tmp("truncate.idx");
@@ -349,10 +364,7 @@ mod tests {
     #[test]
     fn result_file_round_trip() {
         let path = tmp("results.txt");
-        let results = vec![
-            ("oid:42".to_string(), 0.875),
-            ("oid:7".to_string(), 0.25),
-        ];
+        let results = vec![("oid:42".to_string(), 0.875), ("oid:7".to_string(), 0.25)];
         result_file::write(&path, &results).unwrap();
         let back = result_file::read(&path).unwrap();
         assert_eq!(back.len(), 2);
@@ -408,7 +420,7 @@ mod proptests {
             std::fs::create_dir_all(&dir).unwrap();
             let path = dir.join(format!("case_{case}.idx"));
             save_collection(&coll, &path).unwrap();
-            let mut loaded = load_collection(&path).unwrap();
+            let loaded = load_collection(&path).unwrap();
             let _ = std::fs::remove_file(&path);
 
             // Every term of every (original) document searches the same.

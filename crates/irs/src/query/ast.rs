@@ -164,7 +164,10 @@ mod tests {
     fn display_round_trips_syntax() {
         let q = QueryNode::WSum(vec![
             (2.0, QueryNode::Term("www".into())),
-            (1.0, QueryNode::Phrase(vec!["information".into(), "retrieval".into()])),
+            (
+                1.0,
+                QueryNode::Phrase(vec!["information".into(), "retrieval".into()]),
+            ),
         ]);
         assert_eq!(q.to_string(), "#wsum(2 www 1 \"information retrieval\")");
     }

@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 
 use crate::analysis::AnalyzedTerm;
-use crate::index::{DocId, InvertedIndex};
+use crate::index::{DocId, IndexReader};
 use crate::model::{RetrievalModel, TermStats};
 use crate::query::QueryNode;
 
@@ -18,13 +18,21 @@ pub type ScoredDocs = HashMap<DocId, f64>;
 
 /// Evaluate `node` against `index` under `model`.
 ///
+/// `index` is anything implementing [`IndexReader`] — a plain
+/// [`crate::index::InvertedIndex`] or a [`crate::index::ShardedReader`]
+/// view, so concurrent callers can evaluate without exclusive access.
+///
 /// Documents that contribute no evidence to any leaf are absent from the
 /// result (they would uniformly score the combination of default beliefs,
 /// which ranks below every document with evidence for monotone operator
 /// trees). The exception is `#not` under a bounded model, which
 /// materialises over all live documents — negation is inherently
 /// closed-world (the paper's Section 6 flags exactly this semantic gap).
-pub fn evaluate(index: &InvertedIndex, model: &dyn RetrievalModel, node: &QueryNode) -> ScoredDocs {
+pub fn evaluate<I: IndexReader + ?Sized>(
+    index: &I,
+    model: &dyn RetrievalModel,
+    node: &QueryNode,
+) -> ScoredDocs {
     match node {
         QueryNode::Term(t) => eval_term(index, model, t),
         QueryNode::Phrase(ts) => eval_phrase(index, model, ts),
@@ -38,34 +46,36 @@ pub fn evaluate(index: &InvertedIndex, model: &dyn RetrievalModel, node: &QueryN
     }
 }
 
-fn eval_term(index: &InvertedIndex, model: &dyn RetrievalModel, raw: &str) -> ScoredDocs {
+fn eval_term<I: IndexReader + ?Sized>(
+    index: &I,
+    model: &dyn RetrievalModel,
+    raw: &str,
+) -> ScoredDocs {
     let term = index.analyzer().analyze_term(raw);
-    let Some(pl) = index.postings(&term) else {
+    let Some(pl) = index.term_postings(&term) else {
         return ScoredDocs::new();
     };
-    let store = index.store();
     let live: Vec<(DocId, u32)> = pl
         .iter()
-        .filter(|p| store.is_live(DocId(p.doc)))
+        .filter(|p| index.is_live(DocId(p.doc)))
         .map(|p| (DocId(p.doc), p.tf()))
         .collect();
     score_occurrences(index, model, &live)
 }
 
 /// Score `(doc, tf)` occurrence pairs; `df` is their count.
-fn score_occurrences(
-    index: &InvertedIndex,
+fn score_occurrences<I: IndexReader + ?Sized>(
+    index: &I,
     model: &dyn RetrievalModel,
     occurrences: &[(DocId, u32)],
 ) -> ScoredDocs {
-    let store = index.store();
     let df = occurrences.len() as u32;
-    let n_docs = store.live_count();
-    let avg = store.avg_len();
+    let n_docs = index.live_count();
+    let avg = index.avg_doc_len();
     occurrences
         .iter()
         .map(|&(doc, tf)| {
-            let dl = store.entry(doc).len;
+            let dl = index.doc_entry(doc).len;
             let s = model.term_score(TermStats {
                 tf,
                 df,
@@ -81,18 +91,17 @@ fn score_occurrences(
 /// Per-document position lists for each of `terms` (already analysed),
 /// restricted to live documents containing *all* terms. `None` when any
 /// term is absent from the index.
-fn positional_candidates(
-    index: &InvertedIndex,
+fn positional_candidates<I: IndexReader + ?Sized>(
+    index: &I,
     terms: &[String],
 ) -> Option<HashMap<DocId, Vec<Vec<u32>>>> {
-    let store = index.store();
     let mut candidate: Option<HashMap<DocId, Vec<Vec<u32>>>> = None;
     for term in terms {
-        let pl = index.postings(term)?;
+        let pl = index.term_postings(term)?;
         let mut this: HashMap<DocId, Vec<u32>> = HashMap::new();
         for p in pl.iter() {
             let id = DocId(p.doc);
-            if store.is_live(id) {
+            if index.is_live(id) {
                 this.insert(id, p.positions);
             }
         }
@@ -135,8 +144,8 @@ fn count_near_chains(lists: &[Vec<u32>], window: u32) -> u32 {
     count
 }
 
-fn eval_near(
-    index: &InvertedIndex,
+fn eval_near<I: IndexReader + ?Sized>(
+    index: &I,
     model: &dyn RetrievalModel,
     window: u32,
     raw_terms: &[String],
@@ -162,7 +171,11 @@ fn eval_near(
     score_occurrences(index, model, &occurrences)
 }
 
-fn eval_phrase(index: &InvertedIndex, model: &dyn RetrievalModel, raw_terms: &[String]) -> ScoredDocs {
+fn eval_phrase<I: IndexReader + ?Sized>(
+    index: &I,
+    model: &dyn RetrievalModel,
+    raw_terms: &[String],
+) -> ScoredDocs {
     // Re-analyse the phrase as one text so surviving terms keep their
     // original token distances (stopwords removed from the phrase leave
     // gaps that must also appear in matching documents).
@@ -189,9 +202,11 @@ fn eval_phrase(index: &InvertedIndex, model: &dyn RetrievalModel, raw_terms: &[S
         let first = &lists[0];
         let mut count = 0u32;
         for &start in first {
-            let aligned = parts.iter().enumerate().skip(1).all(|(i, (_, off))| {
-                lists[i].binary_search(&(start + off)).is_ok()
-            });
+            let aligned = parts
+                .iter()
+                .enumerate()
+                .skip(1)
+                .all(|(i, (_, off))| lists[i].binary_search(&(start + off)).is_ok());
             if aligned {
                 count += 1;
             }
@@ -204,8 +219,8 @@ fn eval_phrase(index: &InvertedIndex, model: &dyn RetrievalModel, raw_terms: &[S
     score_occurrences(index, model, &occurrences)
 }
 
-fn combine<F>(
-    index: &InvertedIndex,
+fn combine<I: IndexReader + ?Sized, F>(
+    index: &I,
     model: &dyn RetrievalModel,
     children: &[QueryNode],
     f: F,
@@ -213,10 +228,7 @@ fn combine<F>(
 where
     F: Fn(&dyn RetrievalModel, &[f64]) -> f64,
 {
-    let maps: Vec<ScoredDocs> = children
-        .iter()
-        .map(|c| evaluate(index, model, c))
-        .collect();
+    let maps: Vec<ScoredDocs> = children.iter().map(|c| evaluate(index, model, c)).collect();
     let mut out = ScoredDocs::new();
     let default = model.default_score();
     let mut buf = Vec::with_capacity(maps.len());
@@ -235,8 +247,8 @@ where
     out
 }
 
-fn eval_wsum(
-    index: &InvertedIndex,
+fn eval_wsum<I: IndexReader + ?Sized>(
+    index: &I,
     model: &dyn RetrievalModel,
     weighted: &[(f64, QueryNode)],
 ) -> ScoredDocs {
@@ -262,7 +274,11 @@ fn eval_wsum(
     out
 }
 
-fn eval_not(index: &InvertedIndex, model: &dyn RetrievalModel, child: &QueryNode) -> ScoredDocs {
+fn eval_not<I: IndexReader + ?Sized>(
+    index: &I,
+    model: &dyn RetrievalModel,
+    child: &QueryNode,
+) -> ScoredDocs {
     let inner = evaluate(index, model, child);
     if !model.bounded() {
         // Unbounded similarity models have no meaningful complement.
@@ -270,9 +286,9 @@ fn eval_not(index: &InvertedIndex, model: &dyn RetrievalModel, child: &QueryNode
     }
     let default = model.default_score();
     index
-        .store()
-        .iter_live()
-        .map(|(doc, _)| {
+        .live_docs()
+        .into_iter()
+        .map(|doc| {
             let s = inner.get(&doc).copied().unwrap_or(default);
             (doc, model.combine_not(s))
         })
@@ -283,15 +299,20 @@ fn eval_not(index: &InvertedIndex, model: &dyn RetrievalModel, child: &QueryNode
 mod tests {
     use super::*;
     use crate::analysis::{Analyzer, AnalyzerConfig};
+    use crate::index::InvertedIndex;
     use crate::model::{BooleanModel, InferenceModel, ModelKind, VectorModel};
     use crate::query::parse_query;
 
     fn index() -> InvertedIndex {
         let mut ix = InvertedIndex::new(Analyzer::new(AnalyzerConfig::default()));
-        ix.add_document("p1", "telnet is a protocol for remote login sessions").unwrap();
-        ix.add_document("p2", "the www connects hypertext documents worldwide").unwrap();
-        ix.add_document("p3", "the www and the nii are information highways").unwrap();
-        ix.add_document("p4", "information retrieval finds relevant documents").unwrap();
+        ix.add_document("p1", "telnet is a protocol for remote login sessions")
+            .unwrap();
+        ix.add_document("p2", "the www connects hypertext documents worldwide")
+            .unwrap();
+        ix.add_document("p3", "the www and the nii are information highways")
+            .unwrap();
+        ix.add_document("p4", "information retrieval finds relevant documents")
+            .unwrap();
         ix
     }
 
@@ -401,9 +422,12 @@ mod tests {
     #[test]
     fn near_matches_within_window_only() {
         let mut ix = InvertedIndex::new(Analyzer::new(AnalyzerConfig::default()));
-        ix.add_document("close", "zebra walks past yak today").unwrap();
-        ix.add_document("far", "zebra one two three four five six seven yak").unwrap();
-        ix.add_document("wrong_order", "yak precedes zebra here").unwrap();
+        ix.add_document("close", "zebra walks past yak today")
+            .unwrap();
+        ix.add_document("far", "zebra one two three four five six seven yak")
+            .unwrap();
+        ix.add_document("wrong_order", "yak precedes zebra here")
+            .unwrap();
         let m = InferenceModel::default();
 
         let near3 = evaluate(&ix, &m, &parse_query("#near/3(zebra yak)").unwrap());
@@ -421,8 +445,10 @@ mod tests {
     #[test]
     fn near_counts_multiple_chains() {
         let mut ix = InvertedIndex::new(Analyzer::new(AnalyzerConfig::default()));
-        ix.add_document("multi", "zebra yak filler zebra yak").unwrap();
-        ix.add_document("single", "zebra yak only once here").unwrap();
+        ix.add_document("multi", "zebra yak filler zebra yak")
+            .unwrap();
+        ix.add_document("single", "zebra yak only once here")
+            .unwrap();
         let m = InferenceModel::default();
         let scores = evaluate(&ix, &m, &parse_query("#near/2(zebra yak)").unwrap());
         let multi = ix.store().id_of("multi").unwrap();
@@ -489,7 +515,12 @@ mod tests {
     fn inference_scores_bounded() {
         let ix = index();
         let m = ModelKind::default();
-        for q in ["#and(www nii)", "#or(www nii telnet)", "#sum(www nii)", "protocol"] {
+        for q in [
+            "#and(www nii)",
+            "#or(www nii telnet)",
+            "#sum(www nii)",
+            "protocol",
+        ] {
             let scores = evaluate(&ix, m.as_model(), &parse_query(q).unwrap());
             for (_, s) in scores {
                 assert!((0.0..=1.0).contains(&s), "query {q} score {s}");

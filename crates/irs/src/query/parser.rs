@@ -26,10 +26,13 @@ pub fn parse_query(input: &str) -> Result<QueryNode> {
         exprs.push(p.expr()?);
         p.skip_ws();
     }
-    match exprs.len() {
-        0 => Err(p.err("empty query")),
-        1 => Ok(exprs.pop().expect("len checked")),
-        _ => Ok(QueryNode::Sum(exprs)),
+    match exprs.pop() {
+        None => Err(p.err("empty query")),
+        Some(only) if exprs.is_empty() => Ok(only),
+        Some(last) => {
+            exprs.push(last);
+            Ok(QueryNode::Sum(exprs))
+        }
     }
 }
 
@@ -173,7 +176,8 @@ impl<'a> Parser<'a> {
                     return Err(self.err("#near requires at least two terms"));
                 }
                 QueryNode::Near {
-                    window: window.expect("parsed above"),
+                    window: window
+                        .ok_or_else(|| self.err("#near requires a /window before '('"))?,
                     terms,
                 }
             }
@@ -296,7 +300,10 @@ mod tests {
         match &q {
             QueryNode::Near { window, terms } => {
                 assert_eq!(*window, 3);
-                assert_eq!(terms, &vec!["information".to_string(), "retrieval".to_string()]);
+                assert_eq!(
+                    terms,
+                    &vec!["information".to_string(), "retrieval".to_string()]
+                );
             }
             other => panic!("expected Near, got {other:?}"),
         }

@@ -65,7 +65,11 @@ impl Database {
             db.schema = snap.schema;
             db.store = snap.store;
             for def in &snap.indexes {
-                let kind = if def.kind == 0 { IndexKind::BTree } else { IndexKind::Hash };
+                let kind = if def.kind == 0 {
+                    IndexKind::BTree
+                } else {
+                    IndexKind::Hash
+                };
                 db.indexes.create(def.class, &def.attr, kind);
             }
             db.index_defs = snap.indexes;
@@ -97,7 +101,12 @@ impl Database {
             return Ok(()); // in-memory: nothing to do
         };
         self.indexes.compact();
-        snapshot::write(&dir.join(SNAPSHOT_FILE), &self.schema, &self.index_defs, &self.store)?;
+        snapshot::write(
+            &dir.join(SNAPSHOT_FILE),
+            &self.schema,
+            &self.index_defs,
+            &self.store,
+        )?;
         // Truncate the WAL by re-creating it.
         let wal_path = dir.join(WAL_FILE);
         self.wal = None;
@@ -126,7 +135,8 @@ impl Database {
     pub fn create_index(&mut self, class: &str, attr: &str, kind: IndexKind) -> Result<()> {
         let class_id = self.schema.class_id(class)?;
         self.indexes.create(class_id, attr, kind);
-        self.index_defs.retain(|d| !(d.class == class_id && d.attr == attr));
+        self.index_defs
+            .retain(|d| !(d.class == class_id && d.attr == attr));
         self.index_defs.push(IndexDef {
             class: class_id,
             attr: attr.to_string(),
@@ -215,8 +225,11 @@ impl Database {
                     let obj = *obj;
                     let class = obj.class;
                     let oid = obj.oid;
-                    let attrs: Vec<(String, Value)> =
-                        obj.attrs.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+                    let attrs: Vec<(String, Value)> = obj
+                        .attrs
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.clone()))
+                        .collect();
                     self.store.put(obj);
                     for (attr, value) in attrs {
                         self.maintain_indexes(class, &attr, oid, &Value::Null, &value);
@@ -389,10 +402,7 @@ impl Database {
             && trimmed[7..].starts_with(char::is_whitespace);
         if is_explain {
             let plan = query::exec::explain_only(self, &trimmed[7..])?;
-            return Ok(plan
-                .lines()
-                .map(|l| Row(vec![Value::from(l)]))
-                .collect());
+            return Ok(plan.lines().map(|l| Row(vec![Value::from(l)])).collect());
         }
         query::run(self, text)
     }
@@ -410,14 +420,22 @@ impl Database {
     fn apply_record(&mut self, record: Record) -> Result<()> {
         match record {
             Record::DefineClass { name, parent } => {
-                let parent_id = parent.as_deref().map(|p| self.schema.class_id(p)).transpose()?;
+                let parent_id = parent
+                    .as_deref()
+                    .map(|p| self.schema.class_id(p))
+                    .transpose()?;
                 self.schema.define(&name, parent_id)?;
             }
             Record::CreateIndex { class, attr, kind } => {
                 let class_id = self.schema.class_id(&class)?;
-                let k = if kind == 0 { IndexKind::BTree } else { IndexKind::Hash };
+                let k = if kind == 0 {
+                    IndexKind::BTree
+                } else {
+                    IndexKind::Hash
+                };
                 self.indexes.create(class_id, &attr, k);
-                self.index_defs.retain(|d| !(d.class == class_id && d.attr == attr));
+                self.index_defs
+                    .retain(|d| !(d.class == class_id && d.attr == attr));
                 self.index_defs.push(IndexDef {
                     class: class_id,
                     attr: attr.clone(),
@@ -458,12 +476,13 @@ impl Database {
         let m = &mut self.methods;
 
         m.register("getAttributeValue", MethodCost::Cheap, |ctx, oid, args| {
-            let name = args.first().and_then(Value::as_str).ok_or_else(|| {
-                DbError::BadMethodArgs {
-                    method: "getAttributeValue".into(),
-                    reason: "expected one string argument".into(),
-                }
-            })?;
+            let name =
+                args.first()
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| DbError::BadMethodArgs {
+                        method: "getAttributeValue".into(),
+                        reason: "expected one string argument".into(),
+                    })?;
             ctx.store.attr(oid, name)
         });
 
@@ -496,12 +515,13 @@ impl Database {
         });
 
         m.register("getContaining", MethodCost::Cheap, |ctx, oid, args| {
-            let target = args.first().and_then(Value::as_str).ok_or_else(|| {
-                DbError::BadMethodArgs {
-                    method: "getContaining".into(),
-                    reason: "expected one class-name argument".into(),
-                }
-            })?;
+            let target =
+                args.first()
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| DbError::BadMethodArgs {
+                        method: "getContaining".into(),
+                        reason: "expected one class-name argument".into(),
+                    })?;
             let target_id = ctx.schema.class_id(target)?;
             let mut cur = Some(oid);
             while let Some(o) = cur {
@@ -563,11 +583,17 @@ mod tests {
         let d = db.create_object(&mut txn, doc).unwrap();
         let p1 = db.create_object(&mut txn, para).unwrap();
         let p2 = db.create_object(&mut txn, para).unwrap();
-        db.set_attr(&mut txn, d, "children", Value::List(vec![Value::Oid(p1), Value::Oid(p2)]))
-            .unwrap();
+        db.set_attr(
+            &mut txn,
+            d,
+            "children",
+            Value::List(vec![Value::Oid(p1), Value::Oid(p2)]),
+        )
+        .unwrap();
         db.set_attr(&mut txn, p1, "parent", Value::Oid(d)).unwrap();
         db.set_attr(&mut txn, p2, "parent", Value::Oid(d)).unwrap();
-        db.set_attr(&mut txn, p1, "text", Value::from("Telnet is a protocol")).unwrap();
+        db.set_attr(&mut txn, p1, "text", Value::from("Telnet is a protocol"))
+            .unwrap();
         db.commit(txn).unwrap();
         (db, para, vec![d, p1, p2])
     }
@@ -575,7 +601,10 @@ mod tests {
     #[test]
     fn create_set_get() {
         let (db, _, oids) = doc_db();
-        assert_eq!(db.get_attr(oids[1], "text").unwrap(), Value::from("Telnet is a protocol"));
+        assert_eq!(
+            db.get_attr(oids[1], "text").unwrap(),
+            Value::from("Telnet is a protocol")
+        );
         assert_eq!(db.get_attr(oids[1], "missing").unwrap(), Value::Null);
     }
 
@@ -585,14 +614,19 @@ mod tests {
         let before = db.store().len();
         let mut txn = db.begin();
         let fresh = db.create_object(&mut txn, para).unwrap();
-        db.set_attr(&mut txn, fresh, "text", Value::from("x")).unwrap();
-        db.set_attr(&mut txn, oids[1], "text", Value::from("changed")).unwrap();
+        db.set_attr(&mut txn, fresh, "text", Value::from("x"))
+            .unwrap();
+        db.set_attr(&mut txn, oids[1], "text", Value::from("changed"))
+            .unwrap();
         db.delete_object(&mut txn, oids[2]).unwrap();
         db.abort(txn).unwrap();
         assert_eq!(db.store().len(), before);
         assert!(!db.store().contains(fresh));
         assert!(db.store().contains(oids[2]));
-        assert_eq!(db.get_attr(oids[1], "text").unwrap(), Value::from("Telnet is a protocol"));
+        assert_eq!(
+            db.get_attr(oids[1], "text").unwrap(),
+            Value::from("Telnet is a protocol")
+        );
     }
 
     #[test]
@@ -614,13 +648,23 @@ mod tests {
         let (d, p1, p2) = (oids[0], oids[1], oids[2]);
         let ctx = db.method_ctx();
         let reg = db.methods();
-        assert_eq!(reg.invoke(&ctx, "getNext", p1, &[]).unwrap(), Value::Oid(p2));
+        assert_eq!(
+            reg.invoke(&ctx, "getNext", p1, &[]).unwrap(),
+            Value::Oid(p2)
+        );
         assert_eq!(reg.invoke(&ctx, "getNext", p2, &[]).unwrap(), Value::Null);
-        assert_eq!(reg.invoke(&ctx, "getPrev", p2, &[]).unwrap(), Value::Oid(p1));
-        assert_eq!(reg.invoke(&ctx, "getParent", p1, &[]).unwrap(), Value::Oid(d));
+        assert_eq!(
+            reg.invoke(&ctx, "getPrev", p2, &[]).unwrap(),
+            Value::Oid(p1)
+        );
+        assert_eq!(
+            reg.invoke(&ctx, "getParent", p1, &[]).unwrap(),
+            Value::Oid(d)
+        );
         assert_eq!(reg.invoke(&ctx, "getRoot", p1, &[]).unwrap(), Value::Oid(d));
         assert_eq!(
-            reg.invoke(&ctx, "getContaining", p1, &[Value::from("MMFDOC")]).unwrap(),
+            reg.invoke(&ctx, "getContaining", p1, &[Value::from("MMFDOC")])
+                .unwrap(),
             Value::Oid(d)
         );
         assert_eq!(
@@ -654,13 +698,16 @@ mod tests {
         db.define_class("IRSObject", None).unwrap();
         let para = db.define_class("PARA", Some("IRSObject")).unwrap();
         let root_id = db.schema().class_id("IRSObject").unwrap();
-        db.create_index("IRSObject", "year", IndexKind::BTree).unwrap();
+        db.create_index("IRSObject", "year", IndexKind::BTree)
+            .unwrap();
         let mut txn = db.begin();
         let p = db.create_object(&mut txn, para).unwrap();
         db.set_attr(&mut txn, p, "year", Value::Int(1994)).unwrap();
         db.commit(txn).unwrap();
         assert_eq!(
-            db.indexes().lookup_eq(root_id, "year", &Value::Int(1994)).unwrap(),
+            db.indexes()
+                .lookup_eq(root_id, "year", &Value::Int(1994))
+                .unwrap(),
             vec![p]
         );
     }
@@ -676,13 +723,15 @@ mod tests {
             db.create_index("PARA", "year", IndexKind::BTree).unwrap();
             let mut txn = db.begin();
             oid = db.create_object(&mut txn, c).unwrap();
-            db.set_attr(&mut txn, oid, "year", Value::Int(1994)).unwrap();
+            db.set_attr(&mut txn, oid, "year", Value::Int(1994))
+                .unwrap();
             db.commit(txn).unwrap();
 
             // An aborted transaction must not survive recovery.
             let mut t2 = db.begin();
             let ghost = db.create_object(&mut t2, c).unwrap();
-            db.set_attr(&mut t2, ghost, "year", Value::Int(2000)).unwrap();
+            db.set_attr(&mut t2, ghost, "year", Value::Int(2000))
+                .unwrap();
             db.abort(t2).unwrap();
         }
         {
@@ -691,7 +740,9 @@ mod tests {
             assert_eq!(db.store().len(), 1, "aborted create not recovered");
             let para = db.schema().class_id("PARA").unwrap();
             assert_eq!(
-                db.indexes().lookup_eq(para, "year", &Value::Int(1994)).unwrap(),
+                db.indexes()
+                    .lookup_eq(para, "year", &Value::Int(1994))
+                    .unwrap(),
                 vec![oid]
             );
         }
@@ -699,7 +750,9 @@ mod tests {
 
     #[test]
     fn checkpoint_then_recover() {
-        let dir = std::env::temp_dir().join("oodb-db-tests").join("checkpoint");
+        let dir = std::env::temp_dir()
+            .join("oodb-db-tests")
+            .join("checkpoint");
         let _ = std::fs::remove_dir_all(&dir);
         let (a, b);
         {
@@ -728,9 +781,10 @@ mod tests {
     #[test]
     fn explain_keyword_returns_plan_without_executing() {
         let (mut db, _, _) = doc_db();
-        db.methods_mut().register("boom", crate::method::MethodCost::Cheap, |_, _, _| {
-            panic!("EXPLAIN must not execute predicates")
-        });
+        db.methods_mut()
+            .register("boom", crate::method::MethodCost::Cheap, |_, _, _| {
+                panic!("EXPLAIN must not execute predicates")
+            });
         let rows = db
             .query("EXPLAIN ACCESS p FROM p IN PARA WHERE p -> boom() = TRUE")
             .unwrap();
@@ -754,9 +808,14 @@ mod tests {
         db.create_index("PARA", "year", IndexKind::Hash).unwrap();
         let mut txn = db.begin();
         let oid = db.create_object(&mut txn, c).unwrap();
-        db.set_attr(&mut txn, oid, "year", Value::Int(1994)).unwrap();
+        db.set_attr(&mut txn, oid, "year", Value::Int(1994))
+            .unwrap();
         db.delete_object(&mut txn, oid).unwrap();
         db.commit(txn).unwrap();
-        assert!(db.indexes().lookup_eq(c, "year", &Value::Int(1994)).unwrap().is_empty());
+        assert!(db
+            .indexes()
+            .lookup_eq(c, "year", &Value::Int(1994))
+            .unwrap()
+            .is_empty());
     }
 }

@@ -84,10 +84,15 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        assert!(DbError::UnknownClass("PARA".into()).to_string().contains("PARA"));
-        assert!(DbError::QueryParse { reason: "x".into(), offset: 3 }
+        assert!(DbError::UnknownClass("PARA".into())
             .to_string()
-            .contains("byte 3"));
+            .contains("PARA"));
+        assert!(DbError::QueryParse {
+            reason: "x".into(),
+            offset: 3
+        }
+        .to_string()
+        .contains("byte 3"));
         assert!(DbError::UnknownObject(Oid(7)).to_string().contains('7'));
     }
 

@@ -12,8 +12,15 @@ const MAX_KEYS: usize = ORDER - 1;
 
 #[derive(Debug, Clone)]
 enum Node<K, V> {
-    Internal { keys: Vec<K>, children: Vec<usize> },
-    Leaf { keys: Vec<K>, vals: Vec<V>, next: Option<usize> },
+    Internal {
+        keys: Vec<K>,
+        children: Vec<usize>,
+    },
+    Leaf {
+        keys: Vec<K>,
+        vals: Vec<V>,
+        next: Option<usize>,
+    },
 }
 
 /// A B+tree mapping ordered keys to values.

@@ -64,7 +64,10 @@ impl HashIndex {
 
     /// OIDs whose indexed attribute equals `value`, in OID order.
     pub fn lookup(&self, value: &Value) -> &[Oid] {
-        self.map.get(&encode(value)).map(Vec::as_slice).unwrap_or(&[])
+        self.map
+            .get(&encode(value))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 }
 

@@ -203,7 +203,8 @@ mod tests {
             vec![Oid(1), Oid(2)]
         );
         assert_eq!(
-            m.lookup_range(CLASS, "year", &Value::Int(1994), &Value::Int(1995)).unwrap(),
+            m.lookup_range(CLASS, "year", &Value::Int(1994), &Value::Int(1995))
+                .unwrap(),
             vec![Oid(1), Oid(2), Oid(3)]
         );
     }
@@ -217,7 +218,9 @@ mod tests {
             m.lookup_eq(CLASS, "title", &Value::from("Telnet")).unwrap(),
             vec![Oid(1)]
         );
-        assert!(m.lookup_range(CLASS, "title", &Value::Null, &Value::Null).is_none());
+        assert!(m
+            .lookup_range(CLASS, "title", &Value::Null, &Value::Null)
+            .is_none());
         assert!(m.has_index(CLASS, "title"));
         assert!(!m.has_ordered_index(CLASS, "title"));
     }
@@ -228,11 +231,20 @@ mod tests {
         m.create(CLASS, "year", IndexKind::BTree);
         m.on_set(CLASS, "year", Oid(1), &Value::Null, &Value::Int(1994));
         m.on_set(CLASS, "year", Oid(1), &Value::Int(1994), &Value::Int(1995));
-        assert!(m.lookup_eq(CLASS, "year", &Value::Int(1994)).unwrap().is_empty());
-        assert_eq!(m.lookup_eq(CLASS, "year", &Value::Int(1995)).unwrap(), vec![Oid(1)]);
+        assert!(m
+            .lookup_eq(CLASS, "year", &Value::Int(1994))
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            m.lookup_eq(CLASS, "year", &Value::Int(1995)).unwrap(),
+            vec![Oid(1)]
+        );
         // Clearing removes entirely.
         m.on_set(CLASS, "year", Oid(1), &Value::Int(1995), &Value::Null);
-        assert!(m.lookup_eq(CLASS, "year", &Value::Int(1995)).unwrap().is_empty());
+        assert!(m
+            .lookup_eq(CLASS, "year", &Value::Int(1995))
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -247,10 +259,12 @@ mod tests {
         m.create(ClassId(0), "a", IndexKind::Hash);
         m.create(ClassId(1), "a", IndexKind::Hash);
         m.on_set(ClassId(0), "a", Oid(1), &Value::Null, &Value::Int(1));
-        assert!(m.lookup_eq(ClassId(1), "a", &Value::Int(1)).unwrap().is_empty());
+        assert!(m
+            .lookup_eq(ClassId(1), "a", &Value::Int(1))
+            .unwrap()
+            .is_empty());
         assert_eq!(m.list().len(), 2);
     }
-
 }
 
 #[cfg(test)]

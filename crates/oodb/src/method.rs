@@ -51,7 +51,9 @@ impl std::fmt::Debug for MethodRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let mut names: Vec<&String> = self.methods.keys().collect();
         names.sort();
-        f.debug_struct("MethodRegistry").field("methods", &names).finish()
+        f.debug_struct("MethodRegistry")
+            .field("methods", &names)
+            .finish()
     }
 }
 

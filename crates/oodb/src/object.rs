@@ -45,7 +45,9 @@ impl Object {
         if matches!(value, Value::Null) {
             self.attrs.remove(name).unwrap_or(Value::Null)
         } else {
-            self.attrs.insert(name.to_string(), value).unwrap_or(Value::Null)
+            self.attrs
+                .insert(name.to_string(), value)
+                .unwrap_or(Value::Null)
         }
     }
 }

@@ -62,7 +62,9 @@ pub fn execute(db: &Database, p: &Plan) -> Result<Vec<Row>> {
             ));
         }
         if p.order_by.is_some() {
-            return Err(DbError::QueryEval("ORDER BY is meaningless with aggregates".into()));
+            return Err(DbError::QueryEval(
+                "ORDER BY is meaningless with aggregates".into(),
+            ));
         }
         return execute_aggregates(db, p);
     }
@@ -144,7 +146,10 @@ fn collect_agg_tuples(
 
 fn fold_aggregate(func: crate::query::ast::AggFunc, values: &[Value]) -> Value {
     use crate::query::ast::AggFunc;
-    let non_null: Vec<&Value> = values.iter().filter(|v| !matches!(v, Value::Null)).collect();
+    let non_null: Vec<&Value> = values
+        .iter()
+        .filter(|v| !matches!(v, Value::Null))
+        .collect();
     match func {
         AggFunc::Count => Value::Int(non_null.len() as i64),
         AggFunc::Sum => Value::Real(non_null.iter().filter_map(|v| v.as_f64()).sum()),
@@ -261,7 +266,8 @@ pub fn eval(db: &Database, env: &Env, e: &Expr) -> Result<Value> {
             for a in args {
                 arg_vals.push(eval(db, env, a)?);
             }
-            db.methods().invoke(&db.method_ctx(), method, oid, &arg_vals)
+            db.methods()
+                .invoke(&db.method_ctx(), method, oid, &arg_vals)
         }
         Expr::Cmp { op, lhs, rhs } => {
             let l = eval(db, env, lhs)?;
@@ -313,9 +319,15 @@ fn compare(op: CmpOp, l: &Value, r: &Value) -> bool {
             matches!(
                 (op, ord),
                 (CmpOp::Lt, std::cmp::Ordering::Less)
-                    | (CmpOp::Le, std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+                    | (
+                        CmpOp::Le,
+                        std::cmp::Ordering::Less | std::cmp::Ordering::Equal
+                    )
                     | (CmpOp::Gt, std::cmp::Ordering::Greater)
-                    | (CmpOp::Ge, std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
+                    | (
+                        CmpOp::Ge,
+                        std::cmp::Ordering::Greater | std::cmp::Ordering::Equal
+                    )
             )
         }
     }
@@ -335,11 +347,14 @@ mod tests {
         let para = db.define_class("PARA", Some("IRSObject")).unwrap();
         let mut oids = Vec::new();
         let mut txn = db.begin();
-        for (year, texts) in [("1994", ["telnet protocol", "www growth"]),
-                              ("1995", ["nii plans", "www and nii"])] {
+        for (year, texts) in [
+            ("1994", ["telnet protocol", "www growth"]),
+            ("1995", ["nii plans", "www and nii"]),
+        ] {
             let d = db.create_object(&mut txn, doc).unwrap();
             db.set_attr(&mut txn, d, "YEAR", Value::from(year)).unwrap();
-            db.set_attr(&mut txn, d, "TITLE", Value::from(format!("Issue {year}"))).unwrap();
+            db.set_attr(&mut txn, d, "TITLE", Value::from(format!("Issue {year}")))
+                .unwrap();
             let mut kids = Vec::new();
             for t in texts {
                 let p = db.create_object(&mut txn, para).unwrap();
@@ -348,7 +363,8 @@ mod tests {
                 kids.push(Value::Oid(p));
                 oids.push(p);
             }
-            db.set_attr(&mut txn, d, "children", Value::List(kids)).unwrap();
+            db.set_attr(&mut txn, d, "children", Value::List(kids))
+                .unwrap();
             oids.push(d);
         }
         db.commit(txn).unwrap();
@@ -408,7 +424,9 @@ mod tests {
         let (mut db, _) = doc_db();
         db.create_index("MMFDOC", "YEAR", IndexKind::Hash).unwrap();
         let (rows, explain) = db
-            .query_explain("ACCESS d FROM d IN MMFDOC WHERE d -> getAttributeValue('YEAR') = '1994'")
+            .query_explain(
+                "ACCESS d FROM d IN MMFDOC WHERE d -> getAttributeValue('YEAR') = '1994'",
+            )
             .unwrap();
         assert_eq!(rows.len(), 1);
         assert!(explain.contains("index eq"), "plan was: {explain}");
@@ -426,12 +444,16 @@ mod tests {
             .collect();
         let mut txn = db.begin();
         for (i, d) in docs.iter().enumerate() {
-            db.set_attr(&mut txn, *d, "num_year", Value::Int(1994 + i as i64)).unwrap();
+            db.set_attr(&mut txn, *d, "num_year", Value::Int(1994 + i as i64))
+                .unwrap();
         }
         db.commit(txn).unwrap();
-        db.create_index("MMFDOC", "num_year", IndexKind::BTree).unwrap();
+        db.create_index("MMFDOC", "num_year", IndexKind::BTree)
+            .unwrap();
         let (rows, explain) = db
-            .query_explain("ACCESS d FROM d IN MMFDOC WHERE d -> getAttributeValue('num_year') >= 1995")
+            .query_explain(
+                "ACCESS d FROM d IN MMFDOC WHERE d -> getAttributeValue('num_year') >= 1995",
+            )
             .unwrap();
         assert_eq!(rows.len(), 1);
         assert!(explain.contains("index range"), "plan was: {explain}");
@@ -440,9 +462,10 @@ mod tests {
     #[test]
     fn expensive_methods_are_ordered_last() {
         let (mut db, _) = doc_db();
-        db.methods_mut().register("slowPredicate", MethodCost::Expensive, |_, _, _| {
-            Ok(Value::Bool(true))
-        });
+        db.methods_mut()
+            .register("slowPredicate", MethodCost::Expensive, |_, _, _| {
+                Ok(Value::Bool(true))
+            });
         let (_, explain) = db
             .query_explain(
                 "ACCESS p FROM p IN PARA WHERE \
@@ -644,6 +667,10 @@ mod tests {
         assert!(!compare(CmpOp::Gt, &Value::from("a"), &Value::Int(1)));
         assert!(compare(CmpOp::Eq, &Value::Null, &Value::Null));
         assert!(compare(CmpOp::Ne, &Value::Null, &Value::Int(0)));
-        assert!(!compare(CmpOp::Lt, &Value::Real(f64::NAN), &Value::Real(1.0)));
+        assert!(!compare(
+            CmpOp::Lt,
+            &Value::Real(f64::NAN),
+            &Value::Real(1.0)
+        ));
     }
 }

@@ -108,7 +108,11 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>> {
                 Tok::Arrow
             }
             '=' => {
-                i += if bytes.get(i + 1) == Some(&b'=') { 2 } else { 1 };
+                i += if bytes.get(i + 1) == Some(&b'=') {
+                    2
+                } else {
+                    1
+                };
                 Tok::Eq
             }
             '!' if bytes.get(i + 1) == Some(&b'=') => {
@@ -188,7 +192,10 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>> {
                 if is_real {
                     Tok::Real(text.parse().map_err(|_| err(start, "bad real literal"))?)
                 } else {
-                    Tok::Int(text.parse().map_err(|_| err(start, "bad integer literal"))?)
+                    Tok::Int(
+                        text.parse()
+                            .map_err(|_| err(start, "bad integer literal"))?,
+                    )
                 }
             }
             c if c.is_alphabetic() || c == '_' => {
@@ -247,7 +254,10 @@ mod tests {
 
     #[test]
     fn keywords_are_case_insensitive() {
-        assert_eq!(toks("access From WHERE"), vec![Tok::Access, Tok::From, Tok::Where]);
+        assert_eq!(
+            toks("access From WHERE"),
+            vec![Tok::Access, Tok::From, Tok::Where]
+        );
     }
 
     #[test]
@@ -270,12 +280,10 @@ mod tests {
 
     #[test]
     fn numbers_and_negatives() {
-        assert_eq!(toks("42 -7 0.6 -1.5"), vec![
-            Tok::Int(42),
-            Tok::Int(-7),
-            Tok::Real(0.6),
-            Tok::Real(-1.5)
-        ]);
+        assert_eq!(
+            toks("42 -7 0.6 -1.5"),
+            vec![Tok::Int(42), Tok::Int(-7), Tok::Real(0.6), Tok::Real(-1.5)]
+        );
     }
 
     #[test]
@@ -291,7 +299,8 @@ mod tests {
 
     #[test]
     fn paper_query_lexes() {
-        let q = "ACCESS p, p -> length() FROM p IN PARA WHERE p -> getIRSValue (collPara, 'WWW') > 0.6";
+        let q =
+            "ACCESS p, p -> length() FROM p IN PARA WHERE p -> getIRSValue (collPara, 'WWW') > 0.6";
         let ts = toks(q);
         assert!(ts.contains(&Tok::Ident("getIRSValue".into())));
         assert!(ts.contains(&Tok::Str("WWW".into())));

@@ -287,7 +287,11 @@ mod tests {
         .unwrap();
         assert_eq!(q.select.len(), 2);
         match &q.where_clause {
-            Some(Expr::Cmp { op: CmpOp::Gt, lhs, rhs }) => {
+            Some(Expr::Cmp {
+                op: CmpOp::Gt,
+                lhs,
+                rhs,
+            }) => {
                 assert!(matches!(**lhs, Expr::MethodCall { .. }));
                 assert_eq!(**rhs, Expr::Literal(Value::Real(0.6)));
             }

@@ -320,7 +320,9 @@ pub fn plan(db: &Database, q: &Query) -> Result<Plan> {
     if let Some((e, _)) = &q.order_by {
         for v in e.vars() {
             if !steps.iter().any(|s| s.var == v) && db.constant(v).is_none() {
-                return Err(DbError::QueryEval(format!("unbound variable {v} in ORDER BY")));
+                return Err(DbError::QueryEval(format!(
+                    "unbound variable {v} in ORDER BY"
+                )));
             }
         }
     }
@@ -352,7 +354,8 @@ mod tests {
         let mut txn = db.begin();
         for i in 0..100i64 {
             let oid = db.create_object(&mut txn, a).unwrap();
-            db.set_attr(&mut txn, oid, "year", Value::Int(i % 10)).unwrap();
+            db.set_attr(&mut txn, oid, "year", Value::Int(i % 10))
+                .unwrap();
         }
         for _ in 0..4 {
             db.create_object(&mut txn, b).unwrap();
@@ -378,8 +381,15 @@ mod tests {
     fn index_beats_extent_scan_when_selective() {
         let mut db = db();
         db.create_index("A", "year", IndexKind::BTree).unwrap();
-        let p = plan_for(&db, "ACCESS x FROM x IN A WHERE x -> getAttributeValue('year') = 3");
-        assert!(matches!(p.steps[0].access, Access::IndexEq { .. }), "{:?}", p.steps[0].access);
+        let p = plan_for(
+            &db,
+            "ACCESS x FROM x IN A WHERE x -> getAttributeValue('year') = 3",
+        );
+        assert!(
+            matches!(p.steps[0].access, Access::IndexEq { .. }),
+            "{:?}",
+            p.steps[0].access
+        );
         assert_eq!(p.steps[0].estimate, 10);
     }
 
@@ -404,7 +414,10 @@ mod tests {
     fn flipped_comparison_still_uses_index() {
         let mut db = db();
         db.create_index("A", "year", IndexKind::Hash).unwrap();
-        let p = plan_for(&db, "ACCESS x FROM x IN A WHERE 3 = x -> getAttributeValue('year')");
+        let p = plan_for(
+            &db,
+            "ACCESS x FROM x IN A WHERE 3 = x -> getAttributeValue('year')",
+        );
         assert!(matches!(p.steps[0].access, Access::IndexEq { .. }));
     }
 
@@ -422,22 +435,30 @@ mod tests {
         let y_step = p.steps.iter().position(|s| s.var == "y").unwrap();
         let later = x_step.max(y_step);
         assert!(p.steps[later].filters.iter().any(|f| f.vars().len() == 2));
-        assert!(p.steps[x_step].filters.iter().any(|f| f.vars() == vec!["x"]));
+        assert!(p.steps[x_step]
+            .filters
+            .iter()
+            .any(|f| f.vars() == vec!["x"]));
     }
 
     #[test]
     fn expensive_filters_sort_last_within_a_step() {
         let mut db = db();
-        db.methods_mut().register("slow", MethodCost::Expensive, |_, _, _| {
-            Ok(Value::Bool(true))
-        });
+        db.methods_mut()
+            .register("slow", MethodCost::Expensive, |_, _, _| {
+                Ok(Value::Bool(true))
+            });
         let p = plan_for(
             &db,
             "ACCESS x FROM x IN A WHERE \
              x -> slow() = TRUE AND x -> getAttributeValue('year') = 1 AND \
              x -> getClassName() = 'A'",
         );
-        let costs: Vec<u64> = p.steps[0].filters.iter().map(|f| expr_cost(&db, f)).collect();
+        let costs: Vec<u64> = p.steps[0]
+            .filters
+            .iter()
+            .map(|f| expr_cost(&db, f))
+            .collect();
         assert!(costs.windows(2).all(|w| w[0] <= w[1]), "{costs:?}");
         assert!(*costs.last().unwrap() >= 1_000);
     }
@@ -446,7 +467,10 @@ mod tests {
     fn describe_mentions_access_paths() {
         let mut db = db();
         db.create_index("A", "year", IndexKind::BTree).unwrap();
-        let p = plan_for(&db, "ACCESS x FROM x IN A WHERE x -> getAttributeValue('year') >= 8");
+        let p = plan_for(
+            &db,
+            "ACCESS x FROM x IN A WHERE x -> getAttributeValue('year') >= 8",
+        );
         let desc = p.describe(&db);
         assert!(desc.contains("index range"), "{desc}");
         let _ = Oid(0); // silence unused import on some cfgs

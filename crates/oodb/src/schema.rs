@@ -131,7 +131,10 @@ mod tests {
     fn duplicate_class_rejected() {
         let mut s = Schema::new();
         s.define("A", None).unwrap();
-        assert!(matches!(s.define("A", None), Err(DbError::DuplicateClass(_))));
+        assert!(matches!(
+            s.define("A", None),
+            Err(DbError::DuplicateClass(_))
+        ));
     }
 
     #[test]

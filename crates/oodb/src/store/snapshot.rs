@@ -42,7 +42,12 @@ pub struct Snapshot {
 }
 
 /// Write a snapshot of `schema` + `store` + `indexes` to `path`.
-pub fn write(path: &Path, schema: &Schema, indexes: &[IndexDef], store: &ObjectStore) -> Result<()> {
+pub fn write(
+    path: &Path,
+    schema: &Schema,
+    indexes: &[IndexDef],
+    store: &ObjectStore,
+) -> Result<()> {
     let mut out = Vec::new();
     out.extend_from_slice(MAGIC);
     out.push(VERSION);
@@ -126,7 +131,8 @@ pub fn read(path: &Path) -> Result<Snapshot> {
     let index_count = read_varint(&buf, &mut pos).ok_or_else(|| corrupt("index count"))? as usize;
     let mut indexes = Vec::with_capacity(index_count);
     for _ in 0..index_count {
-        let class = ClassId(read_varint(&buf, &mut pos).ok_or_else(|| corrupt("index class"))? as u32);
+        let class =
+            ClassId(read_varint(&buf, &mut pos).ok_or_else(|| corrupt("index class"))? as u32);
         let attr = read_str(&buf, &mut pos).ok_or_else(|| corrupt("index attr"))?;
         let kind = *buf.get(pos).ok_or_else(|| corrupt("index kind"))?;
         pos += 1;

@@ -312,7 +312,10 @@ mod tests {
             Value::Real(3.25),
             Value::Str("héllo".into()),
             Value::Oid(Oid(99)),
-            Value::List(vec![Value::Int(1), Value::List(vec![Value::Str("x".into())])]),
+            Value::List(vec![
+                Value::Int(1),
+                Value::List(vec![Value::Str("x".into())]),
+            ]),
         ];
         for v in &vals {
             let mut buf = Vec::new();

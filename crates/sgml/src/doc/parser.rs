@@ -177,9 +177,8 @@ impl<'a> Parser<'a> {
                             .expect("content() is called on elements")
                             .to_string();
                         if name != open_name {
-                            return Err(self.err(&format!(
-                                "end tag </{name}> does not match <{open_name}>"
-                            )));
+                            return Err(self
+                                .err(&format!("end tag </{name}> does not match <{open_name}>")));
                         }
                         return Ok(());
                     }
@@ -224,7 +223,8 @@ mod tests {
 
     #[test]
     fn attributes_and_entities() {
-        let t = parse_document("<DOC YEAR=\"1994\" lang='de'><P>a &amp; b &lt;c&gt;</P></DOC>").unwrap();
+        let t = parse_document("<DOC YEAR=\"1994\" lang='de'><P>a &amp; b &lt;c&gt;</P></DOC>")
+            .unwrap();
         let root = t.root().unwrap();
         assert_eq!(t.node(root).attribute("YEAR"), Some("1994"));
         assert_eq!(t.node(root).attribute("LANG"), Some("de"));

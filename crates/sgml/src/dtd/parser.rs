@@ -297,7 +297,9 @@ mod tests {
         let ContentSpec::Model(cp) = &decl.content else {
             panic!()
         };
-        let CpKind::Seq(parts) = &cp.kind else { panic!() };
+        let CpKind::Seq(parts) = &cp.kind else {
+            panic!()
+        };
         assert_eq!(parts[1].occ, Occurrence::Star);
         assert!(matches!(parts[1].kind, CpKind::Choice(_)));
     }
@@ -309,7 +311,9 @@ mod tests {
             panic!()
         };
         assert_eq!(cp.occ, Occurrence::Star);
-        let CpKind::Choice(parts) = &cp.kind else { panic!() };
+        let CpKind::Choice(parts) = &cp.kind else {
+            panic!()
+        };
         assert!(matches!(parts[0].kind, CpKind::PcData));
     }
 
@@ -363,9 +367,15 @@ mod tests {
     fn errors() {
         assert!(parse_dtd("<!ELEMENT A (B,>").is_err());
         assert!(parse_dtd("<!BOGUS A>").is_err());
-        assert!(parse_dtd("<!ELEMENT A (B | C, D)>").is_err(), "mixed connectors");
+        assert!(
+            parse_dtd("<!ELEMENT A (B | C, D)>").is_err(),
+            "mixed connectors"
+        );
         assert!(parse_dtd("<!-- unterminated").is_err());
-        assert!(parse_dtd("<!ATTLIST A x CDATA>").is_err(), "missing default");
+        assert!(
+            parse_dtd("<!ATTLIST A x CDATA>").is_err(),
+            "missing default"
+        );
     }
 
     #[test]

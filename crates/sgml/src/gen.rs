@@ -189,7 +189,11 @@ impl CorpusGenerator {
 
         let title = format!(
             "Report {number} on {}",
-            topics.iter().map(|t| topic_term(*t)).collect::<Vec<_>>().join(" and ")
+            topics
+                .iter()
+                .map(|t| topic_term(*t))
+                .collect::<Vec<_>>()
+                .join(" and ")
         );
         let year = 1993 + (number % 4) as i64;
         let mut b = MmfBuilder::new(
@@ -348,9 +352,10 @@ mod tests {
             d.topics.len() >= 2
                 && d.topics.iter().enumerate().any(|(i, &a)| {
                     d.topics.iter().skip(i + 1).any(|&b| {
-                        let together = d.paras.iter().any(|p| {
-                            p.topics.contains(&a) && p.topics.contains(&b)
-                        });
+                        let together = d
+                            .paras
+                            .iter()
+                            .any(|p| p.topics.contains(&a) && p.topics.contains(&b));
                         let a_alone = d.paras.iter().any(|p| p.topics.contains(&a));
                         let b_alone = d.paras.iter().any(|p| p.topics.contains(&b));
                         !together && a_alone && b_alone

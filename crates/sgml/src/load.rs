@@ -35,7 +35,10 @@ pub struct LoadedDoc {
 impl LoadedDoc {
     /// OID of a given tree node, if it was an element.
     pub fn oid_of(&self, node: NodeId) -> Option<Oid> {
-        self.elements.iter().find(|(n, _)| *n == node).map(|(_, o)| *o)
+        self.elements
+            .iter()
+            .find(|(n, _)| *n == node)
+            .map(|(_, o)| *o)
     }
 }
 
@@ -184,7 +187,10 @@ mod tests {
         let mut txn = db.begin();
         let loaded = load_document(&mut db, &mut txn, &tree, "IRSObject").unwrap();
         db.commit(txn).unwrap();
-        assert_eq!(db.get_attr(loaded.root, "YEAR").unwrap(), Value::from("1994"));
+        assert_eq!(
+            db.get_attr(loaded.root, "YEAR").unwrap(),
+            Value::from("1994")
+        );
     }
 
     #[test]
@@ -221,6 +227,9 @@ mod tests {
         assert_eq!(loaded.oid_of(root_node), Some(loaded.root));
         let b_node = tree.node(root_node).children[0];
         let b_oid = loaded.oid_of(b_node).unwrap();
-        assert_eq!(db.get_attr(b_oid, "parent").unwrap(), Value::Oid(loaded.root));
+        assert_eq!(
+            db.get_attr(b_oid, "parent").unwrap(),
+            Value::Oid(loaded.root)
+        );
     }
 }

@@ -39,7 +39,11 @@ fn validate_element(dtd: &Dtd, tree: &DocTree, id: NodeId) -> Result<()> {
     // Attributes.
     if let NodeContent::Element { attributes, .. } = &node.content {
         for (att, _) in attributes {
-            if !decl.attributes.iter().any(|d| d.name.eq_ignore_ascii_case(att)) {
+            if !decl
+                .attributes
+                .iter()
+                .any(|d| d.name.eq_ignore_ascii_case(att))
+            {
                 return Err(SgmlError::Invalid {
                     element: name.to_string(),
                     reason: format!("undeclared attribute {att}"),
@@ -48,7 +52,9 @@ fn validate_element(dtd: &Dtd, tree: &DocTree, id: NodeId) -> Result<()> {
         }
         for d in &decl.attributes {
             if matches!(d.default, AttDefault::Required)
-                && !attributes.iter().any(|(a, _)| a.eq_ignore_ascii_case(&d.name))
+                && !attributes
+                    .iter()
+                    .any(|(a, _)| a.eq_ignore_ascii_case(&d.name))
             {
                 return Err(SgmlError::Invalid {
                     element: name.to_string(),
@@ -248,7 +254,9 @@ mod tests {
     #[test]
     fn required_attribute_enforced() {
         assert!(check("<DOC><TITLE>T</TITLE><PARA>x</PARA></DOC>").is_err());
-        assert!(check("<DOC BOGUS=\"y\" YEAR=\"1994\"><TITLE>T</TITLE><PARA>x</PARA></DOC>").is_err());
+        assert!(
+            check("<DOC BOGUS=\"y\" YEAR=\"1994\"><TITLE>T</TITLE><PARA>x</PARA></DOC>").is_err()
+        );
     }
 
     #[test]
@@ -289,9 +297,7 @@ mod tests {
         validate(&d, &parse_document("<R><A></A></R>").unwrap()).unwrap();
         validate(&d, &parse_document("<R><A></A><A></A></R>").unwrap()).unwrap();
         assert!(validate(&d, &parse_document("<R></R>").unwrap()).is_err());
-        assert!(
-            validate(&d, &parse_document("<R><A></A><A></A><A></A></R>").unwrap()).is_err()
-        );
+        assert!(validate(&d, &parse_document("<R><A></A><A></A><A></A></R>").unwrap()).is_err());
     }
 
     #[test]

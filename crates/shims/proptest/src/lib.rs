@@ -1,0 +1,157 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the subset of the proptest API its tests use:
+//! the `proptest!` / `prop_assert!` / `prop_assert_eq!` / `prop_oneof!`
+//! macros, `Strategy` with `prop_map` / `prop_recursive` / `boxed`,
+//! `any::<T>()`, numeric-range and string-pattern strategies, and
+//! `prop::collection::{vec, btree_map, btree_set}`.
+//!
+//! Differences from upstream:
+//!
+//! - **No shrinking.** A failing case reports the generated inputs
+//!   verbatim; minimisation is manual. Promote interesting inputs to
+//!   named `#[test]` regression cases (this repo does — see
+//!   `tests/tests/fuzz.rs`).
+//! - **Deterministic seeding.** Cases derive from a fixed seed hashed
+//!   with the test name, so failures reproduce across runs. Set
+//!   `PROPTEST_RNG_SEED` to explore a different stream.
+//! - String "regex" strategies implement the subset of syntax the
+//!   workspace uses (classes, groups/alternation, `{m,n}` repetition,
+//!   escapes, and `\PC` for printable Unicode).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod pattern;
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace mirror so `prop::collection::vec(..)` works as in upstream.
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// The `proptest!` macro: runs each embedded `#[test]` function over
+/// `config.cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(
+            @cfg ($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let mut __rng = $crate::test_runner::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                let mut __inputs: ::std::vec::Vec<::std::string::String> = ::std::vec::Vec::new();
+                $(
+                    let __generated = $crate::strategy::Strategy::generate(&($s), &mut __rng);
+                    __inputs.push(format!("{} = {:?}", stringify!($p), &__generated));
+                    let $p = __generated;
+                )+
+                let __outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    || -> $crate::test_runner::TestCaseResult { $body ::std::result::Result::Ok(()) }
+                ));
+                match __outcome {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => panic!(
+                        "proptest {} failed at case {}/{}: {}\ninputs:\n  {}",
+                        stringify!($name), __case + 1, __config.cases, e, __inputs.join("\n  "),
+                    ),
+                    Err(panic_payload) => {
+                        eprintln!(
+                            "proptest {} panicked at case {}/{}\ninputs:\n  {}",
+                            stringify!($name), __case + 1, __config.cases, __inputs.join("\n  "),
+                        );
+                        ::std::panic::resume_unwind(panic_payload);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_fns!(@cfg ($cfg) $($rest)*);
+    };
+}
+
+/// Fail the current proptest case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fail the current proptest case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{}\n  left: {:?}\n right: {:?}", format!($($fmt)+), l, r),
+            ));
+        }
+    }};
+}
+
+/// Fail the current proptest case if both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left), stringify!($right), l,
+        );
+    }};
+}
+
+/// Uniform choice between strategies with one common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}

@@ -1,0 +1,319 @@
+//! Generator for string "regex" strategies.
+//!
+//! Supports the syntax subset the workspace's tests use: literal runs,
+//! character classes with ranges (`[a-zA-Z0-9 .-]`), groups with
+//! alternation (`(FROM|[a-z]|->)`), `{m}` / `{m,n}` / `*` / `+` / `?`
+//! quantifiers, backslash escapes, and `\PC` for "any printable Unicode
+//! character" (sampled across ASCII, Latin, Greek/Cyrillic, Indic, CJK
+//! and astral blocks, so char-boundary bugs surface).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    /// Inclusive char ranges.
+    Class(Vec<(char, char)>),
+    /// Alternatives, each a sequence.
+    Group(Vec<Pattern>),
+    AnyPrintable,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Quant {
+    min: u32,
+    max: u32,
+}
+
+/// A parsed pattern: a sequence of quantified atoms.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    atoms: Vec<(Atom, Quant)>,
+}
+
+/// Weighted printable-Unicode blocks for `\PC` (all surrogate-free).
+const PRINTABLE_BLOCKS: &[(u32, u32, u32)] = &[
+    (0x0020, 0x007E, 60), // ASCII printable
+    (0x00A1, 0x02FF, 8),  // Latin-1 supplement / extended
+    (0x0370, 0x05FF, 5),  // Greek, Cyrillic, Hebrew
+    (0x0900, 0x0D7F, 6),  // Indic scripts (e.g. Oriya "ଏ")
+    (0x1E00, 0x23FF, 4),  // Latin extended additional, punctuation, symbols
+    (0x3000, 0x318F, 4),  // CJK symbols (e.g. "㆐"), kana, hangul jamo
+    (0x4E00, 0x9FFF, 4),  // CJK unified ideographs
+    (0x10000, 0x105FF, 4), // astral: Linear B … Carian (e.g. "𐊠")
+    (0x1F300, 0x1F64F, 3), // emoji
+];
+
+/// Sample one printable Unicode scalar value.
+pub fn printable_char(rng: &mut SmallRng) -> char {
+    let total: u32 = PRINTABLE_BLOCKS.iter().map(|&(_, _, w)| w).sum();
+    loop {
+        let mut pick = rng.gen_range(0..total);
+        for &(lo, hi, w) in PRINTABLE_BLOCKS {
+            if pick < w {
+                if let Some(c) = char::from_u32(rng.gen_range(lo..=hi)) {
+                    return c;
+                }
+                break; // unassigned gap — resample
+            }
+            pick -= w;
+        }
+    }
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser { chars: src.chars().peekable() }
+    }
+
+    fn parse_seq(&mut self, in_group: bool) -> Result<Pattern, String> {
+        let mut atoms = Vec::new();
+        while let Some(&c) = self.chars.peek() {
+            if in_group && (c == '|' || c == ')') {
+                break;
+            }
+            self.chars.next();
+            let atom = match c {
+                '[' => self.parse_class()?,
+                '(' => self.parse_group()?,
+                '\\' => match self.chars.next() {
+                    Some('P') => match self.chars.next() {
+                        Some('C') => Atom::AnyPrintable,
+                        other => return Err(format!("unsupported category \\P{other:?}")),
+                    },
+                    Some(e) => Atom::Literal(e),
+                    None => return Err("dangling backslash".into()),
+                },
+                _ => Atom::Literal(c),
+            };
+            let quant = self.parse_quant()?;
+            atoms.push((atom, quant));
+        }
+        Ok(Pattern { atoms })
+    }
+
+    fn parse_group(&mut self) -> Result<Atom, String> {
+        let mut alternatives = Vec::new();
+        loop {
+            alternatives.push(self.parse_seq(true)?);
+            match self.chars.next() {
+                Some('|') => continue,
+                Some(')') => break,
+                _ => return Err("unterminated group".into()),
+            }
+        }
+        Ok(Atom::Group(alternatives))
+    }
+
+    fn parse_class(&mut self) -> Result<Atom, String> {
+        let mut ranges = Vec::new();
+        loop {
+            let c = match self.chars.next() {
+                Some(']') => break,
+                Some('\\') => self.chars.next().ok_or("dangling backslash in class")?,
+                Some(c) => c,
+                None => return Err("unterminated character class".into()),
+            };
+            // `a-z` range, unless the '-' is the final char of the class.
+            if self.chars.peek() == Some(&'-') {
+                let mut ahead = self.chars.clone();
+                ahead.next();
+                match ahead.peek() {
+                    Some(&']') | None => ranges.push((c, c)),
+                    Some(&hi) => {
+                        self.chars.next(); // '-'
+                        self.chars.next(); // hi
+                        if hi < c {
+                            return Err(format!("inverted class range {c}-{hi}"));
+                        }
+                        ranges.push((c, hi));
+                    }
+                }
+            } else {
+                ranges.push((c, c));
+            }
+        }
+        if ranges.is_empty() {
+            return Err("empty character class".into());
+        }
+        Ok(Atom::Class(ranges))
+    }
+
+    fn parse_quant(&mut self) -> Result<Quant, String> {
+        match self.chars.peek() {
+            Some('{') => {
+                self.chars.next();
+                let mut min = String::new();
+                let mut max = String::new();
+                let mut in_max = false;
+                loop {
+                    match self.chars.next() {
+                        Some('}') => break,
+                        Some(',') => in_max = true,
+                        Some(d) if d.is_ascii_digit() => {
+                            if in_max { max.push(d) } else { min.push(d) }
+                        }
+                        other => return Err(format!("bad quantifier char {other:?}")),
+                    }
+                }
+                let min: u32 = min.parse().map_err(|_| "bad quantifier minimum")?;
+                let max: u32 = if in_max {
+                    max.parse().map_err(|_| "bad quantifier maximum")?
+                } else {
+                    min
+                };
+                if max < min {
+                    return Err(format!("inverted quantifier {{{min},{max}}}"));
+                }
+                Ok(Quant { min, max })
+            }
+            Some('*') => {
+                self.chars.next();
+                Ok(Quant { min: 0, max: 8 })
+            }
+            Some('+') => {
+                self.chars.next();
+                Ok(Quant { min: 1, max: 8 })
+            }
+            Some('?') => {
+                self.chars.next();
+                Ok(Quant { min: 0, max: 1 })
+            }
+            _ => Ok(Quant { min: 1, max: 1 }),
+        }
+    }
+}
+
+impl Pattern {
+    /// Parse `src` into a generator.
+    pub fn parse(src: &str) -> Result<Pattern, String> {
+        let mut p = Parser::new(src);
+        let pattern = p.parse_seq(false)?;
+        if p.chars.next().is_some() {
+            return Err("unbalanced ')'".into());
+        }
+        Ok(pattern)
+    }
+
+    /// Generate one matching string.
+    pub fn generate(&self, rng: &mut SmallRng) -> String {
+        let mut out = String::new();
+        self.generate_into(rng, &mut out);
+        out
+    }
+
+    fn generate_into(&self, rng: &mut SmallRng, out: &mut String) {
+        for (atom, quant) in &self.atoms {
+            let reps = rng.gen_range(quant.min..=quant.max);
+            for _ in 0..reps {
+                match atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::AnyPrintable => out.push(printable_char(rng)),
+                    Atom::Class(ranges) => {
+                        let total: u32 = ranges
+                            .iter()
+                            .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+                            .sum();
+                        let mut pick = rng.gen_range(0..total);
+                        for &(lo, hi) in ranges {
+                            let span = hi as u32 - lo as u32 + 1;
+                            if pick < span {
+                                // Classes in this workspace never span the
+                                // surrogate gap, so from_u32 succeeds.
+                                if let Some(c) = char::from_u32(lo as u32 + pick) {
+                                    out.push(c);
+                                }
+                                break;
+                            }
+                            pick -= span;
+                        }
+                    }
+                    Atom::Group(alternatives) => {
+                        let i = rng.gen_range(0..alternatives.len());
+                        alternatives[i].generate_into(rng, out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_for;
+
+    fn gen_many(pattern: &str, n: usize) -> Vec<String> {
+        let p = Pattern::parse(pattern).expect(pattern);
+        let mut rng = rng_for(pattern);
+        (0..n).map(|_| p.generate(&mut rng)).collect()
+    }
+
+    #[test]
+    fn classes_and_quantifiers() {
+        for s in gen_many("[a-z]{3,8}", 200) {
+            assert!((3..=8).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let seen_dash = gen_many("[#()a-z0-9/\" .-]{0,60}", 300)
+            .iter()
+            .any(|s| s.contains('-'));
+        assert!(seen_dash);
+        for s in gen_many("[<>/=\"A-Za-z0-9 !-]{0,80}", 100) {
+            for c in s.chars() {
+                assert!(
+                    "<>/=\"! -".contains(c) || c.is_ascii_alphanumeric(),
+                    "{c:?} outside class"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn groups_alternate_and_escape() {
+        let outs = gen_many("(ACCESS|FROM|->|[a-z]|'| |,|\\(|\\)){0,30}", 300);
+        let joined = outs.join("");
+        assert!(joined.contains("ACCESS"));
+        assert!(joined.contains('('));
+        assert!(joined.contains("->"));
+    }
+
+    #[test]
+    fn printable_covers_multibyte() {
+        let outs = gen_many("\\PC{0,60}", 300);
+        assert!(outs.iter().any(|s| s.chars().any(|c| (c as u32) > 0x7F)));
+        assert!(
+            outs.iter().any(|s| s.chars().any(|c| (c as u32) > 0xFFFF)),
+            "astral chars generated"
+        );
+        // Every output is valid UTF-8 by construction; also check a char
+        // count bound.
+        for s in &outs {
+            assert!(s.chars().count() <= 60);
+        }
+    }
+
+    #[test]
+    fn exact_count_quantifier() {
+        for s in gen_many("[0-9]{4}", 50) {
+            assert_eq!(s.len(), 4);
+        }
+    }
+
+    #[test]
+    fn bad_patterns_are_rejected() {
+        assert!(Pattern::parse("[a-").is_err());
+        assert!(Pattern::parse("(a|b").is_err());
+        assert!(Pattern::parse("a{2,1}").is_err());
+        assert!(Pattern::parse("a)").is_err());
+    }
+}

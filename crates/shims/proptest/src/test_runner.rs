@@ -1,0 +1,65 @@
+//! Test-runner plumbing: configuration, case errors, and deterministic
+//! per-test RNG construction.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Runner configuration. Only `cases` is honoured by the shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed proptest case (produced by `prop_assert!` and friends).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Result type the bodies of `proptest!` functions produce.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic RNG for one named test: a fixed base seed (overridable
+/// via `PROPTEST_RNG_SEED`) hashed with the test path, so every test gets
+/// an independent but reproducible stream.
+pub fn rng_for(test_name: &str) -> SmallRng {
+    let base: u64 = std::env::var("PROPTEST_RNG_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x9c0de_5eed);
+    // FNV-1a over the test name, mixed with the base seed.
+    let mut h: u64 = 0xcbf29ce484222325 ^ base;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    SmallRng::seed_from_u64(h)
+}

@@ -58,7 +58,10 @@ fn main() {
                 col.get_irs_result("telnet").expect("query evaluates")
             })
             .expect("collection exists");
-        println!("collection {coll:>9}: 'telnet' matches {} nodes", result.len());
+        println!(
+            "collection {coll:>9}: 'telnet' matches {} nodes",
+            result.len()
+        );
         let c_value = result.get(&pc).copied().unwrap_or(0.0);
         println!(
             "  node C (no literal 'telnet' in its text) scores {:.3}{}",
@@ -81,6 +84,10 @@ fn main() {
         .expect("query runs");
     println!("\nnodes relevant to 'telnet' through the augmented collection:");
     for row in &rows {
-        println!("  {} -> {:.3}", row.col(0), row.col(1).as_f64().unwrap_or(0.0));
+        println!(
+            "  {} -> {:.3}",
+            row.col(0),
+            row.col(1).as_f64().unwrap_or(0.0)
+        );
     }
 }

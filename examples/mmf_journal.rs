@@ -109,7 +109,9 @@ fn main() {
         );
         // The next information-need query forces the flush.
         propagator.before_query(&ctx, coll).expect("flushed");
-        let hits = coll.get_irs_result(&topic_term(5)).expect("query evaluates");
+        let hits = coll
+            .get_irs_result(&topic_term(5))
+            .expect("query evaluates");
         println!(
             "after forced propagation, '{}' also matches the corrected paragraph: {}",
             topic_term(5),

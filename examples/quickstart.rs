@@ -14,7 +14,8 @@ fn main() {
 
     // 2. Load SGML documents. Every element becomes a database object;
     //    element-type classes (MMFDOC, PARA, …) appear automatically.
-    sys.load_sgml(telnet_example()).expect("telnet document loads");
+    sys.load_sgml(telnet_example())
+        .expect("telnet document loads");
     sys.load_sgml(
         "<MMFDOC YEAR=\"1994\"><DOCTITLE>Networking special</DOCTITLE>\
          <PARA>The WWW is growing explosively across the internet</PARA>\

@@ -13,9 +13,15 @@ use irs::feedback::{expand_query, FeedbackConfig};
 fn main() {
     let mut sys = DocumentSystem::new();
     let docs = [
-        ("Remote access", "telnet gives terminal access to remote hosts"),
+        (
+            "Remote access",
+            "telnet gives terminal access to remote hosts",
+        ),
         ("Unix tools", "telnet terminal emulation for unix systems"),
-        ("Multiplexers", "terminal multiplexers improve programmer productivity"),
+        (
+            "Multiplexers",
+            "terminal multiplexers improve programmer productivity",
+        ),
         ("Web", "the www links hypertext documents across the planet"),
         ("Databases", "database transactions need recovery logs"),
         ("Gopher", "gopher menus predate the web by years"),

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full local gate: everything CI would run, in the order that fails
+# fastest. Run from the repository root (or anywhere inside it).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "All checks passed."

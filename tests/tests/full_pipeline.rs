@@ -19,9 +19,7 @@ fn sgml_to_mixed_query_pipeline() {
 
     // Content query only (through the coupling collection).
     let telnet_paras = sys
-        .with_collection("collPara", |c| {
-            c.get_irs_result("telnet").unwrap().len()
-        })
+        .with_collection("collPara", |c| c.get_irs_result("telnet").unwrap().len())
         .unwrap();
     assert_eq!(telnet_paras, 2);
 
@@ -34,7 +32,11 @@ fn sgml_to_mixed_query_pipeline() {
              p -> getIRSValue(collPara, 'telnet') > 0.45",
         )
         .unwrap();
-    assert_eq!(rows.len(), 2, "both telnet paragraphs are in the 1994 issue");
+    assert_eq!(
+        rows.len(),
+        2,
+        "both telnet paragraphs are in the 1994 issue"
+    );
 }
 
 #[test]
@@ -42,8 +44,10 @@ fn validated_pipeline_with_mmf_dtd() {
     let mut sys = DocumentSystem::new();
     let dtd = mmf_dtd();
     let loaded = sys.load_sgml_validated(telnet_example(), &dtd).unwrap();
-    sys.create_collection("c", CollectionSetup::default()).unwrap();
-    sys.index_collection("c", "ACCESS p FROM p IN PARA").unwrap();
+    sys.create_collection("c", CollectionSetup::default())
+        .unwrap();
+    sys.index_collection("c", "ACCESS p FROM p IN PARA")
+        .unwrap();
     // Document-level derivation works right after loading.
     let value = sys
         .with_collection_and_db("c", |db, coll| {
@@ -57,9 +61,13 @@ fn validated_pipeline_with_mmf_dtd() {
 #[test]
 fn multiple_text_modes_give_different_collections() {
     let mut sys = two_issue_system();
-    sys.create_collection("titles", CollectionSetup::with_text_mode(TextMode::TitlesOnly))
+    sys.create_collection(
+        "titles",
+        CollectionSetup::with_text_mode(TextMode::TitlesOnly),
+    )
+    .unwrap();
+    sys.index_collection("titles", "ACCESS d FROM d IN MMFDOC")
         .unwrap();
-    sys.index_collection("titles", "ACCESS d FROM d IN MMFDOC").unwrap();
 
     // 'telnet' appears in a DOCTITLE, so the titles collection finds the
     // document; 'protocol' appears only in paragraph text.
@@ -104,9 +112,16 @@ fn updates_flow_through_to_queries() {
     let mut txn = sys.db_mut().begin();
     let fresh = sys.db_mut().create_object(&mut txn, para_class).unwrap();
     sys.db_mut()
-        .set_attr(&mut txn, fresh, "text", Value::from("gopher menus predate the web"))
+        .set_attr(
+            &mut txn,
+            fresh,
+            "text",
+            Value::from("gopher menus predate the web"),
+        )
         .unwrap();
-    sys.db_mut().set_attr(&mut txn, fresh, "parent", Value::Oid(doc)).unwrap();
+    sys.db_mut()
+        .set_attr(&mut txn, fresh, "parent", Value::Oid(doc))
+        .unwrap();
     sys.db_mut().commit(txn).unwrap();
 
     // Propagate eagerly via the collection's update method.
@@ -134,7 +149,8 @@ fn deleting_an_object_removes_it_from_results() {
     let mut txn = sys.db_mut().begin();
     sys.db_mut().delete_object(&mut txn, victim).unwrap();
     sys.db_mut().commit(txn).unwrap();
-    sys.with_collection("collPara", |c| c.on_delete(victim).unwrap()).unwrap();
+    sys.with_collection("collPara", |c| c.on_delete(victim).unwrap())
+        .unwrap();
 
     let rows = sys
         .query("ACCESS p FROM p IN PARA WHERE p -> getIRSValue(collPara, 'nii') > 0.45")

@@ -16,7 +16,8 @@ fn tmp(name: &str) -> std::path::PathBuf {
 
 fn sample_index_bytes() -> Vec<u8> {
     let mut c = IrsCollection::new(CollectionConfig::default());
-    c.add_document("a", "telnet is a protocol for remote login").unwrap();
+    c.add_document("a", "telnet is a protocol for remote login")
+        .unwrap();
     c.add_document("b", "the www grows and grows").unwrap();
     c.delete_document("a").unwrap();
     let path = tmp("fuzz_base.idx");
@@ -29,8 +30,14 @@ fn sample_wal_bytes() -> Vec<u8> {
     let _ = std::fs::remove_file(&path);
     let mut w = WalWriter::open(&path).unwrap();
     w.append_batch(&[
-        Record::DefineClass { name: "PARA".into(), parent: None },
-        Record::Create { oid: Oid(1), class: "PARA".into() },
+        Record::DefineClass {
+            name: "PARA".into(),
+            parent: None,
+        },
+        Record::Create {
+            oid: Oid(1),
+            class: "PARA".into(),
+        },
         Record::SetAttr {
             oid: Oid(1),
             attr: "text".into(),
@@ -60,7 +67,7 @@ proptest! {
         }
         let path = tmp(&format!("flip_{case}.idx"));
         std::fs::write(&path, &bytes).unwrap();
-        if let Ok(mut coll) = load_collection(&path) {
+        if let Ok(coll) = load_collection(&path) {
             // Whatever loaded must behave like a collection.
             let _ = coll.search("telnet");
             let _ = coll.len();
@@ -152,6 +159,54 @@ proptest! {
     fn dtd_parser_never_panics(input in "[<>!A-Z()|,*+?# a-z-]{0,80}") {
         let _ = sgml::parse_dtd(&input);
     }
+}
+
+/// Regression (fuzz seed `"ଏ"`, see `fuzz.proptest-regressions`): a
+/// single multi-byte Indic character must survive every text entry point
+/// — parsers, the analysis chain, and indexing — without panicking on a
+/// char boundary.
+#[test]
+fn regression_single_oriya_char_is_handled() {
+    let input = "ଏ"; // U+0B0F, 3 bytes in UTF-8
+    let _ = irs::parse_query(input);
+    let _ = sgml::parse_document(input);
+    let _ = sgml::parse_dtd(input);
+    let _ = oodb::Database::in_memory().query(input);
+
+    let analyzer = irs::analysis::Analyzer::new(irs::analysis::AnalyzerConfig::default());
+    let _ = analyzer.analyze(input);
+    assert_eq!(
+        analyzer.analyze_term(input),
+        input,
+        "non-ASCII term must not be stemmed"
+    );
+
+    let mut coll = irs::IrsCollection::new(irs::CollectionConfig::default());
+    coll.add_document("seed", input)
+        .expect("indexing a single Oriya char succeeds");
+    let _ = coll.search(input).expect("query parses");
+}
+
+/// Regression (fuzz seed `"a㆐𐊠"`): ASCII + BMP symbol + astral-plane
+/// letter in one string — token byte offsets must land on char
+/// boundaries, and slicing the source by them must round-trip.
+#[test]
+fn regression_mixed_width_tokens_round_trip() {
+    let input = "a㆐𐊠"; // 1-byte, 3-byte, 4-byte chars
+    let tokens = irs::analysis::tokenize(input);
+    for t in &tokens {
+        assert!(input.is_char_boundary(t.start) && input.is_char_boundary(t.end));
+        assert_eq!(&input[t.start..t.end], t.text, "offsets map back to source");
+    }
+    // U+3190 is a symbol, not alphanumeric: it separates the two tokens.
+    let texts: Vec<&str> = tokens.iter().map(|t| t.text.as_str()).collect();
+    assert_eq!(texts, ["a", "𐊠"]);
+
+    let _ = irs::parse_query(input);
+    let _ = sgml::parse_document(input);
+    let mut coll = irs::IrsCollection::new(irs::CollectionConfig::default());
+    coll.add_document("seed", input)
+        .expect("indexing mixed-width text succeeds");
 }
 
 /// Byte-level WAL property: a WAL whose tail is cut mid-frame must still

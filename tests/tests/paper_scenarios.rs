@@ -29,8 +29,10 @@ fn figure4() -> (DocumentSystem, Vec<Oid>) {
         let doc = format!("<MMFDOC><DOCTITLE>M{}</DOCTITLE>{}</MMFDOC>", i + 1, body);
         roots.push(sys.load_sgml(&doc).unwrap().root);
     }
-    sys.create_collection("collPara", CollectionSetup::default()).unwrap();
-    sys.index_collection("collPara", "ACCESS p FROM p IN PARA").unwrap();
+    sys.create_collection("collPara", CollectionSetup::default())
+        .unwrap();
+    sys.index_collection("collPara", "ACCESS p FROM p IN PARA")
+        .unwrap();
     (sys, roots)
 }
 
@@ -86,7 +88,8 @@ fn all_architectures_and_strategies_agree_end_to_end() {
     let structural = |db: &Database, oid: Oid| {
         let ctx = db.method_ctx();
         matches!(
-            db.methods().invoke(&ctx, "getContaining", oid, &[oodb::Value::from("MMFDOC")]),
+            db.methods()
+                .invoke(&ctx, "getContaining", oid, &[oodb::Value::from("MMFDOC")]),
             Ok(oodb::Value::Oid(_))
         )
     };
@@ -101,8 +104,7 @@ fn all_architectures_and_strategies_agree_end_to_end() {
             all_results.push(out.oids);
         }
         for strategy in [MixedStrategy::Independent, MixedStrategy::IrsFirst] {
-            let out =
-                evaluate_mixed(db, coll, "PARA", &structural, "www", 0.45, strategy).unwrap();
+            let out = evaluate_mixed(db, coll, "PARA", &structural, "www", 0.45, strategy).unwrap();
             all_results.push(out.oids);
         }
     })
@@ -124,16 +126,16 @@ fn oodbms_operator_methods_match_irs_for_all_operators() {
             ("#or(www nii)", ops::irs_or(&[&www, &nii])),
             ("#sum(www nii)", ops::irs_sum(&[&www, &nii])),
             ("#max(www nii)", ops::irs_max(&[&www, &nii])),
-            ("#wsum(2 www 1 nii)", ops::irs_wsum(&[2.0, 1.0], &[&www, &nii])),
+            (
+                "#wsum(2 www 1 nii)",
+                ops::irs_wsum(&[2.0, 1.0], &[&www, &nii]),
+            ),
         ];
         for (query, oodbms_side) in cases {
             let irs_side = coll.get_irs_result(query).unwrap();
             for (oid, v) in &irs_side {
                 let c = oodbms_side.get(oid).copied().unwrap_or(0.0);
-                assert!(
-                    (c - v).abs() < 1e-9,
-                    "{query}: {oid} IRS {v} vs OODBMS {c}"
-                );
+                assert!((c - v).abs() < 1e-9, "{query}: {oid} IRS {v} vs OODBMS {c}");
             }
         }
     })
@@ -144,7 +146,8 @@ fn oodbms_operator_methods_match_irs_for_all_operators() {
 fn overlapping_collections_stay_independent() {
     let mut sys = system_tests::two_issue_system();
     // A second, overlapping collection over 1994 paragraphs only.
-    sys.create_collection("coll94", CollectionSetup::default()).unwrap();
+    sys.create_collection("coll94", CollectionSetup::default())
+        .unwrap();
     sys.index_collection(
         "coll94",
         "ACCESS p FROM p IN PARA, d IN MMFDOC WHERE \
@@ -186,7 +189,11 @@ fn negation_semantics_differ_between_worlds() {
         .query("ACCESS p FROM p IN PARA WHERE NOT p -> getIRSValue(collPara, 'www') > 0.45")
         .unwrap()
         .len();
-    assert_eq!(with_www + without_www, all, "closed-world NOT partitions the extent");
+    assert_eq!(
+        with_www + without_www,
+        all,
+        "closed-world NOT partitions the extent"
+    );
 
     // Open world: the IRS's #not assigns graded complements — paragraphs
     // containing www get low-but-positive beliefs, the rest sit at the
@@ -216,7 +223,8 @@ fn multimedia_retrieval_via_captions() {
          <PARA>body text about unrelated matters</PARA></MMFDOC>",
     )
     .unwrap();
-    sys.create_collection("figures", CollectionSetup::default()).unwrap();
+    sys.create_collection("figures", CollectionSetup::default())
+        .unwrap();
     // Specification query selects the image objects; getText(FullSubtree)
     // surfaces their caption text.
     let n = sys
@@ -238,8 +246,10 @@ fn top_k_ranking_via_order_by_derived_value() {
     // ORDER BY + LIMIT over derived IRS values: the "top documents"
     // interaction every digital library needs.
     let (sys, roots) = figure4();
-    sys.with_collection("collPara", |c| c.set_derivation(DerivationScheme::SubqueryAware))
-        .unwrap();
+    sys.with_collection("collPara", |c| {
+        c.set_derivation(DerivationScheme::SubqueryAware)
+    })
+    .unwrap();
     let rows = sys
         .query(
             "ACCESS d FROM d IN MMFDOC \
@@ -257,7 +267,8 @@ fn specification_query_can_use_any_predicate() {
     // "The specification query is an OODBMS query expression and thus is
     // powerful enough to specify any reasonable combination of objects."
     let mut sys = system_tests::two_issue_system();
-    sys.create_collection("longParas", CollectionSetup::default()).unwrap();
+    sys.create_collection("longParas", CollectionSetup::default())
+        .unwrap();
     let n = sys
         .index_collection(
             "longParas",
@@ -265,5 +276,8 @@ fn specification_query_can_use_any_predicate() {
         )
         .unwrap();
     let total = sys.with_collection("collPara", |c| c.len()).unwrap();
-    assert!(n >= 1 && n < total, "length predicate filtered some paragraphs ({n}/{total})");
+    assert!(
+        n >= 1 && n < total,
+        "length predicate filtered some paragraphs ({n}/{total})"
+    );
 }

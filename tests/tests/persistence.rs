@@ -25,9 +25,10 @@ fn database_and_irs_index_survive_restart() {
     {
         let mut db = Database::open(&dir).unwrap();
         db.define_class("IRSObject", None).unwrap();
-        let tree =
-            parse_document("<MMFDOC><PARA>telnet is a protocol</PARA><PARA>the www grows</PARA></MMFDOC>")
-                .unwrap();
+        let tree = parse_document(
+            "<MMFDOC><PARA>telnet is a protocol</PARA><PARA>the www grows</PARA></MMFDOC>",
+        )
+        .unwrap();
         let mut txn = db.begin();
         let loaded = load_document(&mut db, &mut txn, &tree, "IRSObject").unwrap();
         db.commit(txn).unwrap();
@@ -48,9 +49,13 @@ fn database_and_irs_index_survive_restart() {
         // Restart: everything comes back from disk.
         let db = Database::open(&dir).unwrap();
         assert!(db.store().contains(root_oid));
-        assert_eq!(db.extent(db.schema().class_id("PARA").unwrap(), false).len(), 2);
+        assert_eq!(
+            db.extent(db.schema().class_id("PARA").unwrap(), false)
+                .len(),
+            2
+        );
 
-        let mut coll = load_collection(&idx_path).unwrap();
+        let coll = load_collection(&idx_path).unwrap();
         let hits = coll.search("telnet").unwrap();
         assert_eq!(hits.len(), 1);
         // The IRS hit maps back to a live database object.
@@ -79,7 +84,7 @@ fn result_buffer_persists_between_sessions() {
         .unwrap();
         // Persist through the buffer type directly (the paper buffers
         // "persistently in a dictionary").
-        let mut buffer = ResultBuffer::new(16);
+        let buffer = ResultBuffer::new(16);
         let telnet = sys
             .with_collection("collPara", |c| c.get_irs_result("telnet").unwrap())
             .unwrap();
@@ -87,7 +92,7 @@ fn result_buffer_persists_between_sessions() {
         buffer.save(&buf_path).unwrap();
     }
     {
-        let mut buffer = ResultBuffer::load(&buf_path, 16).unwrap();
+        let buffer = ResultBuffer::load(&buf_path, 16).unwrap();
         let hit = buffer.get("telnet").expect("persisted entry");
         assert_eq!(hit.len(), 2, "both telnet paragraphs persisted");
         for v in hit.values() {
@@ -106,19 +111,24 @@ fn wal_recovery_after_simulated_crash() {
         let class = db.schema().class_id("PARA").unwrap();
         let mut txn = db.begin();
         oid = db.create_object(&mut txn, class).unwrap();
-        db.set_attr(&mut txn, oid, "text", Value::from("committed before crash")).unwrap();
+        db.set_attr(&mut txn, oid, "text", Value::from("committed before crash"))
+            .unwrap();
         db.commit(txn).unwrap();
         // No checkpoint — recovery must replay the WAL.
         // An uncommitted transaction must vanish.
         let mut t2 = db.begin();
         let ghost = db.create_object(&mut t2, class).unwrap();
-        db.set_attr(&mut t2, ghost, "text", Value::from("never committed")).unwrap();
+        db.set_attr(&mut t2, ghost, "text", Value::from("never committed"))
+            .unwrap();
         // Dropped without commit: simulates the crash cutting off the txn.
         drop(t2);
     }
     {
         let db = Database::open(&dir).unwrap();
-        assert_eq!(db.get_attr(oid, "text").unwrap(), Value::from("committed before crash"));
+        assert_eq!(
+            db.get_attr(oid, "text").unwrap(),
+            Value::from("committed before crash")
+        );
         assert_eq!(db.store().len(), 1, "uncommitted object not recovered");
     }
 }

@@ -19,8 +19,10 @@ fn seeded_system(seed: u64, docs: usize) -> (DocumentSystem, Vec<oodb::Oid>) {
     for doc in generator.generate_corpus() {
         roots.push(sys.load_generated(&doc).expect("loads").root);
     }
-    sys.create_collection("c", CollectionSetup::default()).expect("fresh");
-    sys.index_collection("c", "ACCESS p FROM p IN PARA").expect("indexes");
+    sys.create_collection("c", CollectionSetup::default())
+        .expect("fresh");
+    sys.index_collection("c", "ACCESS p FROM p IN PARA")
+        .expect("indexes");
     (sys, roots)
 }
 
