@@ -69,4 +69,7 @@ fn main() {
     if want("e12") {
         println!("{}\n", exp::e12_concurrency::run(&config));
     }
+    if want("e13") {
+        println!("{}\n", exp::e13_faults::run(&config));
+    }
 }

@@ -15,10 +15,16 @@
 //! touch and eviction are O(1) instead of the previous O(n) `Vec` scan.
 //! Small capacities (below [`SHARDING_THRESHOLD`]) use a single shard so
 //! eviction order stays exact global LRU.
+//!
+//! **Degraded-mode serving:** invalidated entries are not discarded —
+//! they move into a bounded *stale* side store. Fresh lookups never see
+//! them ([`ResultBuffer::get`] still misses after an invalidation), but
+//! when the IRS is unavailable the collection can fall back to
+//! [`ResultBuffer::get_stale`] and serve the last known result, marked
+//! with [`crate::ResultOrigin::Stale`] and counted in
+//! [`BufferStats::stale_hits`].
 
 use std::collections::HashMap;
-use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -42,6 +48,8 @@ pub struct BufferStats {
     pub evictions: u64,
     /// Whole-buffer invalidations (update propagation).
     pub invalidations: u64,
+    /// Lookups served from the stale store while the IRS was unavailable.
+    pub stale_hits: u64,
 }
 
 /// Buffers with capacity below this stay single-sharded: exact global LRU
@@ -184,10 +192,15 @@ impl LruShard {
 #[derive(Debug)]
 pub struct ResultBuffer {
     shards: Box<[Mutex<LruShard>]>,
+    /// Entries displaced by [`ResultBuffer::invalidate_all`], kept for
+    /// degraded-mode serving. Bounded at twice the buffer capacity.
+    stale: Mutex<HashMap<String, ResultMap>>,
+    capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
     invalidations: AtomicU64,
+    stale_hits: AtomicU64,
 }
 
 impl Default for ResultBuffer {
@@ -205,10 +218,13 @@ impl Clone for ResultBuffer {
                 .iter()
                 .map(|s| Mutex::new(s.lock().clone()))
                 .collect(),
+            stale: Mutex::new(self.stale.lock().clone()),
+            capacity: self.capacity,
             hits: AtomicU64::new(stats.hits),
             misses: AtomicU64::new(stats.misses),
             evictions: AtomicU64::new(stats.evictions),
             invalidations: AtomicU64::new(stats.invalidations),
+            stale_hits: AtomicU64::new(stats.stale_hits),
         }
     }
 }
@@ -241,10 +257,13 @@ impl ResultBuffer {
             .collect();
         ResultBuffer {
             shards,
+            stale: Mutex::new(HashMap::new()),
+            capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
+            stale_hits: AtomicU64::new(0),
         }
     }
 
@@ -269,6 +288,7 @@ impl ResultBuffer {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
+            stale_hits: self.stale_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -299,17 +319,61 @@ impl ResultBuffer {
         if evicted > 0 {
             self.evictions.fetch_add(evicted, Ordering::Relaxed);
         }
+        // A fresh result supersedes any stale copy of the same query.
+        self.stale.lock().remove(query);
     }
 
-    /// Drop everything — called after the IRS collection changed.
+    /// Drop every fresh entry — called after the IRS collection changed.
+    /// Displaced entries move into the stale store so degraded-mode
+    /// serving can still answer while the IRS is down.
     pub fn invalidate_all(&self) {
+        let mut drained: Vec<(String, ResultMap)> = Vec::new();
         for shard in self.shards.iter() {
-            shard.lock().clear();
+            let mut shard = shard.lock();
+            for (k, v) in shard.entries() {
+                drained.push((k.clone(), v.clone()));
+            }
+            shard.clear();
+        }
+        {
+            let mut stale = self.stale.lock();
+            let fresh_keys: Vec<&String> = drained.iter().map(|(k, _)| k).collect();
+            for (k, v) in &drained {
+                stale.insert(k.clone(), v.clone());
+            }
+            // Bound the stale store: if repeated invalidations piled up
+            // entries, keep only the most recently displaced generation.
+            if stale.len() > self.capacity * 2 {
+                let keep: HashMap<String, ResultMap> = fresh_keys
+                    .iter()
+                    .filter_map(|k| stale.get(*k).map(|v| ((*k).clone(), v.clone())))
+                    .collect();
+                *stale = keep;
+            }
         }
         self.invalidations.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Serve the last known (pre-invalidation) result of `query`, if any.
+    /// Used only when the IRS is unavailable; counted in
+    /// [`BufferStats::stale_hits`] when it succeeds.
+    pub fn get_stale(&self, query: &str) -> Option<ResultMap> {
+        let map = self.stale.lock().get(query).cloned();
+        if map.is_some() {
+            self.stale_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        map
+    }
+
+    /// Number of entries currently in the stale store.
+    pub fn stale_len(&self) -> usize {
+        self.stale.lock().len()
+    }
+
     /// Persist the buffer to `path` (the paper buffers *persistently*).
+    /// Crash-safe: temp file + fsync + atomic rename with a CRC-32
+    /// trailer ([`irs::persist::atomic_write`]). Only fresh entries are
+    /// saved; the stale store is a runtime-degradation artifact.
     pub fn save(&self, path: &Path) -> Result<()> {
         // Collect the union of all shards, sorted by key so the file is
         // deterministic and independent of shard layout.
@@ -322,32 +386,27 @@ impl ResultBuffer {
         }
         entries.sort_by(|a, b| a.0.cmp(&b.0));
 
-        let mut w = BufWriter::new(File::create(path).map_err(irs_io)?);
-        let write_u64 =
-            |w: &mut BufWriter<File>, v: u64| w.write_all(&v.to_le_bytes()).map_err(irs_io);
-        write_u64(&mut w, entries.len() as u64)?;
+        let mut out = Vec::new();
+        let put_u64 = |out: &mut Vec<u8>, v: u64| out.extend_from_slice(&v.to_le_bytes());
+        put_u64(&mut out, entries.len() as u64);
         for (key, map) in &entries {
-            write_u64(&mut w, key.len() as u64)?;
-            w.write_all(key.as_bytes()).map_err(irs_io)?;
-            write_u64(&mut w, map.len() as u64)?;
+            put_u64(&mut out, key.len() as u64);
+            out.extend_from_slice(key.as_bytes());
+            put_u64(&mut out, map.len() as u64);
             let mut oids: Vec<(&Oid, &f64)> = map.iter().collect();
             oids.sort_by_key(|(o, _)| **o);
             for (oid, val) in oids {
-                write_u64(&mut w, oid.0)?;
-                write_u64(&mut w, val.to_bits())?;
+                put_u64(&mut out, oid.0);
+                put_u64(&mut out, val.to_bits());
             }
         }
-        w.flush().map_err(irs_io)?;
-        Ok(())
+        irs::persist::atomic_write(path, &out).map_err(CouplingError::Irs)
     }
 
-    /// Load a buffer previously written by [`ResultBuffer::save`].
-    /// Capacity and statistics start fresh.
+    /// Load a buffer previously written by [`ResultBuffer::save`],
+    /// verifying its CRC-32 trailer. Capacity and statistics start fresh.
     pub fn load(path: &Path, capacity: usize) -> Result<Self> {
-        let mut bytes = Vec::new();
-        BufReader::new(File::open(path).map_err(irs_io)?)
-            .read_to_end(&mut bytes)
-            .map_err(irs_io)?;
+        let bytes = irs::persist::read_verified(path).map_err(CouplingError::Irs)?;
         let mut pos = 0usize;
         let take_u64 = |bytes: &[u8], pos: &mut usize| -> Result<u64> {
             if *pos + 8 > bytes.len() {
@@ -385,10 +444,6 @@ impl ResultBuffer {
         out.evictions.store(0, Ordering::Relaxed);
         Ok(out)
     }
-}
-
-fn irs_io(e: std::io::Error) -> CouplingError {
-    CouplingError::Irs(irs::IrsError::Io(e))
 }
 
 #[cfg(test)]
@@ -550,6 +605,64 @@ mod tests {
         b.save(&path).unwrap();
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() - 4]).unwrap();
+        assert!(ResultBuffer::load(&path, 8).is_err());
+    }
+
+    #[test]
+    fn invalidated_entries_move_to_stale_store() {
+        let b = ResultBuffer::new(8);
+        b.insert("q1", map(&[(1, 0.5)]));
+        b.invalidate_all();
+        // Fresh lookups still miss — correctness of normal serving.
+        assert!(b.get("q1").is_none());
+        assert!(b.is_empty());
+        // But the stale store can still answer in degraded mode.
+        assert_eq!(b.get_stale("q1").unwrap()[&Oid(1)], 0.5);
+        assert!(b.get_stale("q2").is_none());
+        assert_eq!(b.stats().stale_hits, 1);
+        assert_eq!(b.stale_len(), 1);
+    }
+
+    #[test]
+    fn fresh_insert_supersedes_stale_copy() {
+        let b = ResultBuffer::new(8);
+        b.insert("q1", map(&[(1, 0.5)]));
+        b.invalidate_all();
+        b.insert("q1", map(&[(1, 0.9)]));
+        assert!(b.get_stale("q1").is_none(), "stale copy dropped");
+        assert_eq!(b.get("q1").unwrap()[&Oid(1)], 0.9);
+    }
+
+    #[test]
+    fn stale_store_is_bounded() {
+        let b = ResultBuffer::new(4);
+        for round in 0..10 {
+            for i in 0..4 {
+                b.insert(&format!("r{round}-q{i}"), map(&[(i, 0.5)]));
+            }
+            b.invalidate_all();
+        }
+        assert!(
+            b.stale_len() <= 8,
+            "stale store {} exceeds 2x capacity",
+            b.stale_len()
+        );
+        // The latest generation survives.
+        assert!(b.get_stale("r9-q0").is_some());
+    }
+
+    #[test]
+    fn bit_flipped_buffer_file_rejected() {
+        let dir = std::env::temp_dir().join("coupling-buffer-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bitflip.bin");
+        let b = ResultBuffer::new(8);
+        b.insert("q", map(&[(1, 0.5)]));
+        b.save(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
         assert!(ResultBuffer::load(&path, 8).is_err());
     }
 

@@ -9,13 +9,15 @@
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-use irs::{CollectionConfig, IrsCollection};
+use irs::{CollectionConfig, FaultPlan, IrsCollection};
 use oodb::{Database, MethodCtx, Oid};
 
 use crate::buffer::{ResultBuffer, ResultMap};
 use crate::derive::{DerivationScheme, IrsAccess};
 use crate::error::{CouplingError, Result};
+use crate::retry::{self, BreakerConfig, CircuitBreaker, RetryPolicy, RetryStats};
 use crate::textmode::TextMode;
 
 /// Configuration of a coupling collection.
@@ -30,6 +32,38 @@ pub struct CollectionSetup {
     pub derivation: DerivationScheme,
     /// Capacity of the IRS-result buffer (queries).
     pub buffer_capacity: usize,
+    /// Retry/backoff policy applied to every IRS call.
+    pub retry: RetryPolicy,
+    /// Circuit-breaker configuration for the IRS.
+    pub breaker: BreakerConfig,
+}
+
+/// Where a `getIRSResult` answer came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResultOrigin {
+    /// Evaluated by the IRS for this call.
+    Fresh,
+    /// Served from the (valid) result buffer.
+    Buffered,
+    /// The IRS was unavailable; served from the stale store — the last
+    /// result buffered before the most recent invalidation.
+    Stale,
+}
+
+/// Fault-tolerance counters of one collection (retry layer + breaker +
+/// degraded serving), reported by E13.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// IRS call attempts beyond the first (retries performed).
+    pub retries: u64,
+    /// Logical IRS calls that exhausted retries/budget.
+    pub giveups: u64,
+    /// Times the circuit breaker tripped open.
+    pub breaker_opens: u64,
+    /// Calls rejected by the open breaker without reaching the IRS.
+    pub breaker_rejections: u64,
+    /// Queries answered from the stale store while the IRS was down.
+    pub stale_serves: u64,
 }
 
 impl CollectionSetup {
@@ -96,6 +130,9 @@ pub struct Collection {
     segment_counts: HashMap<Oid, usize>,
     spec_query: Option<String>,
     stats: CouplingCounters,
+    retry: RetryPolicy,
+    breaker: CircuitBreaker,
+    retry_stats: RetryStats,
 }
 
 impl Collection {
@@ -118,6 +155,9 @@ impl Collection {
             segment_counts: HashMap::new(),
             spec_query: None,
             stats: CouplingCounters::default(),
+            retry: setup.retry,
+            breaker: CircuitBreaker::new(setup.breaker),
+            retry_stats: RetryStats::default(),
         }
     }
 
@@ -188,6 +228,9 @@ impl Collection {
             segment_counts,
             spec_query,
             stats: CouplingCounters::default(),
+            retry: RetryPolicy::default(),
+            breaker: CircuitBreaker::new(BreakerConfig::default()),
+            retry_stats: RetryStats::default(),
         }
     }
 
@@ -266,9 +309,13 @@ impl Collection {
         let text = self.text_mode.get_text(ctx, oid);
         let key = oid.to_string();
         if self.represented.contains(&oid) {
-            self.irs.update_document(&key, &text)?;
+            retry::call(&self.retry, &self.breaker, &self.retry_stats, || {
+                self.irs.update_document(&key, &text)
+            })?;
         } else {
-            self.irs.add_document(&key, &text)?;
+            retry::call(&self.retry, &self.breaker, &self.retry_stats, || {
+                self.irs.add_document(&key, &text)
+            })?;
             self.represented.insert(oid);
         }
         CouplingCounters::bump(&self.stats.indexed_objects);
@@ -323,9 +370,13 @@ impl Collection {
             let chunk = tokens.get(start..end).unwrap_or(&[]).join(" ");
             let key = format!("{root}#{k}");
             if self.irs.contains(&key) {
-                self.irs.update_document(&key, &chunk)?;
+                retry::call(&self.retry, &self.breaker, &self.retry_stats, || {
+                    self.irs.update_document(&key, &chunk)
+                })?;
             } else {
-                self.irs.add_document(&key, &chunk)?;
+                retry::call(&self.retry, &self.breaker, &self.retry_stats, || {
+                    self.irs.add_document(&key, &chunk)
+                })?;
             }
             count += 1;
             // The final window covers the tail; further starts would
@@ -339,7 +390,9 @@ impl Collection {
         for k in count..old {
             let key = format!("{root}#{k}");
             if self.irs.contains(&key) {
-                self.irs.delete_document(&key)?;
+                retry::call(&self.retry, &self.breaker, &self.retry_stats, || {
+                    self.irs.delete_document(&key)
+                })?;
             }
         }
         self.segmented.insert(root);
@@ -363,12 +416,30 @@ impl Collection {
     /// number of threads can serve queries from one shared collection —
     /// the buffer and the sharded IRS index synchronise internally.
     pub fn get_irs_result(&self, query: &str) -> Result<ResultMap> {
+        self.get_irs_result_with_origin(query).map(|(map, _)| map)
+    }
+
+    /// Like [`Collection::get_irs_result`], but also reports where the
+    /// answer came from. When the IRS is unavailable (a transient error
+    /// that survives the retry policy), the last invalidated buffer entry
+    /// for `query` — if any — is served instead, marked
+    /// [`ResultOrigin::Stale`]. Degraded answers are never re-inserted
+    /// into the fresh buffer.
+    pub fn get_irs_result_with_origin(&self, query: &str) -> Result<(ResultMap, ResultOrigin)> {
         if let Some(hit) = self.buffer.get(query) {
-            return Ok(hit);
+            return Ok((hit, ResultOrigin::Buffered));
         }
-        let map = self.evaluate_uncached(query)?;
-        self.buffer.insert(query, map.clone());
-        Ok(map)
+        match self.evaluate_uncached(query) {
+            Ok(map) => {
+                self.buffer.insert(query, map.clone());
+                Ok((map, ResultOrigin::Fresh))
+            }
+            Err(e) if e.is_transient() => match self.buffer.get_stale(query) {
+                Some(map) => Ok((map, ResultOrigin::Stale)),
+                None => Err(e),
+            },
+            Err(e) => Err(e),
+        }
     }
 
     /// Evaluate against the IRS without touching the buffer (used by E4's
@@ -376,7 +447,9 @@ impl Collection {
     pub fn evaluate_uncached(&self, query: &str) -> Result<ResultMap> {
         CouplingCounters::bump(&self.stats.irs_calls);
         let bounded = self.irs.config().model.as_model().bounded();
-        let hits = self.irs.search(query)?;
+        let hits = retry::call(&self.retry, &self.breaker, &self.retry_stats, || {
+            self.irs.search(query)
+        })?;
         let mut map = ResultMap::new();
         for hit in hits {
             let (oid_part, _segment) = match hit.key.split_once('#') {
@@ -432,7 +505,10 @@ impl Collection {
     pub fn on_modify(&mut self, ctx: &MethodCtx<'_>, oid: Oid) -> Result<()> {
         if self.represented.contains(&oid) {
             let text = self.text_mode.get_text(ctx, oid);
-            self.irs.update_document(&oid.to_string(), &text)?;
+            let key = oid.to_string();
+            retry::call(&self.retry, &self.breaker, &self.retry_stats, || {
+                self.irs.update_document(&key, &text)
+            })?;
             CouplingCounters::bump(&self.stats.indexed_objects);
             self.buffer.invalidate_all();
         }
@@ -466,7 +542,17 @@ impl Collection {
     /// Propagate an object deletion.
     pub fn on_delete(&mut self, oid: Oid) -> Result<()> {
         if self.represented.remove(&oid) {
-            self.irs.delete_document(&oid.to_string())?;
+            let key = oid.to_string();
+            let deleted = retry::call(&self.retry, &self.breaker, &self.retry_stats, || {
+                self.irs.delete_document(&key)
+            });
+            if let Err(e) = deleted {
+                // Keep the coupling's view consistent with the IRS: the
+                // document is still indexed, so the object stays
+                // represented.
+                self.represented.insert(oid);
+                return Err(e);
+            }
             self.buffer.invalidate_all();
         }
         Ok(())
@@ -475,6 +561,41 @@ impl Collection {
     /// Compact the IRS index if worthwhile (tombstone ratio).
     pub fn commit_irs(&mut self) {
         self.irs.commit();
+    }
+
+    // ------------------------------------------------------------------
+    // Fault tolerance
+    // ------------------------------------------------------------------
+
+    /// Attach (or detach, with `None`) a deterministic fault-injection
+    /// plan to the underlying IRS collection. Every subsequent IRS call
+    /// consults the plan; see [`irs::FaultPlan`].
+    pub fn inject_faults(&mut self, plan: Option<Arc<FaultPlan>>) {
+        self.irs.set_fault_plan(plan);
+    }
+
+    /// The retry policy IRS calls run under.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
+    /// Replace the retry policy (e.g. `RetryPolicy::no_retries()` for a
+    /// fail-fast baseline in E13).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// Fault-tolerance counters: retries, give-ups, breaker activity and
+    /// stale serves.
+    pub fn fault_stats(&self) -> FaultStats {
+        let breaker = self.breaker.stats();
+        FaultStats {
+            retries: self.retry_stats.retries(),
+            giveups: self.retry_stats.giveups(),
+            breaker_opens: breaker.opens,
+            breaker_rejections: breaker.rejections,
+            stale_serves: self.buffer.stats().stale_hits,
+        }
     }
 }
 
@@ -681,6 +802,76 @@ mod tests {
         let mut coll2 = Collection::new("seg", CollectionSetup::default());
         let n_exact = coll2.index_segments(&db, &roots, 4).unwrap();
         assert_eq!(n_clamped, n_exact, "clamped passages tile like segments");
+    }
+
+    #[test]
+    fn transient_faults_are_retried_transparently() {
+        let (db, _) = db_with_docs();
+        let mut coll = Collection::new("c", CollectionSetup::default());
+        coll.index_objects(&db, "ACCESS p FROM p IN PARA").unwrap();
+        // The first IRS operation after injection fails; its retry lands
+        // outside the outage window and succeeds.
+        coll.inject_faults(Some(Arc::new(FaultPlan::new(5).with_outage(0, 1))));
+        let map = coll.get_irs_result("telnet").unwrap();
+        assert_eq!(map.len(), 2, "retry recovered the answer");
+        let fs = coll.fault_stats();
+        assert_eq!(fs.retries, 1);
+        assert_eq!(fs.giveups, 0);
+        assert_eq!(fs.stale_serves, 0);
+    }
+
+    #[test]
+    fn irs_down_serves_stale_results_and_recovers() {
+        let (db, _) = db_with_docs();
+        let mut coll = Collection::new("c", CollectionSetup::default());
+        coll.index_objects(&db, "ACCESS p FROM p IN PARA").unwrap();
+        let fresh = coll.get_irs_result("telnet").unwrap();
+        // Invalidate (as an update would), then take the IRS down.
+        coll.buffer().invalidate_all();
+        let plan = Arc::new(FaultPlan::new(3));
+        plan.set_down(true);
+        coll.inject_faults(Some(plan.clone()));
+        // Degraded serving: the invalidated entry answers, marked stale.
+        let (stale, origin) = coll.get_irs_result_with_origin("telnet").unwrap();
+        assert_eq!(origin, ResultOrigin::Stale);
+        assert_eq!(stale, fresh);
+        let fs = coll.fault_stats();
+        assert!(fs.stale_serves >= 1);
+        assert!(fs.giveups >= 1);
+        // A query never buffered has nothing stale to serve.
+        assert!(coll.get_irs_result("www").unwrap_err().is_transient());
+        // Recovery: IRS back up; wait out the breaker cooldown.
+        plan.set_down(false);
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        let (map, origin) = coll.get_irs_result_with_origin("telnet").unwrap();
+        assert_eq!(origin, ResultOrigin::Fresh);
+        assert_eq!(map, fresh);
+        // And the fresh answer is buffered again.
+        let (_, origin) = coll.get_irs_result_with_origin("telnet").unwrap();
+        assert_eq!(origin, ResultOrigin::Buffered);
+    }
+
+    #[test]
+    fn breaker_short_circuits_a_down_irs() {
+        let (db, _) = db_with_docs();
+        let mut coll = Collection::new("c", CollectionSetup::default());
+        coll.index_objects(&db, "ACCESS p FROM p IN PARA").unwrap();
+        let plan = Arc::new(FaultPlan::new(11));
+        plan.set_down(true);
+        coll.inject_faults(Some(plan.clone()));
+        // Hammer a down IRS: after the failure threshold the breaker
+        // opens and later calls never reach the IRS.
+        for _ in 0..10 {
+            let _ = coll.get_irs_result("telnet");
+        }
+        let fs = coll.fault_stats();
+        assert!(fs.breaker_opens >= 1, "breaker tripped");
+        assert!(fs.breaker_rejections >= 1, "calls rejected while open");
+        let ops_with_breaker = plan.ops_seen();
+        assert!(
+            ops_with_breaker < 30,
+            "breaker kept most calls off the IRS (saw {ops_with_breaker})"
+        );
     }
 
     #[test]

@@ -25,6 +25,15 @@ pub enum CouplingError {
     NotPersistable(String),
 }
 
+impl CouplingError {
+    /// True for errors a retry or a stale-read fallback can be expected
+    /// to resolve — currently exactly a transient IRS failure (see
+    /// [`irs::IrsError::is_transient`]).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, CouplingError::Irs(e) if e.is_transient())
+    }
+}
+
 impl fmt::Display for CouplingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

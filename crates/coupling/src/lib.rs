@@ -55,20 +55,24 @@ pub mod collection;
 pub mod derive;
 pub mod error;
 pub mod granularity;
+pub mod journal;
 pub mod mixed;
 pub mod ops;
 pub mod persist;
 pub mod propagate;
+pub mod retry;
 pub mod system;
 pub mod textmode;
 
 pub use buffer::ResultBuffer;
-pub use collection::{Collection, CollectionSetup, CouplingStats};
+pub use collection::{Collection, CollectionSetup, CouplingStats, FaultStats, ResultOrigin};
 pub use derive::DerivationScheme;
 pub use error::{CouplingError, Result};
 pub use granularity::GranularityPolicy;
+pub use journal::Journal;
 pub use mixed::{MixedOutcome, MixedStrategy};
-pub use persist::{open_system, save_system};
+pub use persist::{journal_path, open_system, save_system};
 pub use propagate::{PendingOp, PropagationStrategy, Propagator};
+pub use retry::{BreakerConfig, BreakerStats, CircuitBreaker, RetryPolicy, RetryStats};
 pub use system::DocumentSystem;
 pub use textmode::TextMode;

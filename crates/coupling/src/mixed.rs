@@ -15,10 +15,18 @@
 //!
 //! Experiment E5 sweeps content/structure selectivity to locate the
 //! crossover between the two.
+//!
+//! **Degraded mode:** when the IRS is unavailable and the content result
+//! is served stale (see [`ResultOrigin::Stale`]), IRS-first evaluation is
+//! abandoned for that query — a stale result cannot be trusted to
+//! *enumerate* the candidate set, only to score objects the structural
+//! pass found itself. The evaluator silently falls back to the
+//! independent strategy and reports both the strategy actually executed
+//! and the result's origin in [`MixedOutcome`].
 
 use oodb::{Database, Oid};
 
-use crate::collection::Collection;
+use crate::collection::{Collection, ResultOrigin};
 use crate::error::Result;
 
 /// Which evaluation order to use.
@@ -39,8 +47,11 @@ pub struct MixedOutcome {
     pub structural_checks: usize,
     /// IRS calls performed (buffer misses).
     pub irs_calls: u64,
-    /// Strategy used.
+    /// Strategy actually executed (differs from the requested one when a
+    /// stale content result forces the independent fallback).
     pub strategy: MixedStrategy,
+    /// Where the content result came from.
+    pub origin: ResultOrigin,
 }
 
 /// Evaluate the mixed query "objects of `class` where `structural(oid)`
@@ -59,6 +70,15 @@ pub fn evaluate_mixed(
     let mut structural_checks = 0usize;
     let mut oids = Vec::new();
 
+    let (content, origin) = coll.get_irs_result_with_origin(irs_query)?;
+    // A stale content result only scores objects; it cannot enumerate
+    // candidates (recent inserts would be invisible). Fall back.
+    let strategy = if origin == ResultOrigin::Stale {
+        MixedStrategy::Independent
+    } else {
+        strategy
+    };
+
     match strategy {
         MixedStrategy::Independent => {
             // Structural pass over the full extent.
@@ -70,8 +90,7 @@ pub fn evaluate_mixed(
                     structural_hits.push(oid);
                 }
             }
-            // Content pass over the full collection, then intersect.
-            let content = coll.get_irs_result(irs_query)?;
+            // Intersect with the content result.
             for oid in structural_hits {
                 if content.get(&oid).copied().unwrap_or(0.0) > threshold {
                     oids.push(oid);
@@ -79,7 +98,6 @@ pub fn evaluate_mixed(
             }
         }
         MixedStrategy::IrsFirst => {
-            let content = coll.get_irs_result(irs_query)?;
             let mut candidates: Vec<Oid> = content
                 .iter()
                 .filter(|(_, &v)| v > threshold)
@@ -106,6 +124,7 @@ pub fn evaluate_mixed(
         structural_checks,
         irs_calls: coll.stats().irs_calls - calls_before,
         strategy,
+        origin,
     })
 }
 
@@ -265,6 +284,47 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn stale_content_forces_independent_fallback() {
+        let (db, mut coll) = setup();
+        // Prime the buffer, then invalidate so only the stale store holds
+        // the result, and take the IRS down.
+        coll.get_irs_result("telnet").unwrap();
+        coll.buffer().invalidate_all();
+        let plan = std::sync::Arc::new(irs::FaultPlan::new(7));
+        plan.set_down(true);
+        coll.inject_faults(Some(plan));
+        let out = evaluate_mixed(
+            &db,
+            &coll,
+            "PARA",
+            &pos_lt(100),
+            "telnet",
+            0.4,
+            MixedStrategy::IrsFirst,
+        )
+        .unwrap();
+        assert_eq!(out.origin, ResultOrigin::Stale);
+        assert_eq!(
+            out.strategy,
+            MixedStrategy::Independent,
+            "stale content cannot enumerate candidates"
+        );
+        assert_eq!(out.oids.len(), 3, "stale scores still answer the query");
+        assert_eq!(out.structural_checks, 6, "full extent examined");
+        // An unprimed query has no stale copy: the failure surfaces.
+        assert!(evaluate_mixed(
+            &db,
+            &coll,
+            "PARA",
+            &pos_lt(100),
+            "www",
+            0.4,
+            MixedStrategy::IrsFirst
+        )
+        .is_err());
     }
 
     #[test]

@@ -8,10 +8,19 @@
 //!
 //! ```text
 //! <dir>/db/                 OODBMS snapshot + WAL (crash-safe)
-//! <dir>/collections/<name>.idx   IRS index per collection
-//! <dir>/collections/<name>.buf   result buffer per collection
-//! <dir>/collections/<name>.meta  text mode / derivation / spec query
+//! <dir>/collections/<name>.idx      IRS index per collection
+//! <dir>/collections/<name>.buf      result buffer per collection
+//! <dir>/collections/<name>.meta     text mode / derivation / spec query
+//! <dir>/collections/<name>.journal  pending deferred propagation ops
 //! ```
+//!
+//! Every file is written atomically (temp file + fsync + rename) with a
+//! CRC-32 trailer, so a crash mid-save leaves the previous consistent
+//! version and a bit flip is detected at open. The journal (written by a
+//! [`crate::Propagator`] created with
+//! [`crate::Propagator::with_journal`] on [`journal_path`]) is replayed
+//! by [`open_system`]: pending deferred updates survive a crash and are
+//! applied to the reopened collection.
 //!
 //! Custom `getText` closures and custom derivation closures cannot be
 //! serialised; saving a system that uses [`TextMode::Custom`] fails with
@@ -19,13 +28,21 @@
 //! collections after [`open_system`].
 
 use std::collections::HashMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use crate::collection::Collection;
 use crate::derive::DerivationScheme;
 use crate::error::{CouplingError, Result};
+use crate::propagate::{PropagationStrategy, Propagator};
 use crate::system::DocumentSystem;
 use crate::textmode::TextMode;
+
+/// The journal file of collection `name` under system directory `dir`.
+/// Hand this to [`crate::Propagator::with_journal`] so pending deferred
+/// operations are found again by [`open_system`] after a crash.
+pub fn journal_path(dir: &Path, name: &str) -> PathBuf {
+    dir.join("collections").join(format!("{name}.journal"))
+}
 
 const META_VERSION: &str = "coupling-meta-v1";
 
@@ -160,8 +177,8 @@ pub fn save_system(sys: &mut DocumentSystem, dir: &Path) -> Result<()> {
                 derivation_to_meta(coll.derivation()),
                 coll.spec_query().map(escape_line).unwrap_or_default(),
             );
-            std::fs::write(coll_dir.join(format!("{name}.meta")), meta)
-                .map_err(|e| CouplingError::Irs(irs::IrsError::Io(e)))?;
+            irs::persist::atomic_write(&coll_dir.join(format!("{name}.meta")), meta.as_bytes())
+                .map_err(CouplingError::Irs)?;
             irs::persist::save_collection(coll.irs(), &coll_dir.join(format!("{name}.idx")))?;
             coll.buffer().save(&coll_dir.join(format!("{name}.buf")))?;
             Ok(())
@@ -190,8 +207,13 @@ pub fn open_system(dir: &Path) -> Result<DocumentSystem> {
     names.sort();
 
     for name in names {
-        let meta = std::fs::read_to_string(coll_dir.join(format!("{name}.meta")))
-            .map_err(|e| CouplingError::Irs(irs::IrsError::Io(e)))?;
+        let meta_bytes = irs::persist::read_verified(&coll_dir.join(format!("{name}.meta")))
+            .map_err(CouplingError::Irs)?;
+        let meta = String::from_utf8(meta_bytes).map_err(|_| {
+            CouplingError::Irs(irs::IrsError::CorruptIndex(format!(
+                "collection {name}: metadata is not UTF-8"
+            )))
+        })?;
         let mut lines = meta.lines();
         let version = lines.next().unwrap_or_default();
         if version != META_VERSION {
@@ -235,7 +257,7 @@ pub fn open_system(dir: &Path) -> Result<DocumentSystem> {
 
         let irs_coll = irs::persist::load_collection(&coll_dir.join(format!("{name}.idx")))?;
         let buffer = crate::buffer::ResultBuffer::load(&coll_dir.join(format!("{name}.buf")), 256)?;
-        let coll = Collection::from_saved(
+        let mut coll = Collection::from_saved(
             &name,
             irs_coll,
             text_mode,
@@ -244,6 +266,28 @@ pub fn open_system(dir: &Path) -> Result<DocumentSystem> {
             buffer,
             segment_config,
         );
+        // Crash recovery: deferred updates journaled before the crash are
+        // re-applied now, so the reopened collection reflects every
+        // durably recorded operation. Ordering matters — apply, persist
+        // the recovered index and buffer, and only then clear the
+        // journal. A crash anywhere in between replays again on the next
+        // open; replay is idempotent (modifies re-index, inserts of
+        // already-present objects update, deletes of absent ones no-op).
+        let jpath = journal_path(dir, &name);
+        if jpath.exists() {
+            let (mut journal, replayed) = crate::journal::Journal::open(&jpath)?;
+            if !replayed.is_empty() {
+                let ctx = sys.db().method_ctx();
+                let mut prop = Propagator::new(PropagationStrategy::Deferred);
+                for &op in &replayed {
+                    prop.record(&ctx, &mut coll, op)?;
+                }
+                prop.flush(&ctx, &mut coll)?;
+                irs::persist::save_collection(coll.irs(), &coll_dir.join(format!("{name}.idx")))?;
+                coll.buffer().save(&coll_dir.join(format!("{name}.buf")))?;
+                journal.clear()?;
+            }
+        }
         sys.adopt_collection(coll)?;
     }
     Ok(sys)
@@ -354,6 +398,42 @@ mod tests {
             .query("ACCESS p FROM p IN PARA WHERE p -> getIRSValue(collPara, 'gopher') > 0.4")
             .unwrap();
         assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn journaled_deferred_updates_replay_on_open() {
+        let dir = tmp("journal_replay");
+        let mut sys = build();
+        save_system(&mut sys, &dir).unwrap();
+        // Durably record a deferred text modification, then "crash": the
+        // propagator is dropped with the operation still pending.
+        let para = sys.query("ACCESS p FROM p IN PARA").unwrap()[0]
+            .oid()
+            .unwrap();
+        let mut prop = Propagator::with_journal(
+            PropagationStrategy::Deferred,
+            &journal_path(&dir, "collPara"),
+        )
+        .unwrap();
+        sys.update_text(para, "zeppelin flights", &mut [("collPara", &mut prop)])
+            .unwrap();
+        assert_eq!(prop.pending().len(), 1, "deferred, not yet applied");
+        drop(prop);
+        drop(sys);
+
+        // Reopen: the journal replays and the pending op is applied.
+        let reopened = open_system(&dir).unwrap();
+        let hits = reopened
+            .with_collection("collPara", |c| c.get_irs_result("zeppelin").unwrap().len())
+            .unwrap();
+        assert_eq!(hits, 1, "journaled update visible after recovery");
+        // The journal was cleared by the successful flush: a second open
+        // has nothing to replay.
+        let again = open_system(&dir).unwrap();
+        let hits = again
+            .with_collection("collPara", |c| c.get_irs_result("zeppelin").unwrap().len())
+            .unwrap();
+        assert_eq!(hits, 1);
     }
 
     #[test]

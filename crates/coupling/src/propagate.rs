@@ -13,10 +13,21 @@
 //! sequences, operations cancel out each other's effect. For instance,
 //! consider the deletion of a text object that has just been generated."
 
+//! With a [`Journal`] attached ([`Propagator::with_journal`]), the log is
+//! additionally **durable**: operations are fsynced to an append-only,
+//! checksummed file before they enter the in-memory log, replayed on
+//! reopen, and compacted with the same cancellation optimisation. Under
+//! the eager strategy the journal doubles as a parking lot: an update the
+//! IRS transiently rejects is kept pending (journaled + folded) instead
+//! of being lost, and applies at the next flush.
+
+use std::path::Path;
+
 use oodb::{MethodCtx, Oid};
 
 use crate::collection::Collection;
 use crate::error::Result;
+use crate::journal::Journal;
 
 /// When updates reach the IRS.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,6 +71,10 @@ pub struct PropagationStats {
     pub cancelled: u64,
     /// Flushes forced by queries.
     pub forced_flushes: u64,
+    /// Operations recovered from the journal at open.
+    pub replayed: u64,
+    /// Eager operations parked as pending after a transient IRS failure.
+    pub parked: u64,
 }
 
 /// The update propagator for one collection.
@@ -69,6 +84,8 @@ pub struct Propagator {
     /// Net pending state per object, in arrival order of first touch.
     log: Vec<PendingOp>,
     stats: PropagationStats,
+    /// Optional durable backing of the log.
+    journal: Option<Journal>,
 }
 
 impl Propagator {
@@ -78,7 +95,33 @@ impl Propagator {
             strategy,
             log: Vec::new(),
             stats: PropagationStats::default(),
+            journal: None,
         }
+    }
+
+    /// Create a propagator whose operation log is durably journaled at
+    /// `path`. Surviving journal frames from a previous run (or crash)
+    /// are replayed into the pending log — flush them into the collection
+    /// to bring the IRS back in sync.
+    pub fn with_journal(strategy: PropagationStrategy, path: &Path) -> Result<Self> {
+        let (journal, replayed) = Journal::open(path)?;
+        let mut prop = Propagator::new(strategy);
+        for &op in &replayed {
+            prop.fold(op);
+        }
+        // Replay folding is recovery, not application work: report only
+        // the replay count.
+        prop.stats = PropagationStats {
+            replayed: replayed.len() as u64,
+            ..PropagationStats::default()
+        };
+        prop.journal = Some(journal);
+        Ok(prop)
+    }
+
+    /// The journal backing this propagator, if any.
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_ref()
     }
 
     /// The strategy in use.
@@ -98,7 +141,10 @@ impl Propagator {
 
     /// Record an update. Under [`PropagationStrategy::Eager`] it is
     /// applied to `coll` immediately; under deferred it enters the log
-    /// with cancellation folding.
+    /// with cancellation folding. With a journal attached the operation
+    /// is made durable *before* anything else happens, and an eager
+    /// operation the IRS transiently rejects is parked as pending
+    /// (`stats.parked`) instead of being lost.
     pub fn record(
         &mut self,
         ctx: &MethodCtx<'_>,
@@ -108,14 +154,73 @@ impl Propagator {
         self.stats.recorded += 1;
         match self.strategy {
             PropagationStrategy::Eager => {
-                self.apply_one(ctx, coll, op)?;
-                Ok(())
+                if self.journal.is_none() {
+                    return self.apply_one(ctx, coll, op);
+                }
+                self.journal_append(op)?;
+                if !self.log.is_empty() {
+                    // Earlier operations are already parked; apply in
+                    // order at the next flush rather than overtaking them.
+                    self.fold(op);
+                    self.stats.parked += 1;
+                    return Ok(());
+                }
+                match self.apply_one(ctx, coll, op) {
+                    Ok(()) => self.journal_clear(),
+                    Err(e) if e.is_transient() => {
+                        self.fold(op);
+                        self.stats.parked += 1;
+                        Ok(())
+                    }
+                    Err(e) => {
+                        // Permanent failure: the op can never apply; drop
+                        // it from the journal and surface the error.
+                        self.journal_rewrite()?;
+                        Err(e)
+                    }
+                }
             }
             PropagationStrategy::Deferred => {
+                self.journal_append(op)?;
                 self.fold(op);
-                Ok(())
+                self.maybe_compact()
             }
         }
+    }
+
+    fn journal_append(&mut self, op: PendingOp) -> Result<()> {
+        match &mut self.journal {
+            Some(j) => j.append(op),
+            None => Ok(()),
+        }
+    }
+
+    fn journal_clear(&mut self) -> Result<()> {
+        match &mut self.journal {
+            Some(j) => j.clear(),
+            None => Ok(()),
+        }
+    }
+
+    /// Rewrite the journal to exactly the current pending log.
+    fn journal_rewrite(&mut self) -> Result<()> {
+        match &mut self.journal {
+            Some(j) => j.rewrite(&self.log),
+            None => Ok(()),
+        }
+    }
+
+    /// Apply the cancellation optimisation to the journal file itself:
+    /// once it holds at least [`Journal::COMPACT_MIN`] frames and at
+    /// least twice the folded log, rewrite it to the folded operations.
+    fn maybe_compact(&mut self) -> Result<()> {
+        let compact = self.journal.as_ref().is_some_and(|j| {
+            j.frames() >= Journal::COMPACT_MIN && j.frames() >= 2 * self.log.len() as u64
+        });
+        if compact {
+            self.journal_rewrite()?;
+        }
+        Ok(())
     }
 
     /// Fold `op` into the log, cancelling inverse pairs:
@@ -167,23 +272,39 @@ impl Propagator {
         coll: &mut Collection,
         op: PendingOp,
     ) -> Result<()> {
-        self.stats.applied += 1;
-        match op {
+        let result = match op {
             PendingOp::Insert(oid) => coll.on_insert(ctx, oid),
             PendingOp::Modify(oid) => coll.on_modify(ctx, oid),
             PendingOp::Delete(oid) => coll.on_delete(oid),
+        };
+        if result.is_ok() {
+            self.stats.applied += 1;
         }
+        result
     }
 
     /// Apply every pending operation ("a good strategy might be to detect
     /// low load periods"). Returns the number applied.
+    ///
+    /// On a mid-flush error the *unapplied* operations stay pending (and
+    /// journaled), so a transient IRS failure loses nothing: the next
+    /// flush picks up exactly where this one stopped.
     pub fn flush(&mut self, ctx: &MethodCtx<'_>, coll: &mut Collection) -> Result<usize> {
-        let ops = std::mem::take(&mut self.log);
-        let n = ops.len();
-        for op in ops {
-            self.apply_one(ctx, coll, op)?;
+        let mut done = 0usize;
+        while done < self.log.len() {
+            let op = self.log[done];
+            match self.apply_one(ctx, coll, op) {
+                Ok(()) => done += 1,
+                Err(e) => {
+                    self.log.drain(..done);
+                    self.journal_rewrite()?;
+                    return Err(e);
+                }
+            }
         }
-        Ok(n)
+        self.log.clear();
+        self.journal_clear()?;
+        Ok(done)
     }
 
     /// Called before every information-need query: forces pending

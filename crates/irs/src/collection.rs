@@ -11,12 +11,13 @@
 //! (E7) reports.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::analysis::{Analyzer, AnalyzerConfig};
 use crate::error::Result;
+use crate::fault::FaultPlan;
 use crate::index::{
     DocId, DocStore, IndexReader, IndexStatistics, InvertedIndex, MergeStats, ShardedIndex,
-    DEFAULT_SHARDS,
 };
 use crate::model::ModelKind;
 use crate::query::{evaluate, parse_query, QueryNode};
@@ -28,6 +29,23 @@ pub struct CollectionConfig {
     pub analyzer: AnalyzerConfig,
     /// Retrieval paradigm.
     pub model: ModelKind,
+    /// Number of index shards; `0` (the default) picks one shard per
+    /// available CPU, via [`std::thread::available_parallelism`].
+    pub shards: usize,
+}
+
+impl CollectionConfig {
+    /// The effective shard count: the configured value, or (when `0`) one
+    /// shard per available CPU.
+    pub fn resolved_shards(&self) -> usize {
+        if self.shards > 0 {
+            self.shards
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(crate::index::DEFAULT_SHARDS)
+        }
+    }
 }
 
 /// One ranked search result.
@@ -103,16 +121,43 @@ pub struct IrsCollection {
     config: CollectionConfig,
     index: ShardedIndex,
     stats: WorkCounters,
+    /// Optional deterministic fault schedule; consulted at the top of
+    /// every fallible operation. `None` costs one branch.
+    fault: Option<Arc<FaultPlan>>,
 }
 
 impl IrsCollection {
     /// Create an empty collection.
     pub fn new(config: CollectionConfig) -> Self {
-        let index = ShardedIndex::new(Analyzer::new(config.analyzer.clone()));
+        let index = ShardedIndex::with_shards(
+            Analyzer::new(config.analyzer.clone()),
+            config.resolved_shards(),
+        );
         IrsCollection {
             config,
             index,
             stats: WorkCounters::default(),
+            fault: None,
+        }
+    }
+
+    /// Attach (or with `None`, detach) a fault-injection schedule. Every
+    /// fallible operation first ticks the plan and surfaces any injected
+    /// [`crate::IrsError::Unavailable`].
+    pub fn set_fault_plan(&mut self, plan: Option<Arc<FaultPlan>>) {
+        self.fault = plan;
+    }
+
+    /// The currently attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.fault.as_ref()
+    }
+
+    /// Consult the fault plan, if attached.
+    fn check_fault(&self) -> Result<()> {
+        match &self.fault {
+            Some(plan) => plan.tick(),
+            None => Ok(()),
         }
     }
 
@@ -145,6 +190,7 @@ impl IrsCollection {
 
     /// Add a document under `key` (in the coupling: the object's OID).
     pub fn add_document(&mut self, key: &str, text: &str) -> Result<DocId> {
+        self.check_fault()?;
         WorkCounters::bump(&self.stats.adds);
         self.index.add_document(key, text)
     }
@@ -153,6 +199,7 @@ impl IrsCollection {
     /// across worker threads before merging into the index. All-or-nothing
     /// on duplicate keys.
     pub fn add_documents(&mut self, docs: &[(String, String)]) -> Result<Vec<DocId>> {
+        self.check_fault()?;
         let ids = self.index.index_documents(docs)?;
         self.stats
             .adds
@@ -162,12 +209,14 @@ impl IrsCollection {
 
     /// Delete the document stored under `key`.
     pub fn delete_document(&mut self, key: &str) -> Result<DocId> {
+        self.check_fault()?;
         WorkCounters::bump(&self.stats.deletes);
         self.index.delete_document(key)
     }
 
     /// Replace the document stored under `key`.
     pub fn update_document(&mut self, key: &str, text: &str) -> Result<DocId> {
+        self.check_fault()?;
         WorkCounters::bump(&self.stats.deletes);
         WorkCounters::bump(&self.stats.adds);
         self.index.update_document(key, text)
@@ -214,6 +263,7 @@ impl IrsCollection {
     /// Parse and evaluate `query`, returning hits sorted by descending IRS
     /// value (ties broken by key for determinism).
     pub fn search(&self, query: &str) -> Result<Vec<Hit>> {
+        self.check_fault()?;
         let node = parse_query(query)?;
         Ok(self.search_node(&node))
     }
@@ -222,6 +272,7 @@ impl IrsCollection {
     /// (partial selection instead of a full sort — the hot path for
     /// ranked retrieval UIs).
     pub fn search_top_k(&self, query: &str, k: usize) -> Result<Vec<Hit>> {
+        self.check_fault()?;
         let node = parse_query(query)?;
         WorkCounters::bump(&self.stats.queries);
         let reader = self.index.reader();
@@ -261,10 +312,12 @@ impl IrsCollection {
 
     /// Internal constructor used by persistence.
     pub(crate) fn from_parts(config: CollectionConfig, index: InvertedIndex) -> Self {
+        let shards = config.resolved_shards();
         IrsCollection {
             config,
-            index: ShardedIndex::from_inverted(index, DEFAULT_SHARDS),
+            index: ShardedIndex::from_inverted(index, shards),
             stats: WorkCounters::default(),
+            fault: None,
         }
     }
 }
@@ -370,6 +423,38 @@ mod tests {
     fn bad_query_surfaces_parse_error() {
         let c = populated(ModelKind::default());
         assert!(c.search("#and(").is_err());
+    }
+
+    #[test]
+    fn configured_shard_count_is_resolved() {
+        assert!(CollectionConfig::default().resolved_shards() >= 1);
+        let fixed = CollectionConfig {
+            shards: 3,
+            ..CollectionConfig::default()
+        };
+        assert_eq!(fixed.resolved_shards(), 3);
+        let c = IrsCollection::new(fixed);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn attached_fault_plan_gates_operations() {
+        let mut c = populated(ModelKind::default());
+        let plan = Arc::new(FaultPlan::new(0));
+        c.set_fault_plan(Some(plan.clone()));
+        assert!(c.search("www").is_ok());
+        plan.set_down(true);
+        assert!(matches!(
+            c.search("www"),
+            Err(crate::IrsError::Unavailable(_))
+        ));
+        assert!(c.add_document("p9", "text").is_err());
+        assert!(c.update_document("p1", "text").is_err());
+        assert!(c.delete_document("p1").is_err());
+        plan.set_down(false);
+        assert!(c.search("www").is_ok());
+        c.set_fault_plan(None);
+        assert!(c.fault_plan().is_none());
     }
 
     #[test]

@@ -24,6 +24,19 @@ pub enum IrsError {
     CorruptIndex(String),
     /// Underlying I/O failure during persistence.
     Io(std::io::Error),
+    /// The IRS is temporarily unreachable (outage, injected fault, or an
+    /// open circuit breaker). Transient: callers may retry or degrade to
+    /// stale results.
+    Unavailable(String),
+}
+
+impl IrsError {
+    /// True for errors that a retry (or a stale-read fallback) can be
+    /// expected to resolve; false for permanent errors such as parse
+    /// failures or corrupt on-disk state.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, IrsError::Unavailable(_))
+    }
 }
 
 impl fmt::Display for IrsError {
@@ -36,6 +49,7 @@ impl fmt::Display for IrsError {
             IrsError::DuplicateDocument(key) => write!(f, "duplicate document key {key:?}"),
             IrsError::CorruptIndex(why) => write!(f, "corrupt index: {why}"),
             IrsError::Io(e) => write!(f, "i/o error: {e}"),
+            IrsError::Unavailable(why) => write!(f, "irs unavailable: {why}"),
         }
     }
 }
@@ -75,6 +89,14 @@ mod tests {
         let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
         let e = IrsError::from(io);
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn only_unavailable_is_transient() {
+        assert!(IrsError::Unavailable("injected".into()).is_transient());
+        assert!(!IrsError::UnknownDocument("k".into()).is_transient());
+        assert!(!IrsError::CorruptIndex("bad".into()).is_transient());
+        assert!(!IrsError::from(std::io::Error::other("disk")).is_transient());
     }
 
     #[test]

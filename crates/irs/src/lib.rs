@@ -42,6 +42,7 @@
 pub mod analysis;
 pub mod collection;
 pub mod error;
+pub mod fault;
 pub mod feedback;
 pub mod index;
 pub mod model;
@@ -50,6 +51,7 @@ pub mod query;
 
 pub use collection::{CollectionConfig, CollectionStatistics, Hit, IrsCollection};
 pub use error::{IrsError, Result};
+pub use fault::{FaultPlan, OutageWindow};
 pub use feedback::{expand_query, FeedbackConfig};
 pub use index::{DocId, IndexReader, InvertedIndex, ShardedIndex, ShardedReader, DEFAULT_SHARDS};
 pub use model::{Bm25Model, BooleanModel, InferenceModel, ModelKind, RetrievalModel, VectorModel};

@@ -8,6 +8,15 @@
 //! a compact binary index format, and [`result_file`] for the file-based
 //! exchange that the architecture experiment (E1) uses to model the
 //! historical interface cost.
+//!
+//! All binary snapshots are **crash-safe**: [`atomic_write`] writes the
+//! payload plus a CRC-32 trailer to a temporary file, `sync_all`s it, and
+//! atomically renames it into place; [`read_verified`] rejects any file
+//! whose trailer does not match. A crash mid-save leaves the previous
+//! file intact; torn or bit-flipped files are detected at load. The
+//! helpers are public so the coupling layer persists its own files
+//! (result buffer, collection metadata, journal frames) with the same
+//! guarantees.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
@@ -20,7 +29,95 @@ use crate::index::{read_varint, write_varint, Dictionary, DocStore, InvertedInde
 use crate::model::{Bm25Model, InferenceModel, ModelKind, VectorModel};
 
 const MAGIC: &[u8; 4] = b"IRSX";
-const VERSION: u8 = 1;
+const VERSION: u8 = 2;
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) lookup table, built at
+/// compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xedb8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) checksum of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xffff_ffffu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ u32::from(b)) & 0xff) as usize];
+    }
+    !crc
+}
+
+/// Crash-safe file write: `payload` plus a 4-byte little-endian CRC-32
+/// trailer goes to `<path>.tmp`, is `sync_all`ed, and is atomically
+/// renamed over `path` (the containing directory is then synced,
+/// best-effort). A crash at any point leaves either the old file or the
+/// complete new one.
+pub fn atomic_write(path: &Path, payload: &[u8]) -> Result<()> {
+    let file_name = path.file_name().ok_or_else(|| {
+        IrsError::Io(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("atomic_write: path {} has no file name", path.display()),
+        ))
+    })?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(payload)?;
+        f.write_all(&crc32(payload).to_le_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            // Persist the rename itself. Best-effort: opening a directory
+            // read-only for fsync is not supported on every platform.
+            if let Ok(dir) = File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Read a file written by [`atomic_write`], verify its CRC-32 trailer,
+/// and return the payload without the trailer.
+pub fn read_verified(path: &Path) -> Result<Vec<u8>> {
+    let mut buf = std::fs::read(path)?;
+    if buf.len() < 4 {
+        return Err(IrsError::CorruptIndex(
+            "file shorter than its CRC trailer".into(),
+        ));
+    }
+    let crc_pos = buf.len() - 4;
+    let mut trailer = [0u8; 4];
+    trailer.copy_from_slice(&buf[crc_pos..]);
+    let expected = u32::from_le_bytes(trailer);
+    let actual = crc32(&buf[..crc_pos]);
+    if actual != expected {
+        return Err(IrsError::CorruptIndex(format!(
+            "crc mismatch: stored {expected:#010x}, computed {actual:#010x}"
+        )));
+    }
+    buf.truncate(crc_pos);
+    Ok(buf)
+}
 
 fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
     write_varint(out, bytes.len() as u64);
@@ -83,6 +180,10 @@ pub fn save_collection(coll: &IrsCollection, path: &Path) -> Result<()> {
         ModelKind::Inference(m) => put_f64(&mut out, m.default_belief),
     }
 
+    // Shard count as configured (0 = pick from available parallelism at
+    // load time, so auto-sharded collections stay auto on new hardware).
+    write_varint(&mut out, coll.config().shards as u64);
+
     // Snapshot merges the sharded index back to one dictionary, so the
     // on-disk format is unchanged and independent of shard count.
     let index = coll.index_snapshot();
@@ -113,16 +214,12 @@ pub fn save_collection(coll: &IrsCollection, path: &Path) -> Result<()> {
         out.push(e.deleted as u8);
     }
 
-    let mut w = BufWriter::new(File::create(path)?);
-    w.write_all(&out)?;
-    w.flush()?;
-    Ok(())
+    atomic_write(path, &out)
 }
 
 /// Load a collection previously written by [`save_collection`].
 pub fn load_collection(path: &Path) -> Result<IrsCollection> {
-    let mut buf = Vec::new();
-    BufReader::new(File::open(path)?).read_to_end(&mut buf)?;
+    let buf = read_verified(path)?;
     let mut pos = 0usize;
 
     if buf.len() < 5 || &buf[0..4] != MAGIC {
@@ -182,6 +279,8 @@ pub fn load_collection(path: &Path) -> Result<IrsCollection> {
         }),
     };
 
+    let shards = get_varint(&buf, &mut pos)? as usize;
+
     // Dictionary.
     let term_count = get_varint(&buf, &mut pos)? as usize;
     let mut dict = Dictionary::new();
@@ -232,6 +331,7 @@ pub fn load_collection(path: &Path) -> Result<IrsCollection> {
     let config = CollectionConfig {
         analyzer: analyzer_cfg.clone(),
         model,
+        shards,
     };
     let index = InvertedIndex::from_parts(Analyzer::new(analyzer_cfg), dict, postings, store);
     Ok(IrsCollection::from_parts(config, index))
@@ -359,6 +459,51 @@ mod tests {
         let bytes = std::fs::read(&good).unwrap();
         std::fs::write(&good, &bytes[..bytes.len() / 2]).unwrap();
         assert!(load_collection(&good).is_err());
+    }
+
+    #[test]
+    fn bit_flip_in_place_is_detected_by_crc() {
+        let path = tmp("bitflip.idx");
+        save_collection(&sample(), &path).unwrap();
+        let len = std::fs::metadata(&path).unwrap().len() as usize;
+        crate::fault::flip_byte(&path, len / 2).unwrap();
+        assert!(matches!(
+            load_collection(&path),
+            Err(IrsError::CorruptIndex(_))
+        ));
+    }
+
+    #[test]
+    fn atomic_write_round_trips_and_leaves_no_tmp() {
+        let path = tmp("atomic.bin");
+        atomic_write(&path, b"payload bytes").unwrap();
+        assert_eq!(read_verified(&path).unwrap(), b"payload bytes");
+        assert!(!path.with_file_name("atomic.bin.tmp").exists());
+        // A torn write of the same payload (missing its tail) is rejected.
+        let bytes = std::fs::read(&path).unwrap();
+        crate::fault::torn_write(&path, &bytes, bytes.len() - 2).unwrap();
+        assert!(read_verified(&path).is_err());
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The standard IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn shard_count_survives_round_trip() {
+        let mut c = IrsCollection::new(CollectionConfig {
+            shards: 5,
+            ..CollectionConfig::default()
+        });
+        c.add_document("x", "hello world").unwrap();
+        let path = tmp("shards.idx");
+        save_collection(&c, &path).unwrap();
+        let loaded = load_collection(&path).unwrap();
+        assert_eq!(loaded.config().shards, 5);
+        assert_eq!(loaded.config(), c.config());
     }
 
     #[test]

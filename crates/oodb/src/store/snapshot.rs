@@ -4,8 +4,6 @@
 //! OID allocator. After writing one, the WAL can be truncated; recovery
 //! is snapshot + WAL-tail replay.
 
-use std::fs::File;
-use std::io::{BufWriter, Read, Write};
 use std::path::Path;
 
 use crate::error::{DbError, Result};
@@ -13,7 +11,7 @@ use crate::object::Object;
 use crate::oid::Oid;
 use crate::schema::{ClassId, Schema};
 use crate::store::ObjectStore;
-use crate::util::{read_str, read_varint, write_str, write_varint};
+use crate::util::{atomic_write, read_str, read_varint, read_verified, write_str, write_varint};
 use crate::value::Value;
 
 const MAGIC: &[u8; 4] = b"ODBS";
@@ -88,17 +86,13 @@ pub fn write(
         }
     }
 
-    let mut w = BufWriter::new(File::create(path)?);
-    w.write_all(&out)?;
-    w.flush()?;
-    w.get_ref().sync_data()?;
-    Ok(())
+    // Crash-safe: temp file + fsync + atomic rename, CRC-32 trailer.
+    atomic_write(path, &out)
 }
 
 /// Load a snapshot previously written by [`write`].
 pub fn read(path: &Path) -> Result<Snapshot> {
-    let mut buf = Vec::new();
-    File::open(path)?.read_to_end(&mut buf)?;
+    let buf = read_verified(path)?;
     let mut pos = 0usize;
 
     if buf.len() < 5 || &buf[0..4] != MAGIC {
@@ -231,6 +225,18 @@ mod tests {
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() - 4]).unwrap();
         assert!(read(&path).is_err());
+    }
+
+    #[test]
+    fn bit_flip_in_place_rejected() {
+        let (schema, indexes, store) = sample();
+        let path = tmp("bitflip.snap");
+        write(&path, &schema, &indexes, &store).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(read(&path), Err(DbError::Corrupt(_))));
     }
 
     #[test]

@@ -10,6 +10,9 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo test -q -p system-tests --test recovery (crash recovery)"
+cargo test -q -p system-tests --test recovery
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -104,3 +104,108 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Propagation equivalence: any Insert/Modify/Delete sequence applied
+    /// eagerly yields the same final IRS index state as deferring it —
+    /// even when the deferred log crosses a crash and is recovered from
+    /// its durable journal before the flush.
+    #[test]
+    fn deferred_journal_replay_equals_eager(seed in 0u64..300, script in prop::collection::vec(0u8..6, 1..24)) {
+        use coupling::{Collection, CollectionSetup, PendingOp, PropagationStrategy, Propagator};
+        use oodb::{Database, Oid, Value};
+        use sgml::{load_document, parse_document};
+
+        let journal = std::env::temp_dir()
+            .join("coupling-prop-journal")
+            .join(format!("equiv-{seed}-{}.journal", script.len()));
+        std::fs::create_dir_all(journal.parent().unwrap()).unwrap();
+        let _ = std::fs::remove_file(&journal);
+
+        let mut db = Database::in_memory();
+        db.define_class("IRSObject", None).unwrap();
+        let tree = parse_document(
+            "<MMFDOC><PARA>telnet is a protocol</PARA><PARA>the www grows</PARA></MMFDOC>",
+        ).unwrap();
+        let mut txn = db.begin();
+        load_document(&mut db, &mut txn, &tree, "IRSObject").unwrap();
+        db.commit(txn).unwrap();
+
+        let mut eager_coll = Collection::new("e", CollectionSetup::default());
+        eager_coll.index_objects(&db, "ACCESS p FROM p IN PARA").unwrap();
+        let mut deferred_coll = Collection::new("d", CollectionSetup::default());
+        deferred_coll.index_objects(&db, "ACCESS p FROM p IN PARA").unwrap();
+
+        let mut eager = Propagator::new(PropagationStrategy::Eager);
+        let mut deferred = Propagator::with_journal(PropagationStrategy::Deferred, &journal)
+            .expect("journal opens");
+        prop_assert!(deferred.pending().is_empty());
+
+        // Interpret the script over a growing pool of objects. Words come
+        // from a tiny vocabulary so modifications genuinely change hits.
+        let vocab = ["telnet", "www", "nii", "gopher", "hypertext", "modem"];
+        let mut pool: Vec<Oid> = Vec::new();
+        let para_class = db.schema().class_id("PARA").unwrap();
+        for (i, &b) in script.iter().enumerate() {
+            let word = vocab[(seed as usize + i) % vocab.len()];
+            let op = match b {
+                0 | 1 => {
+                    let mut txn = db.begin();
+                    let oid = db.create_object(&mut txn, para_class).unwrap();
+                    db.set_attr(&mut txn, oid, "text",
+                        Value::from(format!("fresh {word} paragraph {i}"))).unwrap();
+                    db.commit(txn).unwrap();
+                    pool.push(oid);
+                    PendingOp::Insert(oid)
+                }
+                2 | 3 if !pool.is_empty() => {
+                    let oid = pool[(seed as usize + i) % pool.len()];
+                    let mut txn = db.begin();
+                    db.set_attr(&mut txn, oid, "text",
+                        Value::from(format!("changed {word} text {i}"))).unwrap();
+                    db.commit(txn).unwrap();
+                    PendingOp::Modify(oid)
+                }
+                4 | 5 if !pool.is_empty() => {
+                    let oid = pool.remove((seed as usize + i) % pool.len());
+                    PendingOp::Delete(oid)
+                }
+                _ => continue,
+            };
+            let ctx = db.method_ctx();
+            eager.record(&ctx, &mut eager_coll, op).unwrap();
+            deferred.record(&ctx, &mut deferred_coll, op).unwrap();
+        }
+
+        // Crash: drop the deferred propagator with its log still pending,
+        // then recover from the journal and flush.
+        drop(deferred);
+        let mut recovered = Propagator::with_journal(PropagationStrategy::Deferred, &journal)
+            .expect("journal reopens");
+        let ctx = db.method_ctx();
+        recovered.flush(&ctx, &mut deferred_coll).unwrap();
+
+        // Same live documents...
+        let keys = |c: &Collection| {
+            let mut v: Vec<String> = c.irs().with_store(|s| {
+                s.iter_live().map(|(_, e)| e.key.clone()).collect()
+            });
+            v.sort();
+            v
+        };
+        prop_assert_eq!(keys(&eager_coll), keys(&deferred_coll));
+        // ...and the same answers.
+        for word in vocab {
+            let a = eager_coll.evaluate_uncached(word).unwrap();
+            let b = deferred_coll.evaluate_uncached(word).unwrap();
+            prop_assert_eq!(a.len(), b.len(), "hit sets differ for {}", word);
+            for (oid, va) in &a {
+                let vb = b.get(oid).copied().unwrap_or(-1.0);
+                prop_assert!((va - vb).abs() < 1e-9, "{}@{}: {} vs {}", word, oid, va, vb);
+            }
+        }
+        let _ = std::fs::remove_file(&journal);
+    }
+}

@@ -1,0 +1,300 @@
+//! Crash-recovery integration suite: every persisted file is written
+//! atomically with a CRC-32 trailer, torn writes and bit flips are
+//! detected at open, journaled deferred updates replay after a crash,
+//! and a down IRS degrades to stale-marked answers instead of failing.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use coupling::{
+    journal_path, open_system, save_system, DocumentSystem, PendingOp, PropagationStrategy,
+    Propagator, ResultOrigin,
+};
+use irs::fault::{flip_byte, torn_write};
+use irs::FaultPlan;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("coupling-recovery").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A saved two-issue system under `dir`.
+fn saved_system(dir: &Path) -> DocumentSystem {
+    let mut sys = system_tests::two_issue_system();
+    sys.with_collection("collPara", |c| {
+        c.get_irs_result("telnet").unwrap();
+    })
+    .unwrap();
+    save_system(&mut sys, dir).unwrap();
+    sys
+}
+
+/// Flip one byte in the middle of `file` (relative to `dir/collections`).
+fn corrupt(dir: &Path, file: &str) {
+    let path = dir.join("collections").join(file);
+    let len = std::fs::metadata(&path).unwrap().len();
+    flip_byte(&path, (len / 2) as usize).unwrap();
+}
+
+// ----------------------------------------------------------------------
+// Bit-flip detection matrix
+// ----------------------------------------------------------------------
+
+#[test]
+fn bit_flip_in_index_file_is_detected() {
+    let dir = tmp_dir("flip_idx");
+    saved_system(&dir);
+    corrupt(&dir, "collPara.idx");
+    assert!(open_system(&dir).is_err(), "corrupt index must not load");
+}
+
+#[test]
+fn bit_flip_in_buffer_file_is_detected() {
+    let dir = tmp_dir("flip_buf");
+    saved_system(&dir);
+    corrupt(&dir, "collPara.buf");
+    assert!(open_system(&dir).is_err(), "corrupt buffer must not load");
+}
+
+#[test]
+fn bit_flip_in_meta_file_is_detected() {
+    let dir = tmp_dir("flip_meta");
+    saved_system(&dir);
+    corrupt(&dir, "collPara.meta");
+    assert!(open_system(&dir).is_err(), "corrupt metadata must not load");
+}
+
+#[test]
+fn bit_flip_in_db_snapshot_is_detected() {
+    let dir = tmp_dir("flip_snap");
+    saved_system(&dir);
+    let snap = dir.join("db").join("snapshot.odb");
+    assert!(snap.exists(), "snapshot written by save_system");
+    let len = std::fs::metadata(&snap).unwrap().len();
+    flip_byte(&snap, (len / 2) as usize).unwrap();
+    assert!(open_system(&dir).is_err(), "corrupt snapshot must not load");
+}
+
+// ----------------------------------------------------------------------
+// Torn writes (kill mid-save)
+// ----------------------------------------------------------------------
+
+#[test]
+fn truncated_index_file_is_detected() {
+    let dir = tmp_dir("torn_idx");
+    saved_system(&dir);
+    let path = dir.join("collections").join("collPara.idx");
+    let bytes = std::fs::read(&path).unwrap();
+    torn_write(&path, &bytes, bytes.len() * 2 / 3).unwrap();
+    assert!(open_system(&dir).is_err(), "torn index must not load");
+}
+
+#[test]
+fn stray_tmp_file_from_killed_save_is_harmless() {
+    // Atomic saves go through `<name>.tmp` + rename; a kill between the
+    // two leaves a stray .tmp next to an intact previous version.
+    let dir = tmp_dir("stray_tmp");
+    let sys = saved_system(&dir);
+    let before = sys
+        .query("ACCESS p FROM p IN PARA WHERE p -> getIRSValue(collPara, 'telnet') > 0.45")
+        .unwrap();
+    std::fs::write(
+        dir.join("collections").join("collPara.idx.tmp"),
+        b"half-written garbage",
+    )
+    .unwrap();
+    let reopened = open_system(&dir).unwrap();
+    let after = reopened
+        .query("ACCESS p FROM p IN PARA WHERE p -> getIRSValue(collPara, 'telnet') > 0.45")
+        .unwrap();
+    assert_eq!(before, after, "previous consistent version still serves");
+}
+
+// ----------------------------------------------------------------------
+// Journal recovery
+// ----------------------------------------------------------------------
+
+#[test]
+fn journaled_updates_survive_crash_and_replay_once() {
+    let dir = tmp_dir("journal_crash");
+    let mut sys = saved_system(&dir);
+    let para = sys.query("ACCESS p FROM p IN PARA").unwrap()[0]
+        .oid()
+        .unwrap();
+
+    // Durably record a deferred modification; crash before the flush.
+    let mut prop = Propagator::with_journal(
+        PropagationStrategy::Deferred,
+        &journal_path(&dir, "collPara"),
+    )
+    .unwrap();
+    sys.update_text(
+        para,
+        "gopher menus replace telnet",
+        &mut [("collPara", &mut prop)],
+    )
+    .unwrap();
+    assert_eq!(prop.pending().len(), 1);
+    drop(prop);
+    drop(sys);
+
+    // First reopen replays the journal and persists the recovered index.
+    let reopened = open_system(&dir).unwrap();
+    let hits = reopened
+        .with_collection("collPara", |c| c.get_irs_result("gopher").unwrap().len())
+        .unwrap();
+    assert_eq!(hits, 1, "pending update applied during recovery");
+    assert_eq!(
+        std::fs::metadata(journal_path(&dir, "collPara"))
+            .unwrap()
+            .len(),
+        0,
+        "journal cleared after recovery was made durable"
+    );
+    drop(reopened);
+
+    // Second reopen: recovered state came from the re-saved index, not a
+    // second replay.
+    let again = open_system(&dir).unwrap();
+    let hits = again
+        .with_collection("collPara", |c| c.get_irs_result("gopher").unwrap().len())
+        .unwrap();
+    assert_eq!(hits, 1, "recovery is durable across further restarts");
+}
+
+#[test]
+fn torn_journal_tail_replays_consistent_prefix() {
+    let dir = tmp_dir("journal_torn");
+    let mut sys = saved_system(&dir);
+    let paras: Vec<oodb::Oid> = sys
+        .query("ACCESS p FROM p IN PARA")
+        .unwrap()
+        .iter()
+        .filter_map(|r| r.oid())
+        .collect();
+    let jpath = journal_path(&dir, "collPara");
+    let mut prop = Propagator::with_journal(PropagationStrategy::Deferred, &jpath).unwrap();
+    sys.update_text(paras[0], "zeppelin one", &mut [("collPara", &mut prop)])
+        .unwrap();
+    sys.update_text(paras[1], "quagga two", &mut [("collPara", &mut prop)])
+        .unwrap();
+    drop(prop);
+    drop(sys);
+
+    // Tear the last frame: only the first operation survives.
+    let bytes = std::fs::read(&jpath).unwrap();
+    torn_write(&jpath, &bytes, bytes.len() - 5).unwrap();
+
+    let reopened = open_system(&dir).unwrap();
+    let (zeppelin, quagga) = reopened
+        .with_collection("collPara", |c| {
+            (
+                c.get_irs_result("zeppelin").unwrap().len(),
+                c.get_irs_result("quagga").unwrap().len(),
+            )
+        })
+        .unwrap();
+    assert_eq!(zeppelin, 1, "intact frame replayed");
+    assert_eq!(quagga, 0, "torn frame discarded, not half-applied");
+}
+
+#[test]
+fn journal_compaction_preserves_pending_state() {
+    let dir = tmp_dir("journal_compact");
+    let mut sys = system_tests::two_issue_system();
+    save_system(&mut sys, &dir).unwrap();
+    let para = sys.query("ACCESS p FROM p IN PARA").unwrap()[0]
+        .oid()
+        .unwrap();
+    let jpath = journal_path(&dir, "collPara");
+    let mut prop = Propagator::with_journal(PropagationStrategy::Deferred, &jpath).unwrap();
+    // Churn: many modifies of one object fold to a single pending op, and
+    // the journal compacts rather than growing without bound.
+    for i in 0..32 {
+        sys.update_text(
+            para,
+            &format!("wombat text {i}"),
+            &mut [("collPara", &mut prop)],
+        )
+        .unwrap();
+    }
+    assert_eq!(prop.pending(), &[PendingOp::Modify(para)]);
+    let frames = prop.journal().unwrap().frames();
+    assert!(
+        frames <= 8,
+        "journal compacted instead of holding 32 frames ({frames})"
+    );
+    assert!(prop.journal().unwrap().rewrites() >= 1);
+    drop(prop);
+    drop(sys);
+
+    let reopened = open_system(&dir).unwrap();
+    let hits = reopened
+        .with_collection("collPara", |c| c.get_irs_result("wombat").unwrap().len())
+        .unwrap();
+    assert_eq!(hits, 1, "compacted journal still recovers the update");
+}
+
+// ----------------------------------------------------------------------
+// Degraded-mode serving (IRS unavailable)
+// ----------------------------------------------------------------------
+
+#[test]
+fn irs_outage_serves_stale_buffered_results() {
+    let sys = system_tests::two_issue_system();
+    let fresh = sys
+        .with_collection("collPara", |c| c.get_irs_result("telnet").unwrap())
+        .unwrap();
+    sys.with_collection("collPara", |c| {
+        // An update invalidates the buffer, then the IRS goes down.
+        c.buffer().invalidate_all();
+        let plan = Arc::new(FaultPlan::new(42));
+        plan.set_down(true);
+        c.inject_faults(Some(plan));
+        let (map, origin) = c.get_irs_result_with_origin("telnet").unwrap();
+        assert_eq!(origin, ResultOrigin::Stale, "served from the stale store");
+        assert_eq!(map, fresh, "stale answer is the last consistent one");
+        assert!(c.fault_stats().stale_serves >= 1);
+        // Queries with no stale copy surface the transient failure.
+        assert!(c.get_irs_result("www").unwrap_err().is_transient());
+    })
+    .unwrap();
+}
+
+#[test]
+fn recovery_after_outage_resumes_fresh_serving() {
+    let sys = system_tests::two_issue_system();
+    sys.with_collection("collPara", |c| {
+        c.get_irs_result("telnet").unwrap();
+        c.buffer().invalidate_all();
+        let plan = Arc::new(FaultPlan::new(7));
+        plan.set_down(true);
+        c.inject_faults(Some(plan.clone()));
+        let (_, origin) = c.get_irs_result_with_origin("telnet").unwrap();
+        assert_eq!(origin, ResultOrigin::Stale);
+        // The IRS comes back; wait out the breaker cooldown.
+        plan.set_down(false);
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        let (_, origin) = c.get_irs_result_with_origin("telnet").unwrap();
+        assert_eq!(origin, ResultOrigin::Fresh, "fresh serving resumes");
+        assert!(c.fault_stats().retries + c.fault_stats().giveups >= 1);
+    })
+    .unwrap();
+}
+
+#[test]
+fn transient_error_rate_is_absorbed_by_retries() {
+    let sys = system_tests::two_issue_system();
+    sys.with_collection("collPara", |c| {
+        // 20% per-op failure; with 2 retries the effective failure rate
+        // is below 1%, so a handful of queries all succeed.
+        c.inject_faults(Some(Arc::new(FaultPlan::new(1234).with_error_rate(0.2))));
+        for q in ["telnet", "www", "nii", "login", "hypertext"] {
+            c.get_irs_result(q).unwrap();
+        }
+        assert!(c.fault_stats().giveups == 0, "retries absorbed all faults");
+    })
+    .unwrap();
+}
