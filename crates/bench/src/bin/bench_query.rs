@@ -1,0 +1,76 @@
+//! Query hot-path benchmark gate: runs the E14 pruned-vs-exhaustive
+//! sweep and writes machine-readable results to `BENCH_query.json` for
+//! CI tracking.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p coupling-bench --release --bin bench_query            # full
+//! cargo run -p coupling-bench --release --bin bench_query -- --smoke
+//! ```
+//!
+//! `--smoke` shrinks the corpus so the run finishes in seconds; it still
+//! checks the correctness gate. The process exits nonzero and prints a
+//! line containing `REGRESSION` if any pruned ranking differs from the
+//! exhaustive ranking — CI greps for that marker.
+
+use coupling_bench::exp::e14_topk;
+use coupling_bench::workload::WorkloadConfig;
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut config = if smoke {
+        WorkloadConfig::small()
+    } else {
+        WorkloadConfig::standard()
+    };
+    if smoke {
+        config.corpus.docs = 10;
+    }
+
+    let report = e14_topk::run(&config);
+    println!("{report}");
+
+    // Hand-rolled JSON: the workspace deliberately carries no serde.
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"bench\": \"{}\",\n",
+        json_escape("query_topk_vs_exhaustive")
+    ));
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if smoke { "smoke" } else { "full" }
+    ));
+    out.push_str(&format!("  \"query_set\": {},\n", report.query_set));
+    out.push_str(&format!(
+        "  \"rankings_match\": {},\n",
+        report.rankings_match
+    ));
+    out.push_str("  \"sweep\": [\n");
+    for (i, p) in report.sweep.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"docs\": {}, \"k\": {}, \"pruned_us\": {}, \"exhaustive_us\": {}, \"speedup\": {:.3}}}{}\n",
+            p.docs,
+            p.k,
+            p.pruned_us,
+            p.exhaustive_us,
+            p.speedup,
+            if i + 1 < report.sweep.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+
+    let path = std::path::Path::new("BENCH_query.json");
+    std::fs::write(path, &out).expect("write BENCH_query.json");
+    println!("wrote {}", path.display());
+
+    if !report.rankings_match {
+        eprintln!("REGRESSION: pruned top-k ranking differs from exhaustive ranking");
+        std::process::exit(1);
+    }
+}

@@ -72,4 +72,7 @@ fn main() {
     if want("e13") {
         println!("{}\n", exp::e13_faults::run(&config));
     }
+    if want("e14") {
+        println!("{}\n", exp::e14_topk::run(&config));
+    }
 }

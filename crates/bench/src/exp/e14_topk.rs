@@ -1,0 +1,232 @@
+//! E14 — pruned top-k scoring vs. exhaustive ranking.
+//!
+//! The paper's coupling evaluates `getIRSResult` by ranking *every*
+//! represented object, then the OODBMS layer keeps the few best (a
+//! threshold predicate, a first results page). This experiment measures
+//! the document-at-a-time top-k engine added for that hot path: per-term
+//! score upper bounds let it skip documents that cannot enter the
+//! current top-k, so latency should drop well below the exhaustive
+//! evaluator for small k on large corpora — while returning *exactly*
+//! the same ranking, bitwise.
+//!
+//! The corpus is synthetic with a skewed (quadratic) term distribution:
+//! a few very common terms and a long rare tail, the shape under which
+//! upper-bound pruning pays off (common terms have low per-document
+//! discrimination, so their cursors become non-essential early).
+
+use std::time::Instant;
+
+use irs::{CollectionConfig, IrsCollection};
+
+use crate::workload::WorkloadConfig;
+
+/// Result-set sizes swept; `k <= 10` is the paper's threshold-query
+/// regime, 100 approximates a generous results page.
+pub const K_SWEEP: [usize; 3] = [1, 10, 100];
+
+/// Corpus growth factors over the base size.
+const SIZE_FACTORS: [usize; 3] = [1, 4, 16];
+
+/// Words per synthetic document.
+const DOC_WORDS: usize = 50;
+
+/// Timed repetitions per (query, k) cell; the median is reported.
+const REPS: usize = 5;
+
+/// One measured cell of the sweep.
+#[derive(Debug, Clone)]
+pub struct TopKPoint {
+    /// Documents in the corpus.
+    pub docs: usize,
+    /// Result-set size.
+    pub k: usize,
+    /// Median pruned `search_top_k` latency over the query set, microseconds.
+    pub pruned_us: u128,
+    /// Median exhaustive `search` latency over the query set, microseconds.
+    pub exhaustive_us: u128,
+    /// Exhaustive / pruned latency.
+    pub speedup: f64,
+}
+
+/// E14 measurements.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Corpus sizes swept (documents).
+    pub sizes: Vec<usize>,
+    /// Distinct queries in the probe set.
+    pub query_set: usize,
+    /// Sweep cells, ordered by (docs, k).
+    pub sweep: Vec<TopKPoint>,
+    /// True iff every pruned ranking was bitwise identical to the first
+    /// k entries of the exhaustive ranking, across the whole sweep.
+    pub rankings_match: bool,
+}
+
+/// Deterministic xorshift generator (the experiments avoid external RNG
+/// dependencies and must be reproducible).
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// A skewed term index in `[0, vocab)`: squaring a uniform variate
+/// concentrates mass near 0, giving a few very common terms and a long
+/// tail of rare ones.
+fn skewed_term(state: &mut u64, vocab: usize) -> usize {
+    let u = (xorshift(state) >> 11) as f64 / (1u64 << 53) as f64;
+    ((u * u * vocab as f64) as usize).min(vocab - 1)
+}
+
+fn term_name(i: usize) -> String {
+    format!("t{i:04}")
+}
+
+/// Build a skewed synthetic collection of `docs` documents.
+fn build_corpus(docs: usize, vocab: usize, seed: u64) -> IrsCollection {
+    let mut coll = IrsCollection::new(CollectionConfig::default());
+    let mut state = seed | 1;
+    let batch: Vec<(String, String)> = (0..docs)
+        .map(|i| {
+            let words: Vec<String> = (0..DOC_WORDS)
+                .map(|_| term_name(skewed_term(&mut state, vocab)))
+                .collect();
+            (format!("doc{i:06}"), words.join(" "))
+        })
+        .collect();
+    coll.add_documents(&batch).expect("corpus indexes");
+    coll
+}
+
+/// The probe queries: single terms and operator trees mixing common
+/// (low-index) and rarer terms — the shapes `getIRSResult` sees.
+fn probe_queries() -> Vec<String> {
+    vec![
+        term_name(0),
+        term_name(3),
+        format!("#or({} {})", term_name(1), term_name(40)),
+        format!("#sum({} {} {})", term_name(0), term_name(2), term_name(25)),
+        format!("#wsum(3 {} 1 {})", term_name(1), term_name(60)),
+    ]
+}
+
+fn median(mut xs: Vec<u128>) -> u128 {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+/// Run E14. Corpus sizes scale with the workload (`--small` keeps the
+/// sweep fast); the largest size is where the speedup claim is made.
+pub fn run(config: &WorkloadConfig) -> Report {
+    let base = config.corpus.docs * 5;
+    let vocab = config.corpus.vocabulary.max(100);
+    let sizes: Vec<usize> = SIZE_FACTORS.iter().map(|f| f * base).collect();
+    let queries = probe_queries();
+    let mut sweep = Vec::new();
+    let mut rankings_match = true;
+
+    for &docs in &sizes {
+        let coll = build_corpus(docs, vocab, 0x5eed_0e14);
+        for &k in &K_SWEEP {
+            let mut pruned_samples = Vec::new();
+            let mut exhaustive_samples = Vec::new();
+            for q in &queries {
+                for _ in 0..REPS {
+                    let t0 = Instant::now();
+                    let top = coll.search_top_k(q, k).expect("pruned query evaluates");
+                    pruned_samples.push(t0.elapsed().as_micros());
+
+                    let t0 = Instant::now();
+                    let full = coll.search(q).expect("exhaustive query evaluates");
+                    exhaustive_samples.push(t0.elapsed().as_micros());
+
+                    // The win only counts if the ranking is untouched:
+                    // same keys, bitwise the same scores.
+                    let prefix = &full[..k.min(full.len())];
+                    if top.len() != prefix.len()
+                        || top
+                            .iter()
+                            .zip(prefix)
+                            .any(|(a, b)| a.key != b.key || a.score.to_bits() != b.score.to_bits())
+                    {
+                        rankings_match = false;
+                    }
+                }
+            }
+            let pruned_us = median(pruned_samples);
+            let exhaustive_us = median(exhaustive_samples);
+            sweep.push(TopKPoint {
+                docs,
+                k,
+                pruned_us,
+                exhaustive_us,
+                speedup: exhaustive_us.max(1) as f64 / pruned_us.max(1) as f64,
+            });
+        }
+    }
+
+    Report {
+        sizes,
+        query_set: queries.len(),
+        sweep,
+        rankings_match,
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "E14 — pruned top-k scoring vs. exhaustive ranking")?;
+        writeln!(
+            f,
+            "{} probe queries, corpus sizes {:?}, median of {} reps",
+            self.query_set, self.sizes, REPS
+        )?;
+        writeln!(
+            f,
+            "{:<10} {:>6} {:>12} {:>14} {:>9}",
+            "docs", "k", "pruned(us)", "exhaustive(us)", "speedup"
+        )?;
+        for p in &self.sweep {
+            writeln!(
+                f,
+                "{:<10} {:>6} {:>12} {:>14} {:>9.2}",
+                p.docs, p.k, p.pruned_us, p.exhaustive_us, p.speedup
+            )?;
+        }
+        writeln!(
+            f,
+            "rankings bitwise identical: {}",
+            if self.rankings_match {
+                "yes"
+            } else {
+                "NO — REGRESSION"
+            }
+        )?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_sweep_covers_sizes_and_k_and_rankings_match() {
+        let mut config = WorkloadConfig::small();
+        // Shrink further: the shape test checks structure, not speed.
+        config.corpus.docs = 8;
+        let report = run(&config);
+        assert_eq!(report.sizes.len(), SIZE_FACTORS.len());
+        assert_eq!(report.sweep.len(), SIZE_FACTORS.len() * K_SWEEP.len());
+        for p in &report.sweep {
+            assert!(p.pruned_us > 0 || p.exhaustive_us > 0 || p.speedup >= 1.0);
+            assert!(K_SWEEP.contains(&p.k));
+            assert!(report.sizes.contains(&p.docs));
+        }
+        assert!(report.rankings_match, "pruning must not change rankings");
+        assert!(report.to_string().contains("E14"));
+    }
+}

@@ -4,6 +4,7 @@ pub mod e10_ablations;
 pub mod e11_passages;
 pub mod e12_concurrency;
 pub mod e13_faults;
+pub mod e14_topk;
 pub mod e1_architectures;
 pub mod e2_granularity;
 pub mod e3_derivation;

@@ -36,6 +36,14 @@ pub struct CollectionSetup {
     pub retry: RetryPolicy,
     /// Circuit-breaker configuration for the IRS.
     pub breaker: BreakerConfig,
+    /// Rank at most this many IRS documents per query (`None` = rank
+    /// everything, the paper's behavior). With a limit the IRS serves
+    /// queries through its pruned top-k engine instead of scoring the
+    /// whole collection; applications that only consume the best few
+    /// objects (threshold predicates, first-page results) should set
+    /// this. Ignored while the collection holds segmented roots —
+    /// folding segment hits into per-object values needs every hit.
+    pub result_limit: Option<usize>,
 }
 
 /// Where a `getIRSResult` answer came from.
@@ -73,6 +81,12 @@ impl CollectionSetup {
             text_mode,
             ..CollectionSetup::default()
         }
+    }
+
+    /// Cap IRS rankings at `k` results per query (builder style).
+    pub fn with_result_limit(mut self, k: usize) -> Self {
+        self.result_limit = Some(k);
+        self
     }
 }
 
@@ -133,6 +147,7 @@ pub struct Collection {
     retry: RetryPolicy,
     breaker: CircuitBreaker,
     retry_stats: RetryStats,
+    result_limit: Option<usize>,
 }
 
 impl Collection {
@@ -158,6 +173,7 @@ impl Collection {
             retry: setup.retry,
             breaker: CircuitBreaker::new(setup.breaker),
             retry_stats: RetryStats::default(),
+            result_limit: setup.result_limit,
         }
     }
 
@@ -231,6 +247,7 @@ impl Collection {
             retry: RetryPolicy::default(),
             breaker: CircuitBreaker::new(BreakerConfig::default()),
             retry_stats: RetryStats::default(),
+            result_limit: None,
         }
     }
 
@@ -247,6 +264,21 @@ impl Collection {
     /// Replace the derivation scheme (e.g. to compare schemes in E3).
     pub fn set_derivation(&mut self, scheme: DerivationScheme) {
         self.derivation = scheme;
+    }
+
+    /// The per-query ranking cap, if any (see
+    /// [`CollectionSetup::result_limit`]).
+    pub fn result_limit(&self) -> Option<usize> {
+        self.result_limit
+    }
+
+    /// Change the per-query ranking cap. The result buffer is
+    /// invalidated: buffered answers were computed under the old limit.
+    pub fn set_result_limit(&mut self, limit: Option<usize>) {
+        if self.result_limit != limit {
+            self.result_limit = limit;
+            self.buffer.invalidate_all();
+        }
     }
 
     /// Coupling work counters.
@@ -447,9 +479,22 @@ impl Collection {
     pub fn evaluate_uncached(&self, query: &str) -> Result<ResultMap> {
         CouplingCounters::bump(&self.stats.irs_calls);
         let bounded = self.irs.config().model.as_model().bounded();
-        let hits = retry::call(&self.retry, &self.breaker, &self.retry_stats, || {
-            self.irs.search(query)
-        })?;
+        // Segment-key folding (`oid:N#k` hits combining into their root)
+        // needs the complete ranking, so the cap only applies while no
+        // roots are segmented.
+        let limit = match self.result_limit {
+            Some(k) if self.segmented.is_empty() => Some(k),
+            _ => None,
+        };
+        let hits = retry::call(
+            &self.retry,
+            &self.breaker,
+            &self.retry_stats,
+            || match limit {
+                Some(k) => self.irs.search_top_k(query, k),
+                None => self.irs.search(query),
+            },
+        )?;
         let mut map = ResultMap::new();
         for hit in hits {
             let (oid_part, _segment) = match hit.key.split_once('#') {
@@ -883,5 +928,55 @@ mod tests {
         let n = coll.index_objects(&db, "ACCESS p FROM p IN PARA").unwrap();
         assert_eq!(n, 4);
         assert_eq!(coll.len(), 4);
+    }
+
+    #[test]
+    fn result_limit_keeps_the_best_scoring_objects() {
+        let (db, _) = db_with_docs();
+        let mut full = Collection::new("full", CollectionSetup::default());
+        full.index_objects(&db, "ACCESS p FROM p IN PARA").unwrap();
+        let mut limited = Collection::new("lim", CollectionSetup::default().with_result_limit(1));
+        limited
+            .index_objects(&db, "ACCESS p FROM p IN PARA")
+            .unwrap();
+        assert_eq!(limited.result_limit(), Some(1));
+
+        let all = full.get_irs_result("telnet").unwrap();
+        assert_eq!(all.len(), 2);
+        let top = limited.get_irs_result("telnet").unwrap();
+        assert_eq!(top.len(), 1, "ranking capped at one object");
+        let (oid, score) = top.iter().next().unwrap();
+        let best = all.values().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+        assert_eq!(all.get(oid), Some(score), "same score as the full ranking");
+        assert_eq!(*score, best, "the survivor is the best-scoring object");
+    }
+
+    #[test]
+    fn set_result_limit_invalidates_buffered_answers() {
+        let (db, _) = db_with_docs();
+        let mut coll = Collection::new("c", CollectionSetup::default());
+        coll.index_objects(&db, "ACCESS p FROM p IN PARA").unwrap();
+        assert_eq!(coll.get_irs_result("telnet").unwrap().len(), 2);
+        coll.set_result_limit(Some(1));
+        // Without invalidation this would replay the buffered 2-hit map.
+        assert_eq!(coll.get_irs_result("telnet").unwrap().len(), 1);
+        coll.set_result_limit(None);
+        assert_eq!(coll.get_irs_result("telnet").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn result_limit_is_ignored_for_segmented_collections() {
+        let (db, loaded) = db_with_docs();
+        let roots: Vec<Oid> = loaded.iter().map(|l| l.root).collect();
+        let mut plain = Collection::new("plain", CollectionSetup::default());
+        plain.index_segments(&db, &roots, 3).unwrap();
+        let mut limited = Collection::new("lim", CollectionSetup::default().with_result_limit(1));
+        limited.index_segments(&db, &roots, 3).unwrap();
+        // Segment-key folding needs the complete hit list, so the limit
+        // must not truncate what each root's value folds over.
+        assert_eq!(
+            limited.get_irs_result("telnet").unwrap(),
+            plain.get_irs_result("telnet").unwrap(),
+        );
     }
 }

@@ -69,7 +69,7 @@ pub use collection::{Collection, CollectionSetup, CouplingStats, FaultStats, Res
 pub use derive::DerivationScheme;
 pub use error::{CouplingError, Result};
 pub use granularity::GranularityPolicy;
-pub use journal::Journal;
+pub use journal::{Journal, SyncPolicy};
 pub use mixed::{MixedOutcome, MixedStrategy};
 pub use persist::{journal_path, open_system, save_system};
 pub use propagate::{PendingOp, PropagationStrategy, Propagator};

@@ -35,6 +35,14 @@ pub enum MixedStrategy {
     /// Evaluate both parts over the full candidate set and intersect.
     Independent,
     /// Let the IRS restrict the candidates, verify structure on the rest.
+    ///
+    /// On a collection with a
+    /// [`result_limit`](crate::CollectionSetup::result_limit) the
+    /// candidate set comes from the pruned top-k engine: the IRS ranks
+    /// only the `k` best objects instead of the whole collection, so the
+    /// structural pass starts from an already-capped list. Choose `k`
+    /// at least as large as the expected number of threshold survivors,
+    /// or matching objects beyond rank `k` are never examined.
     IrsFirst,
 }
 
@@ -220,6 +228,39 @@ mod tests {
         assert_eq!(indep.structural_checks, 6, "full extent");
         assert_eq!(first.structural_checks, 3, "only telnet hits");
         assert_eq!(indep.oids, first.oids);
+    }
+
+    #[test]
+    fn result_limited_collection_agrees_under_irs_first() {
+        let (db, coll) = setup();
+        // A limit that covers every threshold survivor (3 telnet paras)
+        // must not change the mixed result, only the ranking work.
+        let mut limited = Collection::new("lim", CollectionSetup::default().with_result_limit(3));
+        limited
+            .index_objects(&db, "ACCESS p FROM p IN PARA")
+            .unwrap();
+        let full = evaluate_mixed(
+            &db,
+            &coll,
+            "PARA",
+            &pos_lt(4),
+            "telnet",
+            0.4,
+            MixedStrategy::IrsFirst,
+        )
+        .unwrap();
+        let capped = evaluate_mixed(
+            &db,
+            &limited,
+            "PARA",
+            &pos_lt(4),
+            "telnet",
+            0.4,
+            MixedStrategy::IrsFirst,
+        )
+        .unwrap();
+        assert_eq!(full.oids, capped.oids, "limit covers all survivors");
+        assert!(capped.structural_checks <= full.structural_checks);
     }
 
     #[test]

@@ -27,7 +27,7 @@ use oodb::{MethodCtx, Oid};
 
 use crate::collection::Collection;
 use crate::error::Result;
-use crate::journal::Journal;
+use crate::journal::{Journal, SyncPolicy};
 
 /// When updates reach the IRS.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,6 +119,21 @@ impl Propagator {
         Ok(prop)
     }
 
+    /// [`Propagator::with_journal`] with an explicit journal
+    /// [`SyncPolicy`] — pass [`SyncPolicy::GroupCommit`] to amortise the
+    /// per-operation `sync_data` under deferred churn.
+    pub fn with_journal_policy(
+        strategy: PropagationStrategy,
+        path: &Path,
+        policy: SyncPolicy,
+    ) -> Result<Self> {
+        let mut prop = Self::with_journal(strategy, path)?;
+        if let Some(j) = &mut prop.journal {
+            j.set_sync_policy(policy);
+        }
+        Ok(prop)
+    }
+
     /// The journal backing this propagator, if any.
     pub fn journal(&self) -> Option<&Journal> {
         self.journal.as_ref()
@@ -183,6 +198,39 @@ impl Propagator {
             PropagationStrategy::Deferred => {
                 self.journal_append(op)?;
                 self.fold(op);
+                self.maybe_compact()
+            }
+        }
+    }
+
+    /// Record several updates at once. Under deferred propagation the
+    /// whole batch is journaled with a **single** `sync_data`
+    /// ([`Journal::append_batch`]) before any folding — the group-commit
+    /// path for bulk loads, where per-operation fsync would dominate.
+    /// Under eager propagation the batch degenerates to sequential
+    /// [`Propagator::record`] calls (each operation must reach the IRS
+    /// anyway).
+    pub fn record_batch(
+        &mut self,
+        ctx: &MethodCtx<'_>,
+        coll: &mut Collection,
+        ops: &[PendingOp],
+    ) -> Result<()> {
+        match self.strategy {
+            PropagationStrategy::Eager => {
+                for &op in ops {
+                    self.record(ctx, coll, op)?;
+                }
+                Ok(())
+            }
+            PropagationStrategy::Deferred => {
+                self.stats.recorded += ops.len() as u64;
+                if let Some(j) = &mut self.journal {
+                    j.append_batch(ops)?;
+                }
+                for &op in ops {
+                    self.fold(op);
+                }
                 self.maybe_compact()
             }
         }
@@ -447,6 +495,78 @@ mod tests {
         // No pending work → no forced flush.
         prop.before_query(&ctx, &mut coll).unwrap();
         assert_eq!(prop.stats().forced_flushes, 1);
+    }
+
+    fn journal_tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("coupling-propagate-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn record_batch_folds_like_sequential_records() {
+        let (mut db, mut coll, paras) = setup();
+        let fresh = new_para(&mut db, "ephemeral");
+        let ops = vec![
+            PendingOp::Modify(paras[0]),
+            PendingOp::Modify(paras[0]),
+            PendingOp::Insert(fresh),
+            PendingOp::Delete(fresh),
+        ];
+        let ctx = db.method_ctx();
+        let mut batched = Propagator::new(PropagationStrategy::Deferred);
+        batched.record_batch(&ctx, &mut coll, &ops).unwrap();
+        let mut sequential = Propagator::new(PropagationStrategy::Deferred);
+        for &op in &ops {
+            sequential.record(&ctx, &mut coll, op).unwrap();
+        }
+        assert_eq!(batched.pending(), sequential.pending());
+        assert_eq!(batched.pending(), &[PendingOp::Modify(paras[0])]);
+        assert_eq!(batched.stats().recorded, 4);
+        assert_eq!(batched.stats().cancelled, sequential.stats().cancelled);
+    }
+
+    #[test]
+    fn record_batch_journals_with_one_sync() {
+        let (db, mut coll, paras) = setup();
+        let jpath = journal_tmp("batch_prop.journal");
+        let mut prop = Propagator::with_journal(PropagationStrategy::Deferred, &jpath).unwrap();
+        let ctx = db.method_ctx();
+        let ops: Vec<PendingOp> = paras.iter().map(|&o| PendingOp::Modify(o)).collect();
+        prop.record_batch(&ctx, &mut coll, &ops).unwrap();
+        let j = prop.journal().unwrap();
+        assert_eq!(j.frames(), ops.len() as u64);
+        assert_eq!(j.syncs(), 1, "whole batch journaled under one sync_data");
+        drop(prop);
+        // The batch is durable: a reopen replays every operation (folded).
+        let recovered = Propagator::with_journal(PropagationStrategy::Deferred, &jpath).unwrap();
+        assert_eq!(recovered.stats().replayed, ops.len() as u64);
+    }
+
+    #[test]
+    fn with_journal_policy_applies_group_commit() {
+        let (db, mut coll, paras) = setup();
+        let jpath = journal_tmp("policy_prop.journal");
+        let mut prop = Propagator::with_journal_policy(
+            PropagationStrategy::Deferred,
+            &jpath,
+            crate::journal::SyncPolicy::GroupCommit {
+                max_frames: 4,
+                max_delay: std::time::Duration::from_secs(3600),
+            },
+        )
+        .unwrap();
+        let ctx = db.method_ctx();
+        // Two modifies of each para: 2 * len(paras) = 4 frames → 1 sync.
+        for _ in 0..2 {
+            for &p in &paras {
+                prop.record(&ctx, &mut coll, PendingOp::Modify(p)).unwrap();
+            }
+        }
+        assert_eq!(prop.journal().unwrap().frames(), 4);
+        assert_eq!(prop.journal().unwrap().syncs(), 1, "grouped, not per-frame");
     }
 
     #[test]

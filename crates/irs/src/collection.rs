@@ -20,7 +20,7 @@ use crate::index::{
     DocId, DocStore, IndexReader, IndexStatistics, InvertedIndex, MergeStats, ShardedIndex,
 };
 use crate::model::ModelKind;
-use crate::query::{evaluate, parse_query, QueryNode};
+use crate::query::{evaluate, evaluate_top_k, parse_query, QueryNode};
 
 /// Configuration of a collection: its analysis pipeline and model.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -268,15 +268,32 @@ impl IrsCollection {
         Ok(self.search_node(&node))
     }
 
-    /// Parse and evaluate `query`, returning only the `k` best hits
-    /// (partial selection instead of a full sort — the hot path for
-    /// ranked retrieval UIs).
+    /// Parse and evaluate `query`, returning only the `k` best hits — the
+    /// hot path for ranked retrieval with a result limit.
+    ///
+    /// `Term`/`And`/`Or`/`Sum`/`WSum`/`Max` trees run through the pruned
+    /// document-at-a-time top-k engine ([`evaluate_top_k`]), which skips
+    /// documents whose score upper bound cannot enter the current top-k.
+    /// Trees containing `#not`/`#phrase`/`#near` (or `#wsum` with negative
+    /// weights) fall back to exhaustive evaluation plus partial selection.
+    /// Either path returns exactly the first `k` hits of [`Self::search`],
+    /// with bit-identical scores.
     pub fn search_top_k(&self, query: &str, k: usize) -> Result<Vec<Hit>> {
         self.check_fault()?;
         let node = parse_query(query)?;
         WorkCounters::bump(&self.stats.queries);
         let reader = self.index.reader();
-        let scores = evaluate(&reader, self.config.model.as_model(), &node);
+        let model = self.config.model.as_model();
+        if let Some(ranked) = evaluate_top_k(&reader, model, &node, k) {
+            return Ok(ranked
+                .into_iter()
+                .map(|(doc, score)| Hit {
+                    key: reader.doc_entry(doc).key.clone(),
+                    score,
+                })
+                .collect());
+        }
+        let scores = evaluate(&reader, model, &node);
         let mut hits: Vec<Hit> = scores
             .into_iter()
             .map(|(doc, score)| Hit {
@@ -316,6 +333,23 @@ impl IrsCollection {
         IrsCollection {
             config,
             index: ShardedIndex::from_inverted(index, shards),
+            stats: WorkCounters::default(),
+            fault: None,
+        }
+    }
+
+    /// The sharded index — native per-shard persistence reads shards
+    /// through this without merging.
+    pub(crate) fn sharded_index(&self) -> &ShardedIndex {
+        &self.index
+    }
+
+    /// Internal constructor used by native per-shard persistence: the
+    /// index arrives already sharded, no re-partitioning.
+    pub(crate) fn from_sharded(config: CollectionConfig, index: ShardedIndex) -> Self {
+        IrsCollection {
+            config,
+            index,
             stats: WorkCounters::default(),
             fault: None,
         }
@@ -465,11 +499,21 @@ mod tests {
             let text = format!("{} padding words here", "zebra ".repeat(reps));
             c.add_document(&format!("d{i:02}"), &text).unwrap();
         }
-        let full = c.search("zebra").unwrap();
-        for k in [0usize, 1, 3, 10, 30, 100] {
-            let top = c.search_top_k("zebra", k).unwrap();
-            assert_eq!(top.len(), k.min(full.len()), "k={k}");
-            assert_eq!(&top[..], &full[..top.len()], "k={k} prefix equality");
+        // Pruned-engine trees and fallback trees (#not, phrase) alike must
+        // return exactly the first k hits of the full search.
+        for q in [
+            "zebra",
+            "#or(zebra padding)",
+            "#wsum(3 zebra 1 words)",
+            "#and(padding #not(zebra))",
+            "\"padding words\"",
+        ] {
+            let full = c.search(q).unwrap();
+            for k in [0usize, 1, 3, 10, 30, 100] {
+                let top = c.search_top_k(q, k).unwrap();
+                assert_eq!(top.len(), k.min(full.len()), "q={q} k={k}");
+                assert_eq!(&top[..], &full[..top.len()], "q={q} k={k} prefix equality");
+            }
         }
     }
 }

@@ -12,12 +12,28 @@ mod sharded;
 mod store;
 
 pub use dictionary::{Dictionary, TermId};
-pub use postings::{read_varint, write_varint, Posting, PostingsIter, PostingsList};
+pub use postings::{
+    read_varint, write_varint, DocTfIter, Posting, PostingsCursor, PostingsIter, PostingsList,
+};
 pub use sharded::{ShardedIndex, ShardedReader, DEFAULT_SHARDS};
 pub use store::{DocEntry, DocStore};
 
 use crate::analysis::Analyzer;
 use crate::error::{IrsError, Result};
+
+/// Evidence gathered for one query term by [`IndexReader::gather_terms`]:
+/// the live occurrences plus the statistics the top-k engine derives its
+/// score upper bound from.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TermEvidence {
+    /// Live `(doc, tf)` pairs, ascending by doc id. Its length is the
+    /// live document frequency of the term.
+    pub occurrences: Vec<(DocId, u32)>,
+    /// Upper bound on any single-document term frequency. Taken from the
+    /// whole postings list, so tombstoned documents may make it loose —
+    /// but never smaller than a live document's frequency.
+    pub max_tf: u32,
+}
 
 /// Read access to an index, as query evaluation needs it. Implemented by
 /// the plain [`InvertedIndex`] and by [`ShardedReader`] (a lock-holding
@@ -37,8 +53,31 @@ pub trait IndexReader {
     fn live_count(&self) -> u32;
     /// Average live document length in tokens.
     fn avg_doc_len(&self) -> f64;
+    /// Loose `(min, max)` bounds on live document lengths (see
+    /// [`DocStore::len_bounds`]).
+    fn doc_len_bounds(&self) -> (u32, u32);
     /// Ids of all live documents, ascending.
     fn live_docs(&self) -> Vec<DocId>;
+    /// Gather live occurrence lists for several analysed terms at once —
+    /// the top-k engine's batched postings access. The default walks the
+    /// terms sequentially; [`ShardedReader`] overrides it to read the
+    /// involved shards in parallel and merge the per-shard partials.
+    fn gather_terms(&self, terms: &[String]) -> Vec<TermEvidence> {
+        terms
+            .iter()
+            .map(|t| match self.term_postings(t) {
+                Some(pl) => TermEvidence {
+                    occurrences: pl
+                        .doc_tfs()
+                        .filter(|&(d, _)| self.is_live(DocId(d)))
+                        .map(|(d, tf)| (DocId(d), tf))
+                        .collect(),
+                    max_tf: pl.max_tf(),
+                },
+                None => TermEvidence::default(),
+            })
+            .collect()
+    }
 }
 
 impl IndexReader for InvertedIndex {
@@ -66,8 +105,30 @@ impl IndexReader for InvertedIndex {
         self.store.avg_len()
     }
 
+    fn doc_len_bounds(&self) -> (u32, u32) {
+        self.store.len_bounds()
+    }
+
     fn live_docs(&self) -> Vec<DocId> {
         self.store.iter_live().map(|(id, _)| id).collect()
+    }
+
+    fn gather_terms(&self, terms: &[String]) -> Vec<TermEvidence> {
+        // Borrow the postings in place — no clone on the unsharded path.
+        terms
+            .iter()
+            .map(|t| match self.postings(t) {
+                Some(pl) => TermEvidence {
+                    occurrences: pl
+                        .doc_tfs()
+                        .filter(|&(d, _)| self.store.is_live(DocId(d)))
+                        .map(|(d, tf)| (DocId(d), tf))
+                        .collect(),
+                    max_tf: pl.max_tf(),
+                },
+                None => TermEvidence::default(),
+            })
+            .collect()
     }
 }
 

@@ -65,6 +65,7 @@ pub struct PostingsList {
     doc_count: u32,
     last_doc: u32,
     total_tf: u64,
+    max_tf: u32,
 }
 
 impl PostingsList {
@@ -81,6 +82,12 @@ impl PostingsList {
     /// Sum of term frequencies across all documents (collection frequency).
     pub fn total_tf(&self) -> u64 {
         self.total_tf
+    }
+
+    /// Largest per-document term frequency in the list. Feeds the top-k
+    /// engine's score upper bounds; `0` for an empty list.
+    pub fn max_tf(&self) -> u32 {
+        self.max_tf
     }
 
     /// Size of the compressed representation in bytes.
@@ -113,6 +120,7 @@ impl PostingsList {
         self.last_doc = doc;
         self.doc_count += 1;
         self.total_tf += positions.len() as u64;
+        self.max_tf = self.max_tf.max(positions.len() as u32);
     }
 
     /// Iterate over the postings in doc-id order.
@@ -127,18 +135,66 @@ impl PostingsList {
     }
 
     /// Raw compressed bytes (for persistence).
-    pub fn raw(&self) -> (&[u8], u32, u32, u64) {
-        (&self.bytes, self.doc_count, self.last_doc, self.total_tf)
+    pub fn raw(&self) -> (&[u8], u32, u32, u64, u32) {
+        (
+            &self.bytes,
+            self.doc_count,
+            self.last_doc,
+            self.total_tf,
+            self.max_tf,
+        )
     }
 
     /// Rebuild from persisted raw parts. The caller is responsible for the
-    /// integrity of `bytes` (validated lazily during iteration).
-    pub fn from_raw(bytes: Vec<u8>, doc_count: u32, last_doc: u32, total_tf: u64) -> Self {
-        PostingsList {
+    /// integrity of `bytes` (validated lazily during iteration). Files in
+    /// the legacy flat format predate the `max_tf` statistic; pass `None`
+    /// and it is recomputed by a positions-skipping decode pass.
+    pub fn from_raw(
+        bytes: Vec<u8>,
+        doc_count: u32,
+        last_doc: u32,
+        total_tf: u64,
+        max_tf: Option<u32>,
+    ) -> Self {
+        let mut pl = PostingsList {
             bytes,
             doc_count,
             last_doc,
             total_tf,
+            max_tf: 0,
+        };
+        pl.max_tf = match max_tf {
+            Some(m) => m,
+            None => pl.doc_tfs().map(|(_, tf)| tf).max().unwrap_or(0),
+        };
+        pl
+    }
+
+    /// Iterate `(doc, tf)` pairs in doc-id order without materialising
+    /// position vectors — the top-k hot path and doc-id intersection both
+    /// only need frequencies, so positions are varint-skipped in place.
+    pub fn doc_tfs(&self) -> DocTfIter<'_> {
+        DocTfIter {
+            bytes: &self.bytes,
+            pos: 0,
+            remaining: self.doc_count,
+            prev_doc: 0,
+            first: true,
+        }
+    }
+
+    /// A low-level decoding cursor that lets the caller decide, per
+    /// posting, whether to materialise the positions block or skip it —
+    /// phrase/near evaluation only decodes positions for documents that
+    /// survive the doc-id intersection.
+    pub fn cursor(&self) -> PostingsCursor<'_> {
+        PostingsCursor {
+            bytes: &self.bytes,
+            pos: 0,
+            remaining: self.doc_count,
+            prev_doc: 0,
+            first: true,
+            pending_tf: 0,
         }
     }
 }
@@ -182,6 +238,100 @@ impl Iterator for PostingsIter<'_> {
 
     fn size_hint(&self) -> (usize, Option<usize>) {
         (self.remaining as usize, Some(self.remaining as usize))
+    }
+}
+
+/// Positions-skipping decoding iterator over `(doc, tf)` pairs.
+pub struct DocTfIter<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    remaining: u32,
+    prev_doc: u32,
+    first: bool,
+}
+
+impl Iterator for DocTfIter<'_> {
+    type Item = (u32, u32);
+
+    fn next(&mut self) -> Option<(u32, u32)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let delta = read_varint(self.bytes, &mut self.pos)? as u32;
+        let doc = if self.first {
+            delta
+        } else {
+            self.prev_doc + delta
+        };
+        self.first = false;
+        self.prev_doc = doc;
+        let tf = read_varint(self.bytes, &mut self.pos)? as u32;
+        for _ in 0..tf {
+            read_varint(self.bytes, &mut self.pos)?;
+        }
+        self.remaining -= 1;
+        Some((doc, tf))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining as usize, Some(self.remaining as usize))
+    }
+}
+
+/// Decoding cursor with caller-controlled position materialisation: after
+/// [`PostingsCursor::next_doc`] yields `(doc, tf)`, call
+/// [`PostingsCursor::positions`] to decode the positions block, or just
+/// call `next_doc` again and the block is varint-skipped.
+pub struct PostingsCursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    remaining: u32,
+    prev_doc: u32,
+    first: bool,
+    pending_tf: u32,
+}
+
+impl PostingsCursor<'_> {
+    /// Advance to the next posting, skipping the previous posting's
+    /// positions if they were not read. `None` at the end of the list or
+    /// on corrupt bytes.
+    pub fn next_doc(&mut self) -> Option<(u32, u32)> {
+        for _ in 0..self.pending_tf {
+            read_varint(self.bytes, &mut self.pos)?;
+        }
+        self.pending_tf = 0;
+        if self.remaining == 0 {
+            return None;
+        }
+        let delta = read_varint(self.bytes, &mut self.pos)? as u32;
+        let doc = if self.first {
+            delta
+        } else {
+            self.prev_doc + delta
+        };
+        self.first = false;
+        self.prev_doc = doc;
+        let tf = read_varint(self.bytes, &mut self.pos)? as u32;
+        self.pending_tf = tf;
+        self.remaining -= 1;
+        Some((doc, tf))
+    }
+
+    /// Decode the current posting's positions (ascending). Must follow a
+    /// successful [`PostingsCursor::next_doc`]; a second call returns an
+    /// empty vector.
+    pub fn positions(&mut self) -> Option<Vec<u32>> {
+        let tf = self.pending_tf as usize;
+        self.pending_tf = 0;
+        let mut positions = Vec::with_capacity(tf);
+        let mut prev = 0u32;
+        for i in 0..tf {
+            let d = read_varint(self.bytes, &mut self.pos)? as u32;
+            let p = if i == 0 { d } else { prev + d };
+            positions.push(p);
+            prev = p;
+        }
+        Some(positions)
     }
 }
 
@@ -274,10 +424,42 @@ mod tests {
         let mut pl = PostingsList::new();
         pl.push(2, &[1, 5]);
         pl.push(9, &[0]);
-        let (bytes, dc, last, tf) = pl.raw();
-        let rebuilt = PostingsList::from_raw(bytes.to_vec(), dc, last, tf);
+        let (bytes, dc, last, tf, max_tf) = pl.raw();
+        assert_eq!(max_tf, 2);
+        let rebuilt = PostingsList::from_raw(bytes.to_vec(), dc, last, tf, Some(max_tf));
         assert_eq!(rebuilt, pl);
         assert_eq!(rebuilt.iter().count(), 2);
+        // Legacy path: max_tf recomputed from the compressed bytes.
+        let legacy = PostingsList::from_raw(bytes.to_vec(), dc, last, tf, None);
+        assert_eq!(legacy, pl);
+        assert_eq!(legacy.max_tf(), 2);
+    }
+
+    #[test]
+    fn cursor_mixes_skips_and_reads() {
+        let mut pl = PostingsList::new();
+        pl.push(0, &[3, 7, 21]);
+        pl.push(5, &[0]);
+        pl.push(6, &[1, 2]);
+        let mut cur = pl.cursor();
+        assert_eq!(cur.next_doc(), Some((0, 3))); // skip positions
+        assert_eq!(cur.next_doc(), Some((5, 1)));
+        assert_eq!(cur.positions(), Some(vec![0]));
+        assert_eq!(cur.next_doc(), Some((6, 2)));
+        assert_eq!(cur.positions(), Some(vec![1, 2]));
+        assert_eq!(cur.next_doc(), None);
+    }
+
+    #[test]
+    fn doc_tfs_skips_positions() {
+        let mut pl = PostingsList::new();
+        pl.push(0, &[3, 7, 21]);
+        pl.push(5, &[0]);
+        pl.push(6, &[1, 2]);
+        let pairs: Vec<(u32, u32)> = pl.doc_tfs().collect();
+        assert_eq!(pairs, vec![(0, 3), (5, 1), (6, 2)]);
+        assert_eq!(pl.max_tf(), 3);
+        assert_eq!(pl.doc_tfs().size_hint(), (3, Some(3)));
     }
 
     #[test]
@@ -334,6 +516,15 @@ mod proptests {
                 expected.push(Posting { doc, positions });
             }
             let decoded: Vec<Posting> = pl.iter().collect();
+            let tfs: Vec<(u32, u32)> = pl.doc_tfs().collect();
+            prop_assert_eq!(
+                tfs,
+                decoded.iter().map(|p| (p.doc, p.tf())).collect::<Vec<_>>()
+            );
+            prop_assert_eq!(
+                pl.max_tf(),
+                decoded.iter().map(|p| p.tf()).max().unwrap_or(0)
+            );
             prop_assert_eq!(decoded, expected);
         }
     }

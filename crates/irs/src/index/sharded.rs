@@ -29,13 +29,17 @@ use crate::analysis::{AnalyzedTerm, Analyzer};
 use crate::error::{IrsError, Result};
 use crate::index::{
     Dictionary, DocId, DocStore, IndexReader, IndexStatistics, InvertedIndex, MergeStats,
-    PostingsList,
+    PostingsList, TermEvidence,
 };
 
 /// Default number of term shards. Eight keeps lock contention negligible
 /// for typical query fan-outs while the per-shard dictionaries stay large
 /// enough to amortise hashing.
 pub const DEFAULT_SHARDS: usize = 8;
+
+/// Below this many live documents a parallel term gather costs more in
+/// thread spawns than the postings decode saves; stay sequential.
+const PARALLEL_GATHER_MIN_DOCS: u32 = 4096;
 
 /// One term shard: a private dictionary plus its postings lists.
 #[derive(Debug, Default, Clone)]
@@ -48,6 +52,22 @@ impl Shard {
     fn postings_of(&self, term: &str) -> Option<&PostingsList> {
         let tid = self.dict.get(term)?;
         self.postings.get(tid.0 as usize)
+    }
+
+    /// Decode one term's live occurrences under this shard's read lock —
+    /// no postings clone, positions varint-skipped.
+    fn gather_one(&self, term: &str, store: &DocStore) -> TermEvidence {
+        match self.postings_of(term) {
+            Some(pl) => TermEvidence {
+                occurrences: pl
+                    .doc_tfs()
+                    .filter(|&(d, _)| store.is_live(DocId(d)))
+                    .map(|(d, tf)| (DocId(d), tf))
+                    .collect(),
+                max_tf: pl.max_tf(),
+            },
+            None => TermEvidence::default(),
+        }
     }
 
     /// Append one document's positions for `term`. Doc ids must arrive in
@@ -180,6 +200,54 @@ impl ShardedIndex {
     /// Number of term shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Run `f` against shard `i`'s `(dictionary, postings)` under its read
+    /// lock — the native per-shard save path, which never merges shards.
+    pub(crate) fn with_shard_parts<R>(
+        &self,
+        i: usize,
+        f: impl FnOnce(&Dictionary, &[PostingsList]) -> R,
+    ) -> R {
+        let shard = self.shards[i].read();
+        f(&shard.dict, &shard.postings)
+    }
+
+    /// Rebuild from per-shard `(term, postings)` lists saved by the native
+    /// format. When `shard_terms.len()` matches the desired count the
+    /// shards are reconstructed verbatim (terms were partitioned by
+    /// [`term_hash`] when saved); otherwise terms are re-hashed into
+    /// `n_shards` partitions.
+    pub(crate) fn from_shard_parts(
+        analyzer: Analyzer,
+        store: DocStore,
+        shard_terms: Vec<Vec<(String, PostingsList)>>,
+        n_shards: usize,
+    ) -> Self {
+        let n = n_shards.max(1);
+        let mut shards: Vec<Shard> = (0..n).map(|_| Shard::default()).collect();
+        let direct = shard_terms.len() == n;
+        for (i, terms) in shard_terms.into_iter().enumerate() {
+            for (term, pl) in terms {
+                let shard = if direct {
+                    &mut shards[i]
+                } else {
+                    &mut shards[(term_hash(&term) % n as u64) as usize]
+                };
+                let tid = shard.dict.intern(&term);
+                if shard.postings.len() <= tid.0 as usize {
+                    shard
+                        .postings
+                        .resize_with(tid.0 as usize + 1, PostingsList::new);
+                }
+                shard.postings[tid.0 as usize] = pl;
+            }
+        }
+        ShardedIndex {
+            analyzer,
+            store: RwLock::new(store),
+            shards: shards.into_iter().map(RwLock::new).collect(),
+        }
     }
 
     fn shard_of(&self, term: &str) -> usize {
@@ -454,8 +522,60 @@ impl IndexReader for ShardedReader<'_> {
         self.store.avg_len()
     }
 
+    fn doc_len_bounds(&self) -> (u32, u32) {
+        self.store.len_bounds()
+    }
+
     fn live_docs(&self) -> Vec<DocId> {
         self.store.iter_live().map(|(id, _)| id).collect()
+    }
+
+    /// Shard-parallel gather: group the query terms by shard, decode each
+    /// involved shard's postings on its own worker thread (one shard read
+    /// lock per worker), then merge the per-shard partial results back
+    /// into query-term order. Small corpora and single-shard queries stay
+    /// sequential — the thread spawns would dominate.
+    fn gather_terms(&self, terms: &[String]) -> Vec<TermEvidence> {
+        let mut by_shard: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (ti, term) in terms.iter().enumerate() {
+            by_shard
+                .entry(self.index.shard_of(term))
+                .or_default()
+                .push(ti);
+        }
+        let store: &DocStore = &self.store;
+        if by_shard.len() < 2 || store.live_count() < PARALLEL_GATHER_MIN_DOCS {
+            return terms
+                .iter()
+                .map(|t| {
+                    self.index.shards[self.index.shard_of(t)]
+                        .read()
+                        .gather_one(t, store)
+                })
+                .collect();
+        }
+        let mut results: Vec<TermEvidence> = vec![TermEvidence::default(); terms.len()];
+        std::thread::scope(|scope| {
+            let shards = &self.index.shards;
+            let handles: Vec<_> = by_shard
+                .into_iter()
+                .map(|(si, tidxs)| {
+                    scope.spawn(move || {
+                        let shard = shards[si].read();
+                        tidxs
+                            .into_iter()
+                            .map(|ti| (ti, shard.gather_one(&terms[ti], store)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (ti, ev) in h.join().expect("gather worker panicked") {
+                    results[ti] = ev;
+                }
+            }
+        });
+        results
     }
 }
 

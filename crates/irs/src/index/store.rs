@@ -30,6 +30,11 @@ pub struct DocStore {
     by_key: HashMap<String, DocId>,
     live_count: u32,
     total_len: u64,
+    /// Loose bounds on live document lengths: widened on insert, never
+    /// narrowed on delete, so they always enclose the true live range.
+    /// A merge rebuilds the store from inserts and re-tightens them.
+    min_len: u32,
+    max_len: u32,
 }
 
 impl DocStore {
@@ -50,6 +55,13 @@ impl DocStore {
             deleted: false,
         });
         self.by_key.insert(key.to_string(), id);
+        if self.live_count == 0 && self.docs.len() == 1 {
+            self.min_len = len;
+            self.max_len = len;
+        } else {
+            self.min_len = self.min_len.min(len);
+            self.max_len = self.max_len.max(len);
+        }
         self.live_count += 1;
         self.total_len += u64::from(len);
         Some(id)
@@ -101,6 +113,17 @@ impl DocStore {
             0.0
         } else {
             self.total_len as f64 / f64::from(self.live_count)
+        }
+    }
+
+    /// Loose `(min, max)` bounds on live document lengths — guaranteed to
+    /// enclose every live document's length, though deletions may leave
+    /// them wider than the exact range. `(0, 0)` for an empty store.
+    pub fn len_bounds(&self) -> (u32, u32) {
+        if self.live_count == 0 {
+            (0, 0)
+        } else {
+            (self.min_len, self.max_len)
         }
     }
 
@@ -169,6 +192,24 @@ mod tests {
         s.delete("a").unwrap();
         let live: Vec<&str> = s.iter_live().map(|(_, e)| e.key.as_str()).collect();
         assert_eq!(live, vec!["b"]);
+    }
+
+    #[test]
+    fn len_bounds_enclose_live_lengths() {
+        let mut s = DocStore::new();
+        assert_eq!(s.len_bounds(), (0, 0));
+        s.insert("a", 10).unwrap();
+        assert_eq!(s.len_bounds(), (10, 10));
+        s.insert("b", 3).unwrap();
+        s.insert("c", 40).unwrap();
+        assert_eq!(s.len_bounds(), (3, 40));
+        // Deletion may leave the bounds loose, but they still enclose.
+        s.delete("b").unwrap();
+        let (lo, hi) = s.len_bounds();
+        assert!(lo <= 10 && hi >= 40);
+        s.delete("a").unwrap();
+        s.delete("c").unwrap();
+        assert_eq!(s.len_bounds(), (0, 0), "no live docs, empty bounds");
     }
 
     #[test]

@@ -55,4 +55,4 @@ pub use fault::{FaultPlan, OutageWindow};
 pub use feedback::{expand_query, FeedbackConfig};
 pub use index::{DocId, IndexReader, InvertedIndex, ShardedIndex, ShardedReader, DEFAULT_SHARDS};
 pub use model::{Bm25Model, BooleanModel, InferenceModel, ModelKind, RetrievalModel, VectorModel};
-pub use query::{parse_query, QueryNode};
+pub use query::{evaluate_top_k, parse_query, QueryNode};

@@ -4,10 +4,26 @@
 //! The paper's IRS stores its inverted lists "in a file system"
 //! (Section 1.1), and its prototype exchanged query results through a file
 //! that the OODBMS parsed ("Currently the IRS writes the result to a file
-//! which is parsed afterwards", Section 4.5). Both are implemented here:
-//! a compact binary index format, and [`result_file`] for the file-based
-//! exchange that the architecture experiment (E1) uses to model the
-//! historical interface cost.
+//! which is parsed afterwards", Section 4.5). Both are implemented here,
+//! plus [`result_file`] for the file-based exchange that the architecture
+//! experiment (E1) uses to model the historical interface cost.
+//!
+//! Two snapshot formats exist:
+//!
+//! * **Native per-shard** ([`save_collection`]) — `path` is a *directory*
+//!   holding one CRC-framed file per term shard (`shard-<gen>-<i>`) plus a
+//!   `manifest` with the configuration, document store, and current
+//!   generation. Shards are serialised straight from the sharded index
+//!   under their own read locks — no merge into a single dictionary — and
+//!   written in parallel; the manifest is written *last*, so it is the
+//!   commit point: a crash mid-save leaves the previous generation's
+//!   manifest pointing at the previous generation's shard files. Loads
+//!   read the shard files in parallel and reconstruct the shards verbatim
+//!   when the shard count matches.
+//! * **Flat single-file** ([`save_collection_flat`]) — the original merged
+//!   format, kept byte-compatible so existing snapshots stay readable.
+//!   [`load_collection`] dispatches on whether `path` is a directory or a
+//!   file, so migration is transparent: load a flat file, save natively.
 //!
 //! All binary snapshots are **crash-safe**: [`atomic_write`] writes the
 //! payload plus a CRC-32 trailer to a temporary file, `sync_all`s it, and
@@ -20,16 +36,25 @@
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use crate::analysis::{Analyzer, AnalyzerConfig};
 use crate::collection::{CollectionConfig, IrsCollection};
 use crate::error::{IrsError, Result};
-use crate::index::{read_varint, write_varint, Dictionary, DocStore, InvertedIndex, PostingsList};
+use crate::index::{
+    read_varint, write_varint, Dictionary, DocId, DocStore, PostingsList, ShardedIndex,
+};
 use crate::model::{Bm25Model, InferenceModel, ModelKind, VectorModel};
 
 const MAGIC: &[u8; 4] = b"IRSX";
 const VERSION: u8 = 2;
+
+const MANIFEST_MAGIC: &[u8; 4] = b"IRSM";
+const MANIFEST_VERSION: u8 = 1;
+const MANIFEST_NAME: &str = "manifest";
+
+const SHARD_MAGIC: &[u8; 4] = b"IRSS";
+const SHARD_VERSION: u8 = 1;
 
 /// CRC-32 (IEEE 802.3 polynomial, reflected) lookup table, built at
 /// compile time.
@@ -153,32 +178,306 @@ fn get_f64(buf: &[u8], pos: &mut usize) -> Result<f64> {
     Ok(f64::from_bits(u64::from_le_bytes(b)))
 }
 
-/// Serialise `coll` to `path`.
+fn get_flag(buf: &[u8], pos: &mut usize) -> Result<bool> {
+    if *pos >= buf.len() {
+        return Err(IrsError::CorruptIndex("truncated boolean flag".into()));
+    }
+    let b = buf[*pos];
+    *pos += 1;
+    match b {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(IrsError::CorruptIndex("bad boolean flag".into())),
+    }
+}
+
+fn put_analyzer(out: &mut Vec<u8>, a: &AnalyzerConfig) {
+    out.push(a.lowercase as u8);
+    out.push(a.remove_stopwords as u8);
+    out.push(a.stem as u8);
+    write_varint(out, a.min_token_len as u64);
+    write_varint(out, a.max_token_len as u64);
+}
+
+fn get_analyzer(buf: &[u8], pos: &mut usize) -> Result<AnalyzerConfig> {
+    let lowercase = get_flag(buf, pos)?;
+    let remove_stopwords = get_flag(buf, pos)?;
+    let stem = get_flag(buf, pos)?;
+    let min_token_len = get_varint(buf, pos)? as usize;
+    let max_token_len = get_varint(buf, pos)? as usize;
+    Ok(AnalyzerConfig {
+        lowercase,
+        remove_stopwords,
+        stem,
+        min_token_len,
+        max_token_len,
+    })
+}
+
+fn put_model(out: &mut Vec<u8>, model: &ModelKind) {
+    out.push(model.tag());
+    match model {
+        ModelKind::Boolean => {}
+        ModelKind::Vector(m) => put_f64(out, m.slope),
+        ModelKind::Bm25(m) => {
+            put_f64(out, m.k1);
+            put_f64(out, m.b);
+        }
+        ModelKind::Inference(m) => put_f64(out, m.default_belief),
+    }
+}
+
+fn get_model(buf: &[u8], pos: &mut usize) -> Result<ModelKind> {
+    if *pos >= buf.len() {
+        return Err(IrsError::CorruptIndex("truncated model tag".into()));
+    }
+    let tag = buf[*pos];
+    *pos += 1;
+    Ok(
+        match ModelKind::from_tag(tag)
+            .ok_or_else(|| IrsError::CorruptIndex(format!("unknown model tag {tag}")))?
+        {
+            ModelKind::Boolean => ModelKind::Boolean,
+            ModelKind::Vector(_) => ModelKind::Vector(VectorModel {
+                slope: get_f64(buf, pos)?,
+            }),
+            ModelKind::Bm25(_) => ModelKind::Bm25(Bm25Model {
+                k1: get_f64(buf, pos)?,
+                b: get_f64(buf, pos)?,
+            }),
+            ModelKind::Inference(_) => ModelKind::Inference(InferenceModel {
+                default_belief: get_f64(buf, pos)?,
+            }),
+        },
+    )
+}
+
+/// Doc store in slot order (tombstones preserved so doc ids survive).
+fn put_store(out: &mut Vec<u8>, store: &DocStore) {
+    write_varint(out, u64::from(store.slot_count()));
+    for slot in 0..store.slot_count() {
+        let e = store.entry(DocId(slot));
+        put_bytes(out, e.key.as_bytes());
+        write_varint(out, u64::from(e.len));
+        out.push(e.deleted as u8);
+    }
+}
+
+/// Rebuild a doc store by replaying inserts (and deletes for tombstones)
+/// in slot order, so internal ids are reproduced exactly.
+fn get_store(buf: &[u8], pos: &mut usize) -> Result<DocStore> {
+    let slots = get_varint(buf, pos)? as usize;
+    let mut store = DocStore::new();
+    for _ in 0..slots {
+        let key = std::str::from_utf8(get_bytes(buf, pos)?)
+            .map_err(|_| IrsError::CorruptIndex("non-utf8 key".into()))?
+            .to_string();
+        let len = get_varint(buf, pos)? as u32;
+        let deleted = get_flag(buf, pos)?;
+        store
+            .insert(&key, len)
+            .ok_or_else(|| IrsError::CorruptIndex(format!("duplicate live key {key}")))?;
+        if deleted {
+            store.delete(&key);
+        }
+    }
+    Ok(store)
+}
+
+fn shard_path(dir: &Path, generation: u64, i: usize) -> PathBuf {
+    dir.join(format!("shard-{generation}-{i}"))
+}
+
+/// Parse `shard-<gen>-<i>` file names; anything else yields `None`.
+fn parse_shard_name(name: &str) -> Option<(u64, usize)> {
+    let rest = name.strip_prefix("shard-")?;
+    let (gen, idx) = rest.split_once('-')?;
+    Some((gen.parse().ok()?, idx.parse().ok()?))
+}
+
+/// Ensure `path` is a snapshot directory, replacing an old flat-file
+/// snapshot in place if one is found (the migration path).
+fn prepare_snapshot_dir(path: &Path) -> Result<()> {
+    if let Ok(meta) = std::fs::metadata(path) {
+        if meta.is_dir() {
+            return Ok(());
+        }
+        std::fs::remove_file(path)?;
+    }
+    std::fs::create_dir_all(path)?;
+    Ok(())
+}
+
+/// Next free generation number: one past the highest found in existing
+/// shard file names (crashed saves may have left higher generations than
+/// the manifest records, so the file names are the authority).
+fn next_generation(dir: &Path) -> Result<u64> {
+    let mut max = 0u64;
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some((gen, _)) = entry.file_name().to_str().and_then(parse_shard_name) {
+            max = max.max(gen);
+        }
+    }
+    Ok(max + 1)
+}
+
+/// Best-effort removal of shard files from other generations and stray
+/// `.tmp` files from killed saves. Failures are ignored: stale files are
+/// garbage, not state.
+fn cleanup_stale_generations(dir: &Path, current: u64) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let stale = match parse_shard_name(name.strip_suffix(".tmp").unwrap_or(name)) {
+            Some((gen, _)) => gen != current || name.ends_with(".tmp"),
+            None => false,
+        };
+        if stale {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+}
+
+/// Serialise one shard's dictionary and postings (term text, stats, raw
+/// delta-encoded bytes — including `max_tf`, so loads need no decode).
+fn encode_shard(
+    i: usize,
+    generation: u64,
+    dict: &Dictionary,
+    postings: &[PostingsList],
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(SHARD_MAGIC);
+    out.push(SHARD_VERSION);
+    write_varint(&mut out, generation);
+    write_varint(&mut out, i as u64);
+    write_varint(&mut out, dict.len() as u64);
+    let empty = PostingsList::new();
+    for (tid, term) in dict.iter() {
+        let pl = postings.get(tid.0 as usize).unwrap_or(&empty);
+        put_bytes(&mut out, term.as_bytes());
+        let (bytes, doc_count, last_doc, total_tf, max_tf) = pl.raw();
+        write_varint(&mut out, u64::from(doc_count));
+        write_varint(&mut out, u64::from(last_doc));
+        write_varint(&mut out, total_tf);
+        write_varint(&mut out, u64::from(max_tf));
+        put_bytes(&mut out, bytes);
+    }
+    out
+}
+
+/// Decode one shard file, verifying it belongs to `(generation, i)`.
+fn decode_shard(buf: &[u8], generation: u64, i: usize) -> Result<Vec<(String, PostingsList)>> {
+    let mut pos = 0usize;
+    if buf.len() < 5 || &buf[0..4] != SHARD_MAGIC {
+        return Err(IrsError::CorruptIndex("bad shard magic".into()));
+    }
+    pos += 4;
+    let version = buf[pos];
+    pos += 1;
+    if version != SHARD_VERSION {
+        return Err(IrsError::CorruptIndex(format!(
+            "unsupported shard version {version}"
+        )));
+    }
+    let file_gen = get_varint(buf, &mut pos)?;
+    let file_idx = get_varint(buf, &mut pos)? as usize;
+    if file_gen != generation || file_idx != i {
+        return Err(IrsError::CorruptIndex(format!(
+            "shard file is generation {file_gen} index {file_idx}, expected {generation}/{i}"
+        )));
+    }
+    let term_count = get_varint(buf, &mut pos)? as usize;
+    let mut terms = Vec::with_capacity(term_count.min(buf.len()));
+    for _ in 0..term_count {
+        let term = std::str::from_utf8(get_bytes(buf, &mut pos)?)
+            .map_err(|_| IrsError::CorruptIndex("non-utf8 term".into()))?
+            .to_string();
+        let doc_count = get_varint(buf, &mut pos)? as u32;
+        let last_doc = get_varint(buf, &mut pos)? as u32;
+        let total_tf = get_varint(buf, &mut pos)?;
+        let max_tf = get_varint(buf, &mut pos)? as u32;
+        let bytes = get_bytes(buf, &mut pos)?.to_vec();
+        terms.push((
+            term,
+            PostingsList::from_raw(bytes, doc_count, last_doc, total_tf, Some(max_tf)),
+        ));
+    }
+    if pos != buf.len() {
+        return Err(IrsError::CorruptIndex("trailing bytes in shard".into()));
+    }
+    Ok(terms)
+}
+
+/// Serialise `coll` natively to the directory `path`: one CRC-framed file
+/// per term shard, written in parallel straight from the shard locks (no
+/// merge into a single dictionary), then a `manifest` as the commit point.
+/// The store read lock is held throughout, so the snapshot is consistent
+/// even while other threads are writing to the collection.
+///
+/// If `path` currently holds a flat-file snapshot it is replaced by a
+/// directory — saving is the migration step.
 pub fn save_collection(coll: &IrsCollection, path: &Path) -> Result<()> {
+    let index = coll.sharded_index();
+    prepare_snapshot_dir(path)?;
+    let generation = next_generation(path)?;
+    let n_shards = index.shard_count();
+
+    index.with_store(|store| -> Result<()> {
+        // Shard files first; each worker serialises one shard under that
+        // shard's read lock and writes it crash-safely.
+        let mut written: Vec<Result<()>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n_shards)
+                .map(|i| {
+                    scope.spawn(move || {
+                        let payload = index.with_shard_parts(i, |dict, postings| {
+                            encode_shard(i, generation, dict, postings)
+                        });
+                        atomic_write(&shard_path(path, generation, i), &payload)
+                    })
+                })
+                .collect();
+            written = handles
+                .into_iter()
+                .map(|h| h.join().expect("shard writer panicked"))
+                .collect();
+        });
+        written.into_iter().collect::<Result<()>>()?;
+
+        // Manifest last: until this write completes, loads still see the
+        // previous generation in full.
+        let mut out = Vec::new();
+        out.extend_from_slice(MANIFEST_MAGIC);
+        out.push(MANIFEST_VERSION);
+        put_analyzer(&mut out, &coll.config().analyzer);
+        put_model(&mut out, &coll.config().model);
+        write_varint(&mut out, coll.config().shards as u64);
+        write_varint(&mut out, n_shards as u64);
+        write_varint(&mut out, generation);
+        put_store(&mut out, store);
+        atomic_write(&path.join(MANIFEST_NAME), &out)
+    })?;
+
+    cleanup_stale_generations(path, generation);
+    Ok(())
+}
+
+/// Serialise `coll` to the single-file flat format (version 2) — the
+/// original merged layout, kept byte-compatible for migration and for
+/// consumers that want one self-contained file. Merges all shards into
+/// one dictionary first; prefer [`save_collection`] on the hot path.
+pub fn save_collection_flat(coll: &IrsCollection, path: &Path) -> Result<()> {
     let mut out = Vec::new();
     out.extend_from_slice(MAGIC);
     out.push(VERSION);
 
-    // Analyzer config.
-    let a = &coll.config().analyzer;
-    out.push(a.lowercase as u8);
-    out.push(a.remove_stopwords as u8);
-    out.push(a.stem as u8);
-    write_varint(&mut out, a.min_token_len as u64);
-    write_varint(&mut out, a.max_token_len as u64);
-
-    // Model with parameters.
-    let model = &coll.config().model;
-    out.push(model.tag());
-    match model {
-        ModelKind::Boolean => {}
-        ModelKind::Vector(m) => put_f64(&mut out, m.slope),
-        ModelKind::Bm25(m) => {
-            put_f64(&mut out, m.k1);
-            put_f64(&mut out, m.b);
-        }
-        ModelKind::Inference(m) => put_f64(&mut out, m.default_belief),
-    }
+    put_analyzer(&mut out, &coll.config().analyzer);
+    put_model(&mut out, &coll.config().model);
 
     // Shard count as configured (0 = pick from available parallelism at
     // load time, so auto-sharded collections stay auto on new hardware).
@@ -195,30 +494,101 @@ pub fn save_collection(coll: &IrsCollection, path: &Path) -> Result<()> {
         put_bytes(&mut out, text.as_bytes());
     }
 
-    // Postings lists, one per term id.
+    // Postings lists, one per term id. (`max_tf` is not part of the v2
+    // format; flat loads recompute it from the postings bytes.)
     write_varint(&mut out, postings.len() as u64);
     for pl in postings {
-        let (bytes, doc_count, last_doc, total_tf) = pl.raw();
+        let (bytes, doc_count, last_doc, total_tf, _max_tf) = pl.raw();
         write_varint(&mut out, u64::from(doc_count));
         write_varint(&mut out, u64::from(last_doc));
         write_varint(&mut out, total_tf);
         put_bytes(&mut out, bytes);
     }
 
-    // Doc store in slot order (tombstones preserved so doc ids survive).
-    write_varint(&mut out, u64::from(store.slot_count()));
-    for slot in 0..store.slot_count() {
-        let e = store.entry(crate::index::DocId(slot));
-        put_bytes(&mut out, e.key.as_bytes());
-        write_varint(&mut out, u64::from(e.len));
-        out.push(e.deleted as u8);
-    }
+    put_store(&mut out, store);
 
     atomic_write(path, &out)
 }
 
-/// Load a collection previously written by [`save_collection`].
+/// Load a collection saved by either [`save_collection`] (a snapshot
+/// directory) or [`save_collection_flat`] (a flat file): dispatches on
+/// what is found at `path`.
 pub fn load_collection(path: &Path) -> Result<IrsCollection> {
+    if path.is_dir() {
+        load_collection_dir(path)
+    } else {
+        load_collection_flat(path)
+    }
+}
+
+/// Load a native per-shard snapshot directory: parse the manifest, read
+/// and decode the current generation's shard files in parallel, and
+/// reconstruct the sharded index without re-partitioning (unless the
+/// effective shard count changed, in which case terms are re-hashed).
+fn load_collection_dir(path: &Path) -> Result<IrsCollection> {
+    let buf = read_verified(&path.join(MANIFEST_NAME))?;
+    let mut pos = 0usize;
+    if buf.len() < 5 || &buf[0..4] != MANIFEST_MAGIC {
+        return Err(IrsError::CorruptIndex("bad manifest magic".into()));
+    }
+    pos += 4;
+    let version = buf[pos];
+    pos += 1;
+    if version != MANIFEST_VERSION {
+        return Err(IrsError::CorruptIndex(format!(
+            "unsupported manifest version {version}"
+        )));
+    }
+    let analyzer_cfg = get_analyzer(&buf, &mut pos)?;
+    let model = get_model(&buf, &mut pos)?;
+    let shards_cfg = get_varint(&buf, &mut pos)? as usize;
+    let shard_count = get_varint(&buf, &mut pos)? as usize;
+    let generation = get_varint(&buf, &mut pos)?;
+    let store = get_store(&buf, &mut pos)?;
+    if pos != buf.len() {
+        return Err(IrsError::CorruptIndex("trailing bytes".into()));
+    }
+    if shard_count == 0 || shard_count > 1 << 16 {
+        return Err(IrsError::CorruptIndex(format!(
+            "implausible shard count {shard_count}"
+        )));
+    }
+
+    // Read and decode all shard files in parallel.
+    type ShardSlot = Option<Result<Vec<(String, PostingsList)>>>;
+    let mut slots: Vec<ShardSlot> = (0..shard_count).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            scope.spawn(move || {
+                *slot = Some(
+                    read_verified(&shard_path(path, generation, i))
+                        .and_then(|bytes| decode_shard(&bytes, generation, i)),
+                );
+            });
+        }
+    });
+    let mut shard_terms = Vec::with_capacity(shard_count);
+    for slot in slots {
+        shard_terms.push(slot.expect("shard loader ran")?);
+    }
+
+    let config = CollectionConfig {
+        analyzer: analyzer_cfg.clone(),
+        model,
+        shards: shards_cfg,
+    };
+    let index = ShardedIndex::from_shard_parts(
+        Analyzer::new(analyzer_cfg),
+        store,
+        shard_terms,
+        config.resolved_shards(),
+    );
+    Ok(IrsCollection::from_sharded(config, index))
+}
+
+/// Load a flat single-file snapshot written by [`save_collection_flat`]
+/// (or any pre-directory-format save).
+fn load_collection_flat(path: &Path) -> Result<IrsCollection> {
     let buf = read_verified(path)?;
     let mut pos = 0usize;
 
@@ -234,51 +604,8 @@ pub fn load_collection(path: &Path) -> Result<IrsCollection> {
         )));
     }
 
-    let flag = |b: u8| -> Result<bool> {
-        match b {
-            0 => Ok(false),
-            1 => Ok(true),
-            _ => Err(IrsError::CorruptIndex("bad boolean flag".into())),
-        }
-    };
-    if pos + 3 > buf.len() {
-        return Err(IrsError::CorruptIndex("truncated header".into()));
-    }
-    let lowercase = flag(buf[pos])?;
-    let remove_stopwords = flag(buf[pos + 1])?;
-    let stem = flag(buf[pos + 2])?;
-    pos += 3;
-    let min_token_len = get_varint(&buf, &mut pos)? as usize;
-    let max_token_len = get_varint(&buf, &mut pos)? as usize;
-    let analyzer_cfg = AnalyzerConfig {
-        lowercase,
-        remove_stopwords,
-        stem,
-        min_token_len,
-        max_token_len,
-    };
-
-    if pos >= buf.len() {
-        return Err(IrsError::CorruptIndex("truncated model tag".into()));
-    }
-    let tag = buf[pos];
-    pos += 1;
-    let model = match ModelKind::from_tag(tag)
-        .ok_or_else(|| IrsError::CorruptIndex(format!("unknown model tag {tag}")))?
-    {
-        ModelKind::Boolean => ModelKind::Boolean,
-        ModelKind::Vector(_) => ModelKind::Vector(VectorModel {
-            slope: get_f64(&buf, &mut pos)?,
-        }),
-        ModelKind::Bm25(_) => ModelKind::Bm25(Bm25Model {
-            k1: get_f64(&buf, &mut pos)?,
-            b: get_f64(&buf, &mut pos)?,
-        }),
-        ModelKind::Inference(_) => ModelKind::Inference(InferenceModel {
-            default_belief: get_f64(&buf, &mut pos)?,
-        }),
-    };
-
+    let analyzer_cfg = get_analyzer(&buf, &mut pos)?;
+    let model = get_model(&buf, &mut pos)?;
     let shards = get_varint(&buf, &mut pos)? as usize;
 
     // Dictionary.
@@ -291,7 +618,8 @@ pub fn load_collection(path: &Path) -> Result<IrsCollection> {
         dict.intern(text);
     }
 
-    // Postings.
+    // Postings. The flat format predates `max_tf`; `from_raw` recomputes
+    // it from the delta-encoded bytes.
     let pl_count = get_varint(&buf, &mut pos)? as usize;
     let mut postings = Vec::with_capacity(pl_count);
     for _ in 0..pl_count {
@@ -299,30 +627,12 @@ pub fn load_collection(path: &Path) -> Result<IrsCollection> {
         let last_doc = get_varint(&buf, &mut pos)? as u32;
         let total_tf = get_varint(&buf, &mut pos)?;
         let bytes = get_bytes(&buf, &mut pos)?.to_vec();
-        postings.push(PostingsList::from_raw(bytes, doc_count, last_doc, total_tf));
+        postings.push(PostingsList::from_raw(
+            bytes, doc_count, last_doc, total_tf, None,
+        ));
     }
 
-    // Doc store: replay inserts (and deletes for tombstones) in slot order
-    // so internal ids are reproduced exactly.
-    let slots = get_varint(&buf, &mut pos)? as usize;
-    let mut store = DocStore::new();
-    for _ in 0..slots {
-        let key = std::str::from_utf8(get_bytes(&buf, &mut pos)?)
-            .map_err(|_| IrsError::CorruptIndex("non-utf8 key".into()))?
-            .to_string();
-        let len = get_varint(&buf, &mut pos)? as u32;
-        if pos >= buf.len() {
-            return Err(IrsError::CorruptIndex("truncated tombstone flag".into()));
-        }
-        let deleted = flag(buf[pos])?;
-        pos += 1;
-        store
-            .insert(&key, len)
-            .ok_or_else(|| IrsError::CorruptIndex(format!("duplicate live key {key}")))?;
-        if deleted {
-            store.delete(&key);
-        }
-    }
+    let store = get_store(&buf, &mut pos)?;
 
     if pos != buf.len() {
         return Err(IrsError::CorruptIndex("trailing bytes".into()));
@@ -333,7 +643,8 @@ pub fn load_collection(path: &Path) -> Result<IrsCollection> {
         model,
         shards,
     };
-    let index = InvertedIndex::from_parts(Analyzer::new(analyzer_cfg), dict, postings, store);
+    let index =
+        crate::index::InvertedIndex::from_parts(Analyzer::new(analyzer_cfg), dict, postings, store);
     Ok(IrsCollection::from_parts(config, index))
 }
 
@@ -382,7 +693,11 @@ mod tests {
     fn tmp(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join("irs-persist-tests");
         std::fs::create_dir_all(&dir).unwrap();
-        dir.join(name)
+        let path = dir.join(name);
+        // Tests rerun against a dirty temp dir; start each from scratch.
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir_all(&path);
+        path
     }
 
     fn sample() -> IrsCollection {
@@ -395,11 +710,22 @@ mod tests {
         c
     }
 
+    fn shard_files(dir: &Path) -> Vec<String> {
+        let mut names: Vec<String> = std::fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| parse_shard_name(n).is_some())
+            .collect();
+        names.sort();
+        names
+    }
+
     #[test]
     fn save_load_round_trip_preserves_search() {
         let orig = sample();
         let path = tmp("round_trip.idx");
         save_collection(&orig, &path).unwrap();
+        assert!(path.is_dir(), "native snapshot is a directory");
         let loaded = load_collection(&path).unwrap();
 
         for q in [
@@ -415,6 +741,55 @@ mod tests {
         }
         assert_eq!(orig.len(), loaded.len());
         assert_eq!(orig.config(), loaded.config());
+    }
+
+    #[test]
+    fn flat_save_load_round_trip() {
+        let orig = sample();
+        let path = tmp("flat_round_trip.idx");
+        save_collection_flat(&orig, &path).unwrap();
+        assert!(path.is_file(), "flat snapshot is a single file");
+        let loaded = load_collection(&path).unwrap();
+        for q in ["telnet", "protocol", "retrieval"] {
+            assert_eq!(orig.search(q).unwrap(), loaded.search(q).unwrap(), "{q}");
+        }
+        assert_eq!(orig.config(), loaded.config());
+    }
+
+    #[test]
+    fn native_save_migrates_flat_file_in_place() {
+        let orig = sample();
+        let path = tmp("migrate.idx");
+        save_collection_flat(&orig, &path).unwrap();
+        assert!(path.is_file());
+        save_collection(&orig, &path).unwrap();
+        assert!(path.is_dir(), "flat file replaced by snapshot directory");
+        let loaded = load_collection(&path).unwrap();
+        assert_eq!(
+            orig.search("telnet").unwrap(),
+            loaded.search("telnet").unwrap()
+        );
+    }
+
+    #[test]
+    fn repeated_saves_keep_one_generation() {
+        let orig = sample();
+        let path = tmp("generations.idx");
+        save_collection(&orig, &path).unwrap();
+        save_collection(&orig, &path).unwrap();
+        save_collection(&orig, &path).unwrap();
+        let names = shard_files(&path);
+        let gens: std::collections::HashSet<u64> = names
+            .iter()
+            .map(|n| parse_shard_name(n).unwrap().0)
+            .collect();
+        assert_eq!(gens.len(), 1, "stale generations cleaned: {names:?}");
+        assert_eq!(
+            names.len(),
+            orig.sharded_index().shard_count(),
+            "one file per shard"
+        );
+        assert!(load_collection(&path).is_ok());
     }
 
     #[test]
@@ -453,18 +828,58 @@ mod tests {
             Err(IrsError::CorruptIndex(_))
         ));
 
-        // Truncation after a valid save must also fail cleanly.
+        // Truncating the manifest after a valid save must also fail cleanly.
         let good = tmp("truncate.idx");
         save_collection(&sample(), &good).unwrap();
-        let bytes = std::fs::read(&good).unwrap();
-        std::fs::write(&good, &bytes[..bytes.len() / 2]).unwrap();
+        let manifest = good.join(MANIFEST_NAME);
+        let bytes = std::fs::read(&manifest).unwrap();
+        std::fs::write(&manifest, &bytes[..bytes.len() / 2]).unwrap();
         assert!(load_collection(&good).is_err());
     }
 
     #[test]
-    fn bit_flip_in_place_is_detected_by_crc() {
-        let path = tmp("bitflip.idx");
+    fn bit_flip_in_manifest_is_detected_by_crc() {
+        let path = tmp("bitflip_manifest.idx");
         save_collection(&sample(), &path).unwrap();
+        let manifest = path.join(MANIFEST_NAME);
+        let len = std::fs::metadata(&manifest).unwrap().len() as usize;
+        crate::fault::flip_byte(&manifest, len / 2).unwrap();
+        assert!(matches!(
+            load_collection(&path),
+            Err(IrsError::CorruptIndex(_))
+        ));
+    }
+
+    #[test]
+    fn bit_flip_in_shard_file_is_detected_by_crc() {
+        let path = tmp("bitflip_shard.idx");
+        save_collection(&sample(), &path).unwrap();
+        // Flip a byte in the middle of every shard file: whichever holds
+        // postings, the load must notice.
+        for name in shard_files(&path) {
+            let f = path.join(&name);
+            let len = std::fs::metadata(&f).unwrap().len() as usize;
+            crate::fault::flip_byte(&f, len / 2).unwrap();
+        }
+        assert!(matches!(
+            load_collection(&path),
+            Err(IrsError::CorruptIndex(_))
+        ));
+    }
+
+    #[test]
+    fn missing_shard_file_is_rejected() {
+        let path = tmp("missing_shard.idx");
+        save_collection(&sample(), &path).unwrap();
+        let victim = path.join(&shard_files(&path)[0]);
+        std::fs::remove_file(victim).unwrap();
+        assert!(load_collection(&path).is_err());
+    }
+
+    #[test]
+    fn flat_bit_flip_is_detected_by_crc() {
+        let path = tmp("bitflip_flat.idx");
+        save_collection_flat(&sample(), &path).unwrap();
         let len = std::fs::metadata(&path).unwrap().len() as usize;
         crate::fault::flip_byte(&path, len / 2).unwrap();
         assert!(matches!(
@@ -504,6 +919,7 @@ mod tests {
         let loaded = load_collection(&path).unwrap();
         assert_eq!(loaded.config().shards, 5);
         assert_eq!(loaded.config(), c.config());
+        assert_eq!(loaded.sharded_index().shard_count(), 5);
     }
 
     #[test]
@@ -537,7 +953,8 @@ mod proptests {
         #![proptest_config(ProptestConfig::with_cases(16))]
 
         /// Arbitrary collections (random docs, deletes, any model) search
-        /// identically after a save/load round trip.
+        /// identically after a save/load round trip — through the native
+        /// per-shard directory format AND the flat single-file format.
         #[test]
         fn arbitrary_collections_round_trip(
             docs in prop::collection::vec(
@@ -563,20 +980,27 @@ mod proptests {
             }
             let dir = std::env::temp_dir().join("irs-persist-prop");
             std::fs::create_dir_all(&dir).unwrap();
-            let path = dir.join(format!("case_{case}.idx"));
-            save_collection(&coll, &path).unwrap();
-            let loaded = load_collection(&path).unwrap();
-            let _ = std::fs::remove_file(&path);
+            let native = dir.join(format!("case_{case}.idx"));
+            let flat = dir.join(format!("case_{case}.flat"));
+            save_collection(&coll, &native).unwrap();
+            save_collection_flat(&coll, &flat).unwrap();
+            let from_native = load_collection(&native).unwrap();
+            let from_flat = load_collection(&flat).unwrap();
+            let _ = std::fs::remove_dir_all(&native);
+            let _ = std::fs::remove_file(&flat);
 
             // Every term of every (original) document searches the same.
             for words in &docs {
                 for w in words {
                     let a = coll.search(w).unwrap();
-                    let b = loaded.search(w).unwrap();
-                    prop_assert_eq!(&a, &b, "term {}", w);
+                    let b = from_native.search(w).unwrap();
+                    let c = from_flat.search(w).unwrap();
+                    prop_assert_eq!(&a, &b, "native, term {}", w);
+                    prop_assert_eq!(&a, &c, "flat, term {}", w);
                 }
             }
-            prop_assert_eq!(coll.len(), loaded.len());
+            prop_assert_eq!(coll.len(), from_native.len());
+            prop_assert_eq!(coll.len(), from_flat.len());
         }
     }
 }

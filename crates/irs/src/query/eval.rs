@@ -55,10 +55,11 @@ fn eval_term<I: IndexReader + ?Sized>(
     let Some(pl) = index.term_postings(&term) else {
         return ScoredDocs::new();
     };
+    // Term scoring needs frequencies only; skip the positions blocks.
     let live: Vec<(DocId, u32)> = pl
-        .iter()
-        .filter(|p| index.is_live(DocId(p.doc)))
-        .map(|p| (DocId(p.doc), p.tf()))
+        .doc_tfs()
+        .filter(|&(d, _)| index.is_live(DocId(d)))
+        .map(|(d, tf)| (DocId(d), tf))
         .collect();
     score_occurrences(index, model, &live)
 }
@@ -91,37 +92,76 @@ fn score_occurrences<I: IndexReader + ?Sized>(
 /// Per-document position lists for each of `terms` (already analysed),
 /// restricted to live documents containing *all* terms. `None` when any
 /// term is absent from the index.
+///
+/// Two-pass: doc ids are intersected first on a positions-skipping decode,
+/// then position vectors are materialised only for the surviving
+/// candidates — documents filtered out never have their positions decoded
+/// or cloned.
 fn positional_candidates<I: IndexReader + ?Sized>(
     index: &I,
     terms: &[String],
 ) -> Option<HashMap<DocId, Vec<Vec<u32>>>> {
-    let mut candidate: Option<HashMap<DocId, Vec<Vec<u32>>>> = None;
+    if terms.is_empty() {
+        return Some(HashMap::new());
+    }
+    let mut lists = Vec::with_capacity(terms.len());
     for term in terms {
-        let pl = index.term_postings(term)?;
-        let mut this: HashMap<DocId, Vec<u32>> = HashMap::new();
-        for p in pl.iter() {
-            let id = DocId(p.doc);
-            if index.is_live(id) {
-                this.insert(id, p.positions);
-            }
-        }
-        candidate = Some(match candidate {
-            None => this.into_iter().map(|(d, ps)| (d, vec![ps])).collect(),
-            Some(prev) => prev
-                .into_iter()
-                .filter_map(|(d, mut lists)| {
-                    this.get(&d).map(|ps| {
-                        lists.push(ps.clone());
-                        (d, lists)
-                    })
-                })
-                .collect(),
-        });
-        if candidate.as_ref().is_some_and(HashMap::is_empty) {
+        lists.push(index.term_postings(term)?);
+    }
+
+    // Pass 1: intersect live doc ids (both sides ascending — merge walk).
+    let mut survivors: Vec<DocId> = lists[0]
+        .doc_tfs()
+        .filter(|&(d, _)| index.is_live(DocId(d)))
+        .map(|(d, _)| DocId(d))
+        .collect();
+    for pl in &lists[1..] {
+        if survivors.is_empty() {
             return Some(HashMap::new());
         }
+        let mut kept = Vec::with_capacity(survivors.len());
+        let mut si = 0usize;
+        for (d, _) in pl.doc_tfs() {
+            while si < survivors.len() && survivors[si].0 < d {
+                si += 1;
+            }
+            if si == survivors.len() {
+                break;
+            }
+            if survivors[si].0 == d {
+                kept.push(DocId(d));
+                si += 1;
+            }
+        }
+        survivors = kept;
     }
-    candidate.or(Some(HashMap::new()))
+    if survivors.is_empty() {
+        return Some(HashMap::new());
+    }
+
+    // Pass 2: decode positions only for survivors, in term order.
+    let mut out: HashMap<DocId, Vec<Vec<u32>>> = survivors
+        .iter()
+        .map(|&d| (d, Vec::with_capacity(terms.len())))
+        .collect();
+    for pl in &lists {
+        let mut cur = pl.cursor();
+        let mut si = 0usize;
+        while let Some((d, _)) = cur.next_doc() {
+            while si < survivors.len() && survivors[si].0 < d {
+                si += 1;
+            }
+            if si == survivors.len() {
+                break;
+            }
+            if survivors[si].0 == d {
+                let positions = cur.positions()?;
+                out.get_mut(&DocId(d)).expect("survivor").push(positions);
+                si += 1;
+            }
+        }
+    }
+    Some(out)
 }
 
 /// Count ordered chains through `lists` where each successive position

@@ -22,7 +22,9 @@
 mod ast;
 mod eval;
 mod parser;
+mod topk;
 
 pub use ast::QueryNode;
 pub use eval::{evaluate, ScoredDocs};
 pub use parser::parse_query;
+pub use topk::evaluate_top_k;

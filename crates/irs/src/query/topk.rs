@@ -1,0 +1,610 @@
+//! Document-at-a-time top-k evaluation with MaxScore-style pruning.
+//!
+//! [`evaluate`](super::evaluate) is term-at-a-time: it scores *every*
+//! matching document into a map and lets the caller rank afterwards. For
+//! the coupling's hot path (`getIRSValue` with a result limit) that is
+//! wasted work — the paper's Section 4.5 requires IRS evaluation to stay
+//! cheap enough to interleave with structural predicates. This module
+//! evaluates `Term`/`And`/`Or`/`Sum`/`WSum`/`Max` trees document-at-a-time
+//! against a bounded heap of the current k best, skipping candidates whose
+//! score *upper bound* cannot enter the heap.
+//!
+//! # Soundness of the bounds
+//!
+//! Every shipped model's `term_score` is coordinate-wise monotone in `tf`
+//! and `doc_len`, so the maximum over the four corners of the
+//! `[1, max_tf] × [min_len, max_len]` box (with the *exact* query-time
+//! `df`) bounds any live occurrence's score. Every combine operator is
+//! monotone nondecreasing on nonnegative child scores (sums, products and
+//! noisy-or on `[0,1]` beliefs, min, max, nonnegative-weight means), so
+//! evaluating the tree over leaf upper bounds — taking
+//! `max(op(children), default)` at each node, because a document absent
+//! from a node's result map contributes the model default at its parent —
+//! bounds the exhaustive score. `#wsum` with a negative weight would break
+//! monotonicity and falls back, as do `#not`/`#phrase`/`#near` operands.
+//!
+//! # Equivalence with the exhaustive evaluator
+//!
+//! For documents that survive pruning, [`exact_value`](Engine::exact_value)
+//! replays the exhaustive evaluator's arithmetic verbatim: child values
+//! are pushed in child order, absent children contribute
+//! `default_score()`, and a node yields a value only when at least one
+//! descendant leaf contains the document. Scores are therefore
+//! bit-identical to [`evaluate`](super::evaluate) — the equivalence
+//! proptest in `tests/topk.rs` pins this.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::analysis::Analyzer;
+use crate::index::{DocId, IndexReader, TermEvidence};
+use crate::model::{RetrievalModel, TermStats};
+use crate::query::QueryNode;
+
+/// Operator kinds the pruned engine evaluates directly.
+#[derive(Debug, Clone, Copy)]
+enum OpKind {
+    And,
+    Or,
+    Sum,
+    Max,
+}
+
+/// A query tree compiled against a term table: leaves index into the
+/// gathered per-term evidence so the per-document walks do no string work.
+#[derive(Debug)]
+enum PNode {
+    Leaf(usize),
+    Op(OpKind, Vec<PNode>),
+    WSum(Vec<(f64, PNode)>),
+}
+
+/// Compile `node`, interning analysed leaf terms into `terms`. `None` when
+/// the tree contains an operator the pruned engine cannot bound
+/// (`#not`/`#phrase`/`#near`, or `#wsum` with a weight that is negative or
+/// NaN) — the caller falls back to the exhaustive evaluator.
+fn compile(
+    node: &QueryNode,
+    analyzer: &Analyzer,
+    terms: &mut Vec<String>,
+    interned: &mut HashMap<String, usize>,
+) -> Option<PNode> {
+    let compile_children = |cs: &[QueryNode],
+                            terms: &mut Vec<String>,
+                            interned: &mut HashMap<String, usize>|
+     -> Option<Vec<PNode>> {
+        cs.iter()
+            .map(|c| compile(c, analyzer, terms, interned))
+            .collect()
+    };
+    match node {
+        QueryNode::Term(raw) => {
+            let analysed = analyzer.analyze_term(raw);
+            let idx = *interned.entry(analysed.clone()).or_insert_with(|| {
+                terms.push(analysed);
+                terms.len() - 1
+            });
+            Some(PNode::Leaf(idx))
+        }
+        QueryNode::And(cs) => Some(PNode::Op(
+            OpKind::And,
+            compile_children(cs, terms, interned)?,
+        )),
+        QueryNode::Or(cs) => Some(PNode::Op(
+            OpKind::Or,
+            compile_children(cs, terms, interned)?,
+        )),
+        QueryNode::Sum(cs) => Some(PNode::Op(
+            OpKind::Sum,
+            compile_children(cs, terms, interned)?,
+        )),
+        QueryNode::Max(cs) => Some(PNode::Op(
+            OpKind::Max,
+            compile_children(cs, terms, interned)?,
+        )),
+        QueryNode::WSum(ws) => {
+            let mut children = Vec::with_capacity(ws.len());
+            for (w, c) in ws {
+                // NaN or negative weights break bound monotonicity.
+                if w.is_nan() || *w < 0.0 {
+                    return None;
+                }
+                children.push((*w, compile(c, analyzer, terms, interned)?));
+            }
+            Some(PNode::WSum(children))
+        }
+        QueryNode::Not(_) | QueryNode::Phrase(_) | QueryNode::Near { .. } => None,
+    }
+}
+
+/// One query term's gathered evidence plus its score upper bound.
+#[derive(Debug)]
+struct TermData {
+    /// Live `(doc, tf)` pairs, ascending by doc id.
+    occurrences: Vec<(DocId, u32)>,
+    /// Live document frequency — exactly the `df` the exhaustive
+    /// evaluator feeds to `term_score`.
+    df: u32,
+    /// `max(default, corner bound)`: no live occurrence of the term can
+    /// score higher.
+    ub: f64,
+}
+
+/// Scoring context shared by the per-document walks.
+struct Engine<'m> {
+    model: &'m dyn RetrievalModel,
+    terms: Vec<TermData>,
+    n_docs: u32,
+    avg_doc_len: f64,
+    default: f64,
+}
+
+impl Engine<'_> {
+    fn combine(&self, kind: OpKind, buf: &[f64]) -> f64 {
+        match kind {
+            OpKind::And => self.model.combine_and(buf),
+            OpKind::Or => self.model.combine_or(buf),
+            OpKind::Sum => self.model.combine_sum(buf),
+            OpKind::Max => self.model.combine_max(buf),
+        }
+    }
+
+    /// The exhaustive evaluator's value of `node` for `doc` — `None` when
+    /// no descendant leaf contains the document (the doc is absent from
+    /// the node's sparse map and its parent substitutes the default).
+    fn exact_value(&self, node: &PNode, doc: DocId, doc_len: u32) -> Option<f64> {
+        match node {
+            PNode::Leaf(i) => {
+                let t = &self.terms[*i];
+                let at = t.occurrences.binary_search_by_key(&doc, |&(d, _)| d).ok()?;
+                Some(self.model.term_score(TermStats {
+                    tf: t.occurrences[at].1,
+                    df: t.df,
+                    n_docs: self.n_docs,
+                    doc_len,
+                    avg_doc_len: self.avg_doc_len,
+                }))
+            }
+            PNode::Op(kind, cs) => {
+                let mut any = false;
+                let mut buf = Vec::with_capacity(cs.len());
+                for c in cs {
+                    match self.exact_value(c, doc, doc_len) {
+                        Some(v) => {
+                            any = true;
+                            buf.push(v);
+                        }
+                        None => buf.push(self.default),
+                    }
+                }
+                any.then(|| self.combine(*kind, &buf))
+            }
+            PNode::WSum(ws) => {
+                let mut any = false;
+                let mut buf = Vec::with_capacity(ws.len());
+                for (w, c) in ws {
+                    match self.exact_value(c, doc, doc_len) {
+                        Some(v) => {
+                            any = true;
+                            buf.push((*w, v));
+                        }
+                        None => buf.push((*w, self.default)),
+                    }
+                }
+                any.then(|| self.model.combine_wsum(&buf))
+            }
+        }
+    }
+
+    /// Upper bound on the score of any document whose term presence is a
+    /// subset of `present`. Leaves assumed present contribute their upper
+    /// bound; each node takes `max(op(children), default)` because a
+    /// document absent from the node's map contributes the default at the
+    /// parent instead of the operator value.
+    fn bound_value(&self, node: &PNode, present: &[bool]) -> f64 {
+        match node {
+            PNode::Leaf(i) => {
+                if present[*i] {
+                    self.terms[*i].ub
+                } else {
+                    self.default
+                }
+            }
+            PNode::Op(kind, cs) => {
+                let buf: Vec<f64> = cs.iter().map(|c| self.bound_value(c, present)).collect();
+                self.combine(*kind, &buf).max(self.default)
+            }
+            PNode::WSum(ws) => {
+                let buf: Vec<(f64, f64)> = ws
+                    .iter()
+                    .map(|(w, c)| (*w, self.bound_value(c, present)))
+                    .collect();
+                self.model.combine_wsum(&buf).max(self.default)
+            }
+        }
+    }
+}
+
+/// Per-term corner upper bound: the exact query-time `df` with `tf` and
+/// `doc_len` pushed to the extremes of their live ranges.
+fn leaf_upper_bound(
+    model: &dyn RetrievalModel,
+    df: u32,
+    max_tf: u32,
+    n_docs: u32,
+    avg_doc_len: f64,
+    len_bounds: (u32, u32),
+    default: f64,
+) -> f64 {
+    if df == 0 {
+        return default;
+    }
+    let mut best = default;
+    for tf in [1, max_tf.max(1)] {
+        for doc_len in [len_bounds.0, len_bounds.1] {
+            best = best.max(model.term_score(TermStats {
+                tf,
+                df,
+                n_docs,
+                doc_len,
+                avg_doc_len,
+            }));
+        }
+    }
+    best
+}
+
+/// A heap entry ordered *worst-first* so [`BinaryHeap`]'s max is the
+/// candidate to evict. "Worse" means lower score, ties broken by larger
+/// key — the exact inverse of the final ranking order.
+struct Cand<'a> {
+    score: f64,
+    key: &'a str,
+    doc: DocId,
+}
+
+impl Ord for Cand<'_> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .score
+            .total_cmp(&self.score)
+            .then_with(|| self.key.cmp(other.key))
+    }
+}
+
+impl PartialOrd for Cand<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for Cand<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Cand<'_> {}
+
+/// Evaluate `node` document-at-a-time, returning the `k` best documents
+/// sorted by descending score (ties by ascending key) — exactly the first
+/// `k` entries the exhaustive path would produce, with bit-identical
+/// scores.
+///
+/// Returns `None` when the tree is outside the pruned engine's fragment
+/// (`#not`/`#phrase`/`#near` operands, or `#wsum` with negative weights);
+/// callers fall back to [`evaluate`](super::evaluate).
+pub fn evaluate_top_k<I: IndexReader + ?Sized>(
+    index: &I,
+    model: &dyn RetrievalModel,
+    node: &QueryNode,
+    k: usize,
+) -> Option<Vec<(DocId, f64)>> {
+    let mut term_texts = Vec::new();
+    let mut interned = HashMap::new();
+    let root = compile(node, index.analyzer(), &mut term_texts, &mut interned)?;
+    if k == 0 {
+        return Some(Vec::new());
+    }
+
+    let n_docs = index.live_count();
+    let avg_doc_len = index.avg_doc_len();
+    let len_bounds = index.doc_len_bounds();
+    let default = model.default_score();
+    let terms: Vec<TermData> = index
+        .gather_terms(&term_texts)
+        .into_iter()
+        .map(|ev: TermEvidence| {
+            let df = ev.occurrences.len() as u32;
+            let ub = leaf_upper_bound(
+                model,
+                df,
+                ev.max_tf,
+                n_docs,
+                avg_doc_len,
+                len_bounds,
+                default,
+            );
+            TermData {
+                occurrences: ev.occurrences,
+                df,
+                ub,
+            }
+        })
+        .collect();
+    let n_terms = terms.len();
+    let engine = Engine {
+        model,
+        terms,
+        n_docs,
+        avg_doc_len,
+        default,
+    };
+
+    // Terms ascending by upper bound: the non-essential prefix grows in
+    // this order as the heap threshold rises.
+    let mut order: Vec<usize> = (0..n_terms).collect();
+    order.sort_by(|&a, &b| {
+        engine.terms[a]
+            .ub
+            .total_cmp(&engine.terms[b].ub)
+            .then_with(|| a.cmp(&b))
+    });
+
+    // `k` may be huge (`usize::MAX` = "no limit"); never reserve more
+    // slots than there are live documents.
+    let mut heap: BinaryHeap<Cand> =
+        BinaryHeap::with_capacity(k.saturating_add(1).min(n_docs as usize + 1));
+    // `in_ne[t]`: term t is non-essential — its upper bound is already
+    // priced into `ne_bound`, so its postings no longer drive enumeration.
+    let mut in_ne = vec![false; n_terms];
+    let mut ne_len = 0usize;
+    let mut cursors = vec![0usize; n_terms];
+    let mut presence = vec![false; n_terms];
+    let mut matched: Vec<usize> = Vec::with_capacity(n_terms);
+
+    loop {
+        // Next candidate: smallest current doc across essential cursors.
+        let mut next: Option<DocId> = None;
+        for &t in &order[ne_len..] {
+            if let Some(&(d, _)) = engine.terms[t].occurrences.get(cursors[t]) {
+                next = Some(match next {
+                    None => d,
+                    Some(m) => m.min(d),
+                });
+            }
+        }
+        let Some(doc) = next else { break };
+        matched.clear();
+        for &t in &order[ne_len..] {
+            if engine.terms[t].occurrences.get(cursors[t]).map(|&(d, _)| d) == Some(doc) {
+                cursors[t] += 1;
+                matched.push(t);
+            }
+        }
+
+        // Candidate bound: matched essential terms and every non-essential
+        // term assumed present at their upper bounds. Skip only on a
+        // *strict* miss — an equal-score candidate could still win its
+        // key tie-break.
+        let threshold = (heap.len() == k).then(|| heap.peek().expect("full heap").score);
+        let survives = match threshold {
+            None => true,
+            Some(th) => {
+                for &t in &matched {
+                    presence[t] = true;
+                }
+                let cb = engine.bound_value(&root, &presence);
+                for &t in &matched {
+                    presence[t] = in_ne[t];
+                }
+                cb >= th
+            }
+        };
+        if !survives {
+            continue;
+        }
+
+        let entry = index.doc_entry(doc);
+        if let Some(score) = engine.exact_value(&root, doc, entry.len) {
+            let cand = Cand {
+                score,
+                key: entry.key.as_str(),
+                doc,
+            };
+            if heap.len() < k {
+                heap.push(cand);
+            } else if cand < *heap.peek().expect("full heap") {
+                heap.pop();
+                heap.push(cand);
+            }
+            if heap.len() == k {
+                // The threshold may have risen: grow the non-essential
+                // prefix while documents seen only in it cannot enter.
+                let th = heap.peek().expect("full heap").score;
+                while ne_len < n_terms {
+                    let t = order[ne_len];
+                    in_ne[t] = true;
+                    presence[t] = true;
+                    if engine.bound_value(&root, &presence) < th {
+                        ne_len += 1;
+                    } else {
+                        in_ne[t] = false;
+                        presence[t] = false;
+                        break;
+                    }
+                }
+                if ne_len == n_terms {
+                    // Even a document matching every term cannot enter.
+                    break;
+                }
+            }
+        }
+    }
+
+    let mut out = heap.into_vec();
+    out.sort(); // worst-first Ord ⇒ ascending sort ranks best-first
+    Some(out.into_iter().map(|c| (c.doc, c.score)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::AnalyzerConfig;
+    use crate::index::InvertedIndex;
+    use crate::model::{Bm25Model, BooleanModel, InferenceModel, VectorModel};
+    use crate::query::{evaluate, parse_query};
+
+    fn corpus() -> InvertedIndex {
+        let mut ix = InvertedIndex::new(Analyzer::new(AnalyzerConfig::default()));
+        for i in 0..40u32 {
+            let rare = if i % 7 == 0 { "zebra" } else { "filler" };
+            let text = format!(
+                "{rare} shared words appear here {} extra padding",
+                "common ".repeat((i % 5) as usize + 1)
+            );
+            ix.add_document(&format!("d{i:02}"), &text).unwrap();
+        }
+        ix
+    }
+
+    /// The pruned result must equal the first k of the exhaustively
+    /// ranked list, bit-for-bit.
+    fn assert_matches_exhaustive(
+        ix: &InvertedIndex,
+        model: &dyn RetrievalModel,
+        q: &str,
+        k: usize,
+    ) {
+        let node = parse_query(q).unwrap();
+        let pruned = evaluate_top_k(ix, model, &node, k).expect("prunable tree");
+        let mut full: Vec<(DocId, f64)> = evaluate(ix, model, &node).into_iter().collect();
+        full.sort_by(|a, b| {
+            b.1.total_cmp(&a.1)
+                .then_with(|| ix.store().entry(a.0).key.cmp(&ix.store().entry(b.0).key))
+        });
+        full.truncate(k);
+        assert_eq!(pruned, full, "query {q} k {k}");
+    }
+
+    #[test]
+    fn pruned_matches_exhaustive_across_models_and_k() {
+        let ix = corpus();
+        let models: [&dyn RetrievalModel; 4] = [
+            &BooleanModel,
+            &VectorModel::default(),
+            &Bm25Model::default(),
+            &InferenceModel::default(),
+        ];
+        for model in models {
+            for q in [
+                "zebra",
+                "#or(zebra common)",
+                "#and(shared common)",
+                "#sum(zebra shared common)",
+                "#wsum(5 zebra 1 common)",
+                "#max(zebra filler)",
+                "#or(#and(zebra shared) common)",
+                "absentterm",
+                "#or(absentterm zebra)",
+            ] {
+                for k in [0usize, 1, 3, 10, 40, 100] {
+                    assert_matches_exhaustive(&ix, model, q, k);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unprunable_trees_fall_back() {
+        let ix = corpus();
+        let m = InferenceModel::default();
+        for q in [
+            "#not(zebra)",
+            "\"shared words\"",
+            "#near/3(shared words)",
+            "#and(zebra #not(common))",
+        ] {
+            let node = parse_query(q).unwrap();
+            assert!(
+                evaluate_top_k(&ix, &m, &node, 5).is_none(),
+                "{q} must fall back"
+            );
+        }
+        // Negative #wsum weights break bound monotonicity → fallback.
+        let node = QueryNode::WSum(vec![(-1.0, QueryNode::Term("zebra".into()))]);
+        assert!(evaluate_top_k(&ix, &m, &node, 5).is_none());
+    }
+
+    #[test]
+    fn duplicate_leaves_share_one_term() {
+        let ix = corpus();
+        let m = InferenceModel::default();
+        assert_matches_exhaustive(&ix, &m, "#sum(zebra zebra)", 5);
+        // Stemming can also unify distinct raw leaves.
+        assert_matches_exhaustive(&ix, &m, "#or(shared sharing)", 5);
+    }
+
+    #[test]
+    fn empty_index_yields_empty() {
+        let ix = InvertedIndex::new(Analyzer::new(AnalyzerConfig::default()));
+        let m = InferenceModel::default();
+        let node = parse_query("anything").unwrap();
+        assert_eq!(evaluate_top_k(&ix, &m, &node, 10), Some(Vec::new()));
+    }
+
+    #[test]
+    fn leaf_bound_dominates_every_occurrence() {
+        let ix = corpus();
+        let models: [&dyn RetrievalModel; 4] = [
+            &BooleanModel,
+            &VectorModel::default(),
+            &Bm25Model::default(),
+            &InferenceModel::default(),
+        ];
+        for model in models {
+            for raw in ["zebra", "common", "shared"] {
+                let term = ix.analyzer().analyze_term(raw);
+                let ev = &ix.gather_terms(&[term])[0];
+                let df = ev.occurrences.len() as u32;
+                let ub = leaf_upper_bound(
+                    model,
+                    df,
+                    ev.max_tf,
+                    ix.live_count(),
+                    ix.avg_doc_len(),
+                    ix.doc_len_bounds(),
+                    model.default_score(),
+                );
+                for &(doc, tf) in &ev.occurrences {
+                    let s = model.term_score(TermStats {
+                        tf,
+                        df,
+                        n_docs: ix.live_count(),
+                        doc_len: ix.store().entry(doc).len,
+                        avg_doc_len: ix.avg_doc_len(),
+                    });
+                    assert!(
+                        s <= ub,
+                        "{} score {s} exceeds bound {ub} for {raw}",
+                        model.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deleted_documents_never_surface() {
+        let mut ix = corpus();
+        ix.delete_document("d00").unwrap();
+        ix.delete_document("d07").unwrap();
+        let m = InferenceModel::default();
+        let node = parse_query("zebra").unwrap();
+        let hits = evaluate_top_k(&ix, &m, &node, 50).unwrap();
+        for (doc, _) in &hits {
+            assert!(ix.store().is_live(*doc));
+        }
+        assert_matches_exhaustive(&ix, &m, "zebra", 10);
+    }
+}

@@ -43,11 +43,34 @@ fn corrupt(dir: &Path, file: &str) {
 // ----------------------------------------------------------------------
 
 #[test]
-fn bit_flip_in_index_file_is_detected() {
+fn bit_flip_in_index_manifest_is_detected() {
     let dir = tmp_dir("flip_idx");
     saved_system(&dir);
-    corrupt(&dir, "collPara.idx");
+    corrupt(&dir, "collPara.idx/manifest");
     assert!(open_system(&dir).is_err(), "corrupt index must not load");
+}
+
+#[test]
+fn bit_flip_in_index_shard_file_is_detected() {
+    let dir = tmp_dir("flip_shard");
+    saved_system(&dir);
+    // Flip a byte in every shard file of the per-shard snapshot; the CRC
+    // framing must reject the load whichever shard carries the postings.
+    let idx_dir = dir.join("collections").join("collPara.idx");
+    for entry in std::fs::read_dir(&idx_dir).unwrap() {
+        let path = entry.unwrap().path();
+        if !path
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .starts_with("shard-")
+        {
+            continue;
+        }
+        let len = std::fs::metadata(&path).unwrap().len();
+        flip_byte(&path, (len / 2) as usize).unwrap();
+    }
+    assert!(open_system(&dir).is_err(), "corrupt shard must not load");
 }
 
 #[test]
@@ -82,10 +105,13 @@ fn bit_flip_in_db_snapshot_is_detected() {
 // ----------------------------------------------------------------------
 
 #[test]
-fn truncated_index_file_is_detected() {
+fn truncated_index_manifest_is_detected() {
     let dir = tmp_dir("torn_idx");
     saved_system(&dir);
-    let path = dir.join("collections").join("collPara.idx");
+    let path = dir
+        .join("collections")
+        .join("collPara.idx")
+        .join("manifest");
     let bytes = std::fs::read(&path).unwrap();
     torn_write(&path, &bytes, bytes.len() * 2 / 3).unwrap();
     assert!(open_system(&dir).is_err(), "torn index must not load");
@@ -101,8 +127,16 @@ fn stray_tmp_file_from_killed_save_is_harmless() {
         .query("ACCESS p FROM p IN PARA WHERE p -> getIRSValue(collPara, 'telnet') > 0.45")
         .unwrap();
     std::fs::write(
-        dir.join("collections").join("collPara.idx.tmp"),
+        dir.join("collections").join("collPara.meta.tmp"),
         b"half-written garbage",
+    )
+    .unwrap();
+    // Likewise a stray shard tmp inside the per-shard snapshot directory.
+    std::fs::write(
+        dir.join("collections")
+            .join("collPara.idx")
+            .join("shard-9999-0.tmp"),
+        b"also garbage",
     )
     .unwrap();
     let reopened = open_system(&dir).unwrap();

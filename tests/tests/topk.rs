@@ -1,0 +1,124 @@
+//! Top-k engine equivalence properties: for every corpus, model,
+//! operator tree, and k, the pruned `search_top_k` must return exactly
+//! the first k hits of the exhaustive `search` — same keys, bitwise the
+//! same scores — and the ranking must not depend on the shard count.
+
+use irs::{CollectionConfig, IrsCollection, ModelKind};
+use proptest::prelude::*;
+
+/// A tiny vocabulary so random documents share terms and rankings have
+/// real ties to break.
+const VOCAB: [&str; 12] = [
+    "telnet", "gopher", "www", "archie", "veronica", "wais", "ftp", "nii", "mosaic", "lynx",
+    "usenet", "irc",
+];
+
+fn model_for(choice: u8) -> ModelKind {
+    match choice % 4 {
+        0 => ModelKind::Boolean,
+        1 => ModelKind::Vector(Default::default()),
+        2 => ModelKind::Bm25(Default::default()),
+        _ => ModelKind::Inference(Default::default()),
+    }
+}
+
+/// Build one collection over `docs` (lists of vocabulary indices).
+fn build(docs: &[Vec<u8>], model: ModelKind, shards: usize) -> IrsCollection {
+    let mut coll = IrsCollection::new(CollectionConfig {
+        model,
+        shards,
+        ..CollectionConfig::default()
+    });
+    for (i, words) in docs.iter().enumerate() {
+        let text: Vec<&str> = words
+            .iter()
+            .map(|&w| VOCAB[w as usize % VOCAB.len()])
+            .collect();
+        coll.add_document(&format!("doc{i:03}"), &text.join(" "))
+            .unwrap();
+    }
+    coll
+}
+
+/// One of several operator shapes over vocabulary terms — both shapes the
+/// pruned engine handles natively and shapes that force the exhaustive
+/// fallback (`#not`, phrases), which must obey the same contract.
+fn query_for(shape: u8, a: u8, b: u8, c: u8) -> String {
+    let t = |i: u8| VOCAB[i as usize % VOCAB.len()];
+    match shape % 7 {
+        0 => t(a).to_string(),
+        1 => format!("#or({} {})", t(a), t(b)),
+        2 => format!("#sum({} {} {})", t(a), t(b), t(c)),
+        3 => format!("#wsum(3 {} 1 {})", t(a), t(b)),
+        4 => format!("#and({} {})", t(a), t(b)),
+        5 => format!("#and({} #not({}))", t(a), t(b)),
+        _ => format!("\"{} {}\"", t(a), t(b)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `search_top_k(q, k)` equals the first k hits of `search(q)` under
+    /// the universal tie-break (score desc, key asc), with bitwise-equal
+    /// scores — pruning may never change what the user sees.
+    #[test]
+    fn top_k_is_a_prefix_of_the_full_ranking(
+        docs in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..40), 2..24),
+        model_choice in any::<u8>(),
+        shape in any::<u8>(),
+        (a, b, c) in (any::<u8>(), any::<u8>(), any::<u8>()),
+        k in 0usize..20,
+    ) {
+        let coll = build(&docs, model_for(model_choice), 3);
+        let query = query_for(shape, a, b, c);
+        let full = coll.search(&query).unwrap();
+        let top = coll.search_top_k(&query, k).unwrap();
+        prop_assert_eq!(top.len(), k.min(full.len()));
+        for (got, want) in top.iter().zip(full.iter()) {
+            prop_assert_eq!(&got.key, &want.key);
+            // Bitwise equality: the pruned engine recomputes the exact
+            // score for every emitted document.
+            prop_assert_eq!(got.score.to_bits(), want.score.to_bits(),
+                "score mismatch for {} in {}", got.key, query);
+        }
+    }
+
+    /// The ranking is shard-count invariant: global statistics make the
+    /// scores independent of how terms are partitioned.
+    #[test]
+    fn top_k_does_not_depend_on_shard_count(
+        docs in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..40), 2..24),
+        model_choice in any::<u8>(),
+        shape in any::<u8>(),
+        (a, b, c) in (any::<u8>(), any::<u8>(), any::<u8>()),
+        k in 0usize..20,
+    ) {
+        let query = query_for(shape, a, b, c);
+        let single = build(&docs, model_for(model_choice), 1);
+        let sharded = build(&docs, model_for(model_choice), 5);
+        let lhs = single.search_top_k(&query, k).unwrap();
+        let rhs = sharded.search_top_k(&query, k).unwrap();
+        prop_assert_eq!(lhs.len(), rhs.len());
+        for (l, r) in lhs.iter().zip(rhs.iter()) {
+            prop_assert_eq!(&l.key, &r.key);
+            prop_assert_eq!(l.score.to_bits(), r.score.to_bits());
+        }
+    }
+}
+
+/// Unbounded k (`usize::MAX`) degrades to the full ranking.
+#[test]
+fn top_k_with_huge_k_equals_full_search() {
+    let docs: Vec<Vec<u8>> = (0..10u8).map(|i| vec![i, i.wrapping_mul(3), 7]).collect();
+    let coll = build(&docs, ModelKind::default(), 2);
+    let full = coll.search("#or(telnet ftp nii)").unwrap();
+    let top = coll
+        .search_top_k("#or(telnet ftp nii)", usize::MAX)
+        .unwrap();
+    assert_eq!(full.len(), top.len());
+    for (f, t) in full.iter().zip(top.iter()) {
+        assert_eq!(f.key, t.key);
+        assert_eq!(f.score.to_bits(), t.score.to_bits());
+    }
+}
