@@ -33,11 +33,8 @@ fn bench_models(c: &mut Criterion) {
         let query = format!("#and({} {})", topic_term(0), topic_term(1));
         group.bench_with_input(BenchmarkId::from_parameter(label), &query, |b, query| {
             b.iter(|| {
-                cs.sys
-                    .with_collection("m", |coll| {
-                        coll.evaluate_uncached(query).expect("evaluates").len()
-                    })
-                    .expect("collection exists")
+                let coll = cs.sys.collection("m").expect("collection exists");
+                coll.evaluate_uncached(query).expect("evaluates").len()
             });
         });
     }

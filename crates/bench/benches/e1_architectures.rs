@@ -37,12 +37,10 @@ fn bench(c: &mut Criterion) {
             &kind,
             |b, &kind| {
                 b.iter(|| {
-                    cs.sys
-                        .with_collection_and_db("coll", |db, coll| {
-                            evaluate(kind, db, coll, "PARA", &year_is_1994, &query, 0.45)
-                                .expect("evaluates")
-                        })
-                        .expect("collection exists")
+                    let mut coll = cs.sys.collection_mut("coll").expect("collection exists");
+                    let db = coll.db();
+                    evaluate(kind, db, &mut coll, "PARA", &year_is_1994, &query, 0.45)
+                        .expect("evaluates")
                 });
             },
         );

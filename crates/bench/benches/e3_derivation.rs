@@ -15,18 +15,16 @@ fn bench_figure4(c: &mut Criterion) {
     for (label, scheme) in schemes() {
         group.bench_with_input(BenchmarkId::from_parameter(&label), &scheme, |b, scheme| {
             b.iter(|| {
-                sys.with_collection_and_db("collPara", |db, coll| {
-                    coll.set_derivation(scheme.clone());
-                    let ctx = db.method_ctx();
-                    let mut total = 0.0;
-                    for &root in &roots {
-                        total += coll
-                            .get_irs_value(&ctx, "#and(www nii)", root)
-                            .expect("derives");
-                    }
-                    total
-                })
-                .expect("collection exists")
+                let mut coll = sys.collection_mut("collPara").expect("collection exists");
+                coll.set_derivation(scheme.clone());
+                let ctx = coll.db().method_ctx();
+                let mut total = 0.0;
+                for &root in &roots {
+                    total += coll
+                        .get_irs_value(&ctx, "#and(www nii)", root)
+                        .expect("derives");
+                }
+                total
             });
         });
     }
@@ -43,16 +41,16 @@ fn bench_corpus(c: &mut Criterion) {
     for (label, scheme) in schemes() {
         group.bench_with_input(BenchmarkId::from_parameter(&label), &scheme, |b, scheme| {
             b.iter(|| {
-                cs.sys
-                    .with_collection_and_db("collPara", |db, coll| {
-                        coll.set_derivation(scheme.clone());
-                        let ctx = db.method_ctx();
-                        roots
-                            .iter()
-                            .map(|&r| coll.get_irs_value(&ctx, &q, r).expect("derives"))
-                            .sum::<f64>()
-                    })
-                    .expect("collection exists")
+                let mut coll = cs
+                    .sys
+                    .collection_mut("collPara")
+                    .expect("collection exists");
+                coll.set_derivation(scheme.clone());
+                let ctx = coll.db().method_ctx();
+                roots
+                    .iter()
+                    .map(|&r| coll.get_irs_value(&ctx, &q, r).expect("derives"))
+                    .sum::<f64>()
             });
         });
     }

@@ -15,30 +15,24 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e4_buffering");
     group.bench_function("unbuffered_50_probes", |b| {
         b.iter(|| {
-            cs.sys
-                .with_collection("coll", |coll| {
-                    let mut acc = 0.0;
-                    for &oid in &oids {
-                        let result = coll.evaluate_uncached(&query).expect("evaluates");
-                        acc += result.get(&oid).copied().unwrap_or(0.0);
-                    }
-                    acc
-                })
-                .expect("collection exists")
+            let coll = cs.sys.collection("coll").expect("collection exists");
+            let mut acc = 0.0;
+            for &oid in &oids {
+                let result = coll.evaluate_uncached(&query).expect("evaluates");
+                acc += result.get(&oid).copied().unwrap_or(0.0);
+            }
+            acc
         });
     });
     group.bench_function("buffered_50_probes", |b| {
         b.iter(|| {
-            cs.sys
-                .with_collection_and_db("coll", |db, coll| {
-                    let ctx = db.method_ctx();
-                    let mut acc = 0.0;
-                    for &oid in &oids {
-                        acc += coll.get_irs_value(&ctx, &query, oid).expect("value");
-                    }
-                    acc
-                })
-                .expect("collection exists")
+            let coll = cs.sys.collection("coll").expect("collection exists");
+            let ctx = coll.db().method_ctx();
+            let mut acc = 0.0;
+            for &oid in &oids {
+                acc += coll.get_irs_value(&ctx, &query, oid).expect("value");
+            }
+            acc
         });
     });
     group.finish();

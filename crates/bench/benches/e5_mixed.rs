@@ -32,14 +32,11 @@ fn bench(c: &mut Criterion) {
             &strategy,
             |b, &strategy| {
                 b.iter(|| {
-                    cs.sys
-                        .with_collection_and_db("coll", |db, coll| {
-                            evaluate_mixed(db, coll, "PARA", &year_pred, &query, 0.45, strategy)
-                                .expect("evaluates")
-                                .oids
-                                .len()
-                        })
-                        .expect("collection exists")
+                    let coll = cs.sys.collection("coll").expect("collection exists");
+                    evaluate_mixed(coll.db(), &coll, "PARA", &year_pred, &query, 0.45, strategy)
+                        .expect("evaluates")
+                        .oids
+                        .len()
                 });
             },
         );

@@ -14,24 +14,19 @@ fn bench(c: &mut Criterion) {
     let composite = format!("#and({a} {b})");
 
     // Pre-buffer per-term results for the OODBMS-side variant.
-    let (ra, rb) = cs
-        .sys
-        .with_collection("coll", |coll| {
-            (
-                coll.get_irs_result(&a).expect("term a"),
-                coll.get_irs_result(&b).expect("term b"),
-            )
-        })
-        .expect("collection exists");
+    let (ra, rb) = {
+        let coll = cs.sys.collection("coll").expect("collection exists");
+        (
+            coll.get_irs_result(&a).expect("term a"),
+            coll.get_irs_result(&b).expect("term b"),
+        )
+    };
 
     let mut group = c.benchmark_group("e6_operators");
     group.bench_function("irs_side_and_uncached", |b_| {
         b_.iter(|| {
-            cs.sys
-                .with_collection("coll", |coll| {
-                    coll.evaluate_uncached(&composite).expect("evaluates").len()
-                })
-                .expect("collection exists")
+            let coll = cs.sys.collection("coll").expect("collection exists");
+            coll.evaluate_uncached(&composite).expect("evaluates").len()
         });
     });
     group.bench_function("oodbms_side_and_buffered", |b_| {

@@ -39,34 +39,29 @@ fn bench(c: &mut Criterion) {
                             )
                             .expect("set");
                         cs.sys.db_mut().commit(txn).expect("commit");
-                        cs.sys
-                            .with_collection_and_db("coll", |db, coll| {
-                                let ctx = db.method_ctx();
-                                prop.record(&ctx, coll, PendingOp::Insert(oid))
-                                    .expect("record");
-                            })
-                            .expect("collection");
+                        {
+                            let mut coll = cs.sys.collection_mut("coll").expect("collection");
+                            let ctx = coll.db().method_ctx();
+                            prop.record(&ctx, &mut coll, PendingOp::Insert(oid))
+                                .expect("record");
+                        }
                         let mut txn = cs.sys.db_mut().begin();
                         cs.sys
                             .db_mut()
                             .delete_object(&mut txn, oid)
                             .expect("delete");
                         cs.sys.db_mut().commit(txn).expect("commit");
-                        cs.sys
-                            .with_collection_and_db("coll", |db, coll| {
-                                let ctx = db.method_ctx();
-                                prop.record(&ctx, coll, PendingOp::Delete(oid))
-                                    .expect("record");
-                            })
-                            .expect("collection");
+                        {
+                            let mut coll = cs.sys.collection_mut("coll").expect("collection");
+                            let ctx = coll.db().method_ctx();
+                            prop.record(&ctx, &mut coll, PendingOp::Delete(oid))
+                                .expect("record");
+                        }
                     }
-                    cs.sys
-                        .with_collection_and_db("coll", |db, coll| {
-                            let ctx = db.method_ctx();
-                            prop.before_query(&ctx, coll).expect("flush");
-                            coll.get_irs_result(&topic_term(0)).expect("query").len()
-                        })
-                        .expect("collection")
+                    let mut coll = cs.sys.collection_mut("coll").expect("collection");
+                    let ctx = coll.db().method_ctx();
+                    prop.before_query(&ctx, &mut coll).expect("flush");
+                    coll.get_irs_result(&topic_term(0)).expect("query").len()
                 });
             },
         );

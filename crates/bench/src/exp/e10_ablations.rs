@@ -183,33 +183,31 @@ pub fn run(config: &WorkloadConfig) -> Report {
             out.truncate(8);
             out
         };
-        let (map, score_levels) = cs
-            .sys
-            .with_collection("m", |coll| {
-                let mut sum = 0.0;
-                let mut levels = 0usize;
-                for (i, &(a, b)) in pairs.iter().enumerate() {
-                    let result = coll.get_irs_result(&and_query(a, b)).expect("query");
-                    if i == 0 {
-                        let mut scores: Vec<u64> = result.values().map(|v| v.to_bits()).collect();
-                        scores.sort_unstable();
-                        scores.dedup();
-                        levels = scores.len();
-                    }
-                    let ranked = rank(
-                        cs.para_truth
-                            .iter()
-                            .map(|(&oid, (_, ts))| {
-                                let score = result.get(&oid).copied().unwrap_or(0.0);
-                                (ts.contains(&a) && ts.contains(&b), score)
-                            })
-                            .collect(),
-                    );
-                    sum += average_precision(&ranked);
+        let (map, score_levels) = {
+            let coll = cs.sys.collection("m").expect("collection exists");
+            let mut sum = 0.0;
+            let mut levels = 0usize;
+            for (i, &(a, b)) in pairs.iter().enumerate() {
+                let result = coll.get_irs_result(&and_query(a, b)).expect("query");
+                if i == 0 {
+                    let mut scores: Vec<u64> = result.values().map(|v| v.to_bits()).collect();
+                    scores.sort_unstable();
+                    scores.dedup();
+                    levels = scores.len();
                 }
-                (sum / pairs.len().max(1) as f64, levels)
-            })
-            .expect("collection exists");
+                let ranked = rank(
+                    cs.para_truth
+                        .iter()
+                        .map(|(&oid, (_, ts))| {
+                            let score = result.get(&oid).copied().unwrap_or(0.0);
+                            (ts.contains(&a) && ts.contains(&b), score)
+                        })
+                        .collect(),
+                );
+                sum += average_precision(&ranked);
+            }
+            (sum / pairs.len().max(1) as f64, levels)
+        };
         models.push(ModelRow {
             model: label,
             map,
@@ -235,18 +233,16 @@ pub fn run(config: &WorkloadConfig) -> Report {
                 ..Default::default()
             },
         );
-        let hit_rate = cs
-            .sys
-            .with_collection("b", |coll| {
-                for _pass in 0..2 {
-                    for q in 0..distinct_queries {
-                        coll.get_irs_result(&topic_term(q)).expect("query");
-                    }
+        let hit_rate = {
+            let coll = cs.sys.collection("b").expect("collection exists");
+            for _pass in 0..2 {
+                for q in 0..distinct_queries {
+                    coll.get_irs_result(&topic_term(q)).expect("query");
                 }
-                let stats = coll.buffer_stats();
-                stats.hits as f64 / (stats.hits + stats.misses).max(1) as f64
-            })
-            .expect("collection exists");
+            }
+            let stats = coll.buffer_stats();
+            stats.hits as f64 / (stats.hits + stats.misses).max(1) as f64
+        };
         buffer.push(BufferRow { capacity, hit_rate });
     }
 

@@ -82,20 +82,19 @@ pub fn run(config: &WorkloadConfig) -> Report {
             Repr::ParagraphsDerived => {
                 with_para_collection(&mut cs, "r", CollectionSetup::default());
                 cs.sys
-                    .with_collection("r", |c| c.set_derivation(DerivationScheme::SubqueryAware))
-                    .expect("collection exists");
+                    .collection_mut("r")
+                    .expect("collection exists")
+                    .set_derivation(DerivationScheme::SubqueryAware);
             }
             Repr::Passages { window, stride } => {
                 cs.sys
                     .create_collection("r", CollectionSetup::default())
                     .expect("fresh");
                 let roots = cs.roots();
-                cs.sys
-                    .with_collection_and_db("r", |db, coll| {
-                        coll.index_passages(db, &roots, *window, *stride)
-                            .expect("passages index")
-                    })
-                    .expect("collection exists");
+                let mut coll = cs.sys.collection_mut("r").expect("collection exists");
+                let db = coll.db();
+                coll.index_passages(db, &roots, *window, *stride)
+                    .expect("passages index");
             }
             Repr::Documents => {
                 cs.sys
@@ -110,27 +109,25 @@ pub fn run(config: &WorkloadConfig) -> Report {
         let pairs: Vec<(usize, usize)> = relevant_topic_pairs(&cs).into_iter().take(10).collect();
         queries = pairs.len();
         let roots: Vec<Oid> = cs.roots();
-        let (stats, doc_map) = cs
-            .sys
-            .with_collection_and_db("r", |db, coll| {
-                let ctx = db.method_ctx();
-                let mut sum = 0.0;
-                for &(a, b) in &pairs {
-                    let q = and_query(a, b);
-                    let ranked = rank(
-                        roots
-                            .iter()
-                            .map(|&root| {
-                                let score = coll.get_irs_value(&ctx, &q, root).expect("value");
-                                (cs.doc_relevant(root, &[a, b]), score)
-                            })
-                            .collect(),
-                    );
-                    sum += average_precision(&ranked);
-                }
-                (coll.irs().index_stats(), sum / pairs.len() as f64)
-            })
-            .expect("collection exists");
+        let (stats, doc_map) = {
+            let coll = cs.sys.collection("r").expect("collection exists");
+            let ctx = coll.db().method_ctx();
+            let mut sum = 0.0;
+            for &(a, b) in &pairs {
+                let q = and_query(a, b);
+                let ranked = rank(
+                    roots
+                        .iter()
+                        .map(|&root| {
+                            let score = coll.get_irs_value(&ctx, &q, root).expect("value");
+                            (cs.doc_relevant(root, &[a, b]), score)
+                        })
+                        .collect(),
+                );
+                sum += average_precision(&ranked);
+            }
+            (coll.irs().index_stats(), sum / pairs.len() as f64)
+        };
 
         rows.push(PassageRow {
             config: label,

@@ -75,26 +75,24 @@ pub fn run(config: &WorkloadConfig) -> Report {
     // sweep exercises concurrent index reads rather than buffer hits.
     let mut sweep = Vec::new();
     for &threads in &THREAD_COUNTS {
-        let (total, us) = cs
-            .sys
-            .read_collection("coll", |coll| {
-                let t0 = Instant::now();
-                std::thread::scope(|scope| {
-                    for _ in 0..threads {
-                        scope.spawn(|| {
-                            for _ in 0..ROUNDS {
-                                for q in &queries {
-                                    let result =
-                                        coll.evaluate_uncached(q).expect("query evaluates");
-                                    assert!(result.len() <= objects);
-                                }
+        let (total, us) = {
+            let handle = cs.sys.collection("coll").expect("collection exists");
+            let coll = &*handle;
+            let t0 = Instant::now();
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| {
+                        for _ in 0..ROUNDS {
+                            for q in &queries {
+                                let result = coll.evaluate_uncached(q).expect("query evaluates");
+                                assert!(result.len() <= objects);
                             }
-                        });
-                    }
-                });
-                (threads * ROUNDS * queries.len(), t0.elapsed().as_micros())
-            })
-            .expect("collection exists");
+                        }
+                    });
+                }
+            });
+            (threads * ROUNDS * queries.len(), t0.elapsed().as_micros())
+        };
         let qps = total as f64 / (us.max(1) as f64 / 1e6);
         sweep.push(ThroughputPoint {
             threads,

@@ -99,104 +99,96 @@ pub fn run(config: &WorkloadConfig) -> Report {
     let queries_timed = queries.len() * ROUNDS;
 
     // --- 1. Wrapper overhead: no plan vs. zero-fault plan. ---
-    let base_query_us = cs
-        .sys
-        .read_collection("coll", |coll| {
-            let t0 = Instant::now();
-            for _ in 0..ROUNDS {
-                for q in &queries {
-                    coll.evaluate_uncached(q).expect("query evaluates");
-                }
+    let base_query_us = {
+        let coll = cs.sys.collection("coll").expect("collection exists");
+        let t0 = Instant::now();
+        for _ in 0..ROUNDS {
+            for q in &queries {
+                coll.evaluate_uncached(q).expect("query evaluates");
             }
-            t0.elapsed().as_micros()
-        })
-        .expect("collection exists");
-    let wrapped_query_us = cs
-        .sys
-        .with_collection("coll", |coll| {
-            coll.inject_faults(Some(Arc::new(FaultPlan::new(1)))); // injects nothing
-            let t0 = Instant::now();
-            for _ in 0..ROUNDS {
-                for q in &queries {
-                    coll.evaluate_uncached(q).expect("query evaluates");
-                }
+        }
+        t0.elapsed().as_micros()
+    };
+    let wrapped_query_us = {
+        let mut coll = cs.sys.collection_mut("coll").expect("collection exists");
+        coll.inject_faults(Some(Arc::new(FaultPlan::new(1)))); // injects nothing
+        let t0 = Instant::now();
+        for _ in 0..ROUNDS {
+            for q in &queries {
+                coll.evaluate_uncached(q).expect("query evaluates");
             }
-            let us = t0.elapsed().as_micros();
-            coll.inject_faults(None);
-            us
-        })
-        .expect("collection exists");
+        }
+        let us = t0.elapsed().as_micros();
+        coll.inject_faults(None);
+        us
+    };
 
     // --- 2. Degraded serving across an error-rate sweep. ---
     let mut sweep = Vec::new();
     for (i, &error_rate) in ERROR_RATES.iter().enumerate() {
         let name = format!("fault{i}");
         with_para_collection(&mut cs, &name, CollectionSetup::default());
-        let point = cs
-            .sys
-            .with_collection(&name, |coll| {
-                // Prime every query, then invalidate (as an update burst
-                // would) so stale copies exist for degraded serving.
-                for q in &queries {
-                    coll.get_irs_result(q).expect("priming succeeds");
-                }
-                coll.buffer().invalidate_all();
-                coll.inject_faults(Some(Arc::new(
-                    FaultPlan::new(100 + i as u64).with_error_rate(error_rate),
-                )));
-                let (mut fresh, mut buffered, mut stale, mut failed) = (0, 0, 0, 0);
-                for _ in 0..ROUNDS {
-                    for q in &queries {
-                        match coll.get_irs_result_with_origin(q) {
-                            Ok((_, ResultOrigin::Fresh)) => fresh += 1,
-                            Ok((_, ResultOrigin::Buffered)) => buffered += 1,
-                            Ok((_, ResultOrigin::Stale)) => stale += 1,
-                            Err(_) => failed += 1,
-                        }
-                    }
-                }
-                let fs = coll.fault_stats();
-                DegradedPoint {
-                    error_rate,
-                    queries: queries.len() * ROUNDS,
-                    fresh,
-                    buffered,
-                    stale,
-                    failed,
-                    retries: fs.retries,
-                    giveups: fs.giveups,
-                }
-            })
-            .expect("collection exists");
-        sweep.push(point);
-    }
-
-    // --- 3. Total outage: stale serving + circuit breaking. ---
-    with_para_collection(&mut cs, "outage", CollectionSetup::default());
-    let (outage_stale_served, outage_failed, breaker_opens, breaker_rejections) = cs
-        .sys
-        .with_collection("outage", |coll| {
+        let point = {
+            let mut coll = cs.sys.collection_mut(&name).expect("collection exists");
+            // Prime every query, then invalidate (as an update burst
+            // would) so stale copies exist for degraded serving.
             for q in &queries {
                 coll.get_irs_result(q).expect("priming succeeds");
             }
             coll.buffer().invalidate_all();
-            let plan = Arc::new(FaultPlan::new(999));
-            plan.set_down(true);
-            coll.inject_faults(Some(plan));
-            let (mut stale, mut failed) = (0, 0);
+            coll.inject_faults(Some(Arc::new(
+                FaultPlan::new(100 + i as u64).with_error_rate(error_rate),
+            )));
+            let (mut fresh, mut buffered, mut stale, mut failed) = (0, 0, 0, 0);
             for _ in 0..ROUNDS {
                 for q in &queries {
                     match coll.get_irs_result_with_origin(q) {
+                        Ok((_, ResultOrigin::Fresh)) => fresh += 1,
+                        Ok((_, ResultOrigin::Buffered)) => buffered += 1,
                         Ok((_, ResultOrigin::Stale)) => stale += 1,
-                        Ok(_) => {}
                         Err(_) => failed += 1,
                     }
                 }
             }
             let fs = coll.fault_stats();
-            (stale, failed, fs.breaker_opens, fs.breaker_rejections)
-        })
-        .expect("collection exists");
+            DegradedPoint {
+                error_rate,
+                queries: queries.len() * ROUNDS,
+                fresh,
+                buffered,
+                stale,
+                failed,
+                retries: fs.retries,
+                giveups: fs.giveups,
+            }
+        };
+        sweep.push(point);
+    }
+
+    // --- 3. Total outage: stale serving + circuit breaking. ---
+    with_para_collection(&mut cs, "outage", CollectionSetup::default());
+    let (outage_stale_served, outage_failed, breaker_opens, breaker_rejections) = {
+        let mut coll = cs.sys.collection_mut("outage").expect("collection exists");
+        for q in &queries {
+            coll.get_irs_result(q).expect("priming succeeds");
+        }
+        coll.buffer().invalidate_all();
+        let plan = Arc::new(FaultPlan::new(999));
+        plan.set_down(true);
+        coll.inject_faults(Some(plan));
+        let (mut stale, mut failed) = (0, 0);
+        for _ in 0..ROUNDS {
+            for q in &queries {
+                match coll.get_irs_result_with_origin(q) {
+                    Ok((_, ResultOrigin::Stale)) => stale += 1,
+                    Ok(_) => {}
+                    Err(_) => failed += 1,
+                }
+            }
+        }
+        let fs = coll.fault_stats();
+        (stale, failed, fs.breaker_opens, fs.breaker_rejections)
+    };
     let outage_queries = queries.len() * ROUNDS;
 
     // --- 4. Crash recovery: journal replay inside open_system. ---

@@ -64,21 +64,20 @@ pub fn run(config: &WorkloadConfig) -> Report {
         // Fresh system per architecture so buffers don't leak across.
         let mut cs = build_corpus_system(config);
         with_para_collection(&mut cs, "coll", CollectionSetup::default());
-        let outcome = cs
-            .sys
-            .with_collection_and_db("coll", |db, coll| {
-                let t0 = Instant::now();
-                let out = evaluate(kind, db, coll, "PARA", &year_is_1994, &query, 0.45)
-                    .expect("architecture evaluation succeeds");
-                let cold_us = t0.elapsed().as_micros();
-                let t1 = Instant::now();
-                let warm = evaluate(kind, db, coll, "PARA", &year_is_1994, &query, 0.45)
-                    .expect("warm evaluation succeeds");
-                let warm_us = t1.elapsed().as_micros();
-                assert_eq!(out.oids, warm.oids);
-                (out, cold_us, warm_us)
-            })
-            .expect("collection exists");
+        let outcome = {
+            let mut coll = cs.sys.collection_mut("coll").expect("collection exists");
+            let db = coll.db();
+            let t0 = Instant::now();
+            let out = evaluate(kind, db, &mut coll, "PARA", &year_is_1994, &query, 0.45)
+                .expect("architecture evaluation succeeds");
+            let cold_us = t0.elapsed().as_micros();
+            let t1 = Instant::now();
+            let warm = evaluate(kind, db, &mut coll, "PARA", &year_is_1994, &query, 0.45)
+                .expect("warm evaluation succeeds");
+            let warm_us = t1.elapsed().as_micros();
+            assert_eq!(out.oids, warm.oids);
+            (out, cold_us, warm_us)
+        };
         let (out, cold_us, warm_us) = outcome;
         rows.push(ArchRow {
             kind,

@@ -120,22 +120,18 @@ pub fn run(config: &WorkloadConfig) -> Report {
         cs.sys
             .create_collection("g", CollectionSetup::default())
             .expect("fresh collection");
-        let (index_us, stats) = cs
-            .sys
-            .with_collection_and_db("g", |db, coll| {
-                let t0 = Instant::now();
-                policy.apply(db, coll).expect("policy applies");
-                let index_us = t0.elapsed().as_micros();
-                let stats = coll.irs().index_stats();
-                (index_us, stats)
-            })
-            .expect("collection exists");
+        let (index_us, stats) = {
+            let mut coll = cs.sys.collection_mut("g").expect("collection exists");
+            let db = coll.db();
+            let t0 = Instant::now();
+            policy.apply(db, &mut coll).expect("policy applies");
+            let index_us = t0.elapsed().as_micros();
+            let stats = coll.irs().index_stats();
+            (index_us, stats)
+        };
         let pmap = if para_capable {
-            Some(
-                cs.sys
-                    .with_collection("g", |coll| para_map(&cs, coll))
-                    .expect("collection exists"),
-            )
+            let mut coll = cs.sys.collection_mut("g").expect("collection exists");
+            Some(para_map(&cs, &mut coll))
         } else {
             None
         };

@@ -111,17 +111,16 @@ pub fn run_figure4() -> Vec<Figure4Row> {
     let query = "#and(www nii)";
     let mut rows = Vec::new();
     for (label, scheme) in schemes() {
-        let values = sys
-            .with_collection_and_db("collPara", |db, coll| {
-                coll.set_derivation(scheme.clone());
-                let ctx = db.method_ctx();
-                let mut vals = [0.0f64; 4];
-                for (i, &root) in roots.iter().enumerate() {
-                    vals[i] = coll.get_irs_value(&ctx, query, root).expect("derives");
-                }
-                vals
-            })
-            .expect("collection exists");
+        let values = {
+            let mut coll = sys.collection_mut("collPara").expect("collection exists");
+            coll.set_derivation(scheme.clone());
+            let ctx = coll.db().method_ctx();
+            let mut vals = [0.0f64; 4];
+            for (i, &root) in roots.iter().enumerate() {
+                vals[i] = coll.get_irs_value(&ctx, query, root).expect("derives");
+            }
+            vals
+        };
         rows.push(Figure4Row {
             scheme: label,
             values,
@@ -149,26 +148,28 @@ pub fn run_quality(config: &WorkloadConfig) -> (Vec<QualityRow>, usize) {
     // Derivation schemes over the paragraph collection.
     for (label, scheme) in schemes() {
         let (mut map_sum, mut p5_sum) = (0.0, 0.0);
-        cs.sys
-            .with_collection_and_db("collPara", |db, coll| {
-                coll.set_derivation(scheme.clone());
-                let ctx = db.method_ctx();
-                for &(a, b) in &pairs {
-                    let q = and_query(a, b);
-                    let ranked = rank(
-                        roots
-                            .iter()
-                            .map(|&root| {
-                                let score = coll.get_irs_value(&ctx, &q, root).expect("derives");
-                                (cs.doc_relevant(root, &[a, b]), score)
-                            })
-                            .collect(),
-                    );
-                    map_sum += average_precision(&ranked);
-                    p5_sum += precision_at_k(&ranked, 5);
-                }
-            })
-            .expect("collection exists");
+        {
+            let mut coll = cs
+                .sys
+                .collection_mut("collPara")
+                .expect("collection exists");
+            coll.set_derivation(scheme.clone());
+            let ctx = coll.db().method_ctx();
+            for &(a, b) in &pairs {
+                let q = and_query(a, b);
+                let ranked = rank(
+                    roots
+                        .iter()
+                        .map(|&root| {
+                            let score = coll.get_irs_value(&ctx, &q, root).expect("derives");
+                            (cs.doc_relevant(root, &[a, b]), score)
+                        })
+                        .collect(),
+                );
+                map_sum += average_precision(&ranked);
+                p5_sum += precision_at_k(&ranked, 5);
+            }
+        }
         rows.push(QualityRow {
             scheme: label,
             map: map_sum / pairs.len() as f64,
@@ -178,25 +179,24 @@ pub fn run_quality(config: &WorkloadConfig) -> (Vec<QualityRow>, usize) {
 
     // Redundant baseline: documents are represented, no derivation.
     let (mut map_sum, mut p5_sum) = (0.0, 0.0);
-    cs.sys
-        .with_collection_and_db("collDoc", |db, coll| {
-            let ctx = db.method_ctx();
-            for &(a, b) in &pairs {
-                let q = and_query(a, b);
-                let ranked = rank(
-                    roots
-                        .iter()
-                        .map(|&root| {
-                            let score = coll.get_irs_value(&ctx, &q, root).expect("direct");
-                            (cs.doc_relevant(root, &[a, b]), score)
-                        })
-                        .collect(),
-                );
-                map_sum += average_precision(&ranked);
-                p5_sum += precision_at_k(&ranked, 5);
-            }
-        })
-        .expect("collection exists");
+    {
+        let coll = cs.sys.collection("collDoc").expect("collection exists");
+        let ctx = coll.db().method_ctx();
+        for &(a, b) in &pairs {
+            let q = and_query(a, b);
+            let ranked = rank(
+                roots
+                    .iter()
+                    .map(|&root| {
+                        let score = coll.get_irs_value(&ctx, &q, root).expect("direct");
+                        (cs.doc_relevant(root, &[a, b]), score)
+                    })
+                    .collect(),
+            );
+            map_sum += average_precision(&ranked);
+            p5_sum += precision_at_k(&ranked, 5);
+        }
+    }
     rows.push(QualityRow {
         scheme: "redundant-doc-index (baseline)".into(),
         map: map_sum / pairs.len() as f64,

@@ -42,44 +42,40 @@ pub fn run(config: &WorkloadConfig) -> Report {
 
     // Unbuffered: every object probe re-evaluates the query in the IRS —
     // what the coupling would do without Figure 3's buffer.
-    let (unbuffered_calls, unbuffered_us) = cs
-        .sys
-        .with_collection("coll", |coll| {
-            let before = coll.stats().irs_calls;
-            let t0 = Instant::now();
-            for q in &queries {
-                for &oid in &para_oids {
-                    let result = coll.evaluate_uncached(q).expect("query evaluates");
-                    let _v = result.get(&oid).copied().unwrap_or(0.0);
-                }
+    let (unbuffered_calls, unbuffered_us) = {
+        let coll = cs.sys.collection("coll").expect("collection exists");
+        let before = coll.stats().irs_calls;
+        let t0 = Instant::now();
+        for q in &queries {
+            for &oid in &para_oids {
+                let result = coll.evaluate_uncached(q).expect("query evaluates");
+                let _v = result.get(&oid).copied().unwrap_or(0.0);
             }
-            (coll.stats().irs_calls - before, t0.elapsed().as_micros())
-        })
-        .expect("collection exists");
+        }
+        (coll.stats().irs_calls - before, t0.elapsed().as_micros())
+    };
 
     // Buffered: getIRSValue through the persistent buffer.
-    let (buffered_calls, buffered_us, hits) = cs
-        .sys
-        .with_collection_and_db("coll", |db, coll| {
-            let before = coll.stats().irs_calls;
-            let hits_before = coll.buffer_stats().hits;
-            let ctx = db.method_ctx();
-            let t0 = Instant::now();
-            // Two passes over the query set: intra- and inter-query reuse.
-            for _ in 0..2 {
-                for q in &queries {
-                    for &oid in &para_oids {
-                        let _v = coll.get_irs_value(&ctx, q, oid).expect("value");
-                    }
+    let (buffered_calls, buffered_us, hits) = {
+        let coll = cs.sys.collection("coll").expect("collection exists");
+        let before = coll.stats().irs_calls;
+        let hits_before = coll.buffer_stats().hits;
+        let ctx = coll.db().method_ctx();
+        let t0 = Instant::now();
+        // Two passes over the query set: intra- and inter-query reuse.
+        for _ in 0..2 {
+            for q in &queries {
+                for &oid in &para_oids {
+                    let _v = coll.get_irs_value(&ctx, q, oid).expect("value");
                 }
             }
-            (
-                coll.stats().irs_calls - before,
-                t0.elapsed().as_micros(),
-                coll.buffer_stats().hits - hits_before,
-            )
-        })
-        .expect("collection exists");
+        }
+        (
+            coll.stats().irs_calls - before,
+            t0.elapsed().as_micros(),
+            coll.buffer_stats().hits - hits_before,
+        )
+    };
 
     Report {
         objects: para_oids.len(),

@@ -83,55 +83,52 @@ pub fn run(config: &WorkloadConfig) -> Report {
     // floor (below any useful threshold), so pick the first background
     // word whose candidate set exceeds a third of the paragraphs while
     // still scoring above the threshold.
-    let common_word = cs
-        .sys
-        .with_collection("coll", |coll| {
-            (3..60)
-                .map(|k| format!("w{k:04}"))
-                .find(|w| {
-                    let result = coll.get_irs_result(w).expect("query evaluates");
-                    let above = result.values().filter(|&&v| v > THRESHOLD).count();
-                    above > paragraphs / 3
-                })
-                .unwrap_or_else(|| "w0010".to_string())
-        })
-        .expect("collection exists");
+    let common_word = {
+        let coll = cs.sys.collection("coll").expect("collection exists");
+        (3..60)
+            .map(|k| format!("w{k:04}"))
+            .find(|w| {
+                let result = coll.get_irs_result(w).expect("query evaluates");
+                let above = result.values().filter(|&&v| v > THRESHOLD).count();
+                above > paragraphs / 3
+            })
+            .unwrap_or_else(|| "w0010".to_string())
+    };
     let content_queries = vec![topic_term(0), common_word];
 
     let mut rows = Vec::new();
     for q in &content_queries {
         for years in [1usize, 2, 4] {
             let pred = year_in_first(years);
-            let (indep, first) = cs
-                .sys
-                .with_collection_and_db("coll", |db, coll| {
-                    let t0 = Instant::now();
-                    let indep = evaluate_mixed(
-                        db,
-                        coll,
-                        "PARA",
-                        &pred,
-                        q,
-                        THRESHOLD,
-                        MixedStrategy::Independent,
-                    )
-                    .expect("independent evaluates");
-                    let indep_us = t0.elapsed().as_micros();
-                    let t1 = Instant::now();
-                    let first = evaluate_mixed(
-                        db,
-                        coll,
-                        "PARA",
-                        &pred,
-                        q,
-                        THRESHOLD,
-                        MixedStrategy::IrsFirst,
-                    )
-                    .expect("irs-first evaluates");
-                    let first_us = t1.elapsed().as_micros();
-                    ((indep, indep_us), (first, first_us))
-                })
-                .expect("collection exists");
+            let (indep, first) = {
+                let coll = cs.sys.collection("coll").expect("collection exists");
+                let db = coll.db();
+                let t0 = Instant::now();
+                let indep = evaluate_mixed(
+                    db,
+                    &coll,
+                    "PARA",
+                    &pred,
+                    q,
+                    THRESHOLD,
+                    MixedStrategy::Independent,
+                )
+                .expect("independent evaluates");
+                let indep_us = t0.elapsed().as_micros();
+                let t1 = Instant::now();
+                let first = evaluate_mixed(
+                    db,
+                    &coll,
+                    "PARA",
+                    &pred,
+                    q,
+                    THRESHOLD,
+                    MixedStrategy::IrsFirst,
+                )
+                .expect("irs-first evaluates");
+                let first_us = t1.elapsed().as_micros();
+                ((indep, indep_us), (first, first_us))
+            };
             let ((indep, indep_us), (first, first_us)) = (indep, first);
             assert_eq!(indep.oids, first.oids, "strategies must agree");
             rows.push(SweepRow {

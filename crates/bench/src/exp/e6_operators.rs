@@ -42,43 +42,41 @@ pub fn run(config: &WorkloadConfig) -> Report {
     let (a, b) = (topic_term(0), topic_term(1));
     let composite = format!("#and({a} {b})");
 
-    cs.sys
-        .with_collection("coll", |coll| {
-            // (1) Cold composite in the IRS.
-            let t0 = Instant::now();
-            let direct = coll
-                .get_irs_result(&composite)
-                .expect("composite evaluates");
-            let irs_cold_us = t0.elapsed().as_micros();
+    let coll = cs.sys.collection("coll").expect("collection exists");
 
-            // (2) Warm composite (buffered).
-            let t1 = Instant::now();
-            let _ = coll.get_irs_result(&composite).expect("buffered");
-            let irs_warm_us = t1.elapsed().as_micros();
+    // (1) Cold composite in the IRS.
+    let t0 = Instant::now();
+    let direct = coll
+        .get_irs_result(&composite)
+        .expect("composite evaluates");
+    let irs_cold_us = t0.elapsed().as_micros();
 
-            // Buffer the per-term results, then (3) combine in the OODBMS.
-            let ra = coll.get_irs_result(&a).expect("term a");
-            let rb = coll.get_irs_result(&b).expect("term b");
-            let t2 = Instant::now();
-            let combined = irs_and(&[&ra, &rb]);
-            let oodbms_and_us = t2.elapsed().as_micros();
+    // (2) Warm composite (buffered).
+    let t1 = Instant::now();
+    let _ = coll.get_irs_result(&composite).expect("buffered");
+    let irs_warm_us = t1.elapsed().as_micros();
 
-            // Agreement on the documents the IRS returned.
-            let mut max_disagreement = 0.0f64;
-            for (oid, v) in &direct {
-                let c = combined.get(oid).copied().unwrap_or(0.0);
-                max_disagreement = max_disagreement.max((c - v).abs());
-            }
+    // Buffer the per-term results, then (3) combine in the OODBMS.
+    let ra = coll.get_irs_result(&a).expect("term a");
+    let rb = coll.get_irs_result(&b).expect("term b");
+    let t2 = Instant::now();
+    let combined = irs_and(&[&ra, &rb]);
+    let oodbms_and_us = t2.elapsed().as_micros();
 
-            Report {
-                irs_cold_us,
-                irs_warm_us,
-                oodbms_and_us,
-                max_disagreement,
-                result_size: direct.len(),
-            }
-        })
-        .expect("collection exists")
+    // Agreement on the documents the IRS returned.
+    let mut max_disagreement = 0.0f64;
+    for (oid, v) in &direct {
+        let c = combined.get(oid).copied().unwrap_or(0.0);
+        max_disagreement = max_disagreement.max((c - v).abs());
+    }
+
+    Report {
+        irs_cold_us,
+        irs_warm_us,
+        oodbms_and_us,
+        max_disagreement,
+        result_size: direct.len(),
+    }
 }
 
 impl std::fmt::Display for Report {

@@ -82,26 +82,24 @@ fn run_workload(
                     )
                     .expect("set");
                 cs.sys.db_mut().commit(txn).expect("commit");
-                cs.sys
-                    .with_collection_and_db("coll", |db, coll| {
-                        let ctx = db.method_ctx();
-                        prop.record(&ctx, coll, PendingOp::Insert(oid))
-                            .expect("record");
-                    })
-                    .expect("collection");
+                {
+                    let mut coll = cs.sys.collection_mut("coll").expect("collection");
+                    let ctx = coll.db().method_ctx();
+                    prop.record(&ctx, &mut coll, PendingOp::Insert(oid))
+                        .expect("record");
+                }
                 let mut txn = cs.sys.db_mut().begin();
                 cs.sys
                     .db_mut()
                     .delete_object(&mut txn, oid)
                     .expect("delete");
                 cs.sys.db_mut().commit(txn).expect("commit");
-                cs.sys
-                    .with_collection_and_db("coll", |db, coll| {
-                        let ctx = db.method_ctx();
-                        prop.record(&ctx, coll, PendingOp::Delete(oid))
-                            .expect("record");
-                    })
-                    .expect("collection");
+                {
+                    let mut coll = cs.sys.collection_mut("coll").expect("collection");
+                    let ctx = coll.db().method_ctx();
+                    prop.record(&ctx, &mut coll, PendingOp::Delete(oid))
+                        .expect("record");
+                }
             } else {
                 // In-place modification of an existing paragraph.
                 let oid = existing[rng.gen_range(0..existing.len())];
@@ -116,24 +114,22 @@ fn run_workload(
                     )
                     .expect("set");
                 cs.sys.db_mut().commit(txn).expect("commit");
-                cs.sys
-                    .with_collection_and_db("coll", |db, coll| {
-                        let ctx = db.method_ctx();
-                        prop.record(&ctx, coll, PendingOp::Modify(oid))
-                            .expect("record");
-                    })
-                    .expect("collection");
+                {
+                    let mut coll = cs.sys.collection_mut("coll").expect("collection");
+                    let ctx = coll.db().method_ctx();
+                    prop.record(&ctx, &mut coll, PendingOp::Modify(oid))
+                        .expect("record");
+                }
             }
         }
         // The information-need query forces pending propagation.
-        cs.sys
-            .with_collection_and_db("coll", |db, coll| {
-                let ctx = db.method_ctx();
-                prop.before_query(&ctx, coll).expect("flush");
-                coll.get_irs_result(&topic_term(q % cs.topics))
-                    .expect("query");
-            })
-            .expect("collection");
+        {
+            let mut coll = cs.sys.collection_mut("coll").expect("collection");
+            let ctx = coll.db().method_ctx();
+            prop.before_query(&ctx, &mut coll).expect("flush");
+            coll.get_irs_result(&topic_term(q % cs.topics))
+                .expect("query");
+        }
     }
     let elapsed = t0.elapsed().as_micros();
     let stats = prop.stats();

@@ -66,8 +66,10 @@ pub fn run(config: &WorkloadConfig) -> Report {
         }
         let stats = cs
             .sys
-            .with_collection("lv", |c| c.irs().index_stats())
-            .expect("collection exists");
+            .collection("lv")
+            .expect("collection exists")
+            .irs()
+            .index_stats();
         if floor_bytes == 0 {
             floor_bytes = stats.postings_bytes;
         }
@@ -76,28 +78,26 @@ pub fn run(config: &WorkloadConfig) -> Report {
         // derived (subquery-aware) where not.
         let pairs: Vec<(usize, usize)> = relevant_topic_pairs(&cs).into_iter().take(8).collect();
         let roots: Vec<Oid> = cs.roots();
-        let doc_map = cs
-            .sys
-            .with_collection_and_db("lv", |db, coll| {
-                coll.set_derivation(DerivationScheme::SubqueryAware);
-                let ctx = db.method_ctx();
-                let mut sum = 0.0;
-                for &(a, b) in &pairs {
-                    let q = and_query(a, b);
-                    let ranked = rank(
-                        roots
-                            .iter()
-                            .map(|&root| {
-                                let score = coll.get_irs_value(&ctx, &q, root).expect("value");
-                                (cs.doc_relevant(root, &[a, b]), score)
-                            })
-                            .collect(),
-                    );
-                    sum += average_precision(&ranked);
-                }
-                sum / pairs.len() as f64
-            })
-            .expect("collection exists");
+        let doc_map = {
+            let mut coll = cs.sys.collection_mut("lv").expect("collection exists");
+            coll.set_derivation(DerivationScheme::SubqueryAware);
+            let ctx = coll.db().method_ctx();
+            let mut sum = 0.0;
+            for &(a, b) in &pairs {
+                let q = and_query(a, b);
+                let ranked = rank(
+                    roots
+                        .iter()
+                        .map(|&root| {
+                            let score = coll.get_irs_value(&ctx, &q, root).expect("value");
+                            (cs.doc_relevant(root, &[a, b]), score)
+                        })
+                        .collect(),
+                );
+                sum += average_precision(&ranked);
+            }
+            sum / pairs.len() as f64
+        };
 
         rows.push(LevelRow {
             config: (*label).to_string(),

@@ -122,27 +122,24 @@ pub fn run(config: &WorkloadConfig) -> Report {
 
     let all_paras: Vec<Oid> = cs.para_truth.keys().copied().collect();
     let evaluate = |coll_name: &str| -> (f64, usize) {
-        cs.sys
-            .with_collection(coll_name, |coll| {
-                let mut map_sum = 0.0;
-                let mut latent_hits = 0usize;
-                for (t, latents) in latent_by_topic.iter().enumerate() {
-                    let result = coll.get_irs_result(&topic_term(t)).expect("query");
-                    let ranked = rank(
-                        all_paras
-                            .iter()
-                            .map(|&oid| {
-                                let score = result.get(&oid).copied().unwrap_or(0.0);
-                                (relevant(&cs, oid, t), score)
-                            })
-                            .collect(),
-                    );
-                    map_sum += average_precision(&ranked);
-                    latent_hits += latents.iter().filter(|o| result.contains_key(o)).count();
-                }
-                (map_sum / topics as f64, latent_hits)
-            })
-            .expect("collection exists")
+        let coll = cs.sys.collection(coll_name).expect("collection exists");
+        let mut map_sum = 0.0;
+        let mut latent_hits = 0usize;
+        for (t, latents) in latent_by_topic.iter().enumerate() {
+            let result = coll.get_irs_result(&topic_term(t)).expect("query");
+            let ranked = rank(
+                all_paras
+                    .iter()
+                    .map(|&oid| {
+                        let score = result.get(&oid).copied().unwrap_or(0.0);
+                        (relevant(&cs, oid, t), score)
+                    })
+                    .collect(),
+            );
+            map_sum += average_precision(&ranked);
+            latent_hits += latents.iter().filter(|o| result.contains_key(o)).count();
+        }
+        (map_sum / topics as f64, latent_hits)
     };
 
     let (plain_map, plain_latent_hits) = evaluate("plain");

@@ -179,7 +179,7 @@ mod tests {
         let mut cs = build_corpus_system(&WorkloadConfig::small());
         with_para_collection(&mut cs, "collPara", CollectionSetup::default());
         let total_paras: usize = cs.docs.iter().map(|d| d.paras.len()).sum();
-        let indexed = cs.sys.with_collection("collPara", |c| c.len()).unwrap();
+        let indexed = cs.sys.collection("collPara").unwrap().len();
         assert_eq!(indexed, total_paras);
     }
 

@@ -88,6 +88,88 @@ impl CollectionSetup {
         self.result_limit = Some(k);
         self
     }
+
+    /// Start a [`CollectionSetupBuilder`] over default parameters.
+    pub fn builder() -> CollectionSetupBuilder {
+        CollectionSetupBuilder {
+            setup: CollectionSetup::default(),
+        }
+    }
+}
+
+/// Fluent builder for [`CollectionSetup`] — the entry-point way to
+/// configure a collection:
+///
+/// ```
+/// use coupling::prelude::*;
+///
+/// let setup = CollectionSetup::builder()
+///     .text_mode(TextMode::DirectText)
+///     .result_limit(20)
+///     .shards(4)
+///     .build();
+/// assert_eq!(setup.result_limit, Some(20));
+/// assert_eq!(setup.irs.shards, 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CollectionSetupBuilder {
+    setup: CollectionSetup,
+}
+
+impl CollectionSetupBuilder {
+    /// How `getText` extracts an object's text.
+    pub fn text_mode(mut self, mode: TextMode) -> Self {
+        self.setup.text_mode = mode;
+        self
+    }
+
+    /// Derivation scheme for unrepresented objects.
+    pub fn derivation(mut self, scheme: DerivationScheme) -> Self {
+        self.setup.derivation = scheme;
+        self
+    }
+
+    /// Capacity of the IRS-result buffer (`0` keeps the default).
+    pub fn buffer_capacity(mut self, cap: usize) -> Self {
+        self.setup.buffer_capacity = cap;
+        self
+    }
+
+    /// Rank at most `k` IRS documents per query (pruned top-k engine).
+    pub fn result_limit(mut self, k: usize) -> Self {
+        self.setup.result_limit = Some(k);
+        self
+    }
+
+    /// Number of IRS index shards (`0` = one per available CPU).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.setup.irs.shards = shards;
+        self
+    }
+
+    /// Full IRS-side configuration (analysis pipeline + retrieval
+    /// model). Overwrites any earlier [`CollectionSetupBuilder::shards`].
+    pub fn irs(mut self, config: CollectionConfig) -> Self {
+        self.setup.irs = config;
+        self
+    }
+
+    /// Retry/backoff policy applied to every IRS call.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.setup.retry = policy;
+        self
+    }
+
+    /// Circuit-breaker configuration for the IRS.
+    pub fn breaker(mut self, config: BreakerConfig) -> Self {
+        self.setup.breaker = config;
+        self
+    }
+
+    /// Finish: the configured [`CollectionSetup`].
+    pub fn build(self) -> CollectionSetup {
+        self.setup
+    }
 }
 
 /// Work counters of the coupling layer (consumed by E4/E7).

@@ -1,9 +1,68 @@
 //! Error type spanning both coupled systems.
+//!
+//! Every fallible operation in the workspace surfaces as one
+//! [`CouplingError`] (aliased [`Error`]), converted `From` the per-crate
+//! error types. Callers that need to *act* on a failure — a serving
+//! layer mapping errors onto responses, a client deciding whether to
+//! retry — should branch on [`CouplingError::kind`] rather than matching
+//! variants or string-matching messages: [`ErrorKind`] is the stable,
+//! coarse classification; the variants underneath may grow.
 
 use std::fmt;
+use std::time::Duration;
 
 /// Convenient alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, CouplingError>;
+
+/// Alias for [`CouplingError`] — the unified error type of the coupled
+/// system (`coupling::Error` reads naturally at call sites that
+/// `use coupling::prelude::*`).
+pub type Error = CouplingError;
+
+/// Stable, coarse classification of a [`CouplingError`].
+///
+/// The serving layer maps errors to responses by kind; tests assert on
+/// kinds. New error variants may be added at any time, but each maps to
+/// one of these kinds (with [`ErrorKind::Other`] as the catch-all), so
+/// matching on `kind()` stays exhaustive and future-proof.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ErrorKind {
+    /// A named thing (collection, document, class, object, method) does
+    /// not exist.
+    NotFound,
+    /// The request was rejected by admission control — a bounded queue
+    /// was full, or the server is shutting down. Retrying later (with
+    /// backoff) is reasonable.
+    Overloaded,
+    /// A per-request deadline expired before the request was served.
+    Timeout,
+    /// The IRS is unavailable (outage, injected fault, open circuit
+    /// breaker) and retries/stale fallback could not mask it.
+    IrsDown,
+    /// An underlying I/O failure (persistence, journal, corrupt files).
+    Io,
+    /// Query or document text failed to parse, or a specification was
+    /// malformed.
+    Parse,
+    /// Everything else (duplicate names, misuse of an API, …).
+    Other,
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ErrorKind::NotFound => "not-found",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::Timeout => "timeout",
+            ErrorKind::IrsDown => "irs-down",
+            ErrorKind::Io => "io",
+            ErrorKind::Parse => "parse",
+            ErrorKind::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
 
 /// Errors raised by the coupling.
 #[derive(Debug)]
@@ -23,6 +82,13 @@ pub enum CouplingError {
     /// A configuration cannot be serialised (e.g. a custom `getText`
     /// closure).
     NotPersistable(String),
+    /// A bounded request queue was full; carries the queue capacity.
+    Overloaded(usize),
+    /// The server is shutting down and no longer accepts requests.
+    ShuttingDown,
+    /// A per-request deadline expired; carries how long the request had
+    /// waited when the deadline was enforced.
+    Timeout(Duration),
 }
 
 impl CouplingError {
@@ -31,6 +97,37 @@ impl CouplingError {
     /// [`irs::IrsError::is_transient`]).
     pub fn is_transient(&self) -> bool {
         matches!(self, CouplingError::Irs(e) if e.is_transient())
+    }
+
+    /// The stable classification of this error (see [`ErrorKind`]).
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            CouplingError::Irs(e) => match e {
+                irs::IrsError::Unavailable(_) => ErrorKind::IrsDown,
+                irs::IrsError::QueryParse { .. } => ErrorKind::Parse,
+                irs::IrsError::UnknownDocument(_) => ErrorKind::NotFound,
+                irs::IrsError::DuplicateDocument(_) => ErrorKind::Other,
+                irs::IrsError::CorruptIndex(_) | irs::IrsError::Io(_) => ErrorKind::Io,
+            },
+            CouplingError::Db(e) => match e {
+                oodb::DbError::UnknownClass(_)
+                | oodb::DbError::UnknownObject(_)
+                | oodb::DbError::UnknownMethod(_) => ErrorKind::NotFound,
+                oodb::DbError::QueryParse { .. } => ErrorKind::Parse,
+                oodb::DbError::Corrupt(_) | oodb::DbError::Io(_) => ErrorKind::Io,
+                // getIRSValue failures inside query evaluation surface as
+                // QueryEval with the IRS message embedded; without
+                // structure we classify them conservatively.
+                _ => ErrorKind::Other,
+            },
+            CouplingError::Sgml(_) => ErrorKind::Parse,
+            CouplingError::UnknownCollection(_) => ErrorKind::NotFound,
+            CouplingError::DuplicateCollection(_) => ErrorKind::Other,
+            CouplingError::BadSpecQuery(_) => ErrorKind::Parse,
+            CouplingError::NotPersistable(_) => ErrorKind::Other,
+            CouplingError::Overloaded(_) | CouplingError::ShuttingDown => ErrorKind::Overloaded,
+            CouplingError::Timeout(_) => ErrorKind::Timeout,
+        }
     }
 }
 
@@ -45,6 +142,13 @@ impl fmt::Display for CouplingError {
             CouplingError::BadSpecQuery(why) => write!(f, "bad specification query: {why}"),
             CouplingError::NotPersistable(what) => {
                 write!(f, "configuration cannot be persisted: {what}")
+            }
+            CouplingError::Overloaded(cap) => {
+                write!(f, "overloaded: request queue at capacity {cap}")
+            }
+            CouplingError::ShuttingDown => write!(f, "server is shutting down"),
+            CouplingError::Timeout(waited) => {
+                write!(f, "request deadline expired after {waited:?}")
             }
         }
     }
@@ -79,6 +183,12 @@ impl From<sgml::SgmlError> for CouplingError {
     }
 }
 
+impl From<std::io::Error> for CouplingError {
+    fn from(e: std::io::Error) -> Self {
+        CouplingError::Irs(irs::IrsError::Io(e))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,5 +203,57 @@ mod tests {
         let e = CouplingError::UnknownCollection("coll".into());
         assert!(e.to_string().contains("coll"));
         assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn kinds_classify_stably() {
+        assert_eq!(
+            CouplingError::UnknownCollection("c".into()).kind(),
+            ErrorKind::NotFound
+        );
+        assert_eq!(
+            CouplingError::from(irs::IrsError::Unavailable("down".into())).kind(),
+            ErrorKind::IrsDown
+        );
+        assert_eq!(
+            CouplingError::from(irs::IrsError::QueryParse {
+                reason: "bad".into(),
+                offset: 0
+            })
+            .kind(),
+            ErrorKind::Parse
+        );
+        assert_eq!(
+            CouplingError::from(oodb::DbError::UnknownObject(oodb::Oid(1))).kind(),
+            ErrorKind::NotFound
+        );
+        assert_eq!(
+            CouplingError::from(std::io::Error::other("disk")).kind(),
+            ErrorKind::Io
+        );
+        assert_eq!(CouplingError::Overloaded(8).kind(), ErrorKind::Overloaded);
+        assert_eq!(CouplingError::ShuttingDown.kind(), ErrorKind::Overloaded);
+        assert_eq!(
+            CouplingError::Timeout(Duration::from_millis(5)).kind(),
+            ErrorKind::Timeout
+        );
+        assert_eq!(
+            CouplingError::BadSpecQuery("strings".into()).kind(),
+            ErrorKind::Parse
+        );
+        assert_eq!(
+            CouplingError::DuplicateCollection("c".into()).kind(),
+            ErrorKind::Other
+        );
+    }
+
+    #[test]
+    fn overload_and_timeout_display() {
+        assert!(CouplingError::Overloaded(64).to_string().contains("64"));
+        assert!(CouplingError::Timeout(Duration::from_millis(3))
+            .to_string()
+            .contains("deadline"));
+        assert!(CouplingError::ShuttingDown.to_string().contains("shut"));
+        assert_eq!(ErrorKind::IrsDown.to_string(), "irs-down");
     }
 }

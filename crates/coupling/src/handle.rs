@@ -1,0 +1,223 @@
+//! Handle-based collection access.
+//!
+//! [`DocumentSystem::collection`] and [`DocumentSystem::collection_mut`]
+//! return RAII handles ([`CollectionRef`], [`CollectionMut`]) that deref
+//! to [`Collection`], replacing the older closure-passing accessors
+//! (`read_collection` / `with_collection` / `with_collection_and_db`).
+//! A handle pins the collection registry for its lifetime — a shared
+//! handle under the registry's read lock (any number of concurrent
+//! holders; queries keep running), an exclusive handle under the write
+//! lock (one holder; registered collections are briefly unavailable to
+//! new queries).
+//!
+//! Both handles also expose the underlying [`Database`] via
+//! [`CollectionRef::db`] / [`CollectionMut::db`], so call sites that
+//! need database *and* collection — mixed queries, update propagation —
+//! borrow both from one handle:
+//!
+//! ```
+//! use coupling::prelude::*;
+//!
+//! let mut sys = DocumentSystem::new();
+//! sys.load_sgml("<MMFDOC><PARA>telnet remote login</PARA></MMFDOC>").unwrap();
+//! sys.create_collection("collPara", CollectionSetup::default()).unwrap();
+//! sys.index_collection("collPara", "ACCESS p FROM p IN PARA").unwrap();
+//!
+//! let coll = sys.collection("collPara").unwrap();
+//! assert_eq!(coll.get_irs_result("telnet").unwrap().len(), 1);
+//! ```
+//!
+//! **Do not hold a handle across a call back into the same
+//! [`DocumentSystem`]** (e.g. [`DocumentSystem::query`] while holding a
+//! [`CollectionMut`]): queries acquire the registry read lock internally
+//! and would deadlock against your write handle. Drop the handle first.
+
+use std::collections::HashMap;
+use std::ops::{Deref, DerefMut};
+
+use parking_lot::{RwLockReadGuard, RwLockWriteGuard};
+
+use oodb::Database;
+
+use crate::collection::Collection;
+use crate::error::{CouplingError, Result};
+use crate::system::DocumentSystem;
+
+/// Shared (read) handle to one registered collection.
+///
+/// Derefs to [`Collection`]; holds the registry read lock, so any number
+/// of `CollectionRef`s — and concurrent queries — coexist.
+pub struct CollectionRef<'a> {
+    db: &'a Database,
+    guard: RwLockReadGuard<'a, HashMap<String, Collection>>,
+    name: String,
+}
+
+impl<'a> CollectionRef<'a> {
+    /// The underlying database. The returned reference is independent of
+    /// the handle borrow, so `coll.some_query(coll.db())` type call
+    /// shapes work without borrow gymnastics.
+    pub fn db(&self) -> &'a Database {
+        self.db
+    }
+}
+
+impl Deref for CollectionRef<'_> {
+    type Target = Collection;
+
+    fn deref(&self) -> &Collection {
+        self.guard
+            .get(&self.name)
+            .expect("existence verified at handle construction")
+    }
+}
+
+impl std::fmt::Debug for CollectionRef<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CollectionRef")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+/// Exclusive (write) handle to one registered collection.
+///
+/// Derefs mutably to [`Collection`]; holds the registry write lock, so
+/// it is exclusive against every other handle *and* against queries.
+pub struct CollectionMut<'a> {
+    db: &'a Database,
+    guard: RwLockWriteGuard<'a, HashMap<String, Collection>>,
+    name: String,
+}
+
+impl<'a> CollectionMut<'a> {
+    /// The underlying database (shared — the registry lock does not
+    /// guard the database, whose mutation goes through `&mut
+    /// DocumentSystem`). Independent of the handle borrow, so
+    /// `coll.index_objects(coll.db(), spec)` compiles.
+    pub fn db(&self) -> &'a Database {
+        self.db
+    }
+}
+
+impl Deref for CollectionMut<'_> {
+    type Target = Collection;
+
+    fn deref(&self) -> &Collection {
+        self.guard
+            .get(&self.name)
+            .expect("existence verified at handle construction")
+    }
+}
+
+impl DerefMut for CollectionMut<'_> {
+    fn deref_mut(&mut self) -> &mut Collection {
+        self.guard
+            .get_mut(&self.name)
+            .expect("existence verified at handle construction")
+    }
+}
+
+impl std::fmt::Debug for CollectionMut<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CollectionMut")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+impl DocumentSystem {
+    /// A shared handle to collection `name`. Takes the registry read
+    /// lock for the handle's lifetime; queries continue concurrently.
+    pub fn collection(&self, name: &str) -> Result<CollectionRef<'_>> {
+        let guard = self.registry().read();
+        if !guard.contains_key(name) {
+            return Err(CouplingError::UnknownCollection(name.to_string()));
+        }
+        Ok(CollectionRef {
+            db: self.db(),
+            guard,
+            name: name.to_string(),
+        })
+    }
+
+    /// An exclusive handle to collection `name`. Takes the registry
+    /// write lock for the handle's lifetime.
+    pub fn collection_mut(&self, name: &str) -> Result<CollectionMut<'_>> {
+        let guard = self.registry().write();
+        if !guard.contains_key(name) {
+            return Err(CouplingError::UnknownCollection(name.to_string()));
+        }
+        Ok(CollectionMut {
+            db: self.db(),
+            guard,
+            name: name.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection::CollectionSetup;
+
+    fn loaded_system() -> DocumentSystem {
+        let mut sys = DocumentSystem::new();
+        sys.load_sgml(
+            "<MMFDOC><DOCTITLE>Telnet</DOCTITLE><PARA>telnet is a protocol</PARA>\
+             <PARA>telnet enables remote login</PARA></MMFDOC>",
+        )
+        .unwrap();
+        sys.create_collection("collPara", CollectionSetup::default())
+            .unwrap();
+        sys.index_collection("collPara", "ACCESS p FROM p IN PARA")
+            .unwrap();
+        sys
+    }
+
+    #[test]
+    fn shared_handles_coexist_and_query() {
+        let sys = loaded_system();
+        let a = sys.collection("collPara").unwrap();
+        let b = sys.collection("collPara").unwrap();
+        assert_eq!(a.get_irs_result("telnet").unwrap().len(), 2);
+        assert_eq!(b.len(), a.len());
+        assert!(format!("{a:?}").contains("collPara"));
+    }
+
+    #[test]
+    fn mut_handle_gives_database_access_alongside() {
+        let sys = loaded_system();
+        let mut coll = sys.collection_mut("collPara").unwrap();
+        let db = coll.db();
+        let n = coll.index_objects(db, "ACCESS p FROM p IN PARA").unwrap();
+        assert_eq!(n, 2);
+        assert!(format!("{coll:?}").contains("collPara"));
+    }
+
+    #[test]
+    fn unknown_names_error_with_not_found_kind() {
+        let sys = loaded_system();
+        let err = sys.collection("ghost").unwrap_err();
+        assert_eq!(err.kind(), crate::ErrorKind::NotFound);
+        let err = sys.collection_mut("ghost").unwrap_err();
+        assert_eq!(err.kind(), crate::ErrorKind::NotFound);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_closure_shims_still_work() {
+        let sys = loaded_system();
+        let n = sys.read_collection("collPara", |c| c.len()).unwrap();
+        assert_eq!(n, 2);
+        let n = sys.with_collection("collPara", |c| c.len()).unwrap();
+        assert_eq!(n, 2);
+        let n = sys
+            .with_collection_and_db("collPara", |db, coll| {
+                coll.index_objects(db, "ACCESS p FROM p IN PARA")
+            })
+            .unwrap()
+            .unwrap();
+        assert_eq!(n, 2);
+    }
+}

@@ -55,24 +55,53 @@ pub mod collection;
 pub mod derive;
 pub mod error;
 pub mod granularity;
+pub mod handle;
 pub mod journal;
 pub mod mixed;
 pub mod ops;
 pub mod persist;
 pub mod propagate;
 pub mod retry;
+pub mod shared;
 pub mod system;
 pub mod textmode;
 
 pub use buffer::ResultBuffer;
-pub use collection::{Collection, CollectionSetup, CouplingStats, FaultStats, ResultOrigin};
+pub use collection::{
+    Collection, CollectionSetup, CollectionSetupBuilder, CouplingStats, FaultStats, ResultOrigin,
+};
 pub use derive::DerivationScheme;
-pub use error::{CouplingError, Result};
+pub use error::{CouplingError, Error, ErrorKind, Result};
 pub use granularity::GranularityPolicy;
+pub use handle::{CollectionMut, CollectionRef};
 pub use journal::{Journal, SyncPolicy};
-pub use mixed::{MixedOutcome, MixedStrategy};
+pub use mixed::{evaluate_mixed, MixedOutcome, MixedStrategy};
 pub use persist::{journal_path, open_system, save_system};
 pub use propagate::{PendingOp, PropagationStrategy, Propagator};
 pub use retry::{BreakerConfig, BreakerStats, CircuitBreaker, RetryPolicy, RetryStats};
+pub use shared::SharedSystem;
 pub use system::DocumentSystem;
 pub use textmode::TextMode;
+
+/// One-stop import for applications: `use coupling::prelude::*;` brings
+/// in every public entry-point type — the system, the collection
+/// configuration (builder included), handles, evaluation strategies,
+/// persistence entry points, and the unified error types.
+pub mod prelude {
+    pub use crate::collection::{
+        Collection, CollectionSetup, CollectionSetupBuilder, CouplingStats, FaultStats,
+        ResultOrigin,
+    };
+    pub use crate::derive::DerivationScheme;
+    pub use crate::error::{CouplingError, Error, ErrorKind, Result};
+    pub use crate::granularity::GranularityPolicy;
+    pub use crate::handle::{CollectionMut, CollectionRef};
+    pub use crate::journal::SyncPolicy;
+    pub use crate::mixed::{evaluate_mixed, MixedOutcome, MixedStrategy};
+    pub use crate::persist::{journal_path, open_system, save_system};
+    pub use crate::propagate::{PendingOp, PropagationStrategy, Propagator};
+    pub use crate::retry::{BreakerConfig, RetryPolicy};
+    pub use crate::shared::SharedSystem;
+    pub use crate::system::DocumentSystem;
+    pub use crate::textmode::TextMode;
+}

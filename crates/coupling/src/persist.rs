@@ -166,23 +166,21 @@ pub fn save_system(sys: &mut DocumentSystem, dir: &Path) -> Result<()> {
     sys.persist_db_to(&dir.join("db"))?;
 
     for name in sys.collection_names() {
-        sys.with_collection(&name, |coll| -> Result<()> {
-            let segments = match coll.segment_config() {
-                Some((w, st)) => format!("segments {w} {st}"),
-                None => "segments none".to_string(),
-            };
-            let meta = format!(
-                "{META_VERSION}\n{}\n{}\n{}\n{segments}\n",
-                mode_to_meta(coll.text_mode())?,
-                derivation_to_meta(coll.derivation()),
-                coll.spec_query().map(escape_line).unwrap_or_default(),
-            );
-            irs::persist::atomic_write(&coll_dir.join(format!("{name}.meta")), meta.as_bytes())
-                .map_err(CouplingError::Irs)?;
-            irs::persist::save_collection(coll.irs(), &coll_dir.join(format!("{name}.idx")))?;
-            coll.buffer().save(&coll_dir.join(format!("{name}.buf")))?;
-            Ok(())
-        })??;
+        let coll = sys.collection(&name)?;
+        let segments = match coll.segment_config() {
+            Some((w, st)) => format!("segments {w} {st}"),
+            None => "segments none".to_string(),
+        };
+        let meta = format!(
+            "{META_VERSION}\n{}\n{}\n{}\n{segments}\n",
+            mode_to_meta(coll.text_mode())?,
+            derivation_to_meta(coll.derivation()),
+            coll.spec_query().map(escape_line).unwrap_or_default(),
+        );
+        irs::persist::atomic_write(&coll_dir.join(format!("{name}.meta")), meta.as_bytes())
+            .map_err(CouplingError::Irs)?;
+        irs::persist::save_collection(coll.irs(), &coll_dir.join(format!("{name}.idx")))?;
+        coll.buffer().save(&coll_dir.join(format!("{name}.buf")))?;
     }
     Ok(())
 }
@@ -319,11 +317,11 @@ mod tests {
             .unwrap();
         sys.index_collection("collPara", "ACCESS p FROM p IN PARA")
             .unwrap();
-        sys.with_collection("collPara", |c| {
+        {
+            let mut c = sys.collection_mut("collPara").unwrap();
             c.set_derivation(DerivationScheme::SubqueryAware);
             c.get_irs_result("telnet").unwrap();
-        })
-        .unwrap();
+        }
         sys
     }
 
@@ -349,19 +347,9 @@ mod tests {
             .query("ACCESS d FROM d IN MMFDOC WHERE d -> getIRSValue(collPara, 'telnet') > 0.4")
             .unwrap();
         assert_eq!(docs.len(), 1);
-        assert_eq!(
-            reopened
-                .with_collection("collPara", |c| c.derivation().clone())
-                .unwrap(),
-            DerivationScheme::SubqueryAware
-        );
-        assert_eq!(
-            reopened
-                .with_collection("collPara", |c| c.spec_query().map(str::to_string))
-                .unwrap()
-                .as_deref(),
-            Some("ACCESS p FROM p IN PARA")
-        );
+        let coll = reopened.collection("collPara").unwrap();
+        assert_eq!(coll.derivation().clone(), DerivationScheme::SubqueryAware);
+        assert_eq!(coll.spec_query(), Some("ACCESS p FROM p IN PARA"));
     }
 
     #[test]
@@ -372,12 +360,11 @@ mod tests {
         let reopened = open_system(&dir).unwrap();
         // The telnet result was buffered before saving; the reopened
         // collection answers it without touching the IRS.
-        let calls = reopened
-            .with_collection("collPara", |c| {
-                c.get_irs_result("telnet").unwrap();
-                c.stats().irs_calls
-            })
-            .unwrap();
+        let calls = {
+            let c = reopened.collection("collPara").unwrap();
+            c.get_irs_result("telnet").unwrap();
+            c.stats().irs_calls
+        };
         assert_eq!(calls, 0, "buffered result survived the restart");
     }
 
@@ -424,15 +411,21 @@ mod tests {
         // Reopen: the journal replays and the pending op is applied.
         let reopened = open_system(&dir).unwrap();
         let hits = reopened
-            .with_collection("collPara", |c| c.get_irs_result("zeppelin").unwrap().len())
-            .unwrap();
+            .collection("collPara")
+            .unwrap()
+            .get_irs_result("zeppelin")
+            .unwrap()
+            .len();
         assert_eq!(hits, 1, "journaled update visible after recovery");
         // The journal was cleared by the successful flush: a second open
         // has nothing to replay.
         let again = open_system(&dir).unwrap();
         let hits = again
-            .with_collection("collPara", |c| c.get_irs_result("zeppelin").unwrap().len())
-            .unwrap();
+            .collection("collPara")
+            .unwrap()
+            .get_irs_result("zeppelin")
+            .unwrap()
+            .len();
         assert_eq!(hits, 1);
     }
 

@@ -1,0 +1,125 @@
+//! A cloneable, thread-safe handle to one [`DocumentSystem`].
+//!
+//! [`SharedSystem`] is the shared-state handle the serving layer (the
+//! `serve` crate) and any other multi-threaded front-end build on: it
+//! wraps the system in an `Arc<RwLock<…>>` so readers (queries, IRS
+//! lookups, mixed evaluation) proceed concurrently under the read lock
+//! while writers (document loads, text updates, `indexObjects`)
+//! serialise under the write lock. This mirrors the system's internal
+//! discipline — the query path is `&self` end-to-end — and extends it
+//! across the `&mut self` mutation API.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::system::DocumentSystem;
+
+/// Cloneable handle to a shared [`DocumentSystem`].
+#[derive(Clone)]
+pub struct SharedSystem {
+    inner: Arc<RwLock<DocumentSystem>>,
+}
+
+impl SharedSystem {
+    /// Wrap `sys` for shared multi-threaded access.
+    pub fn new(sys: DocumentSystem) -> Self {
+        SharedSystem {
+            inner: Arc::new(RwLock::new(sys)),
+        }
+    }
+
+    /// Run `f` with shared (read) access. Any number of threads may be
+    /// inside `read` at once; queries and collection reads are safe here.
+    pub fn read<R>(&self, f: impl FnOnce(&DocumentSystem) -> R) -> R {
+        f(&self.inner.read())
+    }
+
+    /// Run `f` with exclusive (write) access. Used by the single writer
+    /// lane of a server; excludes all readers for the duration.
+    pub fn write<R>(&self, f: impl FnOnce(&mut DocumentSystem) -> R) -> R {
+        f(&mut self.inner.write())
+    }
+
+    /// Recover the owned system if this is the last handle; otherwise
+    /// returns `self` back. Used after server shutdown to hand the
+    /// system back to single-threaded code.
+    pub fn try_into_inner(self) -> Result<DocumentSystem, SharedSystem> {
+        match Arc::try_unwrap(self.inner) {
+            Ok(lock) => Ok(lock.into_inner()),
+            Err(inner) => Err(SharedSystem { inner }),
+        }
+    }
+}
+
+impl std::fmt::Debug for SharedSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedSystem")
+            .field("handles", &Arc::strong_count(&self.inner))
+            .finish()
+    }
+}
+
+impl From<DocumentSystem> for SharedSystem {
+    fn from(sys: DocumentSystem) -> Self {
+        SharedSystem::new(sys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection::CollectionSetup;
+
+    #[test]
+    fn concurrent_readers_one_writer() {
+        let mut sys = DocumentSystem::new();
+        sys.load_sgml("<MMFDOC><PARA>telnet login</PARA></MMFDOC>")
+            .unwrap();
+        sys.create_collection("c", CollectionSetup::default())
+            .unwrap();
+        sys.index_collection("c", "ACCESS p FROM p IN PARA")
+            .unwrap();
+        let shared = SharedSystem::new(sys);
+
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let shared = shared.clone();
+                scope.spawn(move || {
+                    for _ in 0..20 {
+                        let n = shared.read(|sys| {
+                            sys.collection("c")
+                                .unwrap()
+                                .get_irs_result("telnet")
+                                .unwrap()
+                                .len()
+                        });
+                        assert_eq!(n, 1);
+                    }
+                });
+            }
+            let w = shared.clone();
+            scope.spawn(move || {
+                for _ in 0..5 {
+                    w.write(|sys| {
+                        sys.load_sgml("<MMFDOC><PARA>www pages</PARA></MMFDOC>")
+                            .unwrap();
+                    });
+                }
+            });
+        });
+
+        let sys = shared.try_into_inner().expect("last handle");
+        assert_eq!(sys.collection("c").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn try_into_inner_fails_while_cloned() {
+        let shared = SharedSystem::new(DocumentSystem::new());
+        let other = shared.clone();
+        let shared = shared.try_into_inner().unwrap_err();
+        assert!(format!("{shared:?}").contains("handles"));
+        drop(other);
+        assert!(shared.try_into_inner().is_ok());
+    }
+}

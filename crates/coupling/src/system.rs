@@ -184,15 +184,17 @@ impl DocumentSystem {
             .set_attr(&mut txn, oid, "text", Value::from(new_text))?;
         self.db.commit(txn)?;
         for (name, propagator) in targets.iter_mut() {
-            self.with_collection_and_db(name, |db, coll| -> Result<()> {
-                let ctx = db.method_ctx();
-                // Subtree text modes embed descendants' text, so every
-                // represented ancestor is stale too — record them all.
-                for affected in coll.affected_by_text_change(&ctx, oid) {
-                    propagator.record(&ctx, coll, crate::propagate::PendingOp::Modify(affected))?;
-                }
-                Ok(())
-            })??;
+            let mut coll = self.collection_mut(name)?;
+            let ctx = coll.db().method_ctx();
+            // Subtree text modes embed descendants' text, so every
+            // represented ancestor is stale too — record them all.
+            for affected in coll.affected_by_text_change(&ctx, oid) {
+                propagator.record(
+                    &ctx,
+                    &mut coll,
+                    crate::propagate::PendingOp::Modify(affected),
+                )?;
+            }
         }
         Ok(())
     }
@@ -286,42 +288,50 @@ impl DocumentSystem {
         policy.apply(&self.db, coll)
     }
 
-    /// Run `f` with shared (read) access to a collection. Queries and
-    /// buffer lookups only need `&Collection`, so many threads can hold
-    /// this concurrently.
+    /// The shared collection registry (handle construction lives in
+    /// [`crate::handle`]).
+    pub(crate) fn registry(&self) -> &Registry {
+        &self.collections
+    }
+
+    /// Run `f` with shared (read) access to a collection.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `sys.collection(name)?` — the handle derefs to `&Collection`"
+    )]
     pub fn read_collection<R>(&self, name: &str, f: impl FnOnce(&Collection) -> R) -> Result<R> {
-        let colls = self.collections.read();
-        let coll = colls
-            .get(name)
-            .ok_or_else(|| CouplingError::UnknownCollection(name.to_string()))?;
-        Ok(f(coll))
+        let coll = self.collection(name)?;
+        Ok(f(&coll))
     }
 
     /// Run `f` with mutable access to a collection.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `sys.collection_mut(name)?` — the handle derefs to `&mut Collection`"
+    )]
     pub fn with_collection<R>(
         &self,
         name: &str,
         f: impl FnOnce(&mut Collection) -> R,
     ) -> Result<R> {
-        let mut colls = self.collections.write();
-        let coll = colls
-            .get_mut(name)
-            .ok_or_else(|| CouplingError::UnknownCollection(name.to_string()))?;
-        Ok(f(coll))
+        let mut coll = self.collection_mut(name)?;
+        Ok(f(&mut coll))
     }
 
     /// Run `f` with mutable access to a collection *and* the database —
     /// for call sites that need both (mixed queries, propagation).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `sys.collection_mut(name)?` — the handle carries the database via `.db()`"
+    )]
     pub fn with_collection_and_db<R>(
         &self,
         name: &str,
         f: impl FnOnce(&Database, &mut Collection) -> R,
     ) -> Result<R> {
-        let mut colls = self.collections.write();
-        let coll = colls
-            .get_mut(name)
-            .ok_or_else(|| CouplingError::UnknownCollection(name.to_string()))?;
-        Ok(f(&self.db, coll))
+        let mut coll = self.collection_mut(name)?;
+        let db = coll.db();
+        Ok(f(db, &mut coll))
     }
 
     /// Names of registered collections, sorted.
@@ -441,9 +451,7 @@ mod tests {
             )
             .unwrap();
         assert_eq!(rows.len(), 1, "only the Telnet issue derives high");
-        let derivations = sys
-            .with_collection("collPara", |c| c.stats().derivations)
-            .unwrap();
+        let derivations = sys.collection("collPara").unwrap().stats().derivations;
         assert!(derivations >= 2, "each document derived");
     }
 
@@ -472,7 +480,7 @@ mod tests {
             Err(CouplingError::UnknownCollection(_))
         ));
         assert!(matches!(
-            sys.with_collection("nope", |_| ()),
+            sys.collection_mut("nope"),
             Err(CouplingError::UnknownCollection(_))
         ));
     }
@@ -552,15 +560,21 @@ mod tests {
             "paragraph + enclosing document"
         );
         let visible_in_all = sys
-            .with_collection("collAll", |c| c.get_irs_result("gopher").unwrap().len())
-            .unwrap();
+            .collection("collAll")
+            .unwrap()
+            .get_irs_result("gopher")
+            .unwrap()
+            .len();
         assert_eq!(
             visible_in_all, 2,
             "eager collection sees the change in the paragraph and its document"
         );
         let visible_in_para = sys
-            .with_collection("collPara", |c| c.get_irs_result("gopher").unwrap().len())
-            .unwrap();
+            .collection("collPara")
+            .unwrap()
+            .get_irs_result("gopher")
+            .unwrap()
+            .len();
         assert_eq!(visible_in_para, 0, "deferred collection does not, yet");
         // Unknown collection surfaces cleanly.
         assert!(matches!(

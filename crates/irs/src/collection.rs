@@ -12,6 +12,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use crate::analysis::{Analyzer, AnalyzerConfig};
 use crate::error::Result;
@@ -70,6 +71,21 @@ pub struct CollectionStatistics {
     pub queries: u64,
     /// Merges performed.
     pub merges: u64,
+    /// Cumulative wall-clock nanoseconds spent evaluating queries
+    /// (`search` / `search_top_k`) — the serving layer's hook for
+    /// average-IRS-latency metrics.
+    pub query_nanos: u64,
+}
+
+impl CollectionStatistics {
+    /// Mean query evaluation time in microseconds (0 with no queries).
+    pub fn mean_query_us(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.query_nanos as f64 / self.queries as f64 / 1_000.0
+        }
+    }
 }
 
 /// Lock-free work counters: queries are counted from `&self` so searches
@@ -81,11 +97,18 @@ struct WorkCounters {
     deletes: AtomicU64,
     queries: AtomicU64,
     merges: AtomicU64,
+    query_nanos: AtomicU64,
 }
 
 impl WorkCounters {
     fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Charge the elapsed time since `started` to query evaluation.
+    fn time_query(&self, started: Instant) {
+        self.query_nanos
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
 
     fn snapshot(&self) -> CollectionStatistics {
@@ -94,6 +117,7 @@ impl WorkCounters {
             deletes: self.deletes.load(Ordering::Relaxed),
             queries: self.queries.load(Ordering::Relaxed),
             merges: self.merges.load(Ordering::Relaxed),
+            query_nanos: self.query_nanos.load(Ordering::Relaxed),
         }
     }
 }
@@ -106,6 +130,7 @@ impl Clone for WorkCounters {
             deletes: AtomicU64::new(s.deletes),
             queries: AtomicU64::new(s.queries),
             merges: AtomicU64::new(s.merges),
+            query_nanos: AtomicU64::new(s.query_nanos),
         }
     }
 }
@@ -265,7 +290,10 @@ impl IrsCollection {
     pub fn search(&self, query: &str) -> Result<Vec<Hit>> {
         self.check_fault()?;
         let node = parse_query(query)?;
-        Ok(self.search_node(&node))
+        let started = Instant::now();
+        let hits = self.search_node(&node);
+        self.stats.time_query(started);
+        Ok(hits)
     }
 
     /// Parse and evaluate `query`, returning only the `k` best hits — the
@@ -282,16 +310,19 @@ impl IrsCollection {
         self.check_fault()?;
         let node = parse_query(query)?;
         WorkCounters::bump(&self.stats.queries);
+        let started = Instant::now();
         let reader = self.index.reader();
         let model = self.config.model.as_model();
         if let Some(ranked) = evaluate_top_k(&reader, model, &node, k) {
-            return Ok(ranked
+            let hits = ranked
                 .into_iter()
                 .map(|(doc, score)| Hit {
                     key: reader.doc_entry(doc).key.clone(),
                     score,
                 })
-                .collect());
+                .collect();
+            self.stats.time_query(started);
+            return Ok(hits);
         }
         let scores = evaluate(&reader, model, &node);
         let mut hits: Vec<Hit> = scores
@@ -308,6 +339,7 @@ impl IrsCollection {
             hits.truncate(k);
         }
         hits.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.key.cmp(&b.key)));
+        self.stats.time_query(started);
         Ok(hits)
     }
 

@@ -1,0 +1,220 @@
+//! Per-request observability for the serving layer.
+//!
+//! Counters are lock-free atomics bumped on the request path; the
+//! latency distribution is a fixed array of power-of-two microsecond
+//! buckets, so recording is one `fetch_add` and percentile estimates
+//! need no sorting. [`Metrics::snapshot`] turns the live counters into
+//! an immutable [`MetricsSnapshot`] for reporting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use coupling::ResultOrigin;
+
+/// Number of log2 latency buckets: bucket `i` holds requests whose
+/// total latency (queue wait + execution) fell in `[2^i, 2^(i+1))`
+/// microseconds. 40 buckets cover up to ~2^40 µs ≈ 12 days.
+const BUCKETS: usize = 40;
+
+/// Live counters of one [`crate::Server`]. Shared by all worker
+/// threads; every field is updated with relaxed atomics.
+#[derive(Debug)]
+pub struct Metrics {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    rejected_overload: AtomicU64,
+    rejected_shutdown: AtomicU64,
+    deadline_timeouts: AtomicU64,
+    origin_fresh: AtomicU64,
+    origin_buffered: AtomicU64,
+    origin_stale: AtomicU64,
+    latency_buckets: [AtomicU64; BUCKETS],
+    latency_max_us: AtomicU64,
+    latency_sum_us: AtomicU64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            rejected_overload: AtomicU64::new(0),
+            rejected_shutdown: AtomicU64::new(0),
+            deadline_timeouts: AtomicU64::new(0),
+            origin_fresh: AtomicU64::new(0),
+            origin_buffered: AtomicU64::new(0),
+            origin_stale: AtomicU64::new(0),
+            latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            latency_max_us: AtomicU64::new(0),
+            latency_sum_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Metrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    pub(crate) fn request_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn request_rejected_overload(&self) {
+        self.rejected_overload.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn request_rejected_shutdown(&self) {
+        self.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn request_timed_out(&self) {
+        self.deadline_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn request_failed(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn request_completed(&self, latency: Duration, origin: Option<ResultOrigin>) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        match origin {
+            Some(ResultOrigin::Fresh) => self.origin_fresh.fetch_add(1, Ordering::Relaxed),
+            Some(ResultOrigin::Buffered) => self.origin_buffered.fetch_add(1, Ordering::Relaxed),
+            Some(ResultOrigin::Stale) => self.origin_stale.fetch_add(1, Ordering::Relaxed),
+            None => 0,
+        };
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let bucket = (63 - us.max(1).leading_zeros() as usize).min(BUCKETS - 1);
+        self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
+        self.latency_max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Immutable snapshot of everything counted so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let buckets: Vec<u64> = self
+            .latency_buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let completed = self.completed.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed,
+            failed: self.failed.load(Ordering::Relaxed),
+            rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
+            rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
+            deadline_timeouts: self.deadline_timeouts.load(Ordering::Relaxed),
+            origin_fresh: self.origin_fresh.load(Ordering::Relaxed),
+            origin_buffered: self.origin_buffered.load(Ordering::Relaxed),
+            origin_stale: self.origin_stale.load(Ordering::Relaxed),
+            p50_us: percentile(&buckets, completed, 0.50),
+            p90_us: percentile(&buckets, completed, 0.90),
+            p99_us: percentile(&buckets, completed, 0.99),
+            max_us: self.latency_max_us.load(Ordering::Relaxed),
+            mean_us: if completed == 0 {
+                0.0
+            } else {
+                self.latency_sum_us.load(Ordering::Relaxed) as f64 / completed as f64
+            },
+        }
+    }
+}
+
+/// Upper bound (µs) of the bucket containing quantile `q`, i.e. a
+/// conservative percentile estimate with power-of-two resolution.
+fn percentile(buckets: &[u64], total: u64, q: f64) -> u64 {
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((total as f64) * q).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (i, &count) in buckets.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            return 1u64 << (i + 1).min(63);
+        }
+    }
+    1u64 << 63
+}
+
+/// Point-in-time view of a server's counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Requests admitted to a queue.
+    pub submitted: u64,
+    /// Requests that finished with `Ok`.
+    pub completed: u64,
+    /// Requests that finished with `Err` (other than rejection/timeout).
+    pub failed: u64,
+    /// Requests refused at admission because the queue was full.
+    pub rejected_overload: u64,
+    /// Requests refused because the server was shutting down.
+    pub rejected_shutdown: u64,
+    /// Requests dropped because their deadline expired before a worker
+    /// picked them up.
+    pub deadline_timeouts: u64,
+    /// Completed reads answered fresh from the IRS.
+    pub origin_fresh: u64,
+    /// Completed reads answered from the result buffer.
+    pub origin_buffered: u64,
+    /// Completed reads answered from the stale store (IRS down).
+    pub origin_stale: u64,
+    /// Median latency upper bound, microseconds.
+    pub p50_us: u64,
+    /// 90th-percentile latency upper bound, microseconds.
+    pub p90_us: u64,
+    /// 99th-percentile latency upper bound, microseconds.
+    pub p99_us: u64,
+    /// Largest observed latency, microseconds.
+    pub max_us: u64,
+    /// Mean latency, microseconds.
+    pub mean_us: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_percentiles() {
+        let m = Metrics::new();
+        m.request_submitted();
+        m.request_submitted();
+        m.request_completed(Duration::from_micros(3), Some(ResultOrigin::Fresh));
+        m.request_completed(Duration::from_micros(1000), Some(ResultOrigin::Buffered));
+        m.request_rejected_overload();
+        let s = m.snapshot();
+        assert_eq!(s.submitted, 2);
+        assert_eq!(s.completed, 2);
+        assert_eq!(s.rejected_overload, 1);
+        assert_eq!(s.origin_fresh, 1);
+        assert_eq!(s.origin_buffered, 1);
+        // 3 µs falls in [2,4) → upper bound 4; 1000 µs in [512,1024) → 1024.
+        assert_eq!(s.p50_us, 4);
+        assert_eq!(s.p99_us, 1024);
+        assert_eq!(s.max_us, 1000);
+        assert!((s.mean_us - 501.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zero() {
+        let s = Metrics::new().snapshot();
+        assert_eq!(s.completed, 0);
+        assert_eq!(s.p50_us, 0);
+        assert_eq!(s.mean_us, 0.0);
+    }
+
+    #[test]
+    fn sub_microsecond_latency_lands_in_first_bucket() {
+        let m = Metrics::new();
+        m.request_completed(Duration::from_nanos(10), None);
+        let s = m.snapshot();
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.p50_us, 2);
+    }
+}

@@ -1,0 +1,154 @@
+//! Typed requests and responses.
+//!
+//! Every client interaction with a [`crate::Server`] is one of these
+//! request shapes; the server maps each onto the coupling API and
+//! answers with the matching [`Response`] arm. Keeping the protocol an
+//! enum (rather than closures) is what lets requests cross thread —
+//! and eventually process/network — boundaries.
+
+use coupling::{MixedStrategy, ResultOrigin};
+use oodb::Oid;
+
+/// A typed request against the document system.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Rank collection members for an IRS query
+    /// ([`coupling::Collection::get_irs_result_with_origin`]).
+    IrsQuery {
+        /// Target collection name.
+        collection: String,
+        /// IRS query text (`#and(..)`, plain terms, …).
+        query: String,
+    },
+    /// A mixed structure/content query: objects of `class` whose IRS
+    /// value for `irs_query` exceeds `threshold`, evaluated under
+    /// `strategy` ([`coupling::mixed::evaluate_mixed`]).
+    MixedQuery {
+        /// Target collection name.
+        collection: String,
+        /// Structural condition: membership in this class.
+        class: String,
+        /// IRS (content) query.
+        irs_query: String,
+        /// IRS-value threshold.
+        threshold: f64,
+        /// Requested evaluation order.
+        strategy: MixedStrategy,
+    },
+    /// The IRS value of one object (`getIRSValue`, with automatic
+    /// fall-through to `deriveIRSValue` for unrepresented objects).
+    GetIrsValue {
+        /// Target collection name.
+        collection: String,
+        /// IRS query.
+        query: String,
+        /// The object.
+        oid: Oid,
+    },
+    /// Replace an object's text and propagate the modification to the
+    /// named collections (write lane).
+    UpdateText {
+        /// The object whose `text` attribute changes.
+        oid: Oid,
+        /// The new text.
+        text: String,
+        /// Collections whose propagators must record the change.
+        collections: Vec<String>,
+    },
+    /// Run `indexObjects` with a specification query (write lane).
+    IndexObjects {
+        /// Target collection name.
+        collection: String,
+        /// OODBMS specification query.
+        spec_query: String,
+    },
+}
+
+impl Request {
+    /// True for requests that mutate the system — these serialise
+    /// through the dedicated writer lane.
+    pub fn is_write(&self) -> bool {
+        matches!(
+            self,
+            Request::UpdateText { .. } | Request::IndexObjects { .. }
+        )
+    }
+
+    /// Short label for metrics/debugging.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Request::IrsQuery { .. } => "irs_query",
+            Request::MixedQuery { .. } => "mixed_query",
+            Request::GetIrsValue { .. } => "get_irs_value",
+            Request::UpdateText { .. } => "update_text",
+            Request::IndexObjects { .. } => "index_objects",
+        }
+    }
+}
+
+/// A successful answer to a [`Request`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Ranked objects, descending by IRS value (ties by OID).
+    IrsResult {
+        /// `(object, IRS value)` pairs.
+        hits: Vec<(Oid, f64)>,
+        /// Where the answer came from (fresh / buffered / stale).
+        origin: ResultOrigin,
+    },
+    /// Mixed-query outcome.
+    Mixed {
+        /// Matching objects, ascending by OID.
+        oids: Vec<Oid>,
+        /// Strategy actually executed (degraded serving may fall back).
+        strategy: MixedStrategy,
+        /// Where the content result came from.
+        origin: ResultOrigin,
+    },
+    /// A single IRS value.
+    Value(f64),
+    /// Text updated; the number of collections that recorded it.
+    Updated {
+        /// Collections whose propagators recorded the modification.
+        collections: usize,
+    },
+    /// `indexObjects` ran; the number of objects (re-)indexed.
+    Indexed {
+        /// Objects indexed.
+        objects: usize,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_classification() {
+        assert!(!Request::IrsQuery {
+            collection: "c".into(),
+            query: "q".into()
+        }
+        .is_write());
+        assert!(Request::UpdateText {
+            oid: Oid(1),
+            text: "t".into(),
+            collections: vec![]
+        }
+        .is_write());
+        assert!(Request::IndexObjects {
+            collection: "c".into(),
+            spec_query: "ACCESS p FROM p IN PARA".into()
+        }
+        .is_write());
+        assert_eq!(
+            Request::GetIrsValue {
+                collection: "c".into(),
+                query: "q".into(),
+                oid: Oid(1)
+            }
+            .label(),
+            "get_irs_value"
+        );
+    }
+}

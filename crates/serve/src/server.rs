@@ -1,0 +1,551 @@
+//! The request front-end: thread pool, admission control, deadlines,
+//! graceful shutdown.
+//!
+//! A [`Server`] owns a [`coupling::SharedSystem`] plus two bounded
+//! queues. **Reads** ([`Request::is_write`] == false) fan out across
+//! `read_workers` threads, each executing under the system's shared
+//! read lock so queries overlap. **Writes** serialise through one
+//! dedicated writer lane that owns the per-collection update
+//! [`Propagator`]s — there is exactly one mutator, so propagation logs
+//! never race.
+//!
+//! Admission control is reject-not-queue: a full queue fails the
+//! request immediately with [`CouplingError::Overloaded`], keeping
+//! tail latency bounded under overload. Each request may carry a
+//! deadline; one that expires while still queued is failed with
+//! [`CouplingError::Timeout`] *without* executing (the work would be
+//! wasted — the client has given up). Per-call retry/breaker behaviour
+//! is unchanged: it lives inside the collection the request lands on.
+//!
+//! Shutdown is graceful: queues close (new work is rejected with
+//! [`CouplingError::ShuttingDown`]), workers drain everything already
+//! admitted, and the writer lane flushes every propagation log —
+//! journaled if the server was configured with a journal directory —
+//! before its thread exits.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use coupling::{
+    evaluate_mixed, journal_path, CouplingError, DocumentSystem, PropagationStrategy, Propagator,
+    ResultOrigin, SharedSystem,
+};
+use oodb::Oid;
+
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::queue::{BoundedQueue, PushError};
+use crate::request::{Request, Response};
+
+/// Tuning knobs for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Concurrent read-executing threads.
+    pub read_workers: usize,
+    /// Admission limit of *each* queue (read lane and write lane).
+    pub queue_capacity: usize,
+    /// Deadline applied to requests submitted without an explicit one.
+    /// `None` means such requests never time out.
+    pub default_deadline: Option<Duration>,
+    /// Update propagation strategy for the writer lane's propagators.
+    pub propagation: PropagationStrategy,
+    /// When set, each collection's propagation log is durably journaled
+    /// under this directory ([`coupling::journal_path`]).
+    pub journal_dir: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            read_workers: 4,
+            queue_capacity: 64,
+            default_deadline: None,
+            propagation: PropagationStrategy::Eager,
+            journal_dir: None,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Set the number of read worker threads (min 1).
+    pub fn read_workers(mut self, n: usize) -> Self {
+        self.read_workers = n.max(1);
+        self
+    }
+
+    /// Set the per-lane queue capacity (min 1).
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        self.queue_capacity = n.max(1);
+        self
+    }
+
+    /// Set the default per-request deadline.
+    pub fn default_deadline(mut self, d: Duration) -> Self {
+        self.default_deadline = Some(d);
+        self
+    }
+
+    /// Set the writer lane's propagation strategy.
+    pub fn propagation(mut self, strategy: PropagationStrategy) -> Self {
+        self.propagation = strategy;
+        self
+    }
+
+    /// Journal propagation logs under `dir`.
+    pub fn journal_dir(mut self, dir: impl AsRef<Path>) -> Self {
+        self.journal_dir = Some(dir.as_ref().to_path_buf());
+        self
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tickets
+// ---------------------------------------------------------------------
+
+struct TicketState {
+    slot: Mutex<Option<coupling::Result<Response>>>,
+    ready: Condvar,
+}
+
+/// A claim on the eventual outcome of a submitted request.
+pub struct Ticket {
+    state: Arc<TicketState>,
+}
+
+impl Ticket {
+    /// Block until the request finishes and return its outcome.
+    pub fn wait(self) -> coupling::Result<Response> {
+        let mut slot = self.state.slot.lock().expect("ticket lock poisoned");
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self.state.ready.wait(slot).expect("ticket lock poisoned");
+        }
+    }
+
+    /// True once an outcome is available (then [`Ticket::wait`] will
+    /// not block).
+    pub fn is_ready(&self) -> bool {
+        self.state
+            .slot
+            .lock()
+            .expect("ticket lock poisoned")
+            .is_some()
+    }
+}
+
+/// Worker-side handle that must deliver exactly one outcome to the
+/// ticket. Dropping it without completing (worker panic, shutdown
+/// teardown) delivers [`CouplingError::ShuttingDown`] so no client
+/// waits forever.
+struct Completion {
+    state: Option<Arc<TicketState>>,
+}
+
+impl Completion {
+    fn deliver(state: &Arc<TicketState>, result: coupling::Result<Response>) {
+        *state.slot.lock().expect("ticket lock poisoned") = Some(result);
+        state.ready.notify_all();
+    }
+
+    fn complete(mut self, result: coupling::Result<Response>) {
+        if let Some(state) = self.state.take() {
+            Completion::deliver(&state, result);
+        }
+    }
+}
+
+impl Drop for Completion {
+    fn drop(&mut self) {
+        if let Some(state) = self.state.take() {
+            Completion::deliver(&state, Err(CouplingError::ShuttingDown));
+        }
+    }
+}
+
+fn ticket_pair() -> (Ticket, Completion) {
+    let state = Arc::new(TicketState {
+        slot: Mutex::new(None),
+        ready: Condvar::new(),
+    });
+    (
+        Ticket {
+            state: Arc::clone(&state),
+        },
+        Completion { state: Some(state) },
+    )
+}
+
+struct Job {
+    request: Request,
+    completion: Completion,
+    enqueued: Instant,
+    deadline: Option<Duration>,
+}
+
+// ---------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------
+
+struct ServerState {
+    read_queue: BoundedQueue<Job>,
+    write_queue: BoundedQueue<Job>,
+    metrics: Metrics,
+}
+
+/// Thread-pool request front-end over a [`DocumentSystem`].
+pub struct Server {
+    shared: SharedSystem,
+    state: Arc<ServerState>,
+    config: ServerConfig,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Take ownership of `sys` and start serving it.
+    pub fn start(sys: DocumentSystem, config: ServerConfig) -> Server {
+        Server::start_shared(SharedSystem::new(sys), config)
+    }
+
+    /// Serve an already-shared system (other handles keep direct
+    /// access; the server's writer lane still assumes it is the only
+    /// writer of propagation state).
+    pub fn start_shared(shared: SharedSystem, config: ServerConfig) -> Server {
+        let state = Arc::new(ServerState {
+            read_queue: BoundedQueue::new(config.queue_capacity),
+            write_queue: BoundedQueue::new(config.queue_capacity),
+            metrics: Metrics::new(),
+        });
+        let mut workers = Vec::with_capacity(config.read_workers.max(1) + 1);
+        for _ in 0..config.read_workers.max(1) {
+            let shared = shared.clone();
+            let state = Arc::clone(&state);
+            workers.push(std::thread::spawn(move || {
+                while let Some(job) = state.read_queue.pop() {
+                    run_job(&shared, &state, job, &mut None);
+                }
+            }));
+        }
+        {
+            let shared = shared.clone();
+            let state = Arc::clone(&state);
+            let lane_config = config.clone();
+            workers.push(std::thread::spawn(move || {
+                let mut lane = WriterLane {
+                    config: lane_config,
+                    propagators: HashMap::new(),
+                };
+                while let Some(job) = state.write_queue.pop() {
+                    run_job(&shared, &state, job, &mut Some(&mut lane));
+                }
+                lane.flush_all(&shared);
+            }));
+        }
+        Server {
+            shared,
+            state,
+            config,
+            workers,
+        }
+    }
+
+    /// Submit with the configured default deadline. Rejections
+    /// (overload, shutdown) come back as an already-completed ticket.
+    pub fn submit(&self, request: Request) -> Ticket {
+        self.submit_opt(request, self.config.default_deadline)
+    }
+
+    /// Submit with an explicit deadline measured from now.
+    pub fn submit_with_deadline(&self, request: Request, deadline: Duration) -> Ticket {
+        self.submit_opt(request, Some(deadline))
+    }
+
+    fn submit_opt(&self, request: Request, deadline: Option<Duration>) -> Ticket {
+        let queue = if request.is_write() {
+            &self.state.write_queue
+        } else {
+            &self.state.read_queue
+        };
+        let (ticket, completion) = ticket_pair();
+        let job = Job {
+            request,
+            completion,
+            enqueued: Instant::now(),
+            deadline,
+        };
+        match queue.push(job) {
+            Ok(()) => {
+                self.state.metrics.request_submitted();
+            }
+            Err(PushError::Full(job)) => {
+                self.state.metrics.request_rejected_overload();
+                job.completion
+                    .complete(Err(CouplingError::Overloaded(queue.capacity())));
+            }
+            Err(PushError::Closed(job)) => {
+                self.state.metrics.request_rejected_shutdown();
+                job.completion.complete(Err(CouplingError::ShuttingDown));
+            }
+        }
+        ticket
+    }
+
+    /// Submit and wait: the synchronous convenience call.
+    pub fn call(&self, request: Request) -> coupling::Result<Response> {
+        self.submit(request).wait()
+    }
+
+    /// Snapshot of the server's request counters and latency histogram.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.state.metrics.snapshot()
+    }
+
+    /// Current `(read, write)` queue depths.
+    pub fn queue_depths(&self) -> (usize, usize) {
+        (self.state.read_queue.len(), self.state.write_queue.len())
+    }
+
+    /// The served system — for direct inspection (e.g. in tests) or for
+    /// keeping a handle beyond the server's lifetime.
+    pub fn system(&self) -> &SharedSystem {
+        &self.shared
+    }
+
+    /// Graceful shutdown: refuse new requests, drain both lanes, flush
+    /// propagation logs, join all workers. Returns the final metrics.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.shutdown_inner();
+        self.state.metrics.snapshot()
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.state.read_queue.close();
+        self.state.write_queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (r, w) = self.queue_depths();
+        f.debug_struct("Server")
+            .field("read_workers", &self.config.read_workers)
+            .field("queue_capacity", &self.config.queue_capacity)
+            .field("read_depth", &r)
+            .field("write_depth", &w)
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------
+
+/// The writer lane's private state: one propagator per collection,
+/// created lazily (journaled when configured).
+struct WriterLane {
+    config: ServerConfig,
+    propagators: HashMap<String, Propagator>,
+}
+
+impl WriterLane {
+    fn take_propagator(&mut self, name: &str) -> coupling::Result<Propagator> {
+        if let Some(existing) = self.propagators.remove(name) {
+            return Ok(existing);
+        }
+        match &self.config.journal_dir {
+            Some(dir) => {
+                Propagator::with_journal(self.config.propagation, &journal_path(dir, name))
+            }
+            None => Ok(Propagator::new(self.config.propagation)),
+        }
+    }
+
+    /// Apply every pending propagation log to its collection. Runs on
+    /// drain-end so deferred updates are not lost at shutdown; errors
+    /// stay in the (journaled) log for the next recovery.
+    fn flush_all(&mut self, shared: &SharedSystem) {
+        shared.write(|sys| {
+            for (name, prop) in self.propagators.iter_mut() {
+                if prop.pending().is_empty() {
+                    continue;
+                }
+                let Ok(mut coll) = sys.collection_mut(name) else {
+                    continue;
+                };
+                let ctx = coll.db().method_ctx();
+                let _ = prop.flush(&ctx, &mut coll);
+            }
+        });
+    }
+}
+
+fn run_job(
+    shared: &SharedSystem,
+    state: &ServerState,
+    job: Job,
+    lane: &mut Option<&mut WriterLane>,
+) {
+    let Job {
+        request,
+        completion,
+        enqueued,
+        deadline,
+    } = job;
+    if let Some(d) = deadline {
+        if enqueued.elapsed() > d {
+            state.metrics.request_timed_out();
+            completion.complete(Err(CouplingError::Timeout(d)));
+            return;
+        }
+    }
+    // On a handler panic the closure's stack unwinds, `completion`
+    // drops, and the ticket resolves to `ShuttingDown` — the worker
+    // thread itself survives for the next job.
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let result = match lane {
+            Some(writer) => execute_write(shared, writer, &request),
+            None => execute_read(shared, &request),
+        };
+        (completion, result)
+    }));
+    match outcome {
+        Ok((completion, Ok((response, origin)))) => {
+            state.metrics.request_completed(enqueued.elapsed(), origin);
+            completion.complete(Ok(response));
+        }
+        Ok((completion, Err(err))) => {
+            state.metrics.request_failed();
+            completion.complete(Err(err));
+        }
+        Err(_) => {
+            state.metrics.request_failed();
+        }
+    }
+}
+
+type Executed = coupling::Result<(Response, Option<ResultOrigin>)>;
+
+fn execute_read(shared: &SharedSystem, request: &Request) -> Executed {
+    shared.read(|sys| match request {
+        Request::IrsQuery { collection, query } => {
+            let coll = sys.collection(collection)?;
+            let (map, origin) = coll.get_irs_result_with_origin(query)?;
+            let mut hits: Vec<(Oid, f64)> = map.into_iter().collect();
+            hits.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.0.cmp(&b.0))
+            });
+            Ok((Response::IrsResult { hits, origin }, Some(origin)))
+        }
+        Request::MixedQuery {
+            collection,
+            class,
+            irs_query,
+            threshold,
+            strategy,
+        } => {
+            let coll = sys.collection(collection)?;
+            let outcome = evaluate_mixed(
+                coll.db(),
+                &coll,
+                class,
+                &|_, _| true,
+                irs_query,
+                *threshold,
+                *strategy,
+            )?;
+            let origin = outcome.origin;
+            Ok((
+                Response::Mixed {
+                    oids: outcome.oids,
+                    strategy: outcome.strategy,
+                    origin,
+                },
+                Some(origin),
+            ))
+        }
+        Request::GetIrsValue {
+            collection,
+            query,
+            oid,
+        } => {
+            let coll = sys.collection(collection)?;
+            let ctx = coll.db().method_ctx();
+            let value = coll.get_irs_value(&ctx, query, *oid)?;
+            Ok((Response::Value(value), None))
+        }
+        other => Err(CouplingError::BadSpecQuery(format!(
+            "write request {:?} routed to the read lane",
+            other.label()
+        ))),
+    })
+}
+
+fn execute_write(shared: &SharedSystem, lane: &mut WriterLane, request: &Request) -> Executed {
+    shared.write(|sys| match request {
+        Request::UpdateText {
+            oid,
+            text,
+            collections,
+        } => {
+            // Validate every target up front (each handle drops at the
+            // end of its statement — `update_text` re-locks per name).
+            for name in collections {
+                sys.collection(name)?;
+            }
+            let mut taken: Vec<(String, Propagator)> = Vec::with_capacity(collections.len());
+            for name in collections {
+                let prop = lane.take_propagator(name)?;
+                taken.push((name.clone(), prop));
+            }
+            let mut targets: Vec<(&str, &mut Propagator)> = taken
+                .iter_mut()
+                .map(|(name, prop)| (name.as_str(), prop))
+                .collect();
+            let result = sys.update_text(*oid, text, &mut targets);
+            drop(targets);
+            let count = taken.len();
+            for (name, prop) in taken {
+                lane.propagators.insert(name, prop);
+            }
+            result?;
+            Ok((Response::Updated { collections: count }, None))
+        }
+        Request::IndexObjects {
+            collection,
+            spec_query,
+        } => {
+            let mut coll = sys.collection_mut(collection)?;
+            let db = coll.db();
+            let objects = coll.index_objects(db, spec_query)?;
+            // A re-index invalidates any deferred ops for this
+            // collection recorded before it: fold them away so the
+            // flush at shutdown does not redo stale work.
+            if let Some(prop) = lane.propagators.get_mut(collection) {
+                if !prop.pending().is_empty() {
+                    let ctx = coll.db().method_ctx();
+                    let _ = prop.flush(&ctx, &mut coll);
+                }
+            }
+            Ok((Response::Indexed { objects }, None))
+        }
+        other => Err(CouplingError::BadSpecQuery(format!(
+            "read request {:?} routed to the write lane",
+            other.label()
+        ))),
+    })
+}

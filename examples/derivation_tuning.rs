@@ -6,7 +6,7 @@
 //! cargo run -p coupling-examples --example derivation_tuning
 //! ```
 
-use coupling::{CollectionSetup, DerivationScheme, DocumentSystem};
+use coupling::prelude::*;
 
 /// Equal-length paragraph with the given topical terms injected.
 fn para(terms: &[&str]) -> String {
@@ -56,16 +56,15 @@ fn main() {
         ("subquery-aware", DerivationScheme::SubqueryAware),
     ];
     for (label, scheme) in schemes {
-        let values = sys
-            .with_collection_and_db("collPara", |db, coll| {
-                coll.set_derivation(scheme.clone());
-                let ctx = db.method_ctx();
-                roots
-                    .iter()
-                    .map(|&r| coll.get_irs_value(&ctx, query, r).expect("derives"))
-                    .collect::<Vec<f64>>()
-            })
-            .expect("collection exists");
+        let values = {
+            let mut coll = sys.collection_mut("collPara").expect("collection exists");
+            coll.set_derivation(scheme.clone());
+            let ctx = coll.db().method_ctx();
+            roots
+                .iter()
+                .map(|&r| coll.get_irs_value(&ctx, query, r).expect("derives"))
+                .collect::<Vec<f64>>()
+        };
         println!(
             "{:<18} {:>7.3} {:>7.3} {:>7.3} {:>7.3}",
             label, values[0], values[1], values[2], values[3]

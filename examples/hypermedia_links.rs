@@ -6,7 +6,7 @@
 //! cargo run -p coupling-examples --example hypermedia_links
 //! ```
 
-use coupling::{CollectionSetup, DocumentSystem, TextMode};
+use coupling::prelude::*;
 use oodb::Value;
 
 fn main() {
@@ -44,9 +44,11 @@ fn main() {
         .expect("indexed");
     sys.create_collection(
         "augmented",
-        CollectionSetup::with_text_mode(TextMode::LinkAugmented {
-            link_attr: "implies".into(),
-        }),
+        CollectionSetup::builder()
+            .text_mode(TextMode::LinkAugmented {
+                link_attr: "implies".into(),
+            })
+            .build(),
     )
     .expect("fresh");
     sys.index_collection("augmented", "ACCESS p FROM p IN PARA")
@@ -54,10 +56,10 @@ fn main() {
 
     for coll in ["plain", "augmented"] {
         let result = sys
-            .with_collection(coll, |col| {
-                col.get_irs_result("telnet").expect("query evaluates")
-            })
-            .expect("collection exists");
+            .collection(coll)
+            .expect("collection exists")
+            .get_irs_result("telnet")
+            .expect("query evaluates");
         println!(
             "collection {coll:>9}: 'telnet' matches {} nodes",
             result.len()

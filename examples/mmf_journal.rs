@@ -6,8 +6,7 @@
 //! cargo run -p coupling-examples --example mmf_journal
 //! ```
 
-use coupling::propagate::{PendingOp, PropagationStrategy, Propagator};
-use coupling::{CollectionSetup, DerivationScheme, DocumentSystem, TextMode};
+use coupling::prelude::*;
 use coupling_examples::title_of;
 use oodb::Value;
 use sgml::gen::topic_term;
@@ -42,7 +41,9 @@ fn main() {
         .expect("paragraphs indexed");
     sys.create_collection(
         "collTitles",
-        CollectionSetup::with_text_mode(TextMode::TitlesOnly),
+        CollectionSetup::builder()
+            .text_mode(TextMode::TitlesOnly)
+            .build(),
     )
     .expect("fresh");
     sys.index_collection("collTitles", "ACCESS d FROM d IN MMFDOC")
@@ -53,18 +54,18 @@ fn main() {
     let topic = topic_term(0);
     for coll in ["collPara", "collTitles"] {
         let n = sys
-            .with_collection(coll, |c| {
-                c.get_irs_result(&topic).expect("query evaluates").len()
-            })
-            .expect("collection exists");
+            .collection(coll)
+            .expect("collection exists")
+            .get_irs_result(&topic)
+            .expect("query evaluates")
+            .len();
         println!("'{topic}' matches {n} IRS documents in {coll}");
     }
 
     // Derived document ranking with the subquery-aware scheme.
-    sys.with_collection("collPara", |c| {
-        c.set_derivation(DerivationScheme::SubqueryAware)
-    })
-    .expect("collection exists");
+    sys.collection_mut("collPara")
+        .expect("collection exists")
+        .set_derivation(DerivationScheme::SubqueryAware);
     let query = format!("#and({} {})", topic_term(0), topic_term(1));
     // Ranking straight from the query language: ORDER BY a derived IRS
     // value, LIMIT to the top five.
@@ -98,17 +99,18 @@ fn main() {
     sys.db_mut().commit(txn).expect("commit");
 
     let mut propagator = Propagator::new(PropagationStrategy::Deferred);
-    sys.with_collection_and_db("collPara", |db, coll| {
-        let ctx = db.method_ctx();
+    {
+        let mut coll = sys.collection_mut("collPara").expect("collection exists");
+        let ctx = coll.db().method_ctx();
         propagator
-            .record(&ctx, coll, PendingOp::Modify(some_para))
+            .record(&ctx, &mut coll, PendingOp::Modify(some_para))
             .expect("recorded");
         println!(
             "\nrecorded 1 deferred update (pending: {})",
             propagator.pending().len()
         );
         // The next information-need query forces the flush.
-        propagator.before_query(&ctx, coll).expect("flushed");
+        propagator.before_query(&ctx, &mut coll).expect("flushed");
         let hits = coll
             .get_irs_result(&topic_term(5))
             .expect("query evaluates");
@@ -117,12 +119,12 @@ fn main() {
             topic_term(5),
             hits.contains_key(&some_para)
         );
-    })
-    .expect("collection exists");
+    }
 
-    let (stats, buf) = sys
-        .with_collection("collPara", |c| (c.stats(), c.buffer_stats()))
-        .expect("collection exists");
+    let (stats, buf) = {
+        let coll = sys.collection("collPara").expect("collection exists");
+        (coll.stats(), coll.buffer_stats())
+    };
     println!("\ncoupling stats: {stats:?}");
     println!("buffer stats:   {buf:?}");
 }

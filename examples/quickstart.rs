@@ -5,7 +5,7 @@
 //! cargo run -p coupling-examples --example quickstart
 //! ```
 
-use coupling::{CollectionSetup, DocumentSystem};
+use coupling::prelude::*;
 use sgml::mmf::telnet_example;
 
 fn main() {
@@ -25,9 +25,15 @@ fn main() {
     .expect("networking document loads");
 
     // 3. Create an IRS collection whose members are chosen by a
-    //    specification query — here: every paragraph.
-    sys.create_collection("collPara", CollectionSetup::default())
-        .expect("collection created");
+    //    specification query — here: every paragraph. The builder keeps
+    //    per-collection tuning (derivation, buffering, …) in one place.
+    sys.create_collection(
+        "collPara",
+        CollectionSetup::builder()
+            .derivation(DerivationScheme::SubqueryAware)
+            .build(),
+    )
+    .expect("collection created");
     let indexed = sys
         .index_collection("collPara", "ACCESS p FROM p IN PARA")
         .expect("indexing succeeds");

@@ -7,7 +7,7 @@
 //! cargo run -p coupling-examples --example relevance_feedback
 //! ```
 
-use coupling::{CollectionSetup, DocumentSystem};
+use coupling::prelude::*;
 use irs::feedback::{expand_query, FeedbackConfig};
 
 fn main() {
@@ -40,8 +40,10 @@ fn main() {
     // Initial query.
     let initial = "telnet";
     let hits = sys
-        .with_collection("collPara", |c| c.get_irs_result(initial).expect("query"))
-        .expect("collection exists");
+        .collection("collPara")
+        .expect("collection exists")
+        .get_irs_result(initial)
+        .expect("query");
     println!("initial query {initial:?}: {} hits", hits.len());
 
     // The user marks the two telnet paragraphs as relevant. Feedback
@@ -50,12 +52,16 @@ fn main() {
     relevant.sort();
     let relevant_refs: Vec<&str> = relevant.iter().map(String::as_str).collect();
 
-    let expanded = sys
-        .with_collection("collPara", |c| {
-            expand_query(c.irs(), initial, &relevant_refs, &FeedbackConfig::default())
-                .expect("expansion succeeds")
-        })
-        .expect("collection exists");
+    let expanded = {
+        let coll = sys.collection("collPara").expect("collection exists");
+        expand_query(
+            coll.irs(),
+            initial,
+            &relevant_refs,
+            &FeedbackConfig::default(),
+        )
+        .expect("expansion succeeds")
+    };
     println!("expanded query: {expanded}");
 
     // Re-run through the coupling: the terminal-multiplexer paragraph —

@@ -18,6 +18,11 @@ echo "==> bench smoke (query hot path, writes BENCH_query.json)"
 # differs from the exhaustive ranking.
 cargo run -q -p coupling-bench --release --bin bench_query -- --smoke
 
+echo "==> bench smoke (serve front-end, writes BENCH_serve.json)"
+# Exits nonzero and prints REGRESSION if 8 concurrent clients fail to
+# beat 1 client by more than 2x throughput, or if any request fails.
+cargo run -q -p coupling-bench --release --bin bench_serve -- --smoke
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -80,9 +80,7 @@ fn concurrent_mixed_queries_agree_with_serial_execution() {
     assert_eq!(failures.load(Ordering::Relaxed), 0);
 
     // The buffer served the repeats: at most one IRS call per topic.
-    let calls = sys
-        .with_collection("coll", |c| c.stats().irs_calls)
-        .unwrap();
+    let calls = sys.collection("coll").unwrap().stats().irs_calls;
     assert!(
         calls <= 6 + 6,
         "60 probes per topic collapse to ~1 IRS call each, got {calls}"
@@ -94,40 +92,35 @@ fn eight_threads_share_one_collection_through_shared_refs() {
     let sys = corpus_system();
 
     // Serial baseline, computed through the same read-only access path.
-    let baseline: Vec<usize> = sys
-        .read_collection("coll", |coll| {
-            (0..6)
-                .map(|t| coll.evaluate_uncached(&topic_term(t)).unwrap().len())
-                .collect()
-        })
-        .unwrap();
+    let handle = sys.collection("coll").unwrap();
+    let coll = &*handle;
+    let baseline: Vec<usize> = (0..6)
+        .map(|t| coll.evaluate_uncached(&topic_term(t)).unwrap().len())
+        .collect();
 
     // 8 threads hold the SAME `&Collection` concurrently; each round
     // alternates between raw sharded-index evaluation and the buffered
     // getIRSResult path. No thread takes a write lock anywhere.
     let failures = AtomicUsize::new(0);
-    sys.read_collection("coll", |coll| {
-        std::thread::scope(|scope| {
-            for i in 0..8 {
-                let failures = &failures;
-                let baseline = &baseline;
-                scope.spawn(move || {
-                    for round in 0..6 {
-                        let t = (i + round) % 6;
-                        let got = if round % 2 == 0 {
-                            coll.evaluate_uncached(&topic_term(t)).unwrap().len()
-                        } else {
-                            coll.get_irs_result(&topic_term(t)).unwrap().len()
-                        };
-                        if got != baseline[t] {
-                            failures.fetch_add(1, Ordering::Relaxed);
-                        }
+    std::thread::scope(|scope| {
+        for i in 0..8 {
+            let failures = &failures;
+            let baseline = &baseline;
+            scope.spawn(move || {
+                for round in 0..6 {
+                    let t = (i + round) % 6;
+                    let got = if round % 2 == 0 {
+                        coll.evaluate_uncached(&topic_term(t)).unwrap().len()
+                    } else {
+                        coll.get_irs_result(&topic_term(t)).unwrap().len()
+                    };
+                    if got != baseline[t] {
+                        failures.fetch_add(1, Ordering::Relaxed);
                     }
-                });
-            }
-        });
-    })
-    .unwrap();
+                }
+            });
+        }
+    });
     assert_eq!(
         failures.load(Ordering::Relaxed),
         0,
@@ -135,7 +128,7 @@ fn eight_threads_share_one_collection_through_shared_refs() {
     );
 
     // The shared buffer absorbed the repeated getIRSResult probes.
-    let stats = sys.with_collection("coll", |c| c.buffer_stats()).unwrap();
+    let stats = handle.buffer_stats();
     assert!(stats.hits > 0, "concurrent probes hit the shared buffer");
 }
 
@@ -191,20 +184,22 @@ fn concurrent_reads_on_different_collections_do_not_interfere() {
         let a = scope.spawn(move || {
             (0..20)
                 .map(|i| {
-                    sys.with_collection("coll", |c| {
-                        c.get_irs_result(&topic_term(i % 6)).unwrap().len()
-                    })
-                    .unwrap()
+                    sys.collection("coll")
+                        .unwrap()
+                        .get_irs_result(&topic_term(i % 6))
+                        .unwrap()
+                        .len()
                 })
                 .sum::<usize>()
         });
         let b = scope.spawn(move || {
             (0..20)
                 .map(|i| {
-                    sys.with_collection("collDoc", |c| {
-                        c.get_irs_result(&topic_term(i % 6)).unwrap().len()
-                    })
-                    .unwrap()
+                    sys.collection("collDoc")
+                        .unwrap()
+                        .get_irs_result(&topic_term(i % 6))
+                        .unwrap()
+                        .len()
                 })
                 .sum::<usize>()
         });

@@ -19,8 +19,11 @@ fn sgml_to_mixed_query_pipeline() {
 
     // Content query only (through the coupling collection).
     let telnet_paras = sys
-        .with_collection("collPara", |c| c.get_irs_result("telnet").unwrap().len())
-        .unwrap();
+        .collection("collPara")
+        .unwrap()
+        .get_irs_result("telnet")
+        .unwrap()
+        .len();
     assert_eq!(telnet_paras, 2);
 
     // Mixed query combining both, in the OODBMS query language.
@@ -49,12 +52,11 @@ fn validated_pipeline_with_mmf_dtd() {
     sys.index_collection("c", "ACCESS p FROM p IN PARA")
         .unwrap();
     // Document-level derivation works right after loading.
-    let value = sys
-        .with_collection_and_db("c", |db, coll| {
-            let ctx = db.method_ctx();
-            coll.get_irs_value(&ctx, "telnet", loaded.root).unwrap()
-        })
-        .unwrap();
+    let value = {
+        let coll = sys.collection("c").unwrap();
+        let ctx = coll.db().method_ctx();
+        coll.get_irs_value(&ctx, "telnet", loaded.root).unwrap()
+    };
     assert!(value > 0.4, "derived document value {value}");
 }
 
@@ -63,7 +65,9 @@ fn multiple_text_modes_give_different_collections() {
     let mut sys = two_issue_system();
     sys.create_collection(
         "titles",
-        CollectionSetup::with_text_mode(TextMode::TitlesOnly),
+        CollectionSetup::builder()
+            .text_mode(TextMode::TitlesOnly)
+            .build(),
     )
     .unwrap();
     sys.index_collection("titles", "ACCESS d FROM d IN MMFDOC")
@@ -72,12 +76,18 @@ fn multiple_text_modes_give_different_collections() {
     // 'telnet' appears in a DOCTITLE, so the titles collection finds the
     // document; 'protocol' appears only in paragraph text.
     let by_title = sys
-        .with_collection("titles", |c| c.get_irs_result("telnet").unwrap().len())
-        .unwrap();
+        .collection("titles")
+        .unwrap()
+        .get_irs_result("telnet")
+        .unwrap()
+        .len();
     assert_eq!(by_title, 1);
     let by_title = sys
-        .with_collection("titles", |c| c.get_irs_result("protocol").unwrap().len())
-        .unwrap();
+        .collection("titles")
+        .unwrap()
+        .get_irs_result("protocol")
+        .unwrap()
+        .len();
     assert_eq!(by_title, 0, "titles collection does not see body text");
 }
 
@@ -125,11 +135,11 @@ fn updates_flow_through_to_queries() {
     sys.db_mut().commit(txn).unwrap();
 
     // Propagate eagerly via the collection's update method.
-    sys.with_collection_and_db("collPara", |db, coll| {
-        let ctx = db.method_ctx();
+    {
+        let mut coll = sys.collection_mut("collPara").unwrap();
+        let ctx = coll.db().method_ctx();
         coll.on_insert(&ctx, fresh).unwrap();
-    })
-    .unwrap();
+    }
 
     let rows = sys
         .query("ACCESS p FROM p IN PARA WHERE p -> getIRSValue(collPara, 'gopher') > 0.4")
@@ -149,7 +159,9 @@ fn deleting_an_object_removes_it_from_results() {
     let mut txn = sys.db_mut().begin();
     sys.db_mut().delete_object(&mut txn, victim).unwrap();
     sys.db_mut().commit(txn).unwrap();
-    sys.with_collection("collPara", |c| c.on_delete(victim).unwrap())
+    sys.collection_mut("collPara")
+        .unwrap()
+        .on_delete(victim)
         .unwrap();
 
     let rows = sys

@@ -39,10 +39,9 @@ fn figure4() -> (DocumentSystem, Vec<Oid>) {
 #[test]
 fn figure4_subquery_aware_ranking_through_query_language() {
     let (sys, roots) = figure4();
-    sys.with_collection("collPara", |c| {
-        c.set_derivation(DerivationScheme::SubqueryAware)
-    })
-    .unwrap();
+    sys.collection_mut("collPara")
+        .unwrap()
+        .set_derivation(DerivationScheme::SubqueryAware);
     // "Select all MMF documents which are relevant to 'WWW' and 'NII'" —
     // via the query language, ranking by derived value.
     let rows = sys
@@ -62,17 +61,15 @@ fn figure4_subquery_aware_ranking_through_query_language() {
 #[test]
 fn figure4_max_conflates_m3_and_m4() {
     let (sys, roots) = figure4();
-    sys.with_collection("collPara", |c| c.set_derivation(DerivationScheme::Max))
-        .unwrap();
-    let values: Vec<f64> = sys
-        .with_collection_and_db("collPara", |db, coll| {
-            let ctx = db.method_ctx();
-            roots
-                .iter()
-                .map(|&r| coll.get_irs_value(&ctx, "#and(www nii)", r).unwrap())
-                .collect()
-        })
-        .unwrap();
+    let values: Vec<f64> = {
+        let mut coll = sys.collection_mut("collPara").unwrap();
+        coll.set_derivation(DerivationScheme::Max);
+        let ctx = coll.db().method_ctx();
+        roots
+            .iter()
+            .map(|&r| coll.get_irs_value(&ctx, "#and(www nii)", r).unwrap())
+            .collect()
+    };
     assert!(values[1] > values[2], "M2 beats M3 under max");
     assert!(
         (values[2] - values[3]).abs() < 1e-9,
@@ -94,21 +91,23 @@ fn all_architectures_and_strategies_agree_end_to_end() {
         )
     };
     let mut all_results: Vec<Vec<Oid>> = Vec::new();
-    sys.with_collection_and_db("collPara", |db, coll| {
+    {
+        let mut coll = sys.collection_mut("collPara").unwrap();
+        let db = coll.db();
         for kind in [
             ArchitectureKind::DbmsControl,
             ArchitectureKind::ControlModule,
             ArchitectureKind::IrsControl,
         ] {
-            let out = arch_evaluate(kind, db, coll, "PARA", &structural, "www", 0.45).unwrap();
+            let out = arch_evaluate(kind, db, &mut coll, "PARA", &structural, "www", 0.45).unwrap();
             all_results.push(out.oids);
         }
         for strategy in [MixedStrategy::Independent, MixedStrategy::IrsFirst] {
-            let out = evaluate_mixed(db, coll, "PARA", &structural, "www", 0.45, strategy).unwrap();
+            let out =
+                evaluate_mixed(db, &coll, "PARA", &structural, "www", 0.45, strategy).unwrap();
             all_results.push(out.oids);
         }
-    })
-    .unwrap();
+    }
     for w in all_results.windows(2) {
         assert_eq!(w[0], w[1], "every evaluation path returns the same objects");
     }
@@ -118,7 +117,8 @@ fn all_architectures_and_strategies_agree_end_to_end() {
 #[test]
 fn oodbms_operator_methods_match_irs_for_all_operators() {
     let sys = system_tests::two_issue_system();
-    sys.with_collection("collPara", |coll| {
+    {
+        let coll = sys.collection("collPara").unwrap();
         let www = coll.get_irs_result("www").unwrap();
         let nii = coll.get_irs_result("nii").unwrap();
         let cases: Vec<(&str, coupling::buffer::ResultMap)> = vec![
@@ -138,8 +138,7 @@ fn oodbms_operator_methods_match_irs_for_all_operators() {
                 assert!((c - v).abs() < 1e-9, "{query}: {oid} IRS {v} vs OODBMS {c}");
             }
         }
-    })
-    .unwrap();
+    }
 }
 
 #[test]
@@ -154,18 +153,24 @@ fn overlapping_collections_stay_independent() {
          p -> getContaining('MMFDOC') == d AND d -> getAttributeValue('YEAR') = '1994'",
     )
     .unwrap();
-    let n_all = sys.with_collection("collPara", |c| c.len()).unwrap();
-    let n_94 = sys.with_collection("coll94", |c| c.len()).unwrap();
+    let n_all = sys.collection("collPara").unwrap().len();
+    let n_94 = sys.collection("coll94").unwrap().len();
     assert_eq!(n_all, 4);
     assert_eq!(n_94, 2);
     // Same object, different collection statistics are possible: the
     // 1995 paragraphs simply are not in coll94.
     let www_all = sys
-        .with_collection("collPara", |c| c.get_irs_result("www").unwrap().len())
-        .unwrap();
+        .collection("collPara")
+        .unwrap()
+        .get_irs_result("www")
+        .unwrap()
+        .len();
     let www_94 = sys
-        .with_collection("coll94", |c| c.get_irs_result("www").unwrap().len())
-        .unwrap();
+        .collection("coll94")
+        .unwrap()
+        .get_irs_result("www")
+        .unwrap()
+        .len();
     assert_eq!(www_all, 2);
     assert_eq!(www_94, 0);
 }
@@ -199,7 +204,9 @@ fn negation_semantics_differ_between_worlds() {
     // containing www get low-but-positive beliefs, the rest sit at the
     // complement of the default belief.
     let complement = sys
-        .with_collection("collPara", |c| c.get_irs_result("#not(www)").unwrap())
+        .collection("collPara")
+        .unwrap()
+        .get_irs_result("#not(www)")
         .unwrap();
     assert_eq!(complement.len(), 4, "every live paragraph gets a belief");
     let values: Vec<f64> = complement.values().copied().collect();
@@ -246,10 +253,9 @@ fn top_k_ranking_via_order_by_derived_value() {
     // ORDER BY + LIMIT over derived IRS values: the "top documents"
     // interaction every digital library needs.
     let (sys, roots) = figure4();
-    sys.with_collection("collPara", |c| {
-        c.set_derivation(DerivationScheme::SubqueryAware)
-    })
-    .unwrap();
+    sys.collection_mut("collPara")
+        .unwrap()
+        .set_derivation(DerivationScheme::SubqueryAware);
     let rows = sys
         .query(
             "ACCESS d FROM d IN MMFDOC \
@@ -275,7 +281,7 @@ fn specification_query_can_use_any_predicate() {
             "ACCESS p FROM p IN PARA WHERE p -> length() > 45",
         )
         .unwrap();
-    let total = sys.with_collection("collPara", |c| c.len()).unwrap();
+    let total = sys.collection("collPara").unwrap().len();
     assert!(
         n >= 1 && n < total,
         "length predicate filtered some paragraphs ({n}/{total})"

@@ -77,16 +77,18 @@ fn result_buffer_persists_between_sessions() {
     {
         let sys = system_tests::two_issue_system();
         // Populate and persist the buffer.
-        sys.with_collection("collPara", |coll| {
+        {
+            let coll = sys.collection("collPara").unwrap();
             coll.get_irs_result("telnet").unwrap();
             coll.get_irs_result("#and(www nii)").unwrap();
-        })
-        .unwrap();
+        }
         // Persist through the buffer type directly (the paper buffers
         // "persistently in a dictionary").
         let buffer = ResultBuffer::new(16);
         let telnet = sys
-            .with_collection("collPara", |c| c.get_irs_result("telnet").unwrap())
+            .collection("collPara")
+            .unwrap()
+            .get_irs_result("telnet")
             .unwrap();
         buffer.insert("telnet", telnet);
         buffer.save(&buf_path).unwrap();

@@ -42,15 +42,13 @@ proptest! {
             DerivationScheme::LengthWeighted,
             DerivationScheme::SubqueryAware,
         ] {
-            sys.with_collection_and_db("c", |db, coll| {
-                coll.set_derivation(scheme.clone());
-                let ctx = db.method_ctx();
-                for &root in &roots {
-                    let v = coll.get_irs_value(&ctx, &query, root).expect("derives");
-                    prop_assert!((0.0..=1.0).contains(&v), "{scheme:?}: {v}");
-                }
-                Ok(())
-            }).expect("collection exists")?;
+            let mut coll = sys.collection_mut("c").expect("collection exists");
+            coll.set_derivation(scheme.clone());
+            let ctx = coll.db().method_ctx();
+            for &root in &roots {
+                let v = coll.get_irs_value(&ctx, &query, root).expect("derives");
+                prop_assert!((0.0..=1.0).contains(&v), "{scheme:?}: {v}");
+            }
         }
     }
 
@@ -60,14 +58,12 @@ proptest! {
     fn buffering_is_transparent(seed in 0u64..500, topic in 0usize..5) {
         let (sys, _) = seeded_system(seed, 5);
         let query = sgml::gen::topic_term(topic);
-        sys.with_collection("c", |coll| {
-            let direct = coll.evaluate_uncached(&query).expect("evaluates");
-            let buffered = coll.get_irs_result(&query).expect("evaluates");
-            let again = coll.get_irs_result(&query).expect("buffer hit");
-            prop_assert_eq!(&direct, &buffered);
-            prop_assert_eq!(&buffered, &again);
-            Ok(())
-        }).expect("collection exists")?;
+        let coll = sys.collection("c").expect("collection exists");
+        let direct = coll.evaluate_uncached(&query).expect("evaluates");
+        let buffered = coll.get_irs_result(&query).expect("evaluates");
+        let again = coll.get_irs_result(&query).expect("buffer hit");
+        prop_assert_eq!(&direct, &buffered);
+        prop_assert_eq!(&buffered, &again);
     }
 
     /// Mixed-query strategies agree on arbitrary thresholds.
@@ -77,14 +73,13 @@ proptest! {
         let (sys, _) = seeded_system(seed, 5);
         let query = sgml::gen::topic_term(0);
         let structural = |_: &oodb::Database, oid: oodb::Oid| oid.0.is_multiple_of(2);
-        sys.with_collection_and_db("c", |db, coll| {
-            let a = evaluate_mixed(db, coll, "PARA", &structural, &query, threshold,
-                MixedStrategy::Independent).expect("independent");
-            let b = evaluate_mixed(db, coll, "PARA", &structural, &query, threshold,
-                MixedStrategy::IrsFirst).expect("irs-first");
-            prop_assert_eq!(a.oids, b.oids);
-            Ok(())
-        }).expect("collection exists")?;
+        let coll = sys.collection("c").expect("collection exists");
+        let db = coll.db();
+        let a = evaluate_mixed(db, &coll, "PARA", &structural, &query, threshold,
+            MixedStrategy::Independent).expect("independent");
+        let b = evaluate_mixed(db, &coll, "PARA", &structural, &query, threshold,
+            MixedStrategy::IrsFirst).expect("irs-first");
+        prop_assert_eq!(a.oids, b.oids);
     }
 
     /// Re-indexing the same specification query is idempotent for search.
@@ -92,11 +87,11 @@ proptest! {
     fn reindexing_is_idempotent(seed in 0u64..200) {
         let (mut sys, _) = seeded_system(seed, 4);
         let query = sgml::gen::topic_term(1);
-        let before = sys.with_collection("c", |c| c.get_irs_result(&query).expect("evaluates"))
-            .expect("collection exists");
+        let before = sys.collection("c").expect("collection exists")
+            .get_irs_result(&query).expect("evaluates");
         sys.index_collection("c", "ACCESS p FROM p IN PARA").expect("reindex");
-        let after = sys.with_collection("c", |c| c.get_irs_result(&query).expect("evaluates"))
-            .expect("collection exists");
+        let after = sys.collection("c").expect("collection exists")
+            .get_irs_result(&query).expect("evaluates");
         prop_assert_eq!(before.len(), after.len());
         for (oid, v) in &before {
             let w = after.get(oid).copied().unwrap_or(-1.0);

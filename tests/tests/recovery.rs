@@ -23,10 +23,10 @@ fn tmp_dir(name: &str) -> PathBuf {
 /// A saved two-issue system under `dir`.
 fn saved_system(dir: &Path) -> DocumentSystem {
     let mut sys = system_tests::two_issue_system();
-    sys.with_collection("collPara", |c| {
-        c.get_irs_result("telnet").unwrap();
-    })
-    .unwrap();
+    sys.collection("collPara")
+        .unwrap()
+        .get_irs_result("telnet")
+        .unwrap();
     save_system(&mut sys, dir).unwrap();
     sys
 }
@@ -177,8 +177,11 @@ fn journaled_updates_survive_crash_and_replay_once() {
     // First reopen replays the journal and persists the recovered index.
     let reopened = open_system(&dir).unwrap();
     let hits = reopened
-        .with_collection("collPara", |c| c.get_irs_result("gopher").unwrap().len())
-        .unwrap();
+        .collection("collPara")
+        .unwrap()
+        .get_irs_result("gopher")
+        .unwrap()
+        .len();
     assert_eq!(hits, 1, "pending update applied during recovery");
     assert_eq!(
         std::fs::metadata(journal_path(&dir, "collPara"))
@@ -193,8 +196,11 @@ fn journaled_updates_survive_crash_and_replay_once() {
     // second replay.
     let again = open_system(&dir).unwrap();
     let hits = again
-        .with_collection("collPara", |c| c.get_irs_result("gopher").unwrap().len())
-        .unwrap();
+        .collection("collPara")
+        .unwrap()
+        .get_irs_result("gopher")
+        .unwrap()
+        .len();
     assert_eq!(hits, 1, "recovery is durable across further restarts");
 }
 
@@ -222,14 +228,13 @@ fn torn_journal_tail_replays_consistent_prefix() {
     torn_write(&jpath, &bytes, bytes.len() - 5).unwrap();
 
     let reopened = open_system(&dir).unwrap();
-    let (zeppelin, quagga) = reopened
-        .with_collection("collPara", |c| {
-            (
-                c.get_irs_result("zeppelin").unwrap().len(),
-                c.get_irs_result("quagga").unwrap().len(),
-            )
-        })
-        .unwrap();
+    let (zeppelin, quagga) = {
+        let c = reopened.collection("collPara").unwrap();
+        (
+            c.get_irs_result("zeppelin").unwrap().len(),
+            c.get_irs_result("quagga").unwrap().len(),
+        )
+    };
     assert_eq!(zeppelin, 1, "intact frame replayed");
     assert_eq!(quagga, 0, "torn frame discarded, not half-applied");
 }
@@ -266,8 +271,11 @@ fn journal_compaction_preserves_pending_state() {
 
     let reopened = open_system(&dir).unwrap();
     let hits = reopened
-        .with_collection("collPara", |c| c.get_irs_result("wombat").unwrap().len())
-        .unwrap();
+        .collection("collPara")
+        .unwrap()
+        .get_irs_result("wombat")
+        .unwrap()
+        .len();
     assert_eq!(hits, 1, "compacted journal still recovers the update");
 }
 
@@ -279,56 +287,52 @@ fn journal_compaction_preserves_pending_state() {
 fn irs_outage_serves_stale_buffered_results() {
     let sys = system_tests::two_issue_system();
     let fresh = sys
-        .with_collection("collPara", |c| c.get_irs_result("telnet").unwrap())
+        .collection("collPara")
+        .unwrap()
+        .get_irs_result("telnet")
         .unwrap();
-    sys.with_collection("collPara", |c| {
-        // An update invalidates the buffer, then the IRS goes down.
-        c.buffer().invalidate_all();
-        let plan = Arc::new(FaultPlan::new(42));
-        plan.set_down(true);
-        c.inject_faults(Some(plan));
-        let (map, origin) = c.get_irs_result_with_origin("telnet").unwrap();
-        assert_eq!(origin, ResultOrigin::Stale, "served from the stale store");
-        assert_eq!(map, fresh, "stale answer is the last consistent one");
-        assert!(c.fault_stats().stale_serves >= 1);
-        // Queries with no stale copy surface the transient failure.
-        assert!(c.get_irs_result("www").unwrap_err().is_transient());
-    })
-    .unwrap();
+    let mut c = sys.collection_mut("collPara").unwrap();
+    // An update invalidates the buffer, then the IRS goes down.
+    c.buffer().invalidate_all();
+    let plan = Arc::new(FaultPlan::new(42));
+    plan.set_down(true);
+    c.inject_faults(Some(plan));
+    let (map, origin) = c.get_irs_result_with_origin("telnet").unwrap();
+    assert_eq!(origin, ResultOrigin::Stale, "served from the stale store");
+    assert_eq!(map, fresh, "stale answer is the last consistent one");
+    assert!(c.fault_stats().stale_serves >= 1);
+    // Queries with no stale copy surface the transient failure.
+    assert!(c.get_irs_result("www").unwrap_err().is_transient());
 }
 
 #[test]
 fn recovery_after_outage_resumes_fresh_serving() {
     let sys = system_tests::two_issue_system();
-    sys.with_collection("collPara", |c| {
-        c.get_irs_result("telnet").unwrap();
-        c.buffer().invalidate_all();
-        let plan = Arc::new(FaultPlan::new(7));
-        plan.set_down(true);
-        c.inject_faults(Some(plan.clone()));
-        let (_, origin) = c.get_irs_result_with_origin("telnet").unwrap();
-        assert_eq!(origin, ResultOrigin::Stale);
-        // The IRS comes back; wait out the breaker cooldown.
-        plan.set_down(false);
-        std::thread::sleep(std::time::Duration::from_millis(60));
-        let (_, origin) = c.get_irs_result_with_origin("telnet").unwrap();
-        assert_eq!(origin, ResultOrigin::Fresh, "fresh serving resumes");
-        assert!(c.fault_stats().retries + c.fault_stats().giveups >= 1);
-    })
-    .unwrap();
+    let mut c = sys.collection_mut("collPara").unwrap();
+    c.get_irs_result("telnet").unwrap();
+    c.buffer().invalidate_all();
+    let plan = Arc::new(FaultPlan::new(7));
+    plan.set_down(true);
+    c.inject_faults(Some(plan.clone()));
+    let (_, origin) = c.get_irs_result_with_origin("telnet").unwrap();
+    assert_eq!(origin, ResultOrigin::Stale);
+    // The IRS comes back; wait out the breaker cooldown.
+    plan.set_down(false);
+    std::thread::sleep(std::time::Duration::from_millis(60));
+    let (_, origin) = c.get_irs_result_with_origin("telnet").unwrap();
+    assert_eq!(origin, ResultOrigin::Fresh, "fresh serving resumes");
+    assert!(c.fault_stats().retries + c.fault_stats().giveups >= 1);
 }
 
 #[test]
 fn transient_error_rate_is_absorbed_by_retries() {
     let sys = system_tests::two_issue_system();
-    sys.with_collection("collPara", |c| {
-        // 20% per-op failure; with 2 retries the effective failure rate
-        // is below 1%, so a handful of queries all succeed.
-        c.inject_faults(Some(Arc::new(FaultPlan::new(1234).with_error_rate(0.2))));
-        for q in ["telnet", "www", "nii", "login", "hypertext"] {
-            c.get_irs_result(q).unwrap();
-        }
-        assert!(c.fault_stats().giveups == 0, "retries absorbed all faults");
-    })
-    .unwrap();
+    let mut c = sys.collection_mut("collPara").unwrap();
+    // 20% per-op failure; with 2 retries the effective failure rate
+    // is below 1%, so a handful of queries all succeed.
+    c.inject_faults(Some(Arc::new(FaultPlan::new(1234).with_error_rate(0.2))));
+    for q in ["telnet", "www", "nii", "login", "hypertext"] {
+        c.get_irs_result(q).unwrap();
+    }
+    assert!(c.fault_stats().giveups == 0, "retries absorbed all faults");
 }
