@@ -203,21 +203,4 @@ mod tests {
         let err = sys.collection_mut("ghost").unwrap_err();
         assert_eq!(err.kind(), crate::ErrorKind::NotFound);
     }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_closure_shims_still_work() {
-        let sys = loaded_system();
-        let n = sys.read_collection("collPara", |c| c.len()).unwrap();
-        assert_eq!(n, 2);
-        let n = sys.with_collection("collPara", |c| c.len()).unwrap();
-        assert_eq!(n, 2);
-        let n = sys
-            .with_collection_and_db("collPara", |db, coll| {
-                coll.index_objects(db, "ACCESS p FROM p IN PARA")
-            })
-            .unwrap()
-            .unwrap();
-        assert_eq!(n, 2);
-    }
 }

@@ -294,46 +294,6 @@ impl DocumentSystem {
         &self.collections
     }
 
-    /// Run `f` with shared (read) access to a collection.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `sys.collection(name)?` — the handle derefs to `&Collection`"
-    )]
-    pub fn read_collection<R>(&self, name: &str, f: impl FnOnce(&Collection) -> R) -> Result<R> {
-        let coll = self.collection(name)?;
-        Ok(f(&coll))
-    }
-
-    /// Run `f` with mutable access to a collection.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `sys.collection_mut(name)?` — the handle derefs to `&mut Collection`"
-    )]
-    pub fn with_collection<R>(
-        &self,
-        name: &str,
-        f: impl FnOnce(&mut Collection) -> R,
-    ) -> Result<R> {
-        let mut coll = self.collection_mut(name)?;
-        Ok(f(&mut coll))
-    }
-
-    /// Run `f` with mutable access to a collection *and* the database —
-    /// for call sites that need both (mixed queries, propagation).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `sys.collection_mut(name)?` — the handle carries the database via `.db()`"
-    )]
-    pub fn with_collection_and_db<R>(
-        &self,
-        name: &str,
-        f: impl FnOnce(&Database, &mut Collection) -> R,
-    ) -> Result<R> {
-        let mut coll = self.collection_mut(name)?;
-        let db = coll.db();
-        Ok(f(db, &mut coll))
-    }
-
     /// Names of registered collections, sorted.
     pub fn collection_names(&self) -> Vec<String> {
         let mut names: Vec<String> = self.collections.read().keys().cloned().collect();

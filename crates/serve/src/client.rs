@@ -1,0 +1,127 @@
+//! A small blocking client for the wire protocol.
+//!
+//! One [`Client`] owns one TCP connection and speaks strict
+//! request/response: [`Client::call`] writes a request frame, then
+//! blocks for the matching response or error frame. Open one client per
+//! thread for concurrency — that mirrors how the server allocates a
+//! reader thread per connection.
+
+use std::fmt;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use coupling::ErrorKind;
+
+use crate::request::{Request, Response};
+use crate::wire::{
+    decode_fault, decode_response, encode_request, read_frame, write_frame, FrameKind, Status,
+    WireError, WireFault,
+};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport or framing layer failed (I/O error, bad frame,
+    /// undecodable payload).
+    Wire(WireError),
+    /// The server answered with an error frame.
+    Remote(WireFault),
+    /// The server closed the connection without answering.
+    ConnectionClosed,
+}
+
+impl ClientError {
+    /// The wire status, when the server answered with one.
+    pub fn status(&self) -> Option<Status> {
+        match self {
+            ClientError::Remote(fault) => Some(fault.status),
+            _ => None,
+        }
+    }
+
+    /// The coupling-taxonomy classification of this failure, mirroring
+    /// what an in-process caller would read from
+    /// [`coupling::CouplingError::kind`]. Transport failures classify
+    /// as [`ErrorKind::Io`]; undecodable frames as [`ErrorKind::Parse`].
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            ClientError::Wire(WireError::Io(_)) => ErrorKind::Io,
+            ClientError::Wire(_) => ErrorKind::Parse,
+            ClientError::Remote(fault) => fault.status.kind(),
+            ClientError::ConnectionClosed => ErrorKind::Io,
+        }
+    }
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "wire failure: {e}"),
+            ClientError::Remote(fault) => write!(f, "server error {fault}"),
+            ClientError::ConnectionClosed => f.write_str("connection closed by server"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// A blocking connection to a [`crate::NetServer`].
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a serving address.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader_stream = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(reader_stream),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Send one request and block for its outcome.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(
+            &mut self.writer,
+            FrameKind::Request,
+            &encode_request(request),
+        )?;
+        match read_frame(&mut self.reader)? {
+            Some(frame) if frame.kind == FrameKind::Response => {
+                Ok(decode_response(&frame.payload)?)
+            }
+            Some(frame) if frame.kind == FrameKind::Error => {
+                Err(ClientError::Remote(decode_fault(&frame.payload)?))
+            }
+            Some(frame) => Err(ClientError::Wire(WireError::Malformed(format!(
+                "unexpected {:?} frame in reply",
+                frame.kind
+            )))),
+            None => Err(ClientError::ConnectionClosed),
+        }
+    }
+}
+
+impl fmt::Debug for Client {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let peer = self.reader.get_ref().peer_addr();
+        f.debug_struct("Client").field("peer", &peer).finish()
+    }
+}

@@ -27,6 +27,13 @@
 //! * **Observability** — [`Server::metrics`] returns latency
 //!   percentiles, queue/admission counters, and
 //!   [`coupling::ResultOrigin`] counts.
+//! * **Wire protocol** — [`NetServer`] binds a TCP listener over the
+//!   same machinery: length-prefixed CRC-checked frames ([`wire`]), a
+//!   binary codec for [`Request`]/[`Response`], HTTP-idiom
+//!   [`wire::Status`] codes for errors (429 overloaded, 503 shutting
+//!   down, 504 deadline expired), and a blocking [`Client`]. This is
+//!   the paper's loose coupling (Fig. 1, alternative 3) as a real
+//!   network boundary.
 //!
 //! ```
 //! use coupling::prelude::*;
@@ -47,12 +54,18 @@
 //! server.shutdown();
 //! ```
 
+pub mod client;
 pub mod metrics;
+pub mod net;
 pub mod queue;
 pub mod request;
 pub mod server;
+pub mod wire;
 
+pub use client::{Client, ClientError};
 pub use metrics::{Metrics, MetricsSnapshot};
+pub use net::NetServer;
 pub use queue::{BoundedQueue, PushError};
 pub use request::{Request, Response};
 pub use server::{Server, ServerConfig, Ticket};
+pub use wire::{Status, WireError, WireFault};

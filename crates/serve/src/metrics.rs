@@ -29,6 +29,7 @@ pub struct Metrics {
     origin_fresh: AtomicU64,
     origin_buffered: AtomicU64,
     origin_stale: AtomicU64,
+    origin_none: AtomicU64,
     latency_buckets: [AtomicU64; BUCKETS],
     latency_max_us: AtomicU64,
     latency_sum_us: AtomicU64,
@@ -46,6 +47,7 @@ impl Default for Metrics {
             origin_fresh: AtomicU64::new(0),
             origin_buffered: AtomicU64::new(0),
             origin_stale: AtomicU64::new(0),
+            origin_none: AtomicU64::new(0),
             latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             latency_max_us: AtomicU64::new(0),
             latency_sum_us: AtomicU64::new(0),
@@ -81,12 +83,16 @@ impl Metrics {
 
     pub(crate) fn request_completed(&self, latency: Duration, origin: Option<ResultOrigin>) {
         self.completed.fetch_add(1, Ordering::Relaxed);
-        match origin {
-            Some(ResultOrigin::Fresh) => self.origin_fresh.fetch_add(1, Ordering::Relaxed),
-            Some(ResultOrigin::Buffered) => self.origin_buffered.fetch_add(1, Ordering::Relaxed),
-            Some(ResultOrigin::Stale) => self.origin_stale.fetch_add(1, Ordering::Relaxed),
-            None => 0,
+        // Every completion bumps exactly one origin counter — requests
+        // without a result origin (writes, value probes) are counted
+        // explicitly so the origin columns always sum to `completed`.
+        let origin_counter = match origin {
+            Some(ResultOrigin::Fresh) => &self.origin_fresh,
+            Some(ResultOrigin::Buffered) => &self.origin_buffered,
+            Some(ResultOrigin::Stale) => &self.origin_stale,
+            None => &self.origin_none,
         };
+        origin_counter.fetch_add(1, Ordering::Relaxed);
         let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
         let bucket = (63 - us.max(1).leading_zeros() as usize).min(BUCKETS - 1);
         self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
@@ -112,6 +118,7 @@ impl Metrics {
             origin_fresh: self.origin_fresh.load(Ordering::Relaxed),
             origin_buffered: self.origin_buffered.load(Ordering::Relaxed),
             origin_stale: self.origin_stale.load(Ordering::Relaxed),
+            origin_none: self.origin_none.load(Ordering::Relaxed),
             p50_us: percentile(&buckets, completed, 0.50),
             p90_us: percentile(&buckets, completed, 0.90),
             p99_us: percentile(&buckets, completed, 0.99),
@@ -143,7 +150,7 @@ fn percentile(buckets: &[u64], total: u64, q: f64) -> u64 {
 }
 
 /// Point-in-time view of a server's counters.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct MetricsSnapshot {
     /// Requests admitted to a queue.
     pub submitted: u64,
@@ -164,6 +171,10 @@ pub struct MetricsSnapshot {
     pub origin_buffered: u64,
     /// Completed reads answered from the stale store (IRS down).
     pub origin_stale: u64,
+    /// Completed requests with no result origin (writes and value
+    /// probes). `origin_fresh + origin_buffered + origin_stale +
+    /// origin_none == completed` always holds.
+    pub origin_none: u64,
     /// Median latency upper bound, microseconds.
     pub p50_us: u64,
     /// 90th-percentile latency upper bound, microseconds.
@@ -216,5 +227,20 @@ mod tests {
         let s = m.snapshot();
         assert_eq!(s.completed, 1);
         assert_eq!(s.p50_us, 2);
+    }
+
+    #[test]
+    fn origin_counters_reconcile_with_completed() {
+        let m = Metrics::new();
+        m.request_completed(Duration::from_micros(1), Some(ResultOrigin::Fresh));
+        m.request_completed(Duration::from_micros(1), Some(ResultOrigin::Stale));
+        m.request_completed(Duration::from_micros(1), None); // a write
+        m.request_completed(Duration::from_micros(1), None); // a value probe
+        let s = m.snapshot();
+        assert_eq!(s.origin_none, 2);
+        assert_eq!(
+            s.origin_fresh + s.origin_buffered + s.origin_stale + s.origin_none,
+            s.completed
+        );
     }
 }

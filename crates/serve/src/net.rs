@@ -1,0 +1,270 @@
+//! The TCP front-end: an accept loop feeding per-connection reader
+//! threads into a [`Server`]'s bounded-queue machinery.
+//!
+//! A [`NetServer`] wraps an already-started [`Server`] and binds a
+//! listener. Each accepted connection gets one reader thread that
+//! speaks the [`crate::wire`] protocol: read a request frame, decode,
+//! submit through the server (admission control, deadlines, and the
+//! writer lane all apply exactly as in-process), then answer with a
+//! response frame or an error frame carrying a [`Status`] code. The
+//! protocol is strictly sequential per connection — clients wanting
+//! concurrency open more connections, which is also what keeps the
+//! blocking [`crate::Client`] trivial.
+//!
+//! Malformed input (bad magic, bad CRC, over-cap length, undecodable
+//! payload) is answered with a best-effort `400` error frame, then the
+//! connection closes: once a stream has lost framing sync there is no
+//! safe way to keep reading it.
+//!
+//! Shutdown drains: [`NetServer::shutdown`] stops the accept loop,
+//! half-closes the read side of every live connection (a request in
+//! flight still completes and its response is still written), joins the
+//! connection threads, and only then shuts the inner [`Server`] down —
+//! so admitted work finishes and propagation logs flush as usual.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::metrics::MetricsSnapshot;
+use crate::server::Server;
+use crate::wire::{
+    decode_request, encode_fault, encode_response, read_frame, write_frame, FrameKind, Status,
+    WireError, WireFault,
+};
+
+/// Lock a mutex, recovering the data if a panicking holder poisoned it
+/// (the protected registries stay structurally valid across panics).
+fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+struct NetState {
+    shutting_down: AtomicBool,
+    /// Read-half handles of live connections, for the drain half-close.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    /// Join handles of connection threads (including finished ones;
+    /// joined at shutdown).
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+    next_conn_id: AtomicU64,
+}
+
+/// A TCP listener serving the wire protocol over a [`Server`].
+pub struct NetServer {
+    server: Option<Arc<Server>>,
+    state: Arc<NetState>,
+    local_addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// start accepting connections against `server`.
+    pub fn bind(server: Server, addr: impl ToSocketAddrs) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let server = Arc::new(server);
+        let state = Arc::new(NetState {
+            shutting_down: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            conn_threads: Mutex::new(Vec::new()),
+            next_conn_id: AtomicU64::new(0),
+        });
+        let accept_thread = {
+            let server = Arc::clone(&server);
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || accept_loop(listener, server, state))
+        };
+        Ok(NetServer {
+            server: Some(server),
+            state,
+            local_addr,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Snapshot of the inner server's request metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.server
+            .as_ref()
+            .expect("server present until shutdown")
+            .metrics()
+    }
+
+    /// Graceful shutdown: stop accepting, drain live connections (an
+    /// in-flight request still gets its response), then shut the inner
+    /// [`Server`] down (which drains its queues and flushes propagation
+    /// logs). Returns the final metrics.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.shutdown_inner()
+    }
+
+    fn shutdown_inner(&mut self) -> MetricsSnapshot {
+        self.state.shutting_down.store(true, Ordering::SeqCst);
+        // Unblock the accept loop: a throwaway connection makes
+        // `accept` return, and the loop then observes the flag.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        // Half-close every live connection's read side. Reader threads
+        // blocked in `read_frame` see EOF and exit; a thread mid-request
+        // finishes it and writes the response before noticing.
+        for (_, stream) in lock_recover(&self.state.conns).drain() {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+        loop {
+            let threads: Vec<JoinHandle<()>> =
+                lock_recover(&self.state.conn_threads).drain(..).collect();
+            if threads.is_empty() {
+                break;
+            }
+            for handle in threads {
+                let _ = handle.join();
+            }
+        }
+        match self.server.take() {
+            Some(server) => match Arc::try_unwrap(server) {
+                Ok(server) => server.shutdown(),
+                // Unreachable in practice: all clones lived in joined
+                // threads. Fall back to a snapshot without consuming.
+                Err(server) => server.metrics(),
+            },
+            None => MetricsSnapshot::default(),
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        if self.server.is_some() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+impl std::fmt::Debug for NetServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetServer")
+            .field("local_addr", &self.local_addr)
+            .field("live_connections", &lock_recover(&self.state.conns).len())
+            .finish()
+    }
+}
+
+fn accept_loop(listener: TcpListener, server: Arc<Server>, state: Arc<NetState>) {
+    loop {
+        let (stream, _peer) = match listener.accept() {
+            Ok(accepted) => accepted,
+            Err(_) if state.shutting_down.load(Ordering::SeqCst) => return,
+            Err(_) => continue,
+        };
+        if state.shutting_down.load(Ordering::SeqCst) {
+            // The wake-up connection from shutdown, or a late client:
+            // either way, refuse politely and stop accepting.
+            let _ = answer_fault(
+                &mut BufWriter::new(&stream),
+                &WireFault {
+                    status: Status::ShuttingDown,
+                    message: "server is shutting down".into(),
+                },
+            );
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let conn_id = state.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        if let Ok(registered) = stream.try_clone() {
+            lock_recover(&state.conns).insert(conn_id, registered);
+        }
+        let server = Arc::clone(&server);
+        let conn_state = Arc::clone(&state);
+        let handle = std::thread::spawn(move || {
+            handle_connection(&server, stream);
+            lock_recover(&conn_state.conns).remove(&conn_id);
+        });
+        lock_recover(&state.conn_threads).push(handle);
+    }
+}
+
+/// Serve one connection until clean close, protocol error, or drain.
+fn handle_connection(server: &Server, stream: TcpStream) {
+    let reader_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(reader_stream);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        match read_frame(&mut reader) {
+            Ok(Some(frame)) if frame.kind == FrameKind::Request => {
+                match decode_request(&frame.payload) {
+                    Ok(request) => {
+                        let answered = match server.call(request) {
+                            Ok(response) => answer_response(&mut writer, &response),
+                            Err(err) => answer_fault(&mut writer, &WireFault::from_error(&err)),
+                        };
+                        if answered.is_err() {
+                            return; // client went away mid-answer
+                        }
+                    }
+                    Err(err) => {
+                        let _ = answer_fault(
+                            &mut writer,
+                            &WireFault {
+                                status: Status::BadRequest,
+                                message: err.to_string(),
+                            },
+                        );
+                        return;
+                    }
+                }
+            }
+            Ok(Some(frame)) => {
+                // A response/error frame from a client is a protocol
+                // violation; tell it so and drop the connection.
+                let _ = answer_fault(
+                    &mut writer,
+                    &WireFault {
+                        status: Status::BadRequest,
+                        message: format!("unexpected {:?} frame from client", frame.kind),
+                    },
+                );
+                return;
+            }
+            Ok(None) => return,              // clean close
+            Err(WireError::Io(_)) => return, // reset/truncation: nothing to answer
+            Err(err) => {
+                // Framing-level garbage (bad magic/CRC/version/length):
+                // answer best-effort, then close — the stream has lost
+                // sync and further reads would misparse.
+                let _ = answer_fault(
+                    &mut writer,
+                    &WireFault {
+                        status: Status::BadRequest,
+                        message: err.to_string(),
+                    },
+                );
+                return;
+            }
+        }
+    }
+}
+
+fn answer_response(
+    writer: &mut BufWriter<TcpStream>,
+    response: &crate::request::Response,
+) -> Result<(), WireError> {
+    write_frame(writer, FrameKind::Response, &encode_response(response))
+}
+
+fn answer_fault(writer: &mut impl io::Write, fault: &WireFault) -> Result<(), WireError> {
+    write_frame(writer, FrameKind::Error, &encode_fault(fault))
+}

@@ -6,7 +6,11 @@
 //! Consumers block until work arrives or the queue is closed.
 //!
 //! Built on `std::sync::{Mutex, Condvar}` (the vendored `parking_lot`
-//! shim has no condition variables).
+//! shim has no condition variables). Lock poisoning is *recovered*, not
+//! propagated: a worker that panics while holding the queue lock must
+//! not cascade panics into every unrelated client thread blocked on the
+//! same queue — the queue's invariants hold at every await point, so
+//! the data behind a poisoned lock is still valid.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
@@ -55,7 +59,11 @@ impl<T> BoundedQueue<T> {
 
     /// Items currently queued.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue lock poisoned").items.len()
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .items
+            .len()
     }
 
     /// True when nothing is queued.
@@ -66,7 +74,7 @@ impl<T> BoundedQueue<T> {
     /// Non-blocking admission: enqueue `item` or hand it back with the
     /// refusal reason.
     pub fn push(&self, item: T) -> Result<(), PushError<T>> {
-        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         if inner.closed {
             return Err(PushError::Closed(item));
         }
@@ -83,7 +91,7 @@ impl<T> BoundedQueue<T> {
     /// drained — consumers use that as their exit signal, so close is
     /// graceful: queued work still completes.
     pub fn pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if let Some(item) = inner.items.pop_front() {
                 return Some(item);
@@ -91,13 +99,13 @@ impl<T> BoundedQueue<T> {
             if inner.closed {
                 return None;
             }
-            inner = self.ready.wait(inner).expect("queue lock poisoned");
+            inner = self.ready.wait(inner).unwrap_or_else(|e| e.into_inner());
         }
     }
 
     /// Refuse new work; wake all consumers so they can drain and exit.
     pub fn close(&self) {
-        self.inner.lock().expect("queue lock poisoned").closed = true;
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).closed = true;
         self.ready.notify_all();
     }
 }
@@ -151,6 +159,27 @@ mod tests {
         let mut got: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         got.sort();
         assert_eq!(got, vec![None, None, Some(42)]);
+    }
+
+    #[test]
+    fn poisoned_lock_is_recovered_not_cascaded() {
+        let q = Arc::new(BoundedQueue::new(4));
+        q.push(1).unwrap();
+        // Panic while holding the queue lock, poisoning it.
+        let q2 = Arc::clone(&q);
+        let _ = std::thread::spawn(move || {
+            let _guard = q2.inner.lock().unwrap();
+            panic!("poison the queue lock");
+        })
+        .join();
+        // Every operation still works: the queue's data was valid when
+        // the panicking holder died, so recovery is safe.
+        q.push(2).unwrap();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.len(), 1);
+        q.close();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

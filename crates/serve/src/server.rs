@@ -110,6 +110,14 @@ struct TicketState {
     ready: Condvar,
 }
 
+/// Lock a ticket/queue mutex, recovering from poisoning: a panicking
+/// worker must not cascade panics into every client thread blocked on
+/// an unrelated ticket. The protected `Option` slot is valid in every
+/// state the lock can be observed in, so recovery is safe.
+fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// A claim on the eventual outcome of a submitted request.
 pub struct Ticket {
     state: Arc<TicketState>,
@@ -118,23 +126,23 @@ pub struct Ticket {
 impl Ticket {
     /// Block until the request finishes and return its outcome.
     pub fn wait(self) -> coupling::Result<Response> {
-        let mut slot = self.state.slot.lock().expect("ticket lock poisoned");
+        let mut slot = lock_recover(&self.state.slot);
         loop {
             if let Some(result) = slot.take() {
                 return result;
             }
-            slot = self.state.ready.wait(slot).expect("ticket lock poisoned");
+            slot = self
+                .state
+                .ready
+                .wait(slot)
+                .unwrap_or_else(|e| e.into_inner());
         }
     }
 
     /// True once an outcome is available (then [`Ticket::wait`] will
     /// not block).
     pub fn is_ready(&self) -> bool {
-        self.state
-            .slot
-            .lock()
-            .expect("ticket lock poisoned")
-            .is_some()
+        lock_recover(&self.state.slot).is_some()
     }
 }
 
@@ -148,7 +156,7 @@ struct Completion {
 
 impl Completion {
     fn deliver(state: &Arc<TicketState>, result: coupling::Result<Response>) {
-        *state.slot.lock().expect("ticket lock poisoned") = Some(result);
+        *lock_recover(&state.slot) = Some(result);
         state.ready.notify_all();
     }
 
@@ -271,6 +279,16 @@ impl Server {
             &self.state.read_queue
         };
         let (ticket, completion) = ticket_pair();
+        // A deadline that has already expired cannot be met: fail it
+        // now instead of burning a queue slot on work the client has
+        // given up on before it could even start waiting.
+        if let Some(d) = deadline {
+            if d.is_zero() {
+                self.state.metrics.request_timed_out();
+                completion.complete(Err(CouplingError::Timeout(d)));
+                return ticket;
+            }
+        }
         let job = Job {
             request,
             completion,

@@ -1,0 +1,956 @@
+//! The wire protocol: framing and a binary codec for the typed
+//! [`Request`]/[`Response`] protocol.
+//!
+//! This is the paper's loose coupling (Fig. 1, alternative 3) made
+//! literal: the IRS front-end becomes reachable across a network
+//! boundary, so requests and responses must survive a byte stream that
+//! can be truncated, corrupted, or hostile. Every frame therefore
+//! carries a magic number, a protocol version, a length capped at
+//! [`MAX_FRAME_LEN`], and a CRC-32 of the payload:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic          b"OIRS"
+//!      4     1  version        1
+//!      5     1  kind           0 = request, 1 = response, 2 = error
+//!      6     4  payload length little-endian, <= MAX_FRAME_LEN
+//!     10     4  payload CRC-32 little-endian (IEEE, as the journal uses)
+//!     14   len  payload
+//! ```
+//!
+//! The payload codec is hand-rolled (the workspace deliberately carries
+//! no serde): little-endian fixed-width integers, `f64` as IEEE-754
+//! bits, strings and sequences length-prefixed with `u32`. Decoding is
+//! strict — trailing bytes, truncated fields, unknown tags, and
+//! out-of-range discriminants are all [`WireError::Malformed`], never a
+//! panic.
+//!
+//! Failures cross the wire as an *error frame* whose payload is a
+//! [`WireFault`]: a [`Status`] code in the HTTP idiom (429 overloaded,
+//! 503 shutting down, 504 deadline expired, 400 parse failure, …) plus
+//! the server's error message. [`Status::for_error`] defines the
+//! mapping from the coupling's [`ErrorKind`] taxonomy.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use coupling::{CouplingError, ErrorKind, MixedStrategy, ResultOrigin};
+use irs::persist::crc32;
+use oodb::Oid;
+
+use crate::request::{Request, Response};
+
+/// First four bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"OIRS";
+
+/// Current protocol version. A server refuses frames from a different
+/// version instead of guessing at their layout.
+pub const VERSION: u8 = 1;
+
+/// Hard cap on a frame's payload length (8 MiB). A length field above
+/// this is rejected *before* any allocation, so a hostile or corrupt
+/// header cannot make the peer reserve gigabytes.
+pub const MAX_FRAME_LEN: u32 = 8 * 1024 * 1024;
+
+/// Bytes in a frame header (magic + version + kind + length + CRC).
+pub const HEADER_LEN: usize = 14;
+
+// ---------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------
+
+/// Why a frame could not be read, written, or decoded.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying stream failed (including truncation mid-frame,
+    /// which surfaces as `UnexpectedEof`).
+    Io(io::Error),
+    /// The first four bytes were not [`MAGIC`] — the peer is not
+    /// speaking this protocol, or the stream lost sync.
+    BadMagic([u8; 4]),
+    /// The peer speaks a different protocol version.
+    BadVersion(u8),
+    /// The frame-kind byte is not a known [`FrameKind`].
+    BadKind(u8),
+    /// The declared payload length exceeds [`MAX_FRAME_LEN`].
+    Oversize(u32),
+    /// The payload arrived but its CRC-32 does not match the header.
+    BadCrc {
+        /// CRC the header promised.
+        expected: u32,
+        /// CRC of the bytes actually received.
+        found: u32,
+    },
+    /// The payload's bytes do not decode as the expected shape
+    /// (truncated field, unknown tag, trailing garbage, bad UTF-8, …).
+    Malformed(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire I/O error: {e}"),
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            WireError::Oversize(n) => {
+                write!(f, "frame length {n} exceeds cap {MAX_FRAME_LEN}")
+            }
+            WireError::BadCrc { expected, found } => {
+                write!(
+                    f,
+                    "frame CRC mismatch: header {expected:08x}, payload {found:08x}"
+                )
+            }
+            WireError::Malformed(why) => write!(f, "malformed payload: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// Result alias for wire operations.
+pub type WireResult<T> = std::result::Result<T, WireError>;
+
+// ---------------------------------------------------------------------
+// Frames
+// ---------------------------------------------------------------------
+
+/// What a frame's payload contains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// A client-to-server [`Request`].
+    Request,
+    /// A server-to-client [`Response`].
+    Response,
+    /// A server-to-client [`WireFault`].
+    Error,
+}
+
+impl FrameKind {
+    fn as_byte(self) -> u8 {
+        match self {
+            FrameKind::Request => 0,
+            FrameKind::Response => 1,
+            FrameKind::Error => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<FrameKind> {
+        match b {
+            0 => Some(FrameKind::Request),
+            1 => Some(FrameKind::Response),
+            2 => Some(FrameKind::Error),
+            _ => None,
+        }
+    }
+}
+
+/// One decoded frame: kind plus raw payload (CRC already verified).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// What the payload encodes.
+    pub kind: FrameKind,
+    /// The payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Serialise one frame to `w`. The payload must fit under
+/// [`MAX_FRAME_LEN`].
+pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> WireResult<()> {
+    if payload.len() > MAX_FRAME_LEN as usize {
+        return Err(WireError::Oversize(payload.len() as u32));
+    }
+    let mut header = [0u8; HEADER_LEN];
+    header[0..4].copy_from_slice(&MAGIC);
+    header[4] = VERSION;
+    header[5] = kind.as_byte();
+    header[6..10].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[10..14].copy_from_slice(&crc32(payload).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame from `r`.
+///
+/// Returns `Ok(None)` on a clean close — EOF *between* frames. EOF in
+/// the middle of a header or payload is a truncation and surfaces as
+/// `WireError::Io(UnexpectedEof)`. The payload is only read once the
+/// header validates (magic, version, kind, length cap), and is only
+/// returned once its CRC matches.
+pub fn read_frame(r: &mut impl Read) -> WireResult<Option<Frame>> {
+    let mut header = [0u8; HEADER_LEN];
+    // The first byte decides clean-close vs truncation.
+    let mut got = 0usize;
+    while got < header.len() {
+        match r.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(WireError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!("stream truncated after {got} header bytes"),
+                )))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    if header[0..4] != MAGIC {
+        let mut m = [0u8; 4];
+        m.copy_from_slice(&header[0..4]);
+        return Err(WireError::BadMagic(m));
+    }
+    if header[4] != VERSION {
+        return Err(WireError::BadVersion(header[4]));
+    }
+    let kind = FrameKind::from_byte(header[5]).ok_or(WireError::BadKind(header[5]))?;
+    let len = u32::from_le_bytes(header[6..10].try_into().expect("4 bytes"));
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::Oversize(len));
+    }
+    let expected = u32::from_le_bytes(header[10..14].try_into().expect("4 bytes"));
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    let found = crc32(&payload);
+    if found != expected {
+        return Err(WireError::BadCrc { expected, found });
+    }
+    Ok(Some(Frame { kind, payload }))
+}
+
+// ---------------------------------------------------------------------
+// Status codes
+// ---------------------------------------------------------------------
+
+/// Wire-level outcome classification, in the HTTP status idiom so the
+/// numbers read familiarly in logs and dashboards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Status {
+    /// 400 — the request failed to parse (query syntax, bad spec).
+    BadRequest,
+    /// 404 — a named collection/object/class does not exist.
+    NotFound,
+    /// 429 — rejected by admission control (bounded queue full).
+    Overloaded,
+    /// 500 — an internal failure (I/O, corruption, API misuse).
+    Internal,
+    /// 502 — the IRS back-end is unavailable and no fallback masked it.
+    IrsDown,
+    /// 503 — the server is shutting down.
+    ShuttingDown,
+    /// 504 — the request's deadline expired before it was served.
+    Timeout,
+}
+
+impl Status {
+    /// The numeric code carried on the wire.
+    pub fn code(self) -> u16 {
+        match self {
+            Status::BadRequest => 400,
+            Status::NotFound => 404,
+            Status::Overloaded => 429,
+            Status::Internal => 500,
+            Status::IrsDown => 502,
+            Status::ShuttingDown => 503,
+            Status::Timeout => 504,
+        }
+    }
+
+    /// Parse a numeric code back into a status.
+    pub fn from_code(code: u16) -> Option<Status> {
+        match code {
+            400 => Some(Status::BadRequest),
+            404 => Some(Status::NotFound),
+            429 => Some(Status::Overloaded),
+            500 => Some(Status::Internal),
+            502 => Some(Status::IrsDown),
+            503 => Some(Status::ShuttingDown),
+            504 => Some(Status::Timeout),
+            _ => None,
+        }
+    }
+
+    /// The wire status for a coupling error.
+    ///
+    /// `Overloaded` and `ShuttingDown` share an [`ErrorKind`] but are
+    /// distinct on the wire (retry-now vs go-away), so those variants
+    /// are matched directly; everything else maps through the stable
+    /// [`CouplingError::kind`] taxonomy.
+    pub fn for_error(err: &CouplingError) -> Status {
+        match err {
+            CouplingError::Overloaded(_) => Status::Overloaded,
+            CouplingError::ShuttingDown => Status::ShuttingDown,
+            _ => match err.kind() {
+                ErrorKind::NotFound => Status::NotFound,
+                ErrorKind::Overloaded => Status::Overloaded,
+                ErrorKind::Timeout => Status::Timeout,
+                ErrorKind::IrsDown => Status::IrsDown,
+                ErrorKind::Parse => Status::BadRequest,
+                ErrorKind::Io | ErrorKind::Other => Status::Internal,
+                _ => Status::Internal,
+            },
+        }
+    }
+
+    /// The [`ErrorKind`] a client should treat this status as — the
+    /// inverse of [`Status::for_error`], up to the taxonomy's own
+    /// coarseness (`ShuttingDown` classifies as `Overloaded`, exactly
+    /// as [`CouplingError::ShuttingDown.kind()`](CouplingError::kind)
+    /// does in-process).
+    pub fn kind(self) -> ErrorKind {
+        match self {
+            Status::BadRequest => ErrorKind::Parse,
+            Status::NotFound => ErrorKind::NotFound,
+            Status::Overloaded | Status::ShuttingDown => ErrorKind::Overloaded,
+            Status::Internal => ErrorKind::Other,
+            Status::IrsDown => ErrorKind::IrsDown,
+            Status::Timeout => ErrorKind::Timeout,
+        }
+    }
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+/// An error as it crosses the wire: status plus the server's message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireFault {
+    /// Wire-level classification.
+    pub status: Status,
+    /// Human-readable detail (the server-side `Display` of the error).
+    pub message: String,
+}
+
+impl WireFault {
+    /// Build the fault frame payload for a server-side error.
+    pub fn from_error(err: &CouplingError) -> WireFault {
+        WireFault {
+            status: Status::for_error(err),
+            message: err.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for WireFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.status.code(), self.message)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Payload codec
+// ---------------------------------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Strict payload reader: every accessor bounds-checks, and
+/// [`Dec::finish`] rejects trailing bytes.
+struct Dec<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(bytes: &'a [u8]) -> Dec<'a> {
+        Dec { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> WireResult<&'a [u8]> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
+        match end {
+            Some(end) => {
+                let slice = &self.bytes[self.pos..end];
+                self.pos = end;
+                Ok(slice)
+            }
+            None => Err(WireError::Malformed(format!(
+                "truncated {what}: need {n} bytes at offset {}, payload is {}",
+                self.pos,
+                self.bytes.len()
+            ))),
+        }
+    }
+
+    fn u8(&mut self, what: &str) -> WireResult<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &str) -> WireResult<u16> {
+        Ok(u16::from_le_bytes(
+            self.take(2, what)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn u32(&mut self, what: &str) -> WireResult<u32> {
+        Ok(u32::from_le_bytes(
+            self.take(4, what)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self, what: &str) -> WireResult<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn f64(&mut self, what: &str) -> WireResult<f64> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    fn string(&mut self, what: &str) -> WireResult<String> {
+        let len = self.u32(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| WireError::Malformed(format!("{what} is not valid UTF-8")))
+    }
+
+    /// A `u32` element count, sanity-bounded by the bytes actually left
+    /// (each element needs at least `min_elem_len` bytes), so a corrupt
+    /// count cannot drive a huge allocation.
+    fn count(&mut self, min_elem_len: usize, what: &str) -> WireResult<usize> {
+        let n = self.u32(what)? as usize;
+        let remaining = self.bytes.len() - self.pos;
+        if n.saturating_mul(min_elem_len.max(1)) > remaining {
+            return Err(WireError::Malformed(format!(
+                "{what} count {n} cannot fit in {remaining} remaining bytes"
+            )));
+        }
+        Ok(n)
+    }
+
+    fn finish(self) -> WireResult<()> {
+        if self.pos != self.bytes.len() {
+            return Err(WireError::Malformed(format!(
+                "{} trailing bytes after payload",
+                self.bytes.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn strategy_byte(s: MixedStrategy) -> u8 {
+    match s {
+        MixedStrategy::Independent => 0,
+        MixedStrategy::IrsFirst => 1,
+    }
+}
+
+fn strategy_from(b: u8) -> WireResult<MixedStrategy> {
+    match b {
+        0 => Ok(MixedStrategy::Independent),
+        1 => Ok(MixedStrategy::IrsFirst),
+        other => Err(WireError::Malformed(format!(
+            "unknown mixed strategy {other}"
+        ))),
+    }
+}
+
+fn origin_byte(o: ResultOrigin) -> u8 {
+    match o {
+        ResultOrigin::Fresh => 0,
+        ResultOrigin::Buffered => 1,
+        ResultOrigin::Stale => 2,
+    }
+}
+
+fn origin_from(b: u8) -> WireResult<ResultOrigin> {
+    match b {
+        0 => Ok(ResultOrigin::Fresh),
+        1 => Ok(ResultOrigin::Buffered),
+        2 => Ok(ResultOrigin::Stale),
+        other => Err(WireError::Malformed(format!(
+            "unknown result origin {other}"
+        ))),
+    }
+}
+
+/// Encode a request as a frame payload.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    match req {
+        Request::IrsQuery { collection, query } => {
+            buf.push(0);
+            put_str(&mut buf, collection);
+            put_str(&mut buf, query);
+        }
+        Request::MixedQuery {
+            collection,
+            class,
+            irs_query,
+            threshold,
+            strategy,
+        } => {
+            buf.push(1);
+            put_str(&mut buf, collection);
+            put_str(&mut buf, class);
+            put_str(&mut buf, irs_query);
+            put_f64(&mut buf, *threshold);
+            buf.push(strategy_byte(*strategy));
+        }
+        Request::GetIrsValue {
+            collection,
+            query,
+            oid,
+        } => {
+            buf.push(2);
+            put_str(&mut buf, collection);
+            put_str(&mut buf, query);
+            put_u64(&mut buf, oid.0);
+        }
+        Request::UpdateText {
+            oid,
+            text,
+            collections,
+        } => {
+            buf.push(3);
+            put_u64(&mut buf, oid.0);
+            put_str(&mut buf, text);
+            put_u32(&mut buf, collections.len() as u32);
+            for name in collections {
+                put_str(&mut buf, name);
+            }
+        }
+        Request::IndexObjects {
+            collection,
+            spec_query,
+        } => {
+            buf.push(4);
+            put_str(&mut buf, collection);
+            put_str(&mut buf, spec_query);
+        }
+    }
+    buf
+}
+
+/// Decode a request frame payload. Strict: unknown tags, truncated
+/// fields, and trailing bytes are all [`WireError::Malformed`].
+pub fn decode_request(payload: &[u8]) -> WireResult<Request> {
+    let mut d = Dec::new(payload);
+    let req = match d.u8("request tag")? {
+        0 => Request::IrsQuery {
+            collection: d.string("collection")?,
+            query: d.string("query")?,
+        },
+        1 => Request::MixedQuery {
+            collection: d.string("collection")?,
+            class: d.string("class")?,
+            irs_query: d.string("irs query")?,
+            threshold: d.f64("threshold")?,
+            strategy: strategy_from(d.u8("strategy")?)?,
+        },
+        2 => Request::GetIrsValue {
+            collection: d.string("collection")?,
+            query: d.string("query")?,
+            oid: Oid(d.u64("oid")?),
+        },
+        3 => {
+            let oid = Oid(d.u64("oid")?);
+            let text = d.string("text")?;
+            let n = d.count(4, "collection list")?;
+            let mut collections = Vec::with_capacity(n);
+            for _ in 0..n {
+                collections.push(d.string("collection name")?);
+            }
+            Request::UpdateText {
+                oid,
+                text,
+                collections,
+            }
+        }
+        4 => Request::IndexObjects {
+            collection: d.string("collection")?,
+            spec_query: d.string("spec query")?,
+        },
+        other => return Err(WireError::Malformed(format!("unknown request tag {other}"))),
+    };
+    d.finish()?;
+    Ok(req)
+}
+
+/// Encode a response as a frame payload.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    match resp {
+        Response::IrsResult { hits, origin } => {
+            buf.push(0);
+            buf.push(origin_byte(*origin));
+            put_u32(&mut buf, hits.len() as u32);
+            for (oid, value) in hits {
+                put_u64(&mut buf, oid.0);
+                put_f64(&mut buf, *value);
+            }
+        }
+        Response::Mixed {
+            oids,
+            strategy,
+            origin,
+        } => {
+            buf.push(1);
+            buf.push(strategy_byte(*strategy));
+            buf.push(origin_byte(*origin));
+            put_u32(&mut buf, oids.len() as u32);
+            for oid in oids {
+                put_u64(&mut buf, oid.0);
+            }
+        }
+        Response::Value(v) => {
+            buf.push(2);
+            put_f64(&mut buf, *v);
+        }
+        Response::Updated { collections } => {
+            buf.push(3);
+            put_u64(&mut buf, *collections as u64);
+        }
+        Response::Indexed { objects } => {
+            buf.push(4);
+            put_u64(&mut buf, *objects as u64);
+        }
+    }
+    buf
+}
+
+/// Decode a response frame payload (strict, like [`decode_request`]).
+pub fn decode_response(payload: &[u8]) -> WireResult<Response> {
+    let mut d = Dec::new(payload);
+    let resp = match d.u8("response tag")? {
+        0 => {
+            let origin = origin_from(d.u8("origin")?)?;
+            let n = d.count(16, "hit list")?;
+            let mut hits = Vec::with_capacity(n);
+            for _ in 0..n {
+                let oid = Oid(d.u64("hit oid")?);
+                let value = d.f64("hit value")?;
+                hits.push((oid, value));
+            }
+            Response::IrsResult { hits, origin }
+        }
+        1 => {
+            let strategy = strategy_from(d.u8("strategy")?)?;
+            let origin = origin_from(d.u8("origin")?)?;
+            let n = d.count(8, "oid list")?;
+            let mut oids = Vec::with_capacity(n);
+            for _ in 0..n {
+                oids.push(Oid(d.u64("oid")?));
+            }
+            Response::Mixed {
+                oids,
+                strategy,
+                origin,
+            }
+        }
+        2 => Response::Value(d.f64("value")?),
+        3 => Response::Updated {
+            collections: d.u64("collection count")? as usize,
+        },
+        4 => Response::Indexed {
+            objects: d.u64("object count")? as usize,
+        },
+        other => {
+            return Err(WireError::Malformed(format!(
+                "unknown response tag {other}"
+            )))
+        }
+    };
+    d.finish()?;
+    Ok(resp)
+}
+
+/// Encode a fault as an error-frame payload.
+pub fn encode_fault(fault: &WireFault) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16 + fault.message.len());
+    buf.extend_from_slice(&fault.status.code().to_le_bytes());
+    put_str(&mut buf, &fault.message);
+    buf
+}
+
+/// Decode an error-frame payload.
+pub fn decode_fault(payload: &[u8]) -> WireResult<WireFault> {
+    let mut d = Dec::new(payload);
+    let code = d.u16("status code")?;
+    let status = Status::from_code(code)
+        .ok_or_else(|| WireError::Malformed(format!("unknown status code {code}")))?;
+    let message = d.string("error message")?;
+    d.finish()?;
+    Ok(WireFault { status, message })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn roundtrip_frame(kind: FrameKind, payload: &[u8]) -> Frame {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, kind, payload).unwrap();
+        read_frame(&mut buf.as_slice()).unwrap().expect("one frame")
+    }
+
+    #[test]
+    fn frame_roundtrip_and_clean_close() {
+        let f = roundtrip_frame(FrameKind::Request, b"hello");
+        assert_eq!(f.kind, FrameKind::Request);
+        assert_eq!(f.payload, b"hello");
+        // EOF at a frame boundary is a clean close.
+        assert!(read_frame(&mut (&[] as &[u8])).unwrap().is_none());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Request, b"x").unwrap();
+        buf[0] = b'X';
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(WireError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn bad_version_and_kind_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Request, b"x").unwrap();
+        let mut v = buf.clone();
+        v[4] = 99;
+        assert!(matches!(
+            read_frame(&mut v.as_slice()),
+            Err(WireError::BadVersion(99))
+        ));
+        let mut k = buf.clone();
+        k[5] = 7;
+        assert!(matches!(
+            read_frame(&mut k.as_slice()),
+            Err(WireError::BadKind(7))
+        ));
+    }
+
+    #[test]
+    fn oversize_length_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Request, b"x").unwrap();
+        buf[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(WireError::Oversize(u32::MAX))
+        ));
+    }
+
+    #[test]
+    fn corrupt_payload_fails_crc() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Response, b"payload").unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0xff;
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(WireError::BadCrc { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_is_unexpected_eof_not_clean_close() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Request, b"0123456789").unwrap();
+        for cut in [1, HEADER_LEN - 1, HEADER_LEN + 3] {
+            let err = read_frame(&mut &buf[..cut]).expect_err("truncated");
+            match err {
+                WireError::Io(e) => assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof),
+                other => panic!("expected Io(UnexpectedEof), got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn request_codec_roundtrips_every_variant() {
+        let requests = vec![
+            Request::IrsQuery {
+                collection: "collPara".into(),
+                query: "#and(telnet www)".into(),
+            },
+            Request::MixedQuery {
+                collection: "c".into(),
+                class: "PARA".into(),
+                irs_query: "nii".into(),
+                threshold: 0.45,
+                strategy: MixedStrategy::IrsFirst,
+            },
+            Request::GetIrsValue {
+                collection: "c".into(),
+                query: "q".into(),
+                oid: Oid(17),
+            },
+            Request::UpdateText {
+                oid: Oid(3),
+                text: "ünïcodé text".into(),
+                collections: vec!["a".into(), "b".into()],
+            },
+            Request::IndexObjects {
+                collection: "c".into(),
+                spec_query: "ACCESS p FROM p IN PARA".into(),
+            },
+        ];
+        for req in requests {
+            let decoded = decode_request(&encode_request(&req)).unwrap();
+            assert_eq!(decoded, req);
+        }
+    }
+
+    #[test]
+    fn response_codec_roundtrips_every_variant() {
+        let responses = vec![
+            Response::IrsResult {
+                hits: vec![(Oid(1), 0.9), (Oid(2), 0.1)],
+                origin: ResultOrigin::Stale,
+            },
+            Response::Mixed {
+                oids: vec![Oid(5), Oid(9)],
+                strategy: MixedStrategy::Independent,
+                origin: ResultOrigin::Buffered,
+            },
+            Response::Value(0.725),
+            Response::Updated { collections: 2 },
+            Response::Indexed { objects: 40 },
+        ];
+        for resp in responses {
+            let decoded = decode_response(&encode_response(&resp)).unwrap();
+            assert_eq!(decoded, resp);
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_error_cleanly() {
+        // Unknown tag.
+        assert!(matches!(
+            decode_request(&[200]),
+            Err(WireError::Malformed(_))
+        ));
+        // Empty payload.
+        assert!(matches!(decode_request(&[]), Err(WireError::Malformed(_))));
+        // Truncated string.
+        let mut buf = vec![0u8];
+        put_u32(&mut buf, 100);
+        assert!(matches!(decode_request(&buf), Err(WireError::Malformed(_))));
+        // Trailing garbage.
+        let mut ok = encode_request(&Request::IrsQuery {
+            collection: "c".into(),
+            query: "q".into(),
+        });
+        ok.push(0);
+        assert!(matches!(decode_request(&ok), Err(WireError::Malformed(_))));
+        // Hostile element count (claims more hits than bytes).
+        let mut resp = vec![0u8, 0u8];
+        put_u32(&mut resp, u32::MAX);
+        assert!(matches!(
+            decode_response(&resp),
+            Err(WireError::Malformed(_))
+        ));
+        // Bad discriminants.
+        assert!(matches!(
+            decode_response(&[0, 9, 0, 0, 0, 0]),
+            Err(WireError::Malformed(_))
+        ));
+        // Invalid UTF-8 in a string.
+        let mut bad = vec![0u8];
+        put_u32(&mut bad, 2);
+        bad.extend_from_slice(&[0xff, 0xfe]);
+        put_u32(&mut bad, 0);
+        assert!(matches!(decode_request(&bad), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn status_mapping_matches_error_taxonomy() {
+        assert_eq!(
+            Status::for_error(&CouplingError::Overloaded(64)),
+            Status::Overloaded
+        );
+        assert_eq!(
+            Status::for_error(&CouplingError::ShuttingDown),
+            Status::ShuttingDown
+        );
+        assert_eq!(
+            Status::for_error(&CouplingError::Timeout(Duration::from_millis(1))),
+            Status::Timeout
+        );
+        assert_eq!(
+            Status::for_error(&CouplingError::UnknownCollection("c".into())),
+            Status::NotFound
+        );
+        assert_eq!(
+            Status::for_error(&irs::IrsError::Unavailable("down".into()).into()),
+            Status::IrsDown
+        );
+        assert_eq!(
+            Status::for_error(&CouplingError::BadSpecQuery("no".into())),
+            Status::BadRequest
+        );
+        assert_eq!(
+            Status::for_error(&std::io::Error::other("disk").into()),
+            Status::Internal
+        );
+        // Codes survive the wire and reverse to the right ErrorKind.
+        for status in [
+            Status::BadRequest,
+            Status::NotFound,
+            Status::Overloaded,
+            Status::Internal,
+            Status::IrsDown,
+            Status::ShuttingDown,
+            Status::Timeout,
+        ] {
+            assert_eq!(Status::from_code(status.code()), Some(status));
+        }
+        assert_eq!(Status::Overloaded.kind(), ErrorKind::Overloaded);
+        assert_eq!(Status::ShuttingDown.kind(), ErrorKind::Overloaded);
+        assert_eq!(Status::Timeout.kind(), ErrorKind::Timeout);
+    }
+
+    #[test]
+    fn fault_roundtrip() {
+        let fault = WireFault {
+            status: Status::Overloaded,
+            message: "overloaded: request queue at capacity 64".into(),
+        };
+        let decoded = decode_fault(&encode_fault(&fault)).unwrap();
+        assert_eq!(decoded, fault);
+        assert!(fault.to_string().starts_with("429"));
+        // Unknown codes are malformed, not a panic.
+        let mut bad = encode_fault(&fault);
+        bad[0] = 0xff;
+        bad[1] = 0xff;
+        assert!(matches!(decode_fault(&bad), Err(WireError::Malformed(_))));
+    }
+}

@@ -23,6 +23,15 @@ echo "==> bench smoke (serve front-end, writes BENCH_serve.json)"
 # beat 1 client by more than 2x throughput, or if any request fails.
 cargo run -q -p coupling-bench --release --bin bench_serve -- --smoke
 
+echo "==> loopback smoke (wire protocol over real sockets)"
+cargo test -q -p system-tests --test net --test wire
+
+echo "==> bench smoke (wire protocol, writes BENCH_net.json)"
+# Exits nonzero and prints REGRESSION if any request fails over the
+# wire, any response has the wrong shape, or loopback throughput falls
+# below 10% of in-process (catching protocol-level stalls).
+cargo run -q -p coupling-bench --release --bin bench_net -- --smoke
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
