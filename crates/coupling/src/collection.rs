@@ -701,6 +701,19 @@ impl Collection {
         self.irs.set_fault_plan(plan);
     }
 
+    /// Freeze (or thaw) the underlying IRS collection. A read replica
+    /// freezes every collection after loading a saved system, so stray
+    /// write requests fail with [`irs::IrsError::ReadOnly`] instead of
+    /// silently forking the replica's index from its primary.
+    pub fn set_read_only(&mut self, read_only: bool) {
+        self.irs.set_read_only(read_only);
+    }
+
+    /// True while the underlying IRS collection refuses mutation.
+    pub fn is_read_only(&self) -> bool {
+        self.irs.is_read_only()
+    }
+
     /// The retry policy IRS calls run under.
     pub fn retry_policy(&self) -> &RetryPolicy {
         &self.retry

@@ -89,14 +89,34 @@ pub enum CouplingError {
     /// A per-request deadline expired; carries how long the request had
     /// waited when the deadline was enforced.
     Timeout(Duration),
+    /// A remote replica call failed. The failure crossed a process
+    /// boundary, so only its wire-level classification survives — the
+    /// stored [`ErrorKind`] is authoritative and [`CouplingError::kind`]
+    /// returns it unchanged.
+    Remote {
+        /// Classification the transport derived from the wire status
+        /// (or from the local I/O failure).
+        kind: ErrorKind,
+        /// Human-readable detail, including which replica failed.
+        message: String,
+    },
 }
 
 impl CouplingError {
     /// True for errors a retry or a stale-read fallback can be expected
-    /// to resolve — currently exactly a transient IRS failure (see
-    /// [`irs::IrsError::is_transient`]).
+    /// to resolve — a transient IRS failure (see
+    /// [`irs::IrsError::is_transient`]), or a remote replica failure
+    /// whose classification is infrastructural (the replica or the
+    /// network, not the request itself).
     pub fn is_transient(&self) -> bool {
-        matches!(self, CouplingError::Irs(e) if e.is_transient())
+        match self {
+            CouplingError::Irs(e) => e.is_transient(),
+            CouplingError::Remote { kind, .. } => matches!(
+                kind,
+                ErrorKind::IrsDown | ErrorKind::Io | ErrorKind::Timeout | ErrorKind::Overloaded
+            ),
+            _ => false,
+        }
     }
 
     /// The stable classification of this error (see [`ErrorKind`]).
@@ -106,7 +126,9 @@ impl CouplingError {
                 irs::IrsError::Unavailable(_) => ErrorKind::IrsDown,
                 irs::IrsError::QueryParse { .. } => ErrorKind::Parse,
                 irs::IrsError::UnknownDocument(_) => ErrorKind::NotFound,
-                irs::IrsError::DuplicateDocument(_) => ErrorKind::Other,
+                irs::IrsError::DuplicateDocument(_) | irs::IrsError::ReadOnly(_) => {
+                    ErrorKind::Other
+                }
                 irs::IrsError::CorruptIndex(_) | irs::IrsError::Io(_) => ErrorKind::Io,
             },
             CouplingError::Db(e) => match e {
@@ -127,6 +149,7 @@ impl CouplingError {
             CouplingError::NotPersistable(_) => ErrorKind::Other,
             CouplingError::Overloaded(_) | CouplingError::ShuttingDown => ErrorKind::Overloaded,
             CouplingError::Timeout(_) => ErrorKind::Timeout,
+            CouplingError::Remote { kind, .. } => *kind,
         }
     }
 }
@@ -149,6 +172,9 @@ impl fmt::Display for CouplingError {
             CouplingError::ShuttingDown => write!(f, "server is shutting down"),
             CouplingError::Timeout(waited) => {
                 write!(f, "request deadline expired after {waited:?}")
+            }
+            CouplingError::Remote { kind, message } => {
+                write!(f, "remote replica failure ({kind}): {message}")
             }
         }
     }

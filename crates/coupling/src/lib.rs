@@ -61,6 +61,7 @@ pub mod mixed;
 pub mod ops;
 pub mod persist;
 pub mod propagate;
+pub mod remote;
 pub mod retry;
 pub mod shared;
 pub mod system;
@@ -78,6 +79,7 @@ pub use journal::{Journal, SyncPolicy};
 pub use mixed::{evaluate_mixed, MixedOutcome, MixedStrategy};
 pub use persist::{journal_path, open_system, save_system};
 pub use propagate::{PendingOp, PropagationStrategy, Propagator};
+pub use remote::{RemoteConfig, RemoteIrs, RemoteStats, ReplicaHealth, ReplicaTransport};
 pub use retry::{BreakerConfig, BreakerStats, CircuitBreaker, RetryPolicy, RetryStats};
 pub use shared::SharedSystem;
 pub use system::DocumentSystem;
@@ -100,6 +102,7 @@ pub mod prelude {
     pub use crate::mixed::{evaluate_mixed, MixedOutcome, MixedStrategy};
     pub use crate::persist::{journal_path, open_system, save_system};
     pub use crate::propagate::{PendingOp, PropagationStrategy, Propagator};
+    pub use crate::remote::{RemoteConfig, RemoteIrs, RemoteStats, ReplicaTransport};
     pub use crate::retry::{BreakerConfig, RetryPolicy};
     pub use crate::shared::SharedSystem;
     pub use crate::system::DocumentSystem;

@@ -1,0 +1,978 @@
+//! Remote IRS replicas: hedged reads, failover, and stale fallback.
+//!
+//! The paper's loose coupling (Figure 1, alternative 3) treats the IRS as
+//! an external, independently failing component. [`crate::retry`] models
+//! that failure *in process*; this module moves the IRS behind a real
+//! process boundary: reads fan out across N **replicas** — identical
+//! read-only copies of the IRS index — through a pluggable
+//! [`ReplicaTransport`]. The engine is transport-agnostic: the `serve`
+//! crate supplies a TCP transport over the framed wire protocol, and unit
+//! tests here use in-process fakes.
+//!
+//! The read path composes four defences, applied in order:
+//!
+//! 1. **Hedged requests** — each read is first sent to the
+//!    healthiest-looking replica; if no reply arrives within
+//!    [`RemoteConfig::hedge_delay`], a *hedge* is launched to the next
+//!    replica and whichever answers first wins. Hedging bounds tail
+//!    latency: a stalled replica costs `hedge_delay`, not a full timeout.
+//! 2. **Fast failover** — a replica that fails *quickly* (connection
+//!    refused, reset) triggers an immediate launch to the next candidate
+//!    without waiting for the hedge timer.
+//! 3. **Per-replica circuit breakers and latency ranking** — replicas
+//!    that keep failing trip a [`CircuitBreaker`] and are skipped when
+//!    ranking candidates; replicas that merely stall (black holes) are
+//!    charged a latency penalty when their attempt is abandoned, so
+//!    they lose the primary slot and stop costing a hedge delay on
+//!    every request. [`RemoteIrs::probe`] doubles as the breaker's
+//!    half-open trial.
+//! 4. **Stale fallback** — when every attempt fails, the last
+//!    successfully fetched result for the same `(collection, query)` is
+//!    served with [`ResultOrigin::Stale`], completing the paper's
+//!    fallback ladder *fresh → buffered → stale*.
+//!
+//! Every launch is gated by the replica's breaker and accounted in
+//! [`RemoteStats`]; tests assert on those counters to prove hedges fire
+//! and breakers open when the fault plan says they must.
+//!
+//! # Determinism and time
+//!
+//! Backoff between retry rounds uses [`RetryPolicy::backoff_for`]'s
+//! seeded jitter, so a fixed configuration yields a reproducible sleep
+//! schedule. Wall-clock outcomes (which replica wins a hedge race) are
+//! inherently racy; tests therefore assert on *invariants* (a hedge
+//! fired; the result is correct; latency stayed under the bound), not on
+//! which replica won.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use oodb::Oid;
+use parking_lot::Mutex;
+
+use crate::collection::ResultOrigin;
+use crate::error::{CouplingError, ErrorKind, Result};
+use crate::retry::{BreakerConfig, BreakerStats, CircuitBreaker, RetryPolicy};
+
+/// A connection to one IRS replica.
+///
+/// Implementations must bound their own blocking time (connect/read
+/// timeouts): the hedging engine abandons attempts that outlive the
+/// request deadline, but an abandoned call still occupies its thread
+/// until the transport itself gives up.
+pub trait ReplicaTransport: Send + Sync + 'static {
+    /// Ranked retrieval on the replica: top-k `(oid, score)` pairs in
+    /// descending score order, plus the origin the *replica* reports
+    /// (a replica may itself serve buffered results).
+    fn search(&self, collection: &str, query: &str) -> Result<(Vec<(Oid, f64)>, ResultOrigin)>;
+
+    /// The paper's `getIRSValue`: the relevance of one object for a
+    /// query, `0.0` when the object does not match.
+    fn value(&self, collection: &str, query: &str, oid: Oid) -> Result<f64>;
+
+    /// Cheap liveness probe (wire round-trip, no IRS work).
+    fn ping(&self) -> Result<()>;
+}
+
+/// Tuning for the hedged fan-out. Defaults suit loopback tests; a real
+/// deployment would scale the delays up with network RTT.
+#[derive(Debug, Clone)]
+pub struct RemoteConfig {
+    /// How long to wait for the first reply before launching a hedge to
+    /// the next-ranked replica.
+    pub hedge_delay: Duration,
+    /// Budget an individual attempt gets after launch. The total wait
+    /// for one read is bounded by `hedge_delay + attempt_timeout`.
+    pub attempt_timeout: Duration,
+    /// Total launches (primary + hedge + failovers, across backoff
+    /// rounds) before the engine gives up and falls back to stale.
+    pub max_attempts: u32,
+    /// Backoff schedule between failover rounds once every replica has
+    /// been tried; jitter is seeded, hence deterministic.
+    pub retry: RetryPolicy,
+    /// Breaker configuration applied to each replica independently.
+    pub breaker: BreakerConfig,
+    /// Entries kept in the stale-result store (insertion order evicts).
+    pub stale_capacity: usize,
+}
+
+impl Default for RemoteConfig {
+    fn default() -> Self {
+        RemoteConfig {
+            hedge_delay: Duration::from_millis(30),
+            attempt_timeout: Duration::from_millis(500),
+            max_attempts: 4,
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
+            stale_capacity: 256,
+        }
+    }
+}
+
+/// Counter snapshot of the fan-out engine (see [`RemoteIrs::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoteStats {
+    /// Logical read requests (search + value) accepted by the engine.
+    pub requests: u64,
+    /// Hedge launches fired because the hedge delay expired.
+    pub hedges_fired: u64,
+    /// Requests won by a launch other than the primary (hedge or
+    /// failover finished first).
+    pub hedge_wins: u64,
+    /// Launches fired because an earlier attempt failed fast.
+    pub failovers: u64,
+    /// Candidate launches skipped because the replica's breaker was open.
+    pub breaker_skips: u64,
+    /// Requests answered from the stale store after all attempts failed.
+    pub stale_serves: u64,
+    /// Requests that failed outright — all attempts failed and no stale
+    /// entry existed.
+    pub exhausted: u64,
+}
+
+/// Health snapshot of one replica (see [`RemoteIrs::health`]).
+#[derive(Debug, Clone)]
+pub struct ReplicaHealth {
+    /// The label the replica was registered under.
+    pub label: String,
+    /// Exponentially weighted moving average of successful-attempt
+    /// latency, in microseconds (`0` until the first success).
+    pub ewma_us: u64,
+    /// Attempts this replica answered first with a success.
+    pub wins: u64,
+    /// Failed or abandoned attempts charged to this replica.
+    pub failures: u64,
+    /// Its circuit breaker's counters and current state.
+    pub breaker: BreakerStats,
+}
+
+struct Replica<T> {
+    label: String,
+    transport: T,
+    breaker: CircuitBreaker,
+    ewma_us: AtomicU64,
+    wins: AtomicU64,
+    failures: AtomicU64,
+}
+
+impl<T> Replica<T> {
+    fn record_success(&self, latency: Duration) {
+        self.wins.fetch_add(1, Ordering::Relaxed);
+        let sample = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        // Racy read-modify-write is fine: the EWMA is a ranking hint.
+        let old = self.ewma_us.load(Ordering::Relaxed);
+        let new = if old == 0 {
+            sample.max(1)
+        } else {
+            (old * 7 + sample * 3) / 10
+        };
+        self.ewma_us.store(new.max(1), Ordering::Relaxed);
+    }
+
+    fn record_failure(&self) {
+        self.failures.fetch_add(1, Ordering::Relaxed);
+        self.breaker.on_failure();
+    }
+
+    /// The request finished while this replica's attempt was still in
+    /// the air. Not a breaker failure (a merely-slow replica must not
+    /// trip open), but the elapsed time is a truthful lower bound on
+    /// its latency — feeding it to the EWMA demotes the replica from
+    /// the primary slot so later requests stop paying the hedge delay.
+    fn record_abandon(&self, elapsed: Duration) {
+        let sample = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        let old = self.ewma_us.load(Ordering::Relaxed);
+        let new = if old == 0 {
+            sample.max(1)
+        } else {
+            (old * 7 + sample * 3) / 10
+        };
+        self.ewma_us.store(new.max(1), Ordering::Relaxed);
+    }
+}
+
+/// Why a launch happened — kept so the stats can distinguish a hedge win
+/// from a plain failover.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum LaunchKind {
+    Primary,
+    Hedge,
+    Failover,
+}
+
+struct Outcome<R> {
+    replica: usize,
+    kind: LaunchKind,
+    latency: Duration,
+    result: Result<R>,
+}
+
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    hedges_fired: AtomicU64,
+    hedge_wins: AtomicU64,
+    failovers: AtomicU64,
+    breaker_skips: AtomicU64,
+    stale_serves: AtomicU64,
+    exhausted: AtomicU64,
+}
+
+/// Bounded map of the last good result per `(collection, query)`,
+/// evicting the oldest *key* (not the most recently refreshed) once the
+/// capacity is reached — a deliberately simple policy whose behaviour is
+/// easy to reason about in tests.
+struct StaleStore {
+    capacity: usize,
+    inner: Mutex<StaleInner>,
+}
+
+#[derive(Default)]
+struct StaleInner {
+    map: HashMap<String, Vec<(Oid, f64)>>,
+    order: VecDeque<String>,
+}
+
+impl StaleStore {
+    fn new(capacity: usize) -> Self {
+        StaleStore {
+            capacity,
+            inner: Mutex::new(StaleInner::default()),
+        }
+    }
+
+    fn key(collection: &str, query: &str) -> String {
+        format!("{collection}\u{1}{query}")
+    }
+
+    fn put(&self, collection: &str, query: &str, hits: Vec<(Oid, f64)>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let key = Self::key(collection, query);
+        let mut inner = self.inner.lock();
+        if inner.map.insert(key.clone(), hits).is_none() {
+            inner.order.push_back(key);
+            while inner.order.len() > self.capacity {
+                if let Some(evict) = inner.order.pop_front() {
+                    inner.map.remove(&evict);
+                }
+            }
+        }
+    }
+
+    fn get(&self, collection: &str, query: &str) -> Option<Vec<(Oid, f64)>> {
+        let key = Self::key(collection, query);
+        self.inner.lock().map.get(&key).cloned()
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+}
+
+/// Client-side fan-out over N IRS replicas with hedged reads, failover,
+/// per-replica circuit breakers, and stale fallback (module docs have
+/// the full policy).
+pub struct RemoteIrs<T> {
+    replicas: Vec<Arc<Replica<T>>>,
+    config: RemoteConfig,
+    counters: Counters,
+    stale: StaleStore,
+}
+
+impl<T: ReplicaTransport> RemoteIrs<T> {
+    /// Build a fan-out over `replicas` (label + transport each). The
+    /// order given is the tiebreak order while no latency data exists.
+    pub fn new(replicas: Vec<(String, T)>, config: RemoteConfig) -> Self {
+        let stale = StaleStore::new(config.stale_capacity);
+        RemoteIrs {
+            replicas: replicas
+                .into_iter()
+                .map(|(label, transport)| {
+                    Arc::new(Replica {
+                        label,
+                        transport,
+                        breaker: CircuitBreaker::new(config.breaker.clone()),
+                        ewma_us: AtomicU64::new(0),
+                        wins: AtomicU64::new(0),
+                        failures: AtomicU64::new(0),
+                    })
+                })
+                .collect(),
+            config,
+            counters: Counters::default(),
+            stale,
+        }
+    }
+
+    /// Number of configured replicas.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Entries currently held by the stale-result store.
+    pub fn stale_len(&self) -> usize {
+        self.stale.len()
+    }
+
+    /// Counter snapshot (monotonic since construction).
+    pub fn stats(&self) -> RemoteStats {
+        RemoteStats {
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            hedges_fired: self.counters.hedges_fired.load(Ordering::Relaxed),
+            hedge_wins: self.counters.hedge_wins.load(Ordering::Relaxed),
+            failovers: self.counters.failovers.load(Ordering::Relaxed),
+            breaker_skips: self.counters.breaker_skips.load(Ordering::Relaxed),
+            stale_serves: self.counters.stale_serves.load(Ordering::Relaxed),
+            exhausted: self.counters.exhausted.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Per-replica health snapshots, in registration order.
+    pub fn health(&self) -> Vec<ReplicaHealth> {
+        self.replicas
+            .iter()
+            .map(|r| ReplicaHealth {
+                label: r.label.clone(),
+                ewma_us: r.ewma_us.load(Ordering::Relaxed),
+                wins: r.wins.load(Ordering::Relaxed),
+                failures: r.failures.load(Ordering::Relaxed),
+                breaker: r.breaker.stats(),
+            })
+            .collect()
+    }
+
+    /// Ping every replica whose breaker admits a call, updating breaker
+    /// state from the outcome. This *is* the breaker's half-open trial
+    /// for remote replicas: a recovered replica's first successful probe
+    /// closes its breaker, restoring it to the candidate ranking.
+    /// Returns `(label, reachable)` per replica; a replica skipped by an
+    /// open breaker reports `false`.
+    pub fn probe(&self) -> Vec<(String, bool)> {
+        self.replicas
+            .iter()
+            .map(|r| {
+                let ok = match r.breaker.try_acquire() {
+                    Err(_) => false,
+                    Ok(()) => match r.transport.ping() {
+                        Ok(()) => {
+                            r.breaker.on_success();
+                            true
+                        }
+                        Err(_) => {
+                            r.record_failure();
+                            false
+                        }
+                    },
+                };
+                (r.label.clone(), ok)
+            })
+            .collect()
+    }
+
+    /// Hedged ranked retrieval. On success the result refreshes the
+    /// stale store; once every attempt has failed, a stored result for
+    /// the same `(collection, query)` is served as
+    /// [`ResultOrigin::Stale`].
+    pub fn search_top_k(
+        &self,
+        collection: &str,
+        query: &str,
+    ) -> Result<(Vec<(Oid, f64)>, ResultOrigin)> {
+        let (c, q) = (collection.to_string(), query.to_string());
+        let outcome = self.hedged(move |t: &T| t.search(&c, &q));
+        match outcome {
+            Ok((hits, origin)) => {
+                self.stale.put(collection, query, hits.clone());
+                Ok((hits, origin))
+            }
+            Err(e) if e.is_transient() => match self.stale.get(collection, query) {
+                Some(hits) => {
+                    self.counters.stale_serves.fetch_add(1, Ordering::Relaxed);
+                    Ok((hits, ResultOrigin::Stale))
+                }
+                None => {
+                    self.counters.exhausted.fetch_add(1, Ordering::Relaxed);
+                    Err(e)
+                }
+            },
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Hedged `getIRSValue`. The stale fallback reuses the search store:
+    /// a stored result for the same `(collection, query)` yields the
+    /// object's stored score (or `0.0` when it did not match, mirroring
+    /// the live semantics).
+    pub fn get_irs_value(
+        &self,
+        collection: &str,
+        query: &str,
+        oid: Oid,
+    ) -> Result<(f64, ResultOrigin)> {
+        let (c, q) = (collection.to_string(), query.to_string());
+        let outcome =
+            self.hedged(move |t: &T| t.value(&c, &q, oid).map(|v| (v, ResultOrigin::Fresh)));
+        match outcome {
+            Ok(v) => Ok(v),
+            Err(e) if e.is_transient() => match self.stale.get(collection, query) {
+                Some(hits) => {
+                    self.counters.stale_serves.fetch_add(1, Ordering::Relaxed);
+                    let v = hits
+                        .iter()
+                        .find(|(o, _)| *o == oid)
+                        .map(|(_, s)| *s)
+                        .unwrap_or(0.0);
+                    Ok((v, ResultOrigin::Stale))
+                }
+                None => {
+                    self.counters.exhausted.fetch_add(1, Ordering::Relaxed);
+                    Err(e)
+                }
+            },
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Candidate order for the next round: breaker-closed replicas
+    /// first, then by EWMA latency ascending (unmeasured replicas sort
+    /// first so newcomers get traffic), registration order as tiebreak.
+    fn ranked(&self) -> VecDeque<usize> {
+        let mut order: Vec<usize> = (0..self.replicas.len()).collect();
+        order.sort_by_key(|&i| {
+            let r = &self.replicas[i];
+            let open = r.breaker.stats().open_now;
+            (open, r.ewma_us.load(Ordering::Relaxed), i)
+        });
+        order.into()
+    }
+
+    /// The hedging engine. Launches attempts per the module-level
+    /// policy; returns the first success, a permanent error as soon as
+    /// one is seen, or the last transient error once attempts are
+    /// exhausted.
+    fn hedged<R, F>(&self, op: F) -> Result<R>
+    where
+        R: Send + 'static,
+        F: Fn(&T) -> Result<R> + Send + Sync + 'static,
+    {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        if self.replicas.is_empty() {
+            return Err(CouplingError::Remote {
+                kind: ErrorKind::IrsDown,
+                message: "no replicas configured".into(),
+            });
+        }
+
+        let started = Instant::now();
+        let deadline = started + self.config.hedge_delay + self.config.attempt_timeout;
+        let op: Arc<F> = Arc::new(op);
+        let (tx, rx) = mpsc::channel::<Outcome<R>>();
+
+        let mut queue = self.ranked();
+        let mut launches: u32 = 0;
+        let mut in_flight: usize = 0;
+        // Replicas with an attempt still outstanding; charged a breaker
+        // failure if we abandon them at the deadline, so a black-holed
+        // replica trips open even though its socket never errors.
+        let mut outstanding: Vec<usize> = Vec::new();
+        let mut round: u32 = 0;
+        let mut hedge_armed = true;
+        let hedge_due = started + self.config.hedge_delay;
+        let mut last_err: Option<CouplingError> = None;
+
+        // Launch the next breaker-admitted candidate from `queue`.
+        // Returns true if an attempt started.
+        let launch = |queue: &mut VecDeque<usize>,
+                      kind: LaunchKind,
+                      launches: &mut u32,
+                      in_flight: &mut usize,
+                      outstanding: &mut Vec<usize>|
+         -> bool {
+            while let Some(i) = queue.pop_front() {
+                if *launches >= self.config.max_attempts {
+                    return false;
+                }
+                if self.replicas[i].breaker.try_acquire().is_err() {
+                    self.counters.breaker_skips.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                *launches += 1;
+                *in_flight += 1;
+                outstanding.push(i);
+                match kind {
+                    LaunchKind::Hedge => {
+                        self.counters.hedges_fired.fetch_add(1, Ordering::Relaxed);
+                    }
+                    LaunchKind::Failover => {
+                        self.counters.failovers.fetch_add(1, Ordering::Relaxed);
+                    }
+                    LaunchKind::Primary => {}
+                }
+                let replica = Arc::clone(&self.replicas[i]);
+                let op = Arc::clone(&op);
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    let t0 = Instant::now();
+                    let result = op(&replica.transport);
+                    // The receiver may be gone (request already won or
+                    // abandoned); a dead letter is fine.
+                    let _ = tx.send(Outcome {
+                        replica: i,
+                        kind,
+                        latency: t0.elapsed(),
+                        result,
+                    });
+                });
+                return true;
+            }
+            false
+        };
+
+        if !launch(
+            &mut queue,
+            LaunchKind::Primary,
+            &mut launches,
+            &mut in_flight,
+            &mut outstanding,
+        ) {
+            // Every replica's breaker is open: fail fast, stale fallback
+            // (in the caller) is the only remaining defence.
+            return Err(CouplingError::Remote {
+                kind: ErrorKind::IrsDown,
+                message: "all replica circuit breakers open".into(),
+            });
+        }
+
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let wait = if hedge_armed && hedge_due > now {
+                hedge_due - now
+            } else {
+                deadline - now
+            };
+            if hedge_armed && hedge_due <= now {
+                hedge_armed = false;
+                launch(
+                    &mut queue,
+                    LaunchKind::Hedge,
+                    &mut launches,
+                    &mut in_flight,
+                    &mut outstanding,
+                );
+                continue;
+            }
+            match rx.recv_timeout(wait) {
+                Ok(outcome) => {
+                    in_flight -= 1;
+                    outstanding.retain(|&r| r != outcome.replica);
+                    let rep = &self.replicas[outcome.replica];
+                    match outcome.result {
+                        Ok(v) => {
+                            rep.breaker.on_success();
+                            rep.record_success(outcome.latency);
+                            if outcome.kind != LaunchKind::Primary {
+                                self.counters.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                            }
+                            let elapsed = started.elapsed();
+                            for &slow in &outstanding {
+                                self.replicas[slow].record_abandon(elapsed);
+                            }
+                            return Ok(v);
+                        }
+                        Err(e) if e.is_transient() => {
+                            rep.record_failure();
+                            last_err = Some(e);
+                            // Fast failover: don't wait for the hedge
+                            // timer, move on immediately.
+                            let started_one = launch(
+                                &mut queue,
+                                LaunchKind::Failover,
+                                &mut launches,
+                                &mut in_flight,
+                                &mut outstanding,
+                            );
+                            if !started_one && in_flight == 0 {
+                                // Round exhausted with nothing in the
+                                // air: back off, re-rank, go again —
+                                // breakers opened this round now sort
+                                // (and are skipped) accordingly.
+                                if launches >= self.config.max_attempts {
+                                    break;
+                                }
+                                round += 1;
+                                let backoff = self.config.retry.backoff_for(round);
+                                if Instant::now() + backoff >= deadline {
+                                    break;
+                                }
+                                std::thread::sleep(backoff);
+                                queue = self.ranked();
+                                if !launch(
+                                    &mut queue,
+                                    LaunchKind::Failover,
+                                    &mut launches,
+                                    &mut in_flight,
+                                    &mut outstanding,
+                                ) {
+                                    break;
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            // Permanent (parse error, unknown name,
+                            // read-only write): the request itself is at
+                            // fault; no failover, no breaker penalty.
+                            return Err(e);
+                        }
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    // Either the hedge timer or the deadline; the top of
+                    // the loop disambiguates.
+                    continue;
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+
+        // Deadline (or attempts) exhausted. Attempts still in the air are
+        // abandoned; charge their replicas so stalled-but-open sockets
+        // (black holes) trip breakers and stop being ranked.
+        for &i in &outstanding {
+            self.replicas[i].record_failure();
+        }
+        Err(last_err.unwrap_or_else(|| CouplingError::Remote {
+            kind: ErrorKind::Timeout,
+            message: format!(
+                "no replica answered within {:?}",
+                self.config.hedge_delay + self.config.attempt_timeout
+            ),
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    /// Scripted fake replica: a fixed result set, optional artificial
+    /// latency, and runtime-switchable failure modes.
+    struct FakeReplica {
+        hits: Vec<(Oid, f64)>,
+        delay: Mutex<Duration>,
+        down: AtomicBool,
+        hang: AtomicBool,
+        calls: AtomicU64,
+    }
+
+    impl FakeReplica {
+        fn healthy(hits: Vec<(Oid, f64)>) -> Arc<Self> {
+            Arc::new(FakeReplica {
+                hits,
+                delay: Mutex::new(Duration::ZERO),
+                down: AtomicBool::new(false),
+                hang: AtomicBool::new(false),
+                calls: AtomicU64::new(0),
+            })
+        }
+
+        fn answer<R>(&self, ok: impl FnOnce(&Self) -> R) -> Result<R> {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            if self.hang.load(Ordering::Relaxed) {
+                // A black-holed connection: the transport's own timeout
+                // (simulated here) eventually fires.
+                std::thread::sleep(Duration::from_millis(400));
+                return Err(CouplingError::Remote {
+                    kind: ErrorKind::Timeout,
+                    message: "fake transport timeout".into(),
+                });
+            }
+            if self.down.load(Ordering::Relaxed) {
+                return Err(CouplingError::Remote {
+                    kind: ErrorKind::Io,
+                    message: "fake connection refused".into(),
+                });
+            }
+            let delay = *self.delay.lock();
+            if delay > Duration::ZERO {
+                std::thread::sleep(delay);
+            }
+            Ok(ok(self))
+        }
+    }
+
+    impl ReplicaTransport for Arc<FakeReplica> {
+        fn search(&self, _c: &str, _q: &str) -> Result<(Vec<(Oid, f64)>, ResultOrigin)> {
+            self.answer(|s| (s.hits.clone(), ResultOrigin::Fresh))
+        }
+
+        fn value(&self, _c: &str, _q: &str, oid: Oid) -> Result<f64> {
+            self.answer(|s| {
+                s.hits
+                    .iter()
+                    .find(|(o, _)| *o == oid)
+                    .map(|(_, v)| *v)
+                    .unwrap_or(0.0)
+            })
+        }
+
+        fn ping(&self) -> Result<()> {
+            self.answer(|_| ())
+        }
+    }
+
+    fn hits() -> Vec<(Oid, f64)> {
+        vec![(Oid(7), 0.9), (Oid(3), 0.5)]
+    }
+
+    fn engine(reps: Vec<Arc<FakeReplica>>, config: RemoteConfig) -> RemoteIrs<Arc<FakeReplica>> {
+        let replicas = reps
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| (format!("r{i}"), r))
+            .collect();
+        RemoteIrs::new(replicas, config)
+    }
+
+    fn fast_config() -> RemoteConfig {
+        RemoteConfig {
+            hedge_delay: Duration::from_millis(40),
+            attempt_timeout: Duration::from_millis(300),
+            ..RemoteConfig::default()
+        }
+    }
+
+    #[test]
+    fn healthy_primary_answers_without_hedging() {
+        let remote = engine(
+            vec![FakeReplica::healthy(hits()), FakeReplica::healthy(hits())],
+            fast_config(),
+        );
+        let (got, origin) = remote.search_top_k("coll", "telnet").unwrap();
+        assert_eq!(got, hits());
+        assert_eq!(origin, ResultOrigin::Fresh);
+        let s = remote.stats();
+        assert_eq!(s.requests, 1);
+        assert_eq!(s.hedges_fired, 0);
+        assert_eq!(s.failovers, 0);
+    }
+
+    #[test]
+    fn slow_primary_gets_hedged_and_the_hedge_wins() {
+        let slow = FakeReplica::healthy(hits());
+        // Far slower than hedge_delay but within attempt_timeout, so the
+        // hedge provably finishes first.
+        *slow.delay.lock() = Duration::from_millis(200);
+        let fast = FakeReplica::healthy(hits());
+        let remote = engine(vec![Arc::clone(&slow), fast], fast_config());
+        let started = Instant::now();
+        let (got, origin) = remote.search_top_k("coll", "telnet").unwrap();
+        assert_eq!(got, hits());
+        assert_eq!(origin, ResultOrigin::Fresh);
+        assert!(
+            started.elapsed() < Duration::from_millis(180),
+            "hedge should win long before the slow primary finishes"
+        );
+        let s = remote.stats();
+        assert_eq!(s.hedges_fired, 1);
+        assert_eq!(s.hedge_wins, 1);
+    }
+
+    #[test]
+    fn fast_failure_fails_over_before_the_hedge_timer() {
+        let dead = FakeReplica::healthy(hits());
+        dead.down.store(true, Ordering::Relaxed);
+        let alive = FakeReplica::healthy(hits());
+        let mut config = fast_config();
+        // A hedge timer far beyond the attempt timeout: only immediate
+        // failover can explain a fast success.
+        config.hedge_delay = Duration::from_millis(250);
+        let remote = engine(vec![dead, alive], config);
+        let started = Instant::now();
+        let (got, _) = remote.search_top_k("coll", "telnet").unwrap();
+        assert_eq!(got, hits());
+        assert!(
+            started.elapsed() < Duration::from_millis(200),
+            "failover must not wait for the hedge timer"
+        );
+        let s = remote.stats();
+        assert_eq!(s.failovers, 1);
+        assert_eq!(s.hedges_fired, 0);
+        assert_eq!(s.hedge_wins, 1, "the failover launch won");
+    }
+
+    #[test]
+    fn repeated_failures_trip_the_breaker_and_skip_the_replica() {
+        let dead = FakeReplica::healthy(hits());
+        dead.down.store(true, Ordering::Relaxed);
+        let alive = FakeReplica::healthy(hits());
+        let mut config = fast_config();
+        config.breaker = BreakerConfig {
+            failure_threshold: 2,
+            cooldown: Duration::from_secs(60),
+        };
+        let remote = engine(vec![Arc::clone(&dead), Arc::clone(&alive)], config);
+        for _ in 0..4 {
+            remote.search_top_k("coll", "telnet").unwrap();
+        }
+        let health = remote.health();
+        assert!(
+            health[0].breaker.open_now,
+            "dead replica's breaker must open"
+        );
+        let before = dead.calls.load(Ordering::Relaxed);
+        remote.search_top_k("coll", "telnet").unwrap();
+        assert_eq!(
+            dead.calls.load(Ordering::Relaxed),
+            before,
+            "open breaker keeps traffic off the dead replica"
+        );
+        // Slow the healthy replica past the hedge delay: the hedge
+        // considers the dead replica, finds its breaker open, and skips
+        // it rather than sending traffic.
+        *alive.delay.lock() = Duration::from_millis(80);
+        remote.search_top_k("coll", "telnet").unwrap();
+        assert!(remote.stats().breaker_skips > 0);
+        assert_eq!(
+            dead.calls.load(Ordering::Relaxed),
+            before,
+            "hedge skips the open breaker instead of probing it"
+        );
+    }
+
+    #[test]
+    fn all_replicas_down_serves_stale_after_a_warm_query() {
+        let a = FakeReplica::healthy(hits());
+        let b = FakeReplica::healthy(hits());
+        let remote = engine(vec![Arc::clone(&a), Arc::clone(&b)], fast_config());
+        // Warm the stale store.
+        remote.search_top_k("coll", "telnet").unwrap();
+        a.down.store(true, Ordering::Relaxed);
+        b.down.store(true, Ordering::Relaxed);
+        let (got, origin) = remote.search_top_k("coll", "telnet").unwrap();
+        assert_eq!(got, hits());
+        assert_eq!(origin, ResultOrigin::Stale);
+        assert_eq!(remote.stats().stale_serves, 1);
+        // getIRSValue degrades through the same store.
+        let (v, origin) = remote.get_irs_value("coll", "telnet", Oid(7)).unwrap();
+        assert!((v - 0.9).abs() < 1e-9);
+        assert_eq!(origin, ResultOrigin::Stale);
+        let (v, _) = remote.get_irs_value("coll", "telnet", Oid(999)).unwrap();
+        assert_eq!(v, 0.0, "non-matching object scores zero even stale");
+    }
+
+    #[test]
+    fn all_down_with_cold_store_reports_transient_error() {
+        let a = FakeReplica::healthy(hits());
+        a.down.store(true, Ordering::Relaxed);
+        let b = FakeReplica::healthy(hits());
+        b.down.store(true, Ordering::Relaxed);
+        let remote = engine(vec![a, b], fast_config());
+        let err = remote.search_top_k("coll", "never-seen").unwrap_err();
+        assert!(
+            err.is_transient(),
+            "infrastructure failure, not a bad query"
+        );
+        assert_eq!(remote.stats().exhausted, 1);
+    }
+
+    #[test]
+    fn permanent_errors_return_immediately_without_failover() {
+        struct BadQuery;
+        impl ReplicaTransport for BadQuery {
+            fn search(&self, _c: &str, _q: &str) -> Result<(Vec<(Oid, f64)>, ResultOrigin)> {
+                Err(CouplingError::Remote {
+                    kind: ErrorKind::Parse,
+                    message: "unbalanced parenthesis".into(),
+                })
+            }
+            fn value(&self, _c: &str, _q: &str, _o: Oid) -> Result<f64> {
+                unreachable!()
+            }
+            fn ping(&self) -> Result<()> {
+                Ok(())
+            }
+        }
+        let remote = RemoteIrs::new(
+            vec![("a".into(), BadQuery), ("b".into(), BadQuery)],
+            fast_config(),
+        );
+        let err = remote.search_top_k("coll", "((").unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Parse);
+        assert_eq!(remote.stats().failovers, 0, "bad queries don't fail over");
+    }
+
+    #[test]
+    fn black_holed_replica_is_abandoned_within_the_deadline() {
+        let hung = FakeReplica::healthy(hits());
+        hung.hang.store(true, Ordering::Relaxed);
+        let alive = FakeReplica::healthy(hits());
+        let mut config = fast_config();
+        config.hedge_delay = Duration::from_millis(30);
+        let remote = engine(vec![Arc::clone(&hung), alive], config.clone());
+        let started = Instant::now();
+        let (got, _) = remote.search_top_k("coll", "telnet").unwrap();
+        assert_eq!(got, hits());
+        // The hedge answers; total latency ≈ hedge_delay, far below the
+        // hung replica's 400ms stall.
+        assert!(started.elapsed() < config.hedge_delay + Duration::from_millis(150));
+        assert_eq!(remote.stats().hedges_fired, 1);
+        // The abandoned attempt fed the hung replica's EWMA, demoting it
+        // from the primary slot: the next request goes straight to the
+        // healthy replica and needs no hedge at all.
+        let started = Instant::now();
+        remote.search_top_k("coll", "telnet").unwrap();
+        assert!(started.elapsed() < Duration::from_millis(25));
+        assert_eq!(remote.stats().hedges_fired, 1, "no second hedge");
+    }
+
+    #[test]
+    fn probe_reports_reachability_and_closes_recovered_breakers() {
+        let flaky = FakeReplica::healthy(hits());
+        flaky.down.store(true, Ordering::Relaxed);
+        let steady = FakeReplica::healthy(hits());
+        let mut config = fast_config();
+        config.breaker = BreakerConfig {
+            failure_threshold: 1,
+            cooldown: Duration::from_millis(5),
+        };
+        let remote = engine(vec![Arc::clone(&flaky), steady], config);
+        let probes = remote.probe();
+        assert_eq!(probes[0], ("r0".into(), false));
+        assert_eq!(probes[1], ("r1".into(), true));
+        assert!(remote.health()[0].breaker.open_now);
+        // Replica recovers; after the cooldown the probe is the
+        // half-open trial and closes the breaker.
+        flaky.down.store(false, Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(10));
+        let probes = remote.probe();
+        assert_eq!(probes[0], ("r0".into(), true));
+        assert!(!remote.health()[0].breaker.open_now);
+    }
+
+    #[test]
+    fn stale_store_is_bounded() {
+        let a = FakeReplica::healthy(hits());
+        let mut config = fast_config();
+        config.stale_capacity = 3;
+        let remote = engine(vec![a], config);
+        for i in 0..10 {
+            remote.search_top_k("coll", &format!("q{i}")).unwrap();
+        }
+        assert_eq!(remote.stale_len(), 3);
+    }
+
+    #[test]
+    fn no_replicas_is_an_irs_down_error() {
+        let remote: RemoteIrs<Arc<FakeReplica>> = RemoteIrs::new(vec![], fast_config());
+        let err = remote.search_top_k("coll", "q").unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::IrsDown);
+    }
+}

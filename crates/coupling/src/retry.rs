@@ -184,8 +184,10 @@ impl CircuitBreaker {
     }
 
     /// Gate one call attempt. `Err` means the breaker is open and the
-    /// call must not reach the IRS.
-    fn try_acquire(&self) -> Result<()> {
+    /// call must not reach the IRS. Crate-visible so the remote-replica
+    /// fan-out ([`crate::remote`]) can gate per-replica launches with the
+    /// same breaker state machine.
+    pub(crate) fn try_acquire(&self) -> Result<()> {
         let mut open_until = self.open_until.lock();
         match *open_until {
             Some(until) if Instant::now() < until => {
@@ -204,11 +206,11 @@ impl CircuitBreaker {
         }
     }
 
-    fn on_success(&self) {
+    pub(crate) fn on_success(&self) {
         self.consecutive_failures.store(0, Ordering::Relaxed);
     }
 
-    fn on_failure(&self) {
+    pub(crate) fn on_failure(&self) {
         let failures = self.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
         if failures >= self.config.failure_threshold {
             let mut open_until = self.open_until.lock();

@@ -15,7 +15,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use crate::analysis::{Analyzer, AnalyzerConfig};
-use crate::error::Result;
+use crate::error::{IrsError, Result};
 use crate::fault::FaultPlan;
 use crate::index::{
     DocId, DocStore, IndexReader, IndexStatistics, InvertedIndex, MergeStats, ShardedIndex,
@@ -149,6 +149,10 @@ pub struct IrsCollection {
     /// Optional deterministic fault schedule; consulted at the top of
     /// every fallible operation. `None` costs one branch.
     fault: Option<Arc<FaultPlan>>,
+    /// Frozen-snapshot mode: mutation returns [`IrsError::ReadOnly`].
+    /// Read replicas set this after loading a saved index so a stray
+    /// write request can never fork a replica's state from its primary.
+    read_only: bool,
 }
 
 impl IrsCollection {
@@ -163,7 +167,32 @@ impl IrsCollection {
             index,
             stats: WorkCounters::default(),
             fault: None,
+            read_only: false,
         }
+    }
+
+    /// Freeze (or with `false`, thaw) the collection: while read-only,
+    /// every mutating operation fails with [`IrsError::ReadOnly`] and the
+    /// index keeps serving the loaded snapshot unchanged. Read replicas
+    /// set this after loading a saved index so a stray write request can
+    /// never fork a replica's state from its primary.
+    pub fn set_read_only(&mut self, read_only: bool) {
+        self.read_only = read_only;
+    }
+
+    /// True while the collection refuses mutation.
+    pub fn is_read_only(&self) -> bool {
+        self.read_only
+    }
+
+    /// Guard at the top of every mutating operation.
+    fn check_writable(&self) -> Result<()> {
+        if self.read_only {
+            return Err(IrsError::ReadOnly(
+                "collection serves a frozen replica snapshot".into(),
+            ));
+        }
+        Ok(())
     }
 
     /// Attach (or with `None`, detach) a fault-injection schedule. Every
@@ -215,6 +244,7 @@ impl IrsCollection {
 
     /// Add a document under `key` (in the coupling: the object's OID).
     pub fn add_document(&mut self, key: &str, text: &str) -> Result<DocId> {
+        self.check_writable()?;
         self.check_fault()?;
         WorkCounters::bump(&self.stats.adds);
         self.index.add_document(key, text)
@@ -224,6 +254,7 @@ impl IrsCollection {
     /// across worker threads before merging into the index. All-or-nothing
     /// on duplicate keys.
     pub fn add_documents(&mut self, docs: &[(String, String)]) -> Result<Vec<DocId>> {
+        self.check_writable()?;
         self.check_fault()?;
         let ids = self.index.index_documents(docs)?;
         self.stats
@@ -234,6 +265,7 @@ impl IrsCollection {
 
     /// Delete the document stored under `key`.
     pub fn delete_document(&mut self, key: &str) -> Result<DocId> {
+        self.check_writable()?;
         self.check_fault()?;
         WorkCounters::bump(&self.stats.deletes);
         self.index.delete_document(key)
@@ -241,6 +273,7 @@ impl IrsCollection {
 
     /// Replace the document stored under `key`.
     pub fn update_document(&mut self, key: &str, text: &str) -> Result<DocId> {
+        self.check_writable()?;
         self.check_fault()?;
         WorkCounters::bump(&self.stats.deletes);
         WorkCounters::bump(&self.stats.adds);
@@ -367,6 +400,7 @@ impl IrsCollection {
             index: ShardedIndex::from_inverted(index, shards),
             stats: WorkCounters::default(),
             fault: None,
+            read_only: false,
         }
     }
 
@@ -384,6 +418,7 @@ impl IrsCollection {
             index,
             stats: WorkCounters::default(),
             fault: None,
+            read_only: false,
         }
     }
 }
@@ -483,6 +518,37 @@ mod tests {
         assert!(!c.contains("p1"));
         assert_eq!(c.len(), 2);
         assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn read_only_mode_refuses_mutation_but_serves_reads() {
+        let mut c = populated(ModelKind::default());
+        let before = c.search("www").unwrap();
+        c.set_read_only(true);
+        assert!(c.is_read_only());
+        assert!(matches!(
+            c.add_document("p9", "text"),
+            Err(IrsError::ReadOnly(_))
+        ));
+        assert!(matches!(
+            c.add_documents(&[("p9".into(), "text".into())]),
+            Err(IrsError::ReadOnly(_))
+        ));
+        assert!(matches!(
+            c.update_document("p1", "text"),
+            Err(IrsError::ReadOnly(_))
+        ));
+        assert!(matches!(
+            c.delete_document("p1"),
+            Err(IrsError::ReadOnly(_))
+        ));
+        // Reads are untouched and the snapshot is unchanged.
+        let after = c.search("www").unwrap();
+        assert_eq!(before.len(), after.len());
+        assert!(c.search_top_k("www", 1).is_ok());
+        // Thawing restores writability.
+        c.set_read_only(false);
+        assert!(c.add_document("p9", "fresh text").is_ok());
     }
 
     #[test]

@@ -28,6 +28,9 @@ pub enum IrsError {
     /// open circuit breaker). Transient: callers may retry or degrade to
     /// stale results.
     Unavailable(String),
+    /// The collection serves a frozen snapshot (a read replica) and
+    /// refuses mutation. Permanent: writes must go to the primary.
+    ReadOnly(String),
 }
 
 impl IrsError {
@@ -50,6 +53,7 @@ impl fmt::Display for IrsError {
             IrsError::CorruptIndex(why) => write!(f, "corrupt index: {why}"),
             IrsError::Io(e) => write!(f, "i/o error: {e}"),
             IrsError::Unavailable(why) => write!(f, "irs unavailable: {why}"),
+            IrsError::ReadOnly(what) => write!(f, "collection is read-only: {what}"),
         }
     }
 }
@@ -97,6 +101,7 @@ mod tests {
         assert!(!IrsError::UnknownDocument("k".into()).is_transient());
         assert!(!IrsError::CorruptIndex("bad".into()).is_transient());
         assert!(!IrsError::from(std::io::Error::other("disk")).is_transient());
+        assert!(!IrsError::ReadOnly("replica".into()).is_transient());
     }
 
     #[test]

@@ -8,7 +8,8 @@
 
 use std::fmt;
 use std::io::{self, BufReader, BufWriter};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use coupling::ErrorKind;
 
@@ -42,10 +43,16 @@ impl ClientError {
     /// The coupling-taxonomy classification of this failure, mirroring
     /// what an in-process caller would read from
     /// [`coupling::CouplingError::kind`]. Transport failures classify
-    /// as [`ErrorKind::Io`]; undecodable frames as [`ErrorKind::Parse`].
+    /// as [`ErrorKind::Io`] — except expired socket timeouts
+    /// (`TimedOut`/`WouldBlock`, platform-dependent), which classify as
+    /// [`ErrorKind::Timeout`]; undecodable frames as
+    /// [`ErrorKind::Parse`].
     pub fn kind(&self) -> ErrorKind {
         match self {
-            ClientError::Wire(WireError::Io(_)) => ErrorKind::Io,
+            ClientError::Wire(WireError::Io(e)) => match e.kind() {
+                io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => ErrorKind::Timeout,
+                _ => ErrorKind::Io,
+            },
             ClientError::Wire(_) => ErrorKind::Parse,
             ClientError::Remote(fault) => fault.status.kind(),
             ClientError::ConnectionClosed => ErrorKind::Io,
@@ -78,22 +85,93 @@ impl From<WireError> for ClientError {
     }
 }
 
+/// Socket-level bounds on a [`Client`]'s blocking calls.
+///
+/// Defaults are deliberately generous — they exist to turn a hung peer
+/// into an error *eventually*, not to enforce request deadlines (the
+/// hedging layer in [`coupling::remote`] owns latency policy and runs
+/// with much tighter bounds on top of its own transport).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Bound on establishing the TCP connection. `None` blocks at the
+    /// operating system's discretion.
+    pub connect_timeout: Option<Duration>,
+    /// Bound on each blocking read of the response stream; expiry
+    /// surfaces as a wire I/O error classifying as
+    /// [`ErrorKind::Timeout`].
+    pub read_timeout: Option<Duration>,
+    /// Bound on each blocking socket write.
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Some(Duration::from_secs(2)),
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
 /// A blocking connection to a [`crate::NetServer`].
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    /// The resolved address actually connected to, kept so
+    /// [`Client::reconnect`] can redial after a server restart.
+    addr: SocketAddr,
+    config: ClientConfig,
 }
 
 impl Client {
-    /// Connect to a serving address.
+    /// Connect to a serving address with default timeouts.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
+        Client::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connect with explicit timeouts. When the address resolves to
+    /// several candidates they are tried in order; the error of the
+    /// last candidate is reported.
+    pub fn connect_with(addr: impl ToSocketAddrs, config: ClientConfig) -> io::Result<Client> {
+        let mut last_err = None;
+        for candidate in addr.to_socket_addrs()? {
+            match Client::dial(candidate, &config) {
+                Ok(client) => return Ok(client),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no addresses")))
+    }
+
+    fn dial(addr: SocketAddr, config: &ClientConfig) -> io::Result<Client> {
+        let stream = match config.connect_timeout {
+            Some(t) => TcpStream::connect_timeout(&addr, t)?,
+            None => TcpStream::connect(addr)?,
+        };
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(config.read_timeout)?;
+        stream.set_write_timeout(config.write_timeout)?;
         let reader_stream = stream.try_clone()?;
         Ok(Client {
             reader: BufReader::new(reader_stream),
             writer: BufWriter::new(stream),
+            addr,
+            config: config.clone(),
         })
+    }
+
+    /// Drop the current connection and dial the same address again —
+    /// the recovery step after [`ClientError::ConnectionClosed`] (e.g.
+    /// across a server restart).
+    pub fn reconnect(&mut self) -> io::Result<()> {
+        *self = Client::dial(self.addr, &self.config)?;
+        Ok(())
+    }
+
+    /// The resolved peer address this client dials.
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.addr
     }
 
     /// Send one request and block for its outcome.

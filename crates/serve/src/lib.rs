@@ -54,18 +54,22 @@
 //! server.shutdown();
 //! ```
 
+pub mod chaos;
 pub mod client;
 pub mod metrics;
 pub mod net;
 pub mod queue;
+pub mod replica;
 pub mod request;
 pub mod server;
 pub mod wire;
 
-pub use client::{Client, ClientError};
+pub use chaos::{ChaosMode, ChaosPlan, ChaosProxy};
+pub use client::{Client, ClientConfig, ClientError};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use net::NetServer;
 pub use queue::{BoundedQueue, PushError};
+pub use replica::{ReplicaServer, WireTransport};
 pub use request::{Request, Response};
 pub use server::{Server, ServerConfig, Ticket};
 pub use wire::{Status, WireError, WireFault};

@@ -187,7 +187,7 @@ fn accept_loop(listener: TcpListener, server: Arc<Server>, state: Arc<NetState>)
         let server = Arc::clone(&server);
         let conn_state = Arc::clone(&state);
         let handle = std::thread::spawn(move || {
-            handle_connection(&server, stream);
+            handle_connection(&server, stream, &conn_state.shutting_down);
             lock_recover(&conn_state.conns).remove(&conn_id);
         });
         lock_recover(&state.conn_threads).push(handle);
@@ -195,7 +195,7 @@ fn accept_loop(listener: TcpListener, server: Arc<Server>, state: Arc<NetState>)
 }
 
 /// Serve one connection until clean close, protocol error, or drain.
-fn handle_connection(server: &Server, stream: TcpStream) {
+fn handle_connection(server: &Server, stream: TcpStream, shutting_down: &AtomicBool) {
     let reader_stream = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
@@ -205,6 +205,22 @@ fn handle_connection(server: &Server, stream: TcpStream) {
     loop {
         match read_frame(&mut reader) {
             Ok(Some(frame)) if frame.kind == FrameKind::Request => {
+                // The drain half-closes our read side, but bytes the
+                // kernel had already buffered still arrive: a request
+                // pipelined behind an in-flight one is read *after*
+                // drain begins. Answer 503 instead of starting work the
+                // shutdown will not wait for — the client gets a
+                // determinate go-away, never a hang or a reset.
+                if shutting_down.load(Ordering::SeqCst) {
+                    let _ = answer_fault(
+                        &mut writer,
+                        &WireFault {
+                            status: Status::ShuttingDown,
+                            message: "server is draining".into(),
+                        },
+                    );
+                    return;
+                }
                 match decode_request(&frame.payload) {
                     Ok(request) => {
                         let answered = match server.call(request) {

@@ -62,6 +62,10 @@ pub enum Request {
         /// OODBMS specification query.
         spec_query: String,
     },
+    /// Liveness probe: answered with [`Response::Pong`] without touching
+    /// the document system. Clients use it for health checks and as the
+    /// cheap trial call when a circuit breaker goes half-open.
+    Ping,
 }
 
 impl Request {
@@ -82,6 +86,7 @@ impl Request {
             Request::GetIrsValue { .. } => "get_irs_value",
             Request::UpdateText { .. } => "update_text",
             Request::IndexObjects { .. } => "index_objects",
+            Request::Ping => "ping",
         }
     }
 }
@@ -117,6 +122,8 @@ pub enum Response {
         /// Objects indexed.
         objects: usize,
     },
+    /// The answer to [`Request::Ping`].
+    Pong,
 }
 
 #[cfg(test)]
@@ -150,5 +157,7 @@ mod tests {
             .label(),
             "get_irs_value"
         );
+        assert!(!Request::Ping.is_write(), "pings ride the read lane");
+        assert_eq!(Request::Ping.label(), "ping");
     }
 }

@@ -55,6 +55,11 @@ pub struct ServerConfig {
     /// When set, each collection's propagation log is durably journaled
     /// under this directory ([`coupling::journal_path`]).
     pub journal_dir: Option<PathBuf>,
+    /// Serve reads only: write requests are rejected at admission with
+    /// [`irs::IrsError::ReadOnly`] instead of entering the write lane.
+    /// This is how a replica refuses to fork its frozen snapshot from
+    /// the primary.
+    pub read_only: bool,
 }
 
 impl Default for ServerConfig {
@@ -65,6 +70,7 @@ impl Default for ServerConfig {
             default_deadline: None,
             propagation: PropagationStrategy::Eager,
             journal_dir: None,
+            read_only: false,
         }
     }
 }
@@ -97,6 +103,12 @@ impl ServerConfig {
     /// Journal propagation logs under `dir`.
     pub fn journal_dir(mut self, dir: impl AsRef<Path>) -> Self {
         self.journal_dir = Some(dir.as_ref().to_path_buf());
+        self
+    }
+
+    /// Refuse write requests (replica mode).
+    pub fn read_only(mut self, read_only: bool) -> Self {
+        self.read_only = read_only;
         self
     }
 }
@@ -279,6 +291,13 @@ impl Server {
             &self.state.read_queue
         };
         let (ticket, completion) = ticket_pair();
+        if self.config.read_only && request.is_write() {
+            self.state.metrics.request_failed();
+            completion.complete(Err(CouplingError::Irs(irs::IrsError::ReadOnly(
+                "server is a read-only replica; writes go to the primary".into(),
+            ))));
+            return ticket;
+        }
         // A deadline that has already expired cannot be met: fail it
         // now instead of burning a queue slot on work the client has
         // given up on before it could even start waiting.
@@ -506,6 +525,7 @@ fn execute_read(shared: &SharedSystem, request: &Request) -> Executed {
             let value = coll.get_irs_value(&ctx, query, *oid)?;
             Ok((Response::Value(value), None))
         }
+        Request::Ping => Ok((Response::Pong, None)),
         other => Err(CouplingError::BadSpecQuery(format!(
             "write request {:?} routed to the read lane",
             other.label()

@@ -296,6 +296,11 @@ impl Status {
         match err {
             CouplingError::Overloaded(_) => Status::Overloaded,
             CouplingError::ShuttingDown => Status::ShuttingDown,
+            // A write sent to a read-only replica is the *client's*
+            // mistake (wrong endpoint), and must classify as permanent
+            // on the wire so a remote caller does not fail it over to
+            // the next replica — which is just as read-only.
+            CouplingError::Irs(irs::IrsError::ReadOnly(_)) => Status::BadRequest,
             _ => match err.kind() {
                 ErrorKind::NotFound => Status::NotFound,
                 ErrorKind::Overloaded => Status::Overloaded,
@@ -553,6 +558,9 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             put_str(&mut buf, collection);
             put_str(&mut buf, spec_query);
         }
+        Request::Ping => {
+            buf.push(5);
+        }
     }
     buf
 }
@@ -596,6 +604,7 @@ pub fn decode_request(payload: &[u8]) -> WireResult<Request> {
             collection: d.string("collection")?,
             spec_query: d.string("spec query")?,
         },
+        5 => Request::Ping,
         other => return Err(WireError::Malformed(format!("unknown request tag {other}"))),
     };
     d.finish()?;
@@ -640,6 +649,9 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             buf.push(4);
             put_u64(&mut buf, *objects as u64);
         }
+        Response::Pong => {
+            buf.push(5);
+        }
     }
     buf
 }
@@ -680,6 +692,7 @@ pub fn decode_response(payload: &[u8]) -> WireResult<Response> {
         4 => Response::Indexed {
             objects: d.u64("object count")? as usize,
         },
+        5 => Response::Pong,
         other => {
             return Err(WireError::Malformed(format!(
                 "unknown response tag {other}"
@@ -822,6 +835,7 @@ mod tests {
                 collection: "c".into(),
                 spec_query: "ACCESS p FROM p IN PARA".into(),
             },
+            Request::Ping,
         ];
         for req in requests {
             let decoded = decode_request(&encode_request(&req)).unwrap();
@@ -844,6 +858,7 @@ mod tests {
             Response::Value(0.725),
             Response::Updated { collections: 2 },
             Response::Indexed { objects: 40 },
+            Response::Pong,
         ];
         for resp in responses {
             let decoded = decode_response(&encode_response(&resp)).unwrap();
@@ -871,6 +886,20 @@ mod tests {
         });
         ok.push(0);
         assert!(matches!(decode_request(&ok), Err(WireError::Malformed(_))));
+        // A ping carries no fields; a suffixed byte is trailing garbage.
+        let mut ping = encode_request(&Request::Ping);
+        assert_eq!(ping, vec![5]);
+        ping.push(1);
+        assert!(matches!(
+            decode_request(&ping),
+            Err(WireError::Malformed(_))
+        ));
+        let mut pong = encode_response(&Response::Pong);
+        pong.push(1);
+        assert!(matches!(
+            decode_response(&pong),
+            Err(WireError::Malformed(_))
+        ));
         // Hostile element count (claims more hits than bytes).
         let mut resp = vec![0u8, 0u8];
         put_u32(&mut resp, u32::MAX);

@@ -26,6 +26,17 @@ cargo run -q -p coupling-bench --release --bin bench_serve -- --smoke
 echo "==> loopback smoke (wire protocol over real sockets)"
 cargo test -q -p system-tests --test net --test wire
 
+echo "==> chaos pass (replica failover under seeded network faults)"
+# Fixed-seed chaos: black-holed/reset/truncated/delayed connections via
+# the in-process ChaosProxy. Deterministic — a failure here reproduces.
+cargo test -q -p system-tests --test failover
+
+echo "==> bench smoke (replica fan-out, writes BENCH_replica.json)"
+# Exits nonzero and prints REGRESSION if any hedged read fails, the
+# degraded-phase p99 exceeds hedge_delay + attempt_timeout (+slack), or
+# black-holing the preferred replica never fires a hedge.
+cargo run -q -p coupling-bench --release --bin bench_replica -- --smoke
+
 echo "==> bench smoke (wire protocol, writes BENCH_net.json)"
 # Exits nonzero and prints REGRESSION if any request fails over the
 # wire, any response has the wrong shape, or loopback throughput falls
