@@ -1,0 +1,306 @@
+//! Partitioned scatter/gather benchmark gate: correctness and latency of
+//! shard-per-node reads, written to `BENCH_shard.json` for CI tracking.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p coupling-bench --release --bin bench_shard            # full
+//! cargo run -p coupling-bench --release --bin bench_shard -- --smoke
+//! ```
+//!
+//! Two read-only [`serve::ReplicaServer`]s each carry one *slice* of the
+//! corpus (every partition loads the full corpus so OIDs agree, then
+//! deletes the paragraphs outside its slice). A [`PartitionedIrs`]
+//! router scatters each query to both partitions — statistics leg, then
+//! search leg — and gathers the merged top-k. The workload runs twice:
+//! both partitions healthy (every merged result compared bit-for-bit
+//! against a single-node evaluation of the unsliced corpus), then with
+//! one partition shut down (warmed queries must degrade to the stale
+//! merged result, not fail and not go partial).
+//!
+//! The process exits nonzero and prints a line containing `REGRESSION`
+//! if any healthy-phase query fails or diverges from the single-node
+//! baseline, if any degraded-phase query fails, or if no stale serve
+//! happened while a partition was down.
+
+use std::time::Instant;
+
+use coupling::{CollectionSetup, DocumentSystem, PartitionConfig, PartitionedIrs, ResultOrigin};
+use oodb::Oid;
+use serve::{ReplicaServer, WireTransport};
+use sgml::gen::topic_term;
+use sgml::{CorpusConfig, CorpusGenerator};
+
+const TOPICS: usize = 6;
+const PARTITIONS: usize = 2;
+/// No top-k cut: small corpus, and an uncut merge exercises the whole
+/// gather path while keeping the single-node baseline trivially exact.
+const K: usize = 10_000;
+
+/// Same corpus construction as `bench_replica`, minus fault injection —
+/// this gate measures the scatter/gather overhead itself.
+fn build_system(docs: usize) -> DocumentSystem {
+    let mut generator = CorpusGenerator::new(CorpusConfig {
+        docs,
+        topics: TOPICS,
+        vocabulary: 400,
+        ..CorpusConfig::default()
+    });
+    let mut sys = DocumentSystem::new();
+    for doc in generator.generate_corpus() {
+        sys.load_generated(&doc).expect("corpus loads");
+    }
+    sys.create_collection(
+        "coll",
+        CollectionSetup::builder().buffer_capacity(1).build(),
+    )
+    .expect("fresh collection");
+    sys.index_collection("coll", "ACCESS p FROM p IN PARA")
+        .expect("paragraphs index");
+    sys
+}
+
+/// Partition `p` of `parts`: the full corpus loaded (identical OIDs on
+/// every node), then carved down to the round-robin slice by deleting
+/// the out-of-slice paragraphs from the IRS collection.
+fn build_partition(docs: usize, p: usize, parts: usize) -> DocumentSystem {
+    let sys = build_system(docs);
+    let paras: Vec<Oid> = sys
+        .query("ACCESS p FROM p IN PARA")
+        .expect("enumerate paragraphs")
+        .iter()
+        .filter_map(|row| row.oid())
+        .collect();
+    let mut coll = sys.collection_mut("coll").expect("collection exists");
+    for (i, &oid) in paras.iter().enumerate() {
+        if i % parts != p {
+            coll.on_delete(oid).expect("carve slice");
+        }
+    }
+    drop(coll);
+    sys
+}
+
+fn query_for(i: usize) -> String {
+    let a = i % TOPICS;
+    let b = (i + 1 + i % (TOPICS - 1)) % TOPICS;
+    if a == b {
+        topic_term(a)
+    } else {
+        format!("#and({} {})", topic_term(a), topic_term(b))
+    }
+}
+
+/// Single-node answer for `query`, in the router's presentation order.
+fn baseline_for(sys: &DocumentSystem, query: &str) -> Vec<(Oid, f64)> {
+    let coll = sys.collection("coll").expect("collection exists");
+    let mut hits: Vec<(Oid, f64)> = coll
+        .get_irs_result(query)
+        .expect("single-node evaluation")
+        .into_iter()
+        .collect();
+    hits.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    hits
+}
+
+struct Phase {
+    name: &'static str,
+    ops: usize,
+    latencies_us: Vec<u64>,
+    failed: u64,
+    mismatched: u64,
+    stale: u64,
+}
+
+impl Phase {
+    fn quantile_us(&self, q: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.latencies_us.clone();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[idx]
+    }
+
+    fn max_us(&self) -> u64 {
+        self.latencies_us.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Run `ops` queries; when `baseline` is given, compare every merged
+/// result bit-for-bit against the single-node evaluation.
+fn run_phase(
+    name: &'static str,
+    router: &PartitionedIrs<WireTransport>,
+    baseline: Option<&DocumentSystem>,
+    ops: usize,
+) -> Phase {
+    let mut phase = Phase {
+        name,
+        ops,
+        latencies_us: Vec::with_capacity(ops),
+        failed: 0,
+        mismatched: 0,
+        stale: 0,
+    };
+    for i in 0..ops {
+        let query = query_for(i);
+        let t0 = Instant::now();
+        match router.search_top_k("coll", &query, K) {
+            Ok((hits, origin)) => {
+                phase.latencies_us.push(t0.elapsed().as_micros() as u64);
+                if origin == ResultOrigin::Stale {
+                    phase.stale += 1;
+                }
+                if let Some(sys) = baseline {
+                    let expected = baseline_for(sys, &query);
+                    let same = hits.len() == expected.len()
+                        && hits
+                            .iter()
+                            .zip(expected.iter())
+                            .all(|(g, w)| g.0 == w.0 && g.1.to_bits() == w.1.to_bits());
+                    if !same {
+                        eprintln!(
+                            "{name}: query {i} ({query}) diverged from single-node: \
+                             {} merged hits vs {} expected",
+                            hits.len(),
+                            expected.len()
+                        );
+                        phase.mismatched += 1;
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("{name}: query {i} ({query}) failed: {e}");
+                phase.failed += 1;
+            }
+        }
+    }
+    phase
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let (docs, ops) = if smoke { (8, 40) } else { (20, 200) };
+
+    let baseline = build_system(docs);
+    let servers: Vec<ReplicaServer> = (0..PARTITIONS)
+        .map(|p| {
+            ReplicaServer::serve(build_partition(docs, p, PARTITIONS), "127.0.0.1:0")
+                .expect("bind partition")
+        })
+        .collect();
+    let router = PartitionedIrs::new(
+        servers
+            .iter()
+            .enumerate()
+            .map(|(i, s)| vec![(format!("part-{i}"), WireTransport::new(s.local_addr()))])
+            .collect(),
+        PartitionConfig::default(),
+    );
+
+    println!(
+        "bench_shard: {ops} ops/phase, {PARTITIONS} partitions x 1 replica, \
+         {docs} docs, k={K}"
+    );
+
+    let healthy = run_phase("scatter", &router, Some(&baseline), ops);
+
+    // Take one whole partition away: the router must keep answering the
+    // warmed queries from its merged stale store.
+    let mut servers = servers;
+    servers.pop().expect("two partitions").shutdown();
+    println!("shutting down partition {}", PARTITIONS - 1);
+
+    let degraded = run_phase("degraded", &router, None, ops);
+    let stats = router.stats();
+
+    println!(
+        "{:>10} {:>6} {:>10} {:>10} {:>10} {:>8} {:>10} {:>6}",
+        "phase", "ops", "p50(us)", "p99(us)", "max(us)", "failed", "mismatch", "stale"
+    );
+    for phase in [&healthy, &degraded] {
+        println!(
+            "{:>10} {:>6} {:>10} {:>10} {:>10} {:>8} {:>10} {:>6}",
+            phase.name,
+            phase.ops,
+            phase.quantile_us(0.5),
+            phase.quantile_us(0.99),
+            phase.max_us(),
+            phase.failed,
+            phase.mismatched,
+            phase.stale
+        );
+    }
+    println!(
+        "router: {} requests, {} scatter failures, {} stale serves, {} exhausted",
+        stats.requests, stats.scatter_failures, stats.stale_serves, stats.exhausted
+    );
+
+    // Hand-rolled JSON: the workspace deliberately carries no serde.
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"shard_scatter_gather\",\n");
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if smoke { "smoke" } else { "full" }
+    ));
+    out.push_str(&format!("  \"partitions\": {PARTITIONS},\n"));
+    out.push_str(&format!("  \"docs\": {docs},\n"));
+    out.push_str("  \"phases\": [\n");
+    let phases = [&healthy, &degraded];
+    for (i, phase) in phases.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"phase\": \"{}\", \"ops\": {}, \"p50_us\": {}, \"p99_us\": {}, \
+             \"max_us\": {}, \"failed\": {}, \"mismatched\": {}, \"stale\": {}}}{}\n",
+            phase.name,
+            phase.ops,
+            phase.quantile_us(0.5),
+            phase.quantile_us(0.99),
+            phase.max_us(),
+            phase.failed,
+            phase.mismatched,
+            phase.stale,
+            if i + 1 < phases.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"router\": {{\"requests\": {}, \"scatter_failures\": {}, \"stale_serves\": {}, \
+         \"exhausted\": {}}}\n",
+        stats.requests, stats.scatter_failures, stats.stale_serves, stats.exhausted
+    ));
+    out.push_str("}\n");
+
+    let path = std::path::Path::new("BENCH_shard.json");
+    std::fs::write(path, &out).expect("write BENCH_shard.json");
+    println!("wrote {}", path.display());
+
+    for server in servers {
+        server.shutdown();
+    }
+
+    if healthy.failed > 0 {
+        eprintln!("REGRESSION: {} scattered reads failed", healthy.failed);
+        std::process::exit(1);
+    }
+    if healthy.mismatched > 0 {
+        eprintln!(
+            "REGRESSION: {} merged results diverged from single-node evaluation",
+            healthy.mismatched
+        );
+        std::process::exit(1);
+    }
+    if degraded.failed > 0 {
+        eprintln!(
+            "REGRESSION: {} warmed queries failed with a partition down",
+            degraded.failed
+        );
+        std::process::exit(1);
+    }
+    if stats.stale_serves == 0 {
+        eprintln!("REGRESSION: a partition was down but no stale serve happened");
+        std::process::exit(1);
+    }
+}

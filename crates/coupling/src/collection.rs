@@ -597,6 +597,52 @@ impl Collection {
     }
 
     // ------------------------------------------------------------------
+    // Partitioned (scatter/gather) serving
+    // ------------------------------------------------------------------
+
+    /// This collection's corpus statistics for `query` — what a
+    /// partition contributes to the router's global-statistics exchange
+    /// (see [`irs::collect_globals`]). Unscatterable queries fail with a
+    /// permanent parse-class error.
+    pub fn query_globals(&self, query: &str) -> Result<irs::QueryGlobals> {
+        CouplingCounters::bump(&self.stats.irs_calls);
+        retry::call(&self.retry, &self.breaker, &self.retry_stats, || {
+            self.irs.query_globals(query)
+        })
+    }
+
+    /// Rank this collection's members for `query` under *supplied* merged
+    /// corpus statistics, returning raw `(IRS key, score)` pairs in the
+    /// top-k engine's selection order (score descending, ties by
+    /// ascending key string). The router merges partition lists with the
+    /// same comparator and only then folds keys into OIDs, so the merged
+    /// ranking is bit-identical to single-node evaluation.
+    ///
+    /// Collections with segmented members refuse: segment hits must fold
+    /// into their root *before* a top-k cut, which a partition cannot do
+    /// locally without seeing its siblings' segments.
+    pub fn get_irs_result_global(
+        &self,
+        query: &str,
+        k: usize,
+        globals: &irs::QueryGlobals,
+    ) -> Result<Vec<(String, f64)>> {
+        if !self.segmented.is_empty() {
+            return Err(CouplingError::Irs(irs::IrsError::QueryParse {
+                reason: "collection has segmented members; scattered top-k would \
+                         cut segments before folding"
+                    .to_string(),
+                offset: 0,
+            }));
+        }
+        CouplingCounters::bump(&self.stats.irs_calls);
+        let hits = retry::call(&self.retry, &self.breaker, &self.retry_stats, || {
+            self.irs.search_top_k_global(query, k, globals)
+        })?;
+        Ok(hits.into_iter().map(|h| (h.key, h.score)).collect())
+    }
+
+    // ------------------------------------------------------------------
     // findIRSValue / deriveIRSValue (paper Section 4.2, Figure 3)
     // ------------------------------------------------------------------
 

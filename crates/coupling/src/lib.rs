@@ -59,11 +59,13 @@ pub mod handle;
 pub mod journal;
 pub mod mixed;
 pub mod ops;
+pub mod partition;
 pub mod persist;
 pub mod propagate;
 pub mod remote;
 pub mod retry;
 pub mod shared;
+mod stale;
 pub mod system;
 pub mod textmode;
 
@@ -77,6 +79,7 @@ pub use granularity::GranularityPolicy;
 pub use handle::{CollectionMut, CollectionRef};
 pub use journal::{Journal, SyncPolicy};
 pub use mixed::{evaluate_mixed, MixedOutcome, MixedStrategy};
+pub use partition::{PartitionConfig, PartitionStats, PartitionedIrs};
 pub use persist::{journal_path, open_system, save_system};
 pub use propagate::{PendingOp, PropagationStrategy, Propagator};
 pub use remote::{RemoteConfig, RemoteIrs, RemoteStats, ReplicaHealth, ReplicaTransport};
@@ -100,6 +103,7 @@ pub mod prelude {
     pub use crate::handle::{CollectionMut, CollectionRef};
     pub use crate::journal::SyncPolicy;
     pub use crate::mixed::{evaluate_mixed, MixedOutcome, MixedStrategy};
+    pub use crate::partition::{PartitionConfig, PartitionStats, PartitionedIrs};
     pub use crate::persist::{journal_path, open_system, save_system};
     pub use crate::propagate::{PendingOp, PropagationStrategy, Propagator};
     pub use crate::remote::{RemoteConfig, RemoteIrs, RemoteStats, ReplicaTransport};

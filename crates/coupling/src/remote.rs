@@ -44,17 +44,18 @@
 //! fired; the result is correct; latency stayed under the bound), not on
 //! which replica won.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
+use irs::QueryGlobals;
 use oodb::Oid;
-use parking_lot::Mutex;
 
 use crate::collection::ResultOrigin;
 use crate::error::{CouplingError, ErrorKind, Result};
 use crate::retry::{BreakerConfig, BreakerStats, CircuitBreaker, RetryPolicy};
+use crate::stale::StaleStore;
 
 /// A connection to one IRS replica.
 ///
@@ -74,6 +75,37 @@ pub trait ReplicaTransport: Send + Sync + 'static {
 
     /// Cheap liveness probe (wire round-trip, no IRS work).
     fn ping(&self) -> Result<()>;
+
+    /// The replica's corpus statistics for `query` — one partition's leg
+    /// of the scatter/gather global-statistics exchange
+    /// ([`crate::partition::PartitionedIrs`]). The default errors
+    /// permanently: transports predating partitioned serving simply do
+    /// not participate, and the error must not trigger failover.
+    fn term_stats(&self, collection: &str, query: &str) -> Result<QueryGlobals> {
+        let _ = (collection, query);
+        Err(CouplingError::Remote {
+            kind: ErrorKind::Other,
+            message: "transport does not support the term-stats exchange".into(),
+        })
+    }
+
+    /// Ranked retrieval under *supplied* merged corpus statistics,
+    /// returning raw `(IRS key, score)` pairs in the top-k engine's
+    /// selection order so the router can merge bit-identically. Defaults
+    /// to a permanent error like [`ReplicaTransport::term_stats`].
+    fn search_global(
+        &self,
+        collection: &str,
+        query: &str,
+        k: usize,
+        globals: &QueryGlobals,
+    ) -> Result<Vec<(String, f64)>> {
+        let _ = (collection, query, k, globals);
+        Err(CouplingError::Remote {
+            kind: ErrorKind::Other,
+            message: "transport does not support globally-scored search".into(),
+        })
+    }
 }
 
 /// Tuning for the hedged fan-out. Defaults suit loopback tests; a real
@@ -94,7 +126,8 @@ pub struct RemoteConfig {
     pub retry: RetryPolicy,
     /// Breaker configuration applied to each replica independently.
     pub breaker: BreakerConfig,
-    /// Entries kept in the stale-result store (insertion order evicts).
+    /// Entries kept in the stale-result store (the least recently
+    /// *refreshed* key evicts first; re-putting a key renews its slot).
     pub stale_capacity: usize,
 }
 
@@ -157,18 +190,31 @@ struct Replica<T> {
     failures: AtomicU64,
 }
 
+/// One EWMA step, `(old·7 + sample·3) / 10`, computed in `u128` so
+/// `u64::MAX`-scale samples (a multi-hour stall measured in µs after a
+/// clock step, or a hostile transport) cannot overflow. The result is a
+/// weighted mean of two `u64`s, so it always fits back into `u64`.
+fn ewma_blend(old: u64, sample: u64) -> u64 {
+    if old == 0 {
+        sample.max(1)
+    } else {
+        ((u128::from(old) * 7 + u128::from(sample) * 3) / 10) as u64
+    }
+}
+
 impl<T> Replica<T> {
+    /// Fold one latency sample into the ranking EWMA. Racy
+    /// read-modify-write is fine: the EWMA is a ranking hint.
+    fn charge_latency(&self, latency: Duration) {
+        let sample = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let old = self.ewma_us.load(Ordering::Relaxed);
+        self.ewma_us
+            .store(ewma_blend(old, sample).max(1), Ordering::Relaxed);
+    }
+
     fn record_success(&self, latency: Duration) {
         self.wins.fetch_add(1, Ordering::Relaxed);
-        let sample = latency.as_micros().min(u128::from(u64::MAX)) as u64;
-        // Racy read-modify-write is fine: the EWMA is a ranking hint.
-        let old = self.ewma_us.load(Ordering::Relaxed);
-        let new = if old == 0 {
-            sample.max(1)
-        } else {
-            (old * 7 + sample * 3) / 10
-        };
-        self.ewma_us.store(new.max(1), Ordering::Relaxed);
+        self.charge_latency(latency);
     }
 
     fn record_failure(&self) {
@@ -182,14 +228,7 @@ impl<T> Replica<T> {
     /// its latency — feeding it to the EWMA demotes the replica from
     /// the primary slot so later requests stop paying the hedge delay.
     fn record_abandon(&self, elapsed: Duration) {
-        let sample = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
-        let old = self.ewma_us.load(Ordering::Relaxed);
-        let new = if old == 0 {
-            sample.max(1)
-        } else {
-            (old * 7 + sample * 3) / 10
-        };
-        self.ewma_us.store(new.max(1), Ordering::Relaxed);
+        self.charge_latency(elapsed);
     }
 }
 
@@ -218,59 +257,6 @@ struct Counters {
     breaker_skips: AtomicU64,
     stale_serves: AtomicU64,
     exhausted: AtomicU64,
-}
-
-/// Bounded map of the last good result per `(collection, query)`,
-/// evicting the oldest *key* (not the most recently refreshed) once the
-/// capacity is reached — a deliberately simple policy whose behaviour is
-/// easy to reason about in tests.
-struct StaleStore {
-    capacity: usize,
-    inner: Mutex<StaleInner>,
-}
-
-#[derive(Default)]
-struct StaleInner {
-    map: HashMap<String, Vec<(Oid, f64)>>,
-    order: VecDeque<String>,
-}
-
-impl StaleStore {
-    fn new(capacity: usize) -> Self {
-        StaleStore {
-            capacity,
-            inner: Mutex::new(StaleInner::default()),
-        }
-    }
-
-    fn key(collection: &str, query: &str) -> String {
-        format!("{collection}\u{1}{query}")
-    }
-
-    fn put(&self, collection: &str, query: &str, hits: Vec<(Oid, f64)>) {
-        if self.capacity == 0 {
-            return;
-        }
-        let key = Self::key(collection, query);
-        let mut inner = self.inner.lock();
-        if inner.map.insert(key.clone(), hits).is_none() {
-            inner.order.push_back(key);
-            while inner.order.len() > self.capacity {
-                if let Some(evict) = inner.order.pop_front() {
-                    inner.map.remove(&evict);
-                }
-            }
-        }
-    }
-
-    fn get(&self, collection: &str, query: &str) -> Option<Vec<(Oid, f64)>> {
-        let key = Self::key(collection, query);
-        self.inner.lock().map.get(&key).cloned()
-    }
-
-    fn len(&self) -> usize {
-        self.inner.lock().map.len()
-    }
 }
 
 /// Client-side fan-out over N IRS replicas with hedged reads, failover,
@@ -435,6 +421,32 @@ impl<T: ReplicaTransport> RemoteIrs<T> {
             },
             Err(e) => Err(e),
         }
+    }
+
+    /// Hedged term-statistics exchange: this replica group's (= this
+    /// partition's) corpus statistics for `query`. No stale fallback —
+    /// a router merging partition statistics must never mix a stale
+    /// partition's counts into fresh ones, so degradation is handled at
+    /// the merged-result level ([`crate::partition::PartitionedIrs`])
+    /// instead.
+    pub fn term_stats(&self, collection: &str, query: &str) -> Result<QueryGlobals> {
+        let (c, q) = (collection.to_string(), query.to_string());
+        self.hedged(move |t: &T| t.term_stats(&c, &q))
+    }
+
+    /// Hedged globally-scored ranked retrieval (the gather leg of
+    /// scatter/gather): top-`k` raw `(IRS key, score)` pairs of this
+    /// partition under the supplied merged statistics. Like
+    /// [`RemoteIrs::term_stats`], no per-group stale fallback.
+    pub fn search_global(
+        &self,
+        collection: &str,
+        query: &str,
+        k: usize,
+        globals: &QueryGlobals,
+    ) -> Result<Vec<(String, f64)>> {
+        let (c, q, g) = (collection.to_string(), query.to_string(), globals.clone());
+        self.hedged(move |t: &T| t.search_global(&c, &q, k, &g))
     }
 
     /// Candidate order for the next round: breaker-closed replicas
@@ -660,6 +672,7 @@ impl<T: ReplicaTransport> RemoteIrs<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use parking_lot::Mutex;
     use std::sync::atomic::AtomicBool;
 
     /// Scripted fake replica: a fixed result set, optional artificial
@@ -967,6 +980,48 @@ mod tests {
             remote.search_top_k("coll", &format!("q{i}")).unwrap();
         }
         assert_eq!(remote.stale_len(), 3);
+    }
+
+    #[test]
+    fn ewma_blend_survives_u64_scale_samples() {
+        // Regression: the blend used to run `(old * 7 + sample * 3) / 10`
+        // in u64, overflowing (panic in debug, wraparound in release) for
+        // samples above ~u64::MAX/3 and corrupting replica ranking.
+        assert_eq!(ewma_blend(0, 42), 42, "first sample seeds the EWMA");
+        assert_eq!(ewma_blend(0, 0), 1, "EWMA stays nonzero once seeded");
+        assert_eq!(ewma_blend(10, 20), 13);
+        assert_eq!(ewma_blend(u64::MAX, u64::MAX), u64::MAX);
+        let demoted = ewma_blend(1, u64::MAX);
+        assert!(
+            demoted > u64::MAX / 4,
+            "a huge sample must demote, not wrap to a tiny EWMA ({demoted})"
+        );
+        assert!(
+            ewma_blend(u64::MAX, 1) < u64::MAX,
+            "recovery pulls it back down"
+        );
+    }
+
+    #[test]
+    fn huge_latency_samples_do_not_panic_or_reset_the_ranking() {
+        let rep = Replica {
+            label: "r".into(),
+            transport: FakeReplica::healthy(hits()),
+            breaker: CircuitBreaker::new(BreakerConfig::default()),
+            ewma_us: AtomicU64::new(0),
+            wins: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+        };
+        rep.record_success(Duration::from_micros(120));
+        // A clock-step-scale stall: `Duration::MAX` clamps to u64::MAX µs.
+        rep.record_success(Duration::MAX);
+        rep.record_abandon(Duration::MAX);
+        let ewma = rep.ewma_us.load(Ordering::Relaxed);
+        assert!(
+            ewma > u64::MAX / 2,
+            "stalled replica must rank last, got EWMA {ewma}"
+        );
+        assert_eq!(rep.wins.load(Ordering::Relaxed), 2);
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! Bounded last-good-result store backing the *stale* rung of the
+//! fallback ladder (fresh → buffered → stale).
+//!
+//! Shared by [`crate::remote::RemoteIrs`] (per replica group) and
+//! [`crate::partition::PartitionedIrs`] (for the merged scatter/gather
+//! result): whenever a read succeeds, the result is stored under its
+//! `(collection, query)` key; once every live attempt fails, the stored
+//! result is served marked [`crate::ResultOrigin::Stale`].
+
+use std::collections::{HashMap, VecDeque};
+
+use oodb::Oid;
+use parking_lot::Mutex;
+
+/// Bounded map of the last good result per `(collection, query)`. When
+/// full, the key whose entry was *refreshed least recently* is evicted:
+/// re-`put`ing an existing key moves it to the back of the eviction
+/// queue, so a hot, recently-refreshed entry cannot be evicted from its
+/// original insertion slot while cold entries survive.
+pub(crate) struct StaleStore {
+    capacity: usize,
+    inner: Mutex<StaleInner>,
+}
+
+#[derive(Default)]
+struct StaleInner {
+    map: HashMap<String, Vec<(Oid, f64)>>,
+    order: VecDeque<String>,
+}
+
+impl StaleStore {
+    pub(crate) fn new(capacity: usize) -> Self {
+        StaleStore {
+            capacity,
+            inner: Mutex::new(StaleInner::default()),
+        }
+    }
+
+    fn key(collection: &str, query: &str) -> String {
+        format!("{collection}\u{1}{query}")
+    }
+
+    pub(crate) fn put(&self, collection: &str, query: &str, hits: Vec<(Oid, f64)>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let key = Self::key(collection, query);
+        let mut inner = self.inner.lock();
+        if inner.map.insert(key.clone(), hits).is_some() {
+            // Refresh: the entry is as good as new — move its eviction
+            // slot to the back instead of leaving it to age out from its
+            // original insertion position.
+            inner.order.retain(|k| k != &key);
+        }
+        inner.order.push_back(key);
+        while inner.order.len() > self.capacity {
+            if let Some(evict) = inner.order.pop_front() {
+                inner.map.remove(&evict);
+            }
+        }
+    }
+
+    pub(crate) fn get(&self, collection: &str, query: &str) -> Option<Vec<(Oid, f64)>> {
+        let key = Self::key(collection, query);
+        self.inner.lock().map.get(&key).cloned()
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hits(n: u64) -> Vec<(Oid, f64)> {
+        vec![(Oid(n), n as f64)]
+    }
+
+    #[test]
+    fn capacity_bounds_the_store() {
+        let store = StaleStore::new(3);
+        for i in 0..10 {
+            store.put("coll", &format!("q{i}"), hits(i));
+        }
+        assert_eq!(store.len(), 3);
+        assert!(store.get("coll", "q9").is_some());
+        assert!(store.get("coll", "q0").is_none());
+    }
+
+    #[test]
+    fn zero_capacity_stores_nothing() {
+        let store = StaleStore::new(0);
+        store.put("coll", "q", hits(1));
+        assert_eq!(store.len(), 0);
+        assert!(store.get("coll", "q").is_none());
+    }
+
+    #[test]
+    fn refresh_moves_entry_to_the_back_of_the_eviction_queue() {
+        // Regression: re-putting an existing key used to leave its
+        // eviction slot at the original insertion position, so a hot,
+        // just-refreshed entry could be the next one evicted.
+        let store = StaleStore::new(2);
+        store.put("coll", "a", hits(1));
+        store.put("coll", "b", hits(2));
+        // Refresh `a` — it is now the most recently updated entry.
+        store.put("coll", "a", hits(3));
+        // Inserting `c` must evict `b` (least recently refreshed), not `a`.
+        store.put("coll", "c", hits(4));
+        assert_eq!(store.len(), 2);
+        assert_eq!(
+            store.get("coll", "a"),
+            Some(hits(3)),
+            "refreshed entry survives"
+        );
+        assert!(store.get("coll", "b").is_none(), "stalest entry evicted");
+        assert!(store.get("coll", "c").is_some());
+    }
+
+    #[test]
+    fn refresh_replaces_the_stored_hits() {
+        let store = StaleStore::new(4);
+        store.put("coll", "q", hits(1));
+        store.put("coll", "q", hits(2));
+        assert_eq!(store.get("coll", "q"), Some(hits(2)));
+        assert_eq!(store.len(), 1, "refresh must not duplicate the key");
+    }
+
+    #[test]
+    fn collection_and_query_do_not_collide() {
+        let store = StaleStore::new(4);
+        store.put("a", "b", hits(1));
+        store.put("ab", "", hits(2));
+        assert_eq!(store.get("a", "b"), Some(hits(1)));
+        assert_eq!(store.get("ab", ""), Some(hits(2)));
+    }
+}

@@ -21,7 +21,10 @@ use crate::index::{
     DocId, DocStore, IndexReader, IndexStatistics, InvertedIndex, MergeStats, ShardedIndex,
 };
 use crate::model::ModelKind;
-use crate::query::{evaluate, evaluate_top_k, parse_query, QueryNode};
+use crate::query::{
+    collect_globals, evaluate, evaluate_top_k, evaluate_top_k_with_globals, parse_query,
+    QueryGlobals, QueryNode,
+};
 
 /// Configuration of a collection: its analysis pipeline and model.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -372,6 +375,65 @@ impl IrsCollection {
             hits.truncate(k);
         }
         hits.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.key.cmp(&b.key)));
+        self.stats.time_query(started);
+        Ok(hits)
+    }
+
+    /// Corpus statistics this collection contributes for `query` — one
+    /// partition's share of the global-statistics exchange that keeps
+    /// scattered scoring bit-identical to single-node scoring (see
+    /// [`collect_globals`]).
+    ///
+    /// Queries outside the pruned top-k fragment (`#not`/`#phrase`/
+    /// `#near`, negative `#wsum` weights) cannot be scattered and fail
+    /// with [`IrsError::QueryParse`] — a permanent error, so routers do
+    /// not retry it.
+    pub fn query_globals(&self, query: &str) -> Result<QueryGlobals> {
+        self.check_fault()?;
+        let node = parse_query(query)?;
+        let reader = self.index.reader();
+        collect_globals(&reader, &node).ok_or_else(|| IrsError::QueryParse {
+            reason: format!("query {query:?} is outside the partitionable operator fragment"),
+            offset: 0,
+        })
+    }
+
+    /// [`Self::search_top_k`] scored with *supplied* corpus statistics:
+    /// `df`/`n_docs`/`avg_doc_len` come from `globals` (merged across all
+    /// partitions of the collection) instead of the local index, so the
+    /// local top-k is exactly what the union index would assign these
+    /// documents. No exhaustive fallback exists — unsupported queries fail
+    /// with [`IrsError::QueryParse`], as do globals whose term list does
+    /// not match this query.
+    pub fn search_top_k_global(
+        &self,
+        query: &str,
+        k: usize,
+        globals: &QueryGlobals,
+    ) -> Result<Vec<Hit>> {
+        self.check_fault()?;
+        let node = parse_query(query)?;
+        WorkCounters::bump(&self.stats.queries);
+        let started = Instant::now();
+        let reader = self.index.reader();
+        let model = self.config.model.as_model();
+        let ranked =
+            evaluate_top_k_with_globals(&reader, model, &node, k, globals).ok_or_else(|| {
+                IrsError::QueryParse {
+                    reason: format!(
+                        "query {query:?} cannot be scored with supplied globals \
+                     (unsupported operators or mismatched term statistics)"
+                    ),
+                    offset: 0,
+                }
+            })?;
+        let hits = ranked
+            .into_iter()
+            .map(|(doc, score)| Hit {
+                key: reader.doc_entry(doc).key.clone(),
+                score,
+            })
+            .collect();
         self.stats.time_query(started);
         Ok(hits)
     }

@@ -53,6 +53,11 @@ pub trait IndexReader {
     fn live_count(&self) -> u32;
     /// Average live document length in tokens.
     fn avg_doc_len(&self) -> f64;
+    /// Sum of live document lengths in tokens. Together with
+    /// [`IndexReader::live_count`] this is the exact numerator/denominator
+    /// pair behind [`IndexReader::avg_doc_len`], so partition statistics
+    /// can be merged and the merged average recomputed bit-identically.
+    fn total_token_len(&self) -> u64;
     /// Loose `(min, max)` bounds on live document lengths (see
     /// [`DocStore::len_bounds`]).
     fn doc_len_bounds(&self) -> (u32, u32);
@@ -103,6 +108,10 @@ impl IndexReader for InvertedIndex {
 
     fn avg_doc_len(&self) -> f64 {
         self.store.avg_len()
+    }
+
+    fn total_token_len(&self) -> u64 {
+        self.store.total_len()
     }
 
     fn doc_len_bounds(&self) -> (u32, u32) {

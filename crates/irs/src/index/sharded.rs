@@ -522,6 +522,10 @@ impl IndexReader for ShardedReader<'_> {
         self.store.avg_len()
     }
 
+    fn total_token_len(&self) -> u64 {
+        self.store.total_len()
+    }
+
     fn doc_len_bounds(&self) -> (u32, u32) {
         self.store.len_bounds()
     }

@@ -107,6 +107,13 @@ impl DocStore {
         self.docs.len() as u32
     }
 
+    /// Sum of live document lengths in tokens — the numerator of
+    /// [`DocStore::avg_len`], exposed so distributed scoring can merge
+    /// partition statistics and recompute the exact same average.
+    pub fn total_len(&self) -> u64 {
+        self.total_len
+    }
+
     /// Average length of live documents in tokens (0.0 when empty).
     pub fn avg_len(&self) -> f64 {
         if self.live_count == 0 {

@@ -55,4 +55,7 @@ pub use fault::{FaultPlan, OutageWindow};
 pub use feedback::{expand_query, FeedbackConfig};
 pub use index::{DocId, IndexReader, InvertedIndex, ShardedIndex, ShardedReader, DEFAULT_SHARDS};
 pub use model::{Bm25Model, BooleanModel, InferenceModel, ModelKind, RetrievalModel, VectorModel};
-pub use query::{evaluate_top_k, parse_query, QueryNode};
+pub use query::{
+    collect_globals, evaluate_top_k, evaluate_top_k_with_globals, parse_query, QueryGlobals,
+    QueryNode, TermGlobals,
+};

@@ -22,9 +22,11 @@
 mod ast;
 mod eval;
 mod parser;
+mod stats;
 mod topk;
 
 pub use ast::QueryNode;
 pub use eval::{evaluate, ScoredDocs};
 pub use parser::parse_query;
-pub use topk::evaluate_top_k;
+pub use stats::{collect_globals, QueryGlobals, TermGlobals};
+pub use topk::{evaluate_top_k, evaluate_top_k_with_globals};

@@ -39,7 +39,7 @@ use std::collections::{BinaryHeap, HashMap};
 use crate::analysis::Analyzer;
 use crate::index::{DocId, IndexReader, TermEvidence};
 use crate::model::{RetrievalModel, TermStats};
-use crate::query::QueryNode;
+use crate::query::{QueryGlobals, QueryNode};
 
 /// Operator kinds the pruned engine evaluates directly.
 #[derive(Debug, Clone, Copy)]
@@ -115,6 +115,17 @@ fn compile(
         }
         QueryNode::Not(_) | QueryNode::Phrase(_) | QueryNode::Near { .. } => None,
     }
+}
+
+/// The analysed leaf terms of `node` in the engine's interning order
+/// (first appearance wins) — the canonical term order
+/// [`collect_globals`](super::collect_globals) reports statistics in.
+/// `None` when the tree is outside the pruned fragment.
+pub(crate) fn compiled_terms(node: &QueryNode, analyzer: &Analyzer) -> Option<Vec<String>> {
+    let mut terms = Vec::new();
+    let mut interned = HashMap::new();
+    compile(node, analyzer, &mut terms, &mut interned)?;
+    Some(terms)
 }
 
 /// One query term's gathered evidence plus its score upper bound.
@@ -300,22 +311,65 @@ pub fn evaluate_top_k<I: IndexReader + ?Sized>(
     node: &QueryNode,
     k: usize,
 ) -> Option<Vec<(DocId, f64)>> {
+    evaluate_top_k_inner(index, model, node, k, None)
+}
+
+/// [`evaluate_top_k`] with *supplied* corpus statistics instead of the
+/// index's own: `df`/`n_docs`/`avg_doc_len` come from `globals` so a
+/// partition of a scattered collection scores its local documents exactly
+/// as the union index would. Local `max_tf` and length bounds stay in the
+/// pruning bound — they are tighter for local documents and remain sound.
+///
+/// Returns `None` when the tree is outside the pruned fragment *or* when
+/// `globals.terms` does not match the tree's interned term list (the
+/// globals were collected for a different query or analyzer) — scoring
+/// with mismatched statistics would be silently wrong.
+pub fn evaluate_top_k_with_globals<I: IndexReader + ?Sized>(
+    index: &I,
+    model: &dyn RetrievalModel,
+    node: &QueryNode,
+    k: usize,
+    globals: &QueryGlobals,
+) -> Option<Vec<(DocId, f64)>> {
+    evaluate_top_k_inner(index, model, node, k, Some(globals))
+}
+
+fn evaluate_top_k_inner<I: IndexReader + ?Sized>(
+    index: &I,
+    model: &dyn RetrievalModel,
+    node: &QueryNode,
+    k: usize,
+    globals: Option<&QueryGlobals>,
+) -> Option<Vec<(DocId, f64)>> {
     let mut term_texts = Vec::new();
     let mut interned = HashMap::new();
     let root = compile(node, index.analyzer(), &mut term_texts, &mut interned)?;
+    if let Some(g) = globals {
+        if g.terms.len() != term_texts.len()
+            || g.terms.iter().zip(&term_texts).any(|(tg, t)| tg.term != *t)
+        {
+            return None;
+        }
+    }
     if k == 0 {
         return Some(Vec::new());
     }
 
-    let n_docs = index.live_count();
-    let avg_doc_len = index.avg_doc_len();
+    let (n_docs, avg_doc_len) = match globals {
+        Some(g) => (g.n_docs, g.avg_doc_len()),
+        None => (index.live_count(), index.avg_doc_len()),
+    };
     let len_bounds = index.doc_len_bounds();
     let default = model.default_score();
     let terms: Vec<TermData> = index
         .gather_terms(&term_texts)
         .into_iter()
-        .map(|ev: TermEvidence| {
-            let df = ev.occurrences.len() as u32;
+        .enumerate()
+        .map(|(i, ev): (usize, TermEvidence)| {
+            let df = match globals {
+                Some(g) => g.terms[i].df,
+                None => ev.occurrences.len() as u32,
+            };
             let ub = leaf_upper_bound(
                 model,
                 df,

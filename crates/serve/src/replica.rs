@@ -206,4 +206,34 @@ impl ReplicaTransport for WireTransport {
             other => Err(self.unexpected("ping", &other)),
         }
     }
+
+    fn term_stats(&self, collection: &str, query: &str) -> coupling::Result<irs::QueryGlobals> {
+        let response = self.call(&Request::TermStats {
+            collection: collection.into(),
+            query: query.into(),
+        })?;
+        match response {
+            Response::TermStats(globals) => Ok(globals),
+            other => Err(self.unexpected("term_stats", &other)),
+        }
+    }
+
+    fn search_global(
+        &self,
+        collection: &str,
+        query: &str,
+        k: usize,
+        globals: &irs::QueryGlobals,
+    ) -> coupling::Result<Vec<(String, f64)>> {
+        let response = self.call(&Request::IrsQueryGlobal {
+            collection: collection.into(),
+            query: query.into(),
+            k: u64::try_from(k).unwrap_or(u64::MAX),
+            globals: globals.clone(),
+        })?;
+        match response {
+            Response::IrsKeyed { hits } => Ok(hits),
+            other => Err(self.unexpected("search_global", &other)),
+        }
+    }
 }

@@ -7,6 +7,7 @@
 //! and eventually process/network — boundaries.
 
 use coupling::{MixedStrategy, ResultOrigin};
+use irs::QueryGlobals;
 use oodb::Oid;
 
 /// A typed request against the document system.
@@ -66,6 +67,31 @@ pub enum Request {
     /// the document system. Clients use it for health checks and as the
     /// cheap trial call when a circuit breaker goes half-open.
     Ping,
+    /// One partition's corpus statistics for `query` — the first leg of
+    /// the scatter/gather global-statistics exchange
+    /// ([`coupling::Collection::query_globals`]).
+    TermStats {
+        /// Target collection name.
+        collection: String,
+        /// IRS query text.
+        query: String,
+    },
+    /// Rank this partition's members for `query` under *supplied* merged
+    /// corpus statistics — the second leg of scatter/gather
+    /// ([`coupling::Collection::get_irs_result_global`]). Answered with
+    /// [`Response::IrsKeyed`]: raw IRS keys, because the router's merge
+    /// must tie-break exactly as the single-node engine does (by key
+    /// string, not by numeric OID).
+    IrsQueryGlobal {
+        /// Target collection name.
+        collection: String,
+        /// IRS query text.
+        query: String,
+        /// Result limit; `u64::MAX` means unlimited.
+        k: u64,
+        /// Merged corpus statistics from every partition.
+        globals: QueryGlobals,
+    },
 }
 
 impl Request {
@@ -87,6 +113,8 @@ impl Request {
             Request::UpdateText { .. } => "update_text",
             Request::IndexObjects { .. } => "index_objects",
             Request::Ping => "ping",
+            Request::TermStats { .. } => "term_stats",
+            Request::IrsQueryGlobal { .. } => "irs_query_global",
         }
     }
 }
@@ -124,6 +152,17 @@ pub enum Response {
     },
     /// The answer to [`Request::Ping`].
     Pong,
+    /// The answer to [`Request::TermStats`].
+    TermStats(QueryGlobals),
+    /// The answer to [`Request::IrsQueryGlobal`]: `(IRS key, score)`
+    /// pairs sorted exactly as the top-k engine selects them — score
+    /// descending, ties by ascending key string — so the router can merge
+    /// partition lists with the same comparator and stay bit-identical to
+    /// single-node evaluation.
+    IrsKeyed {
+        /// `(IRS document key, score)` pairs.
+        hits: Vec<(String, f64)>,
+    },
 }
 
 #[cfg(test)]
@@ -159,5 +198,25 @@ mod tests {
         );
         assert!(!Request::Ping.is_write(), "pings ride the read lane");
         assert_eq!(Request::Ping.label(), "ping");
+        let stats = Request::TermStats {
+            collection: "c".into(),
+            query: "q".into(),
+        };
+        assert!(!stats.is_write(), "stats exchange is a read");
+        assert_eq!(stats.label(), "term_stats");
+        let global = Request::IrsQueryGlobal {
+            collection: "c".into(),
+            query: "q".into(),
+            k: 10,
+            globals: QueryGlobals {
+                n_docs: 0,
+                total_tokens: 0,
+                min_doc_len: 0,
+                max_doc_len: 0,
+                terms: vec![],
+            },
+        };
+        assert!(!global.is_write(), "scattered search is a read");
+        assert_eq!(global.label(), "irs_query_global");
     }
 }

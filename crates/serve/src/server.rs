@@ -525,6 +525,22 @@ fn execute_read(shared: &SharedSystem, request: &Request) -> Executed {
             let value = coll.get_irs_value(&ctx, query, *oid)?;
             Ok((Response::Value(value), None))
         }
+        Request::TermStats { collection, query } => {
+            let coll = sys.collection(collection)?;
+            let globals = coll.query_globals(query)?;
+            Ok((Response::TermStats(globals), None))
+        }
+        Request::IrsQueryGlobal {
+            collection,
+            query,
+            k,
+            globals,
+        } => {
+            let coll = sys.collection(collection)?;
+            let k = usize::try_from(*k).unwrap_or(usize::MAX);
+            let hits = coll.get_irs_result_global(query, k, globals)?;
+            Ok((Response::IrsKeyed { hits }, None))
+        }
         Request::Ping => Ok((Response::Pong, None)),
         other => Err(CouplingError::BadSpecQuery(format!(
             "write request {:?} routed to the read lane",

@@ -36,6 +36,7 @@ use std::io::{self, Read, Write};
 
 use coupling::{CouplingError, ErrorKind, MixedStrategy, ResultOrigin};
 use irs::persist::crc32;
+use irs::{QueryGlobals, TermGlobals};
 use oodb::Oid;
 
 use crate::request::{Request, Response};
@@ -72,8 +73,11 @@ pub enum WireError {
     BadVersion(u8),
     /// The frame-kind byte is not a known [`FrameKind`].
     BadKind(u8),
-    /// The declared payload length exceeds [`MAX_FRAME_LEN`].
-    Oversize(u32),
+    /// The declared (or attempted) payload length exceeds
+    /// [`MAX_FRAME_LEN`]. Carried as `u64` so lengths beyond 4 GiB
+    /// report exactly instead of truncating to a small, legal-looking
+    /// number.
+    Oversize(u64),
     /// The payload arrived but its CRC-32 does not match the header.
     BadCrc {
         /// CRC the header promised.
@@ -171,9 +175,7 @@ pub struct Frame {
 /// Serialise one frame to `w`. The payload must fit under
 /// [`MAX_FRAME_LEN`].
 pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> WireResult<()> {
-    if payload.len() > MAX_FRAME_LEN as usize {
-        return Err(WireError::Oversize(payload.len() as u32));
-    }
+    check_payload_len(payload.len())?;
     let mut header = [0u8; HEADER_LEN];
     header[0..4].copy_from_slice(&MAGIC);
     header[4] = VERSION;
@@ -183,6 +185,16 @@ pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> WireR
     w.write_all(&header)?;
     w.write_all(payload)?;
     w.flush()?;
+    Ok(())
+}
+
+/// Reject payload lengths over [`MAX_FRAME_LEN`], reporting the exact
+/// offending length (in `u64`, so >4 GiB payloads do not truncate into
+/// a small, legal-looking number).
+fn check_payload_len(len: usize) -> WireResult<()> {
+    if len > MAX_FRAME_LEN as usize {
+        return Err(WireError::Oversize(len as u64));
+    }
     Ok(())
 }
 
@@ -222,7 +234,7 @@ pub fn read_frame(r: &mut impl Read) -> WireResult<Option<Frame>> {
     let kind = FrameKind::from_byte(header[5]).ok_or(WireError::BadKind(header[5]))?;
     let len = u32::from_le_bytes(header[6..10].try_into().expect("4 bytes"));
     if len > MAX_FRAME_LEN {
-        return Err(WireError::Oversize(len));
+        return Err(WireError::Oversize(u64::from(len)));
     }
     let expected = u32::from_le_bytes(header[10..14].try_into().expect("4 bytes"));
     let mut payload = vec![0u8; len as usize];
@@ -504,6 +516,43 @@ fn origin_from(b: u8) -> WireResult<ResultOrigin> {
     }
 }
 
+fn put_globals(buf: &mut Vec<u8>, g: &QueryGlobals) {
+    put_u32(buf, g.n_docs);
+    put_u64(buf, g.total_tokens);
+    put_u32(buf, g.min_doc_len);
+    put_u32(buf, g.max_doc_len);
+    put_u32(buf, g.terms.len() as u32);
+    for t in &g.terms {
+        put_str(buf, &t.term);
+        put_u32(buf, t.df);
+        put_u32(buf, t.max_tf);
+    }
+}
+
+fn decode_globals(d: &mut Dec<'_>) -> WireResult<QueryGlobals> {
+    let n_docs = d.u32("n_docs")?;
+    let total_tokens = d.u64("total_tokens")?;
+    let min_doc_len = d.u32("min_doc_len")?;
+    let max_doc_len = d.u32("max_doc_len")?;
+    // Each term entry needs at least a string length prefix + df + max_tf.
+    let n = d.count(12, "term stats list")?;
+    let mut terms = Vec::with_capacity(n);
+    for _ in 0..n {
+        terms.push(TermGlobals {
+            term: d.string("term")?,
+            df: d.u32("df")?,
+            max_tf: d.u32("max_tf")?,
+        });
+    }
+    Ok(QueryGlobals {
+        n_docs,
+        total_tokens,
+        min_doc_len,
+        max_doc_len,
+        terms,
+    })
+}
+
 /// Encode a request as a frame payload.
 pub fn encode_request(req: &Request) -> Vec<u8> {
     let mut buf = Vec::with_capacity(64);
@@ -561,6 +610,23 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         Request::Ping => {
             buf.push(5);
         }
+        Request::TermStats { collection, query } => {
+            buf.push(6);
+            put_str(&mut buf, collection);
+            put_str(&mut buf, query);
+        }
+        Request::IrsQueryGlobal {
+            collection,
+            query,
+            k,
+            globals,
+        } => {
+            buf.push(7);
+            put_str(&mut buf, collection);
+            put_str(&mut buf, query);
+            put_u64(&mut buf, *k);
+            put_globals(&mut buf, globals);
+        }
     }
     buf
 }
@@ -605,6 +671,16 @@ pub fn decode_request(payload: &[u8]) -> WireResult<Request> {
             spec_query: d.string("spec query")?,
         },
         5 => Request::Ping,
+        6 => Request::TermStats {
+            collection: d.string("collection")?,
+            query: d.string("query")?,
+        },
+        7 => Request::IrsQueryGlobal {
+            collection: d.string("collection")?,
+            query: d.string("query")?,
+            k: d.u64("k")?,
+            globals: decode_globals(&mut d)?,
+        },
         other => return Err(WireError::Malformed(format!("unknown request tag {other}"))),
     };
     d.finish()?;
@@ -652,6 +728,18 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         Response::Pong => {
             buf.push(5);
         }
+        Response::TermStats(globals) => {
+            buf.push(6);
+            put_globals(&mut buf, globals);
+        }
+        Response::IrsKeyed { hits } => {
+            buf.push(7);
+            put_u32(&mut buf, hits.len() as u32);
+            for (key, value) in hits {
+                put_str(&mut buf, key);
+                put_f64(&mut buf, *value);
+            }
+        }
     }
     buf
 }
@@ -693,6 +781,18 @@ pub fn decode_response(payload: &[u8]) -> WireResult<Response> {
             objects: d.u64("object count")? as usize,
         },
         5 => Response::Pong,
+        6 => Response::TermStats(decode_globals(&mut d)?),
+        7 => {
+            // Each keyed hit needs at least a key length prefix + score.
+            let n = d.count(12, "keyed hit list")?;
+            let mut hits = Vec::with_capacity(n);
+            for _ in 0..n {
+                let key = d.string("hit key")?;
+                let value = d.f64("hit value")?;
+                hits.push((key, value));
+            }
+            Response::IrsKeyed { hits }
+        }
         other => {
             return Err(WireError::Malformed(format!(
                 "unknown response tag {other}"
@@ -778,8 +878,25 @@ mod tests {
         buf[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(
             read_frame(&mut buf.as_slice()),
-            Err(WireError::Oversize(u32::MAX))
+            Err(WireError::Oversize(n)) if n == u64::from(u32::MAX)
         ));
+    }
+
+    #[test]
+    fn oversize_error_reports_exact_length_past_4gib() {
+        // Regression: the length used to be narrowed `as u32`, so a
+        // payload of 4 GiB + 5 bytes reported "frame length 5" — a tiny,
+        // legal-looking number. The check must carry the exact length.
+        let huge = (u32::MAX as usize) + 6;
+        match check_payload_len(huge) {
+            Err(WireError::Oversize(n)) => assert_eq!(n, huge as u64),
+            other => panic!("expected Oversize, got {other:?}"),
+        }
+        // Display carries the untruncated number too.
+        let msg = WireError::Oversize(huge as u64).to_string();
+        assert!(msg.contains(&huge.to_string()), "{msg}");
+        assert!(check_payload_len(MAX_FRAME_LEN as usize).is_ok());
+        assert!(check_payload_len(MAX_FRAME_LEN as usize + 1).is_err());
     }
 
     #[test]
@@ -836,10 +953,41 @@ mod tests {
                 spec_query: "ACCESS p FROM p IN PARA".into(),
             },
             Request::Ping,
+            Request::TermStats {
+                collection: "c".into(),
+                query: "#or(www nii)".into(),
+            },
+            Request::IrsQueryGlobal {
+                collection: "c".into(),
+                query: "#or(www nii)".into(),
+                k: u64::MAX,
+                globals: sample_globals(),
+            },
         ];
         for req in requests {
             let decoded = decode_request(&encode_request(&req)).unwrap();
             assert_eq!(decoded, req);
+        }
+    }
+
+    fn sample_globals() -> QueryGlobals {
+        QueryGlobals {
+            n_docs: 1234,
+            total_tokens: 98_765,
+            min_doc_len: 3,
+            max_doc_len: 412,
+            terms: vec![
+                TermGlobals {
+                    term: "www".into(),
+                    df: 17,
+                    max_tf: 5,
+                },
+                TermGlobals {
+                    term: "nii".into(),
+                    df: 2,
+                    max_tf: 1,
+                },
+            ],
         }
     }
 
@@ -859,11 +1007,37 @@ mod tests {
             Response::Updated { collections: 2 },
             Response::Indexed { objects: 40 },
             Response::Pong,
+            Response::TermStats(sample_globals()),
+            Response::IrsKeyed {
+                hits: vec![("oid:9".into(), 0.75), ("oid:10".into(), 0.75)],
+            },
         ];
         for resp in responses {
             let decoded = decode_response(&encode_response(&resp)).unwrap();
             assert_eq!(decoded, resp);
         }
+    }
+
+    #[test]
+    fn hostile_term_stats_counts_rejected() {
+        // A term-stats list claiming more entries than bytes remain.
+        let mut buf = vec![6u8];
+        put_u32(&mut buf, 1);
+        put_u64(&mut buf, 10);
+        put_u32(&mut buf, 1);
+        put_u32(&mut buf, 1);
+        put_u32(&mut buf, u32::MAX);
+        assert!(matches!(
+            decode_response(&buf),
+            Err(WireError::Malformed(_))
+        ));
+        // Same for a keyed hit list.
+        let mut keyed = vec![7u8];
+        put_u32(&mut keyed, u32::MAX);
+        assert!(matches!(
+            decode_response(&keyed),
+            Err(WireError::Malformed(_))
+        ));
     }
 
     #[test]

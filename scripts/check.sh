@@ -37,6 +37,12 @@ echo "==> bench smoke (replica fan-out, writes BENCH_replica.json)"
 # black-holing the preferred replica never fires a hedge.
 cargo run -q -p coupling-bench --release --bin bench_replica -- --smoke
 
+echo "==> bench smoke (partitioned scatter/gather, writes BENCH_shard.json)"
+# Exits nonzero and prints REGRESSION if any merged result diverges
+# bit-for-bit from a single-node evaluation, any scattered read fails,
+# or losing a partition fails warmed queries instead of serving stale.
+cargo run -q -p coupling-bench --release --bin bench_shard -- --smoke
+
 echo "==> bench smoke (wire protocol, writes BENCH_net.json)"
 # Exits nonzero and prints REGRESSION if any request fails over the
 # wire, any response has the wrong shape, or loopback throughput falls
