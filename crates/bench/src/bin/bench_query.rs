@@ -1,6 +1,7 @@
-//! Query hot-path benchmark gate: runs the E14 pruned-vs-exhaustive
-//! sweep and writes machine-readable results to `BENCH_query.json` for
-//! CI tracking.
+//! Query hot-path benchmark gate: runs the E14 three-engine sweep
+//! (block-max pruned vs. collection-bound pruned vs. exhaustive) and
+//! writes machine-readable results to `BENCH_query.json` for CI
+//! tracking.
 //!
 //! Usage:
 //!
@@ -9,10 +10,19 @@
 //! cargo run -p coupling-bench --release --bin bench_query -- --smoke
 //! ```
 //!
-//! `--smoke` shrinks the corpus so the run finishes in seconds; it still
-//! checks the correctness gate. The process exits nonzero and prints a
-//! line containing `REGRESSION` if any pruned ranking differs from the
-//! exhaustive ranking — CI greps for that marker.
+//! The full run ends at the 10^5-document tier where the block-max
+//! scaling claim is made; `--smoke` shrinks the corpus so the run
+//! finishes in seconds while still checking every gate on its smaller
+//! tiers. The process exits nonzero and prints a line containing
+//! `REGRESSION` if:
+//!
+//! * either pruned ranking differs bitwise from the exhaustive ranking
+//!   anywhere in the sweep, or
+//! * block-max is slower than the collection-bound engine at any tier
+//!   beyond a noise allowance (block metadata must pay for itself —
+//!   strictest at the largest tier, where skipping matters most).
+//!
+//! CI greps for the `REGRESSION` marker.
 
 use coupling_bench::exp::e14_topk;
 use coupling_bench::workload::WorkloadConfig;
@@ -33,7 +43,7 @@ fn main() {
         config.corpus.docs = 10;
     }
 
-    let report = e14_topk::run(&config);
+    let report = e14_topk::run(&config, !smoke);
     println!("{report}");
 
     // Hand-rolled JSON: the workspace deliberately carries no serde.
@@ -54,23 +64,54 @@ fn main() {
     out.push_str("  \"sweep\": [\n");
     for (i, p) in report.sweep.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"docs\": {}, \"k\": {}, \"pruned_us\": {}, \"exhaustive_us\": {}, \"speedup\": {:.3}}}{}\n",
+            "    {{\"docs\": {}, \"k\": {}, \"blockmax_us\": {}, \"collbound_us\": {}, \"exhaustive_us\": {}, \"speedup\": {:.3}, \"blockmax_vs_collbound\": {:.3}}}{}\n",
             p.docs,
             p.k,
-            p.pruned_us,
+            p.blockmax_us,
+            p.collbound_us,
             p.exhaustive_us,
             p.speedup,
+            p.blockmax_vs_collbound,
             if i + 1 < report.sweep.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");
 
-    let path = std::path::Path::new("BENCH_query.json");
-    std::fs::write(path, &out).expect("write BENCH_query.json");
+    // The full-run artifact (with the 10^5-doc tier) is committed;
+    // smoke runs write next to it so CI gates don't clobber it.
+    let path = std::path::Path::new(if smoke {
+        "BENCH_query_smoke.json"
+    } else {
+        "BENCH_query.json"
+    });
+    std::fs::write(path, &out).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
     println!("wrote {}", path.display());
 
+    let mut failed = false;
     if !report.rankings_match {
         eprintln!("REGRESSION: pruned top-k ranking differs from exhaustive ranking");
+        failed = true;
+    }
+    // Block-max must not lose to the collection-bound engine it extends.
+    // Timing noise dominates sub-millisecond cells, so small tiers get a
+    // flat-plus-relative allowance; the 10^5-document tier — where block
+    // skips actually matter, full runs only — is held to a tight
+    // relative bound.
+    for p in &report.sweep {
+        let slack = if p.docs == e14_topk::LARGE_TIER_DOCS {
+            p.collbound_us / 10
+        } else {
+            (p.collbound_us / 4).max(300)
+        };
+        if p.blockmax_us > p.collbound_us + slack {
+            eprintln!(
+                "REGRESSION: block-max slower than collection-bound at docs={} k={}: {}us vs {}us (slack {}us)",
+                p.docs, p.k, p.blockmax_us, p.collbound_us, slack
+            );
+            failed = true;
+        }
+    }
+    if failed {
         std::process::exit(1);
     }
 }

@@ -73,6 +73,6 @@ fn main() {
         println!("{}\n", exp::e13_faults::run(&config));
     }
     if want("e14") {
-        println!("{}\n", exp::e14_topk::run(&config));
+        println!("{}\n", exp::e14_topk::run(&config, false));
     }
 }

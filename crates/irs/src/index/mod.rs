@@ -13,7 +13,8 @@ mod store;
 
 pub use dictionary::{Dictionary, TermId};
 pub use postings::{
-    read_varint, write_varint, DocTfIter, Posting, PostingsCursor, PostingsIter, PostingsList,
+    read_varint, write_varint, BlockSkip, DocTfIter, Posting, PostingsCursor, PostingsIter,
+    PostingsList, DEFAULT_BLOCK_SIZE,
 };
 pub use sharded::{ShardedIndex, ShardedReader, DEFAULT_SHARDS};
 pub use store::{DocEntry, DocStore};
@@ -63,6 +64,10 @@ pub trait IndexReader {
     fn doc_len_bounds(&self) -> (u32, u32);
     /// Ids of all live documents, ascending.
     fn live_docs(&self) -> Vec<DocId>;
+    /// Whether any tombstoned documents remain. When `false`, a postings
+    /// list's `doc_count` *is* the live document frequency — the top-k
+    /// engine and statistics collection skip their live-filtering scans.
+    fn has_tombstones(&self) -> bool;
     /// Gather live occurrence lists for several analysed terms at once —
     /// the top-k engine's batched postings access. The default walks the
     /// terms sequentially; [`ShardedReader`] overrides it to read the
@@ -122,6 +127,10 @@ impl IndexReader for InvertedIndex {
         self.store.iter_live().map(|(id, _)| id).collect()
     }
 
+    fn has_tombstones(&self) -> bool {
+        self.store.slot_count() > self.store.live_count()
+    }
+
     fn gather_terms(&self, terms: &[String]) -> Vec<TermEvidence> {
         // Borrow the postings in place — no clone on the unsharded path.
         terms
@@ -179,17 +188,27 @@ pub struct InvertedIndex {
     dict: Dictionary,
     postings: Vec<PostingsList>,
     store: DocStore,
+    block_size: u32,
 }
 
 impl InvertedIndex {
     /// Create an empty index using `analyzer` for both documents and
     /// queries.
     pub fn new(analyzer: Analyzer) -> Self {
+        Self::with_block_size(analyzer, DEFAULT_BLOCK_SIZE)
+    }
+
+    /// Create an empty index whose postings lists use `block_size`
+    /// documents per block (clamped to at least 1). Mostly for tests that
+    /// exercise block boundaries; production code uses
+    /// [`DEFAULT_BLOCK_SIZE`].
+    pub fn with_block_size(analyzer: Analyzer, block_size: u32) -> Self {
         InvertedIndex {
             analyzer,
             dict: Dictionary::new(),
             postings: Vec::new(),
             store: DocStore::new(),
+            block_size: block_size.max(1),
         }
     }
 
@@ -222,8 +241,9 @@ impl InvertedIndex {
         for (tid, mut positions) in entries {
             positions.sort_unstable();
             if self.postings.len() <= tid.0 as usize {
+                let bs = self.block_size;
                 self.postings
-                    .resize_with(tid.0 as usize + 1, PostingsList::new);
+                    .resize_with(tid.0 as usize + 1, || PostingsList::with_block_size(bs));
             }
             self.postings[tid.0 as usize].push(id.0, &positions);
         }
@@ -302,7 +322,7 @@ impl InvertedIndex {
         // Rewrite every postings list, dropping dead docs.
         let mut new_postings = Vec::with_capacity(self.postings.len());
         for pl in &self.postings {
-            let mut npl = PostingsList::new();
+            let mut npl = PostingsList::with_block_size(self.block_size);
             for p in pl.iter() {
                 if let Some(new_doc) = remap[p.doc as usize] {
                     npl.push(new_doc, &p.positions);
@@ -337,6 +357,7 @@ impl InvertedIndex {
             dict,
             postings,
             store,
+            block_size: DEFAULT_BLOCK_SIZE,
         }
     }
 

@@ -1,10 +1,31 @@
-//! Compressed postings lists.
+//! Compressed, block-structured postings lists.
 //!
 //! A postings list stores, for one term, the sequence of documents the term
 //! occurs in, with per-document term frequency and token positions. Doc ids
 //! and positions are delta-encoded and written as LEB128 varints — the
 //! classical inverted-file layout the paper's IRS generation used (inverted
 //! lists stored in a file system, Section 1.1).
+//!
+//! The byte stream is partitioned into fixed-size *blocks* of
+//! [`PostingsList::block_size`] documents (last block ragged). For each
+//! block a skip header ([`BlockSkip`]) records the block's last doc id, its
+//! end offset in the byte stream, and the block-local maximum term
+//! frequency. The headers let a [`PostingsCursor`] seek past whole blocks
+//! without decoding a single varint, and give the top-k engine *block-max*
+//! score bounds (BMW-style pruning): a block whose `max_tf` corner bound
+//! cannot beat the current heap threshold is skipped outright.
+//!
+//! Because every entry is delta-encoded against its predecessor, block `b`
+//! decodes standalone by priming the delta base with block `b-1`'s
+//! `last_doc` from the skip header (block 0 starts from 0 — the first delta
+//! written is the absolute doc id). The byte stream itself is identical to
+//! the pre-block flat layout, which is how legacy snapshots stay readable:
+//! [`PostingsList::from_raw`] rebuilds the headers with one decode pass.
+
+/// Default number of documents per block. 128 keeps skip headers under 1%
+/// of postings bytes for realistic lists while making whole-block skips
+/// worth taking.
+pub const DEFAULT_BLOCK_SIZE: u32 = 128;
 
 /// Append `v` to `buf` as an unsigned LEB128 varint.
 pub fn write_varint(buf: &mut Vec<u8>, mut v: u64) {
@@ -20,20 +41,28 @@ pub fn write_varint(buf: &mut Vec<u8>, mut v: u64) {
 }
 
 /// Read a varint from `buf` starting at `*pos`, advancing `*pos`.
-/// Returns `None` on truncated input or overlong encodings (> 10 bytes).
+///
+/// Returns `None` on truncated input, on encodings carrying bits past the
+/// 64th (including anything longer than 10 bytes), and on *padded*
+/// encodings whose final byte is a zero that a shorter encoding would have
+/// omitted (`0x80 0x00` is not a valid spelling of `0`): every value has
+/// exactly one accepted encoding — the one [`write_varint`] produces.
 pub fn read_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
     let mut v: u64 = 0;
     let mut shift = 0u32;
     loop {
         let byte = *buf.get(*pos)?;
         *pos += 1;
-        if shift >= 64 {
+        if shift >= 64 || (shift == 63 && byte > 1) {
             return None;
         }
-        v |= u64::from(byte & 0x7f) << shift;
         if byte & 0x80 == 0 {
-            return Some(v);
+            if byte == 0 && shift > 0 {
+                return None;
+            }
+            return Some(v | u64::from(byte) << shift);
         }
+        v |= u64::from(byte & 0x7f) << shift;
         shift += 7;
     }
 }
@@ -54,24 +83,63 @@ impl Posting {
     }
 }
 
+/// Skip header of one postings block: everything a reader needs to decide
+/// whether to decode the block or step over it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSkip {
+    /// Largest (= last) doc id in the block — the seek key, and the delta
+    /// base for the *next* block.
+    pub last_doc: u32,
+    /// Largest per-document term frequency within the block; feeds the
+    /// block-max score bound.
+    pub max_tf: u32,
+    /// Byte offset one past the block's last entry (the next block's
+    /// start). The block's byte length is `end - previous.end`.
+    pub end: usize,
+}
+
 /// A compressed, append-only postings list for a single term.
 ///
 /// Layout per entry: `doc_delta, tf, pos_delta*` — all varints. Documents
 /// must be appended in ascending doc-id order (enforced by debug assertion
-/// and by the single writer, [`super::InvertedIndex`]).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// and by the single writer, [`super::InvertedIndex`]). Entries are grouped
+/// into blocks of [`PostingsList::block_size`] documents with one
+/// [`BlockSkip`] header each.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PostingsList {
     bytes: Vec<u8>,
+    blocks: Vec<BlockSkip>,
+    block_size: u32,
     doc_count: u32,
     last_doc: u32,
     total_tf: u64,
     max_tf: u32,
 }
 
+impl Default for PostingsList {
+    fn default() -> Self {
+        Self::with_block_size(DEFAULT_BLOCK_SIZE)
+    }
+}
+
 impl PostingsList {
-    /// Create an empty list.
+    /// Create an empty list with the default block size.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Create an empty list with `block_size` documents per block
+    /// (clamped to at least 1).
+    pub fn with_block_size(block_size: u32) -> Self {
+        PostingsList {
+            bytes: Vec::new(),
+            blocks: Vec::new(),
+            block_size: block_size.max(1),
+            doc_count: 0,
+            last_doc: 0,
+            total_tf: 0,
+            max_tf: 0,
+        }
     }
 
     /// Number of documents in the list (document frequency of the term).
@@ -90,9 +158,29 @@ impl PostingsList {
         self.max_tf
     }
 
-    /// Size of the compressed representation in bytes.
+    /// Size of the compressed representation in bytes (skip headers not
+    /// included).
     pub fn byte_size(&self) -> usize {
         self.bytes.len()
+    }
+
+    /// Documents per block (the last block may hold fewer).
+    pub fn block_size(&self) -> u32 {
+        self.block_size
+    }
+
+    /// The per-block skip headers, in block order.
+    pub fn blocks(&self) -> &[BlockSkip] {
+        &self.blocks
+    }
+
+    /// Number of documents stored in block `b`.
+    fn docs_in_block(&self, b: usize) -> u32 {
+        if b + 1 < self.blocks.len() {
+            self.block_size
+        } else {
+            self.doc_count - b as u32 * self.block_size
+        }
     }
 
     /// Append an occurrence record. `positions` must be ascending and
@@ -117,24 +205,59 @@ impl PostingsList {
             write_varint(&mut self.bytes, u64::from(d));
             prev = p;
         }
+        let tf = positions.len() as u32;
+        if self.doc_count.is_multiple_of(self.block_size) {
+            self.blocks.push(BlockSkip {
+                last_doc: doc,
+                max_tf: tf,
+                end: self.bytes.len(),
+            });
+        } else {
+            let b = self.blocks.last_mut().expect("non-empty list has a block");
+            b.last_doc = doc;
+            b.max_tf = b.max_tf.max(tf);
+            b.end = self.bytes.len();
+        }
         self.last_doc = doc;
         self.doc_count += 1;
-        self.total_tf += positions.len() as u64;
-        self.max_tf = self.max_tf.max(positions.len() as u32);
+        self.total_tf += u64::from(tf);
+        self.max_tf = self.max_tf.max(tf);
     }
 
-    /// Iterate over the postings in doc-id order.
+    /// Iterate over the postings in doc-id order, positions materialised.
     pub fn iter(&self) -> PostingsIter<'_> {
-        PostingsIter {
-            bytes: &self.bytes,
+        PostingsIter { cur: self.cursor() }
+    }
+
+    /// Iterate `(doc, tf)` pairs in doc-id order without materialising
+    /// position vectors — the top-k hot path and doc-id intersection both
+    /// only need frequencies, so positions are varint-skipped in place.
+    pub fn doc_tfs(&self) -> DocTfIter<'_> {
+        self.cursor()
+    }
+
+    /// A seekable decoding cursor: [`Iterator::next`] yields `(doc, tf)`
+    /// pairs, [`PostingsCursor::seek`] skips whole blocks via the headers,
+    /// [`PostingsCursor::positions`] materialises the current posting's
+    /// positions on demand, and [`PostingsCursor::peek_block_for`] exposes
+    /// block-max metadata without decoding.
+    pub fn cursor(&self) -> PostingsCursor<'_> {
+        PostingsCursor {
+            list: self,
+            block: 0,
+            entered: false,
             pos: 0,
-            remaining: self.doc_count,
             prev_doc: 0,
-            first: true,
+            remaining: 0,
+            passed: 0,
+            pending_tf: 0,
+            head: None,
         }
     }
 
-    /// Raw compressed bytes (for persistence).
+    /// Raw compressed bytes (for persistence): `(bytes, doc_count,
+    /// last_doc, total_tf, max_tf)`. Block headers are exposed separately
+    /// via [`PostingsList::blocks`]/[`PostingsList::block_size`].
     pub fn raw(&self) -> (&[u8], u32, u32, u64, u32) {
         (
             &self.bytes,
@@ -145,10 +268,8 @@ impl PostingsList {
         )
     }
 
-    /// Rebuild from persisted raw parts. The caller is responsible for the
-    /// integrity of `bytes` (validated lazily during iteration). Files in
-    /// the legacy flat format predate the `max_tf` statistic; pass `None`
-    /// and it is recomputed by a positions-skipping decode pass.
+    /// Rebuild from persisted raw parts with the default block size. See
+    /// [`PostingsList::from_raw_with_block_size`].
     pub fn from_raw(
         bytes: Vec<u8>,
         doc_count: u32,
@@ -156,182 +277,335 @@ impl PostingsList {
         total_tf: u64,
         max_tf: Option<u32>,
     ) -> Self {
-        let mut pl = PostingsList {
+        Self::from_raw_with_block_size(
             bytes,
             doc_count,
             last_doc,
             total_tf,
-            max_tf: 0,
-        };
-        pl.max_tf = match max_tf {
-            Some(m) => m,
-            None => pl.doc_tfs().map(|(_, tf)| tf).max().unwrap_or(0),
-        };
-        pl
+            max_tf,
+            DEFAULT_BLOCK_SIZE,
+        )
     }
 
-    /// Iterate `(doc, tf)` pairs in doc-id order without materialising
-    /// position vectors — the top-k hot path and doc-id intersection both
-    /// only need frequencies, so positions are varint-skipped in place.
-    pub fn doc_tfs(&self) -> DocTfIter<'_> {
-        DocTfIter {
-            bytes: &self.bytes,
-            pos: 0,
-            remaining: self.doc_count,
-            prev_doc: 0,
-            first: true,
+    /// Rebuild from persisted raw parts, regenerating the skip headers
+    /// with one positions-skipping decode pass (formats that predate block
+    /// headers carry none). Files in the legacy flat format also predate
+    /// the `max_tf` statistic; pass `None` and it is recomputed by the
+    /// same pass. If the bytes decode to fewer entries than `doc_count`
+    /// claims (truncation/corruption), the decoded prefix wins — the
+    /// counters are corrected rather than trusted.
+    pub fn from_raw_with_block_size(
+        bytes: Vec<u8>,
+        doc_count: u32,
+        last_doc: u32,
+        total_tf: u64,
+        max_tf: Option<u32>,
+        block_size: u32,
+    ) -> Self {
+        let block_size = block_size.max(1);
+        let mut blocks = Vec::with_capacity((doc_count as usize).div_ceil(block_size as usize));
+        let mut pos = 0usize;
+        let mut prev_doc = 0u32;
+        let mut decoded = 0u32;
+        let mut seen_max = 0u32;
+        'decode: while decoded < doc_count {
+            let Some(delta) = read_varint(&bytes, &mut pos) else {
+                break;
+            };
+            let Some(tf) = read_varint(&bytes, &mut pos) else {
+                break;
+            };
+            for _ in 0..tf {
+                if read_varint(&bytes, &mut pos).is_none() {
+                    break 'decode;
+                }
+            }
+            let Some(doc) = prev_doc.checked_add(delta as u32) else {
+                break;
+            };
+            prev_doc = doc;
+            let tf = tf as u32;
+            if decoded.is_multiple_of(block_size) {
+                blocks.push(BlockSkip {
+                    last_doc: doc,
+                    max_tf: tf,
+                    end: pos,
+                });
+            } else {
+                let b = blocks.last_mut().expect("entry 0 created a block");
+                b.last_doc = doc;
+                b.max_tf = b.max_tf.max(tf);
+                b.end = pos;
+            }
+            seen_max = seen_max.max(tf);
+            decoded += 1;
+        }
+        PostingsList {
+            bytes,
+            blocks,
+            block_size,
+            doc_count: decoded,
+            last_doc: if decoded > 0 { prev_doc } else { 0 },
+            total_tf,
+            max_tf: match max_tf {
+                Some(m) if decoded == doc_count && last_doc == prev_doc => m,
+                _ => seen_max,
+            },
         }
     }
 
-    /// A low-level decoding cursor that lets the caller decide, per
-    /// posting, whether to materialise the positions block or skip it —
-    /// phrase/near evaluation only decodes positions for documents that
-    /// survive the doc-id intersection.
-    pub fn cursor(&self) -> PostingsCursor<'_> {
-        PostingsCursor {
-            bytes: &self.bytes,
-            pos: 0,
-            remaining: self.doc_count,
-            prev_doc: 0,
-            first: true,
-            pending_tf: 0,
+    /// Reassemble from persisted raw parts *plus* persisted skip headers
+    /// (block-aware snapshot formats) — no decode pass. The headers are
+    /// validated for shape (count, monotonicity, final offsets) so a
+    /// corrupt-but-CRC-clean file cannot produce out-of-bounds block
+    /// accesses; `None` when they are inconsistent.
+    pub fn from_raw_blocks(
+        bytes: Vec<u8>,
+        doc_count: u32,
+        last_doc: u32,
+        total_tf: u64,
+        max_tf: u32,
+        block_size: u32,
+        blocks: Vec<BlockSkip>,
+    ) -> Option<Self> {
+        let block_size = block_size.max(1);
+        if blocks.len() != (doc_count as usize).div_ceil(block_size as usize) {
+            return None;
         }
+        let mut prev_end = 0usize;
+        let mut prev_doc: Option<u32> = None;
+        for b in &blocks {
+            // Every entry is at least two bytes (doc delta + tf), and doc
+            // ids strictly ascend across blocks.
+            if b.end <= prev_end + 1 || b.end > bytes.len() {
+                return None;
+            }
+            if prev_doc.is_some_and(|p| b.last_doc <= p) {
+                return None;
+            }
+            prev_end = b.end;
+            prev_doc = Some(b.last_doc);
+        }
+        match blocks.last() {
+            Some(last) => {
+                if last.end != bytes.len() || last.last_doc != last_doc {
+                    return None;
+                }
+            }
+            None => {
+                if !bytes.is_empty() || doc_count != 0 {
+                    return None;
+                }
+            }
+        }
+        Some(PostingsList {
+            bytes,
+            blocks,
+            block_size,
+            doc_count,
+            last_doc,
+            total_tf,
+            max_tf,
+        })
     }
 }
 
-/// Decoding iterator over a [`PostingsList`].
+/// Decoding iterator over a [`PostingsList`], positions materialised.
 pub struct PostingsIter<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-    remaining: u32,
-    prev_doc: u32,
-    first: bool,
+    cur: PostingsCursor<'a>,
 }
 
 impl Iterator for PostingsIter<'_> {
     type Item = Posting;
 
     fn next(&mut self) -> Option<Posting> {
-        if self.remaining == 0 {
-            return None;
-        }
-        let delta = read_varint(self.bytes, &mut self.pos)? as u32;
-        let doc = if self.first {
-            delta
-        } else {
-            self.prev_doc + delta
-        };
-        self.first = false;
-        self.prev_doc = doc;
-        let tf = read_varint(self.bytes, &mut self.pos)? as usize;
-        let mut positions = Vec::with_capacity(tf);
-        let mut prev = 0u32;
-        for i in 0..tf {
-            let d = read_varint(self.bytes, &mut self.pos)? as u32;
-            let p = if i == 0 { d } else { prev + d };
-            positions.push(p);
-            prev = p;
-        }
-        self.remaining -= 1;
+        let (doc, _) = self.cur.next()?;
+        let positions = self.cur.positions()?;
         Some(Posting { doc, positions })
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        (self.remaining as usize, Some(self.remaining as usize))
+        self.cur.size_hint()
     }
 }
 
-/// Positions-skipping decoding iterator over `(doc, tf)` pairs.
-pub struct DocTfIter<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-    remaining: u32,
-    prev_doc: u32,
-    first: bool,
-}
+/// Positions-skipping decoding iterator over `(doc, tf)` pairs — the
+/// seekable cursor doubles as the linear iterator.
+pub type DocTfIter<'a> = PostingsCursor<'a>;
 
-impl Iterator for DocTfIter<'_> {
-    type Item = (u32, u32);
-
-    fn next(&mut self) -> Option<(u32, u32)> {
-        if self.remaining == 0 {
-            return None;
-        }
-        let delta = read_varint(self.bytes, &mut self.pos)? as u32;
-        let doc = if self.first {
-            delta
-        } else {
-            self.prev_doc + delta
-        };
-        self.first = false;
-        self.prev_doc = doc;
-        let tf = read_varint(self.bytes, &mut self.pos)? as u32;
-        for _ in 0..tf {
-            read_varint(self.bytes, &mut self.pos)?;
-        }
-        self.remaining -= 1;
-        Some((doc, tf))
-    }
-
-    fn size_hint(&self) -> (usize, Option<usize>) {
-        (self.remaining as usize, Some(self.remaining as usize))
-    }
-}
-
-/// Decoding cursor with caller-controlled position materialisation: after
-/// [`PostingsCursor::next_doc`] yields `(doc, tf)`, call
-/// [`PostingsCursor::positions`] to decode the positions block, or just
-/// call `next_doc` again and the block is varint-skipped.
+/// Seekable decoding cursor over one postings list.
+///
+/// [`Iterator::next`] advances one posting, yielding `(doc, tf)` and
+/// varint-skipping the previous posting's positions if they were not read
+/// via [`PostingsCursor::positions`]. [`PostingsCursor::seek`] uses the
+/// skip headers to step over whole blocks without decoding;
+/// [`PostingsCursor::peek_block_for`] advances the block pointer the same
+/// way but stops short of decoding, exposing the candidate block's
+/// `max_tf` for block-max pruning.
+///
+/// Both seek-style calls only move forward: callers must probe ascending
+/// doc ids (the document-at-a-time discipline).
 pub struct PostingsCursor<'a> {
-    bytes: &'a [u8],
+    list: &'a PostingsList,
+    /// Block holding the next entry to decode (== the head's block while a
+    /// head is loaded and its block is partially decoded).
+    block: usize,
+    /// Whether `pos`/`prev_doc`/`remaining` describe a live decode
+    /// position inside `block`; false initially and after block skips.
+    entered: bool,
     pos: usize,
-    remaining: u32,
     prev_doc: u32,
-    first: bool,
+    /// Entries left to decode in the current block (valid when `entered`).
+    remaining: u32,
+    /// Entries decoded or skipped so far, for exact size hints.
+    passed: u32,
+    /// Positions of the current head not yet decoded or skipped.
     pending_tf: u32,
+    head: Option<(u32, u32)>,
 }
 
 impl PostingsCursor<'_> {
-    /// Advance to the next posting, skipping the previous posting's
-    /// positions if they were not read. `None` at the end of the list or
-    /// on corrupt bytes.
-    pub fn next_doc(&mut self) -> Option<(u32, u32)> {
-        for _ in 0..self.pending_tf {
-            read_varint(self.bytes, &mut self.pos)?;
-        }
-        self.pending_tf = 0;
-        if self.remaining == 0 {
-            return None;
-        }
-        let delta = read_varint(self.bytes, &mut self.pos)? as u32;
-        let doc = if self.first {
-            delta
-        } else {
-            self.prev_doc + delta
-        };
-        self.first = false;
-        self.prev_doc = doc;
-        let tf = read_varint(self.bytes, &mut self.pos)? as u32;
-        self.pending_tf = tf;
-        self.remaining -= 1;
-        Some((doc, tf))
+    /// The most recent posting yielded by `next()`/`seek()`, if any.
+    pub fn head(&self) -> Option<(u32, u32)> {
+        self.head
+    }
+
+    /// Index of the block the cursor currently points into (the head's
+    /// block, or the candidate block after a `peek_block_for`). Equals
+    /// `blocks().len()` once exhausted.
+    pub fn block_index(&self) -> usize {
+        self.block
     }
 
     /// Decode the current posting's positions (ascending). Must follow a
-    /// successful [`PostingsCursor::next_doc`]; a second call returns an
-    /// empty vector.
+    /// successful `next()`/`seek()`; a second call returns an empty
+    /// vector.
     pub fn positions(&mut self) -> Option<Vec<u32>> {
         let tf = self.pending_tf as usize;
         self.pending_tf = 0;
         let mut positions = Vec::with_capacity(tf);
         let mut prev = 0u32;
         for i in 0..tf {
-            let d = read_varint(self.bytes, &mut self.pos)? as u32;
+            let d = read_varint(&self.list.bytes, &mut self.pos)? as u32;
             let p = if i == 0 { d } else { prev + d };
             positions.push(p);
             prev = p;
         }
         Some(positions)
+    }
+
+    /// Advance to the first posting with `doc >= target`, skipping whole
+    /// blocks whose `last_doc` falls short. Returns the head unchanged if
+    /// it already satisfies the target. `None` when the list is exhausted
+    /// before reaching `target`.
+    pub fn seek(&mut self, target: u32) -> Option<(u32, u32)> {
+        if let Some((d, tf)) = self.head {
+            if d >= target {
+                return Some((d, tf));
+            }
+        }
+        self.skip_blocks_before(target);
+        self.find(|&(d, _)| d >= target)
+    }
+
+    /// Step the block pointer to the first block that could contain
+    /// `target` (or the head's block if the head already satisfies it) and
+    /// return `(block_index, block_max_tf)` — without decoding anything.
+    /// `None` when every remaining block ends before `target`.
+    pub fn peek_block_for(&mut self, target: u32) -> Option<(usize, u32)> {
+        match self.head {
+            Some((d, _)) if d >= target => {}
+            _ => self.skip_blocks_before(target),
+        }
+        let skip = self.list.blocks.get(self.block)?;
+        Some((self.block, skip.max_tf))
+    }
+
+    /// Advance `block` past every block whose `last_doc < target`,
+    /// accounting skipped entries so size hints stay exact. Never touches
+    /// a block that might contain `target`.
+    fn skip_blocks_before(&mut self, target: u32) {
+        while let Some(skip) = self.list.blocks.get(self.block) {
+            if skip.last_doc >= target {
+                return;
+            }
+            if self.entered {
+                self.passed += self.remaining;
+                self.entered = false;
+                self.pending_tf = 0;
+            } else {
+                self.passed += self.list.docs_in_block(self.block);
+            }
+            self.block += 1;
+        }
+    }
+
+    /// Mark the cursor exhausted after a decode error (corrupt bytes).
+    fn fail(&mut self) -> Option<(u32, u32)> {
+        self.block = self.list.blocks.len();
+        self.entered = false;
+        self.pending_tf = 0;
+        self.passed = self.list.doc_count;
+        self.head = None;
+        None
+    }
+}
+
+impl Iterator for PostingsCursor<'_> {
+    type Item = (u32, u32);
+
+    fn next(&mut self) -> Option<(u32, u32)> {
+        // Skip the previous head's positions if they were not read.
+        // `pending_tf > 0` implies a live decode position (`entered`).
+        for _ in 0..self.pending_tf {
+            if read_varint(&self.list.bytes, &mut self.pos).is_none() {
+                return self.fail();
+            }
+        }
+        self.pending_tf = 0;
+        loop {
+            if !self.entered {
+                if self.block >= self.list.blocks.len() {
+                    self.head = None;
+                    return None;
+                }
+                // Prime the decode state from the previous block's header:
+                // the delta chain restarts from its `last_doc`/`end`.
+                let (start, base) = match self.block.checked_sub(1) {
+                    Some(p) => (self.list.blocks[p].end, self.list.blocks[p].last_doc),
+                    None => (0, 0),
+                };
+                self.pos = start;
+                self.prev_doc = base;
+                self.remaining = self.list.docs_in_block(self.block);
+                self.entered = true;
+            }
+            if self.remaining == 0 {
+                self.block += 1;
+                self.entered = false;
+                continue;
+            }
+            let Some(delta) = read_varint(&self.list.bytes, &mut self.pos) else {
+                return self.fail();
+            };
+            let Some(tf) = read_varint(&self.list.bytes, &mut self.pos) else {
+                return self.fail();
+            };
+            let Some(doc) = self.prev_doc.checked_add(delta as u32) else {
+                return self.fail();
+            };
+            self.prev_doc = doc;
+            self.remaining -= 1;
+            self.passed += 1;
+            self.pending_tf = tf as u32;
+            self.head = Some((doc, tf as u32));
+            return self.head;
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.list.doc_count - self.passed) as usize;
+        (left, Some(left))
     }
 }
 
@@ -374,6 +648,37 @@ mod tests {
         let buf = vec![0x80u8; 11];
         let mut pos = 0;
         assert_eq!(read_varint(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn varint_padded_encodings_are_rejected() {
+        // `0x80 0x00` would decode to 0 under a lenient reader; the doc
+        // comment promises one spelling per value.
+        for bad in [
+            vec![0x80u8, 0x00],
+            vec![0xffu8, 0x00],
+            vec![0x80u8, 0x80, 0x00],
+            vec![0x81u8, 0x80, 0x00],
+        ] {
+            let mut pos = 0;
+            assert_eq!(read_varint(&bad, &mut pos), None, "{bad:02x?}");
+        }
+        // A final byte of 0 is only legal as the *whole* encoding.
+        let mut pos = 0;
+        assert_eq!(read_varint(&[0x00], &mut pos), Some(0));
+    }
+
+    #[test]
+    fn varint_64bit_overflow_is_rejected() {
+        // 10 bytes can carry at most 64 bits: the 10th byte must be 0 or 1.
+        let mut buf = Vec::new();
+        write_varint(&mut buf, u64::MAX);
+        assert_eq!(buf.len(), 10);
+        assert_eq!(*buf.last().unwrap(), 1);
+        let mut overflow = buf.clone();
+        *overflow.last_mut().unwrap() = 2;
+        let mut pos = 0;
+        assert_eq!(read_varint(&overflow, &mut pos), None);
     }
 
     #[test]
@@ -420,6 +725,22 @@ mod tests {
     }
 
     #[test]
+    fn block_headers_track_pushes() {
+        let mut pl = PostingsList::with_block_size(2);
+        pl.push(3, &[0, 4]);
+        pl.push(9, &[1]);
+        pl.push(40, &[0, 1, 2]);
+        assert_eq!(pl.blocks().len(), 2);
+        assert_eq!(pl.blocks()[0].last_doc, 9);
+        assert_eq!(pl.blocks()[0].max_tf, 2);
+        assert_eq!(pl.blocks()[1].last_doc, 40);
+        assert_eq!(pl.blocks()[1].max_tf, 3);
+        assert_eq!(pl.blocks()[1].end, pl.byte_size());
+        assert!(pl.blocks()[0].end < pl.blocks()[1].end);
+        assert_eq!(pl.max_tf(), 3);
+    }
+
+    #[test]
     fn raw_round_trip() {
         let mut pl = PostingsList::new();
         pl.push(2, &[1, 5]);
@@ -436,18 +757,153 @@ mod tests {
     }
 
     #[test]
+    fn from_raw_blocks_round_trip_and_validation() {
+        let mut pl = PostingsList::with_block_size(2);
+        for doc in [2u32, 9, 11, 30, 31] {
+            pl.push(doc, &[0, doc + 1]);
+        }
+        let (bytes, dc, last, tf, max_tf) = pl.raw();
+        let rebuilt = PostingsList::from_raw_blocks(
+            bytes.to_vec(),
+            dc,
+            last,
+            tf,
+            max_tf,
+            pl.block_size(),
+            pl.blocks().to_vec(),
+        )
+        .expect("self-consistent parts");
+        assert_eq!(rebuilt, pl);
+
+        // Wrong block count.
+        assert!(PostingsList::from_raw_blocks(
+            bytes.to_vec(),
+            dc,
+            last,
+            tf,
+            max_tf,
+            pl.block_size(),
+            pl.blocks()[..1].to_vec(),
+        )
+        .is_none());
+        // Final offset not at end of bytes.
+        let mut bad = pl.blocks().to_vec();
+        bad.last_mut().unwrap().end -= 1;
+        assert!(PostingsList::from_raw_blocks(
+            bytes.to_vec(),
+            dc,
+            last,
+            tf,
+            max_tf,
+            pl.block_size(),
+            bad,
+        )
+        .is_none());
+        // Non-ascending last_doc.
+        let mut bad = pl.blocks().to_vec();
+        bad[1].last_doc = bad[0].last_doc;
+        assert!(PostingsList::from_raw_blocks(
+            bytes.to_vec(),
+            dc,
+            last,
+            tf,
+            max_tf,
+            pl.block_size(),
+            bad,
+        )
+        .is_none());
+        // Empty list round trip.
+        let empty = PostingsList::from_raw_blocks(Vec::new(), 0, 0, 0, 0, 128, Vec::new());
+        assert_eq!(empty, Some(PostingsList::new()));
+    }
+
+    #[test]
+    fn from_raw_rebuilds_identical_blocks() {
+        for bs in [1u32, 2, 3, 128] {
+            let mut pl = PostingsList::with_block_size(bs);
+            for doc in [0u32, 5, 6, 19, 300, 301, 302] {
+                pl.push(doc, &[doc, doc + 2]);
+            }
+            let (bytes, dc, last, tf, max_tf) = pl.raw();
+            let rebuilt = PostingsList::from_raw_with_block_size(
+                bytes.to_vec(),
+                dc,
+                last,
+                tf,
+                Some(max_tf),
+                bs,
+            );
+            assert_eq!(rebuilt, pl, "block size {bs}");
+        }
+    }
+
+    #[test]
     fn cursor_mixes_skips_and_reads() {
         let mut pl = PostingsList::new();
         pl.push(0, &[3, 7, 21]);
         pl.push(5, &[0]);
         pl.push(6, &[1, 2]);
         let mut cur = pl.cursor();
-        assert_eq!(cur.next_doc(), Some((0, 3))); // skip positions
-        assert_eq!(cur.next_doc(), Some((5, 1)));
+        assert_eq!(cur.next(), Some((0, 3))); // skip positions
+        assert_eq!(cur.next(), Some((5, 1)));
         assert_eq!(cur.positions(), Some(vec![0]));
-        assert_eq!(cur.next_doc(), Some((6, 2)));
+        assert_eq!(cur.next(), Some((6, 2)));
         assert_eq!(cur.positions(), Some(vec![1, 2]));
-        assert_eq!(cur.next_doc(), None);
+        assert_eq!(cur.next(), None);
+    }
+
+    #[test]
+    fn cursor_seek_skips_blocks() {
+        let mut pl = PostingsList::with_block_size(2);
+        for doc in [1u32, 4, 10, 12, 20, 33, 47] {
+            pl.push(doc, &[0, 3]);
+        }
+        let mut cur = pl.cursor();
+        assert_eq!(cur.seek(0), Some((1, 2)));
+        // Seek to a present doc, skipping a whole block.
+        assert_eq!(cur.seek(12), Some((12, 2)));
+        assert_eq!(cur.positions(), Some(vec![0, 3]));
+        // Seek to an absent doc lands on the next larger one.
+        assert_eq!(cur.seek(21), Some((33, 2)));
+        // A head at/past the target is returned unchanged.
+        assert_eq!(cur.seek(13), Some((33, 2)));
+        assert_eq!(cur.next(), Some((47, 2)));
+        assert_eq!(cur.seek(48), None);
+        assert_eq!(cur.next(), None);
+    }
+
+    #[test]
+    fn cursor_peek_block_reports_block_max() {
+        let mut pl = PostingsList::with_block_size(2);
+        pl.push(1, &[0]);
+        pl.push(4, &[0, 1, 2]); // block 0: max_tf 3
+        pl.push(10, &[0, 1]);
+        pl.push(12, &[0]); // block 1: max_tf 2
+        pl.push(20, &[0, 1, 2, 3]); // block 2: max_tf 4
+        let mut cur = pl.cursor();
+        assert_eq!(cur.peek_block_for(0), Some((0, 3)));
+        // Peeking does not decode: the first next() still yields doc 1.
+        assert_eq!(cur.next(), Some((1, 1)));
+        assert_eq!(cur.peek_block_for(11), Some((1, 2)));
+        assert_eq!(cur.block_index(), 1);
+        assert_eq!(cur.peek_block_for(13), Some((2, 4)));
+        assert_eq!(cur.peek_block_for(21), None);
+        assert_eq!(cur.next(), None);
+        // Size hints stay exact across block skips.
+        assert_eq!(cur.size_hint(), (0, Some(0)));
+    }
+
+    #[test]
+    fn cursor_seek_after_positions_read() {
+        let mut pl = PostingsList::with_block_size(2);
+        for doc in [2u32, 5, 9, 14] {
+            pl.push(doc, &[1, 6]);
+        }
+        let mut cur = pl.cursor();
+        assert_eq!(cur.next(), Some((2, 2)));
+        assert_eq!(cur.positions(), Some(vec![1, 6]));
+        assert_eq!(cur.seek(14), Some((14, 2)));
+        assert_eq!(cur.positions(), Some(vec![1, 6]));
     }
 
     #[test]
@@ -476,6 +932,10 @@ mod tests {
         let pl = PostingsList::new();
         assert_eq!(pl.iter().count(), 0);
         assert_eq!(pl.doc_count(), 0);
+        assert_eq!(pl.blocks().len(), 0);
+        let mut cur = pl.cursor();
+        assert_eq!(cur.seek(0), None);
+        assert_eq!(cur.peek_block_for(0), None);
     }
 
     #[cfg(not(debug_assertions))]
@@ -498,15 +958,33 @@ mod proptests {
             prop_assert_eq!(pos, buf.len());
         }
 
+        /// Appending continuation-flagged zero bytes to any canonical
+        /// encoding (dropping the terminator's high-bit clear) produces a
+        /// padded spelling of the same value — all must be rejected.
+        #[test]
+        fn varint_rejects_padded_spellings(v in any::<u64>(), pad in 1usize..4) {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            if buf.len() + pad <= 10 {
+                *buf.last_mut().unwrap() |= 0x80;
+                buf.extend(std::iter::repeat_n(0x80, pad - 1));
+                buf.push(0x00);
+                let mut pos = 0;
+                prop_assert_eq!(read_varint(&buf, &mut pos), None);
+            }
+        }
+
         #[test]
         fn postings_round_trip_arbitrary(
             entries in prop::collection::vec(
                 (1u32..1000, prop::collection::btree_set(0u32..10_000, 1..20)),
                 0..50,
-            )
+            ),
+            bs_idx in 0usize..4,
         ) {
             // Build strictly ascending doc ids from the random gaps.
-            let mut pl = PostingsList::new();
+            let block_size = [1u32, 2, 7, 128][bs_idx];
+            let mut pl = PostingsList::with_block_size(block_size);
             let mut expected = Vec::new();
             let mut doc = 0u32;
             for (gap, posset) in &entries {
@@ -526,6 +1004,57 @@ mod proptests {
                 decoded.iter().map(|p| p.tf()).max().unwrap_or(0)
             );
             prop_assert_eq!(decoded, expected);
+        }
+
+        /// `seek(target)` agrees with a fresh linear scan for every
+        /// target, under every block size, from any starting prefix.
+        #[test]
+        fn seek_agrees_with_linear_scan(
+            gaps in prop::collection::vec((1u32..50, 1u32..5), 1..60),
+            bs_idx in 0usize..4,
+            advance in 0usize..8,
+            targets in prop::collection::vec(0u32..3000, 1..12),
+        ) {
+            let block_size = [1u32, 2, 16, 128][bs_idx];
+            let mut pl = PostingsList::with_block_size(block_size);
+            let mut doc = 0u32;
+            let mut all = Vec::new();
+            for &(gap, tf) in &gaps {
+                doc += gap;
+                let positions: Vec<u32> = (0..tf).collect();
+                pl.push(doc, &positions);
+                all.push((doc, tf));
+            }
+            // Reference model: `head` mirrors the cursor's head, `next`
+            // indexes the first undelivered entry.
+            let mut cur = pl.cursor();
+            let mut head: Option<(u32, u32)> = None;
+            let mut next = 0usize;
+            for _ in 0..advance.min(all.len()) {
+                head = Some(all[next]);
+                next += 1;
+                prop_assert_eq!(cur.next(), head);
+            }
+            // Seeks must probe ascending targets (the DAAT discipline).
+            let mut targets = targets.clone();
+            targets.sort_unstable();
+            for target in targets {
+                let expect = match head {
+                    Some((d, tf)) if d >= target => Some((d, tf)),
+                    _ => {
+                        while next < all.len() && all[next].0 < target {
+                            next += 1;
+                        }
+                        let e = all.get(next).copied();
+                        if e.is_some() {
+                            head = e;
+                            next += 1;
+                        }
+                        e
+                    }
+                };
+                prop_assert_eq!(cur.seek(target), expect, "target {}", target);
+            }
         }
     }
 }

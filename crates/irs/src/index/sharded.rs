@@ -534,6 +534,10 @@ impl IndexReader for ShardedReader<'_> {
         self.store.iter_live().map(|(id, _)| id).collect()
     }
 
+    fn has_tombstones(&self) -> bool {
+        self.store.slot_count() > self.store.live_count()
+    }
+
     /// Shard-parallel gather: group the query terms by shard, decode each
     /// involved shard's postings on its own worker thread (one shard read
     /// lock per worker), then merge the per-shard partial results back

@@ -54,7 +54,13 @@ const MANIFEST_VERSION: u8 = 1;
 const MANIFEST_NAME: &str = "manifest";
 
 const SHARD_MAGIC: &[u8; 4] = b"IRSS";
-const SHARD_VERSION: u8 = 1;
+/// Current shard file version. Version 2 persists each term's block-skip
+/// headers (block size, then per block: delta-encoded `last_doc`,
+/// `max_tf`, delta-encoded `end`) so loads reconstruct the
+/// block-structured [`PostingsList`] without decoding the postings bytes.
+/// Version 1 files (no block metadata) are still readable — their lists
+/// are rebuilt with a decode pass at load time.
+const SHARD_VERSION: u8 = 2;
 
 /// CRC-32 (IEEE 802.3 polynomial, reflected) lookup table, built at
 /// compile time.
@@ -343,7 +349,8 @@ fn cleanup_stale_generations(dir: &Path, current: u64) {
 }
 
 /// Serialise one shard's dictionary and postings (term text, stats, raw
-/// delta-encoded bytes — including `max_tf`, so loads need no decode).
+/// delta-encoded bytes — including `max_tf` and the block-skip headers,
+/// so loads need no decode).
 fn encode_shard(
     i: usize,
     generation: u64,
@@ -366,11 +373,29 @@ fn encode_shard(
         write_varint(&mut out, total_tf);
         write_varint(&mut out, u64::from(max_tf));
         put_bytes(&mut out, bytes);
+        // Block-skip headers (v2). The block count is derived from
+        // `doc_count` and the block size, so only the size is stored;
+        // `last_doc` and `end` are ascending across blocks and delta-code
+        // well.
+        write_varint(&mut out, u64::from(pl.block_size()));
+        let mut prev_last = 0u32;
+        let mut prev_end = 0usize;
+        for b in pl.blocks() {
+            write_varint(&mut out, u64::from(b.last_doc - prev_last));
+            write_varint(&mut out, u64::from(b.max_tf));
+            write_varint(&mut out, (b.end - prev_end) as u64);
+            prev_last = b.last_doc;
+            prev_end = b.end;
+        }
     }
     out
 }
 
 /// Decode one shard file, verifying it belongs to `(generation, i)`.
+/// Accepts the current version 2 (block headers persisted, reconstructed
+/// via [`PostingsList::from_raw_blocks`] with no postings decode) and the
+/// legacy version 1 (no block metadata — lists are rebuilt with a decode
+/// pass).
 fn decode_shard(buf: &[u8], generation: u64, i: usize) -> Result<Vec<(String, PostingsList)>> {
     let mut pos = 0usize;
     if buf.len() < 5 || &buf[0..4] != SHARD_MAGIC {
@@ -379,7 +404,7 @@ fn decode_shard(buf: &[u8], generation: u64, i: usize) -> Result<Vec<(String, Po
     pos += 4;
     let version = buf[pos];
     pos += 1;
-    if version != SHARD_VERSION {
+    if version == 0 || version > SHARD_VERSION {
         return Err(IrsError::CorruptIndex(format!(
             "unsupported shard version {version}"
         )));
@@ -402,10 +427,41 @@ fn decode_shard(buf: &[u8], generation: u64, i: usize) -> Result<Vec<(String, Po
         let total_tf = get_varint(buf, &mut pos)?;
         let max_tf = get_varint(buf, &mut pos)? as u32;
         let bytes = get_bytes(buf, &mut pos)?.to_vec();
-        terms.push((
-            term,
-            PostingsList::from_raw(bytes, doc_count, last_doc, total_tf, Some(max_tf)),
-        ));
+        let pl = if version >= 2 {
+            let block_size = get_varint(buf, &mut pos)? as u32;
+            if block_size == 0 {
+                return Err(IrsError::CorruptIndex("zero block size".into()));
+            }
+            let n_blocks = (doc_count as usize).div_ceil(block_size as usize);
+            let mut blocks = Vec::with_capacity(n_blocks.min(buf.len()));
+            let mut prev_last = 0u32;
+            let mut prev_end = 0usize;
+            for _ in 0..n_blocks {
+                let last_doc = prev_last
+                    .checked_add(get_varint(buf, &mut pos)? as u32)
+                    .ok_or_else(|| IrsError::CorruptIndex("block last_doc overflow".into()))?;
+                let max_tf = get_varint(buf, &mut pos)? as u32;
+                let end = prev_end
+                    .checked_add(get_varint(buf, &mut pos)? as usize)
+                    .ok_or_else(|| IrsError::CorruptIndex("block end overflow".into()))?;
+                blocks.push(crate::index::BlockSkip {
+                    last_doc,
+                    max_tf,
+                    end,
+                });
+                prev_last = last_doc;
+                prev_end = end;
+            }
+            PostingsList::from_raw_blocks(
+                bytes, doc_count, last_doc, total_tf, max_tf, block_size, blocks,
+            )
+            .ok_or_else(|| {
+                IrsError::CorruptIndex(format!("inconsistent block headers for term {term}"))
+            })?
+        } else {
+            PostingsList::from_raw(bytes, doc_count, last_doc, total_tf, Some(max_tf))
+        };
+        terms.push((term, pl));
     }
     if pos != buf.len() {
         return Err(IrsError::CorruptIndex("trailing bytes in shard".into()));
@@ -920,6 +976,157 @@ mod tests {
         assert_eq!(loaded.config().shards, 5);
         assert_eq!(loaded.config(), c.config());
         assert_eq!(loaded.sharded_index().shard_count(), 5);
+    }
+
+    #[test]
+    fn shard_files_carry_current_version() {
+        let path = tmp("shard_version.idx");
+        save_collection(&sample(), &path).unwrap();
+        for name in shard_files(&path) {
+            let bytes = std::fs::read(path.join(&name)).unwrap();
+            assert_eq!(&bytes[0..4], SHARD_MAGIC, "{name}");
+            assert_eq!(bytes[4], SHARD_VERSION, "{name}");
+        }
+    }
+
+    /// Re-encode one decoded shard in the legacy v1 layout (stats and raw
+    /// postings bytes, no block metadata) — the format written before
+    /// block-structured postings existed.
+    fn encode_shard_v1(i: usize, generation: u64, terms: &[(String, PostingsList)]) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(SHARD_MAGIC);
+        out.push(1);
+        write_varint(&mut out, generation);
+        write_varint(&mut out, i as u64);
+        write_varint(&mut out, terms.len() as u64);
+        for (term, pl) in terms {
+            put_bytes(&mut out, term.as_bytes());
+            let (bytes, doc_count, last_doc, total_tf, max_tf) = pl.raw();
+            write_varint(&mut out, u64::from(doc_count));
+            write_varint(&mut out, u64::from(last_doc));
+            write_varint(&mut out, total_tf);
+            write_varint(&mut out, u64::from(max_tf));
+            put_bytes(&mut out, bytes);
+        }
+        out
+    }
+
+    #[test]
+    fn legacy_v1_shard_files_still_load() {
+        let orig = sample();
+        let path = tmp("legacy_v1.idx");
+        save_collection(&orig, &path).unwrap();
+
+        // Downgrade every shard file to the v1 layout in place.
+        for name in shard_files(&path) {
+            let (generation, i) = parse_shard_name(&name).unwrap();
+            let file = path.join(&name);
+            let terms = decode_shard(&read_verified(&file).unwrap(), generation, i).unwrap();
+            atomic_write(&file, &encode_shard_v1(i, generation, &terms)).unwrap();
+        }
+
+        let loaded = load_collection(&path).unwrap();
+        for q in [
+            "telnet",
+            "protocol",
+            "retrieval",
+            "#and(information retrieval)",
+        ] {
+            assert_eq!(orig.search(q).unwrap(), loaded.search(q).unwrap(), "{q}");
+        }
+        // The rebuilt lists carry full block structure despite the v1
+        // source: block headers are reconstructed by the decode pass.
+        use crate::index::IndexReader;
+        let ix = loaded.index_snapshot();
+        let pl = ix.term_postings("protocol").expect("term present");
+        assert!(!pl.blocks().is_empty());
+        assert_eq!(pl.blocks().last().unwrap().end, pl.raw().0.len());
+    }
+
+    #[test]
+    fn corrupt_block_headers_are_rejected() {
+        let orig = sample();
+        let path = tmp("bad_blocks.idx");
+        save_collection(&orig, &path).unwrap();
+        // Re-encode every shard with lying block headers: inflate each
+        // block's `end` delta so the final offset no longer matches the
+        // postings byte length.
+        for name in shard_files(&path) {
+            let (generation, i) = parse_shard_name(&name).unwrap();
+            let file = path.join(&name);
+            let terms = decode_shard(&read_verified(&file).unwrap(), generation, i).unwrap();
+            let mut out = Vec::new();
+            out.extend_from_slice(SHARD_MAGIC);
+            out.push(SHARD_VERSION);
+            write_varint(&mut out, generation);
+            write_varint(&mut out, i as u64);
+            write_varint(&mut out, terms.len() as u64);
+            for (term, pl) in &terms {
+                put_bytes(&mut out, term.as_bytes());
+                let (bytes, doc_count, last_doc, total_tf, max_tf) = pl.raw();
+                write_varint(&mut out, u64::from(doc_count));
+                write_varint(&mut out, u64::from(last_doc));
+                write_varint(&mut out, total_tf);
+                write_varint(&mut out, u64::from(max_tf));
+                put_bytes(&mut out, bytes);
+                write_varint(&mut out, u64::from(pl.block_size()));
+                let mut prev_last = 0u32;
+                for b in pl.blocks() {
+                    write_varint(&mut out, u64::from(b.last_doc - prev_last));
+                    write_varint(&mut out, u64::from(b.max_tf));
+                    write_varint(&mut out, (b.end + 7) as u64);
+                    prev_last = b.last_doc;
+                }
+            }
+            atomic_write(&file, &out).unwrap();
+        }
+        assert!(matches!(
+            load_collection(&path),
+            Err(IrsError::CorruptIndex(_))
+        ));
+    }
+
+    /// Regenerates the pinned snapshot fixtures under `tests/fixtures/`
+    /// in the *current* formats. The committed `snapshot-flat-v2.idx` and
+    /// `snapshot-shard-v1.idx` were produced by historical format
+    /// versions and must NEVER be regenerated — they pin backward
+    /// compatibility. Run this (with `--ignored`) only to add a fixture
+    /// for a newly introduced format version, and name the output
+    /// accordingly.
+    #[test]
+    #[ignore]
+    fn generate_pinned_fixtures() {
+        let mut c = IrsCollection::new(CollectionConfig {
+            model: ModelKind::Bm25(Bm25Model { k1: 1.6, b: 0.68 }),
+            shards: 2,
+            ..CollectionConfig::default()
+        });
+        let docs = [
+            (
+                "doc:alpha",
+                "zebra protocol handshake zebra zebra retry window",
+            ),
+            ("doc:beta", "protocol window sizing and flow control notes"),
+            (
+                "doc:gamma",
+                "zebra grazing habits on the open savannah plains",
+            ),
+            ("doc:delta", "window manager focus protocol quirks zebra"),
+            ("doc:epsilon", "flow of information retrieval beliefs"),
+            ("doc:zeta", "handshake retry backoff and protocol timers"),
+        ];
+        for (k, t) in docs {
+            c.add_document(k, t).unwrap();
+        }
+        c.delete_document("doc:gamma").unwrap();
+        let base = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures");
+        std::fs::create_dir_all(&base).unwrap();
+        save_collection_flat(&c, &base.join("snapshot-flat-v2.idx")).unwrap();
+        save_collection(
+            &c,
+            &base.join(format!("snapshot-shard-v{SHARD_VERSION}.idx")),
+        )
+        .unwrap();
     }
 
     #[test]

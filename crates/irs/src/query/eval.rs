@@ -145,19 +145,15 @@ fn positional_candidates<I: IndexReader + ?Sized>(
         .map(|&d| (d, Vec::with_capacity(terms.len())))
         .collect();
     for pl in &lists {
+        // Survivors ascend, so the cursor seeks forward block-by-block and
+        // decodes positions only at the hits.
         let mut cur = pl.cursor();
-        let mut si = 0usize;
-        while let Some((d, _)) = cur.next_doc() {
-            while si < survivors.len() && survivors[si].0 < d {
-                si += 1;
-            }
-            if si == survivors.len() {
-                break;
-            }
-            if survivors[si].0 == d {
-                let positions = cur.positions()?;
-                out.get_mut(&DocId(d)).expect("survivor").push(positions);
-                si += 1;
+        for &doc in &survivors {
+            if let Some((d, _)) = cur.seek(doc.0) {
+                if d == doc.0 {
+                    let positions = cur.positions()?;
+                    out.get_mut(&doc).expect("survivor").push(positions);
+                }
             }
         }
     }

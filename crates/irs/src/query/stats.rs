@@ -14,7 +14,7 @@
 //! the summed numerator/denominator is bit-identical to what
 //! `DocStore::avg_len` would report for the union index.
 
-use crate::index::IndexReader;
+use crate::index::{DocId, IndexReader};
 use crate::query::QueryNode;
 
 use super::topk::compiled_terms;
@@ -121,8 +121,11 @@ pub fn collect_globals<I: IndexReader + ?Sized>(
     node: &QueryNode,
 ) -> Option<QueryGlobals> {
     let term_texts = compiled_terms(node, index.analyzer())?;
-    let evidence = index.gather_terms(&term_texts);
     let (min_doc_len, max_doc_len) = index.doc_len_bounds();
+    // Without tombstones a list's `doc_count` *is* the live df, so the
+    // stats leg of the scatter/gather exchange reads only dictionary
+    // entries and list headers — no postings decode at all.
+    let tombstones = index.has_tombstones();
     Some(QueryGlobals {
         n_docs: index.live_count(),
         total_tokens: index.total_token_len(),
@@ -130,11 +133,18 @@ pub fn collect_globals<I: IndexReader + ?Sized>(
         max_doc_len,
         terms: term_texts
             .into_iter()
-            .zip(evidence)
-            .map(|(term, ev)| TermGlobals {
-                term,
-                df: ev.occurrences.len() as u32,
-                max_tf: ev.max_tf,
+            .map(|term| {
+                let (df, max_tf) = match index.term_postings(&term) {
+                    Some(pl) if !tombstones => (pl.doc_count(), pl.max_tf()),
+                    Some(pl) => (
+                        pl.doc_tfs()
+                            .filter(|&(d, _)| index.is_live(DocId(d)))
+                            .count() as u32,
+                        pl.max_tf(),
+                    ),
+                    None => (0, 0),
+                };
+                TermGlobals { term, df, max_tf }
             })
             .collect(),
     })

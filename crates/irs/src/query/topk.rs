@@ -1,4 +1,5 @@
-//! Document-at-a-time top-k evaluation with MaxScore-style pruning.
+//! Document-at-a-time top-k evaluation with MaxScore-style pruning and
+//! BMW-style block-max skipping.
 //!
 //! [`evaluate`](super::evaluate) is term-at-a-time: it scores *every*
 //! matching document into a map and lets the caller rank afterwards. For
@@ -9,15 +10,37 @@
 //! against a bounded heap of the current k best, skipping candidates whose
 //! score *upper bound* cannot enter the heap.
 //!
+//! Candidates are pruned in two stages of increasing cost:
+//!
+//! 1. **Collection bound** — per-term corner bounds from collection-wide
+//!    `max_tf`/length ranges, evaluated over the matched + non-essential
+//!    presence pattern (the MaxScore part). No postings access at all.
+//! 2. **Block max** — survivors are re-bounded with each term's *block*
+//!    `max_tf` taken from the [`BlockSkip`](crate::index::BlockSkip)
+//!    headers of the blocks that (could) contain the candidate. Getting a
+//!    non-essential term's block header only steps its cursor's block
+//!    pointer forward — no varint is decoded — so a block whose corner
+//!    bound cannot beat the heap threshold is skipped wholesale (BMW-style
+//!    pruning over the operator tree instead of plain WAND sums).
+//!
+//! Only candidates surviving both stages decode postings for exact
+//! scoring, and non-essential lists are advanced with
+//! [`seek`](crate::index::PostingsCursor::seek), which skips whole blocks
+//! via the headers.
+//!
 //! # Soundness of the bounds
 //!
 //! Every shipped model's `term_score` is coordinate-wise monotone in `tf`
 //! and `doc_len`, so the maximum over the four corners of the
 //! `[1, max_tf] × [min_len, max_len]` box (with the *exact* query-time
-//! `df`) bounds any live occurrence's score. Every combine operator is
-//! monotone nondecreasing on nonnegative child scores (sums, products and
-//! noisy-or on `[0,1]` beliefs, min, max, nonnegative-weight means), so
-//! evaluating the tree over leaf upper bounds — taking
+//! `df`) bounds any live occurrence's score. The block-max stage merely
+//! shrinks the `tf` range to the block's own maximum: any posting of the
+//! term at or beyond the candidate doc id lies in the reported block or a
+//! later one — the cursor only ever *under*-reports progress, never
+//! overshoots — and within the block `tf ≤ block max_tf`. Every combine
+//! operator is monotone nondecreasing on nonnegative child scores (sums,
+//! products and noisy-or on `[0,1]` beliefs, min, max, nonnegative-weight
+//! means), so evaluating the tree over leaf upper bounds — taking
 //! `max(op(children), default)` at each node, because a document absent
 //! from a node's result map contributes the model default at its parent —
 //! bounds the exhaustive score. `#wsum` with a negative weight would break
@@ -31,13 +54,13 @@
 //! `default_score()`, and a node yields a value only when at least one
 //! descendant leaf contains the document. Scores are therefore
 //! bit-identical to [`evaluate`](super::evaluate) — the equivalence
-//! proptest in `tests/topk.rs` pins this.
+//! proptest in `tests/topk.rs` pins this across block sizes.
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
 
 use crate::analysis::Analyzer;
-use crate::index::{DocId, IndexReader, TermEvidence};
+use crate::index::{DocId, IndexReader, PostingsCursor, PostingsList};
 use crate::model::{RetrievalModel, TermStats};
 use crate::query::{QueryGlobals, QueryNode};
 
@@ -51,12 +74,26 @@ enum OpKind {
 }
 
 /// A query tree compiled against a term table: leaves index into the
-/// gathered per-term evidence so the per-document walks do no string work.
+/// per-term cursor state so the per-document walks do no string work.
 #[derive(Debug)]
 enum PNode {
     Leaf(usize),
     Op(OpKind, Vec<PNode>),
     WSum(Vec<(f64, PNode)>),
+}
+
+/// Which upper bound the pruned engine consults before exact scoring.
+/// [`PruneStrategy::BlockMax`] is the default; [`CollectionBound`]
+/// (`PruneStrategy::CollectionBound`) reproduces the pre-block engine and
+/// exists so benchmarks can measure exactly what the block headers buy.
+/// Both produce bit-identical results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PruneStrategy {
+    /// Two-stage pruning: collection-level corner bounds, then per-block
+    /// `max_tf` refinement from the skip headers.
+    BlockMax,
+    /// Collection-level corner bounds only.
+    CollectionBound,
 }
 
 /// Compile `node`, interning analysed leaf terms into `terms`. `None` when
@@ -128,23 +165,14 @@ pub(crate) fn compiled_terms(node: &QueryNode, analyzer: &Analyzer) -> Option<Ve
     Some(terms)
 }
 
-/// One query term's gathered evidence plus its score upper bound.
-#[derive(Debug)]
-struct TermData {
-    /// Live `(doc, tf)` pairs, ascending by doc id.
-    occurrences: Vec<(DocId, u32)>,
-    /// Live document frequency — exactly the `df` the exhaustive
-    /// evaluator feeds to `term_score`.
-    df: u32,
-    /// `max(default, corner bound)`: no live occurrence of the term can
-    /// score higher.
-    ub: f64,
-}
-
-/// Scoring context shared by the per-document walks.
+/// Scoring context shared by the per-document walks. Postings access
+/// lives *outside* this struct (cursors borrow the lists directly) so the
+/// tree walks can run while cursors are mid-flight.
 struct Engine<'m> {
     model: &'m dyn RetrievalModel,
-    terms: Vec<TermData>,
+    /// Per-term live document frequency — exactly the `df` the exhaustive
+    /// evaluator feeds to `term_score`.
+    dfs: Vec<u32>,
     n_docs: u32,
     avg_doc_len: f64,
     default: f64,
@@ -160,17 +188,17 @@ impl Engine<'_> {
         }
     }
 
-    /// The exhaustive evaluator's value of `node` for `doc` — `None` when
-    /// no descendant leaf contains the document (the doc is absent from
-    /// the node's sparse map and its parent substitutes the default).
-    fn exact_value(&self, node: &PNode, doc: DocId, doc_len: u32) -> Option<f64> {
+    /// The exhaustive evaluator's value of `node` for a document with the
+    /// given per-term frequencies — `None` when no descendant leaf
+    /// contains the document (the doc is absent from the node's sparse map
+    /// and its parent substitutes the default).
+    fn exact_value(&self, node: &PNode, tf_at: &[Option<u32>], doc_len: u32) -> Option<f64> {
         match node {
             PNode::Leaf(i) => {
-                let t = &self.terms[*i];
-                let at = t.occurrences.binary_search_by_key(&doc, |&(d, _)| d).ok()?;
+                let tf = tf_at[*i]?;
                 Some(self.model.term_score(TermStats {
-                    tf: t.occurrences[at].1,
-                    df: t.df,
+                    tf,
+                    df: self.dfs[*i],
                     n_docs: self.n_docs,
                     doc_len,
                     avg_doc_len: self.avg_doc_len,
@@ -180,7 +208,7 @@ impl Engine<'_> {
                 let mut any = false;
                 let mut buf = Vec::with_capacity(cs.len());
                 for c in cs {
-                    match self.exact_value(c, doc, doc_len) {
+                    match self.exact_value(c, tf_at, doc_len) {
                         Some(v) => {
                             any = true;
                             buf.push(v);
@@ -194,7 +222,7 @@ impl Engine<'_> {
                 let mut any = false;
                 let mut buf = Vec::with_capacity(ws.len());
                 for (w, c) in ws {
-                    match self.exact_value(c, doc, doc_len) {
+                    match self.exact_value(c, tf_at, doc_len) {
                         Some(v) => {
                             any = true;
                             buf.push((*w, v));
@@ -207,28 +235,22 @@ impl Engine<'_> {
         }
     }
 
-    /// Upper bound on the score of any document whose term presence is a
-    /// subset of `present`. Leaves assumed present contribute their upper
-    /// bound; each node takes `max(op(children), default)` because a
-    /// document absent from the node's map contributes the default at the
-    /// parent instead of the operator value.
-    fn bound_value(&self, node: &PNode, present: &[bool]) -> f64 {
+    /// Upper bound on the score of any document whose per-leaf
+    /// contribution is at most `leaf[t]`. Each node takes
+    /// `max(op(children), default)` because a document absent from the
+    /// node's map contributes the default at the parent instead of the
+    /// operator value.
+    fn bound_value(&self, node: &PNode, leaf: &[f64]) -> f64 {
         match node {
-            PNode::Leaf(i) => {
-                if present[*i] {
-                    self.terms[*i].ub
-                } else {
-                    self.default
-                }
-            }
+            PNode::Leaf(i) => leaf[*i],
             PNode::Op(kind, cs) => {
-                let buf: Vec<f64> = cs.iter().map(|c| self.bound_value(c, present)).collect();
+                let buf: Vec<f64> = cs.iter().map(|c| self.bound_value(c, leaf)).collect();
                 self.combine(*kind, &buf).max(self.default)
             }
             PNode::WSum(ws) => {
                 let buf: Vec<(f64, f64)> = ws
                     .iter()
-                    .map(|(w, c)| (*w, self.bound_value(c, present)))
+                    .map(|(w, c)| (*w, self.bound_value(c, leaf)))
                     .collect();
                 self.model.combine_wsum(&buf).max(self.default)
             }
@@ -237,7 +259,9 @@ impl Engine<'_> {
 }
 
 /// Per-term corner upper bound: the exact query-time `df` with `tf` and
-/// `doc_len` pushed to the extremes of their live ranges.
+/// `doc_len` pushed to the extremes of their ranges. With `max_tf` from
+/// the whole collection this is the MaxScore bound; with a block's
+/// `max_tf` it is the block-max bound.
 fn leaf_upper_bound(
     model: &dyn RetrievalModel,
     df: u32,
@@ -297,6 +321,47 @@ impl PartialEq for Cand<'_> {
 
 impl Eq for Cand<'_> {}
 
+/// Per-term block-max bound cache: block bounds are reused while
+/// consecutive candidates fall into the same block, which is the common
+/// case at realistic block sizes.
+struct BlockBoundCache {
+    block: Vec<usize>,
+    bound: Vec<f64>,
+}
+
+impl BlockBoundCache {
+    fn new(n_terms: usize) -> Self {
+        BlockBoundCache {
+            block: vec![usize::MAX; n_terms],
+            bound: vec![0.0; n_terms],
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn get(
+        &mut self,
+        engine: &Engine<'_>,
+        t: usize,
+        block: usize,
+        block_max_tf: u32,
+        len_bounds: (u32, u32),
+    ) -> f64 {
+        if self.block[t] != block {
+            self.block[t] = block;
+            self.bound[t] = leaf_upper_bound(
+                engine.model,
+                engine.dfs[t],
+                block_max_tf,
+                engine.n_docs,
+                engine.avg_doc_len,
+                len_bounds,
+                engine.default,
+            );
+        }
+        self.bound[t]
+    }
+}
+
 /// Evaluate `node` document-at-a-time, returning the `k` best documents
 /// sorted by descending score (ties by ascending key) — exactly the first
 /// `k` entries the exhaustive path would produce, with bit-identical
@@ -311,14 +376,28 @@ pub fn evaluate_top_k<I: IndexReader + ?Sized>(
     node: &QueryNode,
     k: usize,
 ) -> Option<Vec<(DocId, f64)>> {
-    evaluate_top_k_inner(index, model, node, k, None)
+    evaluate_top_k_inner(index, model, node, k, None, PruneStrategy::BlockMax)
+}
+
+/// [`evaluate_top_k`] with an explicit [`PruneStrategy`] — benchmarking
+/// hook for comparing block-max against the collection-bound baseline on
+/// identical inputs. Results are bit-identical either way.
+pub fn evaluate_top_k_with_strategy<I: IndexReader + ?Sized>(
+    index: &I,
+    model: &dyn RetrievalModel,
+    node: &QueryNode,
+    k: usize,
+    strategy: PruneStrategy,
+) -> Option<Vec<(DocId, f64)>> {
+    evaluate_top_k_inner(index, model, node, k, None, strategy)
 }
 
 /// [`evaluate_top_k`] with *supplied* corpus statistics instead of the
 /// index's own: `df`/`n_docs`/`avg_doc_len` come from `globals` so a
 /// partition of a scattered collection scores its local documents exactly
-/// as the union index would. Local `max_tf` and length bounds stay in the
-/// pruning bound — they are tighter for local documents and remain sound.
+/// as the union index would. Local `max_tf` (collection- and block-level)
+/// and length bounds stay in the pruning bound — they are tighter for
+/// local documents and remain sound.
 ///
 /// Returns `None` when the tree is outside the pruned fragment *or* when
 /// `globals.terms` does not match the tree's interned term list (the
@@ -331,7 +410,14 @@ pub fn evaluate_top_k_with_globals<I: IndexReader + ?Sized>(
     k: usize,
     globals: &QueryGlobals,
 ) -> Option<Vec<(DocId, f64)>> {
-    evaluate_top_k_inner(index, model, node, k, Some(globals))
+    evaluate_top_k_inner(
+        index,
+        model,
+        node,
+        k,
+        Some(globals),
+        PruneStrategy::BlockMax,
+    )
 }
 
 fn evaluate_top_k_inner<I: IndexReader + ?Sized>(
@@ -340,6 +426,7 @@ fn evaluate_top_k_inner<I: IndexReader + ?Sized>(
     node: &QueryNode,
     k: usize,
     globals: Option<&QueryGlobals>,
+    strategy: PruneStrategy,
 ) -> Option<Vec<(DocId, f64)>> {
     let mut term_texts = Vec::new();
     let mut interned = HashMap::new();
@@ -361,35 +448,38 @@ fn evaluate_top_k_inner<I: IndexReader + ?Sized>(
     };
     let len_bounds = index.doc_len_bounds();
     let default = model.default_score();
-    let terms: Vec<TermData> = index
-        .gather_terms(&term_texts)
-        .into_iter()
-        .enumerate()
-        .map(|(i, ev): (usize, TermEvidence)| {
-            let df = match globals {
-                Some(g) => g.terms[i].df,
-                None => ev.occurrences.len() as u32,
-            };
-            let ub = leaf_upper_bound(
-                model,
-                df,
-                ev.max_tf,
-                n_docs,
-                avg_doc_len,
-                len_bounds,
-                default,
-            );
-            TermData {
-                occurrences: ev.occurrences,
-                df,
-                ub,
-            }
+    let tombstones = index.has_tombstones();
+
+    // Own each term's postings for the query's lifetime; the cursors
+    // borrow them. (Shard locks are released by `term_postings`.)
+    let lists: Vec<Option<PostingsList>> =
+        term_texts.iter().map(|t| index.term_postings(t)).collect();
+    let n_terms = lists.len();
+
+    // Exact live df per term, without decoding when no tombstones exist.
+    let mut dfs = Vec::with_capacity(n_terms);
+    for (i, pl) in lists.iter().enumerate() {
+        dfs.push(match (globals, pl) {
+            (Some(g), _) => g.terms[i].df,
+            (None, Some(pl)) if !tombstones => pl.doc_count(),
+            (None, Some(pl)) => pl
+                .doc_tfs()
+                .filter(|&(d, _)| index.is_live(DocId(d)))
+                .count() as u32,
+            (None, None) => 0,
+        });
+    }
+    let ubs: Vec<f64> = lists
+        .iter()
+        .zip(&dfs)
+        .map(|(pl, &df)| {
+            let max_tf = pl.as_ref().map_or(0, |p| p.max_tf());
+            leaf_upper_bound(model, df, max_tf, n_docs, avg_doc_len, len_bounds, default)
         })
         .collect();
-    let n_terms = terms.len();
     let engine = Engine {
         model,
-        terms,
+        dfs,
         n_docs,
         avg_doc_len,
         default,
@@ -398,30 +488,45 @@ fn evaluate_top_k_inner<I: IndexReader + ?Sized>(
     // Terms ascending by upper bound: the non-essential prefix grows in
     // this order as the heap threshold rises.
     let mut order: Vec<usize> = (0..n_terms).collect();
-    order.sort_by(|&a, &b| {
-        engine.terms[a]
-            .ub
-            .total_cmp(&engine.terms[b].ub)
-            .then_with(|| a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| ubs[a].total_cmp(&ubs[b]).then_with(|| a.cmp(&b)));
+
+    let mut cursors: Vec<Option<PostingsCursor<'_>>> = lists
+        .iter()
+        .map(|pl| pl.as_ref().map(|p| p.cursor()))
+        .collect();
+    // Essential-list heads: the next undelivered posting per term. A
+    // term's head is meaningful only while the term is essential.
+    let mut heads: Vec<Option<(u32, u32)>> = cursors
+        .iter_mut()
+        .map(|c| c.as_mut().and_then(|c| c.next()))
+        .collect();
 
     // `k` may be huge (`usize::MAX` = "no limit"); never reserve more
     // slots than there are live documents.
     let mut heap: BinaryHeap<Cand> =
         BinaryHeap::with_capacity(k.saturating_add(1).min(n_docs as usize + 1));
     // `in_ne[t]`: term t is non-essential — its upper bound is already
-    // priced into `ne_bound`, so its postings no longer drive enumeration.
+    // priced into the resting bound, so its postings no longer drive
+    // enumeration (they are only seeked for survivors).
     let mut in_ne = vec![false; n_terms];
     let mut ne_len = 0usize;
-    let mut cursors = vec![0usize; n_terms];
-    let mut presence = vec![false; n_terms];
-    let mut matched: Vec<usize> = Vec::with_capacity(n_terms);
+    // Resting per-leaf values of the collection-level bound: `ubs[t]` for
+    // non-essential terms (assumed present), `default` otherwise; matched
+    // terms are flipped in and out per candidate.
+    let mut coarse_vals = vec![default; n_terms];
+    let mut tf_at: Vec<Option<u32>> = vec![None; n_terms];
+    let mut block_cache = BlockBoundCache::new(n_terms);
+    // `(term, tf, block_index)` of the essential terms matching the
+    // current candidate.
+    let mut matched: Vec<(usize, u32, usize)> = Vec::with_capacity(n_terms);
+    // Scratch membership flags for `matched`, used by the range skip.
+    let mut in_matched = vec![false; n_terms];
 
     loop {
-        // Next candidate: smallest current doc across essential cursors.
-        let mut next: Option<DocId> = None;
+        // Next candidate: smallest current doc across essential heads.
+        let mut next: Option<u32> = None;
         for &t in &order[ne_len..] {
-            if let Some(&(d, _)) = engine.terms[t].occurrences.get(cursors[t]) {
+            if let Some((d, _)) = heads[t] {
                 next = Some(match next {
                     None => d,
                     Some(m) => m.min(d),
@@ -431,40 +536,172 @@ fn evaluate_top_k_inner<I: IndexReader + ?Sized>(
         let Some(doc) = next else { break };
         matched.clear();
         for &t in &order[ne_len..] {
-            if engine.terms[t].occurrences.get(cursors[t]).map(|&(d, _)| d) == Some(doc) {
-                cursors[t] += 1;
-                matched.push(t);
+            if let Some((d, tf)) = heads[t] {
+                if d == doc {
+                    let cur = cursors[t].as_mut().expect("a head implies a cursor");
+                    // Record the block *before* advancing: next() may step
+                    // the cursor into the following block.
+                    matched.push((t, tf, cur.block_index()));
+                    heads[t] = cur.next();
+                }
             }
         }
-
-        // Candidate bound: matched essential terms and every non-essential
-        // term assumed present at their upper bounds. Skip only on a
-        // *strict* miss — an equal-score candidate could still win its
-        // key tie-break.
-        let threshold = (heap.len() == k).then(|| heap.peek().expect("full heap").score);
-        let survives = match threshold {
-            None => true,
-            Some(th) => {
-                for &t in &matched {
-                    presence[t] = true;
-                }
-                let cb = engine.bound_value(&root, &presence);
-                for &t in &matched {
-                    presence[t] = in_ne[t];
-                }
-                cb >= th
-            }
-        };
-        if !survives {
+        if tombstones && !index.is_live(DocId(doc)) {
             continue;
         }
 
-        let entry = index.doc_entry(doc);
-        if let Some(score) = engine.exact_value(&root, doc, entry.len) {
+        // Candidate bounds: matched essential terms and every
+        // non-essential term assumed present. Skip only on a *strict*
+        // miss — an equal-score candidate could still win its key
+        // tie-break.
+        let threshold = (heap.len() == k).then(|| heap.peek().expect("full heap").score);
+        if let Some(th) = threshold {
+            // Stage 1: collection-level corner bounds (no postings access).
+            for &(t, _, _) in &matched {
+                coarse_vals[t] = ubs[t];
+            }
+            let coarse = engine.bound_value(&root, &coarse_vals);
+            let mut keep = coarse >= th;
+            // A failed stage-1/2a bound covers a *range* of documents,
+            // not just this candidate (see the range skip below).
+            // `Some(block_capped)` marks the failure skippable;
+            // `block_capped` says the matched blocks limit its reach.
+            let mut skippable = (!keep && strategy == PruneStrategy::BlockMax).then_some(false);
+            // Stage 2: block-max refinement, incremental so a candidate
+            // that dies early costs as little as possible. 2a re-bounds
+            // only the matched terms with the `max_tf` of the blocks
+            // they were found in (skip headers already in hand — no
+            // cursor access); since non-essential terms still rest at
+            // their looser collection-level bounds, a miss here implies
+            // a miss for the fully refined bound. Only survivors pay 2b:
+            // peeking the non-essential cursors' blocks for `doc`.
+            if keep && strategy == PruneStrategy::BlockMax {
+                // Flat blocks (block `max_tf` == collection `max_tf`)
+                // leave their leaf bounds unchanged; if every matched
+                // block is flat the refined bound *is* the stage-1 bound
+                // and the tree walk is skipped.
+                let mut all_flat = true;
+                for &(t, _, b) in &matched {
+                    let pl = lists[t].as_ref().expect("matched implies list");
+                    let skip = pl.blocks()[b];
+                    // A flat block (its `max_tf` is the collection-level
+                    // one) bounds to exactly `ubs[t]` — no corner
+                    // evaluation needed.
+                    let bv = if skip.max_tf >= pl.max_tf() {
+                        ubs[t]
+                    } else {
+                        block_cache.get(&engine, t, b, skip.max_tf, len_bounds)
+                    };
+                    all_flat &= bv >= ubs[t];
+                    coarse_vals[t] = bv;
+                }
+                let mut fine = if all_flat {
+                    coarse
+                } else {
+                    engine.bound_value(&root, &coarse_vals)
+                };
+                if fine < th {
+                    skippable = Some(true);
+                } else if ne_len > 0 {
+                    for &t in &order[..ne_len] {
+                        if let Some(cur) = cursors[t].as_mut() {
+                            coarse_vals[t] = match cur.peek_block_for(doc) {
+                                Some((b, block_max_tf)) => {
+                                    block_cache.get(&engine, t, b, block_max_tf, len_bounds)
+                                }
+                                // Exhausted: the term cannot occur at
+                                // `doc` or beyond.
+                                None => default,
+                            };
+                        }
+                    }
+                    fine = engine.bound_value(&root, &coarse_vals);
+                    for &t in &order[..ne_len] {
+                        coarse_vals[t] = ubs[t];
+                    }
+                }
+                keep = fine >= th;
+            }
+            for &(t, _, _) in &matched {
+                if !in_ne[t] {
+                    coarse_vals[t] = default;
+                }
+            }
+            if !keep {
+                // Range skip (the BMW move): the failed bound priced the
+                // matched terms by values that hold for every document
+                // `doc' ≤ range_end` — collection bounds hold anywhere;
+                // block bounds hold while each matched term stays inside
+                // its current block (`doc' ≤` the block's `last_doc`).
+                // Capping below every *other* essential head keeps
+                // `doc'`'s matched set a subset of this one, and dropping
+                // a matched term only lowers the bound (its leaf falls to
+                // the default). Non-essential terms are priced at their
+                // full collection bounds either way. So every candidate
+                // in `(doc, range_end]` is sub-threshold: seek the
+                // matched cursors past the whole range — the seeks step
+                // over untouched blocks via the skip headers without
+                // decoding a single posting.
+                if let Some(block_capped) = skippable {
+                    let mut range_end = u32::MAX;
+                    if block_capped {
+                        for &(t, _, b) in &matched {
+                            let list = lists[t].as_ref().expect("matched implies list");
+                            range_end = range_end.min(list.blocks()[b].last_doc);
+                        }
+                    }
+                    for &(t, _, _) in &matched {
+                        in_matched[t] = true;
+                    }
+                    for &t in &order[ne_len..] {
+                        if !in_matched[t] {
+                            if let Some((d, _)) = heads[t] {
+                                // `d > doc ≥ 0`: an unmatched head is
+                                // strictly beyond the candidate.
+                                range_end = range_end.min(d - 1);
+                            }
+                        }
+                    }
+                    for &(t, _, _) in &matched {
+                        in_matched[t] = false;
+                    }
+                    if range_end > doc {
+                        let target = range_end.saturating_add(1);
+                        for &(t, _, _) in &matched {
+                            if heads[t].is_some_and(|(d, _)| d < target) {
+                                let cur = cursors[t].as_mut().expect("matched implies cursor");
+                                heads[t] = cur.seek(target);
+                            }
+                        }
+                    }
+                }
+                continue;
+            }
+        }
+
+        // Exact scoring: pull the true tf of every term at `doc`.
+        // Non-essential lists advance by block-skipping seeks.
+        for v in tf_at.iter_mut() {
+            *v = None;
+        }
+        for &(t, tf, _) in &matched {
+            tf_at[t] = Some(tf);
+        }
+        for &t in &order[..ne_len] {
+            if let Some(cur) = cursors[t].as_mut() {
+                if let Some((d, tf)) = cur.seek(doc) {
+                    if d == doc {
+                        tf_at[t] = Some(tf);
+                    }
+                }
+            }
+        }
+        let entry = index.doc_entry(DocId(doc));
+        if let Some(score) = engine.exact_value(&root, &tf_at, entry.len) {
             let cand = Cand {
                 score,
                 key: entry.key.as_str(),
-                doc,
+                doc: DocId(doc),
             };
             if heap.len() < k {
                 heap.push(cand);
@@ -479,12 +716,12 @@ fn evaluate_top_k_inner<I: IndexReader + ?Sized>(
                 while ne_len < n_terms {
                     let t = order[ne_len];
                     in_ne[t] = true;
-                    presence[t] = true;
-                    if engine.bound_value(&root, &presence) < th {
+                    coarse_vals[t] = ubs[t];
+                    if engine.bound_value(&root, &coarse_vals) < th {
                         ne_len += 1;
                     } else {
                         in_ne[t] = false;
-                        presence[t] = false;
+                        coarse_vals[t] = default;
                         break;
                     }
                 }
@@ -510,7 +747,11 @@ mod tests {
     use crate::query::{evaluate, parse_query};
 
     fn corpus() -> InvertedIndex {
-        let mut ix = InvertedIndex::new(Analyzer::new(AnalyzerConfig::default()));
+        corpus_with_block_size(crate::index::DEFAULT_BLOCK_SIZE)
+    }
+
+    fn corpus_with_block_size(bs: u32) -> InvertedIndex {
+        let mut ix = InvertedIndex::with_block_size(Analyzer::new(AnalyzerConfig::default()), bs);
         for i in 0..40u32 {
             let rare = if i % 7 == 0 { "zebra" } else { "filler" };
             let text = format!(
@@ -523,7 +764,7 @@ mod tests {
     }
 
     /// The pruned result must equal the first k of the exhaustively
-    /// ranked list, bit-for-bit.
+    /// ranked list, bit-for-bit — under both prune strategies.
     fn assert_matches_exhaustive(
         ix: &InvertedIndex,
         model: &dyn RetrievalModel,
@@ -531,14 +772,17 @@ mod tests {
         k: usize,
     ) {
         let node = parse_query(q).unwrap();
-        let pruned = evaluate_top_k(ix, model, &node, k).expect("prunable tree");
         let mut full: Vec<(DocId, f64)> = evaluate(ix, model, &node).into_iter().collect();
         full.sort_by(|a, b| {
             b.1.total_cmp(&a.1)
                 .then_with(|| ix.store().entry(a.0).key.cmp(&ix.store().entry(b.0).key))
         });
         full.truncate(k);
-        assert_eq!(pruned, full, "query {q} k {k}");
+        for strategy in [PruneStrategy::BlockMax, PruneStrategy::CollectionBound] {
+            let pruned =
+                evaluate_top_k_with_strategy(ix, model, &node, k, strategy).expect("prunable tree");
+            assert_eq!(pruned, full, "query {q} k {k} strategy {strategy:?}");
+        }
     }
 
     #[test]
@@ -564,6 +808,21 @@ mod tests {
             ] {
                 for k in [0usize, 1, 3, 10, 40, 100] {
                     assert_matches_exhaustive(&ix, model, q, k);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_matches_exhaustive_across_block_sizes() {
+        // Tiny blocks force the block-max machinery through every branch:
+        // block skips on seek, per-block bound refreshes, ragged tails.
+        for bs in [1u32, 2, 16] {
+            let ix = corpus_with_block_size(bs);
+            let m = Bm25Model::default();
+            for q in ["zebra", "#or(zebra common)", "#sum(zebra shared common)"] {
+                for k in [1usize, 3, 10] {
+                    assert_matches_exhaustive(&ix, &m, q, k);
                 }
             }
         }
@@ -649,8 +908,46 @@ mod tests {
     }
 
     #[test]
+    fn block_bound_dominates_every_occurrence_in_its_block() {
+        let ix = corpus_with_block_size(4);
+        let m = Bm25Model::default();
+        let term = ix.analyzer().analyze_term("common");
+        let pl = ix.postings(&term).unwrap().clone();
+        let df = pl.doc_count(); // no tombstones in this corpus
+        let blocks = pl.blocks().to_vec();
+        let mut entries: Vec<(u32, u32)> = pl.doc_tfs().collect();
+        entries.reverse(); // pop from the front
+        for (b, skip) in blocks.iter().enumerate() {
+            let ub = leaf_upper_bound(
+                &m,
+                df,
+                skip.max_tf,
+                ix.live_count(),
+                ix.avg_doc_len(),
+                ix.doc_len_bounds(),
+                m.default_score(),
+            );
+            while let Some(&(doc, tf)) = entries.last() {
+                if doc > skip.last_doc {
+                    break;
+                }
+                entries.pop();
+                let s = m.term_score(TermStats {
+                    tf,
+                    df,
+                    n_docs: ix.live_count(),
+                    doc_len: ix.store().entry(DocId(doc)).len,
+                    avg_doc_len: ix.avg_doc_len(),
+                });
+                assert!(s <= ub, "doc {doc} in block {b}: score {s} > bound {ub}");
+            }
+        }
+        assert!(entries.is_empty());
+    }
+
+    #[test]
     fn deleted_documents_never_surface() {
-        let mut ix = corpus();
+        let mut ix = corpus_with_block_size(2);
         ix.delete_document("d00").unwrap();
         ix.delete_document("d07").unwrap();
         let m = InferenceModel::default();

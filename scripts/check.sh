@@ -13,7 +13,7 @@ cargo test -q
 echo "==> cargo test -q -p system-tests --test recovery (crash recovery)"
 cargo test -q -p system-tests --test recovery
 
-echo "==> bench smoke (query hot path, writes BENCH_query.json)"
+echo "==> bench smoke (query hot path, writes BENCH_query_smoke.json)"
 # Exits nonzero and prints REGRESSION if the pruned top-k ranking ever
 # differs from the exhaustive ranking.
 cargo run -q -p coupling-bench --release --bin bench_query -- --smoke

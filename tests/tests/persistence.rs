@@ -70,6 +70,86 @@ fn database_and_irs_index_survive_restart() {
     }
 }
 
+/// Rebuild, live, the exact collection the pinned snapshot fixtures were
+/// generated from (see `generate_pinned_fixtures` in `irs::persist`).
+fn pinned_fixture_collection() -> IrsCollection {
+    let mut c = IrsCollection::new(CollectionConfig {
+        model: irs::ModelKind::Bm25(irs::Bm25Model { k1: 1.6, b: 0.68 }),
+        shards: 2,
+        ..CollectionConfig::default()
+    });
+    let docs = [
+        (
+            "doc:alpha",
+            "zebra protocol handshake zebra zebra retry window",
+        ),
+        ("doc:beta", "protocol window sizing and flow control notes"),
+        (
+            "doc:gamma",
+            "zebra grazing habits on the open savannah plains",
+        ),
+        ("doc:delta", "window manager focus protocol quirks zebra"),
+        ("doc:epsilon", "flow of information retrieval beliefs"),
+        ("doc:zeta", "handshake retry backoff and protocol timers"),
+    ];
+    for (k, t) in docs {
+        c.add_document(k, t).unwrap();
+    }
+    c.delete_document("doc:gamma").unwrap();
+    c
+}
+
+/// Every query the fixture suite exercises: plain terms, operators, and
+/// a term that only the deleted document contained.
+const FIXTURE_QUERIES: &[&str] = &[
+    "zebra",
+    "protocol",
+    "window",
+    "handshake",
+    "grazing",
+    "savannah",
+    "#and(protocol window)",
+    "#or(zebra retry)",
+    "#wsum(2 protocol 1 zebra)",
+];
+
+/// A snapshot written by a historical build (pinned in the repo, never
+/// regenerated) must keep loading into today's block-structured index
+/// with bit-identical search results. `snapshot-flat-v2.idx` is the flat
+/// single-file format; `snapshot-shard-v1.idx` is a per-shard directory
+/// written before shard files carried block metadata (shard version 1);
+/// `snapshot-shard-v2.idx` pins the current per-shard format with
+/// persisted block headers.
+#[test]
+fn pinned_snapshots_load_into_block_structured_index() {
+    let live = pinned_fixture_collection();
+    for fixture in [
+        "snapshot-flat-v2.idx",
+        "snapshot-shard-v1.idx",
+        "snapshot-shard-v2.idx",
+    ] {
+        let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("fixtures")
+            .join(fixture);
+        let loaded = load_collection(&path).unwrap_or_else(|e| panic!("{fixture}: {e}"));
+        assert_eq!(loaded.len(), live.len(), "{fixture}: live doc count");
+        assert!(!loaded.contains("doc:gamma"), "{fixture}: tombstone kept");
+        assert_eq!(loaded.config(), live.config(), "{fixture}: config");
+        for q in FIXTURE_QUERIES {
+            let a = live.search(q).unwrap();
+            let b = loaded.search(q).unwrap();
+            assert_eq!(a, b, "{fixture}: query {q}");
+        }
+        // The migrated index must carry real block structure: top-k with
+        // block-max pruning over the loaded index matches the live one.
+        for q in FIXTURE_QUERIES {
+            let a = live.search_top_k(q, 3).unwrap();
+            let b = loaded.search_top_k(q, 3).unwrap();
+            assert_eq!(a, b, "{fixture}: top-k query {q}");
+        }
+    }
+}
+
 #[test]
 fn result_buffer_persists_between_sessions() {
     let dir = tmp_dir("buffer");

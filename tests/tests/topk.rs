@@ -3,7 +3,12 @@
 //! the first k hits of the exhaustive `search` — same keys, bitwise the
 //! same scores — and the ranking must not depend on the shard count.
 
-use irs::{CollectionConfig, IrsCollection, ModelKind};
+use irs::analysis::{Analyzer, AnalyzerConfig};
+use irs::query::evaluate;
+use irs::{
+    evaluate_top_k_with_strategy, parse_query, CollectionConfig, DocId, InvertedIndex,
+    IrsCollection, ModelKind, PruneStrategy,
+};
 use proptest::prelude::*;
 
 /// A tiny vocabulary so random documents share terms and rankings have
@@ -103,6 +108,67 @@ proptest! {
         for (l, r) in lhs.iter().zip(rhs.iter()) {
             prop_assert_eq!(&l.key, &r.key);
             prop_assert_eq!(l.score.to_bits(), r.score.to_bits());
+        }
+    }
+    /// Block-max pruning is bit-identical to the exhaustive evaluator for
+    /// every retrieval model, prunable operator shape, block size, and k —
+    /// including degenerate one-doc blocks (`bs = 1`, maximal skip
+    /// metadata) and blocks larger than most postings lists (`bs = 128`,
+    /// no intra-list skips at this corpus size). The collection-bound
+    /// strategy (the pre-block engine) must agree too, with tombstones in
+    /// the mix.
+    #[test]
+    fn block_max_is_bit_identical_to_exhaustive_across_block_sizes(
+        docs in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..40), 2..24),
+        deletes in prop::collection::vec(any::<bool>(), 24),
+        model_choice in any::<u8>(),
+        shape in any::<u8>(),
+        (a, b, c) in (any::<u8>(), any::<u8>(), any::<u8>()),
+        k in 0usize..20,
+    ) {
+        // Shapes 0..5 of `query_for` are the prunable fragment; `#not`
+        // and phrases make the engine decline (`None`), which the
+        // collection-level prefix property above already covers.
+        let query = query_for(shape % 5, a, b, c);
+        let node = parse_query(&query).unwrap();
+        let model_kind = model_for(model_choice);
+        let model = model_kind.as_model();
+        for &bs in &[1u32, 16, 128] {
+            let mut ix =
+                InvertedIndex::with_block_size(Analyzer::new(AnalyzerConfig::default()), bs);
+            for (i, words) in docs.iter().enumerate() {
+                let text: Vec<&str> = words
+                    .iter()
+                    .map(|&w| VOCAB[w as usize % VOCAB.len()])
+                    .collect();
+                ix.add_document(&format!("doc{i:03}"), &text.join(" ")).unwrap();
+            }
+            for (i, &del) in deletes.iter().enumerate() {
+                if del && i < docs.len() && ix.store().live_count() > 1 {
+                    ix.delete_document(&format!("doc{i:03}")).unwrap();
+                }
+            }
+            let mut full: Vec<(DocId, f64)> = evaluate(&ix, model, &node).into_iter().collect();
+            full.sort_by(|x, y| {
+                y.1.total_cmp(&x.1)
+                    .then_with(|| ix.store().entry(x.0).key.cmp(&ix.store().entry(y.0).key))
+            });
+            full.truncate(k);
+            for strategy in [PruneStrategy::BlockMax, PruneStrategy::CollectionBound] {
+                let pruned = evaluate_top_k_with_strategy(&ix, model, &node, k, strategy)
+                    .expect("prunable tree");
+                prop_assert_eq!(
+                    pruned.len(), full.len(),
+                    "length, query {} bs {} strategy {:?}", query, bs, strategy
+                );
+                for ((gd, gs), (wd, ws)) in pruned.iter().zip(full.iter()) {
+                    prop_assert_eq!(gd, wd, "doc, query {} bs {} {:?}", query, bs, strategy);
+                    prop_assert_eq!(
+                        gs.to_bits(), ws.to_bits(),
+                        "score, query {} bs {} {:?}", query, bs, strategy
+                    );
+                }
+            }
         }
     }
 }
