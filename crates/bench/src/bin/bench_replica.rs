@@ -136,11 +136,11 @@ fn main() {
             ChaosProxy::start(s.local_addr(), ChaosPlan::new(i as u64 + 1)).expect("bind proxy")
         })
         .collect();
-    let client_config = ClientConfig {
-        connect_timeout: Some(Duration::from_millis(500)),
-        read_timeout: Some(Duration::from_millis(300)),
-        write_timeout: Some(Duration::from_millis(300)),
-    };
+    let client_config = ClientConfig::builder()
+        .connect_timeout(Duration::from_millis(500))
+        .read_timeout(Duration::from_millis(300))
+        .write_timeout(Duration::from_millis(300))
+        .build();
     let config = RemoteConfig {
         hedge_delay: HEDGE_DELAY,
         attempt_timeout: ATTEMPT_TIMEOUT,

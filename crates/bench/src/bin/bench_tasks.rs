@@ -1,0 +1,163 @@
+//! Task-batching benchmark gate: repeated `indexObjects` ingest through
+//! the durable task queue, batched vs unbatched, writing
+//! `BENCH_tasks.json` for CI tracking.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p coupling-bench --release --bin bench_tasks            # full
+//! cargo run -p coupling-bench --release --bin bench_tasks -- --smoke
+//! ```
+//!
+//! The workload models a burst of redundant ingest requests: N clients
+//! each ask the server to (re-)run the same specification query over a
+//! generated corpus (~10^4 paragraphs in full mode). With batching on,
+//! the scheduler claims adjacent identical tasks as one batch and runs
+//! the indexing **once** per batch; with batching off every task pays
+//! the full corpus walk. The process exits nonzero and prints a line
+//! containing `REGRESSION` if batching fails to beat the unbatched
+//! drain by more than 2x, if any task fails, or if the batched run does
+//! not actually merge anything.
+
+use std::time::Instant;
+
+use coupling::tasks::{SchedulerConfig, TaskExecutor, TaskFilter, TaskKind, TaskQueue, TaskStatus};
+use coupling::{CollectionSetup, DocumentSystem, SharedSystem};
+use sgml::{CorpusConfig, CorpusGenerator};
+
+const TOPICS: usize = 6;
+const BATCH_MAX: usize = 32;
+const TASKS: usize = 12;
+
+/// One drain's results.
+struct Run {
+    batching: bool,
+    tasks: usize,
+    wall_us: u128,
+    batches: u64,
+    merged: u64,
+}
+
+/// A corpus system with an *empty* paragraph collection — the tasks
+/// under test perform the initial ingest themselves.
+fn build_system(docs: usize) -> DocumentSystem {
+    let mut generator = CorpusGenerator::new(CorpusConfig {
+        docs,
+        topics: TOPICS,
+        vocabulary: 400,
+        ..CorpusConfig::default()
+    });
+    let mut sys = DocumentSystem::new();
+    for doc in generator.generate_corpus() {
+        sys.load_generated(&doc).expect("corpus loads");
+    }
+    sys.create_collection("coll", CollectionSetup::builder().build())
+        .expect("fresh collection");
+    sys
+}
+
+/// Enqueue `tasks` identical ingest tasks, then drain them with one
+/// executor and report the wall clock of the drain alone.
+fn run_ingest(docs: usize, tasks: usize, batching: bool) -> Run {
+    let shared = SharedSystem::new(build_system(docs));
+    let queue = TaskQueue::open(None, tasks + 1, 16).expect("in-memory queue");
+    let kind = TaskKind::IndexObjects {
+        collection: "coll".into(),
+        spec_query: "ACCESS p FROM p IN PARA".into(),
+    };
+    for _ in 0..tasks {
+        queue.enqueue(kind.clone()).expect("enqueue");
+    }
+    let config = SchedulerConfig::builder()
+        .batch_max(BATCH_MAX)
+        .batching(batching)
+        .build();
+    let mut executor = TaskExecutor::new(shared, queue.clone(), config);
+    let t0 = Instant::now();
+    executor.drain();
+    let wall_us = t0.elapsed().as_micros();
+    let done = queue.list_tasks(&TaskFilter::default());
+    let failed = done
+        .iter()
+        .filter(|t| t.status != TaskStatus::Succeeded)
+        .count();
+    if failed > 0 {
+        eprintln!("REGRESSION: {failed} ingest tasks did not succeed");
+        std::process::exit(1);
+    }
+    let stats = queue.stats();
+    Run {
+        batching,
+        tasks,
+        wall_us,
+        batches: stats.batches,
+        merged: stats.merged,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    // Full mode: ~2000 docs x ~5.5 paragraphs ≈ 10^4 IRS documents.
+    let docs = if smoke { 30 } else { 2000 };
+
+    println!("bench_tasks: {TASKS} identical ingest tasks over {docs} docs, batch_max {BATCH_MAX}");
+    println!(
+        "{:>10} {:>6} {:>12} {:>8} {:>8}",
+        "batching", "tasks", "wall(us)", "batches", "merged"
+    );
+    let runs: Vec<Run> = [false, true]
+        .into_iter()
+        .map(|batching| {
+            let run = run_ingest(docs, TASKS, batching);
+            println!(
+                "{:>10} {:>6} {:>12} {:>8} {:>8}",
+                run.batching, run.tasks, run.wall_us, run.batches, run.merged
+            );
+            run
+        })
+        .collect();
+
+    let speedup = runs[0].wall_us as f64 / runs[1].wall_us.max(1) as f64;
+    println!("batching speedup: {speedup:.2}x");
+
+    // Hand-rolled JSON: the workspace deliberately carries no serde.
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"task_batching_ingest\",\n");
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if smoke { "smoke" } else { "full" }
+    ));
+    out.push_str(&format!("  \"docs\": {docs},\n"));
+    out.push_str(&format!("  \"batch_max\": {BATCH_MAX},\n"));
+    out.push_str("  \"runs\": [\n");
+    for (i, run) in runs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"batching\": {}, \"tasks\": {}, \"wall_us\": {}, \"batches\": {}, \
+             \"merged\": {}}}{}\n",
+            run.batching,
+            run.tasks,
+            run.wall_us,
+            run.batches,
+            run.merged,
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"speedup\": {speedup:.3}\n"));
+    out.push_str("}\n");
+
+    let path = std::path::Path::new("BENCH_tasks.json");
+    std::fs::write(path, &out).expect("write BENCH_tasks.json");
+    println!("wrote {}", path.display());
+
+    let batched = &runs[1];
+    if batched.merged == 0 {
+        eprintln!("REGRESSION: the batched drain merged nothing");
+        std::process::exit(1);
+    }
+    if speedup <= 2.0 {
+        eprintln!("REGRESSION: batching speedup {speedup:.2}x is not above 2x");
+        std::process::exit(1);
+    }
+}

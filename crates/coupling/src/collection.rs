@@ -418,6 +418,53 @@ impl Collection {
         Ok(oids.len())
     }
 
+    /// [`Collection::index_objects`] with the not-yet-represented
+    /// objects funnelled through one [`IrsCollection::add_documents`]
+    /// call, amortising analysis and snapshot work across the batch —
+    /// the execution path of merged `indexObjects` tasks
+    /// ([`crate::tasks`]). Results are identical to the one-at-a-time
+    /// path; already-represented objects still update individually.
+    pub fn index_objects_batch(&mut self, db: &Database, spec_query: &str) -> Result<usize> {
+        let rows = db.query(spec_query)?;
+        let mut oids = Vec::with_capacity(rows.len());
+        for row in &rows {
+            let oid = row.oid().ok_or_else(|| {
+                CouplingError::BadSpecQuery(format!(
+                    "specification query {spec_query:?} returned a non-object row"
+                ))
+            })?;
+            oids.push(oid);
+        }
+        self.spec_query = Some(spec_query.to_string());
+        let ctx = db.method_ctx();
+        let mut fresh: Vec<(Oid, (String, String))> = Vec::new();
+        let mut queued: std::collections::HashSet<Oid> = std::collections::HashSet::new();
+        for &oid in &oids {
+            if self.represented.contains(&oid) || !queued.insert(oid) {
+                // Already represented — or queued for the batch add just
+                // below, which must not see the same key twice.
+                if self.represented.contains(&oid) {
+                    self.index_one(&ctx, oid)?;
+                }
+                continue;
+            }
+            let text = self.text_mode.get_text(&ctx, oid);
+            fresh.push((oid, (oid.to_string(), text)));
+        }
+        if !fresh.is_empty() {
+            let docs: Vec<(String, String)> = fresh.iter().map(|(_, doc)| doc.clone()).collect();
+            retry::call(&self.retry, &self.breaker, &self.retry_stats, || {
+                self.irs.add_documents(&docs)
+            })?;
+            for (oid, _) in &fresh {
+                self.represented.insert(*oid);
+                CouplingCounters::bump(&self.stats.indexed_objects);
+            }
+        }
+        self.buffer.invalidate_all();
+        Ok(oids.len())
+    }
+
     /// Index (or re-index) a single object.
     fn index_one(&mut self, ctx: &MethodCtx<'_>, oid: Oid) -> Result<()> {
         let text = self.text_mode.get_text(ctx, oid);

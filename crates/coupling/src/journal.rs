@@ -50,6 +50,41 @@ fn io_err(e: std::io::Error) -> CouplingError {
     CouplingError::Irs(irs::IrsError::Io(e))
 }
 
+/// Serialise one raw payload as a CRC-framed record.
+fn raw_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + payload.len() + 4);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&irs::persist::crc32(payload).to_le_bytes());
+    out
+}
+
+/// Read the frame starting at `pos`, if a complete, CRC-valid one is
+/// there. Returns the payload slice and the offset just past the frame;
+/// `None` marks a torn/corrupt tail (or clean end of input).
+fn next_raw_frame(bytes: &[u8], pos: usize, max_payload: usize) -> Option<(&[u8], usize)> {
+    if pos + 4 > bytes.len() {
+        return None;
+    }
+    let mut len_bytes = [0u8; 4];
+    len_bytes.copy_from_slice(&bytes[pos..pos + 4]);
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len == 0 || len > max_payload {
+        return None;
+    }
+    let end = pos.checked_add(4 + len + 4)?;
+    if end > bytes.len() {
+        return None;
+    }
+    let payload = &bytes[pos + 4..pos + 4 + len];
+    let mut crc_bytes = [0u8; 4];
+    crc_bytes.copy_from_slice(&bytes[pos + 4 + len..end]);
+    if irs::persist::crc32(payload) != u32::from_le_bytes(crc_bytes) {
+        return None;
+    }
+    Some((payload, end))
+}
+
 fn encode_op(op: PendingOp) -> [u8; 9] {
     let (tag, oid) = match op {
         PendingOp::Insert(o) => (1u8, o),
@@ -78,12 +113,7 @@ fn decode_op(payload: &[u8]) -> Option<PendingOp> {
 }
 
 fn frame(op: PendingOp) -> Vec<u8> {
-    let payload = encode_op(op);
-    let mut out = Vec::with_capacity(4 + payload.len() + 4);
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(&payload);
-    out.extend_from_slice(&irs::persist::crc32(&payload).to_le_bytes());
-    out
+    raw_frame(&encode_op(op))
 }
 
 /// Parse the longest valid frame prefix of `bytes`; returns the decoded
@@ -91,26 +121,7 @@ fn frame(op: PendingOp) -> Vec<u8> {
 fn parse_frames(bytes: &[u8]) -> (Vec<PendingOp>, usize) {
     let mut ops = Vec::new();
     let mut pos = 0usize;
-    loop {
-        if pos + 4 > bytes.len() {
-            break;
-        }
-        let mut len_bytes = [0u8; 4];
-        len_bytes.copy_from_slice(&bytes[pos..pos + 4]);
-        let len = u32::from_le_bytes(len_bytes) as usize;
-        if len == 0 || len > MAX_PAYLOAD {
-            break;
-        }
-        let end = pos + 4 + len + 4;
-        if end > bytes.len() {
-            break;
-        }
-        let payload = &bytes[pos + 4..pos + 4 + len];
-        let mut crc_bytes = [0u8; 4];
-        crc_bytes.copy_from_slice(&bytes[pos + 4 + len..end]);
-        if irs::persist::crc32(payload) != u32::from_le_bytes(crc_bytes) {
-            break;
-        }
+    while let Some((payload, end)) = next_raw_frame(bytes, pos, MAX_PAYLOAD) {
         let Some(op) = decode_op(payload) else { break };
         ops.push(op);
         pos = end;
@@ -365,6 +376,161 @@ impl Journal {
     }
 }
 
+// ---------------------------------------------------------------------
+// Raw record log
+// ---------------------------------------------------------------------
+
+/// An append-only, checksummed, fsynced file of *opaque* records —
+/// the same `[len][payload][crc32]` framing [`Journal`] uses for
+/// propagation operations, generalised so other subsystems (the update
+/// task ledger in [`crate::tasks`]) can persist their own record types
+/// without reinventing torn-tail recovery.
+///
+/// Differences from [`Journal`]: payloads are caller-defined byte
+/// strings with a caller-chosen size cap (task records carry document
+/// text, so the 9-byte operation cap does not apply), and every append
+/// is made durable immediately — a task ledger records state
+/// *transitions*, which are few and must not be lost.
+///
+/// The framing is byte-compatible: replay stops at the first torn or
+/// corrupt frame and truncates the file back to the last consistent
+/// prefix, exactly like the propagation journal. A pre-existing file
+/// written by an older version simply replays whatever records it
+/// holds; an absent file opens empty.
+#[derive(Debug)]
+pub struct RecordLog {
+    path: PathBuf,
+    file: File,
+    records: u64,
+    max_payload: usize,
+}
+
+impl RecordLog {
+    /// Open (or create) the record log at `path`, replaying surviving
+    /// records. A torn or corrupt tail is truncated away; the returned
+    /// payloads are the log's last consistent state in append order.
+    /// `max_payload` bounds accepted record sizes on both read and
+    /// write — a declared length above it marks corruption.
+    pub fn open(path: &Path, max_payload: usize) -> Result<(RecordLog, Vec<Vec<u8>>)> {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(io_err(e)),
+        };
+        let mut records = Vec::new();
+        let mut valid_len = 0usize;
+        while let Some((payload, end)) = next_raw_frame(&bytes, valid_len, max_payload) {
+            records.push(payload.to_vec());
+            valid_len = end;
+        }
+        if valid_len < bytes.len() {
+            let f = OpenOptions::new().write(true).open(path).map_err(io_err)?;
+            f.set_len(valid_len as u64).map_err(io_err)?;
+            f.sync_all().map_err(io_err)?;
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(io_err)?;
+        let log = RecordLog {
+            path: path.to_path_buf(),
+            file,
+            records: records.len() as u64,
+            max_payload,
+        };
+        Ok((log, records))
+    }
+
+    /// The log's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records currently in the file.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    fn check_len(&self, payload: &[u8]) -> Result<()> {
+        if payload.is_empty() || payload.len() > self.max_payload {
+            return Err(io_err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "record payload of {} bytes outside (0, {}]",
+                    payload.len(),
+                    self.max_payload
+                ),
+            )));
+        }
+        Ok(())
+    }
+
+    /// Durably append one record: written, flushed, and fsynced before
+    /// this returns.
+    pub fn append(&mut self, payload: &[u8]) -> Result<()> {
+        self.append_batch(std::slice::from_ref(&payload))
+    }
+
+    /// Durably append several records with **one** `sync_data` — the
+    /// group-commit path for multi-record transitions (e.g. marking a
+    /// whole task batch started).
+    pub fn append_batch<P: AsRef<[u8]>>(&mut self, payloads: &[P]) -> Result<()> {
+        if payloads.is_empty() {
+            return Ok(());
+        }
+        let mut out = Vec::new();
+        for p in payloads {
+            let p = p.as_ref();
+            self.check_len(p)?;
+            out.extend_from_slice(&raw_frame(p));
+        }
+        self.file.write_all(&out).map_err(io_err)?;
+        self.file.sync_data().map_err(io_err)?;
+        self.records += payloads.len() as u64;
+        Ok(())
+    }
+
+    /// Atomically replace the log's contents with exactly `payloads`
+    /// (compaction). Temp file + fsync + rename, so a crash leaves
+    /// either the old or the new log.
+    pub fn rewrite<P: AsRef<[u8]>>(&mut self, payloads: &[P]) -> Result<()> {
+        let mut out = Vec::new();
+        for p in payloads {
+            self.check_len(p.as_ref())?;
+            out.extend_from_slice(&raw_frame(p.as_ref()));
+        }
+        let file_name = self.path.file_name().ok_or_else(|| {
+            io_err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("record log path {} has no file name", self.path.display()),
+            ))
+        })?;
+        let mut tmp_name = file_name.to_os_string();
+        tmp_name.push(".tmp");
+        let tmp = self.path.with_file_name(tmp_name);
+        {
+            let mut f = File::create(&tmp).map_err(io_err)?;
+            f.write_all(&out).map_err(io_err)?;
+            f.sync_all().map_err(io_err)?;
+        }
+        std::fs::rename(&tmp, &self.path).map_err(io_err)?;
+        if let Some(parent) = self.path.parent() {
+            if !parent.as_os_str().is_empty() {
+                if let Ok(dir) = File::open(parent) {
+                    let _ = dir.sync_all();
+                }
+            }
+        }
+        self.file = OpenOptions::new()
+            .append(true)
+            .open(&self.path)
+            .map_err(io_err)?;
+        self.records = payloads.len() as u64;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -556,5 +722,61 @@ mod tests {
         assert!(replayed.is_empty());
         assert_eq!(j.frames(), 0);
         assert!(path.exists(), "open creates the file");
+    }
+
+    #[test]
+    fn record_log_round_trip_and_torn_tail() {
+        let path = tmp("records.log");
+        {
+            let (mut log, replayed) = RecordLog::open(&path, 1024).unwrap();
+            assert!(replayed.is_empty());
+            log.append(b"alpha").unwrap();
+            log.append_batch(&[b"beta".as_slice(), b"gamma".as_slice()])
+                .unwrap();
+            assert_eq!(log.records(), 3);
+        }
+        {
+            let (_, replayed) = RecordLog::open(&path, 1024).unwrap();
+            assert_eq!(
+                replayed,
+                vec![b"alpha".to_vec(), b"beta".to_vec(), b"gamma".to_vec()]
+            );
+        }
+        // Tear into the last record; the prefix survives.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 2]).unwrap();
+        let (log, replayed) = RecordLog::open(&path, 1024).unwrap();
+        assert_eq!(replayed, vec![b"alpha".to_vec(), b"beta".to_vec()]);
+        assert_eq!(log.records(), 2);
+    }
+
+    #[test]
+    fn record_log_rejects_oversize_and_empty_payloads() {
+        let path = tmp("records_cap.log");
+        let (mut log, _) = RecordLog::open(&path, 8).unwrap();
+        assert!(
+            log.append(b"123456789").is_err(),
+            "9 bytes over an 8-byte cap"
+        );
+        assert!(log.append(b"").is_err(), "empty payloads are unframeable");
+        assert!(log.append(b"12345678").is_ok());
+        // A record over the reader's cap stops replay there.
+        let (_, replayed) = RecordLog::open(&path, 4).unwrap();
+        assert!(replayed.is_empty());
+    }
+
+    #[test]
+    fn record_log_rewrite_compacts() {
+        let path = tmp("records_rewrite.log");
+        let (mut log, _) = RecordLog::open(&path, 64).unwrap();
+        for i in 0..10u8 {
+            log.append(&[i + 1]).unwrap();
+        }
+        log.rewrite(&[b"only".as_slice()]).unwrap();
+        assert_eq!(log.records(), 1);
+        log.append(b"after").unwrap();
+        drop(log);
+        let (_, replayed) = RecordLog::open(&path, 64).unwrap();
+        assert_eq!(replayed, vec![b"only".to_vec(), b"after".to_vec()]);
     }
 }

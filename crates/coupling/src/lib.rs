@@ -67,6 +67,7 @@ pub mod retry;
 pub mod shared;
 mod stale;
 pub mod system;
+pub mod tasks;
 pub mod textmode;
 
 pub use buffer::ResultBuffer;
@@ -77,15 +78,19 @@ pub use derive::DerivationScheme;
 pub use error::{CouplingError, Error, ErrorKind, Result};
 pub use granularity::GranularityPolicy;
 pub use handle::{CollectionMut, CollectionRef};
-pub use journal::{Journal, SyncPolicy};
+pub use journal::{Journal, RecordLog, SyncPolicy};
 pub use mixed::{evaluate_mixed, MixedOutcome, MixedStrategy};
 pub use partition::{PartitionConfig, PartitionStats, PartitionedIrs};
-pub use persist::{journal_path, open_system, save_system};
+pub use persist::{journal_path, open_system, save_system, tasks_ledger_path};
 pub use propagate::{PendingOp, PropagationStrategy, Propagator};
 pub use remote::{RemoteConfig, RemoteIrs, RemoteStats, ReplicaHealth, ReplicaTransport};
 pub use retry::{BreakerConfig, BreakerStats, CircuitBreaker, RetryPolicy, RetryStats};
 pub use shared::SharedSystem;
 pub use system::DocumentSystem;
+pub use tasks::{
+    Scheduler, SchedulerConfig, SchedulerConfigBuilder, Task, TaskEvent, TaskExecutor, TaskFilter,
+    TaskId, TaskKind, TaskQueue, TaskQueueStats, TaskStatus, TaskStatusKind, TaskSubscriber,
+};
 pub use textmode::TextMode;
 
 /// One-stop import for applications: `use coupling::prelude::*;` brings
@@ -104,11 +109,15 @@ pub mod prelude {
     pub use crate::journal::SyncPolicy;
     pub use crate::mixed::{evaluate_mixed, MixedOutcome, MixedStrategy};
     pub use crate::partition::{PartitionConfig, PartitionStats, PartitionedIrs};
-    pub use crate::persist::{journal_path, open_system, save_system};
+    pub use crate::persist::{journal_path, open_system, save_system, tasks_ledger_path};
     pub use crate::propagate::{PendingOp, PropagationStrategy, Propagator};
     pub use crate::remote::{RemoteConfig, RemoteIrs, RemoteStats, ReplicaTransport};
     pub use crate::retry::{BreakerConfig, RetryPolicy};
     pub use crate::shared::SharedSystem;
     pub use crate::system::DocumentSystem;
+    pub use crate::tasks::{
+        Scheduler, SchedulerConfig, Task, TaskEvent, TaskFilter, TaskId, TaskKind, TaskQueue,
+        TaskStatus, TaskStatusKind,
+    };
     pub use crate::textmode::TextMode;
 }

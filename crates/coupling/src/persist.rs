@@ -44,6 +44,14 @@ pub fn journal_path(dir: &Path, name: &str) -> PathBuf {
     dir.join("collections").join(format!("{name}.journal"))
 }
 
+/// The update-task ledger under system directory `dir` — where
+/// [`crate::tasks::Scheduler`] persists every task's lifecycle so
+/// mutations survive crashes (same CRC framing as the propagation
+/// journals, different record vocabulary; see [`crate::tasks`]).
+pub fn tasks_ledger_path(dir: &Path) -> PathBuf {
+    dir.join("tasks.ledger")
+}
+
 const META_VERSION: &str = "coupling-meta-v1";
 
 fn mode_to_meta(mode: &TextMode) -> Result<String> {

@@ -199,6 +199,37 @@ impl DocumentSystem {
         Ok(())
     }
 
+    /// Batched [`DocumentSystem::update_text`]: apply several text
+    /// replacements in one transaction, then record the affected objects
+    /// with each collection's propagator via
+    /// [`crate::propagate::Propagator::record_batch`] (one journal sync
+    /// per collection instead of one per modification). Used by the task
+    /// scheduler when adjacent update tasks merge into a batch.
+    pub fn update_texts(
+        &mut self,
+        updates: &[(Oid, String)],
+        targets: &mut [(&str, &mut crate::propagate::Propagator)],
+    ) -> Result<()> {
+        let mut txn = self.db.begin();
+        for (oid, new_text) in updates {
+            self.db
+                .set_attr(&mut txn, *oid, "text", Value::from(new_text.as_str()))?;
+        }
+        self.db.commit(txn)?;
+        for (name, propagator) in targets.iter_mut() {
+            let mut coll = self.collection_mut(name)?;
+            let ctx = coll.db().method_ctx();
+            let mut ops = Vec::new();
+            for (oid, _) in updates {
+                for affected in coll.affected_by_text_change(&ctx, *oid) {
+                    ops.push(crate::propagate::PendingOp::Modify(affected));
+                }
+            }
+            propagator.record_batch(&ctx, &mut coll, &ops)?;
+        }
+        Ok(())
+    }
+
     /// The underlying database (read-only).
     pub fn db(&self) -> &Database {
         &self.db

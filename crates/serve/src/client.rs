@@ -9,8 +9,9 @@
 use std::fmt;
 use std::io::{self, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use coupling::tasks::{Task, TaskFilter, TaskId, TaskKind};
 use coupling::ErrorKind;
 
 use crate::request::{Request, Response};
@@ -114,6 +115,47 @@ impl Default for ClientConfig {
     }
 }
 
+impl ClientConfig {
+    /// Start building a configuration from the defaults — the
+    /// counterpart of [`crate::ServerConfig::builder`].
+    pub fn builder() -> ClientConfigBuilder {
+        ClientConfigBuilder {
+            config: ClientConfig::default(),
+        }
+    }
+}
+
+/// Fluent builder for [`ClientConfig`].
+#[derive(Debug, Clone)]
+pub struct ClientConfigBuilder {
+    config: ClientConfig,
+}
+
+impl ClientConfigBuilder {
+    /// Bound the TCP connect; `None` blocks at the OS's discretion.
+    pub fn connect_timeout(mut self, t: impl Into<Option<Duration>>) -> Self {
+        self.config.connect_timeout = t.into();
+        self
+    }
+
+    /// Bound each blocking read of the response stream.
+    pub fn read_timeout(mut self, t: impl Into<Option<Duration>>) -> Self {
+        self.config.read_timeout = t.into();
+        self
+    }
+
+    /// Bound each blocking socket write.
+    pub fn write_timeout(mut self, t: impl Into<Option<Duration>>) -> Self {
+        self.config.write_timeout = t.into();
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> ClientConfig {
+        self.config
+    }
+}
+
 /// A blocking connection to a [`crate::NetServer`].
 pub struct Client {
     reader: BufReader<TcpStream>,
@@ -194,6 +236,81 @@ impl Client {
             )))),
             None => Err(ClientError::ConnectionClosed),
         }
+    }
+
+    /// Durably enqueue a mutation and return its task id immediately
+    /// (the 202-accepted write model). Track it with
+    /// [`Client::task_status`] or [`Client::wait_for_task`].
+    pub fn enqueue(&mut self, kind: TaskKind) -> Result<TaskId, ClientError> {
+        match self.call(&Request::EnqueueTask { kind })? {
+            Response::TaskAccepted(id) => Ok(id),
+            other => Err(ClientError::Wire(WireError::Malformed(format!(
+                "expected TaskAccepted, got {other:?}"
+            )))),
+        }
+    }
+
+    /// Look up one task by id. Unknown ids answer a 404 fault.
+    pub fn task_status(&mut self, id: TaskId) -> Result<Task, ClientError> {
+        match self.call(&Request::TaskStatus { id })? {
+            Response::TaskInfo(task) => Ok(task),
+            other => Err(ClientError::Wire(WireError::Malformed(format!(
+                "expected TaskInfo, got {other:?}"
+            )))),
+        }
+    }
+
+    /// List tasks matching `filter`, ascending by id.
+    pub fn list_tasks(&mut self, filter: TaskFilter) -> Result<Vec<Task>, ClientError> {
+        match self.call(&Request::ListTasks { filter })? {
+            Response::TaskList(tasks) => Ok(tasks),
+            other => Err(ClientError::Wire(WireError::Malformed(format!(
+                "expected TaskList, got {other:?}"
+            )))),
+        }
+    }
+
+    /// Poll until task `id` reaches a terminal status (succeeded or
+    /// failed — inspect the returned task) or `timeout` elapses, backing
+    /// off between probes. Timeout surfaces as a wire I/O error
+    /// classifying as [`ErrorKind::Timeout`].
+    pub fn wait_for_task(&mut self, id: TaskId, timeout: Duration) -> Result<Task, ClientError> {
+        let start = Instant::now();
+        let mut backoff = Duration::from_millis(1);
+        loop {
+            let task = self.task_status(id)?;
+            if task.status.is_terminal() {
+                return Ok(task);
+            }
+            if start.elapsed() >= timeout {
+                return Err(ClientError::Wire(WireError::Io(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("task {id} not terminal within {timeout:?}"),
+                ))));
+            }
+            std::thread::sleep(backoff.min(timeout.saturating_sub(start.elapsed())));
+            backoff = (backoff * 2).min(Duration::from_millis(50));
+        }
+    }
+
+    /// Enqueue a mutation and block until it executes — the convenience
+    /// that replaces the deprecated synchronous write requests. A task
+    /// that executed but failed comes back as a synthesized
+    /// [`ClientError::Remote`] fault carrying the task's error.
+    pub fn write_and_wait(
+        &mut self,
+        kind: TaskKind,
+        timeout: Duration,
+    ) -> Result<Task, ClientError> {
+        let id = self.enqueue(kind)?;
+        let task = self.wait_for_task(id, timeout)?;
+        if let coupling::tasks::TaskStatus::Failed { error } = &task.status {
+            return Err(ClientError::Remote(WireFault {
+                status: Status::Internal,
+                message: format!("task {id} failed: {error}"),
+            }));
+        }
+        Ok(task)
     }
 }
 

@@ -13,8 +13,15 @@
 //!   `getIRSValue`) and its update surface (text modification with
 //!   propagation, `indexObjects`).
 //! * **Thread-pool execution** — reads fan out across a worker pool
-//!   under the system's shared read lock; writes serialise through one
-//!   writer lane that owns the update [`coupling::Propagator`]s.
+//!   under the system's shared read lock; writes become durable
+//!   [`coupling::tasks`] entries executed by the scheduler's single
+//!   executor thread, which owns the update [`coupling::Propagator`]s
+//!   and merges adjacent compatible tasks into shared batches.
+//! * **Asynchronous writes** — [`Request::EnqueueTask`] answers
+//!   immediately with a task id (wire status 202); progress is observed
+//!   via [`Request::TaskStatus`] / [`Request::ListTasks`] or awaited
+//!   with [`Client::write_and_wait`]. The old synchronous write shapes
+//!   are deprecated and now ride the same queue.
 //! * **Admission control** — bounded queues reject excess load
 //!   immediately ([`coupling::ErrorKind::Overloaded`]) instead of
 //!   building unbounded backlogs.
@@ -65,11 +72,11 @@ pub mod server;
 pub mod wire;
 
 pub use chaos::{ChaosMode, ChaosPlan, ChaosProxy};
-pub use client::{Client, ClientConfig, ClientError};
+pub use client::{Client, ClientConfig, ClientConfigBuilder, ClientError};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use net::NetServer;
 pub use queue::{BoundedQueue, PushError};
 pub use replica::{ReplicaServer, WireTransport};
 pub use request::{Request, Response};
-pub use server::{Server, ServerConfig, Ticket};
+pub use server::{Server, ServerConfig, ServerConfigBuilder, Ticket};
 pub use wire::{Status, WireError, WireFault};

@@ -119,6 +119,14 @@ impl Metrics {
             origin_buffered: self.origin_buffered.load(Ordering::Relaxed),
             origin_stale: self.origin_stale.load(Ordering::Relaxed),
             origin_none: self.origin_none.load(Ordering::Relaxed),
+            // Task counters live in the scheduler, not here; the server
+            // overlays them via `with_tasks`.
+            tasks_rejected: 0,
+            tasks_failed: 0,
+            tasks_succeeded: 0,
+            task_batches: 0,
+            tasks_merged: 0,
+            task_queue_depth: 0,
             p50_us: percentile(&buckets, completed, 0.50),
             p90_us: percentile(&buckets, completed, 0.90),
             p99_us: percentile(&buckets, completed, 0.99),
@@ -129,6 +137,20 @@ impl Metrics {
                 self.latency_sum_us.load(Ordering::Relaxed) as f64 / completed as f64
             },
         }
+    }
+}
+
+impl MetricsSnapshot {
+    /// Overlay the task scheduler's counters (zero when the server has
+    /// no scheduler, i.e. a read-only replica).
+    pub(crate) fn with_tasks(mut self, stats: coupling::tasks::TaskQueueStats) -> MetricsSnapshot {
+        self.tasks_rejected = stats.rejected;
+        self.tasks_failed = stats.failed;
+        self.tasks_succeeded = stats.succeeded;
+        self.task_batches = stats.batches;
+        self.tasks_merged = stats.merged;
+        self.task_queue_depth = stats.depth;
+        self
     }
 }
 
@@ -175,6 +197,22 @@ pub struct MetricsSnapshot {
     /// probes). `origin_fresh + origin_buffered + origin_stale +
     /// origin_none == completed` always holds.
     pub origin_none: u64,
+    /// Update tasks refused **at enqueue** (queue full or shutting
+    /// down) — admission failures, before any work ran.
+    pub tasks_rejected: u64,
+    /// Update tasks that ran and **failed at execute** — distinct from
+    /// `tasks_rejected` so overload and execution trouble are separable.
+    pub tasks_failed: u64,
+    /// Update tasks that ran and succeeded.
+    pub tasks_succeeded: u64,
+    /// Execution batches the scheduler claimed.
+    pub task_batches: u64,
+    /// Tasks that rode a batch beyond its head (executions saved by
+    /// adjacent-task merging).
+    pub tasks_merged: u64,
+    /// Tasks currently enqueued or processing — the queue-depth gauge
+    /// that makes overload visible *before* `Overloaded` fires.
+    pub task_queue_depth: u64,
     /// Median latency upper bound, microseconds.
     pub p50_us: u64,
     /// 90th-percentile latency upper bound, microseconds.

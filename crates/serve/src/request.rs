@@ -6,6 +6,7 @@
 //! enum (rather than closures) is what lets requests cross thread —
 //! and eventually process/network — boundaries.
 
+use coupling::tasks::{Task, TaskFilter, TaskId, TaskKind};
 use coupling::{MixedStrategy, ResultOrigin};
 use irs::QueryGlobals;
 use oodb::Oid;
@@ -47,7 +48,9 @@ pub enum Request {
         oid: Oid,
     },
     /// Replace an object's text and propagate the modification to the
-    /// named collections (write lane).
+    /// named collections, blocking until the write executes.
+    #[deprecated(note = "synchronous write shape — use Request::EnqueueTask with \
+                TaskKind::UpdateText (or Client::write_and_wait) instead")]
     UpdateText {
         /// The object whose `text` attribute changes.
         oid: Oid,
@@ -56,7 +59,10 @@ pub enum Request {
         /// Collections whose propagators must record the change.
         collections: Vec<String>,
     },
-    /// Run `indexObjects` with a specification query (write lane).
+    /// Run `indexObjects` with a specification query, blocking until the
+    /// write executes.
+    #[deprecated(note = "synchronous write shape — use Request::EnqueueTask with \
+                TaskKind::IndexObjects (or Client::write_and_wait) instead")]
     IndexObjects {
         /// Target collection name.
         collection: String,
@@ -92,19 +98,41 @@ pub enum Request {
         /// Merged corpus statistics from every partition.
         globals: QueryGlobals,
     },
+    /// Durably enqueue a mutation as an update task and return its id
+    /// immediately ([`Response::TaskAccepted`], wire status 202) — the
+    /// task-handle write model that replaces the synchronous write
+    /// shapes. Progress is observed via [`Request::TaskStatus`] /
+    /// [`Request::ListTasks`].
+    EnqueueTask {
+        /// The mutation to enqueue.
+        kind: TaskKind,
+    },
+    /// Look up one task by id ([`Response::TaskInfo`]; unknown ids
+    /// answer 404).
+    TaskStatus {
+        /// The task id returned by [`Response::TaskAccepted`].
+        id: TaskId,
+    },
+    /// List tasks matching a filter ([`Response::TaskList`]).
+    ListTasks {
+        /// Status/collection predicate; empty matches all.
+        filter: TaskFilter,
+    },
 }
 
 impl Request {
-    /// True for requests that mutate the system — these serialise
-    /// through the dedicated writer lane.
+    /// True for requests that mutate the system — these funnel into the
+    /// task scheduler (and are refused outright on read-only replicas).
+    #[allow(deprecated)]
     pub fn is_write(&self) -> bool {
         matches!(
             self,
-            Request::UpdateText { .. } | Request::IndexObjects { .. }
+            Request::UpdateText { .. } | Request::IndexObjects { .. } | Request::EnqueueTask { .. }
         )
     }
 
     /// Short label for metrics/debugging.
+    #[allow(deprecated)]
     pub fn label(&self) -> &'static str {
         match self {
             Request::IrsQuery { .. } => "irs_query",
@@ -115,6 +143,9 @@ impl Request {
             Request::Ping => "ping",
             Request::TermStats { .. } => "term_stats",
             Request::IrsQueryGlobal { .. } => "irs_query_global",
+            Request::EnqueueTask { .. } => "enqueue_task",
+            Request::TaskStatus { .. } => "task_status",
+            Request::ListTasks { .. } => "list_tasks",
         }
     }
 }
@@ -163,6 +194,14 @@ pub enum Response {
         /// `(IRS document key, score)` pairs.
         hits: Vec<(String, f64)>,
     },
+    /// The task was durably enqueued (202-style accepted); poll
+    /// [`Request::TaskStatus`] or wait for it with
+    /// [`crate::client::Client::wait_for_task`].
+    TaskAccepted(TaskId),
+    /// The answer to [`Request::TaskStatus`].
+    TaskInfo(Task),
+    /// The answer to [`Request::ListTasks`], ascending by task id.
+    TaskList(Vec<Task>),
 }
 
 #[cfg(test)]
@@ -170,6 +209,26 @@ mod tests {
     use super::*;
 
     #[test]
+    fn task_requests_classify() {
+        let enqueue = Request::EnqueueTask {
+            kind: TaskKind::Flush {
+                collection: "c".into(),
+            },
+        };
+        assert!(enqueue.is_write(), "enqueue mutates — replicas refuse it");
+        assert_eq!(enqueue.label(), "enqueue_task");
+        let status = Request::TaskStatus { id: 7 };
+        assert!(!status.is_write(), "status probe is a read");
+        assert_eq!(status.label(), "task_status");
+        let list = Request::ListTasks {
+            filter: TaskFilter::default(),
+        };
+        assert!(!list.is_write(), "listing is a read");
+        assert_eq!(list.label(), "list_tasks");
+    }
+
+    #[test]
+    #[allow(deprecated)]
     fn write_classification() {
         assert!(!Request::IrsQuery {
             collection: "c".into(),

@@ -1,38 +1,40 @@
 //! The request front-end: thread pool, admission control, deadlines,
 //! graceful shutdown.
 //!
-//! A [`Server`] owns a [`coupling::SharedSystem`] plus two bounded
-//! queues. **Reads** ([`Request::is_write`] == false) fan out across
-//! `read_workers` threads, each executing under the system's shared
-//! read lock so queries overlap. **Writes** serialise through one
-//! dedicated writer lane that owns the per-collection update
-//! [`Propagator`]s — there is exactly one mutator, so propagation logs
-//! never race.
+//! A [`Server`] owns a [`coupling::SharedSystem`] plus a bounded read
+//! queue and a durable task scheduler. **Reads** ([`Request::is_write`]
+//! == false) fan out across `read_workers` threads, each executing
+//! under the system's shared read lock so queries overlap. **Writes**
+//! become [`coupling::tasks`] entries: durably enqueued (journaled when
+//! the server has a journal directory), executed by the scheduler's
+//! single executor thread — there is exactly one mutator, so
+//! propagation logs never race — and merged with adjacent compatible
+//! tasks into shared batches. [`Request::EnqueueTask`] answers
+//! immediately with the task id (202-accepted style); the deprecated
+//! synchronous write shapes still block until their task executes, via
+//! a completion waiter on the queue.
 //!
 //! Admission control is reject-not-queue: a full queue fails the
 //! request immediately with [`CouplingError::Overloaded`], keeping
-//! tail latency bounded under overload. Each request may carry a
-//! deadline; one that expires while still queued is failed with
-//! [`CouplingError::Timeout`] *without* executing (the work would be
-//! wasted — the client has given up). Per-call retry/breaker behaviour
-//! is unchanged: it lives inside the collection the request lands on.
+//! tail latency bounded under overload. Each read may carry a deadline;
+//! one that expires while still queued is failed with
+//! [`CouplingError::Timeout`] *without* executing. Deadlines do not
+//! apply to enqueued tasks — once durably accepted, a task always runs.
 //!
-//! Shutdown is graceful: queues close (new work is rejected with
-//! [`CouplingError::ShuttingDown`]), workers drain everything already
-//! admitted, and the writer lane flushes every propagation log —
-//! journaled if the server was configured with a journal directory —
-//! before its thread exits.
+//! Shutdown is graceful: the read queue closes (new work is rejected
+//! with [`CouplingError::ShuttingDown`]), workers drain everything
+//! already admitted, and the scheduler drains every admitted task and
+//! flushes every propagation log before its thread exits.
 
-use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use coupling::tasks::{Scheduler, SchedulerConfig, TaskKind, TaskQueue, TaskWaiter};
 use coupling::{
-    evaluate_mixed, journal_path, CouplingError, DocumentSystem, PropagationStrategy, Propagator,
-    ResultOrigin, SharedSystem,
+    evaluate_mixed, CouplingError, DocumentSystem, PropagationStrategy, ResultOrigin, SharedSystem,
 };
 use oodb::Oid;
 
@@ -45,21 +47,27 @@ use crate::request::{Request, Response};
 pub struct ServerConfig {
     /// Concurrent read-executing threads.
     pub read_workers: usize,
-    /// Admission limit of *each* queue (read lane and write lane).
+    /// Admission limit of the read queue and of the task queue.
     pub queue_capacity: usize,
     /// Deadline applied to requests submitted without an explicit one.
     /// `None` means such requests never time out.
     pub default_deadline: Option<Duration>,
-    /// Update propagation strategy for the writer lane's propagators.
+    /// Update propagation strategy for the scheduler's propagators.
     pub propagation: PropagationStrategy,
-    /// When set, each collection's propagation log is durably journaled
-    /// under this directory ([`coupling::journal_path`]).
+    /// When set, the task ledger and each collection's propagation log
+    /// are durably journaled under this directory
+    /// ([`coupling::tasks_ledger_path`], [`coupling::journal_path`]).
     pub journal_dir: Option<PathBuf>,
     /// Serve reads only: write requests are rejected at admission with
-    /// [`irs::IrsError::ReadOnly`] instead of entering the write lane.
-    /// This is how a replica refuses to fork its frozen snapshot from
-    /// the primary.
+    /// [`irs::IrsError::ReadOnly`] and no scheduler (or ledger file) is
+    /// created. This is how a replica refuses to fork its frozen
+    /// snapshot from the primary.
     pub read_only: bool,
+    /// Most tasks merged into one scheduler execution batch.
+    pub batch_max: usize,
+    /// Merge adjacent compatible tasks (disable for the unbatched
+    /// baseline benchmarks compare against).
+    pub batching: bool,
 }
 
 impl Default for ServerConfig {
@@ -71,18 +79,28 @@ impl Default for ServerConfig {
             propagation: PropagationStrategy::Eager,
             journal_dir: None,
             read_only: false,
+            batch_max: 32,
+            batching: true,
         }
     }
 }
 
 impl ServerConfig {
+    /// Start building a configuration from the defaults — the
+    /// counterpart of [`coupling::CollectionSetup::builder`].
+    pub fn builder() -> ServerConfigBuilder {
+        ServerConfigBuilder {
+            config: ServerConfig::default(),
+        }
+    }
+
     /// Set the number of read worker threads (min 1).
     pub fn read_workers(mut self, n: usize) -> Self {
         self.read_workers = n.max(1);
         self
     }
 
-    /// Set the per-lane queue capacity (min 1).
+    /// Set the per-queue capacity (min 1).
     pub fn queue_capacity(mut self, n: usize) -> Self {
         self.queue_capacity = n.max(1);
         self
@@ -94,13 +112,13 @@ impl ServerConfig {
         self
     }
 
-    /// Set the writer lane's propagation strategy.
+    /// Set the scheduler's propagation strategy.
     pub fn propagation(mut self, strategy: PropagationStrategy) -> Self {
         self.propagation = strategy;
         self
     }
 
-    /// Journal propagation logs under `dir`.
+    /// Journal the task ledger and propagation logs under `dir`.
     pub fn journal_dir(mut self, dir: impl AsRef<Path>) -> Self {
         self.journal_dir = Some(dir.as_ref().to_path_buf());
         self
@@ -110,6 +128,93 @@ impl ServerConfig {
     pub fn read_only(mut self, read_only: bool) -> Self {
         self.read_only = read_only;
         self
+    }
+
+    /// Set the largest execution batch (min 1).
+    pub fn batch_max(mut self, n: usize) -> Self {
+        self.batch_max = n.max(1);
+        self
+    }
+
+    /// Enable or disable adjacent-task merging.
+    pub fn batching(mut self, on: bool) -> Self {
+        self.batching = on;
+        self
+    }
+
+    fn scheduler_config(&self) -> SchedulerConfig {
+        let mut builder = SchedulerConfig::builder()
+            .queue_capacity(self.queue_capacity)
+            .batch_max(self.batch_max)
+            .batching(self.batching)
+            .propagation(self.propagation);
+        if let Some(dir) = &self.journal_dir {
+            builder = builder.journal_dir(dir);
+        }
+        builder.build()
+    }
+}
+
+/// Fluent builder for [`ServerConfig`]. The config's own chainable
+/// setters remain for in-place tweaking; the builder is the canonical
+/// construction path (no field-struct literals at call sites).
+#[derive(Debug, Clone)]
+pub struct ServerConfigBuilder {
+    config: ServerConfig,
+}
+
+impl ServerConfigBuilder {
+    /// Set the number of read worker threads (min 1).
+    pub fn read_workers(mut self, n: usize) -> Self {
+        self.config = self.config.read_workers(n);
+        self
+    }
+
+    /// Set the per-queue capacity (min 1).
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        self.config = self.config.queue_capacity(n);
+        self
+    }
+
+    /// Set the default per-request deadline.
+    pub fn default_deadline(mut self, d: Duration) -> Self {
+        self.config = self.config.default_deadline(d);
+        self
+    }
+
+    /// Set the scheduler's propagation strategy.
+    pub fn propagation(mut self, strategy: PropagationStrategy) -> Self {
+        self.config = self.config.propagation(strategy);
+        self
+    }
+
+    /// Journal the task ledger and propagation logs under `dir`.
+    pub fn journal_dir(mut self, dir: impl AsRef<Path>) -> Self {
+        self.config = self.config.journal_dir(dir);
+        self
+    }
+
+    /// Refuse write requests (replica mode).
+    pub fn read_only(mut self, read_only: bool) -> Self {
+        self.config = self.config.read_only(read_only);
+        self
+    }
+
+    /// Set the largest execution batch (min 1).
+    pub fn batch_max(mut self, n: usize) -> Self {
+        self.config = self.config.batch_max(n);
+        self
+    }
+
+    /// Enable or disable adjacent-task merging.
+    pub fn batching(mut self, on: bool) -> Self {
+        self.config = self.config.batching(on);
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> ServerConfig {
+        self.config
     }
 }
 
@@ -213,7 +318,10 @@ struct Job {
 
 struct ServerState {
     read_queue: BoundedQueue<Job>,
-    write_queue: BoundedQueue<Job>,
+    /// The scheduler's queue handle — `None` on read-only replicas.
+    /// Read workers answer [`Request::TaskStatus`]/[`Request::ListTasks`]
+    /// from it without touching the document system.
+    task_queue: Option<TaskQueue>,
     metrics: Metrics,
 }
 
@@ -222,6 +330,7 @@ pub struct Server {
     shared: SharedSystem,
     state: Arc<ServerState>,
     config: ServerConfig,
+    scheduler: Option<Scheduler>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -232,43 +341,43 @@ impl Server {
     }
 
     /// Serve an already-shared system (other handles keep direct
-    /// access; the server's writer lane still assumes it is the only
+    /// access; the server's scheduler still assumes it is the only
     /// writer of propagation state).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a configured journal directory cannot be created or
+    /// its task ledger cannot be opened — durability was requested and
+    /// is not available, which is not a condition to serve through.
     pub fn start_shared(shared: SharedSystem, config: ServerConfig) -> Server {
+        let scheduler = if config.read_only {
+            None
+        } else {
+            Some(
+                Scheduler::start(shared.clone(), config.scheduler_config())
+                    .expect("task ledger opens under the configured journal directory"),
+            )
+        };
         let state = Arc::new(ServerState {
             read_queue: BoundedQueue::new(config.queue_capacity),
-            write_queue: BoundedQueue::new(config.queue_capacity),
+            task_queue: scheduler.as_ref().map(|s| s.queue().clone()),
             metrics: Metrics::new(),
         });
-        let mut workers = Vec::with_capacity(config.read_workers.max(1) + 1);
+        let mut workers = Vec::with_capacity(config.read_workers.max(1));
         for _ in 0..config.read_workers.max(1) {
             let shared = shared.clone();
             let state = Arc::clone(&state);
             workers.push(std::thread::spawn(move || {
                 while let Some(job) = state.read_queue.pop() {
-                    run_job(&shared, &state, job, &mut None);
+                    run_job(&shared, &state, job);
                 }
-            }));
-        }
-        {
-            let shared = shared.clone();
-            let state = Arc::clone(&state);
-            let lane_config = config.clone();
-            workers.push(std::thread::spawn(move || {
-                let mut lane = WriterLane {
-                    config: lane_config,
-                    propagators: HashMap::new(),
-                };
-                while let Some(job) = state.write_queue.pop() {
-                    run_job(&shared, &state, job, &mut Some(&mut lane));
-                }
-                lane.flush_all(&shared);
             }));
         }
         Server {
             shared,
             state,
             config,
+            scheduler,
             workers,
         }
     }
@@ -285,11 +394,6 @@ impl Server {
     }
 
     fn submit_opt(&self, request: Request, deadline: Option<Duration>) -> Ticket {
-        let queue = if request.is_write() {
-            &self.state.write_queue
-        } else {
-            &self.state.read_queue
-        };
         let (ticket, completion) = ticket_pair();
         if self.config.read_only && request.is_write() {
             self.state.metrics.request_failed();
@@ -308,20 +412,28 @@ impl Server {
                 return ticket;
             }
         }
+        if request.is_write() {
+            // Writes do not ride a worker queue: they become durable
+            // tasks at submit time (deadlines no longer apply — once
+            // accepted, a task always runs).
+            self.submit_write(request, completion);
+            return ticket;
+        }
         let job = Job {
             request,
             completion,
             enqueued: Instant::now(),
             deadline,
         };
-        match queue.push(job) {
+        match self.state.read_queue.push(job) {
             Ok(()) => {
                 self.state.metrics.request_submitted();
             }
             Err(PushError::Full(job)) => {
                 self.state.metrics.request_rejected_overload();
-                job.completion
-                    .complete(Err(CouplingError::Overloaded(queue.capacity())));
+                job.completion.complete(Err(CouplingError::Overloaded(
+                    self.state.read_queue.capacity(),
+                )));
             }
             Err(PushError::Closed(job)) => {
                 self.state.metrics.request_rejected_shutdown();
@@ -331,19 +443,143 @@ impl Server {
         ticket
     }
 
+    /// Route a write request into the task queue. `EnqueueTask` resolves
+    /// the ticket immediately with the accepted id; the deprecated
+    /// synchronous shapes resolve when their task finishes executing.
+    #[allow(deprecated)]
+    fn submit_write(&self, request: Request, completion: Completion) {
+        let Some(queue) = &self.state.task_queue else {
+            // No scheduler only happens on read-only servers, which are
+            // rejected earlier; defensively refuse rather than panic.
+            self.state.metrics.request_failed();
+            completion.complete(Err(CouplingError::ShuttingDown));
+            return;
+        };
+        let reject = |metrics: &Metrics, err: &CouplingError| match err {
+            CouplingError::Overloaded(_) => metrics.request_rejected_overload(),
+            CouplingError::ShuttingDown => metrics.request_rejected_shutdown(),
+            _ => metrics.request_failed(),
+        };
+        match request {
+            Request::EnqueueTask { kind } => {
+                let start = Instant::now();
+                match queue.enqueue(kind) {
+                    Ok(id) => {
+                        self.state.metrics.request_submitted();
+                        self.state.metrics.request_completed(start.elapsed(), None);
+                        completion.complete(Ok(Response::TaskAccepted(id)));
+                    }
+                    Err(err) => {
+                        reject(&self.state.metrics, &err);
+                        completion.complete(Err(err));
+                    }
+                }
+            }
+            Request::UpdateText {
+                oid,
+                text,
+                collections,
+            } => self.submit_legacy_write(
+                TaskKind::UpdateText {
+                    oid,
+                    text,
+                    collections,
+                },
+                false,
+                completion,
+            ),
+            Request::IndexObjects {
+                collection,
+                spec_query,
+            } => self.submit_legacy_write(
+                TaskKind::IndexObjects {
+                    collection,
+                    spec_query,
+                },
+                true,
+                completion,
+            ),
+            other => {
+                self.state.metrics.request_failed();
+                completion.complete(Err(CouplingError::BadSpecQuery(format!(
+                    "read request {:?} routed to the write path",
+                    other.label()
+                ))));
+            }
+        }
+    }
+
+    /// The deprecated blocking write shapes: enqueue the task with a
+    /// waiter that resolves the caller's ticket on execution, preserving
+    /// the old call-and-wait semantics over the new durable queue.
+    fn submit_legacy_write(&self, kind: TaskKind, indexed: bool, completion: Completion) {
+        let queue = self
+            .state
+            .task_queue
+            .as_ref()
+            .expect("submit_write checked the scheduler exists");
+        let state = Arc::clone(&self.state);
+        let enqueued = Instant::now();
+        let waiter: TaskWaiter = Box::new(move |result| match result {
+            Ok(count) => {
+                state.metrics.request_completed(enqueued.elapsed(), None);
+                let response = if indexed {
+                    Response::Indexed {
+                        objects: count as usize,
+                    }
+                } else {
+                    Response::Updated {
+                        collections: count as usize,
+                    }
+                };
+                completion.complete(Ok(response));
+            }
+            Err(err) => {
+                match &err {
+                    CouplingError::Overloaded(_) => state.metrics.request_rejected_overload(),
+                    CouplingError::ShuttingDown => state.metrics.request_rejected_shutdown(),
+                    _ => state.metrics.request_failed(),
+                }
+                completion.complete(Err(err));
+            }
+        });
+        if queue.enqueue_with_waiter(kind, waiter).is_some() {
+            self.state.metrics.request_submitted();
+        }
+    }
+
     /// Submit and wait: the synchronous convenience call.
     pub fn call(&self, request: Request) -> coupling::Result<Response> {
         self.submit(request).wait()
     }
 
-    /// Snapshot of the server's request counters and latency histogram.
+    /// Snapshot of the server's request counters, latency histogram,
+    /// and task-scheduler counters (zero on read-only replicas).
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.state.metrics.snapshot()
+        let snapshot = self.state.metrics.snapshot();
+        match &self.state.task_queue {
+            Some(queue) => snapshot.with_tasks(queue.stats()),
+            None => snapshot,
+        }
     }
 
-    /// Current `(read, write)` queue depths.
+    /// Current `(read queue, task queue)` depths.
     pub fn queue_depths(&self) -> (usize, usize) {
-        (self.state.read_queue.len(), self.state.write_queue.len())
+        (
+            self.state.read_queue.len(),
+            self.state
+                .task_queue
+                .as_ref()
+                .map(|q| q.depth())
+                .unwrap_or(0),
+        )
+    }
+
+    /// The task queue handle — enqueue, status probes, and the
+    /// [`coupling::tasks::TaskEvent`] subscription stream. `None` on
+    /// read-only replicas.
+    pub fn tasks(&self) -> Option<&TaskQueue> {
+        self.state.task_queue.as_ref()
     }
 
     /// The served system — for direct inspection (e.g. in tests) or for
@@ -352,18 +588,21 @@ impl Server {
         &self.shared
     }
 
-    /// Graceful shutdown: refuse new requests, drain both lanes, flush
-    /// propagation logs, join all workers. Returns the final metrics.
+    /// Graceful shutdown: refuse new requests, drain the read queue and
+    /// the task queue, flush propagation logs, join all workers.
+    /// Returns the final metrics.
     pub fn shutdown(mut self) -> MetricsSnapshot {
         self.shutdown_inner();
-        self.state.metrics.snapshot()
+        self.metrics()
     }
 
     fn shutdown_inner(&mut self) {
         self.state.read_queue.close();
-        self.state.write_queue.close();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
+        }
+        if let Some(scheduler) = self.scheduler.take() {
+            scheduler.shutdown();
         }
     }
 }
@@ -381,7 +620,7 @@ impl std::fmt::Debug for Server {
             .field("read_workers", &self.config.read_workers)
             .field("queue_capacity", &self.config.queue_capacity)
             .field("read_depth", &r)
-            .field("write_depth", &w)
+            .field("task_depth", &w)
             .finish()
     }
 }
@@ -390,51 +629,7 @@ impl std::fmt::Debug for Server {
 // Execution
 // ---------------------------------------------------------------------
 
-/// The writer lane's private state: one propagator per collection,
-/// created lazily (journaled when configured).
-struct WriterLane {
-    config: ServerConfig,
-    propagators: HashMap<String, Propagator>,
-}
-
-impl WriterLane {
-    fn take_propagator(&mut self, name: &str) -> coupling::Result<Propagator> {
-        if let Some(existing) = self.propagators.remove(name) {
-            return Ok(existing);
-        }
-        match &self.config.journal_dir {
-            Some(dir) => {
-                Propagator::with_journal(self.config.propagation, &journal_path(dir, name))
-            }
-            None => Ok(Propagator::new(self.config.propagation)),
-        }
-    }
-
-    /// Apply every pending propagation log to its collection. Runs on
-    /// drain-end so deferred updates are not lost at shutdown; errors
-    /// stay in the (journaled) log for the next recovery.
-    fn flush_all(&mut self, shared: &SharedSystem) {
-        shared.write(|sys| {
-            for (name, prop) in self.propagators.iter_mut() {
-                if prop.pending().is_empty() {
-                    continue;
-                }
-                let Ok(mut coll) = sys.collection_mut(name) else {
-                    continue;
-                };
-                let ctx = coll.db().method_ctx();
-                let _ = prop.flush(&ctx, &mut coll);
-            }
-        });
-    }
-}
-
-fn run_job(
-    shared: &SharedSystem,
-    state: &ServerState,
-    job: Job,
-    lane: &mut Option<&mut WriterLane>,
-) {
+fn run_job(shared: &SharedSystem, state: &ServerState, job: Job) {
     let Job {
         request,
         completion,
@@ -452,10 +647,7 @@ fn run_job(
     // drops, and the ticket resolves to `ShuttingDown` — the worker
     // thread itself survives for the next job.
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        let result = match lane {
-            Some(writer) => execute_write(shared, writer, &request),
-            None => execute_read(shared, &request),
-        };
+        let result = execute_read(shared, state.task_queue.as_ref(), &request);
         (completion, result)
     }));
     match outcome {
@@ -475,7 +667,21 @@ fn run_job(
 
 type Executed = coupling::Result<(Response, Option<ResultOrigin>)>;
 
-fn execute_read(shared: &SharedSystem, request: &Request) -> Executed {
+fn execute_read(shared: &SharedSystem, tasks: Option<&TaskQueue>, request: &Request) -> Executed {
+    // Task observability answers from the ledger alone — no system lock.
+    match request {
+        Request::TaskStatus { id } => {
+            let task = tasks
+                .and_then(|q| q.task_status(*id))
+                .ok_or(CouplingError::UnknownTask(*id))?;
+            return Ok((Response::TaskInfo(task), None));
+        }
+        Request::ListTasks { filter } => {
+            let list = tasks.map(|q| q.list_tasks(filter)).unwrap_or_default();
+            return Ok((Response::TaskList(list), None));
+        }
+        _ => {}
+    }
     shared.read(|sys| match request {
         Request::IrsQuery { collection, query } => {
             let coll = sys.collection(collection)?;
@@ -544,61 +750,6 @@ fn execute_read(shared: &SharedSystem, request: &Request) -> Executed {
         Request::Ping => Ok((Response::Pong, None)),
         other => Err(CouplingError::BadSpecQuery(format!(
             "write request {:?} routed to the read lane",
-            other.label()
-        ))),
-    })
-}
-
-fn execute_write(shared: &SharedSystem, lane: &mut WriterLane, request: &Request) -> Executed {
-    shared.write(|sys| match request {
-        Request::UpdateText {
-            oid,
-            text,
-            collections,
-        } => {
-            // Validate every target up front (each handle drops at the
-            // end of its statement — `update_text` re-locks per name).
-            for name in collections {
-                sys.collection(name)?;
-            }
-            let mut taken: Vec<(String, Propagator)> = Vec::with_capacity(collections.len());
-            for name in collections {
-                let prop = lane.take_propagator(name)?;
-                taken.push((name.clone(), prop));
-            }
-            let mut targets: Vec<(&str, &mut Propagator)> = taken
-                .iter_mut()
-                .map(|(name, prop)| (name.as_str(), prop))
-                .collect();
-            let result = sys.update_text(*oid, text, &mut targets);
-            drop(targets);
-            let count = taken.len();
-            for (name, prop) in taken {
-                lane.propagators.insert(name, prop);
-            }
-            result?;
-            Ok((Response::Updated { collections: count }, None))
-        }
-        Request::IndexObjects {
-            collection,
-            spec_query,
-        } => {
-            let mut coll = sys.collection_mut(collection)?;
-            let db = coll.db();
-            let objects = coll.index_objects(db, spec_query)?;
-            // A re-index invalidates any deferred ops for this
-            // collection recorded before it: fold them away so the
-            // flush at shutdown does not redo stale work.
-            if let Some(prop) = lane.propagators.get_mut(collection) {
-                if !prop.pending().is_empty() {
-                    let ctx = coll.db().method_ctx();
-                    let _ = prop.flush(&ctx, &mut coll);
-                }
-            }
-            Ok((Response::Indexed { objects }, None))
-        }
-        other => Err(CouplingError::BadSpecQuery(format!(
-            "read request {:?} routed to the write lane",
             other.label()
         ))),
     })

@@ -34,6 +34,7 @@
 use std::fmt;
 use std::io::{self, Read, Write};
 
+use coupling::tasks::{Task, TaskFilter, TaskKind, TaskStatus, TaskStatusKind};
 use coupling::{CouplingError, ErrorKind, MixedStrategy, ResultOrigin};
 use irs::persist::crc32;
 use irs::{QueryGlobals, TermGlobals};
@@ -254,6 +255,12 @@ pub fn read_frame(r: &mut impl Read) -> WireResult<Option<Frame>> {
 /// numbers read familiarly in logs and dashboards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Status {
+    /// 202 — the write was durably enqueued as a task; the work itself
+    /// has not run yet. Carried on success responses conceptually
+    /// ([`Response::TaskAccepted`]), and present in the status space so
+    /// logs and dashboards can distinguish accepted-async from
+    /// executed-sync outcomes.
+    Accepted,
     /// 400 — the request failed to parse (query syntax, bad spec).
     BadRequest,
     /// 404 — a named collection/object/class does not exist.
@@ -274,6 +281,7 @@ impl Status {
     /// The numeric code carried on the wire.
     pub fn code(self) -> u16 {
         match self {
+            Status::Accepted => 202,
             Status::BadRequest => 400,
             Status::NotFound => 404,
             Status::Overloaded => 429,
@@ -287,6 +295,7 @@ impl Status {
     /// Parse a numeric code back into a status.
     pub fn from_code(code: u16) -> Option<Status> {
         match code {
+            202 => Some(Status::Accepted),
             400 => Some(Status::BadRequest),
             404 => Some(Status::NotFound),
             429 => Some(Status::Overloaded),
@@ -332,6 +341,9 @@ impl Status {
     /// does in-process).
     pub fn kind(self) -> ErrorKind {
         match self {
+            // Accepted is a success status; it never rides a fault
+            // frame, so its error classification is the catch-all.
+            Status::Accepted => ErrorKind::Other,
             Status::BadRequest => ErrorKind::Parse,
             Status::NotFound => ErrorKind::NotFound,
             Status::Overloaded | Status::ShuttingDown => ErrorKind::Overloaded,
@@ -553,7 +565,161 @@ fn decode_globals(d: &mut Dec<'_>) -> WireResult<QueryGlobals> {
     })
 }
 
+fn put_task_kind(buf: &mut Vec<u8>, kind: &TaskKind) {
+    match kind {
+        TaskKind::IndexObjects {
+            collection,
+            spec_query,
+        } => {
+            buf.push(0);
+            put_str(buf, collection);
+            put_str(buf, spec_query);
+        }
+        TaskKind::UpdateText {
+            oid,
+            text,
+            collections,
+        } => {
+            buf.push(1);
+            put_u64(buf, oid.0);
+            put_str(buf, text);
+            put_u32(buf, collections.len() as u32);
+            for name in collections {
+                put_str(buf, name);
+            }
+        }
+        TaskKind::Flush { collection } => {
+            buf.push(2);
+            put_str(buf, collection);
+        }
+    }
+}
+
+fn decode_task_kind(d: &mut Dec<'_>) -> WireResult<TaskKind> {
+    match d.u8("task kind tag")? {
+        0 => Ok(TaskKind::IndexObjects {
+            collection: d.string("collection")?,
+            spec_query: d.string("spec query")?,
+        }),
+        1 => {
+            let oid = Oid(d.u64("oid")?);
+            let text = d.string("text")?;
+            let n = d.count(4, "collection list")?;
+            let mut collections = Vec::with_capacity(n);
+            for _ in 0..n {
+                collections.push(d.string("collection name")?);
+            }
+            Ok(TaskKind::UpdateText {
+                oid,
+                text,
+                collections,
+            })
+        }
+        2 => Ok(TaskKind::Flush {
+            collection: d.string("collection")?,
+        }),
+        other => Err(WireError::Malformed(format!(
+            "unknown task kind tag {other}"
+        ))),
+    }
+}
+
+fn status_kind_byte(k: TaskStatusKind) -> u8 {
+    match k {
+        TaskStatusKind::Enqueued => 0,
+        TaskStatusKind::Processing => 1,
+        TaskStatusKind::Succeeded => 2,
+        TaskStatusKind::Failed => 3,
+    }
+}
+
+fn status_kind_from(b: u8) -> WireResult<TaskStatusKind> {
+    match b {
+        0 => Ok(TaskStatusKind::Enqueued),
+        1 => Ok(TaskStatusKind::Processing),
+        2 => Ok(TaskStatusKind::Succeeded),
+        3 => Ok(TaskStatusKind::Failed),
+        other => Err(WireError::Malformed(format!("unknown task status {other}"))),
+    }
+}
+
+fn put_task(buf: &mut Vec<u8>, task: &Task) {
+    put_u64(buf, task.id);
+    buf.push(status_kind_byte(task.status.kind()));
+    if let TaskStatus::Failed { error } = &task.status {
+        put_str(buf, error);
+    }
+    put_u64(buf, task.enqueued_at);
+    match task.batch_id {
+        Some(batch) => {
+            buf.push(1);
+            put_u64(buf, batch);
+        }
+        None => buf.push(0),
+    }
+    put_task_kind(buf, &task.kind);
+}
+
+fn decode_task(d: &mut Dec<'_>) -> WireResult<Task> {
+    let id = d.u64("task id")?;
+    let status = match status_kind_from(d.u8("task status")?)? {
+        TaskStatusKind::Enqueued => TaskStatus::Enqueued,
+        TaskStatusKind::Processing => TaskStatus::Processing,
+        TaskStatusKind::Succeeded => TaskStatus::Succeeded,
+        TaskStatusKind::Failed => TaskStatus::Failed {
+            error: d.string("task error")?,
+        },
+    };
+    let enqueued_at = d.u64("enqueued tick")?;
+    let batch_id = match d.u8("batch flag")? {
+        0 => None,
+        1 => Some(d.u64("batch id")?),
+        other => return Err(WireError::Malformed(format!("unknown batch flag {other}"))),
+    };
+    let kind = decode_task_kind(d)?;
+    Ok(Task {
+        id,
+        kind,
+        status,
+        enqueued_at,
+        batch_id,
+    })
+}
+
+fn put_task_filter(buf: &mut Vec<u8>, filter: &TaskFilter) {
+    match filter.status {
+        // 0 = no status predicate; 1..=4 = the status kind + 1.
+        Some(kind) => buf.push(status_kind_byte(kind) + 1),
+        None => buf.push(0),
+    }
+    match &filter.collection {
+        Some(name) => {
+            buf.push(1);
+            put_str(buf, name);
+        }
+        None => buf.push(0),
+    }
+}
+
+fn decode_task_filter(d: &mut Dec<'_>) -> WireResult<TaskFilter> {
+    let status = match d.u8("status filter")? {
+        0 => None,
+        b => Some(status_kind_from(b - 1)?),
+    };
+    let collection = match d.u8("collection filter flag")? {
+        0 => None,
+        1 => Some(d.string("collection filter")?),
+        other => {
+            return Err(WireError::Malformed(format!(
+                "unknown collection filter flag {other}"
+            )))
+        }
+    };
+    Ok(TaskFilter { status, collection })
+}
+
 /// Encode a request as a frame payload.
+#[allow(deprecated)]
 pub fn encode_request(req: &Request) -> Vec<u8> {
     let mut buf = Vec::with_capacity(64);
     match req {
@@ -627,12 +793,25 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             put_u64(&mut buf, *k);
             put_globals(&mut buf, globals);
         }
+        Request::EnqueueTask { kind } => {
+            buf.push(8);
+            put_task_kind(&mut buf, kind);
+        }
+        Request::TaskStatus { id } => {
+            buf.push(9);
+            put_u64(&mut buf, *id);
+        }
+        Request::ListTasks { filter } => {
+            buf.push(10);
+            put_task_filter(&mut buf, filter);
+        }
     }
     buf
 }
 
 /// Decode a request frame payload. Strict: unknown tags, truncated
 /// fields, and trailing bytes are all [`WireError::Malformed`].
+#[allow(deprecated)]
 pub fn decode_request(payload: &[u8]) -> WireResult<Request> {
     let mut d = Dec::new(payload);
     let req = match d.u8("request tag")? {
@@ -680,6 +859,15 @@ pub fn decode_request(payload: &[u8]) -> WireResult<Request> {
             query: d.string("query")?,
             k: d.u64("k")?,
             globals: decode_globals(&mut d)?,
+        },
+        8 => Request::EnqueueTask {
+            kind: decode_task_kind(&mut d)?,
+        },
+        9 => Request::TaskStatus {
+            id: d.u64("task id")?,
+        },
+        10 => Request::ListTasks {
+            filter: decode_task_filter(&mut d)?,
         },
         other => return Err(WireError::Malformed(format!("unknown request tag {other}"))),
     };
@@ -740,6 +928,21 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 put_f64(&mut buf, *value);
             }
         }
+        Response::TaskAccepted(id) => {
+            buf.push(8);
+            put_u64(&mut buf, *id);
+        }
+        Response::TaskInfo(task) => {
+            buf.push(9);
+            put_task(&mut buf, task);
+        }
+        Response::TaskList(tasks) => {
+            buf.push(10);
+            put_u32(&mut buf, tasks.len() as u32);
+            for task in tasks {
+                put_task(&mut buf, task);
+            }
+        }
     }
     buf
 }
@@ -792,6 +995,18 @@ pub fn decode_response(payload: &[u8]) -> WireResult<Response> {
                 hits.push((key, value));
             }
             Response::IrsKeyed { hits }
+        }
+        8 => Response::TaskAccepted(d.u64("task id")?),
+        9 => Response::TaskInfo(decode_task(&mut d)?),
+        10 => {
+            // Each task needs at least id + status + tick + batch flag
+            // + a minimal kind (tag + one length prefix).
+            let n = d.count(23, "task list")?;
+            let mut tasks = Vec::with_capacity(n);
+            for _ in 0..n {
+                tasks.push(decode_task(&mut d)?);
+            }
+            Response::TaskList(tasks)
         }
         other => {
             return Err(WireError::Malformed(format!(
@@ -925,6 +1140,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn request_codec_roundtrips_every_variant() {
         let requests = vec![
             Request::IrsQuery {
@@ -962,6 +1178,34 @@ mod tests {
                 query: "#or(www nii)".into(),
                 k: u64::MAX,
                 globals: sample_globals(),
+            },
+            Request::EnqueueTask {
+                kind: TaskKind::UpdateText {
+                    oid: Oid(12),
+                    text: "wälzlager".into(),
+                    collections: vec!["a".into(), "b".into()],
+                },
+            },
+            Request::EnqueueTask {
+                kind: TaskKind::IndexObjects {
+                    collection: "c".into(),
+                    spec_query: "ACCESS p FROM p IN PARA".into(),
+                },
+            },
+            Request::EnqueueTask {
+                kind: TaskKind::Flush {
+                    collection: "c".into(),
+                },
+            },
+            Request::TaskStatus { id: u64::MAX },
+            Request::ListTasks {
+                filter: TaskFilter::default(),
+            },
+            Request::ListTasks {
+                filter: TaskFilter {
+                    status: Some(TaskStatusKind::Failed),
+                    collection: Some("collPara".into()),
+                },
             },
         ];
         for req in requests {
@@ -1011,6 +1255,41 @@ mod tests {
             Response::IrsKeyed {
                 hits: vec![("oid:9".into(), 0.75), ("oid:10".into(), 0.75)],
             },
+            Response::TaskAccepted(41),
+            Response::TaskInfo(Task {
+                id: 41,
+                kind: TaskKind::Flush {
+                    collection: "c".into(),
+                },
+                status: TaskStatus::Failed {
+                    error: "irs unreachable".into(),
+                },
+                enqueued_at: 9,
+                batch_id: Some(3),
+            }),
+            Response::TaskList(vec![
+                Task {
+                    id: 1,
+                    kind: TaskKind::IndexObjects {
+                        collection: "c".into(),
+                        spec_query: "ACCESS p FROM p IN PARA".into(),
+                    },
+                    status: TaskStatus::Succeeded,
+                    enqueued_at: 0,
+                    batch_id: Some(1),
+                },
+                Task {
+                    id: 2,
+                    kind: TaskKind::UpdateText {
+                        oid: Oid(3),
+                        text: String::new(),
+                        collections: vec![],
+                    },
+                    status: TaskStatus::Enqueued,
+                    enqueued_at: 1,
+                    batch_id: None,
+                },
+            ]),
         ];
         for resp in responses {
             let decoded = decode_response(&encode_response(&resp)).unwrap();

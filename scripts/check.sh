@@ -49,6 +49,15 @@ echo "==> bench smoke (wire protocol, writes BENCH_net.json)"
 # below 10% of in-process (catching protocol-level stalls).
 cargo run -q -p coupling-bench --release --bin bench_net -- --smoke
 
+echo "==> bench smoke (task batching, writes BENCH_tasks.json)"
+# Exits nonzero and prints REGRESSION if batched ingest fails to beat
+# the unbatched drain by more than 2x, any task fails, or the batched
+# drain merges nothing.
+cargo run -q -p coupling-bench --release --bin bench_tasks -- --smoke
+
+echo "==> task-queue pass (batching, crash replay, torn ledgers)"
+cargo test -q -p system-tests --test tasks
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

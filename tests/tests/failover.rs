@@ -25,6 +25,7 @@ use std::time::{Duration, Instant};
 
 use coupling::remote::{RemoteConfig, RemoteIrs};
 use coupling::retry::{BreakerConfig, RetryPolicy};
+use coupling::tasks::TaskKind;
 use coupling::{ErrorKind, ResultOrigin, SharedSystem};
 use irs::FaultPlan;
 use oodb::Oid;
@@ -40,11 +41,11 @@ use system_tests::two_issue_system;
 /// Socket bounds tight enough that an abandoned attempt's thread
 /// unblocks well before the test budget runs out.
 fn tight_client() -> ClientConfig {
-    ClientConfig {
-        connect_timeout: Some(Duration::from_millis(500)),
-        read_timeout: Some(Duration::from_millis(250)),
-        write_timeout: Some(Duration::from_millis(250)),
-    }
+    ClientConfig::builder()
+        .connect_timeout(Duration::from_millis(500))
+        .read_timeout(Duration::from_millis(250))
+        .write_timeout(Duration::from_millis(250))
+        .build()
 }
 
 /// Fan-out tuning for tests: hedge at 40ms, whole-read deadline 340ms.
@@ -152,10 +153,12 @@ fn replica_pair_serves_fresh_correct_results() {
     // which is just as read-only.
     let mut client = Client::connect_with(proxies[0].local_addr(), tight_client()).expect("dial");
     let err = client
-        .call(&Request::UpdateText {
-            oid: expected[0].0,
-            text: "rewritten".into(),
-            collections: vec!["collPara".into()],
+        .call(&Request::EnqueueTask {
+            kind: TaskKind::UpdateText {
+                oid: expected[0].0,
+                text: "rewritten".into(),
+                collections: vec!["collPara".into()],
+            },
         })
         .expect_err("replica must refuse writes");
     assert_eq!(err.status(), Some(Status::BadRequest));
@@ -320,10 +323,12 @@ fn replica_opened_from_snapshot_serves_saved_index() {
 
     let mut client = Client::connect_with(replica.local_addr(), tight_client()).expect("dial");
     let err = client
-        .call(&Request::UpdateText {
-            oid: hits[0].0,
-            text: "rewritten".into(),
-            collections: vec!["collPara".into()],
+        .call(&Request::EnqueueTask {
+            kind: TaskKind::UpdateText {
+                oid: hits[0].0,
+                text: "rewritten".into(),
+                collections: vec!["collPara".into()],
+            },
         })
         .expect_err("snapshot replica refuses writes");
     assert_eq!(err.status(), Some(Status::BadRequest));

@@ -7,6 +7,7 @@ use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Duration;
 
+use coupling::tasks::{TaskKind, TaskStatus};
 use coupling::{CollectionSetup, ErrorKind, MixedStrategy, SharedSystem};
 use irs::FaultPlan;
 use serve::wire::{self, FrameKind};
@@ -77,14 +78,17 @@ fn multi_client_query_and_write_over_the_wire() {
         panic!("wrong response variant");
     };
     let oid = hits[0].0;
-    let resp = client
-        .call(&Request::UpdateText {
-            oid,
-            text: "zeppelin airships drift over the network".into(),
-            collections: vec!["collPara".into()],
-        })
-        .expect("update over the wire");
-    assert_eq!(resp, Response::Updated { collections: 1 });
+    let task = client
+        .write_and_wait(
+            TaskKind::UpdateText {
+                oid,
+                text: "zeppelin airships drift over the network".into(),
+                collections: vec!["collPara".into()],
+            },
+            Duration::from_secs(10),
+        )
+        .expect("update task over the wire");
+    assert_eq!(task.status, TaskStatus::Succeeded);
     let resp = client
         .call(&Request::IrsQuery {
             collection: "collPara".into(),
@@ -97,9 +101,17 @@ fn multi_client_query_and_write_over_the_wire() {
     assert_eq!(hits.len(), 1, "write visible through the wire");
 
     let snapshot = net.shutdown();
+    // Queries + the enqueue itself, plus however many status polls the
+    // wait needed — each is a completed request in its own right.
     let total = (clients * per_client + 3) as u64;
-    assert_eq!(snapshot.completed, total);
+    assert!(
+        snapshot.completed >= total,
+        "expected at least {total} completed, got {}",
+        snapshot.completed
+    );
     assert_eq!(snapshot.failed, 0);
+    assert_eq!(snapshot.tasks_succeeded, 1);
+    assert_eq!(snapshot.tasks_failed, 0);
 }
 
 /// Typed errors cross the wire with the right status: an unknown

@@ -5,13 +5,32 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use coupling::{CollectionSetup, ErrorKind, MixedStrategy};
+use coupling::tasks::{Task, TaskKind, TaskStatus};
+use coupling::{CollectionSetup, ErrorKind, MixedStrategy, TaskId};
 use irs::FaultPlan;
 use serve::{Request, Response, Server, ServerConfig};
 use system_tests::two_issue_system;
 
+/// Poll the server's task queue handle (not the request path, so the
+/// wait does not disturb the request counters) until `id` is terminal.
+fn wait_terminal(server: &Server, id: TaskId) -> Task {
+    let queue = server.tasks().expect("writable server has a task queue");
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let task = queue.task_status(id).expect("known task");
+        if task.status.is_terminal() {
+            return task;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "task {id} never reached a terminal status"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
 /// Multi-client smoke: several threads issue read requests concurrently,
-/// a write flows through the writer lane, and shutdown drains cleanly.
+/// a write flows through the task scheduler, and shutdown drains cleanly.
 #[test]
 fn multi_client_smoke_reads_and_writes() {
     let server = Server::start(
@@ -72,21 +91,28 @@ fn multi_client_smoke_reads_and_writes() {
         }
     });
 
-    // A write through the serialized writer lane: the updated paragraph
-    // becomes searchable for subsequent reads (eager propagation).
+    // A write through the task scheduler: enqueue answers immediately
+    // with a task id; once the task reaches a terminal status the
+    // updated paragraph is searchable (eager propagation).
     let para = server.system().read(|sys| {
         sys.query("ACCESS p FROM p IN PARA").unwrap()[0]
             .oid()
             .unwrap()
     });
     let resp = server
-        .call(Request::UpdateText {
-            oid: para,
-            text: "zeppelin airships over the network".into(),
-            collections: vec!["collPara".into()],
+        .call(Request::EnqueueTask {
+            kind: TaskKind::UpdateText {
+                oid: para,
+                text: "zeppelin airships over the network".into(),
+                collections: vec!["collPara".into()],
+            },
         })
-        .expect("update succeeds");
-    assert!(matches!(resp, Response::Updated { .. }));
+        .expect("enqueue succeeds");
+    let Response::TaskAccepted(task_id) = resp else {
+        panic!("wrong response variant");
+    };
+    let task = wait_terminal(&server, task_id);
+    assert_eq!(task.status, TaskStatus::Succeeded);
     let resp = server
         .call(Request::IrsQuery {
             collection: "collPara".into(),

@@ -7,6 +7,7 @@
 
 use proptest::prelude::*;
 
+use coupling::tasks::{Task, TaskFilter, TaskKind, TaskStatus, TaskStatusKind};
 use coupling::{MixedStrategy, ResultOrigin};
 use oodb::Oid;
 use serve::wire::{
@@ -53,10 +54,12 @@ fn frames_survive_single_byte_reads() {
 
 #[test]
 fn every_truncation_point_fails_cleanly() {
-    let req = Request::UpdateText {
-        oid: Oid(9),
-        text: "replacement text".into(),
-        collections: vec!["collPara".into(), "collDoc".into()],
+    let req = Request::EnqueueTask {
+        kind: TaskKind::UpdateText {
+            oid: Oid(9),
+            text: "replacement text".into(),
+            collections: vec!["collPara".into(), "collDoc".into()],
+        },
     };
     let mut buf = Vec::new();
     write_frame(&mut buf, FrameKind::Request, &encode_request(&req)).unwrap();
@@ -107,6 +110,71 @@ fn origin_strategy() -> BoxedStrategy<ResultOrigin> {
     .boxed()
 }
 
+fn task_kind_strategy() -> BoxedStrategy<TaskKind> {
+    let name = || "\\PC{0,20}";
+    prop_oneof![
+        (name(), name()).prop_map(|(collection, spec_query)| TaskKind::IndexObjects {
+            collection,
+            spec_query,
+        }),
+        (
+            any::<u64>(),
+            "\\PC{0,40}",
+            prop::collection::vec("\\PC{0,12}".boxed(), 0..4)
+        )
+            .prop_map(|(oid, text, collections)| TaskKind::UpdateText {
+                oid: Oid(oid),
+                text,
+                collections,
+            }),
+        name().prop_map(|collection| TaskKind::Flush { collection }),
+    ]
+    .boxed()
+}
+
+fn task_strategy() -> BoxedStrategy<Task> {
+    let status = prop_oneof![
+        Just(TaskStatus::Enqueued),
+        Just(TaskStatus::Processing),
+        Just(TaskStatus::Succeeded),
+        "\\PC{0,30}".prop_map(|error| TaskStatus::Failed { error }),
+    ];
+    (
+        any::<u64>(),
+        task_kind_strategy(),
+        status,
+        any::<u64>(),
+        (any::<bool>(), any::<u64>()),
+    )
+        .prop_map(|(id, kind, status, enqueued_at, (batched, batch))| Task {
+            id,
+            kind,
+            status,
+            enqueued_at,
+            batch_id: batched.then_some(batch),
+        })
+        .boxed()
+}
+
+fn task_filter_strategy() -> BoxedStrategy<TaskFilter> {
+    let status = prop_oneof![
+        Just(TaskStatusKind::Enqueued),
+        Just(TaskStatusKind::Processing),
+        Just(TaskStatusKind::Succeeded),
+        Just(TaskStatusKind::Failed),
+    ];
+    ((any::<bool>(), status), (any::<bool>(), "\\PC{0,20}"))
+        .prop_map(|((by_status, status), (by_coll, collection))| TaskFilter {
+            status: by_status.then_some(status),
+            collection: by_coll.then_some(collection),
+        })
+        .boxed()
+}
+
+// The deprecated synchronous write shapes stay in the strategy pool on
+// purpose: old clients still emit them, so the codec must keep
+// round-tripping them until the wire kinds are retired.
+#[allow(deprecated)]
 fn request_strategy() -> BoxedStrategy<Request> {
     let name = || "\\PC{0,20}";
     prop_oneof![
@@ -141,6 +209,9 @@ fn request_strategy() -> BoxedStrategy<Request> {
             collection,
             spec_query,
         }),
+        task_kind_strategy().prop_map(|kind| Request::EnqueueTask { kind }),
+        any::<u64>().prop_map(|id| Request::TaskStatus { id }),
+        task_filter_strategy().prop_map(|filter| Request::ListTasks { filter }),
     ]
     .boxed()
 }
@@ -172,6 +243,9 @@ fn response_strategy() -> BoxedStrategy<Response> {
         (0u64..1000).prop_map(|n| Response::Indexed {
             objects: n as usize
         }),
+        any::<u64>().prop_map(Response::TaskAccepted),
+        task_strategy().prop_map(Response::TaskInfo),
+        prop::collection::vec(task_strategy(), 0..4).prop_map(Response::TaskList),
     ]
     .boxed()
 }
